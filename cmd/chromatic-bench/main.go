@@ -1,0 +1,149 @@
+// Command chromatic-bench regenerates the evaluation of Brown, Ellen and
+// Ruppert, "A General Technique for Non-blocking Trees" (PPoPP 2014), on the
+// local machine.
+//
+// Experiments:
+//
+//	figure8   throughput vs thread count for every data structure, for the
+//	          3 operation mixes x 3 key ranges of Figure 8
+//	figure9   single-threaded throughput relative to the sequential
+//	          red-black tree (Figure 9)
+//	ratios    the headline Chromatic6-vs-competitor speedups quoted in the
+//	          paper's introduction
+//	height    the O(c + log n) height bound experiment (Section 5.3)
+//	ablation  sweep of the Chromatic6 violation threshold (Section 5.6)
+//	all       every experiment above, in order
+//
+// Example:
+//
+//	chromatic-bench -experiment figure8 -duration 2s -keyranges 100,10000,1000000
+//
+// The defaults are scaled down so the full run finishes in a few minutes on
+// a laptop; pass -paper to use the paper's exact thread counts and key
+// ranges (which assume a large multiprocessor and a long run).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment to run: figure8, figure9, ratios, height, ablation or all")
+		duration   = flag.Duration("duration", 1*time.Second, "duration of each timed trial")
+		trials     = flag.Int("trials", 1, "trials per configuration (mean is reported)")
+		threads    = flag.String("threads", "", "comma-separated thread counts (default: scaled to this machine)")
+		keyRanges  = flag.String("keyranges", "", "comma-separated key ranges (default: 100,10000,1000000)")
+		structs    = flag.String("structures", "", "comma-separated structure names (default: all registered)")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		paper      = flag.Bool("paper", false, "use the paper's thread counts (1,32,64,96,128) and key ranges")
+		listOnly   = flag.Bool("list", false, "list the registered data structures and exit")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, name := range bench.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	opts := bench.Options{
+		Duration: *duration,
+		Trials:   *trials,
+		Seed:     *seed,
+	}
+	if *paper {
+		opts.Threads = bench.PaperThreadCounts()
+		opts.KeyRanges = bench.PaperKeyRanges()
+	}
+	if *threads != "" {
+		opts.Threads = parseInts(*threads)
+	}
+	if *keyRanges != "" {
+		opts.KeyRanges = parseInt64s(*keyRanges)
+	}
+	if *structs != "" {
+		opts.Structures = strings.Split(*structs, ",")
+		for _, s := range opts.Structures {
+			if _, ok := bench.Lookup(s); !ok {
+				fmt.Fprintf(os.Stderr, "unknown data structure %q; use -list to see the registry\n", s)
+				os.Exit(2)
+			}
+		}
+	}
+
+	out := os.Stdout
+	run := func(name string) {
+		switch name {
+		case "figure8":
+			fmt.Fprintln(out, "=== Figure 8: throughput vs thread count ===")
+			bench.Figure8(out, opts)
+		case "figure9":
+			fmt.Fprintln(out, "=== Figure 9: single-threaded throughput relative to the sequential RBT ===")
+			bench.Figure9(out, opts)
+		case "ratios":
+			fmt.Fprintln(out, "=== Headline ratios (Chromatic6 vs competitors at max threads) ===")
+			bench.HeadlineRatios(out, opts)
+		case "height":
+			fmt.Fprintln(out, "=== Height bound experiment (Section 5.3) ===")
+			keyRange := int64(100_000)
+			if len(opts.KeyRanges) > 0 {
+				keyRange = opts.KeyRanges[len(opts.KeyRanges)-1]
+			}
+			threads := 8
+			if len(opts.Threads) > 0 {
+				threads = opts.Threads[len(opts.Threads)-1]
+			}
+			bench.HeightExperiment(out, keyRange, threads, *duration)
+		case "ablation":
+			fmt.Fprintln(out, "=== Chromatic6 violation-threshold ablation (Section 5.6) ===")
+			bench.ViolationThresholdAblation(out, opts, nil)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Fprintln(out)
+	}
+
+	if *experiment == "all" {
+		for _, name := range []string{"figure8", "figure9", "ratios", "height", "ablation"} {
+			run(name)
+		}
+		return
+	}
+	run(*experiment)
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "invalid integer %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseInt64s(s string) []int64 {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "invalid integer %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of Brown, Ellen and
+// Ruppert, "A General Technique for Non-blocking Trees" (PPoPP 2014).
+//
+// The implementation lives under internal/: the LLX/SCX/VLX primitives
+// (internal/llxscx), the tree update template (internal/core), the
+// non-blocking chromatic tree (internal/chromatic) and every data structure
+// the paper's evaluation compares against, plus the workload generator and
+// throughput harness that regenerate the paper's figures. The root package
+// only hosts the repository-level benchmarks in bench_test.go; see README.md
+// and DESIGN.md for the full map.
+package repro

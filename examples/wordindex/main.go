@@ -1,0 +1,119 @@
+// Command wordindex builds a concurrent term-frequency index over a corpus
+// of synthetic documents. Each worker tokenizes documents and maintains
+// per-term counters in a single chromatic tree using striped keys (one
+// stripe per worker, so counter updates never conflict), then the main
+// goroutine aggregates the stripes with an ordered scan to report the most
+// common terms. It demonstrates a write-heavy indexing workload plus ordered
+// iteration at quiescence.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/chromatic"
+)
+
+// vocabulary is the term universe; term ids are indexes into this slice.
+var vocabulary = []string{
+	"tree", "node", "leaf", "root", "rotation", "weight", "violation",
+	"insert", "delete", "search", "lock", "free", "atomic", "snapshot",
+	"linearizable", "balance", "chromatic", "red", "black", "template",
+	"llx", "scx", "vlx", "cas", "thread", "process", "wait", "help",
+	"path", "height", "key", "value", "pointer", "child", "parent",
+}
+
+const (
+	documents  = 2_000
+	docLength  = 200
+	numWorkers = 4
+)
+
+// stripeKey maps a (term, worker) pair to a dictionary key so each worker
+// owns a private counter per term. Aggregation walks the numWorkers
+// consecutive keys of each term.
+func stripeKey(termID, worker int) int64 {
+	return int64(termID*numWorkers + worker)
+}
+
+func main() {
+	index := chromatic.New()
+
+	// Generate the corpus: each document is a Zipf-distributed bag of words.
+	docs := make([][]int, documents)
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.2, 1.0, uint64(len(vocabulary)-1))
+	for d := range docs {
+		words := make([]int, docLength)
+		for i := range words {
+			words[i] = int(zipf.Uint64())
+		}
+		docs[d] = words
+	}
+
+	// Index the corpus in parallel. Workers pull documents from a channel
+	// and bump their own stripe of each term's counter; the chromatic tree
+	// handles the concurrent inserts on nearby keys.
+	work := make(chan []int, numWorkers)
+	var wg sync.WaitGroup
+	for w := 0; w < numWorkers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for doc := range work {
+				for _, termID := range doc {
+					key := stripeKey(termID, worker)
+					cur, _ := index.Get(key)
+					index.Insert(key, cur+1)
+				}
+			}
+		}(w)
+	}
+	for _, doc := range docs {
+		work <- doc
+	}
+	close(work)
+	wg.Wait()
+
+	// Aggregate the stripes with one ordered scan and report the top terms.
+	counts := make([]int64, len(vocabulary))
+	index.RangeScan(0, int64(len(vocabulary)*numWorkers), func(k, v int64) bool {
+		counts[int(k)/numWorkers] += v
+		return true
+	})
+	type entry struct {
+		term  string
+		count int64
+	}
+	var entries []entry
+	var total int64
+	for id, c := range counts {
+		if c > 0 {
+			entries = append(entries, entry{term: vocabulary[id], count: c})
+			total += c
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].count > entries[j].count })
+
+	fmt.Printf("indexed %d documents, %d tokens, %d distinct terms, index size %d\n",
+		documents, total, len(entries), index.Size())
+	fmt.Println("top terms:")
+	for i, e := range entries {
+		if i >= 10 {
+			break
+		}
+		bar := strings.Repeat("#", int(e.count*40/entries[0].count))
+		fmt.Printf("  %-14s %8d %s\n", e.term, e.count, bar)
+	}
+	if total != int64(documents*docLength) {
+		fmt.Printf("ERROR: token count mismatch: %d != %d\n", total, documents*docLength)
+	} else {
+		fmt.Println("token count verified: no updates were lost")
+	}
+	if err := index.CheckRedBlack(); err != nil {
+		fmt.Printf("ERROR: index not balanced at quiescence: %v\n", err)
+	}
+}

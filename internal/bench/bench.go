@@ -1,0 +1,240 @@
+// Package bench is the throughput harness that regenerates the paper's
+// evaluation (Section 6): timed trials in which a fixed number of worker
+// goroutines apply a given operation mix over a given key range to one
+// dictionary implementation, reporting operations per second. It also
+// provides the table formatting used by cmd/chromatic-bench to print
+// Figure 8, Figure 9, the headline ratios, the height experiment and the
+// Chromatic6 threshold ablation.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dict"
+	"repro/internal/workload"
+)
+
+// Config describes one benchmark cell: a data structure, an operation mix, a
+// key range, a worker count and a trial duration.
+type Config struct {
+	Factory  dict.Factory
+	Mix      workload.Mix
+	KeyRange int64
+	Threads  int
+	Duration time.Duration
+	// Trials is the number of timed trials to run (each on a fresh,
+	// re-prefilled structure); the mean is reported. Defaults to 1.
+	Trials int
+	// Seed makes the workload deterministic for a given configuration.
+	Seed int64
+	// SkipPrefill starts measurements from an empty structure.
+	SkipPrefill bool
+}
+
+// Result is the outcome of the trials for one configuration.
+type Result struct {
+	Config     Config
+	Ops        int64         // total operations across all trials
+	Elapsed    time.Duration // total measured time across all trials
+	Throughput float64       // operations per second (mean across trials)
+	PrefillLen int           // dictionary size after prefilling
+}
+
+// Mops returns the throughput in millions of operations per second, the unit
+// used on the y-axes of Figure 8.
+func (r Result) Mops() float64 { return r.Throughput / 1e6 }
+
+// Run executes the configured trials and returns the aggregated result.
+func Run(cfg Config) Result {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 1
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	var total Result
+	total.Config = cfg
+	var sumThroughput float64
+	for trial := 0; trial < cfg.Trials; trial++ {
+		ops, elapsed, prefilled := runTrial(cfg, int64(trial))
+		total.Ops += ops
+		total.Elapsed += elapsed
+		total.PrefillLen = prefilled
+		sumThroughput += float64(ops) / elapsed.Seconds()
+	}
+	total.Throughput = sumThroughput / float64(cfg.Trials)
+	return total
+}
+
+// runTrial runs one timed trial and returns the operation count, elapsed
+// time and prefilled size.
+func runTrial(cfg Config, trial int64) (int64, time.Duration, int) {
+	d := cfg.Factory.New()
+	prefilled := 0
+	if !cfg.SkipPrefill {
+		prefilled = workload.Prefill(d, cfg.Mix, cfg.KeyRange, 0.05, cfg.Seed+trial*7919)
+	}
+
+	var opsDone atomic.Int64
+	stop := make(chan struct{})
+	var ready, wg sync.WaitGroup
+	ready.Add(cfg.Threads)
+	wg.Add(cfg.Threads)
+	start := make(chan struct{})
+	for w := 0; w < cfg.Threads; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			gen := workload.NewGenerator(cfg.Mix, cfg.KeyRange,
+				cfg.Seed^(trial*1_000_003)^int64(worker)*2_654_435_761)
+			ready.Done()
+			<-start
+			local := int64(0)
+			for {
+				select {
+				case <-stop:
+					opsDone.Add(local)
+					return
+				default:
+				}
+				// Run a small batch between stop checks to keep the
+				// measurement overhead negligible.
+				for i := 0; i < 64; i++ {
+					op, key := gen.Next()
+					workload.Apply(d, op, key)
+				}
+				local += 64
+			}
+		}(w)
+	}
+	ready.Wait()
+	begin := time.Now()
+	close(start)
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(begin)
+	runtime.KeepAlive(d)
+	return opsDone.Load(), elapsed, prefilled
+}
+
+// Cell identifies one cell of the Figure 8 grid.
+type Cell struct {
+	Mix      workload.Mix
+	KeyRange int64
+}
+
+// Table accumulates results for one (mix, key range) cell of Figure 8:
+// throughput for every (structure, thread count) pair.
+type Table struct {
+	Cell       Cell
+	Threads    []int
+	Structures []string
+	// Mops[structure][threads] in millions of operations per second.
+	Mops map[string]map[int]float64
+}
+
+// NewTable creates an empty table for a cell.
+func NewTable(cell Cell, threads []int, structures []string) *Table {
+	m := make(map[string]map[int]float64, len(structures))
+	for _, s := range structures {
+		m[s] = make(map[int]float64, len(threads))
+	}
+	return &Table{Cell: cell, Threads: threads, Structures: structures, Mops: m}
+}
+
+// Add records one measurement.
+func (t *Table) Add(structure string, threads int, mops float64) {
+	if _, ok := t.Mops[structure]; !ok {
+		t.Mops[structure] = make(map[int]float64)
+		t.Structures = append(t.Structures, structure)
+	}
+	t.Mops[structure][threads] = mops
+}
+
+// String renders the table in the layout of one Figure 8 panel: one row per
+// thread count, one column per data structure, cells in Mops/s.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload %s, key range [0,%d)  (millions of operations per second)\n",
+		t.Cell.Mix, t.Cell.KeyRange)
+	fmt.Fprintf(&b, "%8s", "threads")
+	for _, s := range t.Structures {
+		fmt.Fprintf(&b, " %12s", s)
+	}
+	b.WriteByte('\n')
+	for _, th := range t.Threads {
+		fmt.Fprintf(&b, "%8d", th)
+		for _, s := range t.Structures {
+			if v, ok := t.Mops[s][th]; ok {
+				fmt.Fprintf(&b, " %12.3f", v)
+			} else {
+				fmt.Fprintf(&b, " %12s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Winner returns the structure with the highest throughput at the given
+// thread count.
+func (t *Table) Winner(threads int) (string, float64) {
+	best := ""
+	bestV := -1.0
+	names := append([]string(nil), t.Structures...)
+	sort.Strings(names)
+	for _, s := range names {
+		if v, ok := t.Mops[s][threads]; ok && v > bestV {
+			best, bestV = s, v
+		}
+	}
+	return best, bestV
+}
+
+// Speedup returns how many times faster a is than b at the given thread
+// count (0 if either is missing).
+func (t *Table) Speedup(a, b string, threads int) float64 {
+	va, okA := t.Mops[a][threads]
+	vb, okB := t.Mops[b][threads]
+	if !okA || !okB || vb == 0 {
+		return 0
+	}
+	return va / vb
+}
+
+// DefaultThreadCounts returns the thread counts to sweep: 1, 2, 4, ... up to
+// twice the number of CPUs (the paper sweeps 1..128 hardware threads on its
+// SPARC machine; on an arbitrary host we scale to the available
+// parallelism and include one oversubscribed point).
+func DefaultThreadCounts() []int {
+	max := runtime.GOMAXPROCS(0)
+	counts := []int{1}
+	for c := 2; c < max; c *= 2 {
+		counts = append(counts, c)
+	}
+	if max > 1 {
+		counts = append(counts, max)
+	}
+	counts = append(counts, 2*max)
+	return counts
+}
+
+// PaperThreadCounts returns the thread counts used in Figure 8 of the paper.
+func PaperThreadCounts() []int { return []int{1, 32, 64, 96, 128} }
+
+// PaperKeyRanges returns the key ranges used in Figure 8 of the paper.
+func PaperKeyRanges() []int64 { return []int64{100, 10_000, 1_000_000} }
+
+// PaperMixes returns the operation mixes used in Figure 8 of the paper.
+func PaperMixes() []workload.Mix {
+	return []workload.Mix{workload.Mix50i50d, workload.Mix20i10d, workload.Mix0i0d}
+}

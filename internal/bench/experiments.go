@@ -1,0 +1,352 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/chromatic"
+	"repro/internal/dict"
+	"repro/internal/workload"
+)
+
+// Options controls how the experiment drivers scale the paper's evaluation
+// to the machine they run on.
+type Options struct {
+	// Duration of each timed trial.
+	Duration time.Duration
+	// Trials per configuration.
+	Trials int
+	// Threads to sweep; defaults to DefaultThreadCounts().
+	Threads []int
+	// KeyRanges to sweep; defaults to PaperKeyRanges().
+	KeyRanges []int64
+	// Structures to include (names from Registry); defaults to all.
+	Structures []string
+	// Seed for deterministic workloads.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	if o.Trials <= 0 {
+		o.Trials = 1
+	}
+	if len(o.Threads) == 0 {
+		o.Threads = DefaultThreadCounts()
+	}
+	if len(o.KeyRanges) == 0 {
+		o.KeyRanges = PaperKeyRanges()
+	}
+	if len(o.Structures) == 0 {
+		o.Structures = Names()
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Figure8 runs the full 3x3 grid of the paper's Figure 8 (operation mix x
+// key range, throughput versus thread count for every data structure) and
+// writes one table per cell to w. It returns the tables for further
+// inspection (e.g. by the EXPERIMENTS.md generator and tests).
+func Figure8(w io.Writer, opts Options) []*Table {
+	opts = opts.withDefaults()
+	var tables []*Table
+	for _, mix := range PaperMixes() {
+		for _, keyRange := range opts.KeyRanges {
+			table := NewTable(Cell{Mix: mix, KeyRange: keyRange}, opts.Threads, opts.Structures)
+			for _, name := range opts.Structures {
+				factory, ok := Lookup(name)
+				if !ok {
+					continue
+				}
+				for _, threads := range opts.Threads {
+					res := Run(Config{
+						Factory:  factory,
+						Mix:      mix,
+						KeyRange: keyRange,
+						Threads:  threads,
+						Duration: opts.Duration,
+						Trials:   opts.Trials,
+						Seed:     opts.Seed,
+					})
+					table.Add(name, threads, res.Mops())
+				}
+			}
+			fmt.Fprintln(w, table.String())
+			tables = append(tables, table)
+		}
+	}
+	return tables
+}
+
+// Figure9Row is one bar of Figure 9: a structure's single-threaded
+// throughput relative to the sequential red-black tree.
+type Figure9Row struct {
+	Structure string
+	Mix       workload.Mix
+	Relative  float64
+}
+
+// Figure9 reproduces Figure 9 of the paper: single-threaded throughput of
+// every concurrent dictionary relative to the sequential red-black tree
+// (java.util.TreeMap in the paper), for each operation mix, on the largest
+// key range.
+func Figure9(w io.Writer, opts Options) []Figure9Row {
+	opts = opts.withDefaults()
+	keyRange := opts.KeyRanges[len(opts.KeyRanges)-1]
+	var rows []Figure9Row
+	fmt.Fprintf(w, "single-threaded throughput relative to the sequential red-black tree, key range [0,%d)\n", keyRange)
+	for _, mix := range PaperMixes() {
+		base := Run(Config{
+			Factory:  SequentialRBTFactory(),
+			Mix:      mix,
+			KeyRange: keyRange,
+			Threads:  1,
+			Duration: opts.Duration,
+			Trials:   opts.Trials,
+			Seed:     opts.Seed,
+		})
+		fmt.Fprintf(w, "workload %s (sequential RBT: %.3f Mops/s)\n", mix, base.Mops())
+		for _, name := range opts.Structures {
+			factory, ok := Lookup(name)
+			if !ok {
+				continue
+			}
+			res := Run(Config{
+				Factory:  factory,
+				Mix:      mix,
+				KeyRange: keyRange,
+				Threads:  1,
+				Duration: opts.Duration,
+				Trials:   opts.Trials,
+				Seed:     opts.Seed,
+			})
+			rel := 0.0
+			if base.Throughput > 0 {
+				rel = res.Throughput / base.Throughput
+			}
+			rows = append(rows, Figure9Row{Structure: name, Mix: mix, Relative: rel})
+			fmt.Fprintf(w, "  %-12s %6.2fx of sequential RBT (%.3f Mops/s)\n", name, rel, res.Mops())
+		}
+	}
+	return rows
+}
+
+// Ratio is one of the headline comparisons from the paper's introduction:
+// Chromatic6 versus a competitor at the highest thread count.
+type Ratio struct {
+	Competitor string
+	Mix        workload.Mix
+	KeyRange   int64
+	Speedup    float64 // Chromatic6 throughput / competitor throughput
+}
+
+// HeadlineRatios reproduces the claims of Section 1/6: at the maximum thread
+// count, Chromatic6 outperforms the skip list by 13%-156%, the lock-based
+// AVL tree by 63%-224% and the STM red-black tree by 13x-134x. It runs
+// Chromatic6 against those three competitors on every (mix, key range) cell
+// and reports the min/max speedups per competitor.
+func HeadlineRatios(w io.Writer, opts Options) []Ratio {
+	opts = opts.withDefaults()
+	threads := opts.Threads[len(opts.Threads)-1]
+	competitors := []string{"SkipList", "LockAVL", "RBSTM"}
+	var ratios []Ratio
+	for _, mix := range PaperMixes() {
+		for _, keyRange := range opts.KeyRanges {
+			run := func(name string) Result {
+				factory, _ := Lookup(name)
+				return Run(Config{
+					Factory:  factory,
+					Mix:      mix,
+					KeyRange: keyRange,
+					Threads:  threads,
+					Duration: opts.Duration,
+					Trials:   opts.Trials,
+					Seed:     opts.Seed,
+				})
+			}
+			chro := run("Chromatic6")
+			for _, comp := range competitors {
+				if keyRange >= 1_000_000 && strings.HasSuffix(comp, "STM") {
+					// The paper omits the STM structures on the largest key
+					// range because prefilling them takes too long; do the
+					// same.
+					continue
+				}
+				r := run(comp)
+				speedup := math.Inf(1)
+				if r.Throughput > 0 {
+					speedup = chro.Throughput / r.Throughput
+				}
+				ratios = append(ratios, Ratio{Competitor: comp, Mix: mix, KeyRange: keyRange, Speedup: speedup})
+				fmt.Fprintf(w, "%-10s %8s key range %-9d Chromatic6/%-10s = %6.2fx\n",
+					mix.String(), fmt.Sprintf("%d thr", threads), keyRange, comp, speedup)
+			}
+		}
+	}
+	// Summarize min/max per competitor, the form the paper states them in.
+	fmt.Fprintln(w)
+	for _, comp := range competitors {
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, r := range ratios {
+			if r.Competitor != comp {
+				continue
+			}
+			if r.Speedup < min {
+				min = r.Speedup
+			}
+			if r.Speedup > max {
+				max = r.Speedup
+			}
+		}
+		if !math.IsInf(min, 1) {
+			fmt.Fprintf(w, "Chromatic6 vs %-12s: %.2fx to %.2fx\n", comp, min, max)
+		}
+	}
+	return ratios
+}
+
+// HeightReport is the outcome of the height-bound experiment of Section 5.3.
+type HeightReport struct {
+	Keys             int
+	Height           int
+	RedBlackBound    int
+	ViolationsDuring int
+	ViolationsAfter  int
+	IsRedBlackAfter  bool
+}
+
+// HeightExperiment validates the O(c + log n) height bound: it runs an
+// update-heavy concurrent workload, samples the number of violations while c
+// updates are in flight, and then verifies that at quiescence the tree
+// contains no violations and its height is within the red-black bound
+// 2*log2(n+1) (+2 for the leaf-oriented representation).
+func HeightExperiment(w io.Writer, keyRange int64, threads int, duration time.Duration) HeightReport {
+	tree := chromatic.New()
+	workload.Prefill(tree, workload.Mix50i50d, keyRange, 0.05, 42)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			gen := workload.NewGenerator(workload.Mix50i50d, keyRange, seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				op, key := gen.Next()
+				workload.Apply(tree, op, key)
+			}
+		}(int64(i) + 1)
+	}
+	// Sample violations while updates are in flight.
+	during := 0
+	samples := 0
+	deadline := time.After(duration)
+sample:
+	for {
+		select {
+		case <-deadline:
+			break sample
+		default:
+		}
+		during += tree.CountViolations()
+		samples++
+		time.Sleep(duration / 20)
+	}
+	close(stop)
+	wg.Wait()
+	if samples > 0 {
+		during /= samples
+	}
+
+	report := HeightReport{
+		Keys:             tree.Size(),
+		Height:           tree.Height(),
+		ViolationsDuring: during,
+		ViolationsAfter:  tree.CountViolations(),
+		IsRedBlackAfter:  tree.CheckRedBlack() == nil,
+	}
+	report.RedBlackBound = 2*ceilLog2(report.Keys+1) + 2
+	fmt.Fprintf(w, "height experiment: n=%d height=%d red-black bound=%d\n",
+		report.Keys, report.Height, report.RedBlackBound)
+	fmt.Fprintf(w, "  mean violations while %d updaters were running: %d\n", threads, report.ViolationsDuring)
+	fmt.Fprintf(w, "  violations at quiescence: %d (red-black tree: %v)\n",
+		report.ViolationsAfter, report.IsRedBlackAfter)
+	return report
+}
+
+// AblationRow is one row of the Chromatic6 threshold ablation (Section 5.6).
+type AblationRow struct {
+	Allowed int
+	Mops    float64
+	Rebal   int64
+}
+
+// ViolationThresholdAblation sweeps the number of violations tolerated on a
+// search path before rebalancing (the "6" in Chromatic6) and reports
+// throughput and the number of rebalancing steps performed on an
+// update-heavy workload.
+func ViolationThresholdAblation(w io.Writer, opts Options, thresholds []int) []AblationRow {
+	opts = opts.withDefaults()
+	if len(thresholds) == 0 {
+		thresholds = []int{0, 1, 2, 4, 6, 8, 16}
+	}
+	threads := opts.Threads[len(opts.Threads)-1]
+	keyRange := opts.KeyRanges[0]
+	if len(opts.KeyRanges) > 1 {
+		keyRange = opts.KeyRanges[1]
+	}
+	var rows []AblationRow
+	fmt.Fprintf(w, "Chromatic violation-threshold ablation: %s, key range [0,%d), %d threads\n",
+		workload.Mix50i50d, keyRange, threads)
+	for _, k := range thresholds {
+		k := k
+		var tree *chromatic.Tree
+		factory := dict.Factory{
+			Name: fmt.Sprintf("Chromatic%d", k),
+			New: func() dict.Map {
+				tree = chromatic.New(chromatic.WithAllowedViolations(k))
+				return tree
+			},
+		}
+		res := Run(Config{
+			Factory:  factory,
+			Mix:      workload.Mix50i50d,
+			KeyRange: keyRange,
+			Threads:  threads,
+			Duration: opts.Duration,
+			Trials:   1,
+			Seed:     opts.Seed,
+		})
+		row := AblationRow{Allowed: k, Mops: res.Mops()}
+		if tree != nil {
+			row.Rebal = tree.Stats().RebalanceTotal()
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "  allowed=%2d  %8.3f Mops/s  rebalancing steps=%d\n", k, row.Mops, row.Rebal)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Allowed < rows[j].Allowed })
+	return rows
+}
+
+func ceilLog2(n int) int {
+	h := 0
+	for v := 1; v < n; v *= 2 {
+		h++
+	}
+	return h
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"repro/internal/chromatic"
+	"repro/internal/dict"
+	"repro/internal/ebst"
+	"repro/internal/lockavl"
+	"repro/internal/seqrbt"
+	"repro/internal/skiplist"
+	"repro/internal/stmrbt"
+	"repro/internal/stmskip"
+)
+
+// Registry returns factories for every dictionary implementation in the
+// repository, keyed by the names used in the paper's figures. The order
+// matches the order of the series in Figure 8: the paper's own algorithms
+// first, then hand-crafted competitors, then the coarse-grained baselines.
+func Registry() []dict.Factory {
+	return []dict.Factory{
+		{Name: "Chromatic", New: func() dict.Map { return chromatic.New() }},
+		{Name: "Chromatic6", New: func() dict.Map { return chromatic.NewChromatic6() }},
+		{Name: "SkipList", New: func() dict.Map { return skiplist.New() }},
+		{Name: "LockAVL", New: func() dict.Map { return lockavl.New() }},
+		{Name: "EBST", New: func() dict.Map { return ebst.New() }},
+		{Name: "RBSTM", New: func() dict.Map { return stmrbt.New() }},
+		{Name: "SkipListSTM", New: func() dict.Map { return stmskip.New() }},
+		{Name: "RBGlobal", New: func() dict.Map { return seqrbt.NewGlobal() }},
+	}
+}
+
+// Lookup returns the factory with the given name (case-sensitive) and true,
+// or a zero factory and false.
+func Lookup(name string) (dict.Factory, bool) {
+	for _, f := range Registry() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return dict.Factory{}, false
+}
+
+// Names returns the registry names in order.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, len(reg))
+	for i, f := range reg {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// SequentialRBTFactory returns the factory for the purely sequential
+// red-black tree used as the reference line of Figure 9. It is not part of
+// Registry because it is not safe for concurrent use.
+func SequentialRBTFactory() dict.Factory {
+	return dict.Factory{Name: "SeqRBT", New: func() dict.Map { return seqrbt.New() }}
+}

@@ -1,0 +1,485 @@
+// Package chromatic implements the non-blocking chromatic tree of Brown,
+// Ellen and Ruppert, "A General Technique for Non-blocking Trees"
+// (PPoPP 2014), Section 5 and Appendix C.
+//
+// A chromatic tree is a leaf-oriented binary search tree that relaxes the
+// balance conditions of a red-black tree: node colours are replaced by
+// non-negative integer weights (0 = red, 1 = black, >1 = overweight) and the
+// red-black properties may be violated transiently. Dictionary keys are
+// stored only in leaves; internal nodes carry routing keys. Insertions and
+// deletions are decoupled from rebalancing: each is a small localized update
+// that follows the tree update template (LLX on a handful of nodes followed
+// by one SCX), and a separate set of 22 localized rebalancing steps (Boyar,
+// Fagerberg and Larsen) restores balance. Every operation is non-blocking
+// and linearizable, and the height of the tree is O(c + log n) where c is
+// the number of insertions and deletions in progress.
+//
+// Tree (the exported type) supports Get, Insert, Delete, Successor and
+// Predecessor. The Chromatic6 variant of the paper — which postpones
+// rebalancing until more than six violations accumulate on a search path —
+// is obtained with WithAllowedViolations(6).
+package chromatic
+
+import (
+	"sync/atomic"
+
+	"repro/internal/llxscx"
+)
+
+// node is a Data-record of the chromatic tree. Its two child pointers are
+// the only mutable fields; key, value, weight and the leaf/sentinel flags
+// are immutable, exactly as the tree update template requires. Updates that
+// need to change immutable data replace the node with a fresh copy.
+type node struct {
+	rec  llxscx.Record[node]
+	k    int64 // routing key (internal) or dictionary key (leaf); ignored if inf
+	v    int64 // associated value (leaves only)
+	w    int32 // weight: 0 = red, 1 = black, >1 = overweight
+	leaf bool  // true for leaves; leaves' child pointers are always nil
+	inf  bool  // true for sentinel nodes, whose key is +infinity
+
+	left, right atomic.Pointer[node]
+}
+
+// LLXRecord implements llxscx.DataRecord.
+func (n *node) LLXRecord() *llxscx.Record[node] { return &n.rec }
+
+// NumMutable implements llxscx.DataRecord.
+func (n *node) NumMutable() int { return 2 }
+
+// Mutable implements llxscx.DataRecord.
+func (n *node) Mutable(i int) *atomic.Pointer[node] {
+	if i == 0 {
+		return &n.left
+	}
+	return &n.right
+}
+
+// keyLess reports whether key is strictly smaller than n's key, treating
+// sentinel nodes as holding +infinity.
+func keyLess(key int64, n *node) bool {
+	return n.inf || key < n.k
+}
+
+func newLeaf(k, v int64, w int32) *node {
+	return &node{k: k, v: v, w: w, leaf: true}
+}
+
+func newSentinelLeaf() *node {
+	return &node{w: 1, leaf: true, inf: true}
+}
+
+func newInternal(k int64, w int32, inf bool, left, right *node) *node {
+	n := &node{k: k, w: w, inf: inf}
+	n.left.Store(left)
+	n.right.Store(right)
+	return n
+}
+
+// copyWithWeight returns a fresh copy of the node captured by lk, with the
+// given weight and with the children recorded in lk's snapshot.
+func copyWithWeight(lk llxscx.Linked[node], w int32) *node {
+	src := lk.Node()
+	n := &node{k: src.k, v: src.v, w: w, leaf: src.leaf, inf: src.inf}
+	n.left.Store(lk.Child(0))
+	n.right.Store(lk.Child(1))
+	return n
+}
+
+// Stats counts the number of successful updates of each kind performed on a
+// tree. It is intended for tests and experiments; counts are monotone and
+// only approximately ordered with respect to concurrent operations.
+type Stats struct {
+	Insert1, Insert2, Delete          atomic.Int64
+	BLK, RB1, RB2, PUSH, W7           atomic.Int64
+	W1, W2, W3, W4, W5, W6            atomic.Int64
+	MirrorRB1, MirrorRB2, MirrorPUSH  atomic.Int64
+	MirrorW1, MirrorW2, MirrorW3      atomic.Int64
+	MirrorW4, MirrorW5, MirrorW6      atomic.Int64
+	MirrorW7                          atomic.Int64
+	RebalanceAttempts, RebalanceFails atomic.Int64
+}
+
+// RebalanceTotal returns the total number of successful rebalancing steps.
+func (s *Stats) RebalanceTotal() int64 {
+	return s.BLK.Load() + s.RB1.Load() + s.RB2.Load() + s.PUSH.Load() + s.W7.Load() +
+		s.W1.Load() + s.W2.Load() + s.W3.Load() + s.W4.Load() + s.W5.Load() + s.W6.Load() +
+		s.MirrorRB1.Load() + s.MirrorRB2.Load() + s.MirrorPUSH.Load() + s.MirrorW7.Load() +
+		s.MirrorW1.Load() + s.MirrorW2.Load() + s.MirrorW3.Load() + s.MirrorW4.Load() +
+		s.MirrorW5.Load() + s.MirrorW6.Load()
+}
+
+// Tree is a non-blocking chromatic tree implementing an ordered dictionary
+// with int64 keys and values. It is safe for concurrent use by any number of
+// goroutines. The zero value is not usable; call New.
+type Tree struct {
+	// entry is the sentinel entry point (Figure 10 of the paper). It is
+	// never removed. entry.left is the root of the structure: a sentinel
+	// leaf when the dictionary is empty, or a sentinel internal node whose
+	// left subtree is the chromatic tree proper and whose right child is a
+	// sentinel leaf.
+	entry *node
+
+	// allowed is the number of violations tolerated on a search path before
+	// an insertion or deletion that created a violation triggers Cleanup.
+	// 0 reproduces the paper's Chromatic, 6 reproduces Chromatic6.
+	allowed int
+
+	stats Stats
+}
+
+// Option configures a Tree.
+type Option func(*Tree)
+
+// WithAllowedViolations sets the number of violations tolerated on a search
+// path before rebalancing is triggered (Section 5.6 of the paper). k = 0 is
+// the plain chromatic tree; k = 6 is the paper's Chromatic6 variant.
+func WithAllowedViolations(k int) Option {
+	if k < 0 {
+		k = 0
+	}
+	return func(t *Tree) { t.allowed = k }
+}
+
+// New returns an empty chromatic tree.
+func New(opts ...Option) *Tree {
+	t := &Tree{
+		entry: newInternal(0, 1, true, newSentinelLeaf(), nil),
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// NewChromatic6 returns an empty chromatic tree configured as the paper's
+// Chromatic6 variant (rebalancing deferred until a search path carries more
+// than six violations).
+func NewChromatic6() *Tree { return New(WithAllowedViolations(6)) }
+
+// Name identifies the configuration for benchmark reports.
+func (t *Tree) Name() string {
+	if t.allowed == 0 {
+		return "Chromatic"
+	}
+	if t.allowed == 6 {
+		return "Chromatic6"
+	}
+	return "Chromatic" + itoa(t.allowed)
+}
+
+// Stats returns the tree's operation counters.
+func (t *Tree) Stats() *Stats { return &t.stats }
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// search performs an ordinary BST search for key using plain reads of child
+// pointers, exactly as Figure 5 of the paper. It returns the grandparent,
+// parent and leaf reached (the grandparent is nil when the chromatic tree is
+// empty) together with the number of violations observed on the path, which
+// the Chromatic6 variant uses to decide whether to rebalance.
+func (t *Tree) search(key int64) (gp, p, l *node, violations int) {
+	gp = nil
+	p = t.entry
+	l = t.entry.left.Load()
+	if violationAt(p, l) {
+		violations++
+	}
+	for !l.leaf {
+		gp = p
+		p = l
+		if keyLess(key, l) {
+			l = l.left.Load()
+		} else {
+			l = l.right.Load()
+		}
+		if violationAt(p, l) {
+			violations++
+		}
+	}
+	return gp, p, l, violations
+}
+
+// violationAt reports whether a violation (overweight or red-red) occurs at
+// child given its parent.
+func violationAt(parent, child *node) bool {
+	if child == nil {
+		return false
+	}
+	if child.w > 1 {
+		return true
+	}
+	return parent != nil && parent.w == 0 && child.w == 0
+}
+
+// Get returns the value associated with key, or (0, false) if key is absent.
+// Get uses only plain reads and never blocks or retries (property C3 of the
+// paper makes such searches linearizable).
+func (t *Tree) Get(key int64) (int64, bool) {
+	_, _, l, _ := t.search(key)
+	if !l.inf && l.k == key {
+		return l.v, true
+	}
+	return 0, false
+}
+
+// Contains reports whether key is present.
+func (t *Tree) Contains(key int64) bool {
+	_, _, ok := t.get(key)
+	return ok
+}
+
+func (t *Tree) get(key int64) (int64, int64, bool) {
+	_, _, l, _ := t.search(key)
+	if !l.inf && l.k == key {
+		return l.k, l.v, true
+	}
+	return 0, 0, false
+}
+
+// insertResult carries the outcome of a successful tryInsert or tryDelete.
+type updateResult struct {
+	old              int64
+	existed          bool
+	createdViolation bool
+}
+
+// Insert associates value with key and returns the previously associated
+// value (with true) if key was already present, or (0, false) otherwise.
+func (t *Tree) Insert(key, value int64) (int64, bool) {
+	for {
+		_, p, l, viol := t.search(key)
+		res, ok := t.tryInsert(p, l, key, value)
+		if !ok {
+			continue
+		}
+		if res.createdViolation && viol+1 > t.allowed {
+			t.cleanup(key)
+		}
+		return res.old, res.existed
+	}
+}
+
+// Delete removes key and returns the value that was associated with it (with
+// true), or (0, false) if key was not present.
+func (t *Tree) Delete(key int64) (int64, bool) {
+	for {
+		gp, p, l, viol := t.search(key)
+		res, ok := t.tryDelete(gp, p, l, key)
+		if !ok {
+			continue
+		}
+		if res.createdViolation && viol+1 > t.allowed {
+			t.cleanup(key)
+		}
+		return res.old, res.existed
+	}
+}
+
+// tryInsert performs one attempt of the insertion update at leaf l with
+// parent p, following the tree update template (Figure 12 of the paper and
+// the Insert transformations of Figure 11). It returns ok=false if the
+// attempt must be retried from a fresh search.
+func (t *Tree) tryInsert(p, l *node, key, value int64) (updateResult, bool) {
+	lkP, st := llxscx.LLX(p)
+	if st != llxscx.Snapshot {
+		return updateResult{}, false
+	}
+	var fld *atomic.Pointer[node]
+	switch {
+	case lkP.Child(0) == l:
+		fld = &p.left
+	case lkP.Child(1) == l:
+		fld = &p.right
+	default:
+		return updateResult{}, false
+	}
+	lkL, st := llxscx.LLX(l)
+	if st != llxscx.Snapshot {
+		return updateResult{}, false
+	}
+
+	var res updateResult
+	var repl *node
+	if !l.inf && l.k == key {
+		// Insert2: the key is present; replace the leaf with a fresh copy
+		// carrying the new value (and the same weight).
+		res.old, res.existed = l.v, true
+		repl = newLeaf(key, value, l.w)
+	} else {
+		// Insert1: the key is absent; replace the leaf with an internal node
+		// whose children are a new leaf holding the key and a copy of l. A
+		// node placed directly below a sentinel (in particular the chromatic
+		// root) always gets weight one, which keeps every violation strictly
+		// below the root; elsewhere the internal node absorbs one unit of
+		// the old leaf's weight so weighted path lengths are unchanged.
+		var newWeight int32 = 1
+		if !l.inf && !p.inf {
+			newWeight = l.w - 1
+		}
+		newKeyLeaf := newLeaf(key, value, 1)
+		oldLeafCopy := &node{k: l.k, v: l.v, w: 1, leaf: true, inf: l.inf}
+		if keyLess(key, l) {
+			repl = newInternal(l.k, newWeight, l.inf, newKeyLeaf, oldLeafCopy)
+		} else {
+			repl = newInternal(key, newWeight, false, oldLeafCopy, newKeyLeaf)
+		}
+	}
+
+	v := []llxscx.Linked[node]{lkP, lkL}
+	r := []*node{l}
+	if !llxscx.SCX(v, r, fld, l, repl) {
+		return updateResult{}, false
+	}
+	if res.existed {
+		t.stats.Insert2.Add(1)
+	} else {
+		t.stats.Insert1.Add(1)
+	}
+	res.createdViolation = repl.w == 0 && p.w == 0
+	return res, true
+}
+
+// tryDelete performs one attempt of the deletion update at leaf l with
+// parent p and grandparent gp, following Figure 6 of the paper. It returns
+// ok=false if the attempt must be retried from a fresh search.
+func (t *Tree) tryDelete(gp, p, l *node, key int64) (updateResult, bool) {
+	// Special case: the chromatic tree is empty (the leaf reached is the
+	// sentinel leaf directly below entry), so key is certainly absent.
+	if gp == nil {
+		return updateResult{existed: false}, true
+	}
+	// Special case: key is not in the dictionary.
+	if l.inf || l.k != key {
+		return updateResult{existed: false}, true
+	}
+
+	lkGP, st := llxscx.LLX(gp)
+	if st != llxscx.Snapshot {
+		return updateResult{}, false
+	}
+	var fld *atomic.Pointer[node]
+	switch {
+	case lkGP.Child(0) == p:
+		fld = &gp.left
+	case lkGP.Child(1) == p:
+		fld = &gp.right
+	default:
+		return updateResult{}, false
+	}
+	lkP, st := llxscx.LLX(p)
+	if st != llxscx.Snapshot {
+		return updateResult{}, false
+	}
+	// Identify the sibling of l from p's snapshot.
+	var s *node
+	var lIsLeft bool
+	switch {
+	case lkP.Child(0) == l:
+		s, lIsLeft = lkP.Child(1), true
+	case lkP.Child(1) == l:
+		s, lIsLeft = lkP.Child(0), false
+	default:
+		return updateResult{}, false
+	}
+	if s == nil {
+		return updateResult{}, false
+	}
+	lkL, st := llxscx.LLX(l)
+	if st != llxscx.Snapshot {
+		return updateResult{}, false
+	}
+	lkS, st := llxscx.LLX(s)
+	if st != llxscx.Snapshot {
+		return updateResult{}, false
+	}
+
+	// The sibling is promoted into p's place; its weight absorbs p's weight
+	// so that weighted path lengths are preserved (Figure 7), except that a
+	// node placed directly below a sentinel always gets weight one.
+	var newWeight int32
+	if p.inf || gp.inf {
+		newWeight = 1
+	} else {
+		newWeight = p.w + s.w
+	}
+	repl := copyWithWeight(lkS, newWeight)
+
+	// V and R are ordered by a breadth-first traversal (postcondition PC8):
+	// the parent's children appear in left-to-right order.
+	var v []llxscx.Linked[node]
+	var r []*node
+	if lIsLeft {
+		v = []llxscx.Linked[node]{lkGP, lkP, lkL, lkS}
+		r = []*node{p, l, s}
+	} else {
+		v = []llxscx.Linked[node]{lkGP, lkP, lkS, lkL}
+		r = []*node{p, s, l}
+	}
+	if !llxscx.SCX(v, r, fld, p, repl) {
+		return updateResult{}, false
+	}
+	t.stats.Delete.Add(1)
+	return updateResult{
+		old:              l.v,
+		existed:          true,
+		createdViolation: newWeight > 1,
+	}, true
+}
+
+// cleanup repeatedly searches for key from the entry point and performs one
+// rebalancing step at the first violation it encounters, until it reaches a
+// leaf without seeing any violation (Figure 5 of the paper). Because every
+// rebalancing step keeps a violation on the search path of the key whose
+// insertion or deletion created it (property VIOL), this guarantees the
+// violation created by the caller has been eliminated when cleanup returns.
+func (t *Tree) cleanup(key int64) {
+	for {
+		var ggp, gp *node
+		p := t.entry
+		l := t.entry.left.Load()
+		for {
+			if violationAt(p, l) {
+				// Violations can only occur strictly below the chromatic
+				// root (nodes placed directly below sentinels always have
+				// weight one), so the great-grandparent always exists here;
+				// the guard only protects against giving up cleanup would be
+				// wrong, so bail out rather than loop forever.
+				if ggp == nil || gp == nil {
+					return
+				}
+				t.tryRebalance(ggp, gp, p, l)
+				break // restart the search from the entry point
+			}
+			if l.leaf {
+				return
+			}
+			ggp, gp, p = gp, p, l
+			if keyLess(key, l) {
+				l = l.left.Load()
+			} else {
+				l = l.right.Load()
+			}
+		}
+	}
+}

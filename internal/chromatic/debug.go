@@ -1,0 +1,33 @@
+package chromatic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DebugPath returns a human-readable description of the nodes on the search
+// path for key, including each node's weight, leaf flag and whether it has
+// been finalized. It is intended for debugging and test failure reports; it
+// uses plain reads and is not linearizable.
+func (t *Tree) DebugPath(key int64) string {
+	var b strings.Builder
+	n := t.entry
+	depth := 0
+	for n != nil {
+		k := "inf"
+		if !n.inf {
+			k = fmt.Sprintf("%d", n.k)
+		}
+		fmt.Fprintf(&b, "depth=%d key=%s w=%d leaf=%v finalized=%v\n", depth, k, n.w, n.leaf, n.rec.Marked())
+		if n.leaf {
+			break
+		}
+		if keyLess(key, n) {
+			n = n.left.Load()
+		} else {
+			n = n.right.Load()
+		}
+		depth++
+	}
+	return b.String()
+}

@@ -1,0 +1,240 @@
+package chromatic
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file provides structural inspection utilities used by tests, the
+// height-bound experiment and the benchmark harness. They traverse the tree
+// with plain reads and are only meaningful when no updates are in progress
+// (quiescence); they are not part of the concurrent public API.
+
+// Size returns the number of keys currently stored. It runs in linear time
+// and should only be used at quiescence.
+func (t *Tree) Size() int {
+	size := 0
+	t.visitLeaves(t.entry.left.Load(), func(n *node) {
+		if !n.inf {
+			size++
+		}
+	})
+	return size
+}
+
+// Keys returns all keys in ascending order. Quiescence only.
+func (t *Tree) Keys() []int64 {
+	var keys []int64
+	t.visitLeaves(t.entry.left.Load(), func(n *node) {
+		if !n.inf {
+			keys = append(keys, n.k)
+		}
+	})
+	return keys
+}
+
+// Height returns the number of nodes on the longest path from the chromatic
+// tree's root to a leaf (0 for an empty dictionary). Quiescence only.
+func (t *Tree) Height() int {
+	return height(t.chromaticRoot())
+}
+
+// CountViolations returns the number of red-red and overweight violations
+// currently present in the tree. Quiescence only.
+func (t *Tree) CountViolations() int {
+	root := t.chromaticRoot()
+	if root == nil {
+		return 0
+	}
+	return countViolations(nil, root)
+}
+
+// chromaticRoot returns the root of the chromatic tree proper (the leftmost
+// grandchild of the entry node), or nil when the dictionary is empty.
+func (t *Tree) chromaticRoot() *node {
+	top := t.entry.left.Load()
+	if top == nil || top.leaf {
+		return nil
+	}
+	return top.left.Load()
+}
+
+func (t *Tree) visitLeaves(n *node, fn func(*node)) {
+	if n == nil {
+		return
+	}
+	if n.leaf {
+		fn(n)
+		return
+	}
+	t.visitLeaves(n.left.Load(), fn)
+	t.visitLeaves(n.right.Load(), fn)
+}
+
+func height(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.leaf {
+		return 1
+	}
+	l, r := height(n.left.Load()), height(n.right.Load())
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+func countViolations(parent, n *node) int {
+	if n == nil {
+		return 0
+	}
+	c := 0
+	if n.w > 1 {
+		c += int(n.w) - 1
+	}
+	if parent != nil && parent.w == 0 && n.w == 0 {
+		c++
+	}
+	if !n.leaf {
+		c += countViolations(n, n.left.Load())
+		c += countViolations(n, n.right.Load())
+	}
+	return c
+}
+
+// CheckInvariants verifies the structural invariants of the chromatic tree:
+//
+//   - the sentinel structure at the top of the tree is intact;
+//   - every internal node has exactly two children and every leaf none;
+//   - leaves have weight at least one and nodes never have negative weight;
+//   - keys satisfy the leaf-oriented BST order (left subtree strictly
+//     smaller than the routing key, right subtree greater or equal);
+//   - every root-to-leaf path in the chromatic tree has the same total
+//     weight (the defining chromatic tree property);
+//   - no reachable node has been finalized.
+//
+// It must only be called at quiescence. It returns nil if all invariants
+// hold.
+func (t *Tree) CheckInvariants() error {
+	top := t.entry.left.Load()
+	if top == nil {
+		return errors.New("entry has no left child")
+	}
+	if !top.inf || top.w != 1 {
+		return fmt.Errorf("node below entry is not a weight-1 sentinel (inf=%v w=%d)", top.inf, top.w)
+	}
+	if t.entry.rec.Marked() || top.rec.Marked() {
+		return errors.New("a sentinel node is finalized")
+	}
+	if top.leaf {
+		return nil // empty dictionary: Figure 10(a)
+	}
+	right := top.right.Load()
+	if right == nil || !right.leaf || !right.inf {
+		return errors.New("right child of the sentinel internal node is not the sentinel leaf")
+	}
+	root := top.left.Load()
+	if root == nil {
+		return errors.New("sentinel internal node has no left child")
+	}
+	if root.w != 1 {
+		return fmt.Errorf("chromatic root has weight %d, want 1", root.w)
+	}
+	type bound struct {
+		lo, hi int64
+		hasLo  bool
+		hasHi  bool
+	}
+	var walk func(parent, n *node, b bound) (int32, error)
+	walk = func(parent, n *node, b bound) (int32, error) {
+		if n == nil {
+			return 0, fmt.Errorf("internal node %d has a nil child", parent.k)
+		}
+		if n.rec.Marked() {
+			return 0, fmt.Errorf("reachable node with key %d is finalized", n.k)
+		}
+		if n.w < 0 {
+			return 0, fmt.Errorf("node %d has negative weight %d", n.k, n.w)
+		}
+		if n.leaf {
+			if n.left.Load() != nil || n.right.Load() != nil {
+				return 0, fmt.Errorf("leaf %d has children", n.k)
+			}
+			if n.w < 1 {
+				return 0, fmt.Errorf("leaf %d has weight %d, want >= 1", n.k, n.w)
+			}
+			if !n.inf {
+				if b.hasLo && n.k < b.lo {
+					return 0, fmt.Errorf("leaf key %d below lower bound %d", n.k, b.lo)
+				}
+				if b.hasHi && n.k >= b.hi {
+					return 0, fmt.Errorf("leaf key %d not below upper bound %d", n.k, b.hi)
+				}
+			}
+			return n.w, nil
+		}
+		if n.inf {
+			return 0, fmt.Errorf("sentinel internal node with key infinity found inside the chromatic tree")
+		}
+		if b.hasLo && n.k < b.lo {
+			return 0, fmt.Errorf("routing key %d below lower bound %d", n.k, b.lo)
+		}
+		if b.hasHi && n.k > b.hi {
+			return 0, fmt.Errorf("routing key %d above upper bound %d", n.k, b.hi)
+		}
+		lb := b
+		lb.hi, lb.hasHi = n.k, true
+		lw, err := walk(n, n.left.Load(), lb)
+		if err != nil {
+			return 0, err
+		}
+		rb := b
+		rb.lo, rb.hasLo = n.k, true
+		rw, err := walk(n, n.right.Load(), rb)
+		if err != nil {
+			return 0, err
+		}
+		if lw != rw {
+			return 0, fmt.Errorf("unequal weighted path lengths below key %d: left %d, right %d", n.k, lw, rw)
+		}
+		return lw + n.w, nil
+	}
+	_, err := walk(top, root, bound{})
+	return err
+}
+
+// CheckRedBlack verifies that the tree currently satisfies the red-black
+// properties, i.e. that it contains no violations: no node has weight
+// greater than one and no red node has a red parent. After all insertions
+// and deletions have completed (and, for the plain Chromatic configuration,
+// after their cleanup phases), the tree must satisfy this. Quiescence only.
+func (t *Tree) CheckRedBlack() error {
+	if err := t.CheckInvariants(); err != nil {
+		return err
+	}
+	root := t.chromaticRoot()
+	if root == nil {
+		return nil
+	}
+	var walk func(parent, n *node) error
+	walk = func(parent, n *node) error {
+		if n == nil {
+			return nil
+		}
+		if n.w > 1 {
+			return fmt.Errorf("node %d is overweight (w=%d)", n.k, n.w)
+		}
+		if parent != nil && parent.w == 0 && n.w == 0 {
+			return fmt.Errorf("red-red violation at node %d", n.k)
+		}
+		if n.leaf {
+			return nil
+		}
+		if err := walk(n, n.left.Load()); err != nil {
+			return err
+		}
+		return walk(n, n.right.Load())
+	}
+	return walk(nil, root)
+}

@@ -1,0 +1,845 @@
+package chromatic
+
+import (
+	"sync/atomic"
+
+	"repro/internal/llxscx"
+)
+
+// This file implements the 22 localized rebalancing steps of the chromatic
+// tree (Boyar, Fagerberg and Larsen's steps, as adapted by Brown, Ellen and
+// Ruppert in Figure 11 of the paper) and the decision procedure that selects
+// which step to apply at a violation (Figures 14-16).
+//
+// Naming follows the paper: in each transformation u is the node whose child
+// pointer is changed, ux is the child of u being replaced (the root of the
+// removed subgraph), and deeper nodes append l/r for left/right (uxl, uxr,
+// uxrl, ...). Nodes named n, nl, nr, nll, ... are freshly allocated. Each
+// transformation preserves the binary search tree order and the equality of
+// weighted path lengths, never increases the number of violations, and keeps
+// any remaining violation on the search path of the key whose insertion or
+// deletion created it (property VIOL of Section 5.2).
+
+// fieldFor returns the mutable field of u (according to lkU's snapshot) that
+// pointed to child, or nil if child was not a child of u in that snapshot.
+func fieldFor(lkU llxscx.Linked[node], child *node) *atomic.Pointer[node] {
+	u := lkU.Node()
+	if lkU.Child(0) == child {
+		return &u.left
+	}
+	if lkU.Child(1) == child {
+		return &u.right
+	}
+	return nil
+}
+
+// replacementWeight returns the weight of the node that replaces ux as a
+// child of u: the computed weight w, or 1 when u is a sentinel so that the
+// chromatic root always keeps weight one (the "blindly set the weight to
+// one" rule discussed with Lemma 28 of the paper). Forcing weight one at the
+// root is safe because the root lies on every path, so weighted path lengths
+// remain equal.
+func replacementWeight(u *node, w int32) int32 {
+	if u.inf {
+		return 1
+	}
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// internalLike creates a fresh internal node carrying src's routing key and
+// sentinel flag, with the given weight and children.
+func internalLike(src *node, w int32, left, right *node) *node {
+	n := &node{k: src.k, w: w, inf: src.inf}
+	n.left.Store(left)
+	n.right.Store(right)
+	return n
+}
+
+// tryRebalance attempts to apply one rebalancing step at the violation
+// located at node l, whose ancestors on the search path are p (parent),
+// gp (grandparent) and ggp (great-grandparent). It follows Figure 15 of the
+// paper. A false return means no step was applied (the caller's Cleanup will
+// search again from the entry point).
+func (t *Tree) tryRebalance(ggp, gp, p, l *node) bool {
+	t.stats.RebalanceAttempts.Add(1)
+	ok := t.tryRebalanceOnce(ggp, gp, p, l)
+	if !ok {
+		t.stats.RebalanceFails.Add(1)
+	}
+	return ok
+}
+
+func (t *Tree) tryRebalanceOnce(ggp, gp, p, l *node) bool {
+	r := ggp
+	lkR, st := llxscx.LLX(r)
+	if st != llxscx.Snapshot {
+		return false
+	}
+	rl, rr := lkR.Child(0), lkR.Child(1)
+
+	rx := gp
+	if rx != rl && rx != rr {
+		return false
+	}
+	lkRx, st := llxscx.LLX(rx)
+	if st != llxscx.Snapshot {
+		return false
+	}
+	rxl, rxr := lkRx.Child(0), lkRx.Child(1)
+
+	rxx := p
+	if rxx != rxl && rxx != rxr {
+		return false
+	}
+	lkRxx, st := llxscx.LLX(rxx)
+	if st != llxscx.Snapshot {
+		return false
+	}
+	rxxl, rxxr := lkRxx.Child(0), lkRxx.Child(1)
+
+	if l.w > 1 {
+		// Overweight violation at l.
+		switch l {
+		case rxxl:
+			lkRxxl, st := llxscx.LLX(rxxl)
+			if st != llxscx.Snapshot {
+				return false
+			}
+			return t.overweightLeft(lkR, lkRx, lkRxx, lkRxxl, rl, rr, rxl, rxr, rxxr)
+		case rxxr:
+			lkRxxr, st := llxscx.LLX(rxxr)
+			if st != llxscx.Snapshot {
+				return false
+			}
+			return t.overweightRight(lkR, lkRx, lkRxx, lkRxxr, rl, rr, rxl, rxr, rxxl)
+		default:
+			return false
+		}
+	}
+
+	// Red-red violation at l (l.w == 0 and rxx.w == 0).
+	if rxx == rxl {
+		// The red parent is a left child.
+		if rxr != nil && rxr.w == 0 {
+			lkRxr, st := llxscx.LLX(rxr)
+			if st != llxscx.Snapshot {
+				return false
+			}
+			return t.doBLK(lkR, lkRx, lkRxx, lkRxr)
+		}
+		switch l {
+		case rxxl:
+			return t.doRB1(lkR, lkRx, lkRxx)
+		case rxxr:
+			lkRxxr, st := llxscx.LLX(rxxr)
+			if st != llxscx.Snapshot {
+				return false
+			}
+			return t.doRB2(lkR, lkRx, lkRxx, lkRxxr)
+		default:
+			return false
+		}
+	}
+	// The red parent is a right child.
+	if rxl != nil && rxl.w == 0 {
+		lkRxl, st := llxscx.LLX(rxl)
+		if st != llxscx.Snapshot {
+			return false
+		}
+		return t.doBLK(lkR, lkRx, lkRxl, lkRxx)
+	}
+	switch l {
+	case rxxr:
+		return t.doRB1s(lkR, lkRx, lkRxx)
+	case rxxl:
+		lkRxxl, st := llxscx.LLX(rxxl)
+		if st != llxscx.Snapshot {
+			return false
+		}
+		return t.doRB2s(lkR, lkRx, lkRxx, lkRxxl)
+	default:
+		return false
+	}
+}
+
+// overweightLeft selects and applies the rebalancing step for an overweight
+// violation at rxxl, the left child of rxx (Figure 16 of the paper). The
+// linked LLX evidence for r, rx, rxx and rxxl is supplied by the caller.
+func (t *Tree) overweightLeft(lkR, lkRx, lkRxx, lkRxxl llxscx.Linked[node], rl, rr, rxl, rxr, rxxr *node) bool {
+	_ = rl
+	_ = rr
+	rxx := lkRxx.Node()
+	if rxxr == nil {
+		return false
+	}
+	switch {
+	case rxxr.w == 0:
+		if rxx.w == 0 {
+			if rxx == rxl {
+				if rxr == nil {
+					return false
+				}
+				if rxr.w == 0 {
+					lkRxr, st := llxscx.LLX(rxr)
+					if st != llxscx.Snapshot {
+						return false
+					}
+					return t.doBLK(lkR, lkRx, lkRxx, lkRxr)
+				}
+				lkRxxr, st := llxscx.LLX(rxxr)
+				if st != llxscx.Snapshot {
+					return false
+				}
+				return t.doRB2(lkR, lkRx, lkRxx, lkRxxr)
+			}
+			// rxx == rxr
+			if rxl == nil {
+				return false
+			}
+			if rxl.w == 0 {
+				lkRxl, st := llxscx.LLX(rxl)
+				if st != llxscx.Snapshot {
+					return false
+				}
+				return t.doBLK(lkR, lkRx, lkRxl, lkRxx)
+			}
+			return t.doRB1s(lkR, lkRx, lkRxx)
+		}
+		// rxx.w > 0
+		lkRxxr, st := llxscx.LLX(rxxr)
+		if st != llxscx.Snapshot {
+			return false
+		}
+		rxxrl := lkRxxr.Child(0)
+		if rxxrl == nil {
+			return false
+		}
+		lkRxxrl, st := llxscx.LLX(rxxrl)
+		if st != llxscx.Snapshot {
+			return false
+		}
+		switch {
+		case rxxrl.w > 1:
+			return t.doW1(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxrl)
+		case rxxrl.w == 0:
+			return t.doRB2s(lkRx, lkRxx, lkRxxr, lkRxxrl)
+		default: // rxxrl.w == 1
+			rxxrll, rxxrlr := lkRxxrl.Child(0), lkRxxrl.Child(1)
+			if rxxrlr == nil {
+				// A node we performed LLX on was modified concurrently.
+				return false
+			}
+			if rxxrlr.w == 0 {
+				lkRxxrlr, st := llxscx.LLX(rxxrlr)
+				if st != llxscx.Snapshot {
+					return false
+				}
+				return t.doW4(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxrl, lkRxxrlr)
+			}
+			if rxxrll == nil {
+				return false
+			}
+			if rxxrll.w == 0 {
+				lkRxxrll, st := llxscx.LLX(rxxrll)
+				if st != llxscx.Snapshot {
+					return false
+				}
+				return t.doW3(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxrl, lkRxxrll)
+			}
+			return t.doW2(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxrl)
+		}
+	case rxxr.w == 1:
+		lkRxxr, st := llxscx.LLX(rxxr)
+		if st != llxscx.Snapshot {
+			return false
+		}
+		rxxrl, rxxrr := lkRxxr.Child(0), lkRxxr.Child(1)
+		if rxxrr == nil {
+			// A node we performed LLX on was modified concurrently.
+			return false
+		}
+		if rxxrr.w == 0 {
+			lkRxxrr, st := llxscx.LLX(rxxrr)
+			if st != llxscx.Snapshot {
+				return false
+			}
+			return t.doW5(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxrr)
+		}
+		if rxxrl == nil {
+			return false
+		}
+		if rxxrl.w == 0 {
+			lkRxxrl, st := llxscx.LLX(rxxrl)
+			if st != llxscx.Snapshot {
+				return false
+			}
+			return t.doW6(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxrl)
+		}
+		return t.doPUSH(lkRx, lkRxx, lkRxxl, lkRxxr)
+	default: // rxxr.w > 1
+		lkRxxr, st := llxscx.LLX(rxxr)
+		if st != llxscx.Snapshot {
+			return false
+		}
+		return t.doW7(lkRx, lkRxx, lkRxxl, lkRxxr)
+	}
+}
+
+// overweightRight is the mirror image of overweightLeft: it handles an
+// overweight violation at rxxr, the right child of rxx.
+func (t *Tree) overweightRight(lkR, lkRx, lkRxx, lkRxxr llxscx.Linked[node], rl, rr, rxl, rxr, rxxl *node) bool {
+	_ = rl
+	_ = rr
+	rxx := lkRxx.Node()
+	if rxxl == nil {
+		return false
+	}
+	switch {
+	case rxxl.w == 0:
+		if rxx.w == 0 {
+			if rxx == rxr {
+				if rxl == nil {
+					return false
+				}
+				if rxl.w == 0 {
+					lkRxl, st := llxscx.LLX(rxl)
+					if st != llxscx.Snapshot {
+						return false
+					}
+					return t.doBLK(lkR, lkRx, lkRxl, lkRxx)
+				}
+				lkRxxl, st := llxscx.LLX(rxxl)
+				if st != llxscx.Snapshot {
+					return false
+				}
+				return t.doRB2s(lkR, lkRx, lkRxx, lkRxxl)
+			}
+			// rxx == rxl
+			if rxr == nil {
+				return false
+			}
+			if rxr.w == 0 {
+				lkRxr, st := llxscx.LLX(rxr)
+				if st != llxscx.Snapshot {
+					return false
+				}
+				return t.doBLK(lkR, lkRx, lkRxx, lkRxr)
+			}
+			return t.doRB1(lkR, lkRx, lkRxx)
+		}
+		// rxx.w > 0
+		lkRxxl, st := llxscx.LLX(rxxl)
+		if st != llxscx.Snapshot {
+			return false
+		}
+		rxxlr := lkRxxl.Child(1)
+		if rxxlr == nil {
+			return false
+		}
+		lkRxxlr, st := llxscx.LLX(rxxlr)
+		if st != llxscx.Snapshot {
+			return false
+		}
+		switch {
+		case rxxlr.w > 1:
+			return t.doW1s(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxlr)
+		case rxxlr.w == 0:
+			return t.doRB2(lkRx, lkRxx, lkRxxl, lkRxxlr)
+		default: // rxxlr.w == 1
+			rxxlrl, rxxlrr := lkRxxlr.Child(0), lkRxxlr.Child(1)
+			if rxxlrl == nil {
+				return false
+			}
+			if rxxlrl.w == 0 {
+				lkRxxlrl, st := llxscx.LLX(rxxlrl)
+				if st != llxscx.Snapshot {
+					return false
+				}
+				return t.doW4s(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxlr, lkRxxlrl)
+			}
+			if rxxlrr == nil {
+				return false
+			}
+			if rxxlrr.w == 0 {
+				lkRxxlrr, st := llxscx.LLX(rxxlrr)
+				if st != llxscx.Snapshot {
+					return false
+				}
+				return t.doW3s(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxlr, lkRxxlrr)
+			}
+			return t.doW2s(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxlr)
+		}
+	case rxxl.w == 1:
+		lkRxxl, st := llxscx.LLX(rxxl)
+		if st != llxscx.Snapshot {
+			return false
+		}
+		rxxll, rxxlr := lkRxxl.Child(0), lkRxxl.Child(1)
+		if rxxll == nil {
+			return false
+		}
+		if rxxll.w == 0 {
+			lkRxxll, st := llxscx.LLX(rxxll)
+			if st != llxscx.Snapshot {
+				return false
+			}
+			return t.doW5s(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxll)
+		}
+		if rxxlr == nil {
+			return false
+		}
+		if rxxlr.w == 0 {
+			lkRxxlr, st := llxscx.LLX(rxxlr)
+			if st != llxscx.Snapshot {
+				return false
+			}
+			return t.doW6s(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxlr)
+		}
+		return t.doPUSHs(lkRx, lkRxx, lkRxxl, lkRxxr)
+	default: // rxxl.w > 1
+		lkRxxl, st := llxscx.LLX(rxxl)
+		if st != llxscx.Snapshot {
+			return false
+		}
+		return t.doW7s(lkRx, lkRxx, lkRxxl, lkRxxr)
+	}
+}
+
+// --- Red-red transformations -------------------------------------------
+
+// doBLK recolours ux and its two red children: both children's copies get
+// weight one and ux's copy loses one unit of weight (its own mirror image).
+func (t *Tree) doBLK(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node]) bool {
+	u, ux := lkU.Node(), lkUX.Node()
+	fld := fieldFor(lkU, ux)
+	if fld == nil {
+		return false
+	}
+	nl := copyWithWeight(lkUXL, 1)
+	nr := copyWithWeight(lkUXR, 1)
+	n := internalLike(ux, replacementWeight(u, ux.w-1), nl, nr)
+	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR}
+	r := []*node{ux, lkUXL.Node(), lkUXR.Node()}
+	if !llxscx.SCX(v, r, fld, ux, n) {
+		return false
+	}
+	t.stats.BLK.Add(1)
+	return true
+}
+
+// doRB1 performs a single rotation fixing a red-red violation at the
+// left-left grandchild of u.
+func (t *Tree) doRB1(lkU, lkUX, lkUXL llxscx.Linked[node]) bool {
+	u, ux, uxl := lkU.Node(), lkUX.Node(), lkUXL.Node()
+	fld := fieldFor(lkU, ux)
+	if fld == nil {
+		return false
+	}
+	uxr := lkUX.Child(1)
+	uxll, uxlr := lkUXL.Child(0), lkUXL.Child(1)
+	nr := internalLike(ux, 0, uxlr, uxr)
+	n := internalLike(uxl, replacementWeight(u, ux.w), uxll, nr)
+	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL}
+	r := []*node{ux, uxl}
+	if !llxscx.SCX(v, r, fld, ux, n) {
+		return false
+	}
+	t.stats.RB1.Add(1)
+	return true
+}
+
+// doRB1s is the mirror image of doRB1 (red-red violation at the right-right
+// grandchild of u).
+func (t *Tree) doRB1s(lkU, lkUX, lkUXR llxscx.Linked[node]) bool {
+	u, ux, uxr := lkU.Node(), lkUX.Node(), lkUXR.Node()
+	fld := fieldFor(lkU, ux)
+	if fld == nil {
+		return false
+	}
+	uxl := lkUX.Child(0)
+	uxrl, uxrr := lkUXR.Child(0), lkUXR.Child(1)
+	nl := internalLike(ux, 0, uxl, uxrl)
+	n := internalLike(uxr, replacementWeight(u, ux.w), nl, uxrr)
+	v := []llxscx.Linked[node]{lkU, lkUX, lkUXR}
+	r := []*node{ux, uxr}
+	if !llxscx.SCX(v, r, fld, ux, n) {
+		return false
+	}
+	t.stats.MirrorRB1.Add(1)
+	return true
+}
+
+// doRB2 performs a double rotation fixing a red-red violation at the
+// left-right grandchild of u (Figure 17 of the paper).
+func (t *Tree) doRB2(lkU, lkUX, lkUXL, lkUXLR llxscx.Linked[node]) bool {
+	u, ux, uxl, uxlr := lkU.Node(), lkUX.Node(), lkUXL.Node(), lkUXLR.Node()
+	fld := fieldFor(lkU, ux)
+	if fld == nil {
+		return false
+	}
+	uxr := lkUX.Child(1)
+	uxll := lkUXL.Child(0)
+	uxlrl, uxlrr := lkUXLR.Child(0), lkUXLR.Child(1)
+	nl := internalLike(uxl, 0, uxll, uxlrl)
+	nr := internalLike(ux, 0, uxlrr, uxr)
+	n := internalLike(uxlr, replacementWeight(u, ux.w), nl, nr)
+	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXLR}
+	r := []*node{ux, uxl, uxlr}
+	if !llxscx.SCX(v, r, fld, ux, n) {
+		return false
+	}
+	t.stats.RB2.Add(1)
+	return true
+}
+
+// doRB2s is the mirror image of doRB2 (violation at the right-left
+// grandchild of u).
+func (t *Tree) doRB2s(lkU, lkUX, lkUXR, lkUXRL llxscx.Linked[node]) bool {
+	u, ux, uxr, uxrl := lkU.Node(), lkUX.Node(), lkUXR.Node(), lkUXRL.Node()
+	fld := fieldFor(lkU, ux)
+	if fld == nil {
+		return false
+	}
+	uxl := lkUX.Child(0)
+	uxrr := lkUXR.Child(1)
+	uxrll, uxrlr := lkUXRL.Child(0), lkUXRL.Child(1)
+	nl := internalLike(ux, 0, uxl, uxrll)
+	nr := internalLike(uxr, 0, uxrlr, uxrr)
+	n := internalLike(uxrl, replacementWeight(u, ux.w), nl, nr)
+	v := []llxscx.Linked[node]{lkU, lkUX, lkUXR, lkUXRL}
+	r := []*node{ux, uxr, uxrl}
+	if !llxscx.SCX(v, r, fld, ux, n) {
+		return false
+	}
+	t.stats.MirrorRB2.Add(1)
+	return true
+}
+
+// --- Overweight transformations ------------------------------------------
+
+// pushUp implements the construction shared by PUSH and W7: both children
+// give up one unit of weight to their parent.
+func (t *Tree) pushUp(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node], counter *atomic.Int64) bool {
+	u, ux := lkU.Node(), lkUX.Node()
+	uxl, uxr := lkUXL.Node(), lkUXR.Node()
+	fld := fieldFor(lkU, ux)
+	if fld == nil {
+		return false
+	}
+	nl := copyWithWeight(lkUXL, uxl.w-1)
+	nr := copyWithWeight(lkUXR, uxr.w-1)
+	n := internalLike(ux, replacementWeight(u, ux.w+1), nl, nr)
+	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR}
+	r := []*node{ux, uxl, uxr}
+	if !llxscx.SCX(v, r, fld, ux, n) {
+		return false
+	}
+	counter.Add(1)
+	return true
+}
+
+// doPUSH handles an overweight left child whose sibling has weight one and
+// no red children.
+func (t *Tree) doPUSH(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node]) bool {
+	return t.pushUp(lkU, lkUX, lkUXL, lkUXR, &t.stats.PUSH)
+}
+
+// doPUSHs is the mirror image of doPUSH.
+func (t *Tree) doPUSHs(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node]) bool {
+	return t.pushUp(lkU, lkUX, lkUXL, lkUXR, &t.stats.MirrorPUSH)
+}
+
+// doW7 handles the case where both children of ux are overweight.
+func (t *Tree) doW7(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node]) bool {
+	return t.pushUp(lkU, lkUX, lkUXL, lkUXR, &t.stats.W7)
+}
+
+// doW7s is the mirror image of doW7.
+func (t *Tree) doW7s(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node]) bool {
+	return t.pushUp(lkU, lkUX, lkUXL, lkUXR, &t.stats.MirrorW7)
+}
+
+// doW1 handles an overweight uxl whose sibling uxr is red and whose nephew
+// uxrl is overweight as well.
+func (t *Tree) doW1(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node]) bool {
+	u, ux := lkU.Node(), lkUX.Node()
+	uxl, uxr, uxrl := lkUXL.Node(), lkUXR.Node(), lkUXRL.Node()
+	fld := fieldFor(lkU, ux)
+	if fld == nil {
+		return false
+	}
+	uxrr := lkUXR.Child(1)
+	nll := copyWithWeight(lkUXL, uxl.w-1)
+	nlr := copyWithWeight(lkUXRL, uxrl.w-1)
+	nl := internalLike(ux, 1, nll, nlr)
+	n := internalLike(uxr, replacementWeight(u, ux.w), nl, uxrr)
+	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXRL}
+	r := []*node{ux, uxl, uxr, uxrl}
+	if !llxscx.SCX(v, r, fld, ux, n) {
+		return false
+	}
+	t.stats.W1.Add(1)
+	return true
+}
+
+// doW1s is the mirror image of doW1.
+func (t *Tree) doW1s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node]) bool {
+	u, ux := lkU.Node(), lkUX.Node()
+	uxl, uxr, uxlr := lkUXL.Node(), lkUXR.Node(), lkUXLR.Node()
+	fld := fieldFor(lkU, ux)
+	if fld == nil {
+		return false
+	}
+	uxll := lkUXL.Child(0)
+	nrr := copyWithWeight(lkUXR, uxr.w-1)
+	nrl := copyWithWeight(lkUXLR, uxlr.w-1)
+	nr := internalLike(ux, 1, nrl, nrr)
+	n := internalLike(uxl, replacementWeight(u, ux.w), uxll, nr)
+	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXLR}
+	r := []*node{ux, uxl, uxr, uxlr}
+	if !llxscx.SCX(v, r, fld, ux, n) {
+		return false
+	}
+	t.stats.MirrorW1.Add(1)
+	return true
+}
+
+// doW2 handles an overweight uxl with a red sibling uxr whose left child has
+// weight one and two non-red children.
+func (t *Tree) doW2(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node]) bool {
+	u, ux := lkU.Node(), lkUX.Node()
+	uxl, uxr, uxrl := lkUXL.Node(), lkUXR.Node(), lkUXRL.Node()
+	fld := fieldFor(lkU, ux)
+	if fld == nil {
+		return false
+	}
+	uxrr := lkUXR.Child(1)
+	nll := copyWithWeight(lkUXL, uxl.w-1)
+	nlr := copyWithWeight(lkUXRL, 0)
+	nl := internalLike(ux, 1, nll, nlr)
+	n := internalLike(uxr, replacementWeight(u, ux.w), nl, uxrr)
+	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXRL}
+	r := []*node{ux, uxl, uxr, uxrl}
+	if !llxscx.SCX(v, r, fld, ux, n) {
+		return false
+	}
+	t.stats.W2.Add(1)
+	return true
+}
+
+// doW2s is the mirror image of doW2.
+func (t *Tree) doW2s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node]) bool {
+	u, ux := lkU.Node(), lkUX.Node()
+	uxl, uxr, uxlr := lkUXL.Node(), lkUXR.Node(), lkUXLR.Node()
+	fld := fieldFor(lkU, ux)
+	if fld == nil {
+		return false
+	}
+	uxll := lkUXL.Child(0)
+	nrr := copyWithWeight(lkUXR, uxr.w-1)
+	nrl := copyWithWeight(lkUXLR, 0)
+	nr := internalLike(ux, 1, nrl, nrr)
+	n := internalLike(uxl, replacementWeight(u, ux.w), uxll, nr)
+	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXLR}
+	r := []*node{ux, uxl, uxr, uxlr}
+	if !llxscx.SCX(v, r, fld, ux, n) {
+		return false
+	}
+	t.stats.MirrorW2.Add(1)
+	return true
+}
+
+// doW3 handles an overweight uxl with red sibling uxr, where uxrl has weight
+// one and a red left child uxrll.
+func (t *Tree) doW3(lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLL llxscx.Linked[node]) bool {
+	u, ux := lkU.Node(), lkUX.Node()
+	uxl, uxr, uxrl, uxrll := lkUXL.Node(), lkUXR.Node(), lkUXRL.Node(), lkUXRLL.Node()
+	fld := fieldFor(lkU, ux)
+	if fld == nil {
+		return false
+	}
+	uxrr := lkUXR.Child(1)
+	uxrlr := lkUXRL.Child(1)
+	uxrlll, uxrllr := lkUXRLL.Child(0), lkUXRLL.Child(1)
+	nlll := copyWithWeight(lkUXL, uxl.w-1)
+	nll := internalLike(ux, 1, nlll, uxrlll)
+	nlr := internalLike(uxrl, 1, uxrllr, uxrlr)
+	nl := internalLike(uxrll, 0, nll, nlr)
+	n := internalLike(uxr, replacementWeight(u, ux.w), nl, uxrr)
+	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLL}
+	r := []*node{ux, uxl, uxr, uxrl, uxrll}
+	if !llxscx.SCX(v, r, fld, ux, n) {
+		return false
+	}
+	t.stats.W3.Add(1)
+	return true
+}
+
+// doW3s is the mirror image of doW3.
+func (t *Tree) doW3s(lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRR llxscx.Linked[node]) bool {
+	u, ux := lkU.Node(), lkUX.Node()
+	uxl, uxr, uxlr, uxlrr := lkUXL.Node(), lkUXR.Node(), lkUXLR.Node(), lkUXLRR.Node()
+	fld := fieldFor(lkU, ux)
+	if fld == nil {
+		return false
+	}
+	uxll := lkUXL.Child(0)
+	uxlrl := lkUXLR.Child(0)
+	uxlrrl, uxlrrr := lkUXLRR.Child(0), lkUXLRR.Child(1)
+	nrrr := copyWithWeight(lkUXR, uxr.w-1)
+	nrr := internalLike(ux, 1, uxlrrr, nrrr)
+	nrl := internalLike(uxlr, 1, uxlrl, uxlrrl)
+	nr := internalLike(uxlrr, 0, nrl, nrr)
+	n := internalLike(uxl, replacementWeight(u, ux.w), uxll, nr)
+	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRR}
+	r := []*node{ux, uxl, uxr, uxlr, uxlrr}
+	if !llxscx.SCX(v, r, fld, ux, n) {
+		return false
+	}
+	t.stats.MirrorW3.Add(1)
+	return true
+}
+
+// doW4 handles an overweight uxl with red sibling uxr, where uxrl has weight
+// one and a red right child uxrlr.
+func (t *Tree) doW4(lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLR llxscx.Linked[node]) bool {
+	u, ux := lkU.Node(), lkUX.Node()
+	uxl, uxr, uxrl, uxrlr := lkUXL.Node(), lkUXR.Node(), lkUXRL.Node(), lkUXRLR.Node()
+	fld := fieldFor(lkU, ux)
+	if fld == nil {
+		return false
+	}
+	uxrr := lkUXR.Child(1)
+	uxrll := lkUXRL.Child(0)
+	nll := copyWithWeight(lkUXL, uxl.w-1)
+	nl := internalLike(ux, 1, nll, uxrll)
+	nrl := copyWithWeight(lkUXRLR, 1)
+	nr := internalLike(uxr, 0, nrl, uxrr)
+	n := internalLike(uxrl, replacementWeight(u, ux.w), nl, nr)
+	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLR}
+	r := []*node{ux, uxl, uxr, uxrl, uxrlr}
+	if !llxscx.SCX(v, r, fld, ux, n) {
+		return false
+	}
+	t.stats.W4.Add(1)
+	return true
+}
+
+// doW4s is the mirror image of doW4.
+func (t *Tree) doW4s(lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRL llxscx.Linked[node]) bool {
+	u, ux := lkU.Node(), lkUX.Node()
+	uxl, uxr, uxlr, uxlrl := lkUXL.Node(), lkUXR.Node(), lkUXLR.Node(), lkUXLRL.Node()
+	fld := fieldFor(lkU, ux)
+	if fld == nil {
+		return false
+	}
+	uxll := lkUXL.Child(0)
+	uxlrr := lkUXLR.Child(1)
+	nrr := copyWithWeight(lkUXR, uxr.w-1)
+	nr := internalLike(ux, 1, uxlrr, nrr)
+	nlr := copyWithWeight(lkUXLRL, 1)
+	nl := internalLike(uxl, 0, uxll, nlr)
+	n := internalLike(uxlr, replacementWeight(u, ux.w), nl, nr)
+	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRL}
+	r := []*node{ux, uxl, uxr, uxlr, uxlrl}
+	if !llxscx.SCX(v, r, fld, ux, n) {
+		return false
+	}
+	t.stats.MirrorW4.Add(1)
+	return true
+}
+
+// doW5 handles an overweight uxl whose sibling uxr has weight one and a red
+// right child uxrr.
+func (t *Tree) doW5(lkU, lkUX, lkUXL, lkUXR, lkUXRR llxscx.Linked[node]) bool {
+	u, ux := lkU.Node(), lkUX.Node()
+	uxl, uxr, uxrr := lkUXL.Node(), lkUXR.Node(), lkUXRR.Node()
+	fld := fieldFor(lkU, ux)
+	if fld == nil {
+		return false
+	}
+	uxrl := lkUXR.Child(0)
+	nll := copyWithWeight(lkUXL, uxl.w-1)
+	nl := internalLike(ux, 1, nll, uxrl)
+	nr := copyWithWeight(lkUXRR, 1)
+	n := internalLike(uxr, replacementWeight(u, ux.w), nl, nr)
+	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXRR}
+	r := []*node{ux, uxl, uxr, uxrr}
+	if !llxscx.SCX(v, r, fld, ux, n) {
+		return false
+	}
+	t.stats.W5.Add(1)
+	return true
+}
+
+// doW5s is the mirror image of doW5.
+func (t *Tree) doW5s(lkU, lkUX, lkUXL, lkUXR, lkUXLL llxscx.Linked[node]) bool {
+	u, ux := lkU.Node(), lkUX.Node()
+	uxl, uxr, uxll := lkUXL.Node(), lkUXR.Node(), lkUXLL.Node()
+	fld := fieldFor(lkU, ux)
+	if fld == nil {
+		return false
+	}
+	uxlr := lkUXL.Child(1)
+	nrr := copyWithWeight(lkUXR, uxr.w-1)
+	nr := internalLike(ux, 1, uxlr, nrr)
+	nl := copyWithWeight(lkUXLL, 1)
+	n := internalLike(uxl, replacementWeight(u, ux.w), nl, nr)
+	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXLL}
+	r := []*node{ux, uxl, uxr, uxll}
+	if !llxscx.SCX(v, r, fld, ux, n) {
+		return false
+	}
+	t.stats.MirrorW5.Add(1)
+	return true
+}
+
+// doW6 handles an overweight uxl whose sibling uxr has weight one and a red
+// left child uxrl.
+func (t *Tree) doW6(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node]) bool {
+	u, ux := lkU.Node(), lkUX.Node()
+	uxl, uxr, uxrl := lkUXL.Node(), lkUXR.Node(), lkUXRL.Node()
+	fld := fieldFor(lkU, ux)
+	if fld == nil {
+		return false
+	}
+	uxrr := lkUXR.Child(1)
+	uxrll, uxrlr := lkUXRL.Child(0), lkUXRL.Child(1)
+	nll := copyWithWeight(lkUXL, uxl.w-1)
+	nl := internalLike(ux, 1, nll, uxrll)
+	nr := internalLike(uxr, 1, uxrlr, uxrr)
+	n := internalLike(uxrl, replacementWeight(u, ux.w), nl, nr)
+	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXRL}
+	r := []*node{ux, uxl, uxr, uxrl}
+	if !llxscx.SCX(v, r, fld, ux, n) {
+		return false
+	}
+	t.stats.W6.Add(1)
+	return true
+}
+
+// doW6s is the mirror image of doW6.
+func (t *Tree) doW6s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node]) bool {
+	u, ux := lkU.Node(), lkUX.Node()
+	uxl, uxr, uxlr := lkUXL.Node(), lkUXR.Node(), lkUXLR.Node()
+	fld := fieldFor(lkU, ux)
+	if fld == nil {
+		return false
+	}
+	uxll := lkUXL.Child(0)
+	uxlrl, uxlrr := lkUXLR.Child(0), lkUXLR.Child(1)
+	nrr := copyWithWeight(lkUXR, uxr.w-1)
+	nr := internalLike(ux, 1, uxlrr, nrr)
+	nl := internalLike(uxl, 1, uxll, uxlrl)
+	n := internalLike(uxlr, replacementWeight(u, ux.w), nl, nr)
+	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXLR}
+	r := []*node{ux, uxl, uxr, uxlr}
+	if !llxscx.SCX(v, r, fld, ux, n) {
+		return false
+	}
+	t.stats.MirrorW6.Add(1)
+	return true
+}

@@ -1,0 +1,132 @@
+// Package core implements the tree update template of Brown, Ellen and
+// Ruppert, "A General Technique for Non-blocking Trees" (PPoPP 2014),
+// Section 4.
+//
+// The template turns any update to a down-tree (a tree with pointers from
+// parents to children) into a non-blocking, linearizable operation: the
+// update performs LLXs on a contiguous portion of the tree that includes the
+// parent node whose child pointer will change and every node to be removed,
+// then performs a single SCX that swings that child pointer to a freshly
+// allocated subtree and finalizes the removed nodes. Provided the supplied
+// callbacks satisfy postconditions PC1-PC9 of the paper, every data structure
+// whose updates follow the template is automatically linearizable and
+// non-blocking.
+//
+// Postconditions the Args callback must satisfy (Section 4 of the paper):
+//
+//	PC1  V is a subsequence of the sequence of nodes on which LLX was
+//	     performed (the seq argument passed to the callbacks).
+//	PC2  R is a subsequence of V.
+//	PC3  The node containing the field Fld is in V.
+//	PC4  The new nodes form a non-empty down-tree rooted at New.
+//	PC5  If Old is nil then R and the fringe of the new subtree are empty.
+//	PC6  If R is empty and Old is non-nil, the fringe of the new subtree is
+//	     exactly {Old}.
+//	PC7  Every node in the new subtree except its fringe is newly allocated.
+//	PC8  The V sequences of all updates are ordered consistently with a fixed
+//	     tree traversal (for example breadth-first order).
+//	PC9  If R is non-empty, the removed nodes form a down-tree rooted at Old
+//	     and the fringe of the new subtree equals the fringe of the removed
+//	     subtree.
+//
+// The chromatic tree (internal/chromatic) follows the template with the loop
+// unrolled, exactly as the paper's pseudocode does; the leaf-oriented BST
+// (internal/ebst) and the relaxed AVL tree (internal/ravl) use this package's
+// Template type directly.
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/llxscx"
+)
+
+// Args holds the arguments of the single SCX performed by a template update,
+// as computed by the SCX-Arguments function of Figure 3 in the paper.
+type Args[N any, P llxscx.DataRecord[N]] struct {
+	// V is the sequence of linked LLX results whose records must be
+	// unchanged for the SCX to succeed. It must satisfy PC1-PC3 and PC8.
+	V []llxscx.Linked[N]
+	// R identifies the records removed from the tree and finalized by the
+	// SCX. It must be a subsequence of the records in V.
+	R []P
+	// Fld is the mutable child field to be changed; it must belong to a node
+	// in V.
+	Fld *atomic.Pointer[N]
+	// Old is the value read from Fld by the linked LLX on the node that
+	// contains it.
+	Old *N
+	// New is the root of the freshly allocated replacement subtree.
+	New *N
+}
+
+// Template describes one kind of update in terms of the four locally
+// computable functions of Figure 3. Each callback receives the sequence of
+// linked LLX results obtained so far (seq[0] is the LLX on the starting node
+// n0). The callbacks must be deterministic functions of that sequence and of
+// any state captured when the Template value was built.
+type Template[P llxscx.DataRecord[N], N, Res any] struct {
+	// Condition reports whether enough LLXs have been performed. It must
+	// eventually return true in any execution.
+	Condition func(seq []llxscx.Linked[N]) bool
+	// NextNode returns the next node on which to perform an LLX. It must be
+	// a non-nil child pointer read from one of the snapshots in seq.
+	NextNode func(seq []llxscx.Linked[N]) P
+	// Args computes the SCX arguments; it must satisfy PC1-PC9.
+	Args func(seq []llxscx.Linked[N]) Args[N, P]
+	// Result computes the value returned by a successful update.
+	Result func(seq []llxscx.Linked[N]) Res
+}
+
+// Run executes one attempt of the update starting from node n0 (which the
+// caller must have reached by following child pointers from the entry point).
+// It returns the computed result and true if the SCX succeeded. It returns
+// the zero Res and false if any LLX failed, found a finalized node, or the
+// SCX failed; in that case the caller should retry the operation from the
+// entry point, exactly as the paper's Fail return does.
+//
+// Two conveniences extend the literal template of Figure 3: NextNode may
+// return the zero (nil) node and Args may return a nil Fld; both mean the
+// update discovered, from its snapshots, that the tree has changed under it
+// (for example a node is no longer the child it was during the caller's
+// search) and the attempt is abandoned exactly as if an LLX had failed.
+func (t *Template[P, N, Res]) Run(n0 P) (Res, bool) {
+	var zero Res
+	var nilNode P
+	seq := make([]llxscx.Linked[N], 0, 8)
+	node := n0
+	for {
+		if node == nilNode {
+			return zero, false
+		}
+		lk, st := llxscx.LLX(node)
+		if st != llxscx.Snapshot {
+			return zero, false
+		}
+		seq = append(seq, lk)
+		if t.Condition(seq) {
+			break
+		}
+		node = t.NextNode(seq)
+	}
+	a := t.Args(seq)
+	if a.Fld == nil {
+		return zero, false
+	}
+	if !llxscx.SCX(a.V, a.R, a.Fld, a.Old, a.New) {
+		return zero, false
+	}
+	return t.Result(seq), true
+}
+
+// RunToSuccess repeatedly restarts the update until an attempt succeeds.
+// restart must return the starting node for a fresh attempt (typically by
+// re-traversing from the entry point); it is called before every attempt,
+// including the first.
+func (t *Template[P, N, Res]) RunToSuccess(restart func() P) Res {
+	for {
+		if res, ok := t.Run(restart()); ok {
+			return res
+		}
+	}
+}

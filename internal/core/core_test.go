@@ -1,0 +1,143 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/llxscx"
+)
+
+// listNode is a minimal Data-record used to exercise the template directly:
+// a singly linked list viewed as a degenerate down-tree (each node has one
+// mutable child field).
+type listNode struct {
+	rec  llxscx.Record[listNode]
+	val  int64
+	next atomic.Pointer[listNode]
+}
+
+func (n *listNode) LLXRecord() *llxscx.Record[listNode] { return &n.rec }
+func (n *listNode) NumMutable() int                     { return 1 }
+func (n *listNode) Mutable(i int) *atomic.Pointer[listNode] {
+	return &n.next
+}
+
+// pushTemplate returns a template that replaces head.next with a fresh node
+// holding val and pointing at the previous first element (a stack push
+// following the tree update template: LLX on the entry node, SCX swinging
+// its child pointer to a new subtree whose fringe is the old child).
+func pushTemplate(head *listNode, val int64) *Template[*listNode, listNode, int64] {
+	return &Template[*listNode, listNode, int64]{
+		Condition: func(seq []llxscx.Linked[listNode]) bool { return len(seq) == 1 },
+		NextNode:  func(seq []llxscx.Linked[listNode]) *listNode { return nil },
+		Args: func(seq []llxscx.Linked[listNode]) Args[listNode, *listNode] {
+			old := seq[0].Child(0)
+			fresh := &listNode{val: val}
+			fresh.next.Store(old)
+			return Args[listNode, *listNode]{
+				V:   seq,
+				Fld: &head.next,
+				Old: old,
+				New: fresh,
+			}
+		},
+		Result: func(seq []llxscx.Linked[listNode]) int64 { return val },
+	}
+}
+
+func TestTemplateRunPerformsUpdate(t *testing.T) {
+	head := &listNode{}
+	got, ok := pushTemplate(head, 7).Run(head)
+	if !ok || got != 7 {
+		t.Fatalf("Run = (%d,%v), want (7,true)", got, ok)
+	}
+	first := head.next.Load()
+	if first == nil || first.val != 7 {
+		t.Fatalf("head.next = %+v, want node with val 7", first)
+	}
+}
+
+func TestTemplateRunFailsWhenConflicting(t *testing.T) {
+	head := &listNode{}
+	// Take the LLX evidence for a first attempt, then let a competing update
+	// modify head before the first attempt's SCX: the template must fail and
+	// leave the competitor's update in place.
+	tmpl := pushTemplate(head, 1)
+	lk, st := llxscx.LLX(head)
+	if st != llxscx.Snapshot {
+		t.Fatal("LLX failed on quiescent node")
+	}
+	if _, ok := pushTemplate(head, 2).Run(head); !ok {
+		t.Fatal("competing update failed")
+	}
+	// Replay the stale evidence directly through SCX to emulate the tail end
+	// of a slow template attempt.
+	a := tmpl.Args([]llxscx.Linked[listNode]{lk})
+	if llxscx.SCX(a.V, nil, a.Fld, a.Old, a.New) {
+		t.Fatal("stale SCX succeeded after a conflicting update")
+	}
+	if head.next.Load().val != 2 {
+		t.Fatalf("head.next.val = %d, want 2", head.next.Load().val)
+	}
+}
+
+func TestTemplateAbortsOnNilNextNode(t *testing.T) {
+	head := &listNode{}
+	tmpl := &Template[*listNode, listNode, int64]{
+		Condition: func(seq []llxscx.Linked[listNode]) bool { return len(seq) == 2 },
+		NextNode:  func(seq []llxscx.Linked[listNode]) *listNode { return nil },
+		Args:      func(seq []llxscx.Linked[listNode]) Args[listNode, *listNode] { return Args[listNode, *listNode]{} },
+		Result:    func(seq []llxscx.Linked[listNode]) int64 { return 0 },
+	}
+	if _, ok := tmpl.Run(head); ok {
+		t.Fatal("Run succeeded although NextNode returned nil")
+	}
+}
+
+func TestTemplateAbortsOnNilField(t *testing.T) {
+	head := &listNode{}
+	tmpl := &Template[*listNode, listNode, int64]{
+		Condition: func(seq []llxscx.Linked[listNode]) bool { return true },
+		NextNode:  func(seq []llxscx.Linked[listNode]) *listNode { return nil },
+		Args: func(seq []llxscx.Linked[listNode]) Args[listNode, *listNode] {
+			return Args[listNode, *listNode]{V: seq} // no Fld: abort
+		},
+		Result: func(seq []llxscx.Linked[listNode]) int64 { return 0 },
+	}
+	if _, ok := tmpl.Run(head); ok {
+		t.Fatal("Run succeeded although Args returned no field")
+	}
+}
+
+func TestRunToSuccessRetriesUntilCommitted(t *testing.T) {
+	head := &listNode{}
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				val := int64(g*perG + i)
+				pushTemplate(head, val).RunToSuccess(func() *listNode { return head })
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every push must be present exactly once: the SCX-based push loses no
+	// updates even under contention.
+	seen := map[int64]bool{}
+	count := 0
+	for n := head.next.Load(); n != nil; n = n.next.Load() {
+		if seen[n.val] {
+			t.Fatalf("value %d pushed twice", n.val)
+		}
+		seen[n.val] = true
+		count++
+	}
+	if count != goroutines*perG {
+		t.Fatalf("list has %d nodes, want %d", count, goroutines*perG)
+	}
+}

@@ -1,0 +1,59 @@
+// Package dict defines the ordered-dictionary abstraction shared by every
+// data structure in this repository, together with helpers used by tests and
+// the benchmark harness.
+//
+// The interface mirrors the abstract data type of Section 5 of Brown, Ellen
+// and Ruppert (PPoPP 2014): Get, Insert, Delete, Successor and Predecessor
+// over integer keys with integer values. Keys are int64 and the value ⊥ is
+// represented by the boolean "ok" result.
+package dict
+
+// Map is an ordered dictionary with totally ordered int64 keys.
+//
+// All methods must be safe for concurrent use by multiple goroutines unless
+// the concrete implementation documents otherwise (for example the purely
+// sequential red-black tree in internal/seqrbt).
+type Map interface {
+	// Get returns the value associated with key and true, or 0 and false if
+	// key is not present.
+	Get(key int64) (value int64, ok bool)
+	// Insert associates value with key. It returns the previously associated
+	// value and true if key was present, or 0 and false if it was not.
+	Insert(key, value int64) (old int64, existed bool)
+	// Delete removes key. It returns the value that was associated with key
+	// and true, or 0 and false if key was not present.
+	Delete(key int64) (old int64, existed bool)
+}
+
+// OrderedMap additionally supports ordered traversal queries.
+type OrderedMap interface {
+	Map
+	// Successor returns the smallest key strictly greater than key, with its
+	// value. ok is false if no such key exists.
+	Successor(key int64) (k, v int64, ok bool)
+	// Predecessor returns the largest key strictly smaller than key, with its
+	// value. ok is false if no such key exists.
+	Predecessor(key int64) (k, v int64, ok bool)
+}
+
+// Sized is implemented by dictionaries that can report the number of keys
+// they currently store. Size may run in linear time and need not be
+// linearizable; it is intended for tests and prefilling.
+type Sized interface {
+	Size() int
+}
+
+// Named is implemented by dictionaries that expose a human-readable name for
+// benchmark reports.
+type Named interface {
+	Name() string
+}
+
+// Factory constructs an empty dictionary instance. The benchmark harness uses
+// factories so that every trial starts from a fresh structure.
+type Factory struct {
+	// Name identifies the data structure in reports (e.g. "Chromatic6").
+	Name string
+	// New creates an empty dictionary.
+	New func() Map
+}

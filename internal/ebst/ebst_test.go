@@ -1,0 +1,191 @@
+package ebst
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if _, ok := tr.Delete(1); ok {
+		t.Fatal("Delete on empty tree returned ok")
+	}
+	if tr.Size() != 0 {
+		t.Fatalf("Size = %d, want 0", tr.Size())
+	}
+}
+
+func TestBasicOperations(t *testing.T) {
+	tr := New()
+	if _, existed := tr.Insert(5, 50); existed {
+		t.Fatal("fresh insert reported existed")
+	}
+	if v, ok := tr.Get(5); !ok || v != 50 {
+		t.Fatalf("Get(5) = %d,%v", v, ok)
+	}
+	if old, existed := tr.Insert(5, 55); !existed || old != 50 {
+		t.Fatalf("update insert = %d,%v", old, existed)
+	}
+	if v, ok := tr.Get(5); !ok || v != 55 {
+		t.Fatalf("Get(5) after update = %d,%v", v, ok)
+	}
+	if old, existed := tr.Delete(5); !existed || old != 55 {
+		t.Fatalf("Delete(5) = %d,%v", old, existed)
+	}
+	if _, ok := tr.Get(5); ok {
+		t.Fatal("key still present after delete")
+	}
+}
+
+func TestSequentialAgainstModel(t *testing.T) {
+	tr := New()
+	model := map[int64]int64{}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20000; i++ {
+		key := rng.Int63n(300)
+		switch rng.Intn(3) {
+		case 0:
+			val := rng.Int63()
+			old, existed := tr.Insert(key, val)
+			mOld, mExisted := model[key]
+			if existed != mExisted || (existed && old != mOld) {
+				t.Fatalf("Insert(%d) mismatch", key)
+			}
+			model[key] = val
+		case 1:
+			old, existed := tr.Delete(key)
+			mOld, mExisted := model[key]
+			if existed != mExisted || (existed && old != mOld) {
+				t.Fatalf("Delete(%d) mismatch", key)
+			}
+			delete(model, key)
+		default:
+			v, ok := tr.Get(key)
+			mV, mOk := model[key]
+			if ok != mOk || (ok && v != mV) {
+				t.Fatalf("Get(%d) mismatch", key)
+			}
+		}
+	}
+	if tr.Size() != len(model) {
+		t.Fatalf("Size = %d, want %d", tr.Size(), len(model))
+	}
+	keys := tr.Keys()
+	want := make([]int64, 0, len(model))
+	for k := range model {
+		want = append(want, k)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys()[%d] = %d, want %d", i, keys[i], want[i])
+		}
+	}
+}
+
+func TestPropertyMatchesMapSemantics(t *testing.T) {
+	type op struct {
+		Key    int8
+		Val    int16
+		Delete bool
+	}
+	prop := func(ops []op) bool {
+		tr := New()
+		model := map[int64]int64{}
+		for _, o := range ops {
+			k := int64(o.Key)
+			if o.Delete {
+				old, existed := tr.Delete(k)
+				mOld, mExisted := model[k]
+				if existed != mExisted || (existed && old != mOld) {
+					return false
+				}
+				delete(model, k)
+			} else {
+				old, existed := tr.Insert(k, int64(o.Val))
+				mOld, mExisted := model[k]
+				if existed != mExisted || (existed && old != mOld) {
+					return false
+				}
+				model[k] = int64(o.Val)
+			}
+		}
+		return tr.Size() == len(model)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentDisjointKeys(t *testing.T) {
+	tr := New()
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := int64(g * perG)
+			for i := int64(0); i < perG; i++ {
+				tr.Insert(base+i, base+i)
+			}
+			for i := int64(0); i < perG; i += 2 {
+				tr.Delete(base + i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := tr.Size(), goroutines*perG/2; got != want {
+		t.Fatalf("Size = %d, want %d", got, want)
+	}
+	for g := 0; g < goroutines; g++ {
+		base := int64(g * perG)
+		for i := int64(0); i < perG; i++ {
+			_, ok := tr.Get(base + i)
+			if want := i%2 == 1; ok != want {
+				t.Fatalf("Get(%d) = %v, want %v", base+i, ok, want)
+			}
+		}
+	}
+}
+
+func TestConcurrentContention(t *testing.T) {
+	tr := New()
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 5000; i++ {
+				key := rng.Int63n(64)
+				switch rng.Intn(3) {
+				case 0:
+					tr.Insert(key, key)
+				case 1:
+					tr.Delete(key)
+				default:
+					if v, ok := tr.Get(key); ok && v != key {
+						t.Errorf("Get(%d) returned wrong value %d", key, v)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	keys := tr.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys out of order: %d >= %d", keys[i-1], keys[i])
+		}
+	}
+}

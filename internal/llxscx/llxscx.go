@@ -1,0 +1,267 @@
+// Package llxscx implements the LLX, SCX and VLX synchronization primitives
+// of Brown, Ellen and Ruppert ("Pragmatic primitives for non-blocking data
+// structures", PODC 2013) from single-word compare-and-swap, as required by
+// the tree update template of their PPoPP 2014 paper.
+//
+// LLX, SCX and VLX are multi-word generalizations of load-link,
+// store-conditional and validate. They operate on Data-records: fixed-size
+// records with a set of mutable fields (child pointers) and any number of
+// immutable fields. LLX(r) takes a snapshot of r's mutable fields.
+// SCX(V, R, fld, new) atomically verifies that no record in V changed since
+// the caller's linked LLXs, stores new into the single mutable field fld,
+// and finalizes every record in R. VLX(V) verifies that no record in V has
+// changed since the caller's linked LLXs.
+//
+// A Data-record of concrete node type N embeds a Record[N] and implements
+// the DataRecord[N] interface so the primitives can reach its
+// synchronization state and mutable fields. Instead of the per-process
+// tables used in the original pseudocode, a successful LLX returns a Linked
+// value carrying the evidence (observed descriptor and snapshot); the caller
+// passes these Linked values to SCX or VLX, which expresses exactly the same
+// "linked LLX" relationship explicitly.
+//
+// The implementation relies on garbage collection (descriptors and nodes are
+// freshly allocated and never recycled while reachable), which rules out ABA
+// on the descriptor pointers and on the update CAS, exactly as the Java
+// implementation used in the paper does.
+package llxscx
+
+import "sync/atomic"
+
+// MaxMutable is the maximum number of mutable fields a Data-record may
+// expose to LLX. Binary trees use 2; k-ary structures may use up to this
+// limit.
+const MaxMutable = 4
+
+// Status is the outcome of an LLX.
+type Status int
+
+const (
+	// Snapshot means the LLX obtained a consistent snapshot of the record's
+	// mutable fields and may be linked to a subsequent SCX or VLX.
+	Snapshot Status = iota
+	// Fail means the LLX was concurrent with an SCX on the record and must
+	// be retried (or the enclosing update aborted).
+	Fail
+	// Finalized means the record has been finalized (removed from the data
+	// structure) by a committed SCX.
+	Finalized
+)
+
+// String returns a readable name for the status.
+func (s Status) String() string {
+	switch s {
+	case Snapshot:
+		return "Snapshot"
+	case Fail:
+		return "Fail"
+	case Finalized:
+		return "Finalized"
+	default:
+		return "Unknown"
+	}
+}
+
+// descriptor states.
+const (
+	stateInProgress int32 = iota
+	stateCommitted
+	stateAborted
+)
+
+// descriptor is an SCX-record: it describes one SCX so that any process can
+// help complete it.
+type descriptor[N any] struct {
+	state     atomic.Int32
+	allFrozen atomic.Bool
+
+	// recs[i] is the synchronization record of the i'th element of V and
+	// infos[i] is the descriptor observed by the linked LLX of that element
+	// (the expected value of the freezing CAS).
+	recs  []*Record[N]
+	infos []*descriptor[N]
+
+	// toMark are the synchronization records of the elements of R, which are
+	// finalized when the SCX commits.
+	toMark []*Record[N]
+
+	// fld is the single mutable field changed from old to new.
+	fld      *atomic.Pointer[N]
+	old, new *N
+}
+
+// Record is the per-Data-record synchronization state used by LLX and SCX.
+// Embed one Record in every node type. The zero value is ready to use.
+type Record[N any] struct {
+	info   atomic.Pointer[descriptor[N]]
+	marked atomic.Bool
+}
+
+// Marked reports whether the record has been finalized by a committed SCX.
+// A finalized record has been removed from the data structure and its
+// mutable fields will never change again.
+func (r *Record[N]) Marked() bool { return r.marked.Load() }
+
+// DataRecord is the constraint a node type must satisfy so that the
+// primitives can manipulate it. A node exposes its embedded Record and its
+// mutable fields (child pointers) by index.
+type DataRecord[N any] interface {
+	*N
+	// LLXRecord returns the node's embedded synchronization Record.
+	LLXRecord() *Record[N]
+	// NumMutable returns the number of mutable fields (at most MaxMutable).
+	NumMutable() int
+	// Mutable returns the i'th mutable field, 0 <= i < NumMutable().
+	Mutable(i int) *atomic.Pointer[N]
+}
+
+// Linked is the evidence returned by a successful LLX. It captures the
+// snapshot of the record's mutable fields together with the synchronization
+// state observed, and is passed to SCX or VLX to establish the "linked LLX"
+// relationship of the original specification.
+type Linked[N any] struct {
+	node *N
+	rec  *Record[N]
+	info *descriptor[N]
+	vals [MaxMutable]*N
+	n    int
+}
+
+// Node returns the Data-record this evidence refers to.
+func (l Linked[N]) Node() *N { return l.node }
+
+// NumChildren returns the number of mutable fields captured in the snapshot.
+func (l Linked[N]) NumChildren() int { return l.n }
+
+// Child returns the value of the i'th mutable field at the time of the LLX.
+func (l Linked[N]) Child(i int) *N { return l.vals[i] }
+
+// Valid reports whether the Linked value was produced by a successful LLX.
+func (l Linked[N]) Valid() bool { return l.rec != nil }
+
+// LLX attempts to take a snapshot of the mutable fields of r. It returns the
+// snapshot evidence and Snapshot on success, a zero Linked and Fail if it was
+// concurrent with an SCX involving r, or a zero Linked and Finalized if r has
+// been finalized.
+func LLX[P DataRecord[N], N any](r P) (Linked[N], Status) {
+	rec := r.LLXRecord()
+	rinfo := rec.info.Load()
+	state := stateAborted
+	if rinfo != nil {
+		state = rinfo.state.Load()
+	}
+	// The marked flag must be read after the descriptor state: help() marks
+	// the finalized records before it publishes the Committed state, so a
+	// record finalized by rinfo's SCX is guaranteed to be seen as marked
+	// here. Reading it earlier admits a race in which LLX hands out a
+	// snapshot of a record that has already been removed from the tree,
+	// allowing a later SCX to resurrect it.
+	marked1 := rec.marked.Load()
+	if state == stateAborted || (state == stateCommitted && !marked1) {
+		// The record is not being changed by an in-progress SCX: read the
+		// mutable fields and confirm nothing froze the record meanwhile.
+		var lk Linked[N]
+		lk.node = (*N)(r)
+		lk.rec = rec
+		lk.info = rinfo
+		lk.n = r.NumMutable()
+		for i := 0; i < lk.n; i++ {
+			lk.vals[i] = r.Mutable(i).Load()
+		}
+		if rec.info.Load() == rinfo {
+			return lk, Snapshot
+		}
+	}
+	// The record is (or was) frozen by an SCX. Help it complete, then report
+	// Finalized or Fail as appropriate.
+	curState := stateAborted
+	if rinfo != nil {
+		curState = rinfo.state.Load()
+	}
+	if (curState == stateCommitted || (curState == stateInProgress && help(rinfo))) && marked1 {
+		return Linked[N]{}, Finalized
+	}
+	if cur := rec.info.Load(); cur != nil && cur.state.Load() == stateInProgress {
+		help(cur)
+	}
+	return Linked[N]{}, Fail
+}
+
+// SCX attempts to atomically store new into *fld and finalize every record in
+// finalize, provided that no record in v has changed since the linked LLX
+// that produced its evidence. v must be ordered as required by the tree
+// update template (Constraint 2 / postcondition PC8); finalize must identify
+// a subset of the records in v; the record containing fld must be in v; and
+// old must be the value of *fld observed by that record's linked LLX.
+//
+// SCX returns true if it modified the data structure and false if it failed
+// because some record in v changed since its linked LLX.
+func SCX[P DataRecord[N], N any](v []Linked[N], finalize []P, fld *atomic.Pointer[N], old, new *N) bool {
+	d := &descriptor[N]{
+		recs:  make([]*Record[N], len(v)),
+		infos: make([]*descriptor[N], len(v)),
+		fld:   fld,
+		old:   old,
+		new:   new,
+	}
+	for i := range v {
+		d.recs[i] = v[i].rec
+		d.infos[i] = v[i].info
+	}
+	if len(finalize) > 0 {
+		d.toMark = make([]*Record[N], len(finalize))
+		for i, r := range finalize {
+			d.toMark[i] = r.LLXRecord()
+		}
+	}
+	d.state.Store(stateInProgress)
+	return help(d)
+}
+
+// VLX returns true if none of the records in v have changed since the linked
+// LLXs that produced their evidence. It can be used to obtain an atomic
+// snapshot of a set of Data-records.
+func VLX[N any](v []Linked[N]) bool {
+	for i := range v {
+		cur := v[i].rec.info.Load()
+		if cur != v[i].info {
+			// The record was frozen (and possibly changed) by another SCX
+			// since the linked LLX. Help it along to preserve progress, then
+			// fail.
+			if cur != nil && cur.state.Load() == stateInProgress {
+				help(cur)
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// help completes (or aborts) the SCX described by d. It may be called by the
+// initiating process or by any process that encounters the descriptor. It
+// returns true if the SCX committed.
+func help[N any](d *descriptor[N]) bool {
+	// Freeze every record in V by installing d in its info field.
+	for i, rec := range d.recs {
+		if !rec.info.CompareAndSwap(d.infos[i], d) {
+			if rec.info.Load() != d {
+				// Could not freeze rec because another SCX owns it. If all
+				// records were already frozen by some helper, the SCX has
+				// committed; otherwise it must abort.
+				if d.allFrozen.Load() {
+					return true
+				}
+				d.state.Store(stateAborted)
+				return false
+			}
+		}
+	}
+	// All records in V are frozen for d.
+	d.allFrozen.Store(true)
+	for _, rec := range d.toMark {
+		rec.marked.Store(true)
+	}
+	d.fld.CompareAndSwap(d.old, d.new)
+	d.state.Store(stateCommitted)
+	return true
+}

@@ -1,0 +1,306 @@
+package lockavl
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOperations(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Get(9); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if _, existed := tr.Insert(9, 90); existed {
+		t.Fatal("fresh insert reported existed")
+	}
+	if v, ok := tr.Get(9); !ok || v != 90 {
+		t.Fatalf("Get = (%d,%v)", v, ok)
+	}
+	if old, existed := tr.Insert(9, 91); !existed || old != 90 {
+		t.Fatalf("overwrite = (%d,%v)", old, existed)
+	}
+	if old, existed := tr.Delete(9); !existed || old != 91 {
+		t.Fatalf("Delete = (%d,%v)", old, existed)
+	}
+	if _, ok := tr.Get(9); ok {
+		t.Fatal("present after delete")
+	}
+	if _, existed := tr.Delete(9); existed {
+		t.Fatal("double delete reported existed")
+	}
+}
+
+func TestLogicalDeleteAndReinsert(t *testing.T) {
+	tr := New()
+	// Build a node with two children, delete it (logically), then reinsert
+	// the same key: the routing node must be reactivated.
+	tr.Insert(50, 1)
+	tr.Insert(25, 2)
+	tr.Insert(75, 3)
+	if old, existed := tr.Delete(50); !existed || old != 1 {
+		t.Fatalf("Delete(50) = (%d,%v)", old, existed)
+	}
+	if _, ok := tr.Get(50); ok {
+		t.Fatal("logically deleted key still visible")
+	}
+	if tr.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", tr.Size())
+	}
+	if _, existed := tr.Insert(50, 9); existed {
+		t.Fatal("reinsert of routing node reported existed")
+	}
+	if v, ok := tr.Get(50); !ok || v != 9 {
+		t.Fatalf("Get(50) after reinsert = (%d,%v)", v, ok)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgainstModel(t *testing.T) {
+	tr := New()
+	model := map[int64]int64{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 30000; i++ {
+		key := rng.Int63n(600)
+		switch rng.Intn(3) {
+		case 0:
+			val := rng.Int63()
+			old, existed := tr.Insert(key, val)
+			mOld, mExisted := model[key]
+			if existed != mExisted || (existed && old != mOld) {
+				t.Fatalf("Insert(%d) mismatch at op %d", key, i)
+			}
+			model[key] = val
+		case 1:
+			old, existed := tr.Delete(key)
+			mOld, mExisted := model[key]
+			if existed != mExisted || (existed && old != mOld) {
+				t.Fatalf("Delete(%d) mismatch at op %d", key, i)
+			}
+			delete(model, key)
+		default:
+			v, ok := tr.Get(key)
+			mV, mOk := model[key]
+			if ok != mOk || (ok && v != mV) {
+				t.Fatalf("Get(%d) mismatch at op %d", key, i)
+			}
+		}
+		if i%10000 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("invariants at op %d: %v", i, err)
+			}
+		}
+	}
+	if tr.Size() != len(model) {
+		t.Fatalf("Size = %d, want %d", tr.Size(), len(model))
+	}
+	keys := tr.Keys()
+	if len(keys) != len(model) {
+		t.Fatalf("Keys() returned %d entries, want %d", len(keys), len(model))
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("keys not sorted")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalanceUnderSequentialInsertions(t *testing.T) {
+	tr := New()
+	const n = 1 << 13
+	for i := 0; i < n; i++ {
+		tr.Insert(int64(i), int64(i))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	log2 := 0
+	for v := 1; v < n; v *= 2 {
+		log2++
+	}
+	// Relaxed AVL: allow a generous constant factor over the ideal height.
+	if h := tr.Height(); h > 3*log2 {
+		t.Fatalf("height %d too large for %d sequentially inserted keys (log2=%d)", h, n, log2)
+	}
+}
+
+func TestSuccessorPredecessor(t *testing.T) {
+	tr := New()
+	for k := int64(0); k < 100; k += 10 {
+		tr.Insert(k, k)
+	}
+	tr.Delete(50) // logical or physical, must be skipped by queries
+	if k, _, ok := tr.Successor(40); !ok || k != 60 {
+		t.Fatalf("Successor(40) = (%d,%v), want 60", k, ok)
+	}
+	if k, _, ok := tr.Predecessor(60); !ok || k != 40 {
+		t.Fatalf("Predecessor(60) = (%d,%v), want 40", k, ok)
+	}
+	if _, _, ok := tr.Successor(90); ok {
+		t.Fatal("Successor(90) should not exist")
+	}
+	if _, _, ok := tr.Predecessor(0); ok {
+		t.Fatal("Predecessor(0) should not exist")
+	}
+}
+
+func TestPropertyMatchesMapSemantics(t *testing.T) {
+	prop := func(ins []int16, del []int16) bool {
+		tr := New()
+		model := map[int64]bool{}
+		for _, k := range ins {
+			tr.Insert(int64(k), int64(k))
+			model[int64(k)] = true
+		}
+		for _, k := range del {
+			tr.Delete(int64(k))
+			delete(model, int64(k))
+		}
+		if tr.Size() != len(model) {
+			return false
+		}
+		for k := range model {
+			if _, ok := tr.Get(k); !ok {
+				return false
+			}
+		}
+		return tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentDisjointKeys(t *testing.T) {
+	tr := New()
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := int64(g * perG)
+			for i := int64(0); i < perG; i++ {
+				tr.Insert(base+i, base+i)
+			}
+			for i := int64(0); i < perG; i += 2 {
+				tr.Delete(base + i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		base := int64(g * perG)
+		for i := int64(0); i < perG; i++ {
+			_, ok := tr.Get(base + i)
+			if want := i%2 == 1; ok != want {
+				t.Fatalf("Get(%d) = %v, want %v", base+i, ok, want)
+			}
+		}
+	}
+	if got, want := tr.Size(), goroutines*perG/2; got != want {
+		t.Fatalf("Size = %d, want %d", got, want)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentContention(t *testing.T) {
+	tr := New()
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 4000; i++ {
+				key := rng.Int63n(48)
+				switch rng.Intn(3) {
+				case 0:
+					tr.Insert(key, key)
+				case 1:
+					tr.Delete(key)
+				default:
+					if v, ok := tr.Get(key); ok && v != key {
+						t.Errorf("Get(%d) = %d", key, v)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after contention: %v", err)
+	}
+	keys := tr.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys out of order: %d >= %d", keys[i-1], keys[i])
+		}
+	}
+}
+
+func TestConcurrentReadersSeeStableEvenKeys(t *testing.T) {
+	tr := New()
+	const keyRange = 1 << 10
+	for k := int64(0); k < keyRange; k += 2 {
+		tr.Insert(k, k)
+	}
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := rng.Int63n(keyRange/2)*2 + 1
+				if rng.Intn(2) == 0 {
+					tr.Insert(key, key)
+				} else {
+					tr.Delete(key)
+				}
+			}
+		}(w)
+	}
+	failures := make(chan int64, 4)
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for i := 0; i < 20000; i++ {
+				key := rng.Int63n(keyRange/2) * 2
+				if v, ok := tr.Get(key); !ok || v != key {
+					failures <- key
+					return
+				}
+			}
+		}(r)
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+	select {
+	case key := <-failures:
+		t.Fatalf("reader failed to find stable even key %d", key)
+	default:
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

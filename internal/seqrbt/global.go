@@ -1,0 +1,61 @@
+package seqrbt
+
+import "sync"
+
+// Global wraps a sequential red-black tree with a single mutex, reproducing
+// the "RBGlobal" baseline of the paper's evaluation (java.util.TreeMap with
+// every operation protected by a global lock). It is safe for concurrent use
+// but serializes every operation, including queries.
+type Global struct {
+	mu   sync.Mutex
+	tree *Tree
+}
+
+// NewGlobal returns an empty globally locked red-black tree.
+func NewGlobal() *Global { return &Global{tree: New()} }
+
+// Name identifies the data structure in benchmark reports.
+func (g *Global) Name() string { return "RBGlobal" }
+
+// Get returns the value associated with key, or (0, false) if absent.
+func (g *Global) Get(key int64) (int64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.tree.Get(key)
+}
+
+// Insert associates value with key, returning the previous value and true if
+// key was present.
+func (g *Global) Insert(key, value int64) (int64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.tree.Insert(key, value)
+}
+
+// Delete removes key, returning its value and true if it was present.
+func (g *Global) Delete(key int64) (int64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.tree.Delete(key)
+}
+
+// Successor returns the smallest key strictly greater than key.
+func (g *Global) Successor(key int64) (int64, int64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.tree.Successor(key)
+}
+
+// Predecessor returns the largest key strictly smaller than key.
+func (g *Global) Predecessor(key int64) (int64, int64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.tree.Predecessor(key)
+}
+
+// Size returns the number of keys stored.
+func (g *Global) Size() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.tree.Size()
+}

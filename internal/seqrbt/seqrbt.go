@@ -1,0 +1,449 @@
+// Package seqrbt implements a classic sequential red-black tree, analogous
+// to java.util.TreeMap, which the paper uses in two roles: as the reference
+// point for single-threaded overhead (Figure 9) and, wrapped in a single
+// global mutex, as the coarse-grained "RBGlobal" baseline of Figure 8.
+//
+// Tree itself is NOT safe for concurrent use; Global (in this package) wraps
+// it with a mutex to obtain the RBGlobal baseline.
+package seqrbt
+
+const (
+	red   = false
+	black = true
+)
+
+type node struct {
+	k, v        int64
+	colour      bool
+	left, right *node
+	parent      *node
+}
+
+// Tree is a sequential red-black tree mapping int64 keys to int64 values.
+// The zero value is an empty tree ready for use.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty sequential red-black tree.
+func New() *Tree { return &Tree{} }
+
+// Name identifies the data structure in benchmark reports.
+func (t *Tree) Name() string { return "SeqRBT" }
+
+// Size returns the number of keys stored.
+func (t *Tree) Size() int { return t.size }
+
+// Get returns the value associated with key, or (0, false) if absent.
+func (t *Tree) Get(key int64) (int64, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.k:
+			n = n.left
+		case key > n.k:
+			n = n.right
+		default:
+			return n.v, true
+		}
+	}
+	return 0, false
+}
+
+// Insert associates value with key. It returns the previous value and true
+// if key was already present.
+func (t *Tree) Insert(key, value int64) (int64, bool) {
+	var parent *node
+	n := t.root
+	for n != nil {
+		parent = n
+		switch {
+		case key < n.k:
+			n = n.left
+		case key > n.k:
+			n = n.right
+		default:
+			old := n.v
+			n.v = value
+			return old, true
+		}
+	}
+	fresh := &node{k: key, v: value, colour: red, parent: parent}
+	switch {
+	case parent == nil:
+		t.root = fresh
+	case key < parent.k:
+		parent.left = fresh
+	default:
+		parent.right = fresh
+	}
+	t.size++
+	t.fixAfterInsert(fresh)
+	return 0, false
+}
+
+// Delete removes key, returning its value and true if it was present.
+func (t *Tree) Delete(key int64) (int64, bool) {
+	n := t.root
+	for n != nil && n.k != key {
+		if key < n.k {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if n == nil {
+		return 0, false
+	}
+	old := n.v
+	t.size--
+
+	// If n has two children, replace its contents with its successor's and
+	// delete the successor instead.
+	if n.left != nil && n.right != nil {
+		s := n.right
+		for s.left != nil {
+			s = s.left
+		}
+		n.k, n.v = s.k, s.v
+		n = s
+	}
+	// n now has at most one child.
+	child := n.left
+	if child == nil {
+		child = n.right
+	}
+	if child != nil {
+		child.parent = n.parent
+		switch {
+		case n.parent == nil:
+			t.root = child
+		case n == n.parent.left:
+			n.parent.left = child
+		default:
+			n.parent.right = child
+		}
+		if n.colour == black {
+			t.fixAfterDelete(child)
+		}
+	} else if n.parent == nil {
+		t.root = nil
+	} else {
+		if n.colour == black {
+			t.fixAfterDelete(n)
+		}
+		if n.parent != nil {
+			if n == n.parent.left {
+				n.parent.left = nil
+			} else {
+				n.parent.right = nil
+			}
+			n.parent = nil
+		}
+	}
+	return old, true
+}
+
+// Successor returns the smallest key strictly greater than key.
+func (t *Tree) Successor(key int64) (k, v int64, ok bool) {
+	var best *node
+	n := t.root
+	for n != nil {
+		if n.k > key {
+			best = n
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if best == nil {
+		return 0, 0, false
+	}
+	return best.k, best.v, true
+}
+
+// Predecessor returns the largest key strictly smaller than key.
+func (t *Tree) Predecessor(key int64) (k, v int64, ok bool) {
+	var best *node
+	n := t.root
+	for n != nil {
+		if n.k < key {
+			best = n
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	if best == nil {
+		return 0, 0, false
+	}
+	return best.k, best.v, true
+}
+
+// Keys returns all keys in ascending order.
+func (t *Tree) Keys() []int64 {
+	keys := make([]int64, 0, t.size)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		keys = append(keys, n.k)
+		walk(n.right)
+	}
+	walk(t.root)
+	return keys
+}
+
+// Height returns the number of nodes on the longest root-to-leaf path.
+func (t *Tree) Height() int {
+	var h func(n *node) int
+	h = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		l, r := h(n.left), h(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return h(t.root)
+}
+
+func colourOf(n *node) bool {
+	if n == nil {
+		return black
+	}
+	return n.colour
+}
+
+func parentOf(n *node) *node {
+	if n == nil {
+		return nil
+	}
+	return n.parent
+}
+
+func leftOf(n *node) *node {
+	if n == nil {
+		return nil
+	}
+	return n.left
+}
+
+func rightOf(n *node) *node {
+	if n == nil {
+		return nil
+	}
+	return n.right
+}
+
+func setColour(n *node, c bool) {
+	if n != nil {
+		n.colour = c
+	}
+}
+
+func (t *Tree) rotateLeft(n *node) {
+	if n == nil {
+		return
+	}
+	r := n.right
+	n.right = r.left
+	if r.left != nil {
+		r.left.parent = n
+	}
+	r.parent = n.parent
+	switch {
+	case n.parent == nil:
+		t.root = r
+	case n.parent.left == n:
+		n.parent.left = r
+	default:
+		n.parent.right = r
+	}
+	r.left = n
+	n.parent = r
+}
+
+func (t *Tree) rotateRight(n *node) {
+	if n == nil {
+		return
+	}
+	l := n.left
+	n.left = l.right
+	if l.right != nil {
+		l.right.parent = n
+	}
+	l.parent = n.parent
+	switch {
+	case n.parent == nil:
+		t.root = l
+	case n.parent.right == n:
+		n.parent.right = l
+	default:
+		n.parent.left = l
+	}
+	l.right = n
+	n.parent = l
+}
+
+func (t *Tree) fixAfterInsert(x *node) {
+	x.colour = red
+	for x != nil && x != t.root && colourOf(parentOf(x)) == red {
+		if parentOf(x) == leftOf(parentOf(parentOf(x))) {
+			y := rightOf(parentOf(parentOf(x)))
+			if colourOf(y) == red {
+				setColour(parentOf(x), black)
+				setColour(y, black)
+				setColour(parentOf(parentOf(x)), red)
+				x = parentOf(parentOf(x))
+			} else {
+				if x == rightOf(parentOf(x)) {
+					x = parentOf(x)
+					t.rotateLeft(x)
+				}
+				setColour(parentOf(x), black)
+				setColour(parentOf(parentOf(x)), red)
+				t.rotateRight(parentOf(parentOf(x)))
+			}
+		} else {
+			y := leftOf(parentOf(parentOf(x)))
+			if colourOf(y) == red {
+				setColour(parentOf(x), black)
+				setColour(y, black)
+				setColour(parentOf(parentOf(x)), red)
+				x = parentOf(parentOf(x))
+			} else {
+				if x == leftOf(parentOf(x)) {
+					x = parentOf(x)
+					t.rotateRight(x)
+				}
+				setColour(parentOf(x), black)
+				setColour(parentOf(parentOf(x)), red)
+				t.rotateLeft(parentOf(parentOf(x)))
+			}
+		}
+	}
+	t.root.colour = black
+}
+
+func (t *Tree) fixAfterDelete(x *node) {
+	for x != t.root && colourOf(x) == black {
+		if x == leftOf(parentOf(x)) {
+			sib := rightOf(parentOf(x))
+			if colourOf(sib) == red {
+				setColour(sib, black)
+				setColour(parentOf(x), red)
+				t.rotateLeft(parentOf(x))
+				sib = rightOf(parentOf(x))
+			}
+			if colourOf(leftOf(sib)) == black && colourOf(rightOf(sib)) == black {
+				setColour(sib, red)
+				x = parentOf(x)
+			} else {
+				if colourOf(rightOf(sib)) == black {
+					setColour(leftOf(sib), black)
+					setColour(sib, red)
+					t.rotateRight(sib)
+					sib = rightOf(parentOf(x))
+				}
+				setColour(sib, colourOf(parentOf(x)))
+				setColour(parentOf(x), black)
+				setColour(rightOf(sib), black)
+				t.rotateLeft(parentOf(x))
+				x = t.root
+			}
+		} else {
+			sib := leftOf(parentOf(x))
+			if colourOf(sib) == red {
+				setColour(sib, black)
+				setColour(parentOf(x), red)
+				t.rotateRight(parentOf(x))
+				sib = leftOf(parentOf(x))
+			}
+			if colourOf(rightOf(sib)) == black && colourOf(leftOf(sib)) == black {
+				setColour(sib, red)
+				x = parentOf(x)
+			} else {
+				if colourOf(leftOf(sib)) == black {
+					setColour(rightOf(sib), black)
+					setColour(sib, red)
+					t.rotateLeft(sib)
+					sib = leftOf(parentOf(x))
+				}
+				setColour(sib, colourOf(parentOf(x)))
+				setColour(parentOf(x), black)
+				setColour(leftOf(sib), black)
+				t.rotateRight(parentOf(x))
+				x = t.root
+			}
+		}
+	}
+	setColour(x, black)
+}
+
+// CheckInvariants verifies the red-black tree properties: binary search
+// order, no red node with a red parent, and equal black heights on every
+// root-to-leaf path. It returns nil if all hold.
+func (t *Tree) CheckInvariants() error {
+	if t.root == nil {
+		return nil
+	}
+	if t.root.colour != black {
+		return errRootNotBlack
+	}
+	_, err := checkNode(t.root, nil, nil)
+	return err
+}
+
+type rbError string
+
+func (e rbError) Error() string { return string(e) }
+
+const (
+	errRootNotBlack  = rbError("root is not black")
+	errOrder         = rbError("keys out of order")
+	errRedRed        = rbError("red node with red child")
+	errBlackHeight   = rbError("unequal black heights")
+	errParentPointer = rbError("bad parent pointer")
+)
+
+func checkNode(n *node, lo, hi *int64) (int, error) {
+	if n == nil {
+		return 1, nil
+	}
+	if lo != nil && n.k <= *lo {
+		return 0, errOrder
+	}
+	if hi != nil && n.k >= *hi {
+		return 0, errOrder
+	}
+	if n.colour == red && (colourOf(n.left) == red || colourOf(n.right) == red) {
+		return 0, errRedRed
+	}
+	if n.left != nil && n.left.parent != n {
+		return 0, errParentPointer
+	}
+	if n.right != nil && n.right.parent != n {
+		return 0, errParentPointer
+	}
+	lh, err := checkNode(n.left, lo, &n.k)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := checkNode(n.right, &n.k, hi)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, errBlackHeight
+	}
+	if n.colour == black {
+		lh++
+	}
+	return lh, nil
+}

@@ -1,0 +1,203 @@
+package seqrbt
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if _, ok := tr.Delete(1); ok {
+		t.Fatal("Delete on empty tree returned ok")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 0 || tr.Height() != 0 {
+		t.Fatal("empty tree has nonzero size or height")
+	}
+}
+
+func TestInsertGetDeleteBasic(t *testing.T) {
+	tr := New()
+	if _, existed := tr.Insert(10, 1); existed {
+		t.Fatal("fresh insert reported existed")
+	}
+	if old, existed := tr.Insert(10, 2); !existed || old != 1 {
+		t.Fatalf("second insert = (%d,%v)", old, existed)
+	}
+	if v, ok := tr.Get(10); !ok || v != 2 {
+		t.Fatalf("Get = (%d,%v)", v, ok)
+	}
+	if old, existed := tr.Delete(10); !existed || old != 2 {
+		t.Fatalf("Delete = (%d,%v)", old, existed)
+	}
+	if _, ok := tr.Get(10); ok {
+		t.Fatal("key present after delete")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgainstModel(t *testing.T) {
+	tr := New()
+	model := map[int64]int64{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50000; i++ {
+		key := rng.Int63n(2000)
+		switch rng.Intn(3) {
+		case 0:
+			val := rng.Int63()
+			old, existed := tr.Insert(key, val)
+			mOld, mExisted := model[key]
+			if existed != mExisted || (existed && old != mOld) {
+				t.Fatalf("Insert(%d) mismatch at op %d", key, i)
+			}
+			model[key] = val
+		case 1:
+			old, existed := tr.Delete(key)
+			mOld, mExisted := model[key]
+			if existed != mExisted || (existed && old != mOld) {
+				t.Fatalf("Delete(%d) mismatch at op %d", key, i)
+			}
+			delete(model, key)
+		default:
+			v, ok := tr.Get(key)
+			mV, mOk := model[key]
+			if ok != mOk || (ok && v != mV) {
+				t.Fatalf("Get(%d) mismatch at op %d", key, i)
+			}
+		}
+		if i%10000 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("invariants at op %d: %v", i, err)
+			}
+		}
+	}
+	if tr.Size() != len(model) {
+		t.Fatalf("Size = %d, want %d", tr.Size(), len(model))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	keys := tr.Keys()
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("keys not sorted")
+	}
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	tr := New()
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		tr.Insert(int64(i), int64(i)) // worst case for naive BSTs
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	maxHeight := 0
+	for v := 1; v < n+1; v *= 2 {
+		maxHeight++
+	}
+	maxHeight = 2*maxHeight + 2
+	if h := tr.Height(); h > maxHeight {
+		t.Fatalf("height %d exceeds red-black bound %d", h, maxHeight)
+	}
+}
+
+func TestSuccessorPredecessor(t *testing.T) {
+	tr := New()
+	for k := int64(0); k < 100; k += 10 {
+		tr.Insert(k, k)
+	}
+	if k, _, ok := tr.Successor(45); !ok || k != 50 {
+		t.Fatalf("Successor(45) = (%d,%v)", k, ok)
+	}
+	if k, _, ok := tr.Successor(90); ok {
+		t.Fatalf("Successor(90) = (%d,%v), want none", k, ok)
+	}
+	if k, _, ok := tr.Predecessor(45); !ok || k != 40 {
+		t.Fatalf("Predecessor(45) = (%d,%v)", k, ok)
+	}
+	if k, _, ok := tr.Predecessor(0); ok {
+		t.Fatalf("Predecessor(0) = (%d,%v), want none", k, ok)
+	}
+}
+
+// TestPropertyRedBlackInvariants uses testing/quick to check that arbitrary
+// insert/delete sequences preserve the red-black properties.
+func TestPropertyRedBlackInvariants(t *testing.T) {
+	prop := func(insert []int16, del []int16) bool {
+		tr := New()
+		for _, k := range insert {
+			tr.Insert(int64(k), int64(k))
+		}
+		if tr.CheckInvariants() != nil {
+			return false
+		}
+		for _, k := range del {
+			tr.Delete(int64(k))
+		}
+		return tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDeleteAllLeavesEmpty(t *testing.T) {
+	prop := func(keys []int32) bool {
+		tr := New()
+		set := map[int64]bool{}
+		for _, k := range keys {
+			tr.Insert(int64(k), 0)
+			set[int64(k)] = true
+		}
+		for k := range set {
+			if _, ok := tr.Delete(k); !ok {
+				return false
+			}
+		}
+		return tr.Size() == 0 && tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalWrapperConcurrent(t *testing.T) {
+	g := NewGlobal()
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			base := int64(id * perG)
+			for k := int64(0); k < perG; k++ {
+				g.Insert(base+k, k)
+			}
+			for k := int64(0); k < perG; k += 2 {
+				g.Delete(base + k)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got, want := g.Size(), goroutines*perG/2; got != want {
+		t.Fatalf("Size = %d, want %d", got, want)
+	}
+	if _, _, ok := g.Successor(0); !ok {
+		t.Fatal("Successor failed on populated map")
+	}
+	if _, _, ok := g.Predecessor(int64(goroutines * perG)); !ok {
+		t.Fatal("Predecessor failed on populated map")
+	}
+}

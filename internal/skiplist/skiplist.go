@@ -1,0 +1,303 @@
+// Package skiplist implements a lock-free (non-blocking) skip list, the
+// analogue of java.util.concurrent.ConcurrentSkipListMap that the paper uses
+// as its "SkipList" baseline. The algorithm is the classic lock-free skip
+// list of Herlihy and Shavit (itself derived from Fraser's and Lea's
+// designs): every next pointer is an atomically replaceable (successor,
+// marked) pair, deletions first mark a node's next pointers and then rely on
+// concurrent traversals to physically unlink marked nodes.
+package skiplist
+
+import (
+	"math/rand/v2"
+	"sync/atomic"
+)
+
+// maxLevel is the maximum number of levels. 2^24 expected keys is far more
+// than the benchmarks use; the paper's largest key range is 10^6.
+const maxLevel = 24
+
+// succRef is an immutable (successor, marked) pair; next pointers swing
+// between freshly allocated succRef values, which emulates the
+// AtomicMarkableReference used by the Java original and avoids ABA problems
+// thanks to garbage collection.
+type succRef struct {
+	succ   *node
+	marked bool
+}
+
+type node struct {
+	k        int64
+	v        atomic.Int64
+	next     []atomic.Pointer[succRef]
+	level    int
+	sentinel int8 // -1 head, +1 tail, 0 ordinary
+}
+
+func newNode(k, v int64, level int, sentinel int8) *node {
+	n := &node{k: k, level: level, sentinel: sentinel}
+	n.v.Store(v)
+	n.next = make([]atomic.Pointer[succRef], level+1)
+	return n
+}
+
+// less reports whether a node's key is strictly smaller than key, treating
+// the head sentinel as -infinity and the tail sentinel as +infinity.
+func (n *node) less(key int64) bool {
+	switch n.sentinel {
+	case -1:
+		return true
+	case 1:
+		return false
+	default:
+		return n.k < key
+	}
+}
+
+func (n *node) equals(key int64) bool { return n.sentinel == 0 && n.k == key }
+
+// List is a lock-free skip list implementing an ordered dictionary with
+// int64 keys and values. It is safe for concurrent use. Use New to create
+// one.
+type List struct {
+	head *node
+	tail *node
+}
+
+// New returns an empty skip list.
+func New() *List {
+	head := newNode(0, 0, maxLevel, -1)
+	tail := newNode(0, 0, maxLevel, 1)
+	for i := 0; i <= maxLevel; i++ {
+		head.next[i].Store(&succRef{succ: tail})
+	}
+	return &List{head: head, tail: tail}
+}
+
+// Name identifies the data structure in benchmark reports.
+func (l *List) Name() string { return "SkipList" }
+
+// randomLevel chooses a tower height with geometric distribution (p = 1/2).
+func randomLevel() int {
+	lvl := 0
+	for rand.Uint64()&1 == 1 && lvl < maxLevel-1 {
+		lvl++
+	}
+	return lvl
+}
+
+// find locates the position of key at every level, snipping out any marked
+// (logically deleted) nodes it encounters along the way. It fills preds and
+// succs and reports whether an unmarked node with the key was found at the
+// bottom level.
+func (l *List) find(key int64, preds, succs *[maxLevel + 1]*node) bool {
+retry:
+	for {
+		pred := l.head
+		for level := maxLevel; level >= 0; level-- {
+			curr := pred.next[level].Load().succ
+			for {
+				ref := curr.next[level].Load()
+				// Physically remove marked nodes encountered at this level.
+				for ref != nil && ref.marked {
+					expected := pred.next[level].Load()
+					if expected.marked || expected.succ != curr {
+						// pred itself changed (or was deleted); start over.
+						continue retry
+					}
+					if !pred.next[level].CompareAndSwap(expected, &succRef{succ: ref.succ}) {
+						continue retry
+					}
+					curr = ref.succ
+					ref = curr.next[level].Load()
+				}
+				if curr.less(key) {
+					pred = curr
+					curr = ref.succ
+				} else {
+					break
+				}
+			}
+			preds[level] = pred
+			succs[level] = curr
+		}
+		return succs[0].equals(key)
+	}
+}
+
+// Get returns the value associated with key, or (0, false) if absent. It is
+// wait-free: it never helps, retries or modifies the structure.
+func (l *List) Get(key int64) (int64, bool) {
+	pred := l.head
+	var curr *node
+	for level := maxLevel; level >= 0; level-- {
+		curr = pred.next[level].Load().succ
+		for curr.less(key) {
+			pred = curr
+			curr = curr.next[level].Load().succ
+		}
+	}
+	if curr.equals(key) {
+		if ref := curr.next[0].Load(); ref != nil && ref.marked {
+			return 0, false
+		}
+		return curr.v.Load(), true
+	}
+	return 0, false
+}
+
+// Insert associates value with key. It returns the previous value and true
+// if key was already present (in which case only the value is updated).
+func (l *List) Insert(key, value int64) (int64, bool) {
+	var preds, succs [maxLevel + 1]*node
+	topLevel := randomLevel()
+	for {
+		if l.find(key, &preds, &succs) {
+			found := succs[0]
+			// If the node is not logically deleted, overwrite its value.
+			if ref := found.next[0].Load(); ref != nil && !ref.marked {
+				old := found.v.Swap(value)
+				return old, true
+			}
+			// The node is being removed; retry until it is unlinked.
+			continue
+		}
+		fresh := newNode(key, value, topLevel, 0)
+		for level := 0; level <= topLevel; level++ {
+			fresh.next[level].Store(&succRef{succ: succs[level]})
+		}
+		// Link at the bottom level first; this is the linearization point.
+		if !casLink(preds[0], 0, succs[0], fresh) {
+			continue
+		}
+		// Link the remaining levels, re-finding on interference.
+		for level := 1; level <= topLevel; level++ {
+			for {
+				if casLink(preds[level], level, succs[level], fresh) {
+					break
+				}
+				l.find(key, &preds, &succs)
+				if succs[0] != fresh {
+					// The new node was deleted before we finished building
+					// its tower; stop linking upper levels.
+					return 0, false
+				}
+				// Refresh the expected successor of the new node at this
+				// level so the link preserves the list order.
+				ref := fresh.next[level].Load()
+				if ref.marked {
+					return 0, false
+				}
+				if ref.succ != succs[level] {
+					if !fresh.next[level].CompareAndSwap(ref, &succRef{succ: succs[level]}) {
+						return 0, false
+					}
+				}
+			}
+		}
+		return 0, false
+	}
+}
+
+// casLink links fresh between pred and succ at the given level, provided
+// pred still points, unmarked, at succ.
+func casLink(pred *node, level int, succ, fresh *node) bool {
+	expected := pred.next[level].Load()
+	if expected == nil || expected.marked || expected.succ != succ {
+		return false
+	}
+	return pred.next[level].CompareAndSwap(expected, &succRef{succ: fresh})
+}
+
+// Delete removes key, returning its value and true if it was present. The
+// node is first marked level by level (logical deletion) and then unlinked
+// by a final find.
+func (l *List) Delete(key int64) (int64, bool) {
+	var preds, succs [maxLevel + 1]*node
+	if !l.find(key, &preds, &succs) {
+		return 0, false
+	}
+	victim := succs[0]
+	// Mark the upper levels.
+	for level := victim.level; level >= 1; level-- {
+		for {
+			ref := victim.next[level].Load()
+			if ref.marked {
+				break
+			}
+			if victim.next[level].CompareAndSwap(ref, &succRef{succ: ref.succ, marked: true}) {
+				break
+			}
+		}
+	}
+	// Mark the bottom level: whoever succeeds owns the deletion.
+	for {
+		ref := victim.next[0].Load()
+		if ref.marked {
+			return 0, false // someone else deleted it first
+		}
+		if victim.next[0].CompareAndSwap(ref, &succRef{succ: ref.succ, marked: true}) {
+			old := victim.v.Load()
+			l.find(key, &preds, &succs) // physically unlink
+			return old, true
+		}
+	}
+}
+
+// Successor returns the smallest key strictly greater than key.
+func (l *List) Successor(key int64) (int64, int64, bool) {
+	pred := l.head
+	var curr *node
+	for level := maxLevel; level >= 0; level-- {
+		curr = pred.next[level].Load().succ
+		for curr.less(key) || curr.equals(key) {
+			pred = curr
+			curr = curr.next[level].Load().succ
+		}
+	}
+	for curr.sentinel != 1 {
+		if ref := curr.next[0].Load(); ref == nil || !ref.marked {
+			return curr.k, curr.v.Load(), true
+		}
+		curr = curr.next[0].Load().succ
+	}
+	return 0, 0, false
+}
+
+// Predecessor returns the largest key strictly smaller than key.
+func (l *List) Predecessor(key int64) (int64, int64, bool) {
+	pred := l.head
+	for level := maxLevel; level >= 0; level-- {
+		curr := pred.next[level].Load().succ
+		for curr.less(key) {
+			pred = curr
+			curr = curr.next[level].Load().succ
+		}
+	}
+	if pred.sentinel == -1 {
+		return 0, 0, false
+	}
+	return pred.k, pred.v.Load(), true
+}
+
+// Size returns the number of (unmarked) keys stored. It runs in linear time
+// and is intended for tests and prefilling at quiescence.
+func (l *List) Size() int {
+	count := 0
+	for n := l.head.next[0].Load().succ; n.sentinel != 1; n = n.next[0].Load().succ {
+		if ref := n.next[0].Load(); ref == nil || !ref.marked {
+			count++
+		}
+	}
+	return count
+}
+
+// Keys returns all keys in ascending order. Quiescence only.
+func (l *List) Keys() []int64 {
+	var keys []int64
+	for n := l.head.next[0].Load().succ; n.sentinel != 1; n = n.next[0].Load().succ {
+		if ref := n.next[0].Load(); ref == nil || !ref.marked {
+			keys = append(keys, n.k)
+		}
+	}
+	return keys
+}

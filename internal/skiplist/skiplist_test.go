@@ -1,0 +1,294 @@
+package skiplist
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	l := New()
+	if _, ok := l.Get(5); ok {
+		t.Fatal("Get on empty list returned ok")
+	}
+	if _, ok := l.Delete(5); ok {
+		t.Fatal("Delete on empty list returned ok")
+	}
+	if l.Size() != 0 {
+		t.Fatalf("Size = %d, want 0", l.Size())
+	}
+	if _, _, ok := l.Successor(0); ok {
+		t.Fatal("Successor on empty list returned ok")
+	}
+	if _, _, ok := l.Predecessor(0); ok {
+		t.Fatal("Predecessor on empty list returned ok")
+	}
+}
+
+func TestBasicOperations(t *testing.T) {
+	l := New()
+	if _, existed := l.Insert(7, 70); existed {
+		t.Fatal("fresh insert reported existed")
+	}
+	if v, ok := l.Get(7); !ok || v != 70 {
+		t.Fatalf("Get(7) = (%d,%v)", v, ok)
+	}
+	if old, existed := l.Insert(7, 71); !existed || old != 70 {
+		t.Fatalf("overwrite = (%d,%v)", old, existed)
+	}
+	if old, existed := l.Delete(7); !existed || old != 71 {
+		t.Fatalf("Delete = (%d,%v)", old, existed)
+	}
+	if _, ok := l.Get(7); ok {
+		t.Fatal("key present after delete")
+	}
+	if _, existed := l.Delete(7); existed {
+		t.Fatal("double delete reported existed")
+	}
+}
+
+func TestAgainstModel(t *testing.T) {
+	l := New()
+	model := map[int64]int64{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 30000; i++ {
+		key := rng.Int63n(800)
+		switch rng.Intn(3) {
+		case 0:
+			val := rng.Int63()
+			old, existed := l.Insert(key, val)
+			mOld, mExisted := model[key]
+			if existed != mExisted || (existed && old != mOld) {
+				t.Fatalf("Insert(%d) mismatch at op %d", key, i)
+			}
+			model[key] = val
+		case 1:
+			old, existed := l.Delete(key)
+			mOld, mExisted := model[key]
+			if existed != mExisted || (existed && old != mOld) {
+				t.Fatalf("Delete(%d) mismatch at op %d", key, i)
+			}
+			delete(model, key)
+		default:
+			v, ok := l.Get(key)
+			mV, mOk := model[key]
+			if ok != mOk || (ok && v != mV) {
+				t.Fatalf("Get(%d) mismatch at op %d", key, i)
+			}
+		}
+	}
+	if l.Size() != len(model) {
+		t.Fatalf("Size = %d, want %d", l.Size(), len(model))
+	}
+	keys := l.Keys()
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("keys not sorted")
+	}
+}
+
+func TestSuccessorPredecessor(t *testing.T) {
+	l := New()
+	for k := int64(0); k < 100; k += 10 {
+		l.Insert(k, k*2)
+	}
+	if k, v, ok := l.Successor(45); !ok || k != 50 || v != 100 {
+		t.Fatalf("Successor(45) = (%d,%d,%v)", k, v, ok)
+	}
+	if k, _, ok := l.Successor(90); ok {
+		t.Fatalf("Successor(90) = (%d,%v), want none", k, ok)
+	}
+	if k, _, ok := l.Successor(40); !ok || k != 50 {
+		t.Fatalf("Successor(40) = (%d,%v), want 50", k, ok)
+	}
+	if k, v, ok := l.Predecessor(45); !ok || k != 40 || v != 80 {
+		t.Fatalf("Predecessor(45) = (%d,%d,%v)", k, v, ok)
+	}
+	if k, _, ok := l.Predecessor(0); ok {
+		t.Fatalf("Predecessor(0) = (%d,%v), want none", k, ok)
+	}
+}
+
+func TestPropertyInsertDeleteRoundTrip(t *testing.T) {
+	prop := func(keys []int16, deleteMask []bool) bool {
+		l := New()
+		present := map[int64]bool{}
+		for _, k := range keys {
+			l.Insert(int64(k), int64(k))
+			present[int64(k)] = true
+		}
+		for i, k := range keys {
+			if i < len(deleteMask) && deleteMask[i] {
+				l.Delete(int64(k))
+				delete(present, int64(k))
+			}
+		}
+		if l.Size() != len(present) {
+			return false
+		}
+		for k := range present {
+			if _, ok := l.Get(k); !ok {
+				return false
+			}
+		}
+		keys2 := l.Keys()
+		return sort.SliceIsSorted(keys2, func(i, j int) bool { return keys2[i] < keys2[j] })
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentDisjointKeys(t *testing.T) {
+	l := New()
+	const goroutines = 8
+	const perG = 3000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := int64(g * perG)
+			for i := int64(0); i < perG; i++ {
+				l.Insert(base+i, base+i)
+			}
+			for i := int64(0); i < perG; i += 2 {
+				l.Delete(base + i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := l.Size(), goroutines*perG/2; got != want {
+		t.Fatalf("Size = %d, want %d", got, want)
+	}
+	for g := 0; g < goroutines; g++ {
+		base := int64(g * perG)
+		for i := int64(0); i < perG; i++ {
+			_, ok := l.Get(base + i)
+			if want := i%2 == 1; ok != want {
+				t.Fatalf("Get(%d) = %v, want %v", base+i, ok, want)
+			}
+		}
+	}
+	keys := l.Keys()
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("keys not sorted after concurrent updates")
+	}
+}
+
+func TestConcurrentContention(t *testing.T) {
+	l := New()
+	const goroutines = 16
+	const opsPerG = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < opsPerG; i++ {
+				key := rng.Int63n(32)
+				switch rng.Intn(3) {
+				case 0:
+					l.Insert(key, key)
+				case 1:
+					l.Delete(key)
+				default:
+					if v, ok := l.Get(key); ok && v != key {
+						t.Errorf("Get(%d) = %d", key, v)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	keys := l.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys out of order after contention: %d >= %d", keys[i-1], keys[i])
+		}
+	}
+	if l.Size() > 32 {
+		t.Fatalf("Size = %d exceeds key range", l.Size())
+	}
+}
+
+func TestConcurrentReadersSeeStableEvenKeys(t *testing.T) {
+	l := New()
+	const keyRange = 1 << 10
+	for k := int64(0); k < keyRange; k += 2 {
+		l.Insert(k, k)
+	}
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := rng.Int63n(keyRange/2)*2 + 1
+				if rng.Intn(2) == 0 {
+					l.Insert(key, key)
+				} else {
+					l.Delete(key)
+				}
+			}
+		}(w)
+	}
+	errs := make(chan error, 4)
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for i := 0; i < 20000; i++ {
+				key := rng.Int63n(keyRange/2) * 2
+				if v, ok := l.Get(key); !ok || v != key {
+					errs <- errMismatch
+					return
+				}
+			}
+		}(r)
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+	select {
+	case <-errs:
+		t.Fatal("reader observed a missing or corrupted even key")
+	default:
+	}
+}
+
+type constError string
+
+func (e constError) Error() string { return string(e) }
+
+const errMismatch = constError("mismatch")
+
+func TestRandomLevelDistribution(t *testing.T) {
+	counts := make([]int, maxLevel+1)
+	const samples = 200000
+	for i := 0; i < samples; i++ {
+		counts[randomLevel()]++
+	}
+	if counts[0] < samples/3 {
+		t.Fatalf("level 0 frequency %d suspiciously low", counts[0])
+	}
+	for lvl := 0; lvl < 4; lvl++ {
+		if counts[lvl] == 0 {
+			t.Fatalf("level %d never chosen in %d samples", lvl, samples)
+		}
+		if lvl > 0 && counts[lvl] > counts[lvl-1] {
+			t.Fatalf("level %d chosen more often than level %d", lvl, lvl-1)
+		}
+	}
+}

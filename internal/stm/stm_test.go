@@ -1,0 +1,207 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestVarLoadOutsideTransaction(t *testing.T) {
+	v := NewVar(42)
+	if got := v.Load(); got != 42 {
+		t.Fatalf("Load = %d, want 42", got)
+	}
+}
+
+func TestReadYourWrites(t *testing.T) {
+	v := NewVar(1)
+	got := Atomically(func(tx *Txn) int {
+		Write(tx, v, 7)
+		return Read(tx, v)
+	})
+	if got != 7 {
+		t.Fatalf("read-your-writes = %d, want 7", got)
+	}
+	if v.Load() != 7 {
+		t.Fatalf("committed value = %d, want 7", v.Load())
+	}
+}
+
+func TestReadOnlyTransaction(t *testing.T) {
+	a, b := NewVar(10), NewVar(20)
+	sum := Atomically(func(tx *Txn) int {
+		return Read(tx, a) + Read(tx, b)
+	})
+	if sum != 30 {
+		t.Fatalf("sum = %d, want 30", sum)
+	}
+}
+
+func TestWriteSkew(t *testing.T) {
+	// Classic write-skew scenario: two transactions each read both variables
+	// and write one of them; serializability requires the final state to be
+	// reachable by running them in some order. With the invariant
+	// a + b >= 0 maintained by each transaction individually, a correct STM
+	// never lets both decrements through when they start from a+b == 1.
+	for iter := 0; iter < 200; iter++ {
+		a, b := NewVar(1), NewVar(0)
+		var wg sync.WaitGroup
+		dec := func(x, y *Var[int]) {
+			defer wg.Done()
+			Atomically(func(tx *Txn) struct{} {
+				if Read(tx, x)+Read(tx, y) >= 1 {
+					Write(tx, x, Read(tx, x)-1)
+				}
+				return struct{}{}
+			})
+		}
+		wg.Add(2)
+		go dec(a, b)
+		go dec(b, a)
+		wg.Wait()
+		if a.Load()+b.Load() < 0 {
+			t.Fatalf("write skew admitted: a=%d b=%d", a.Load(), b.Load())
+		}
+	}
+}
+
+func TestConcurrentCounterIncrements(t *testing.T) {
+	counter := NewVar(int64(0))
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				Atomically(func(tx *Txn) struct{} {
+					Write(tx, counter, Read(tx, counter)+1)
+					return struct{}{}
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := counter.Load(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestConcurrentTransfersPreserveTotal(t *testing.T) {
+	// Bank-transfer style invariant: the sum over all accounts is constant.
+	const accounts = 16
+	const total = int64(1000 * accounts)
+	vars := make([]*Var[int64], accounts)
+	for i := range vars {
+		vars[i] = NewVar(int64(1000))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			x := uint64(seed)*2654435761 + 1
+			next := func(n int) int {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				return int(x % uint64(n))
+			}
+			for i := 0; i < 3000; i++ {
+				from, to := next(accounts), next(accounts)
+				amount := int64(next(10))
+				Atomically(func(tx *Txn) struct{} {
+					f := Read(tx, vars[from])
+					if f >= amount {
+						Write(tx, vars[from], f-amount)
+						Write(tx, vars[to], Read(tx, vars[to])+amount)
+					}
+					return struct{}{}
+				})
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+	var sum int64
+	for _, v := range vars {
+		sum += v.Load()
+	}
+	if sum != total {
+		t.Fatalf("total = %d, want %d (money created or destroyed)", sum, total)
+	}
+}
+
+func TestSnapshotConsistency(t *testing.T) {
+	// Two variables are always updated together to equal values; readers
+	// must never observe them differing within one transaction.
+	a, b := NewVar(int64(0)), NewVar(int64(0))
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := int64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			Atomically(func(tx *Txn) struct{} {
+				Write(tx, a, i)
+				Write(tx, b, i)
+				return struct{}{}
+			})
+		}
+	}()
+	for i := 0; i < 20000; i++ {
+		av, bv := Atomically(func(tx *Txn) [2]int64 {
+			return [2]int64{Read(tx, a), Read(tx, b)}
+		})[0], int64(0)
+		_ = bv
+		pair := Atomically(func(tx *Txn) [2]int64 {
+			return [2]int64{Read(tx, a), Read(tx, b)}
+		})
+		if pair[0] != pair[1] {
+			close(stop)
+			writers.Wait()
+			t.Fatalf("inconsistent snapshot: a=%d b=%d", pair[0], pair[1])
+		}
+		_ = av
+	}
+	close(stop)
+	writers.Wait()
+}
+
+func TestPropertySequentialTransactionsActLikeAssignments(t *testing.T) {
+	prop := func(vals []int64) bool {
+		v := NewVar(int64(0))
+		for _, x := range vals {
+			x := x
+			Atomically(func(tx *Txn) struct{} {
+				Write(tx, v, x)
+				return struct{}{}
+			})
+			if got := Atomically(func(tx *Txn) int64 { return Read(tx, v) }); got != x {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointerVars(t *testing.T) {
+	type box struct{ n int }
+	v := NewVar[*box](nil)
+	Atomically(func(tx *Txn) struct{} {
+		Write(tx, v, &box{n: 5})
+		return struct{}{}
+	})
+	got := Atomically(func(tx *Txn) *box { return Read(tx, v) })
+	if got == nil || got.n != 5 {
+		t.Fatalf("pointer round trip failed: %+v", got)
+	}
+}

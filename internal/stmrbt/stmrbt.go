@@ -1,0 +1,492 @@
+// Package stmrbt implements a red-black tree on top of the software
+// transactional memory of internal/stm: every Get, Insert and Delete runs as
+// one coarse transaction that may touch an entire root-to-leaf path (plus
+// rebalancing), exactly like the STM-based red-black tree ("RBSTM") used as
+// a baseline in the paper's evaluation. The point of this baseline is the
+// programming model, not the performance: conflicts between large
+// transactions limit concurrency severely, which is what Figure 8 shows.
+package stmrbt
+
+import "repro/internal/stm"
+
+const (
+	red   = false
+	black = true
+)
+
+type node struct {
+	k      *stm.Var[int64]
+	v      *stm.Var[int64]
+	colour *stm.Var[bool]
+	left   *stm.Var[*node]
+	right  *stm.Var[*node]
+	parent *stm.Var[*node]
+}
+
+func newNode(k, v int64, parent *node) *node {
+	return &node{
+		k:      stm.NewVar(k),
+		v:      stm.NewVar(v),
+		colour: stm.NewVar(red),
+		left:   stm.NewVar[*node](nil),
+		right:  stm.NewVar[*node](nil),
+		parent: stm.NewVar(parent),
+	}
+}
+
+// Tree is a transactional red-black tree implementing an ordered dictionary
+// with int64 keys and values. It is safe for concurrent use; every operation
+// executes as a single STM transaction.
+type Tree struct {
+	root *stm.Var[*node]
+	size *stm.Var[int64]
+}
+
+// New returns an empty transactional red-black tree.
+func New() *Tree {
+	return &Tree{root: stm.NewVar[*node](nil), size: stm.NewVar[int64](0)}
+}
+
+// Name identifies the data structure in benchmark reports.
+func (t *Tree) Name() string { return "RBSTM" }
+
+// Size returns the number of keys stored.
+func (t *Tree) Size() int {
+	return int(stm.Atomically(func(tx *stm.Txn) int64 { return stm.Read(tx, t.size) }))
+}
+
+// Get returns the value associated with key, or (0, false) if absent.
+func (t *Tree) Get(key int64) (int64, bool) {
+	type result struct {
+		v  int64
+		ok bool
+	}
+	r := stm.Atomically(func(tx *stm.Txn) result {
+		n := stm.Read(tx, t.root)
+		for n != nil {
+			switch k := stm.Read(tx, n.k); {
+			case key < k:
+				n = stm.Read(tx, n.left)
+			case key > k:
+				n = stm.Read(tx, n.right)
+			default:
+				return result{stm.Read(tx, n.v), true}
+			}
+		}
+		return result{}
+	})
+	return r.v, r.ok
+}
+
+// Insert associates value with key, returning the previous value and true if
+// key was present.
+func (t *Tree) Insert(key, value int64) (int64, bool) {
+	type result struct {
+		old     int64
+		existed bool
+	}
+	r := stm.Atomically(func(tx *stm.Txn) result {
+		var parent *node
+		n := stm.Read(tx, t.root)
+		for n != nil {
+			parent = n
+			switch k := stm.Read(tx, n.k); {
+			case key < k:
+				n = stm.Read(tx, n.left)
+			case key > k:
+				n = stm.Read(tx, n.right)
+			default:
+				old := stm.Read(tx, n.v)
+				stm.Write(tx, n.v, value)
+				return result{old, true}
+			}
+		}
+		fresh := newNode(key, value, parent)
+		switch {
+		case parent == nil:
+			stm.Write(tx, t.root, fresh)
+		case key < stm.Read(tx, parent.k):
+			stm.Write(tx, parent.left, fresh)
+		default:
+			stm.Write(tx, parent.right, fresh)
+		}
+		stm.Write(tx, t.size, stm.Read(tx, t.size)+1)
+		t.fixAfterInsert(tx, fresh)
+		return result{}
+	})
+	return r.old, r.existed
+}
+
+// Delete removes key, returning its value and true if it was present.
+func (t *Tree) Delete(key int64) (int64, bool) {
+	type result struct {
+		old     int64
+		existed bool
+	}
+	r := stm.Atomically(func(tx *stm.Txn) result {
+		n := stm.Read(tx, t.root)
+		for n != nil && stm.Read(tx, n.k) != key {
+			if key < stm.Read(tx, n.k) {
+				n = stm.Read(tx, n.left)
+			} else {
+				n = stm.Read(tx, n.right)
+			}
+		}
+		if n == nil {
+			return result{}
+		}
+		old := stm.Read(tx, n.v)
+		stm.Write(tx, t.size, stm.Read(tx, t.size)-1)
+		t.deleteNode(tx, n)
+		return result{old, true}
+	})
+	return r.old, r.existed
+}
+
+// Successor returns the smallest key strictly greater than key.
+func (t *Tree) Successor(key int64) (int64, int64, bool) {
+	type result struct {
+		k, v int64
+		ok   bool
+	}
+	r := stm.Atomically(func(tx *stm.Txn) result {
+		var best *node
+		n := stm.Read(tx, t.root)
+		for n != nil {
+			if k := stm.Read(tx, n.k); k > key {
+				best = n
+				n = stm.Read(tx, n.left)
+			} else {
+				n = stm.Read(tx, n.right)
+			}
+		}
+		if best == nil {
+			return result{}
+		}
+		return result{stm.Read(tx, best.k), stm.Read(tx, best.v), true}
+	})
+	return r.k, r.v, r.ok
+}
+
+// Predecessor returns the largest key strictly smaller than key.
+func (t *Tree) Predecessor(key int64) (int64, int64, bool) {
+	type result struct {
+		k, v int64
+		ok   bool
+	}
+	r := stm.Atomically(func(tx *stm.Txn) result {
+		var best *node
+		n := stm.Read(tx, t.root)
+		for n != nil {
+			if k := stm.Read(tx, n.k); k < key {
+				best = n
+				n = stm.Read(tx, n.right)
+			} else {
+				n = stm.Read(tx, n.left)
+			}
+		}
+		if best == nil {
+			return result{}
+		}
+		return result{stm.Read(tx, best.k), stm.Read(tx, best.v), true}
+	})
+	return r.k, r.v, r.ok
+}
+
+// --- transactional red-black machinery -----------------------------------
+
+// deleteNode removes n from the tree, handling the two-children case the way
+// java.util.TreeMap does: the successor's key and value are copied into n
+// and the successor node is unlinked instead.
+func (t *Tree) deleteNode(tx *stm.Txn, n *node) {
+	if stm.Read(tx, n.left) != nil && stm.Read(tx, n.right) != nil {
+		s := stm.Read(tx, n.right)
+		for stm.Read(tx, s.left) != nil {
+			s = stm.Read(tx, s.left)
+		}
+		stm.Write(tx, n.k, stm.Read(tx, s.k))
+		stm.Write(tx, n.v, stm.Read(tx, s.v))
+		n = s
+	}
+	// n now has at most one child.
+	child := stm.Read(tx, n.left)
+	if child == nil {
+		child = stm.Read(tx, n.right)
+	}
+	parent := stm.Read(tx, n.parent)
+	if child != nil {
+		stm.Write(tx, child.parent, parent)
+		t.replaceChild(tx, parent, n, child)
+		if stm.Read(tx, n.colour) == black {
+			t.fixAfterDelete(tx, child)
+		}
+	} else if parent == nil {
+		stm.Write(tx, t.root, nil)
+	} else {
+		if stm.Read(tx, n.colour) == black {
+			t.fixAfterDelete(tx, n)
+		}
+		parent = stm.Read(tx, n.parent)
+		if parent != nil {
+			t.replaceChild(tx, parent, n, nil)
+			stm.Write(tx, n.parent, nil)
+		}
+	}
+}
+
+func (t *Tree) replaceChild(tx *stm.Txn, parent, old, new *node) {
+	switch {
+	case parent == nil:
+		stm.Write(tx, t.root, new)
+	case stm.Read(tx, parent.left) == old:
+		stm.Write(tx, parent.left, new)
+	default:
+		stm.Write(tx, parent.right, new)
+	}
+}
+
+func colourOf(tx *stm.Txn, n *node) bool {
+	if n == nil {
+		return black
+	}
+	return stm.Read(tx, n.colour)
+}
+
+func parentOf(tx *stm.Txn, n *node) *node {
+	if n == nil {
+		return nil
+	}
+	return stm.Read(tx, n.parent)
+}
+
+func leftOf(tx *stm.Txn, n *node) *node {
+	if n == nil {
+		return nil
+	}
+	return stm.Read(tx, n.left)
+}
+
+func rightOf(tx *stm.Txn, n *node) *node {
+	if n == nil {
+		return nil
+	}
+	return stm.Read(tx, n.right)
+}
+
+func setColour(tx *stm.Txn, n *node, c bool) {
+	if n != nil {
+		stm.Write(tx, n.colour, c)
+	}
+}
+
+func (t *Tree) rotateLeft(tx *stm.Txn, n *node) {
+	if n == nil {
+		return
+	}
+	r := stm.Read(tx, n.right)
+	stm.Write(tx, n.right, stm.Read(tx, r.left))
+	if l := stm.Read(tx, r.left); l != nil {
+		stm.Write(tx, l.parent, n)
+	}
+	p := stm.Read(tx, n.parent)
+	stm.Write(tx, r.parent, p)
+	switch {
+	case p == nil:
+		stm.Write(tx, t.root, r)
+	case stm.Read(tx, p.left) == n:
+		stm.Write(tx, p.left, r)
+	default:
+		stm.Write(tx, p.right, r)
+	}
+	stm.Write(tx, r.left, n)
+	stm.Write(tx, n.parent, r)
+}
+
+func (t *Tree) rotateRight(tx *stm.Txn, n *node) {
+	if n == nil {
+		return
+	}
+	l := stm.Read(tx, n.left)
+	stm.Write(tx, n.left, stm.Read(tx, l.right))
+	if r := stm.Read(tx, l.right); r != nil {
+		stm.Write(tx, r.parent, n)
+	}
+	p := stm.Read(tx, n.parent)
+	stm.Write(tx, l.parent, p)
+	switch {
+	case p == nil:
+		stm.Write(tx, t.root, l)
+	case stm.Read(tx, p.right) == n:
+		stm.Write(tx, p.right, l)
+	default:
+		stm.Write(tx, p.left, l)
+	}
+	stm.Write(tx, l.right, n)
+	stm.Write(tx, n.parent, l)
+}
+
+func (t *Tree) fixAfterInsert(tx *stm.Txn, x *node) {
+	setColour(tx, x, red)
+	for x != nil && stm.Read(tx, t.root) != x && colourOf(tx, parentOf(tx, x)) == red {
+		if parentOf(tx, x) == leftOf(tx, parentOf(tx, parentOf(tx, x))) {
+			y := rightOf(tx, parentOf(tx, parentOf(tx, x)))
+			if colourOf(tx, y) == red {
+				setColour(tx, parentOf(tx, x), black)
+				setColour(tx, y, black)
+				setColour(tx, parentOf(tx, parentOf(tx, x)), red)
+				x = parentOf(tx, parentOf(tx, x))
+			} else {
+				if x == rightOf(tx, parentOf(tx, x)) {
+					x = parentOf(tx, x)
+					t.rotateLeft(tx, x)
+				}
+				setColour(tx, parentOf(tx, x), black)
+				setColour(tx, parentOf(tx, parentOf(tx, x)), red)
+				t.rotateRight(tx, parentOf(tx, parentOf(tx, x)))
+			}
+		} else {
+			y := leftOf(tx, parentOf(tx, parentOf(tx, x)))
+			if colourOf(tx, y) == red {
+				setColour(tx, parentOf(tx, x), black)
+				setColour(tx, y, black)
+				setColour(tx, parentOf(tx, parentOf(tx, x)), red)
+				x = parentOf(tx, parentOf(tx, x))
+			} else {
+				if x == leftOf(tx, parentOf(tx, x)) {
+					x = parentOf(tx, x)
+					t.rotateRight(tx, x)
+				}
+				setColour(tx, parentOf(tx, x), black)
+				setColour(tx, parentOf(tx, parentOf(tx, x)), red)
+				t.rotateLeft(tx, parentOf(tx, parentOf(tx, x)))
+			}
+		}
+	}
+	setColour(tx, stm.Read(tx, t.root), black)
+}
+
+func (t *Tree) fixAfterDelete(tx *stm.Txn, x *node) {
+	for stm.Read(tx, t.root) != x && colourOf(tx, x) == black {
+		if x == leftOf(tx, parentOf(tx, x)) {
+			sib := rightOf(tx, parentOf(tx, x))
+			if colourOf(tx, sib) == red {
+				setColour(tx, sib, black)
+				setColour(tx, parentOf(tx, x), red)
+				t.rotateLeft(tx, parentOf(tx, x))
+				sib = rightOf(tx, parentOf(tx, x))
+			}
+			if colourOf(tx, leftOf(tx, sib)) == black && colourOf(tx, rightOf(tx, sib)) == black {
+				setColour(tx, sib, red)
+				x = parentOf(tx, x)
+			} else {
+				if colourOf(tx, rightOf(tx, sib)) == black {
+					setColour(tx, leftOf(tx, sib), black)
+					setColour(tx, sib, red)
+					t.rotateRight(tx, sib)
+					sib = rightOf(tx, parentOf(tx, x))
+				}
+				setColour(tx, sib, colourOf(tx, parentOf(tx, x)))
+				setColour(tx, parentOf(tx, x), black)
+				setColour(tx, rightOf(tx, sib), black)
+				t.rotateLeft(tx, parentOf(tx, x))
+				x = stm.Read(tx, t.root)
+			}
+		} else {
+			sib := leftOf(tx, parentOf(tx, x))
+			if colourOf(tx, sib) == red {
+				setColour(tx, sib, black)
+				setColour(tx, parentOf(tx, x), red)
+				t.rotateRight(tx, parentOf(tx, x))
+				sib = leftOf(tx, parentOf(tx, x))
+			}
+			if colourOf(tx, rightOf(tx, sib)) == black && colourOf(tx, leftOf(tx, sib)) == black {
+				setColour(tx, sib, red)
+				x = parentOf(tx, x)
+			} else {
+				if colourOf(tx, leftOf(tx, sib)) == black {
+					setColour(tx, rightOf(tx, sib), black)
+					setColour(tx, sib, red)
+					t.rotateLeft(tx, sib)
+					sib = leftOf(tx, parentOf(tx, x))
+				}
+				setColour(tx, sib, colourOf(tx, parentOf(tx, x)))
+				setColour(tx, parentOf(tx, x), black)
+				setColour(tx, leftOf(tx, sib), black)
+				t.rotateRight(tx, parentOf(tx, x))
+				x = stm.Read(tx, t.root)
+			}
+		}
+	}
+	setColour(tx, x, black)
+}
+
+// CheckInvariants verifies the red-black properties and the BST order. It
+// runs in one transaction and is intended for tests at quiescence.
+func (t *Tree) CheckInvariants() error {
+	ok := stm.Atomically(func(tx *stm.Txn) bool {
+		root := stm.Read(tx, t.root)
+		if root == nil {
+			return true
+		}
+		if stm.Read(tx, root.colour) != black {
+			return false
+		}
+		valid := true
+		var check func(n *node, lo, hi *int64) int
+		check = func(n *node, lo, hi *int64) int {
+			if n == nil || !valid {
+				return 1
+			}
+			k := stm.Read(tx, n.k)
+			if (lo != nil && k <= *lo) || (hi != nil && k >= *hi) {
+				valid = false
+				return 0
+			}
+			if stm.Read(tx, n.colour) == red &&
+				(colourOf(tx, stm.Read(tx, n.left)) == red || colourOf(tx, stm.Read(tx, n.right)) == red) {
+				valid = false
+				return 0
+			}
+			lh := check(stm.Read(tx, n.left), lo, &k)
+			rh := check(stm.Read(tx, n.right), &k, hi)
+			if lh != rh {
+				valid = false
+				return 0
+			}
+			if stm.Read(tx, n.colour) == black {
+				lh++
+			}
+			return lh
+		}
+		check(root, nil, nil)
+		return valid
+	})
+	if !ok {
+		return errInvariant
+	}
+	return nil
+}
+
+type rbError string
+
+func (e rbError) Error() string { return string(e) }
+
+const errInvariant = rbError("stmrbt: red-black invariant violated")
+
+// Keys returns all keys in ascending order, read in one transaction.
+func (t *Tree) Keys() []int64 {
+	return stm.Atomically(func(tx *stm.Txn) []int64 {
+		var keys []int64
+		var walk func(n *node)
+		walk = func(n *node) {
+			if n == nil {
+				return
+			}
+			walk(stm.Read(tx, n.left))
+			keys = append(keys, stm.Read(tx, n.k))
+			walk(stm.Read(tx, n.right))
+		}
+		walk(stm.Read(tx, t.root))
+		return keys
+	})
+}

@@ -1,0 +1,195 @@
+package stmrbt
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOperations(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if _, existed := tr.Insert(1, 10); existed {
+		t.Fatal("fresh insert reported existed")
+	}
+	if v, ok := tr.Get(1); !ok || v != 10 {
+		t.Fatalf("Get = (%d,%v)", v, ok)
+	}
+	if old, existed := tr.Insert(1, 11); !existed || old != 10 {
+		t.Fatalf("overwrite = (%d,%v)", old, existed)
+	}
+	if old, existed := tr.Delete(1); !existed || old != 11 {
+		t.Fatalf("Delete = (%d,%v)", old, existed)
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("present after delete")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgainstModel(t *testing.T) {
+	tr := New()
+	model := map[int64]int64{}
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 20000; i++ {
+		key := rng.Int63n(500)
+		switch rng.Intn(3) {
+		case 0:
+			val := rng.Int63()
+			old, existed := tr.Insert(key, val)
+			mOld, mExisted := model[key]
+			if existed != mExisted || (existed && old != mOld) {
+				t.Fatalf("Insert(%d) mismatch at op %d", key, i)
+			}
+			model[key] = val
+		case 1:
+			old, existed := tr.Delete(key)
+			mOld, mExisted := model[key]
+			if existed != mExisted || (existed && old != mOld) {
+				t.Fatalf("Delete(%d) mismatch at op %d", key, i)
+			}
+			delete(model, key)
+		default:
+			v, ok := tr.Get(key)
+			mV, mOk := model[key]
+			if ok != mOk || (ok && v != mV) {
+				t.Fatalf("Get(%d) mismatch at op %d", key, i)
+			}
+		}
+		if i%5000 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("invariants at op %d: %v", i, err)
+			}
+		}
+	}
+	if tr.Size() != len(model) {
+		t.Fatalf("Size = %d, want %d", tr.Size(), len(model))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuccessorPredecessor(t *testing.T) {
+	tr := New()
+	for k := int64(0); k < 50; k += 5 {
+		tr.Insert(k, k)
+	}
+	if k, _, ok := tr.Successor(12); !ok || k != 15 {
+		t.Fatalf("Successor(12) = (%d,%v)", k, ok)
+	}
+	if _, _, ok := tr.Successor(45); ok {
+		t.Fatal("Successor(45) should not exist")
+	}
+	if k, _, ok := tr.Predecessor(12); !ok || k != 10 {
+		t.Fatalf("Predecessor(12) = (%d,%v)", k, ok)
+	}
+	if _, _, ok := tr.Predecessor(0); ok {
+		t.Fatal("Predecessor(0) should not exist")
+	}
+}
+
+func TestPropertyInvariantsHold(t *testing.T) {
+	prop := func(ins []int16, del []int16) bool {
+		tr := New()
+		for _, k := range ins {
+			tr.Insert(int64(k), int64(k))
+		}
+		for _, k := range del {
+			tr.Delete(int64(k))
+		}
+		keys := tr.Keys()
+		return sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) &&
+			tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	tr := New()
+	const goroutines = 8
+	const keysPerG = 100
+	const opsPerG = 2000
+	finals := make([]map[int64]int64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			final := map[int64]int64{}
+			base := int64(g * keysPerG)
+			for i := 0; i < opsPerG; i++ {
+				key := base + rng.Int63n(keysPerG)
+				if rng.Intn(2) == 0 {
+					val := rng.Int63n(1 << 20)
+					tr.Insert(key, val)
+					final[key] = val
+				} else {
+					tr.Delete(key)
+					final[key] = -1
+				}
+			}
+			finals[g] = final
+		}(g)
+	}
+	wg.Wait()
+	for g, final := range finals {
+		for key, want := range final {
+			v, ok := tr.Get(key)
+			if want == -1 {
+				if ok {
+					t.Fatalf("goroutine %d key %d: present, want deleted", g, key)
+				}
+			} else if !ok || v != want {
+				t.Fatalf("goroutine %d key %d: got (%d,%v), want (%d,true)", g, key, v, ok, want)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after concurrent workload: %v", err)
+	}
+}
+
+func TestConcurrentContention(t *testing.T) {
+	tr := New()
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g + 77)))
+			for i := 0; i < 1500; i++ {
+				key := rng.Int63n(40)
+				switch rng.Intn(3) {
+				case 0:
+					tr.Insert(key, key)
+				case 1:
+					tr.Delete(key)
+				default:
+					if v, ok := tr.Get(key); ok && v != key {
+						t.Errorf("Get(%d) = %d", key, v)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after contention: %v", err)
+	}
+	keys := tr.Keys()
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("keys not sorted")
+	}
+}

@@ -1,0 +1,208 @@
+// Package stmskip implements a skip list on top of the software
+// transactional memory of internal/stm, reproducing the "SkipListSTM"
+// baseline of the paper's evaluation: every operation is a single coarse
+// transaction over the nodes it traverses.
+package stmskip
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/stm"
+)
+
+const maxLevel = 24
+
+type node struct {
+	k     int64
+	v     *stm.Var[int64]
+	next  []*stm.Var[*node]
+	level int
+	// sentinel: -1 head, +1 tail, 0 ordinary
+	sentinel int8
+}
+
+func newNode(k, v int64, level int, sentinel int8) *node {
+	n := &node{k: k, v: stm.NewVar(v), level: level, sentinel: sentinel}
+	n.next = make([]*stm.Var[*node], level+1)
+	for i := range n.next {
+		n.next[i] = stm.NewVar[*node](nil)
+	}
+	return n
+}
+
+func (n *node) less(key int64) bool {
+	switch n.sentinel {
+	case -1:
+		return true
+	case 1:
+		return false
+	default:
+		return n.k < key
+	}
+}
+
+func (n *node) equals(key int64) bool { return n.sentinel == 0 && n.k == key }
+
+// List is a transactional skip list implementing an ordered dictionary with
+// int64 keys and values. It is safe for concurrent use.
+type List struct {
+	head *node
+	size *stm.Var[int64]
+}
+
+// New returns an empty transactional skip list.
+func New() *List {
+	head := newNode(0, 0, maxLevel, -1)
+	tail := newNode(0, 0, maxLevel, 1)
+	for i := 0; i <= maxLevel; i++ {
+		head.next[i] = stm.NewVar(tail)
+	}
+	return &List{head: head, size: stm.NewVar[int64](0)}
+}
+
+// Name identifies the data structure in benchmark reports.
+func (l *List) Name() string { return "SkipListSTM" }
+
+func randomLevel() int {
+	lvl := 0
+	for rand.Uint64()&1 == 1 && lvl < maxLevel-1 {
+		lvl++
+	}
+	return lvl
+}
+
+// findPreds fills preds with the rightmost node strictly smaller than key at
+// every level and returns the node following preds[0], all read within tx.
+func (l *List) findPreds(tx *stm.Txn, key int64, preds *[maxLevel + 1]*node) *node {
+	pred := l.head
+	for level := maxLevel; level >= 0; level-- {
+		curr := stm.Read(tx, pred.next[level])
+		for curr.less(key) {
+			pred = curr
+			curr = stm.Read(tx, pred.next[level])
+		}
+		preds[level] = pred
+	}
+	return stm.Read(tx, preds[0].next[0])
+}
+
+// Get returns the value associated with key, or (0, false) if absent.
+func (l *List) Get(key int64) (int64, bool) {
+	type result struct {
+		v  int64
+		ok bool
+	}
+	r := stm.Atomically(func(tx *stm.Txn) result {
+		var preds [maxLevel + 1]*node
+		curr := l.findPreds(tx, key, &preds)
+		if curr.equals(key) {
+			return result{stm.Read(tx, curr.v), true}
+		}
+		return result{}
+	})
+	return r.v, r.ok
+}
+
+// Insert associates value with key, returning the previous value and true if
+// key was present.
+func (l *List) Insert(key, value int64) (int64, bool) {
+	type result struct {
+		old     int64
+		existed bool
+	}
+	topLevel := randomLevel()
+	r := stm.Atomically(func(tx *stm.Txn) result {
+		var preds [maxLevel + 1]*node
+		curr := l.findPreds(tx, key, &preds)
+		if curr.equals(key) {
+			old := stm.Read(tx, curr.v)
+			stm.Write(tx, curr.v, value)
+			return result{old, true}
+		}
+		fresh := newNode(key, value, topLevel, 0)
+		for level := 0; level <= topLevel; level++ {
+			stm.Write(tx, fresh.next[level], stm.Read(tx, preds[level].next[level]))
+			stm.Write(tx, preds[level].next[level], fresh)
+		}
+		stm.Write(tx, l.size, stm.Read(tx, l.size)+1)
+		return result{}
+	})
+	return r.old, r.existed
+}
+
+// Delete removes key, returning its value and true if it was present.
+func (l *List) Delete(key int64) (int64, bool) {
+	type result struct {
+		old     int64
+		existed bool
+	}
+	r := stm.Atomically(func(tx *stm.Txn) result {
+		var preds [maxLevel + 1]*node
+		curr := l.findPreds(tx, key, &preds)
+		if !curr.equals(key) {
+			return result{}
+		}
+		for level := 0; level <= curr.level; level++ {
+			if stm.Read(tx, preds[level].next[level]) == curr {
+				stm.Write(tx, preds[level].next[level], stm.Read(tx, curr.next[level]))
+			}
+		}
+		stm.Write(tx, l.size, stm.Read(tx, l.size)-1)
+		return result{stm.Read(tx, curr.v), true}
+	})
+	return r.old, r.existed
+}
+
+// Successor returns the smallest key strictly greater than key.
+func (l *List) Successor(key int64) (int64, int64, bool) {
+	type result struct {
+		k, v int64
+		ok   bool
+	}
+	r := stm.Atomically(func(tx *stm.Txn) result {
+		var preds [maxLevel + 1]*node
+		curr := l.findPreds(tx, key, &preds)
+		if curr.equals(key) {
+			curr = stm.Read(tx, curr.next[0])
+		}
+		if curr.sentinel == 1 {
+			return result{}
+		}
+		return result{curr.k, stm.Read(tx, curr.v), true}
+	})
+	return r.k, r.v, r.ok
+}
+
+// Predecessor returns the largest key strictly smaller than key.
+func (l *List) Predecessor(key int64) (int64, int64, bool) {
+	type result struct {
+		k, v int64
+		ok   bool
+	}
+	r := stm.Atomically(func(tx *stm.Txn) result {
+		var preds [maxLevel + 1]*node
+		l.findPreds(tx, key, &preds)
+		pred := preds[0]
+		if pred.sentinel == -1 {
+			return result{}
+		}
+		return result{pred.k, stm.Read(tx, pred.v), true}
+	})
+	return r.k, r.v, r.ok
+}
+
+// Size returns the number of keys stored.
+func (l *List) Size() int {
+	return int(stm.Atomically(func(tx *stm.Txn) int64 { return stm.Read(tx, l.size) }))
+}
+
+// Keys returns all keys in ascending order, read in one transaction.
+func (l *List) Keys() []int64 {
+	return stm.Atomically(func(tx *stm.Txn) []int64 {
+		var keys []int64
+		for n := stm.Read(tx, l.head.next[0]); n.sentinel != 1; n = stm.Read(tx, n.next[0]) {
+			keys = append(keys, n.k)
+		}
+		return keys
+	})
+}

@@ -1,0 +1,185 @@
+package stmskip
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOperations(t *testing.T) {
+	l := New()
+	if _, ok := l.Get(3); ok {
+		t.Fatal("Get on empty list returned ok")
+	}
+	if _, existed := l.Insert(3, 30); existed {
+		t.Fatal("fresh insert reported existed")
+	}
+	if v, ok := l.Get(3); !ok || v != 30 {
+		t.Fatalf("Get = (%d,%v)", v, ok)
+	}
+	if old, existed := l.Insert(3, 33); !existed || old != 30 {
+		t.Fatalf("overwrite = (%d,%v)", old, existed)
+	}
+	if old, existed := l.Delete(3); !existed || old != 33 {
+		t.Fatalf("Delete = (%d,%v)", old, existed)
+	}
+	if _, ok := l.Get(3); ok {
+		t.Fatal("present after delete")
+	}
+	if l.Size() != 0 {
+		t.Fatalf("Size = %d, want 0", l.Size())
+	}
+}
+
+func TestAgainstModel(t *testing.T) {
+	l := New()
+	model := map[int64]int64{}
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 15000; i++ {
+		key := rng.Int63n(400)
+		switch rng.Intn(3) {
+		case 0:
+			val := rng.Int63()
+			old, existed := l.Insert(key, val)
+			mOld, mExisted := model[key]
+			if existed != mExisted || (existed && old != mOld) {
+				t.Fatalf("Insert(%d) mismatch at op %d", key, i)
+			}
+			model[key] = val
+		case 1:
+			old, existed := l.Delete(key)
+			mOld, mExisted := model[key]
+			if existed != mExisted || (existed && old != mOld) {
+				t.Fatalf("Delete(%d) mismatch at op %d", key, i)
+			}
+			delete(model, key)
+		default:
+			v, ok := l.Get(key)
+			mV, mOk := model[key]
+			if ok != mOk || (ok && v != mV) {
+				t.Fatalf("Get(%d) mismatch at op %d", key, i)
+			}
+		}
+	}
+	if l.Size() != len(model) {
+		t.Fatalf("Size = %d, want %d", l.Size(), len(model))
+	}
+	keys := l.Keys()
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("keys not sorted")
+	}
+}
+
+func TestSuccessorPredecessor(t *testing.T) {
+	l := New()
+	for k := int64(0); k < 60; k += 6 {
+		l.Insert(k, k)
+	}
+	if k, _, ok := l.Successor(13); !ok || k != 18 {
+		t.Fatalf("Successor(13) = (%d,%v)", k, ok)
+	}
+	if k, _, ok := l.Successor(12); !ok || k != 18 {
+		t.Fatalf("Successor(12) = (%d,%v)", k, ok)
+	}
+	if _, _, ok := l.Successor(54); ok {
+		t.Fatal("Successor(54) should not exist")
+	}
+	if k, _, ok := l.Predecessor(13); !ok || k != 12 {
+		t.Fatalf("Predecessor(13) = (%d,%v)", k, ok)
+	}
+	if _, _, ok := l.Predecessor(0); ok {
+		t.Fatal("Predecessor(0) should not exist")
+	}
+}
+
+func TestPropertyMatchesModel(t *testing.T) {
+	prop := func(ins []int16, del []int16) bool {
+		l := New()
+		model := map[int64]bool{}
+		for _, k := range ins {
+			l.Insert(int64(k), int64(k))
+			model[int64(k)] = true
+		}
+		for _, k := range del {
+			l.Delete(int64(k))
+			delete(model, int64(k))
+		}
+		if l.Size() != len(model) {
+			return false
+		}
+		for k := range model {
+			if _, ok := l.Get(k); !ok {
+				return false
+			}
+		}
+		keys := l.Keys()
+		return sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentDisjointKeys(t *testing.T) {
+	l := New()
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := int64(g * perG)
+			for i := int64(0); i < perG; i++ {
+				l.Insert(base+i, base+i)
+			}
+			for i := int64(0); i < perG; i += 2 {
+				l.Delete(base + i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := l.Size(), goroutines*perG/2; got != want {
+		t.Fatalf("Size = %d, want %d", got, want)
+	}
+	keys := l.Keys()
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("keys not sorted")
+	}
+}
+
+func TestConcurrentContention(t *testing.T) {
+	l := New()
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 1000; i++ {
+				key := rng.Int63n(32)
+				switch rng.Intn(3) {
+				case 0:
+					l.Insert(key, key)
+				case 1:
+					l.Delete(key)
+				default:
+					if v, ok := l.Get(key); ok && v != key {
+						t.Errorf("Get(%d) = %d", key, v)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	keys := l.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys out of order: %d >= %d", keys[i-1], keys[i])
+		}
+	}
+}

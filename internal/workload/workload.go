@@ -1,0 +1,181 @@
+// Package workload generates the synthetic workloads used in the paper's
+// evaluation (Section 6): operation mixes written "xi-yd" (x% Inserts, y%
+// Deletes, the rest Gets) over uniformly random keys drawn from a key range,
+// together with the prefilling procedure that brings a dictionary to its
+// expected steady-state size before measurement.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dict"
+)
+
+// Mix is an operation mix: InsertPct percent of operations are Inserts,
+// DeletePct percent are Deletes and the remainder are Gets.
+type Mix struct {
+	InsertPct int
+	DeletePct int
+}
+
+// The three operation mixes of Figure 8.
+var (
+	// Mix50i50d is the update-only workload (50% Insert, 50% Delete).
+	Mix50i50d = Mix{InsertPct: 50, DeletePct: 50}
+	// Mix20i10d is the mixed workload (20% Insert, 10% Delete, 70% Get).
+	Mix20i10d = Mix{InsertPct: 20, DeletePct: 10}
+	// Mix0i0d is the read-only workload (100% Get).
+	Mix0i0d = Mix{InsertPct: 0, DeletePct: 0}
+)
+
+// String formats the mix the way the paper names it, e.g. "50i-50d".
+func (m Mix) String() string {
+	return fmt.Sprintf("%di-%dd", m.InsertPct, m.DeletePct)
+}
+
+// Valid reports whether the percentages are sane.
+func (m Mix) Valid() bool {
+	return m.InsertPct >= 0 && m.DeletePct >= 0 && m.InsertPct+m.DeletePct <= 100
+}
+
+// ExpectedSize returns the expected steady-state dictionary size for this mix
+// over the given key range, following the reasoning in Section 6 of the
+// paper: under 50i-50d each key is present with probability 1/2; under
+// 20i-10d with probability 2/3 (insertions are twice as likely as
+// deletions); for a read-only mix the paper prefills to half the key range.
+func (m Mix) ExpectedSize(keyRange int64) int {
+	switch {
+	case m.InsertPct == 0 && m.DeletePct == 0:
+		return int(keyRange / 2)
+	case m.DeletePct == 0:
+		return int(keyRange)
+	default:
+		num := int64(m.InsertPct)
+		den := int64(m.InsertPct + m.DeletePct)
+		return int(keyRange * num / den)
+	}
+}
+
+// Op identifies one dictionary operation kind.
+type Op int
+
+// Operation kinds produced by a Generator.
+const (
+	OpGet Op = iota
+	OpInsert
+	OpDelete
+)
+
+// Generator produces a deterministic stream of operations for one worker
+// goroutine. It is not safe for concurrent use; create one per goroutine.
+type Generator struct {
+	mix      Mix
+	keyRange int64
+	rng      *rand.Rand
+}
+
+// NewGenerator returns a generator for the given mix and key range, seeded
+// deterministically from seed.
+func NewGenerator(mix Mix, keyRange int64, seed int64) *Generator {
+	return &Generator{mix: mix, keyRange: keyRange, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next operation and its key. The value for inserts is the
+// key itself (the benchmarks never inspect values).
+func (g *Generator) Next() (Op, int64) {
+	key := g.rng.Int63n(g.keyRange)
+	p := g.rng.Intn(100)
+	switch {
+	case p < g.mix.InsertPct:
+		return OpInsert, key
+	case p < g.mix.InsertPct+g.mix.DeletePct:
+		return OpDelete, key
+	default:
+		return OpGet, key
+	}
+}
+
+// Apply performs one generated operation against d.
+func Apply(d dict.Map, op Op, key int64) {
+	switch op {
+	case OpInsert:
+		d.Insert(key, key)
+	case OpDelete:
+		d.Delete(key)
+	default:
+		d.Get(key)
+	}
+}
+
+// Prefill brings d to within tolerance (a fraction, e.g. 0.05) of the mix's
+// expected steady-state size by running the update portion of the mix, as
+// the paper's methodology prescribes. It returns the final size. Prefilling
+// is single-threaded and deterministic for a given seed.
+func Prefill(d dict.Map, mix Mix, keyRange int64, tolerance float64, seed int64) int {
+	target := mix.ExpectedSize(keyRange)
+	if target == 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	insPct, delPct := mix.InsertPct, mix.DeletePct
+	if insPct == 0 && delPct == 0 {
+		// Read-only mix: prefill with pure insertions of distinct keys.
+		insPct, delPct = 100, 0
+	}
+	size := sizeOf(d)
+	// Run update operations until the size settles inside the tolerance
+	// band. The loop bounds the work so a pathological dictionary cannot
+	// hang the harness.
+	maxOps := 400 * keyRange
+	if maxOps < 1_000_000 {
+		maxOps = 1_000_000
+	}
+	for ops := int64(0); ops < maxOps; ops++ {
+		if withinTolerance(size, target, tolerance) && ops%64 == 0 {
+			break
+		}
+		key := rng.Int63n(keyRange)
+		p := rng.Intn(insPct + delPct)
+		if p < insPct {
+			if _, existed := d.Insert(key, key); !existed {
+				size++
+			}
+		} else {
+			if _, existed := d.Delete(key); existed {
+				size--
+			}
+		}
+	}
+	return size
+}
+
+// PrefillExact inserts exactly n distinct keys spread uniformly over the key
+// range. It is used by the read-only workload and by tests that need a known
+// size.
+func PrefillExact(d dict.Map, keyRange int64, n int, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	inserted := 0
+	for inserted < n {
+		key := rng.Int63n(keyRange)
+		if _, existed := d.Insert(key, key); !existed {
+			inserted++
+		}
+	}
+	return inserted
+}
+
+func withinTolerance(size, target int, tolerance float64) bool {
+	diff := size - target
+	if diff < 0 {
+		diff = -diff
+	}
+	return float64(diff) <= tolerance*float64(target)
+}
+
+func sizeOf(d dict.Map) int {
+	if s, ok := d.(dict.Sized); ok {
+		return s.Size()
+	}
+	return 0
+}

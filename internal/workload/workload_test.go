@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dict"
+	"repro/internal/seqrbt"
+)
+
+func TestMixString(t *testing.T) {
+	cases := map[string]Mix{
+		"50i-50d": Mix50i50d,
+		"20i-10d": Mix20i10d,
+		"0i-0d":   Mix0i0d,
+	}
+	for want, mix := range cases {
+		if got := mix.String(); got != want {
+			t.Errorf("Mix.String() = %q, want %q", got, want)
+		}
+		if !mix.Valid() {
+			t.Errorf("mix %v reported invalid", mix)
+		}
+	}
+	if (Mix{InsertPct: 80, DeletePct: 30}).Valid() {
+		t.Error("mix summing over 100%% reported valid")
+	}
+	if (Mix{InsertPct: -1}).Valid() {
+		t.Error("negative mix reported valid")
+	}
+}
+
+func TestExpectedSizeMatchesPaper(t *testing.T) {
+	// Section 6: 50i-50d settles at half the key range, 20i-10d at two
+	// thirds, and the read-only workload is prefilled to half.
+	if got := Mix50i50d.ExpectedSize(1000); got != 500 {
+		t.Errorf("50i-50d expected size = %d, want 500", got)
+	}
+	if got := Mix20i10d.ExpectedSize(900); got != 600 {
+		t.Errorf("20i-10d expected size = %d, want 600", got)
+	}
+	if got := Mix0i0d.ExpectedSize(1000); got != 500 {
+		t.Errorf("0i-0d expected size = %d, want 500", got)
+	}
+	if got := (Mix{InsertPct: 10, DeletePct: 0}).ExpectedSize(1000); got != 1000 {
+		t.Errorf("insert-only expected size = %d, want 1000", got)
+	}
+}
+
+func TestGeneratorRespectsMix(t *testing.T) {
+	gen := NewGenerator(Mix20i10d, 1000, 7)
+	counts := map[Op]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		op, key := gen.Next()
+		if key < 0 || key >= 1000 {
+			t.Fatalf("key %d out of range", key)
+		}
+		counts[op]++
+	}
+	insFrac := float64(counts[OpInsert]) / n
+	delFrac := float64(counts[OpDelete]) / n
+	getFrac := float64(counts[OpGet]) / n
+	if insFrac < 0.18 || insFrac > 0.22 {
+		t.Errorf("insert fraction = %.3f, want ~0.20", insFrac)
+	}
+	if delFrac < 0.08 || delFrac > 0.12 {
+		t.Errorf("delete fraction = %.3f, want ~0.10", delFrac)
+	}
+	if getFrac < 0.68 || getFrac > 0.72 {
+		t.Errorf("get fraction = %.3f, want ~0.70", getFrac)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(Mix50i50d, 100, 5)
+	b := NewGenerator(Mix50i50d, 100, 5)
+	for i := 0; i < 1000; i++ {
+		opA, keyA := a.Next()
+		opB, keyB := b.Next()
+		if opA != opB || keyA != keyB {
+			t.Fatalf("generators with the same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestPrefillReachesSteadyStateSize(t *testing.T) {
+	for _, mix := range []Mix{Mix50i50d, Mix20i10d, Mix0i0d} {
+		d := seqrbt.New()
+		const keyRange = 2000
+		size := Prefill(d, mix, keyRange, 0.05, 3)
+		want := mix.ExpectedSize(keyRange)
+		lo := int(float64(want) * 0.94)
+		hi := int(float64(want) * 1.06)
+		if size < lo || size > hi {
+			t.Errorf("mix %s: prefilled size %d outside [%d,%d]", mix, size, lo, hi)
+		}
+		if d.Size() != size {
+			t.Errorf("mix %s: reported size %d != actual size %d", mix, size, d.Size())
+		}
+	}
+}
+
+func TestPrefillExact(t *testing.T) {
+	d := seqrbt.New()
+	if got := PrefillExact(d, 10000, 1234, 9); got != 1234 {
+		t.Fatalf("PrefillExact returned %d, want 1234", got)
+	}
+	if d.Size() != 1234 {
+		t.Fatalf("Size = %d, want 1234", d.Size())
+	}
+}
+
+func TestApply(t *testing.T) {
+	d := seqrbt.New()
+	Apply(d, OpInsert, 5)
+	if _, ok := d.Get(5); !ok {
+		t.Fatal("Apply(OpInsert) did not insert")
+	}
+	Apply(d, OpGet, 5)
+	Apply(d, OpDelete, 5)
+	if _, ok := d.Get(5); ok {
+		t.Fatal("Apply(OpDelete) did not delete")
+	}
+}
+
+// TestPropertyGeneratorKeysInRange checks with testing/quick that generated
+// keys always fall inside the configured key range, for arbitrary ranges and
+// seeds.
+func TestPropertyGeneratorKeysInRange(t *testing.T) {
+	prop := func(rangeSeed uint16, seed int64) bool {
+		keyRange := int64(rangeSeed)%5000 + 1
+		gen := NewGenerator(Mix20i10d, keyRange, seed)
+		for i := 0; i < 200; i++ {
+			_, key := gen.Next()
+			if key < 0 || key >= keyRange {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var _ dict.Map = (*seqrbt.Tree)(nil)
