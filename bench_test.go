@@ -31,7 +31,7 @@ import (
 // (as in the paper, which omits them from the largest range because even
 // prefilling them takes too long).
 var figure8Structures = []string{
-	"Chromatic", "Chromatic6", "SkipList", "LockAVL", "EBST", "RBGlobal",
+	"Chromatic", "Chromatic6", "RAVL", "SkipList", "LockAVL", "EBST", "RBGlobal",
 }
 
 var figure8STMStructures = []string{"RBSTM", "SkipListSTM"}
@@ -82,7 +82,7 @@ func BenchmarkFigure8Mix0i0d(b *testing.B) { benchmarkFigure8(b, workload.Mix0i0
 // workload, so the low-contention regime is exercised without making the
 // default benchmark run take tens of minutes.
 func BenchmarkFigure8LargeKeyRange(b *testing.B) {
-	for _, name := range []string{"Chromatic", "Chromatic6", "SkipList"} {
+	for _, name := range []string{"Chromatic", "Chromatic6", "RAVL", "SkipList"} {
 		factory, _ := bench.Lookup(name)
 		b.Run(name, func(b *testing.B) {
 			benchmarkDictionary(b, factory, workload.Mix20i10d, 1_000_000)

@@ -12,6 +12,9 @@
 //	          paper's introduction
 //	height    the O(c + log n) height bound experiment (Section 5.3)
 //	ablation  sweep of the Chromatic6 violation threshold (Section 5.6)
+//	ravl      the Figure-8-style series restricted to the template-based
+//	          trees (Chromatic, Chromatic6, RAVL, EBST) plus the relaxed
+//	          AVL balance report
 //	all       every experiment above, in order
 //
 // Example:
@@ -36,7 +39,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run: figure8, figure9, ratios, height, ablation or all")
+		experiment = flag.String("experiment", "all", "experiment to run: figure8, figure9, ratios, height, ablation, ravl or all")
 		duration   = flag.Duration("duration", 1*time.Second, "duration of each timed trial")
 		trials     = flag.Int("trials", 1, "trials per configuration (mean is reported)")
 		threads    = flag.String("threads", "", "comma-separated thread counts (default: scaled to this machine)")
@@ -106,6 +109,9 @@ func main() {
 		case "ablation":
 			fmt.Fprintln(out, "=== Chromatic6 violation-threshold ablation (Section 5.6) ===")
 			bench.ViolationThresholdAblation(out, opts, nil)
+		case "ravl":
+			fmt.Fprintln(out, "=== Relaxed AVL vs the other template-based trees ===")
+			bench.RAVLComparison(out, opts)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
@@ -117,6 +123,11 @@ func main() {
 		for _, name := range []string{"figure8", "figure9", "ratios", "height", "ablation"} {
 			run(name)
 		}
+		// figure8 above already measured every structure's throughput grid,
+		// so finish with just the relaxed AVL balance characterization.
+		fmt.Fprintln(out, "=== Relaxed AVL balance report ===")
+		bench.RAVLBalanceReport(out, opts)
+		fmt.Fprintln(out)
 		return
 	}
 	run(*experiment)

@@ -1,0 +1,165 @@
+package repro
+
+// Shared OrderedMap conformance, fuzz and stress suite (internal/dict/
+// dicttest) applied to every tree built on the LLX/SCX tree update
+// template, resolved through the benchmark registry so the tests exercise
+// exactly what the harness benchmarks. Each target carries its own
+// quiescent invariant checker: the engine's structural check for EBST, the
+// full height/balance bookkeeping for RAVL (after draining the relaxed
+// violations), and the weight invariants for the chromatic trees.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/chromatic"
+	"repro/internal/dict"
+	"repro/internal/dict/dicttest"
+	"repro/internal/ebst"
+	"repro/internal/ravl"
+)
+
+// templateTreeTargets returns the dicttest targets for the template-based
+// trees, with structure-specific invariant checkers.
+func templateTreeTargets(tb testing.TB) []dicttest.Target {
+	lookup := func(name string) func() dict.Map {
+		f, ok := bench.Lookup(name)
+		if !ok {
+			tb.Fatalf("structure %q not in bench registry", name)
+		}
+		return f.New
+	}
+	return []dicttest.Target{
+		{
+			Name: "EBST",
+			New:  lookup("EBST"),
+			Check: func(d dict.Map) error {
+				return d.(*ebst.Tree).CheckStructure()
+			},
+		},
+		{
+			Name: "RAVL",
+			New:  lookup("RAVL"),
+			Check: func(d dict.Map) error {
+				tr := d.(*ravl.Tree)
+				if err := tr.CheckStructure(); err != nil {
+					return err
+				}
+				if _, err := tr.RebalanceAll(ravl.DrainCap(tr.Size())); err != nil {
+					return err
+				}
+				return tr.CheckAVL()
+			},
+		},
+		{
+			Name: "Chromatic",
+			New:  lookup("Chromatic"),
+			Check: func(d dict.Map) error {
+				// The plain chromatic tree rebalances eagerly: at quiescence
+				// it must satisfy the full red-black conditions.
+				return d.(*chromatic.Tree).CheckRedBlack()
+			},
+		},
+		{
+			Name: "Chromatic6",
+			New:  lookup("Chromatic6"),
+			Check: func(d dict.Map) error {
+				// Chromatic6 may retain up to six violations per search path,
+				// so only the structural and weight invariants must hold.
+				return d.(*chromatic.Tree).CheckInvariants()
+			},
+		},
+	}
+}
+
+// TestOrderedMapConformance runs the shared sequential suite - every
+// operation, including Successor and Predecessor, mirrored against a model
+// map - over each template-based tree.
+func TestOrderedMapConformance(t *testing.T) {
+	for _, tgt := range templateTreeTargets(t) {
+		t.Run(tgt.Name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 3; seed++ {
+				dicttest.SequentialConformance(t, tgt, 6000, 200, seed)
+			}
+			// A tiny key range maximizes structural churn per key.
+			dicttest.SequentialConformance(t, tgt, 4000, 8, 99)
+		})
+	}
+}
+
+// TestOrderedMapConcurrentStress runs the shared concurrent suite with the
+// per-structure invariant checks at quiescence.
+func TestOrderedMapConcurrentStress(t *testing.T) {
+	for _, tgt := range templateTreeTargets(t) {
+		t.Run(tgt.Name, func(t *testing.T) {
+			dicttest.ConcurrentStress(t, tgt, 4, 4000, 150)
+		})
+	}
+}
+
+// FuzzOrderedMapAgainstModel feeds an arbitrary byte stream, decoded as
+// (opcode, key, value) triples, to every template-based tree and compares
+// each result with the model map; the invariant checkers run at the end of
+// every input. Run with `go test -fuzz=FuzzOrderedMapAgainstModel .` for
+// continuous fuzzing; the seed corpus below runs as part of `go test`.
+func FuzzOrderedMapAgainstModel(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2})
+	f.Add([]byte{0, 5, 1, 0, 5, 2, 1, 5, 0})
+	f.Add([]byte{0, 1, 1, 0, 2, 2, 0, 3, 3, 0, 4, 4, 1, 2, 0, 3, 1, 0, 4, 9, 0})
+	// An ascending then descending churn that forces rebalancing.
+	var churn []byte
+	for i := byte(0); i < 60; i++ {
+		churn = append(churn, 0, i, i)
+	}
+	for i := byte(0); i < 60; i += 2 {
+		churn = append(churn, 1, i, 0)
+	}
+	for i := byte(60); i > 0; i-- {
+		churn = append(churn, 3, i, 0, 4, i, 0)
+	}
+	f.Add(churn)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 3*5000 {
+			t.Skip("input larger than the op budget")
+		}
+		for _, tgt := range templateTreeTargets(t) {
+			dicttest.FuzzOps(t, tgt, data)
+		}
+	})
+}
+
+// TestRegistryCoversTemplateTrees pins the registry contents the harness
+// and the figures rely on: the paper's own algorithms (chromatic trees),
+// the engine-based trees (EBST, RAVL) and the competitors.
+func TestRegistryCoversTemplateTrees(t *testing.T) {
+	for _, name := range []string{"Chromatic", "Chromatic6", "RAVL", "EBST", "SkipList", "LockAVL", "RBSTM", "SkipListSTM", "RBGlobal"} {
+		if _, ok := bench.Lookup(name); !ok {
+			t.Errorf("registry is missing %q", name)
+		}
+	}
+	// Every ordered structure the registry exposes must satisfy OrderedMap
+	// through the shared engine or its own query layer.
+	for _, name := range []string{"Chromatic", "Chromatic6", "RAVL", "EBST"} {
+		f, _ := bench.Lookup(name)
+		if _, ok := f.New().(dict.OrderedMap); !ok {
+			t.Errorf("%s does not implement dict.OrderedMap", name)
+		}
+	}
+	if err := quickSmoke(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quickSmoke double-checks that factories return independent instances.
+func quickSmoke() error {
+	f, _ := bench.Lookup("RAVL")
+	a, b := f.New(), f.New()
+	a.Insert(1, 1)
+	if _, ok := b.Get(1); ok {
+		return fmt.Errorf("factories share state")
+	}
+	return nil
+}

@@ -2,10 +2,14 @@
 // Ruppert, "A General Technique for Non-blocking Trees" (PPoPP 2014).
 //
 // The implementation lives under internal/: the LLX/SCX/VLX primitives
-// (internal/llxscx), the tree update template (internal/core), the
-// non-blocking chromatic tree (internal/chromatic) and every data structure
-// the paper's evaluation compares against, plus the workload generator and
-// throughput harness that regenerate the paper's figures. The root package
-// only hosts the repository-level benchmarks in bench_test.go; see README.md
-// and DESIGN.md for the full map.
+// (internal/llxscx), the tree update template (internal/core), the shared
+// leaf-oriented BST engine built on the template (internal/lbst) with its
+// two instantiations - the unbalanced BST (internal/ebst) and the relaxed
+// AVL tree (internal/ravl) - the non-blocking chromatic tree
+// (internal/chromatic), and every data structure the paper's evaluation
+// compares against, plus the workload generator and throughput harness that
+// regenerate the paper's figures. The root package only hosts the
+// repository-level benchmarks (bench_test.go) and the cross-implementation
+// conformance, fuzz and stress suites (integration_test.go,
+// conformance_test.go); see README.md and DESIGN.md for the full map.
 package repro

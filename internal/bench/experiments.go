@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/chromatic"
 	"repro/internal/dict"
+	"repro/internal/ravl"
 	"repro/internal/workload"
 )
 
@@ -213,6 +214,104 @@ func HeadlineRatios(w io.Writer, opts Options) []Ratio {
 		}
 	}
 	return ratios
+}
+
+// TemplateTreeSeries returns the registry names of the trees built on the
+// tree update template, in the order the comparison experiment reports
+// them: the paper's chromatic trees, the new relaxed AVL tree and the
+// unbalanced BST reference point.
+func TemplateTreeSeries() []string {
+	return []string{"Chromatic", "Chromatic6", "RAVL", "EBST"}
+}
+
+// RAVLReport summarizes the relaxed AVL tree's balance behaviour after the
+// comparison workload: how much rebalancing the updates performed, how much
+// deferred work was left at quiescence, and how the final height compares
+// with the exact AVL bound.
+type RAVLReport struct {
+	Keys               int
+	Height             int
+	AVLBound           int
+	LeftoverViolations int
+	DrainSteps         int
+	Cleanups           int64
+	HeightFixes        int64
+	SingleRotations    int64
+	DoubleRotations    int64
+}
+
+// RAVLComparison is the Figure-8-style experiment for the relaxed AVL tree:
+// it runs the paper's operation mixes and key ranges over the template-based
+// trees only (TemplateTreeSeries), so the new tree is compared like-for-like
+// with the chromatic trees and the unbalanced BST, and then characterizes
+// the relaxed balancing itself with RAVLBalanceReport.
+func RAVLComparison(w io.Writer, opts Options) ([]*Table, RAVLReport) {
+	opts = opts.withDefaults()
+	series := make([]string, 0, len(TemplateTreeSeries()))
+	for _, name := range TemplateTreeSeries() {
+		if _, ok := Lookup(name); ok {
+			series = append(series, name)
+		}
+	}
+	opts.Structures = series
+	tables := Figure8(w, opts)
+	return tables, RAVLBalanceReport(w, opts)
+}
+
+// RAVLBalanceReport characterizes the relaxed balancing on its own: an
+// update-heavy run followed by a quiescent drain (RebalanceAll) whose
+// result must be an exact AVL tree. The "all" experiment of
+// cmd/chromatic-bench uses this directly, since it has already measured the
+// Figure-8 grid over every structure.
+func RAVLBalanceReport(w io.Writer, opts Options) RAVLReport {
+	opts = opts.withDefaults()
+	keyRange := opts.KeyRanges[0]
+	if len(opts.KeyRanges) > 1 {
+		keyRange = opts.KeyRanges[1]
+	}
+	threads := opts.Threads[len(opts.Threads)-1]
+	var tree *ravl.Tree
+	factory := dict.Factory{
+		Name: "RAVL",
+		New: func() dict.Map {
+			tree = ravl.New()
+			return tree
+		},
+	}
+	Run(Config{
+		Factory:  factory,
+		Mix:      workload.Mix50i50d,
+		KeyRange: keyRange,
+		Threads:  threads,
+		Duration: opts.Duration,
+		Trials:   1,
+		Seed:     opts.Seed,
+	})
+	report := RAVLReport{}
+	if tree != nil {
+		report.Keys = tree.Size()
+		report.LeftoverViolations = tree.CountViolations()
+		steps, err := tree.RebalanceAll(ravl.DrainCap(report.Keys))
+		report.DrainSteps = steps
+		if err != nil {
+			fmt.Fprintf(w, "RAVL drain error: %v\n", err)
+		}
+		report.Height = tree.Height()
+		report.AVLBound = ravl.HeightBound(report.Keys)
+		s := tree.Stats()
+		report.Cleanups = s.Cleanups.Load()
+		report.HeightFixes = s.HeightFixes.Load()
+		report.SingleRotations = s.SingleRotations.Load()
+		report.DoubleRotations = s.DoubleRotations.Load()
+		fmt.Fprintf(w, "RAVL balance report: %s, key range [0,%d), %d threads\n",
+			workload.Mix50i50d, keyRange, threads)
+		fmt.Fprintf(w, "  n=%d leftover violations at quiescence=%d drained in %d steps\n",
+			report.Keys, report.LeftoverViolations, report.DrainSteps)
+		fmt.Fprintf(w, "  height after drain=%d (AVL bound %d)\n", report.Height, report.AVLBound)
+		fmt.Fprintf(w, "  cleanups=%d height fixes=%d single rotations=%d double rotations=%d\n",
+			report.Cleanups, report.HeightFixes, report.SingleRotations, report.DoubleRotations)
+	}
+	return report
 }
 
 // HeightReport is the outcome of the height-bound experiment of Section 5.3.

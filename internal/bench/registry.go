@@ -5,6 +5,7 @@ import (
 	"repro/internal/dict"
 	"repro/internal/ebst"
 	"repro/internal/lockavl"
+	"repro/internal/ravl"
 	"repro/internal/seqrbt"
 	"repro/internal/skiplist"
 	"repro/internal/stmrbt"
@@ -19,6 +20,7 @@ func Registry() []dict.Factory {
 	return []dict.Factory{
 		{Name: "Chromatic", New: func() dict.Map { return chromatic.New() }},
 		{Name: "Chromatic6", New: func() dict.Map { return chromatic.NewChromatic6() }},
+		{Name: "RAVL", New: func() dict.Map { return ravl.New() }},
 		{Name: "SkipList", New: func() dict.Map { return skiplist.New() }},
 		{Name: "LockAVL", New: func() dict.Map { return lockavl.New() }},
 		{Name: "EBST", New: func() dict.Map { return ebst.New() }},

@@ -55,6 +55,19 @@ func (n *node) Mutable(i int) *atomic.Pointer[node] {
 	return &n.right
 }
 
+// Key implements lbst.View, so the chromatic tree shares the engine's
+// ordered-query helpers (see query.go).
+func (n *node) Key() int64 { return n.k }
+
+// Value implements lbst.View.
+func (n *node) Value() int64 { return n.v }
+
+// IsLeaf implements lbst.View.
+func (n *node) IsLeaf() bool { return n.leaf }
+
+// IsSentinel implements lbst.View.
+func (n *node) IsSentinel() bool { return n.inf }
+
 // keyLess reports whether key is strictly smaller than n's key, treating
 // sentinel nodes as holding +infinity.
 func keyLess(key int64, n *node) bool {

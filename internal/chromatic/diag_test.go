@@ -70,8 +70,8 @@ func TestDiagnoseContention(t *testing.T) {
 					fmt.Fprintf(&dump, "--- search path for key %d contains a finalized node:\n%s", k, path)
 				}
 			}
-			t.Fatalf(fmt.Sprintf("stalled: %d/%d ops, rebalance=%d attempts=%d fails=%d violations=%d\n%s",
-				cur, goroutines*opsPerG, s.RebalanceTotal(), s.RebalanceAttempts.Load(), s.RebalanceFails.Load(), tr.CountViolations(), dump.String()))
+			t.Fatalf("stalled: %d/%d ops, rebalance=%d attempts=%d fails=%d violations=%d\n%s",
+				cur, goroutines*opsPerG, s.RebalanceTotal(), s.RebalanceAttempts.Load(), s.RebalanceFails.Load(), tr.CountViolations(), dump.String())
 		}
 	}
 }

@@ -1,148 +1,26 @@
 package chromatic
 
-import "repro/internal/llxscx"
+import "repro/internal/lbst"
 
-// This file implements the ordered queries of Section 5.5 of the paper:
-// Successor and Predecessor. Both perform an ordinary BST search using LLX
-// to read child pointers; if the leaf reached already answers the query it
-// is returned directly (linearized while it was on the search path),
-// otherwise the neighbouring leaf is located and a VLX over the connecting
-// path validates that the two leaves were adjacent in the tree at a single
-// point in time.
+// The ordered queries of Section 5.5 of the paper - Successor, Predecessor
+// and the derived scans - are implemented once, generically, by the shared
+// leaf-oriented BST engine (internal/lbst): an LLX-read BST search followed,
+// when the neighbouring leaf must be located, by a VLX over the connecting
+// path that validates the two leaves were adjacent in the tree at a single
+// point in time. The chromatic tree's node type satisfies lbst.View, so
+// these methods are thin wrappers; only the update path (chromatic.go,
+// rebalance.go) stays hand-unrolled, exactly as the paper's pseudocode does.
 
 // Successor returns the smallest key strictly greater than key together with
 // its value, or ok=false if no such key exists.
 func (t *Tree) Successor(key int64) (k, v int64, ok bool) {
-retry:
-	for {
-		var path []llxscx.Linked[node]
-		var lkLastLeft llxscx.Linked[node]
-		haveLastLeft := false
-
-		l := t.entry
-		for !l.leaf {
-			lk, st := llxscx.LLX(l)
-			if st != llxscx.Snapshot {
-				continue retry
-			}
-			if keyLess(key, l) {
-				lkLastLeft = lk
-				haveLastLeft = true
-				path = path[:0]
-				path = append(path, lk)
-				l = lk.Child(0)
-			} else {
-				path = append(path, lk)
-				l = lk.Child(1)
-			}
-			if l == nil {
-				continue retry
-			}
-		}
-		// The search for key always turns left at the sentinels, so lastLeft
-		// exists; if it is the entry node itself the dictionary is empty.
-		if !haveLastLeft || lkLastLeft.Node() == t.entry {
-			return 0, 0, false
-		}
-		if keyLess(key, l) {
-			// The leaf reached holds a key strictly greater than key, so it
-			// is the successor (linearized while it was on the search path).
-			if l.inf {
-				return 0, 0, false
-			}
-			return l.k, l.v, true
-		}
-		// Otherwise the successor is the leftmost leaf of lastLeft's right
-		// subtree. Walk down to it with LLXs and validate the whole
-		// connecting path with a VLX.
-		succ := lkLastLeft.Child(1)
-		if succ == nil {
-			continue retry
-		}
-		for !succ.leaf {
-			lk, st := llxscx.LLX(succ)
-			if st != llxscx.Snapshot {
-				continue retry
-			}
-			path = append(path, lk)
-			succ = lk.Child(0)
-			if succ == nil {
-				continue retry
-			}
-		}
-		if !llxscx.VLX(path) {
-			continue retry
-		}
-		if succ.inf {
-			return 0, 0, false
-		}
-		return succ.k, succ.v, true
-	}
+	return lbst.Successor(t.entry, key)
 }
 
 // Predecessor returns the largest key strictly smaller than key together
 // with its value, or ok=false if no such key exists.
 func (t *Tree) Predecessor(key int64) (k, v int64, ok bool) {
-retry:
-	for {
-		var path []llxscx.Linked[node]
-		var lkLastRight llxscx.Linked[node]
-		haveLastRight := false
-
-		l := t.entry
-		for !l.leaf {
-			lk, st := llxscx.LLX(l)
-			if st != llxscx.Snapshot {
-				continue retry
-			}
-			if keyLess(key, l) {
-				path = append(path, lk)
-				l = lk.Child(0)
-			} else {
-				lkLastRight = lk
-				haveLastRight = true
-				path = path[:0]
-				path = append(path, lk)
-				l = lk.Child(1)
-			}
-			if l == nil {
-				continue retry
-			}
-		}
-		if !l.inf && l.k < key {
-			// The leaf reached holds a key strictly smaller than key, so it
-			// is the predecessor.
-			return l.k, l.v, true
-		}
-		if !haveLastRight {
-			// The search never turned right: every key in the dictionary is
-			// greater than or equal to key.
-			return 0, 0, false
-		}
-		// The predecessor is the rightmost leaf of lastRight's left subtree.
-		pred := lkLastRight.Child(0)
-		if pred == nil {
-			continue retry
-		}
-		for !pred.leaf {
-			lk, st := llxscx.LLX(pred)
-			if st != llxscx.Snapshot {
-				continue retry
-			}
-			path = append(path, lk)
-			pred = lk.Child(1)
-			if pred == nil {
-				continue retry
-			}
-		}
-		if !llxscx.VLX(path) {
-			continue retry
-		}
-		if pred.inf {
-			return 0, 0, false
-		}
-		return pred.k, pred.v, true
-	}
+	return lbst.Predecessor(t.entry, key)
 }
 
 // RangeScan calls fn for every key in [lo, hi] in ascending order, using
@@ -150,49 +28,18 @@ retry:
 // returns false the scan stops early. The scan is not atomic as a whole:
 // each step is individually linearizable.
 func (t *Tree) RangeScan(lo, hi int64, fn func(k, v int64) bool) int {
-	count := 0
-	k := lo - 1
-	if lo == -1<<63 {
-		// Avoid underflow: probe the minimum directly.
-		if key, v, ok := t.Min(); ok && key <= hi {
-			if !fn(key, v) {
-				return 1
-			}
-			count++
-			k = key
-		} else {
-			return 0
-		}
-	}
-	for {
-		key, v, ok := t.Successor(k)
-		if !ok || key > hi {
-			return count
-		}
-		count++
-		if !fn(key, v) {
-			return count
-		}
-		k = key
-	}
+	return lbst.RangeScan(t.entry, lo, hi, fn)
 }
 
 // Min returns the smallest key in the dictionary and its value, or ok=false
 // if the dictionary is empty.
 func (t *Tree) Min() (k, v int64, ok bool) {
-	return t.Successor(-1 << 63)
+	return lbst.Min(t.entry)
 }
 
 // Max returns the largest key in the dictionary and its value, or ok=false
 // if the dictionary is empty. (Sentinel keys are treated as +infinity and
 // are never returned.)
 func (t *Tree) Max() (k, v int64, ok bool) {
-	// All real keys are strictly below the sentinels, so Predecessor of the
-	// largest representable key finds the maximum unless that key itself is
-	// stored; check it first.
-	const top = 1<<63 - 1
-	if v, ok := t.Get(top); ok {
-		return top, v, true
-	}
-	return t.Predecessor(top)
+	return lbst.Max(t.entry)
 }

@@ -30,9 +30,11 @@
 //	     subtree.
 //
 // The chromatic tree (internal/chromatic) follows the template with the loop
-// unrolled, exactly as the paper's pseudocode does; the leaf-oriented BST
-// (internal/ebst) and the relaxed AVL tree (internal/ravl) use this package's
-// Template type directly.
+// unrolled, exactly as the paper's pseudocode does. The leaf-oriented BST
+// engine (internal/lbst) uses this package's Template type directly and
+// discharges PC1-PC9 once for the shared insertion and deletion updates; the
+// unbalanced BST (internal/ebst) and the relaxed AVL tree (internal/ravl)
+// are instantiations of that engine, adding only their balancing policies.
 package core
 
 import (

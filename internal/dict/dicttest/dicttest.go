@@ -1,0 +1,266 @@
+// Package dicttest provides a reusable conformance, fuzz and stress suite
+// for dict.Map / dict.OrderedMap implementations, in the spirit of the
+// fuzz-vs-model testing used for classic balanced-tree libraries: every
+// operation is mirrored against a plain Go map (plus sorted keys for the
+// ordered queries), and a structure-specific invariant checker runs once
+// the structure is quiescent.
+//
+// The repository-level tests (conformance_test.go at the module root) run
+// this suite against every tree built on the LLX/SCX template - EBST, RAVL,
+// Chromatic and Chromatic6 - through the benchmark registry.
+package dicttest
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/dict"
+)
+
+// Target bundles a dictionary factory with an optional quiescent invariant
+// check (for example the chromatic tree's weight invariants or the relaxed
+// AVL tree's height bookkeeping).
+type Target struct {
+	// Name labels subtests.
+	Name string
+	// New creates an empty dictionary.
+	New func() dict.Map
+	// Check, if non-nil, verifies structure-specific invariants. It is only
+	// called when no operations are in flight.
+	Check func(dict.Map) error
+}
+
+// model is the reference implementation: a Go map plus sorted-key queries.
+type model struct {
+	m map[int64]int64
+}
+
+func newModel() *model { return &model{m: map[int64]int64{}} }
+
+func (md *model) insert(k, v int64) (int64, bool) {
+	old, ok := md.m[k]
+	md.m[k] = v
+	return old, ok
+}
+
+func (md *model) delete(k int64) (int64, bool) {
+	old, ok := md.m[k]
+	delete(md.m, k)
+	return old, ok
+}
+
+func (md *model) get(k int64) (int64, bool) {
+	v, ok := md.m[k]
+	return v, ok
+}
+
+func (md *model) successor(k int64) (int64, int64, bool) {
+	best, found := int64(0), false
+	for key := range md.m {
+		if key > k && (!found || key < best) {
+			best, found = key, true
+		}
+	}
+	if !found {
+		return 0, 0, false
+	}
+	return best, md.m[best], true
+}
+
+func (md *model) predecessor(k int64) (int64, int64, bool) {
+	best, found := int64(0), false
+	for key := range md.m {
+		if key < k && (!found || key > best) {
+			best, found = key, true
+		}
+	}
+	if !found {
+		return 0, 0, false
+	}
+	return best, md.m[best], true
+}
+
+func (md *model) sortedKeys() []int64 {
+	keys := make([]int64, 0, len(md.m))
+	for k := range md.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// applyChecked performs one operation against both the dictionary and the
+// model and fails the test on any divergence. op is interpreted modulo 5.
+func applyChecked(t *testing.T, name string, d dict.Map, md *model, step int, op int, key, val int64) {
+	t.Helper()
+	om, ordered := d.(dict.OrderedMap)
+	switch op % 5 {
+	case 0:
+		old, existed := d.Insert(key, val)
+		mOld, mExisted := md.insert(key, val)
+		if existed != mExisted || (existed && old != mOld) {
+			t.Fatalf("%s step %d: Insert(%d,%d) = (%d,%v), model (%d,%v)", name, step, key, val, old, existed, mOld, mExisted)
+		}
+	case 1:
+		old, existed := d.Delete(key)
+		mOld, mExisted := md.delete(key)
+		if existed != mExisted || (existed && old != mOld) {
+			t.Fatalf("%s step %d: Delete(%d) = (%d,%v), model (%d,%v)", name, step, key, old, existed, mOld, mExisted)
+		}
+	case 2:
+		v, ok := d.Get(key)
+		mV, mOk := md.get(key)
+		if ok != mOk || (ok && v != mV) {
+			t.Fatalf("%s step %d: Get(%d) = (%d,%v), model (%d,%v)", name, step, key, v, ok, mV, mOk)
+		}
+	case 3:
+		if !ordered {
+			return
+		}
+		k, v, ok := om.Successor(key)
+		mK, mV, mOk := md.successor(key)
+		if ok != mOk || (ok && (k != mK || v != mV)) {
+			t.Fatalf("%s step %d: Successor(%d) = (%d,%d,%v), model (%d,%d,%v)", name, step, key, k, v, ok, mK, mV, mOk)
+		}
+	default:
+		if !ordered {
+			return
+		}
+		k, v, ok := om.Predecessor(key)
+		mK, mV, mOk := md.predecessor(key)
+		if ok != mOk || (ok && (k != mK || v != mV)) {
+			t.Fatalf("%s step %d: Predecessor(%d) = (%d,%d,%v), model (%d,%d,%v)", name, step, key, k, v, ok, mK, mV, mOk)
+		}
+	}
+}
+
+// finalCheck sweeps the model's final state, the Size report and the
+// target's invariant checker.
+func finalCheck(t *testing.T, tgt Target, d dict.Map, md *model) {
+	t.Helper()
+	for _, k := range md.sortedKeys() {
+		want := md.m[k]
+		if got, ok := d.Get(k); !ok || got != want {
+			t.Fatalf("%s: final Get(%d) = (%d,%v), want (%d,true)", tgt.Name, k, got, ok, want)
+		}
+	}
+	if s, ok := d.(dict.Sized); ok {
+		if s.Size() != len(md.m) {
+			t.Fatalf("%s: Size() = %d, want %d", tgt.Name, s.Size(), len(md.m))
+		}
+	}
+	if tgt.Check != nil {
+		if err := tgt.Check(d); err != nil {
+			t.Fatalf("%s: invariant check: %v", tgt.Name, err)
+		}
+	}
+}
+
+// SequentialConformance runs a deterministic pseudo-random operation
+// sequence (including ordered queries when supported) against the model.
+func SequentialConformance(t *testing.T, tgt Target, ops int, keyRange int64, seed int64) {
+	t.Helper()
+	d := tgt.New()
+	md := newModel()
+	// Simple deterministic LCG so the suite does not depend on math/rand
+	// stability across Go releases.
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	next := func() uint64 {
+		state = state*2862933555777941757 + 3037000493
+		return state >> 11
+	}
+	for i := 0; i < ops; i++ {
+		op := int(next() % 5)
+		key := int64(next() % uint64(keyRange))
+		val := int64(next() % (1 << 30))
+		applyChecked(t, tgt.Name, d, md, i, op, key, val)
+	}
+	finalCheck(t, tgt, d, md)
+}
+
+// FuzzOps interprets data as an operation stream - three bytes per
+// operation: opcode, key, value - and checks every result against the
+// model. It is intended to be driven by go test's fuzzing engine.
+func FuzzOps(t *testing.T, tgt Target, data []byte) {
+	t.Helper()
+	d := tgt.New()
+	md := newModel()
+	for i := 0; i+2 < len(data); i += 3 {
+		op := int(data[i])
+		key := int64(data[i+1])
+		val := int64(data[i+2])
+		applyChecked(t, tgt.Name, d, md, i/3, op, key, val)
+	}
+	finalCheck(t, tgt, d, md)
+}
+
+// ConcurrentStress applies a mixed workload from several goroutines over
+// per-goroutine disjoint key ranges (so the final per-key state is known
+// regardless of interleaving), sprinkles in ordered queries whose results
+// must satisfy their contract, and runs the invariant checker at
+// quiescence.
+func ConcurrentStress(t *testing.T, tgt Target, goroutines, opsPerG int, keysPerG int64) {
+	t.Helper()
+	d := tgt.New()
+	om, ordered := d.(dict.OrderedMap)
+	type final = map[int64]int64
+	finals := make([]final, goroutines)
+	done := make(chan int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer func() { done <- g }()
+			state := uint64(g)*0x9e3779b97f4a7c15 + 1
+			next := func() uint64 {
+				state = state*2862933555777941757 + 3037000493
+				return state >> 11
+			}
+			f := final{}
+			base := int64(g) * keysPerG
+			for i := 0; i < opsPerG; i++ {
+				key := base + int64(next()%uint64(keysPerG))
+				switch next() % 4 {
+				case 0, 1:
+					val := int64(next() % (1 << 20))
+					d.Insert(key, val)
+					f[key] = val
+				case 2:
+					d.Delete(key)
+					f[key] = -1
+				default:
+					if ordered {
+						if k, _, ok := om.Successor(key); ok && k <= key {
+							t.Errorf("%s: Successor(%d) returned %d", tgt.Name, key, k)
+							return
+						}
+					} else {
+						d.Get(key)
+					}
+				}
+			}
+			finals[g] = f
+		}(g)
+	}
+	for range goroutines {
+		<-done
+	}
+	if t.Failed() {
+		return
+	}
+	for g, f := range finals {
+		for key, want := range f {
+			v, ok := d.Get(key)
+			if want == -1 {
+				if ok {
+					t.Fatalf("%s: goroutine %d key %d present, want deleted", tgt.Name, g, key)
+				}
+			} else if !ok || v != want {
+				t.Fatalf("%s: goroutine %d key %d = (%d,%v), want (%d,true)", tgt.Name, g, key, v, ok, want)
+			}
+		}
+	}
+	if tgt.Check != nil {
+		if err := tgt.Check(d); err != nil {
+			t.Fatalf("%s: invariant check at quiescence: %v", tgt.Name, err)
+		}
+	}
+}

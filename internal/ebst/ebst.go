@@ -1,277 +1,40 @@
 // Package ebst implements a non-blocking, leaf-oriented, unbalanced binary
-// search tree using the tree update template of internal/core directly.
+// search tree as the trivial instantiation of the shared engine in
+// internal/lbst.
 //
-// This is the style of data structure for which the template was originally
-// motivated (Ellen, Fatourou, Ruppert and van Breugel's non-blocking BST):
-// every Insert and Delete is a single localized update, expressed literally
-// with the template's Condition / NextNode / Args / Result callbacks, which
-// demonstrates how little code a new template-based data structure needs.
-// Because there is no rebalancing, the height can be linear in the number of
-// keys; the benchmark harness uses it as the "unbalanced non-blocking"
-// reference point.
+// This is the style of data structure for which the tree update template was
+// originally motivated (Ellen, Fatourou, Ruppert and van Breugel's
+// non-blocking BST). The engine owns the search loop, the insertion and
+// deletion template updates and the ordered queries; all this package adds
+// is the no-op balancing policy - no decoration, no violations, no
+// rebalancing steps - which demonstrates how little code a new
+// template-based data structure needs. Because there is no rebalancing, the
+// height can be linear in the number of keys; the benchmark harness uses it
+// as the "unbalanced non-blocking" reference point.
 package ebst
 
-import (
-	"sync/atomic"
+import "repro/internal/lbst"
 
-	"repro/internal/core"
-	"repro/internal/llxscx"
-)
+// policy is the no-op balancing policy: an unbalanced tree never considers
+// itself in violation.
+type policy struct{}
 
-// node is a Data-record of the tree: leaf-oriented, two mutable child
-// pointers, immutable key and value. Sentinel nodes have inf == true and act
-// as +infinity keys.
-type node struct {
-	rec  llxscx.Record[node]
-	k, v int64
-	leaf bool
-	inf  bool
-
-	left, right atomic.Pointer[node]
-}
-
-func (n *node) LLXRecord() *llxscx.Record[node] { return &n.rec }
-func (n *node) NumMutable() int                 { return 2 }
-func (n *node) Mutable(i int) *atomic.Pointer[node] {
-	if i == 0 {
-		return &n.left
-	}
-	return &n.right
-}
-
-func keyLess(key int64, n *node) bool { return n.inf || key < n.k }
-
-func newLeaf(k, v int64) *node { return &node{k: k, v: v, leaf: true} }
-
-func newInternal(k int64, inf bool, left, right *node) *node {
-	n := &node{k: k, inf: inf}
-	n.left.Store(left)
-	n.right.Store(right)
-	return n
-}
+func (policy) Name() string                             { return "EBST" }
+func (policy) InternalDeco() int64                      { return 0 }
+func (policy) CreatesViolation(_, _, _ *lbst.Node) bool { return false }
+func (policy) Violation(*lbst.Node) bool                { return false }
+func (policy) Rebalance(_, _ *lbst.Node) bool           { return false }
 
 // Tree is a non-blocking unbalanced leaf-oriented BST. It is safe for
-// concurrent use. Use New to create one.
+// concurrent use. Use New to create one. All dictionary and ordered-query
+// operations (Get, Insert, Delete, Successor, Predecessor, RangeScan, Min,
+// Max) and the quiescent helpers (Size, Height, Keys, CheckStructure) are
+// provided by the embedded engine.
 type Tree struct {
-	entry *node
+	*lbst.Tree
 }
 
-// New returns an empty tree. The entry structure mirrors the chromatic
-// tree's sentinels (Figure 10 of the paper) so that every leaf always has a
-// parent and, when the tree is non-empty, a grandparent.
+// New returns an empty tree.
 func New() *Tree {
-	return &Tree{entry: newInternal(0, true, &node{leaf: true, inf: true}, nil)}
-}
-
-// Name identifies the data structure in benchmark reports.
-func (t *Tree) Name() string { return "EBST" }
-
-// search returns the grandparent, parent and leaf on the search path for
-// key, using plain reads. gp is nil when the tree below the sentinels is a
-// single leaf.
-func (t *Tree) search(key int64) (gp, p, l *node) {
-	p = t.entry
-	l = t.entry.left.Load()
-	for !l.leaf {
-		gp, p = p, l
-		if keyLess(key, l) {
-			l = l.left.Load()
-		} else {
-			l = l.right.Load()
-		}
-	}
-	return gp, p, l
-}
-
-// Get returns the value associated with key, or (0, false) if absent.
-func (t *Tree) Get(key int64) (int64, bool) {
-	_, _, l := t.search(key)
-	if !l.inf && l.k == key {
-		return l.v, true
-	}
-	return 0, false
-}
-
-// insertResult is the Result type of the insertion template.
-type insertResult struct {
-	old     int64
-	existed bool
-}
-
-// Insert associates value with key, returning the previous value and true if
-// key was present. The update is expressed directly with the tree update
-// template: one LLX on the leaf's parent, one on the leaf, and one SCX that
-// replaces the leaf.
-func (t *Tree) Insert(key, value int64) (int64, bool) {
-	for {
-		_, p, l := t.search(key)
-		tmpl := core.Template[*node, node, insertResult]{
-			// Two LLXs are always enough: the parent and the leaf.
-			Condition: func(seq []llxscx.Linked[node]) bool { return len(seq) == 2 },
-			NextNode:  func(seq []llxscx.Linked[node]) *node { return l },
-			Args: func(seq []llxscx.Linked[node]) core.Args[node, *node] {
-				lkP, lkL := seq[0], seq[1]
-				fld := fieldOf(lkP, l)
-				var repl *node
-				if !l.inf && l.k == key {
-					repl = newLeaf(key, value)
-				} else {
-					keyLeaf := newLeaf(key, value)
-					oldCopy := &node{k: l.k, v: l.v, leaf: true, inf: l.inf}
-					if keyLess(key, l) {
-						repl = newInternal(l.k, l.inf, keyLeaf, oldCopy)
-					} else {
-						repl = newInternal(key, false, oldCopy, keyLeaf)
-					}
-				}
-				return core.Args[node, *node]{
-					V:   []llxscx.Linked[node]{lkP, lkL},
-					R:   []*node{l},
-					Fld: fld,
-					Old: l,
-					New: repl,
-				}
-			},
-			Result: func(seq []llxscx.Linked[node]) insertResult {
-				if !l.inf && l.k == key {
-					return insertResult{old: l.v, existed: true}
-				}
-				return insertResult{}
-			},
-		}
-		if res, ok := tmpl.Run(p); ok {
-			return res.old, res.existed
-		}
-	}
-}
-
-// Delete removes key, returning its value and true if it was present.
-func (t *Tree) Delete(key int64) (int64, bool) {
-	for {
-		gp, p, l := t.search(key)
-		if gp == nil || l.inf || l.k != key {
-			return 0, false
-		}
-		tmpl := core.Template[*node, node, int64]{
-			Condition: func(seq []llxscx.Linked[node]) bool { return len(seq) == 4 },
-			NextNode: func(seq []llxscx.Linked[node]) *node {
-				switch len(seq) {
-				case 1:
-					return p
-				case 2:
-					return l
-				default:
-					// The sibling, from the parent's snapshot.
-					return siblingOf(seq[1], l)
-				}
-			},
-			Args: func(seq []llxscx.Linked[node]) core.Args[node, *node] {
-				lkGP, lkP, lkL, lkS := seq[0], seq[1], seq[2], seq[3]
-				s := lkS.Node()
-				repl := &node{k: s.k, v: s.v, leaf: s.leaf, inf: s.inf}
-				repl.left.Store(lkS.Child(0))
-				repl.right.Store(lkS.Child(1))
-				var v []llxscx.Linked[node]
-				var r []*node
-				if lkP.Child(0) == l {
-					v = []llxscx.Linked[node]{lkGP, lkP, lkL, lkS}
-					r = []*node{p, l, s}
-				} else {
-					v = []llxscx.Linked[node]{lkGP, lkP, lkS, lkL}
-					r = []*node{p, s, l}
-				}
-				return core.Args[node, *node]{
-					V:   v,
-					R:   r,
-					Fld: fieldOf(lkGP, p),
-					Old: p,
-					New: repl,
-				}
-			},
-			Result: func(seq []llxscx.Linked[node]) int64 { return l.v },
-		}
-		if v, ok := tmpl.Run(gp); ok {
-			return v, true
-		}
-	}
-}
-
-// fieldOf returns the mutable field of the node captured by lk that pointed
-// to child in its snapshot, or nil.
-func fieldOf(lk llxscx.Linked[node], child *node) *atomic.Pointer[node] {
-	n := lk.Node()
-	if lk.Child(0) == child {
-		return &n.left
-	}
-	if lk.Child(1) == child {
-		return &n.right
-	}
-	return nil
-}
-
-// siblingOf returns the other child of the node captured by lk, or nil if
-// child is not one of its children.
-func siblingOf(lk llxscx.Linked[node], child *node) *node {
-	if lk.Child(0) == child {
-		return lk.Child(1)
-	}
-	if lk.Child(1) == child {
-		return lk.Child(0)
-	}
-	return nil
-}
-
-// Size returns the number of keys stored. Quiescence only.
-func (t *Tree) Size() int {
-	var count func(n *node) int
-	count = func(n *node) int {
-		if n == nil {
-			return 0
-		}
-		if n.leaf {
-			if n.inf {
-				return 0
-			}
-			return 1
-		}
-		return count(n.left.Load()) + count(n.right.Load())
-	}
-	return count(t.entry.left.Load())
-}
-
-// Height returns the height of the tree below the sentinels. Quiescence only.
-func (t *Tree) Height() int {
-	var h func(n *node) int
-	h = func(n *node) int {
-		if n == nil {
-			return 0
-		}
-		l, r := h(n.left.Load()), h(n.right.Load())
-		if l > r {
-			return l + 1
-		}
-		return r + 1
-	}
-	return h(t.entry.left.Load())
-}
-
-// Keys returns all keys in ascending order. Quiescence only.
-func (t *Tree) Keys() []int64 {
-	var keys []int64
-	var walk func(n *node)
-	walk = func(n *node) {
-		if n == nil {
-			return
-		}
-		if n.leaf {
-			if !n.inf {
-				keys = append(keys, n.k)
-			}
-			return
-		}
-		walk(n.left.Load())
-		walk(n.right.Load())
-	}
-	walk(t.entry.left.Load())
-	return keys
+	return &Tree{lbst.New(policy{})}
 }

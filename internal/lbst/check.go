@@ -1,0 +1,93 @@
+package lbst
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CheckStructure verifies the structural invariants every tree built on the
+// engine must satisfy, independent of its balancing policy:
+//
+//   - the sentinel structure at the top of the tree is intact;
+//   - every internal node has exactly two children and every leaf none;
+//   - leaves carry decoration 0 (the decoration is policy state for
+//     internal nodes only);
+//   - keys satisfy the leaf-oriented BST order (left subtree strictly
+//     smaller than the routing key, right subtree greater or equal);
+//   - no reachable node has been finalized.
+//
+// It must only be called at quiescence. It returns nil if all invariants
+// hold. Policy-specific balance invariants (for example the relaxed AVL's
+// height bookkeeping) are checked by the concrete tree packages.
+func (t *Tree) CheckStructure() error {
+	top := t.entry.left.Load()
+	if top == nil {
+		return errors.New("entry has no left child")
+	}
+	if !top.Inf {
+		return fmt.Errorf("node below entry is not a sentinel (key %d)", top.K)
+	}
+	if t.entry.Marked() || top.Marked() {
+		return errors.New("a sentinel node is finalized")
+	}
+	if top.Leaf {
+		return nil // empty dictionary: Figure 10(a)
+	}
+	right := top.right.Load()
+	if right == nil || !right.Leaf || !right.Inf {
+		return errors.New("right child of the sentinel internal node is not the sentinel leaf")
+	}
+	root := top.left.Load()
+	if root == nil {
+		return errors.New("sentinel internal node has no left child")
+	}
+	type bound struct {
+		lo, hi int64
+		hasLo  bool
+		hasHi  bool
+	}
+	var walk func(parent, n *Node, b bound) error
+	walk = func(parent, n *Node, b bound) error {
+		if n == nil {
+			return fmt.Errorf("internal node %d has a nil child", parent.K)
+		}
+		if n.Marked() {
+			return fmt.Errorf("reachable node with key %d is finalized", n.K)
+		}
+		if n.Leaf {
+			if n.left.Load() != nil || n.right.Load() != nil {
+				return fmt.Errorf("leaf %d has children", n.K)
+			}
+			if n.Deco != 0 {
+				return fmt.Errorf("leaf %d has decoration %d, want 0", n.K, n.Deco)
+			}
+			if !n.Inf {
+				if b.hasLo && n.K < b.lo {
+					return fmt.Errorf("leaf key %d below lower bound %d", n.K, b.lo)
+				}
+				if b.hasHi && n.K >= b.hi {
+					return fmt.Errorf("leaf key %d not below upper bound %d", n.K, b.hi)
+				}
+			}
+			return nil
+		}
+		if n.Inf {
+			return errors.New("sentinel internal node found inside the tree proper")
+		}
+		if b.hasLo && n.K < b.lo {
+			return fmt.Errorf("routing key %d below lower bound %d", n.K, b.lo)
+		}
+		if b.hasHi && n.K > b.hi {
+			return fmt.Errorf("routing key %d above upper bound %d", n.K, b.hi)
+		}
+		lb := b
+		lb.hi, lb.hasHi = n.K, true
+		if err := walk(n, n.left.Load(), lb); err != nil {
+			return err
+		}
+		rb := b
+		rb.lo, rb.hasLo = n.K, true
+		return walk(n, n.right.Load(), rb)
+	}
+	return walk(top, root, bound{})
+}

@@ -1,0 +1,477 @@
+// Package lbst is a reusable engine for non-blocking, leaf-oriented binary
+// search trees built on the tree update template of internal/core.
+//
+// The engine owns everything that was previously duplicated between the
+// unbalanced BST (internal/ebst) and the relaxed AVL tree (internal/ravl):
+// the sentinel entry structure of Figure 10 of Brown, Ellen and Ruppert
+// (PPoPP 2014), the leaf-oriented search loop, the construction of the
+// insertion and deletion template updates (so postconditions PC1-PC9 are
+// discharged once, here), the post-update cleanup loop that drives
+// rebalancing, and the ordered Successor/Predecessor queries with VLX
+// validation (shared, in generic form, with internal/chromatic via query.go).
+//
+// A concrete tree supplies a Policy: the meaning of the per-node balancing
+// decoration, how to detect a violation of its balance condition, and a set
+// of localized rebalancing steps (each itself a template update). The policy
+// for the unbalanced BST is trivial - no decoration, no violations, no
+// steps - which is exactly the paper's point about how little code a new
+// template-based data structure needs. The relaxed AVL policy decorates
+// nodes with heights and repairs violations with height fixes and rotations.
+package lbst
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/llxscx"
+)
+
+// Node is a Data-record of a leaf-oriented BST: immutable key, value,
+// leaf/sentinel flags and balancing decoration, plus the two mutable child
+// pointers manipulated through LLX/SCX. Updates that need to change
+// immutable data replace the node with a fresh copy, as the template
+// requires.
+type Node struct {
+	rec llxscx.Record[Node]
+
+	// K is the routing key (internal nodes) or dictionary key (leaves);
+	// ignored when Inf is set.
+	K int64
+	// V is the associated value (meaningful in leaves only).
+	V int64
+	// Deco is the balancing decoration, owned by the policy (for example
+	// the relaxed height in internal/ravl). Leaves always carry 0.
+	Deco int64
+	// Leaf marks dictionary leaves; their child pointers are always nil.
+	Leaf bool
+	// Inf marks sentinel nodes, whose key reads as +infinity.
+	Inf bool
+
+	left, right atomic.Pointer[Node]
+}
+
+// LLXRecord implements llxscx.DataRecord.
+func (n *Node) LLXRecord() *llxscx.Record[Node] { return &n.rec }
+
+// NumMutable implements llxscx.DataRecord.
+func (n *Node) NumMutable() int { return 2 }
+
+// Mutable implements llxscx.DataRecord.
+func (n *Node) Mutable(i int) *atomic.Pointer[Node] {
+	if i == 0 {
+		return &n.left
+	}
+	return &n.right
+}
+
+// Key implements View for the shared query helpers.
+func (n *Node) Key() int64 { return n.K }
+
+// Value implements View.
+func (n *Node) Value() int64 { return n.V }
+
+// IsLeaf implements View.
+func (n *Node) IsLeaf() bool { return n.Leaf }
+
+// IsSentinel implements View.
+func (n *Node) IsSentinel() bool { return n.Inf }
+
+// Left returns the left child with a plain atomic read. It is intended for
+// policies and quiescent inspection, not for lock-free traversals that need
+// snapshot consistency (use LLX for those).
+func (n *Node) Left() *Node { return n.left.Load() }
+
+// Right returns the right child with a plain atomic read.
+func (n *Node) Right() *Node { return n.right.Load() }
+
+// Marked reports whether the node has been finalized (removed) by an SCX.
+func (n *Node) Marked() bool { return n.rec.Marked() }
+
+// KeyLess reports whether key is strictly smaller than n's key, treating
+// sentinels as +infinity.
+func KeyLess(key int64, n *Node) bool { return n.Inf || key < n.K }
+
+// NewLeaf returns a fresh leaf holding key and value. Leaves always carry
+// decoration 0.
+func NewLeaf(k, v int64) *Node { return &Node{K: k, V: v, Leaf: true} }
+
+// NewInternal returns a fresh internal node with the given routing key,
+// decoration, sentinel flag and children.
+func NewInternal(k, deco int64, inf bool, left, right *Node) *Node {
+	n := &Node{K: k, Deco: deco, Inf: inf}
+	n.left.Store(left)
+	n.right.Store(right)
+	return n
+}
+
+// Copy returns a fresh copy of the node captured by lk, carrying the given
+// decoration and the children recorded in lk's snapshot. It is the standard
+// building block of rebalancing steps: a removed node reappears in the new
+// subtree only as a copy.
+func Copy(lk llxscx.Linked[Node], deco int64) *Node {
+	src := lk.Node()
+	n := &Node{K: src.K, V: src.V, Deco: deco, Leaf: src.Leaf, Inf: src.Inf}
+	n.left.Store(lk.Child(0))
+	n.right.Store(lk.Child(1))
+	return n
+}
+
+// FieldOf returns the mutable child field of the node captured by lk that
+// pointed to child in its snapshot, or nil if child was not one of its
+// children (meaning the tree changed under the caller, who must retry).
+func FieldOf(lk llxscx.Linked[Node], child *Node) *atomic.Pointer[Node] {
+	n := lk.Node()
+	if lk.Child(0) == child {
+		return &n.left
+	}
+	if lk.Child(1) == child {
+		return &n.right
+	}
+	return nil
+}
+
+// SiblingOf returns the other child of the node captured by lk, or nil if
+// child is not one of its snapshot children.
+func SiblingOf(lk llxscx.Linked[Node], child *Node) *Node {
+	if lk.Child(0) == child {
+		return lk.Child(1)
+	}
+	if lk.Child(1) == child {
+		return lk.Child(0)
+	}
+	return nil
+}
+
+// Policy parameterizes the engine with a balancing discipline. All methods
+// must be safe for concurrent use; Violation and Rebalance are invoked from
+// the engine's cleanup loop with plain-read path context and must express
+// any structural change as a template update (LLXs followed by one SCX) so
+// the combined data structure stays non-blocking and linearizable.
+type Policy interface {
+	// Name identifies the resulting data structure in benchmark reports.
+	Name() string
+
+	// InternalDeco is the decoration given to the fresh internal node that
+	// an insertion places where the old leaf was (its two children are
+	// leaves with decoration 0).
+	InternalDeco() int64
+
+	// CreatesViolation reports whether replacing oldChild by newChild below
+	// parent may have violated the balance condition, in which case the
+	// engine runs its cleanup loop. All three nodes are read-only context
+	// (immutable fields only).
+	CreatesViolation(parent, oldChild, newChild *Node) bool
+
+	// Violation reports, using plain reads, whether a rebalancing step is
+	// needed at the internal non-sentinel node n.
+	Violation(n *Node) bool
+
+	// Rebalance attempts one localized rebalancing step at n, whose parent
+	// on the search path is u. It returns true if a step was applied; false
+	// means the tree changed under it (or the violation vanished) and the
+	// cleanup loop re-searches from the entry point.
+	Rebalance(u, n *Node) bool
+}
+
+// Tree is a non-blocking leaf-oriented BST balanced according to a Policy.
+// It is safe for concurrent use. Use New.
+type Tree struct {
+	entry *Node
+	pol   Policy
+}
+
+// New returns an empty tree governed by pol. The entry structure mirrors
+// the chromatic tree's sentinels (Figure 10 of the paper) so every leaf
+// always has a parent and, when the tree is non-empty, a grandparent.
+func New(pol Policy) *Tree {
+	return &Tree{
+		entry: NewInternal(0, 0, true, &Node{Leaf: true, Inf: true}, nil),
+		pol:   pol,
+	}
+}
+
+// Name identifies the data structure in benchmark reports.
+func (t *Tree) Name() string { return t.pol.Name() }
+
+// Entry exposes the sentinel entry point for policies and quiescent
+// inspection.
+func (t *Tree) Entry() *Node { return t.entry }
+
+// search returns the grandparent, parent and leaf on the search path for
+// key, using plain reads (Figure 5 of the paper). gp is nil when the tree
+// below the sentinels is a single leaf.
+func (t *Tree) search(key int64) (gp, p, l *Node) {
+	p = t.entry
+	l = t.entry.left.Load()
+	for !l.Leaf {
+		gp, p = p, l
+		if KeyLess(key, l) {
+			l = l.left.Load()
+		} else {
+			l = l.right.Load()
+		}
+	}
+	return gp, p, l
+}
+
+// Get returns the value associated with key, or (0, false) if key is
+// absent. It uses only plain reads and never blocks or retries.
+func (t *Tree) Get(key int64) (int64, bool) {
+	_, _, l := t.search(key)
+	if !l.Inf && l.K == key {
+		return l.V, true
+	}
+	return 0, false
+}
+
+// insertResult is the Result type of the insertion template.
+type insertResult struct {
+	old     int64
+	existed bool
+}
+
+// Insert associates value with key, returning the previous value and true
+// if key was present. The update follows the tree update template: one LLX
+// on the leaf's parent, one on the leaf, and one SCX that replaces the
+// leaf (with a fresh leaf if the key was present, or with a fresh internal
+// node above two leaves if it was not).
+func (t *Tree) Insert(key, value int64) (int64, bool) {
+	for {
+		_, p, l := t.search(key)
+		var inserted *Node
+		tmpl := core.Template[*Node, Node, insertResult]{
+			// Two LLXs are always enough: the parent and the leaf.
+			Condition: func(seq []llxscx.Linked[Node]) bool { return len(seq) == 2 },
+			NextNode:  func(seq []llxscx.Linked[Node]) *Node { return l },
+			Args: func(seq []llxscx.Linked[Node]) core.Args[Node, *Node] {
+				lkP, lkL := seq[0], seq[1]
+				fld := FieldOf(lkP, l)
+				var repl *Node
+				if !l.Inf && l.K == key {
+					repl = NewLeaf(key, value)
+				} else {
+					keyLeaf := NewLeaf(key, value)
+					oldCopy := &Node{K: l.K, V: l.V, Leaf: true, Inf: l.Inf}
+					if KeyLess(key, l) {
+						repl = NewInternal(l.K, t.pol.InternalDeco(), l.Inf, keyLeaf, oldCopy)
+					} else {
+						repl = NewInternal(key, t.pol.InternalDeco(), false, oldCopy, keyLeaf)
+					}
+					inserted = repl
+				}
+				return core.Args[Node, *Node]{
+					V:   []llxscx.Linked[Node]{lkP, lkL},
+					R:   []*Node{l},
+					Fld: fld,
+					Old: l,
+					New: repl,
+				}
+			},
+			Result: func(seq []llxscx.Linked[Node]) insertResult {
+				if !l.Inf && l.K == key {
+					return insertResult{old: l.V, existed: true}
+				}
+				return insertResult{}
+			},
+		}
+		if res, ok := tmpl.Run(p); ok {
+			if !res.existed && t.pol.CreatesViolation(p, l, inserted) {
+				t.cleanup(key)
+			}
+			return res.old, res.existed
+		}
+	}
+}
+
+// Delete removes key, returning its value and true if it was present. The
+// update performs LLXs on the grandparent, parent, leaf and sibling, and
+// one SCX that swings the grandparent's child pointer to a copy of the
+// sibling (Figure 6 of the paper).
+func (t *Tree) Delete(key int64) (int64, bool) {
+	for {
+		gp, p, l := t.search(key)
+		if gp == nil || l.Inf || l.K != key {
+			return 0, false
+		}
+		var promoted *Node
+		tmpl := core.Template[*Node, Node, int64]{
+			Condition: func(seq []llxscx.Linked[Node]) bool { return len(seq) == 4 },
+			NextNode: func(seq []llxscx.Linked[Node]) *Node {
+				switch len(seq) {
+				case 1:
+					return p
+				case 2:
+					return l
+				default:
+					// The sibling, from the parent's snapshot.
+					return SiblingOf(seq[1], l)
+				}
+			},
+			Args: func(seq []llxscx.Linked[Node]) core.Args[Node, *Node] {
+				lkGP, lkP, lkL, lkS := seq[0], seq[1], seq[2], seq[3]
+				s := lkS.Node()
+				// The promoted copy keeps the sibling's decoration: its own
+				// subtree is unchanged, so its balance bookkeeping is too.
+				repl := Copy(lkS, s.Deco)
+				promoted = repl
+				// V and R are ordered by a breadth-first traversal (PC8):
+				// the parent's children appear in left-to-right order.
+				var v []llxscx.Linked[Node]
+				var r []*Node
+				if lkP.Child(0) == l {
+					v = []llxscx.Linked[Node]{lkGP, lkP, lkL, lkS}
+					r = []*Node{p, l, s}
+				} else {
+					v = []llxscx.Linked[Node]{lkGP, lkP, lkS, lkL}
+					r = []*Node{p, s, l}
+				}
+				return core.Args[Node, *Node]{
+					V:   v,
+					R:   r,
+					Fld: FieldOf(lkGP, p),
+					Old: p,
+					New: repl,
+				}
+			},
+			Result: func(seq []llxscx.Linked[Node]) int64 { return l.V },
+		}
+		if v, ok := tmpl.Run(gp); ok {
+			if t.pol.CreatesViolation(gp, p, promoted) {
+				t.cleanup(key)
+			}
+			return v, true
+		}
+	}
+}
+
+// cleanup repeatedly searches for key from the entry point and asks the
+// policy to perform one rebalancing step at the first violation on the
+// path, restarting from the entry point after every step, until it reaches
+// a leaf without seeing a violation. This is the chromatic tree's Cleanup
+// loop (Figure 5 of the paper) generalized over the balancing policy.
+//
+// Note that unlike the chromatic tree's VIOL property, a policy need not
+// guarantee that every violation stays on the search path of the key that
+// created it; cleanup then restores balance on this key's path and leaves
+// any violation it pushed elsewhere to later operations (that is the
+// "relaxed" in relaxed balancing).
+func (t *Tree) cleanup(key int64) {
+	for {
+		u := t.entry
+		n := t.entry.left.Load()
+		for {
+			if n == nil {
+				break // tree changed under us; restart
+			}
+			if n.Leaf {
+				return
+			}
+			if !n.Inf && t.pol.Violation(n) {
+				t.pol.Rebalance(u, n)
+				break // restart the search from the entry point
+			}
+			u = n
+			if KeyLess(key, n) {
+				n = n.left.Load()
+			} else {
+				n = n.right.Load()
+			}
+		}
+	}
+}
+
+// Cleanup exposes the rebalancing loop for policies that want to schedule
+// extra cleanup passes (for example from a background rebalancer).
+func (t *Tree) Cleanup(key int64) { t.cleanup(key) }
+
+// Successor returns the smallest key strictly greater than key, with its
+// value; ok is false if no such key exists. See the generic implementation
+// in query.go.
+func (t *Tree) Successor(key int64) (k, v int64, ok bool) {
+	return Successor(t.entry, key)
+}
+
+// Predecessor returns the largest key strictly smaller than key, with its
+// value; ok is false if no such key exists.
+func (t *Tree) Predecessor(key int64) (k, v int64, ok bool) {
+	return Predecessor(t.entry, key)
+}
+
+// RangeScan calls fn for every key in [lo, hi] in ascending order and
+// returns the number of keys visited; each step is individually
+// linearizable. If fn returns false the scan stops early.
+func (t *Tree) RangeScan(lo, hi int64, fn func(k, v int64) bool) int {
+	return RangeScan(t.entry, lo, hi, fn)
+}
+
+// Min returns the smallest key and its value, or ok=false if empty.
+func (t *Tree) Min() (k, v int64, ok bool) { return Min(t.entry) }
+
+// Max returns the largest key and its value, or ok=false if empty.
+func (t *Tree) Max() (k, v int64, ok bool) { return Max(t.entry) }
+
+// Size returns the number of keys stored. Quiescence only.
+func (t *Tree) Size() int {
+	size := 0
+	visitLeaves(t.entry.left.Load(), func(n *Node) {
+		if !n.Inf {
+			size++
+		}
+	})
+	return size
+}
+
+// Keys returns all keys in ascending order. Quiescence only.
+func (t *Tree) Keys() []int64 {
+	var keys []int64
+	visitLeaves(t.entry.left.Load(), func(n *Node) {
+		if !n.Inf {
+			keys = append(keys, n.K)
+		}
+	})
+	return keys
+}
+
+// Height returns the number of nodes on the longest path from the tree's
+// root (below the sentinels) to a leaf. Quiescence only.
+func (t *Tree) Height() int { return height(t.root()) }
+
+// root returns the root of the tree proper (the leftmost grandchild of the
+// entry node), or nil when the dictionary is empty.
+func (t *Tree) root() *Node {
+	top := t.entry.left.Load()
+	if top == nil || top.Leaf {
+		return nil
+	}
+	return top.left.Load()
+}
+
+// Root exposes the root of the tree proper for quiescent inspection by
+// policies and tests; nil when the dictionary is empty.
+func (t *Tree) Root() *Node { return t.root() }
+
+func visitLeaves(n *Node, fn func(*Node)) {
+	if n == nil {
+		return
+	}
+	if n.Leaf {
+		fn(n)
+		return
+	}
+	visitLeaves(n.left.Load(), fn)
+	visitLeaves(n.right.Load(), fn)
+}
+
+func height(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	if n.Leaf {
+		return 1
+	}
+	l, r := height(n.left.Load()), height(n.right.Load())
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

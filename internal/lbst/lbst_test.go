@@ -1,0 +1,165 @@
+package lbst
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// nopPolicy is the minimal policy: no decoration, no violations.
+type nopPolicy struct{}
+
+func (nopPolicy) Name() string                        { return "nop" }
+func (nopPolicy) InternalDeco() int64                 { return 0 }
+func (nopPolicy) CreatesViolation(_, _, _ *Node) bool { return false }
+func (nopPolicy) Violation(*Node) bool                { return false }
+func (nopPolicy) Rebalance(_, _ *Node) bool           { return false }
+
+// probePolicy records the engine's policy callbacks so the tests can verify
+// the engine honours the contract: CreatesViolation is consulted after every
+// structural change and a true return triggers a cleanup pass that consults
+// Violation along the key's search path.
+type probePolicy struct {
+	created   atomic.Int64
+	violation atomic.Int64
+}
+
+func (p *probePolicy) Name() string        { return "probe" }
+func (p *probePolicy) InternalDeco() int64 { return 7 }
+func (p *probePolicy) CreatesViolation(parent, oldChild, newChild *Node) bool {
+	p.created.Add(1)
+	return true
+}
+func (p *probePolicy) Violation(n *Node) bool {
+	p.violation.Add(1)
+	return false
+}
+func (p *probePolicy) Rebalance(_, _ *Node) bool { return false }
+
+func TestEngineDictionarySemantics(t *testing.T) {
+	tr := New(nopPolicy{})
+	model := map[int64]int64{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 10000; i++ {
+		key := rng.Int63n(250)
+		switch rng.Intn(3) {
+		case 0:
+			val := rng.Int63()
+			old, existed := tr.Insert(key, val)
+			mOld, mExisted := model[key]
+			if existed != mExisted || (existed && old != mOld) {
+				t.Fatalf("op %d: Insert(%d) mismatch", i, key)
+			}
+			model[key] = val
+		case 1:
+			old, existed := tr.Delete(key)
+			mOld, mExisted := model[key]
+			if existed != mExisted || (existed && old != mOld) {
+				t.Fatalf("op %d: Delete(%d) mismatch", i, key)
+			}
+			delete(model, key)
+		default:
+			v, ok := tr.Get(key)
+			mV, mOk := model[key]
+			if ok != mOk || (ok && v != mV) {
+				t.Fatalf("op %d: Get(%d) mismatch", i, key)
+			}
+		}
+	}
+	if tr.Size() != len(model) {
+		t.Fatalf("Size = %d, want %d", tr.Size(), len(model))
+	}
+	if err := tr.CheckStructure(); err != nil {
+		t.Fatalf("CheckStructure: %v", err)
+	}
+}
+
+func TestEnginePolicyHooks(t *testing.T) {
+	pol := &probePolicy{}
+	tr := New(pol)
+	// A fresh insert is a structural change below the top sentinel: the
+	// engine must consult CreatesViolation and, on true, run a cleanup pass.
+	tr.Insert(10, 1)
+	if pol.created.Load() != 1 {
+		t.Fatalf("CreatesViolation calls after fresh insert = %d, want 1", pol.created.Load())
+	}
+	// A value-replacing insert is not a structural change.
+	tr.Insert(10, 2)
+	if pol.created.Load() != 1 {
+		t.Fatalf("CreatesViolation consulted for a value-only insert")
+	}
+	// The internal node created by the insert below carries the policy
+	// decoration.
+	tr.Insert(20, 3)
+	if pol.created.Load() != 2 {
+		t.Fatalf("CreatesViolation calls after second insert = %d, want 2", pol.created.Load())
+	}
+	root := tr.Root()
+	if root == nil || root.Deco != 7 {
+		t.Fatalf("internal node decoration = %v, want 7", root)
+	}
+	if pol.violation.Load() == 0 {
+		t.Fatal("cleanup pass never consulted Violation")
+	}
+	// Deleting one of two keys promotes the sibling; structural change again.
+	before := pol.created.Load()
+	tr.Delete(10)
+	if pol.created.Load() != before+1 {
+		t.Fatalf("CreatesViolation calls after delete = %d, want %d", pol.created.Load(), before+1)
+	}
+	// Deleting an absent key changes nothing.
+	tr.Delete(99)
+	if pol.created.Load() != before+1 {
+		t.Fatalf("CreatesViolation consulted for a no-op delete")
+	}
+}
+
+func TestEngineOrderedQueriesUnderConcurrency(t *testing.T) {
+	tr := New(nopPolicy{})
+	const keyRange = 512
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := rng.Int63n(keyRange)
+				if rng.Intn(2) == 0 {
+					tr.Insert(key, key)
+				} else {
+					tr.Delete(key)
+				}
+			}
+		}(g)
+	}
+	// Ordered queries must always return keys consistent with their
+	// contract even while the tree churns: Successor(k) > k, Predecessor(k)
+	// < k, and returned values match the key (writers always store v = k).
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 20000; i++ {
+		key := rng.Int63n(keyRange)
+		if k, v, ok := tr.Successor(key); ok {
+			if k <= key || v != k {
+				t.Fatalf("Successor(%d) = (%d,%d)", key, k, v)
+			}
+		}
+		if k, v, ok := tr.Predecessor(key); ok {
+			if k >= key || v != k {
+				t.Fatalf("Predecessor(%d) = (%d,%d)", key, k, v)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := tr.CheckStructure(); err != nil {
+		t.Fatalf("CheckStructure at quiescence: %v", err)
+	}
+}

@@ -1,0 +1,249 @@
+package lbst
+
+import "repro/internal/llxscx"
+
+// This file implements the ordered queries of Section 5.5 of the paper -
+// Successor and Predecessor - generically, so that every leaf-oriented BST
+// in the repository (the engine's own trees and the chromatic tree, whose
+// update path stays hand-unrolled) shares one implementation.
+//
+// Both queries perform an ordinary BST search using LLX to read child
+// pointers; if the leaf reached already answers the query it is returned
+// directly (it was linearized while on the search path), otherwise the
+// neighbouring leaf is located and a VLX over the connecting path validates
+// that the two leaves were adjacent in the tree at a single point in time.
+
+// View is the read-only shape a leaf-oriented BST node must expose to share
+// the engine's traversal helpers. The node type remains free to lay out its
+// fields however it likes (the chromatic tree keeps its weight field; the
+// engine's Node carries the policy decoration).
+type View[N any] interface {
+	llxscx.DataRecord[N]
+	// Key returns the routing key (internal nodes) or dictionary key
+	// (leaves); ignored for sentinels.
+	Key() int64
+	// Value returns the associated value (leaves only).
+	Value() int64
+	// IsLeaf reports whether the node is a leaf.
+	IsLeaf() bool
+	// IsSentinel reports whether the node's key reads as +infinity.
+	IsSentinel() bool
+}
+
+func viewLess[P View[N], N any](key int64, n P) bool {
+	return n.IsSentinel() || key < n.Key()
+}
+
+// Successor returns the smallest key strictly greater than key together
+// with its value, or ok=false if no such key exists. entry must be the
+// sentinel entry point of the tree.
+func Successor[P View[N], N any](entry P, key int64) (k, v int64, ok bool) {
+retry:
+	for {
+		var path []llxscx.Linked[N]
+		var lkLastLeft llxscx.Linked[N]
+		haveLastLeft := false
+
+		var nilNode P
+		l := entry
+		for !l.IsLeaf() {
+			lk, st := llxscx.LLX(l)
+			if st != llxscx.Snapshot {
+				continue retry
+			}
+			if viewLess(key, l) {
+				lkLastLeft = lk
+				haveLastLeft = true
+				path = path[:0]
+				path = append(path, lk)
+				l = lk.Child(0)
+			} else {
+				path = append(path, lk)
+				l = lk.Child(1)
+			}
+			if l == nilNode {
+				continue retry
+			}
+		}
+		// The search for key always turns left at the sentinels, so lastLeft
+		// exists; if it is the entry node itself the dictionary is empty.
+		if !haveLastLeft || lkLastLeft.Node() == (*N)(entry) {
+			return 0, 0, false
+		}
+		if viewLess(key, l) {
+			// The leaf reached holds a key strictly greater than key, so it
+			// is the successor (linearized while it was on the search path).
+			if l.IsSentinel() {
+				return 0, 0, false
+			}
+			return l.Key(), l.Value(), true
+		}
+		// Otherwise the successor is the leftmost leaf of lastLeft's right
+		// subtree. Walk down to it with LLXs and validate the whole
+		// connecting path with a VLX.
+		succ := P(lkLastLeft.Child(1))
+		if succ == nilNode {
+			continue retry
+		}
+		for !succ.IsLeaf() {
+			lk, st := llxscx.LLX(succ)
+			if st != llxscx.Snapshot {
+				continue retry
+			}
+			path = append(path, lk)
+			succ = lk.Child(0)
+			if succ == nilNode {
+				continue retry
+			}
+		}
+		if !llxscx.VLX(path) {
+			continue retry
+		}
+		if succ.IsSentinel() {
+			return 0, 0, false
+		}
+		return succ.Key(), succ.Value(), true
+	}
+}
+
+// Predecessor returns the largest key strictly smaller than key together
+// with its value, or ok=false if no such key exists. entry must be the
+// sentinel entry point of the tree.
+func Predecessor[P View[N], N any](entry P, key int64) (k, v int64, ok bool) {
+retry:
+	for {
+		var path []llxscx.Linked[N]
+		var lkLastRight llxscx.Linked[N]
+		haveLastRight := false
+
+		var nilNode P
+		l := entry
+		for !l.IsLeaf() {
+			lk, st := llxscx.LLX(l)
+			if st != llxscx.Snapshot {
+				continue retry
+			}
+			if viewLess(key, l) {
+				path = append(path, lk)
+				l = lk.Child(0)
+			} else {
+				lkLastRight = lk
+				haveLastRight = true
+				path = path[:0]
+				path = append(path, lk)
+				l = lk.Child(1)
+			}
+			if l == nilNode {
+				continue retry
+			}
+		}
+		if !l.IsSentinel() && l.Key() < key {
+			// The leaf reached holds a key strictly smaller than key, so it
+			// is the predecessor.
+			return l.Key(), l.Value(), true
+		}
+		if !haveLastRight {
+			// The search never turned right: every key in the dictionary is
+			// greater than or equal to key.
+			return 0, 0, false
+		}
+		// The predecessor is the rightmost leaf of lastRight's left subtree.
+		pred := P(lkLastRight.Child(0))
+		if pred == nilNode {
+			continue retry
+		}
+		for !pred.IsLeaf() {
+			lk, st := llxscx.LLX(pred)
+			if st != llxscx.Snapshot {
+				continue retry
+			}
+			path = append(path, lk)
+			pred = lk.Child(1)
+			if pred == nilNode {
+				continue retry
+			}
+		}
+		if !llxscx.VLX(path) {
+			continue retry
+		}
+		if pred.IsSentinel() {
+			return 0, 0, false
+		}
+		return pred.Key(), pred.Value(), true
+	}
+}
+
+// RangeScan calls fn for every key in [lo, hi] in ascending order, using
+// repeated Successor queries. It returns the number of keys visited. If fn
+// returns false the scan stops early. The scan is not atomic as a whole:
+// each step is individually linearizable.
+func RangeScan[P View[N], N any](entry P, lo, hi int64, fn func(k, v int64) bool) int {
+	count := 0
+	k := lo - 1
+	if lo == -1<<63 {
+		// Avoid underflow: probe the minimum directly.
+		if key, v, ok := Min(entry); ok && key <= hi {
+			if !fn(key, v) {
+				return 1
+			}
+			count++
+			k = key
+		} else {
+			return 0
+		}
+	}
+	for {
+		key, v, ok := Successor(entry, k)
+		if !ok || key > hi {
+			return count
+		}
+		count++
+		if !fn(key, v) {
+			return count
+		}
+		k = key
+	}
+}
+
+// Min returns the smallest key in the dictionary and its value, or ok=false
+// if the dictionary is empty.
+func Min[P View[N], N any](entry P) (k, v int64, ok bool) {
+	return Successor(entry, -1<<63)
+}
+
+// Max returns the largest key in the dictionary and its value, or ok=false
+// if the dictionary is empty. (Sentinel keys are treated as +infinity and
+// are never returned.)
+func Max[P View[N], N any](entry P) (k, v int64, ok bool) {
+	// All real keys are strictly below the sentinels, so Predecessor of the
+	// largest representable key finds the maximum unless that key itself is
+	// stored; check it first.
+	const top = 1<<63 - 1
+	if key, value, found := findLeaf(entry, top); found {
+		return key, value, true
+	}
+	return Predecessor(entry, top)
+}
+
+// findLeaf performs a plain-read search for key and reports its value if a
+// leaf holding exactly key is reached.
+func findLeaf[P View[N], N any](entry P, key int64) (int64, int64, bool) {
+	var nilNode P
+	l := entry
+	for !l.IsLeaf() {
+		var next P
+		if viewLess(key, l) {
+			next = P(l.Mutable(0).Load())
+		} else {
+			next = P(l.Mutable(1).Load())
+		}
+		if next == nilNode {
+			return 0, 0, false
+		}
+		l = next
+	}
+	if !l.IsSentinel() && l.Key() == key {
+		return l.Key(), l.Value(), true
+	}
+	return 0, 0, false
+}

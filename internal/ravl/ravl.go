@@ -1,0 +1,411 @@
+// Package ravl implements the non-blocking relaxed AVL tree discussed in
+// Section 5 of Brown, Ellen and Ruppert, "A General Technique for
+// Non-blocking Trees" (PPoPP 2014): the height-relaxed AVL rebalancing of
+// Bougé, Gabarró, Messeguer and Schabanel expressed as localized updates of
+// the tree update template.
+//
+// The tree is built entirely on the shared leaf-oriented BST engine
+// (internal/lbst); this package supplies only the balancing policy. Every
+// node's decoration is its relaxed height: 0 for leaves, and for internal
+// nodes a value that would be 1 + max of the children's heights if the tree
+// were quiescent and fully rebalanced. Insertions and deletions are the
+// engine's ordinary template updates and do not touch ancestors' heights;
+// instead, a node whose stored height no longer matches its children's
+// (a height violation), or whose children's heights differ by two or more
+// (a balance violation), is repaired later by one of three localized
+// rebalancing steps, each a template update of its own:
+//
+//	height fix       replace a node with a copy carrying the corrected
+//	                 height (may create a height violation at its parent,
+//	                 which migrates the violation one level up);
+//	single rotation  the classical AVL rotation, applied when the taller
+//	                 child leans outward (or evenly);
+//	double rotation  the classical AVL double rotation, applied when the
+//	                 taller child leans inward.
+//
+// Rotations are only applied between nodes whose stored heights are locally
+// correct, as in Bougé et al.; otherwise the child's height is fixed first.
+// Because updates are decoupled from rebalancing, the AVL balance condition
+// may be violated transiently (that is the "relaxed"): each operation's
+// cleanup restores balance along its own search path, and a rotation can
+// push a balance violation onto a path that no operation is currently
+// repairing. RebalanceAll drains every remaining violation at quiescence,
+// after which the tree is an exact AVL tree (CheckAVL).
+package ravl
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/lbst"
+	"repro/internal/llxscx"
+)
+
+// Stats counts the rebalancing steps performed on a tree. Counts are
+// monotone and only approximately ordered with respect to concurrent
+// operations.
+type Stats struct {
+	Cleanups        atomic.Int64 // cleanup passes triggered by updates
+	HeightFixes     atomic.Int64
+	SingleRotations atomic.Int64
+	DoubleRotations atomic.Int64
+}
+
+// RebalanceTotal returns the total number of successful rebalancing steps.
+func (s *Stats) RebalanceTotal() int64 {
+	return s.HeightFixes.Load() + s.SingleRotations.Load() + s.DoubleRotations.Load()
+}
+
+// policy is the relaxed AVL balancing policy for the lbst engine.
+type policy struct {
+	stats *Stats
+}
+
+// Name implements lbst.Policy.
+func (p *policy) Name() string { return "RAVL" }
+
+// InternalDeco implements lbst.Policy: the internal node created by an
+// insertion sits above two leaves (height 0), so its locally correct height
+// is 1.
+func (p *policy) InternalDeco() int64 { return 1 }
+
+// CreatesViolation implements lbst.Policy. Replacing oldChild by newChild
+// below parent can only create a violation at parent, and only if the
+// replacement's stored height differs from what parent's bookkeeping
+// expects - that is, from oldChild's stored height. (An insertion replaces
+// a height-0 leaf with a height-1 internal node; a deletion replaces a
+// parent with the promoted sibling, whose height is typically one less.)
+// Sentinels carry no height bookkeeping, so changes directly below them
+// never violate anything.
+func (p *policy) CreatesViolation(parent, oldChild, newChild *lbst.Node) bool {
+	if parent.Inf || newChild == nil {
+		return false
+	}
+	if oldChild.Deco == newChild.Deco {
+		return false
+	}
+	p.stats.Cleanups.Add(1)
+	return true
+}
+
+// Violation implements lbst.Policy: using plain reads, an internal node is
+// in violation if its stored height is not one more than its children's
+// maximum, or if the children's stored heights differ by two or more.
+func (p *policy) Violation(n *lbst.Node) bool {
+	l, r := n.Left(), n.Right()
+	if l == nil || r == nil {
+		return false
+	}
+	hl, hr := l.Deco, r.Deco
+	return n.Deco != 1+max(hl, hr) || hl-hr >= 2 || hr-hl >= 2
+}
+
+// Rebalance implements lbst.Policy: one localized rebalancing step at n,
+// whose parent on the search path is u, expressed as LLXs followed by a
+// single SCX exactly like the engine's insertions and deletions (the V
+// sequences are ordered root-to-leaf, satisfying PC8, and every removed
+// node reappears only as a copy, satisfying PC9).
+func (p *policy) Rebalance(u, n *lbst.Node) bool {
+	lkU, st := llxscx.LLX(u)
+	if st != llxscx.Snapshot {
+		return false
+	}
+	fld := lbst.FieldOf(lkU, n)
+	if fld == nil {
+		return false // n is no longer u's child; caller re-searches
+	}
+	lkN, st := llxscx.LLX(n)
+	if st != llxscx.Snapshot {
+		return false
+	}
+	l, r := lkN.Child(0), lkN.Child(1)
+	if l == nil || r == nil {
+		return false
+	}
+	hl, hr := l.Deco, r.Deco
+	switch {
+	case hl >= hr+2:
+		return p.fixLeft(lkU, lkN, fld)
+	case hr >= hl+2:
+		return p.fixRight(lkU, lkN, fld)
+	case n.Deco != 1+max(hl, hr):
+		repl := lbst.Copy(lkN, 1+max(hl, hr))
+		v := []llxscx.Linked[lbst.Node]{lkU, lkN}
+		if !llxscx.SCX(v, []*lbst.Node{n}, fld, n, repl) {
+			return false
+		}
+		p.stats.HeightFixes.Add(1)
+		return true
+	}
+	// The violation vanished between the plain-read check and the LLXs.
+	return false
+}
+
+// fixLeft repairs a balance violation where n's left child l is at least
+// two taller than its right child r. The linked LLX evidence for u and n is
+// supplied by the caller; fld is u's child field holding n.
+func (p *policy) fixLeft(lkU, lkN llxscx.Linked[lbst.Node], fld *atomic.Pointer[lbst.Node]) bool {
+	n := lkN.Node()
+	l, r := lkN.Child(0), lkN.Child(1)
+	if l.Leaf {
+		// Leaves store height 0, so a leaf can never be the taller side by
+		// two; the tree changed under us.
+		return false
+	}
+	lkL, st := llxscx.LLX(l)
+	if st != llxscx.Snapshot {
+		return false
+	}
+	ll, lr := lkL.Child(0), lkL.Child(1)
+	if ll == nil || lr == nil {
+		return false
+	}
+	hll, hlr := ll.Deco, lr.Deco
+	if l.Deco != 1+max(hll, hlr) {
+		// Rotations are only applied between nodes whose stored heights are
+		// locally correct; fix the child's height first (the balance
+		// violation at n is then re-evaluated against the corrected height).
+		lfld := lbst.FieldOf(lkN, l)
+		repl := lbst.Copy(lkL, 1+max(hll, hlr))
+		v := []llxscx.Linked[lbst.Node]{lkU, lkN, lkL}
+		if !llxscx.SCX(v, []*lbst.Node{l}, lfld, l, repl) {
+			return false
+		}
+		p.stats.HeightFixes.Add(1)
+		return true
+	}
+	if hll >= hlr {
+		// Single right rotation: l becomes the subtree root, n drops to its
+		// right with the inner subtree lr attached.
+		inner := lbst.NewInternal(n.K, 1+max(hlr, r.Deco), false, lr, r)
+		repl := lbst.NewInternal(l.K, 1+max(hll, inner.Deco), false, ll, inner)
+		v := []llxscx.Linked[lbst.Node]{lkU, lkN, lkL}
+		if !llxscx.SCX(v, []*lbst.Node{n, l}, fld, n, repl) {
+			return false
+		}
+		p.stats.SingleRotations.Add(1)
+		return true
+	}
+	// Double rotation: the taller child leans inward, so lr (which must be
+	// internal, since its stored height is at least 1) becomes the root.
+	if lr.Leaf {
+		return false
+	}
+	lkLR, st := llxscx.LLX(lr)
+	if st != llxscx.Snapshot {
+		return false
+	}
+	lrl, lrr := lkLR.Child(0), lkLR.Child(1)
+	if lrl == nil || lrr == nil {
+		return false
+	}
+	nl := lbst.NewInternal(l.K, 1+max(hll, lrl.Deco), false, ll, lrl)
+	nr := lbst.NewInternal(n.K, 1+max(lrr.Deco, r.Deco), false, lrr, r)
+	repl := lbst.NewInternal(lr.K, 1+max(nl.Deco, nr.Deco), false, nl, nr)
+	v := []llxscx.Linked[lbst.Node]{lkU, lkN, lkL, lkLR}
+	if !llxscx.SCX(v, []*lbst.Node{n, l, lr}, fld, n, repl) {
+		return false
+	}
+	p.stats.DoubleRotations.Add(1)
+	return true
+}
+
+// fixRight is the mirror image of fixLeft: n's right child r is at least
+// two taller than its left child l.
+func (p *policy) fixRight(lkU, lkN llxscx.Linked[lbst.Node], fld *atomic.Pointer[lbst.Node]) bool {
+	n := lkN.Node()
+	l, r := lkN.Child(0), lkN.Child(1)
+	if r.Leaf {
+		return false
+	}
+	lkR, st := llxscx.LLX(r)
+	if st != llxscx.Snapshot {
+		return false
+	}
+	rl, rr := lkR.Child(0), lkR.Child(1)
+	if rl == nil || rr == nil {
+		return false
+	}
+	hrl, hrr := rl.Deco, rr.Deco
+	if r.Deco != 1+max(hrl, hrr) {
+		rfld := lbst.FieldOf(lkN, r)
+		repl := lbst.Copy(lkR, 1+max(hrl, hrr))
+		v := []llxscx.Linked[lbst.Node]{lkU, lkN, lkR}
+		if !llxscx.SCX(v, []*lbst.Node{r}, rfld, r, repl) {
+			return false
+		}
+		p.stats.HeightFixes.Add(1)
+		return true
+	}
+	if hrr >= hrl {
+		// Single left rotation.
+		inner := lbst.NewInternal(n.K, 1+max(l.Deco, hrl), false, l, rl)
+		repl := lbst.NewInternal(r.K, 1+max(inner.Deco, hrr), false, inner, rr)
+		v := []llxscx.Linked[lbst.Node]{lkU, lkN, lkR}
+		if !llxscx.SCX(v, []*lbst.Node{n, r}, fld, n, repl) {
+			return false
+		}
+		p.stats.SingleRotations.Add(1)
+		return true
+	}
+	// Double rotation through rl.
+	if rl.Leaf {
+		return false
+	}
+	lkRL, st := llxscx.LLX(rl)
+	if st != llxscx.Snapshot {
+		return false
+	}
+	rll, rlr := lkRL.Child(0), lkRL.Child(1)
+	if rll == nil || rlr == nil {
+		return false
+	}
+	nl := lbst.NewInternal(n.K, 1+max(l.Deco, rll.Deco), false, l, rll)
+	nr := lbst.NewInternal(r.K, 1+max(rlr.Deco, hrr), false, rlr, rr)
+	repl := lbst.NewInternal(rl.K, 1+max(nl.Deco, nr.Deco), false, nl, nr)
+	v := []llxscx.Linked[lbst.Node]{lkU, lkN, lkR, lkRL}
+	if !llxscx.SCX(v, []*lbst.Node{n, r, rl}, fld, n, repl) {
+		return false
+	}
+	p.stats.DoubleRotations.Add(1)
+	return true
+}
+
+// Tree is a non-blocking relaxed AVL tree implementing an ordered
+// dictionary with int64 keys and values. It is safe for concurrent use by
+// any number of goroutines. Use New. All dictionary and ordered-query
+// operations come from the embedded engine; this type adds the AVL-specific
+// inspection and quiescent rebalancing helpers.
+type Tree struct {
+	*lbst.Tree
+	pol   *policy
+	stats Stats
+}
+
+// New returns an empty relaxed AVL tree.
+func New() *Tree {
+	t := &Tree{}
+	t.pol = &policy{stats: &t.stats}
+	t.Tree = lbst.New(t.pol)
+	return t
+}
+
+// Stats returns the tree's rebalancing counters.
+func (t *Tree) Stats() *Stats { return &t.stats }
+
+// DrainCap returns a generous bound on the quiescent rebalancing work for a
+// tree of n keys: far more steps than any converging drain needs, small
+// enough that RebalanceAll fails fast if step selection ever diverged.
+func DrainCap(n int) int { return 30*n + 10000 }
+
+// HeightBound returns the exact-AVL height bound for a leaf-oriented tree
+// of n keys (~1.44*log2(n), plus slack for the leaf level and rounding).
+// After RebalanceAll the tree's Height must not exceed it.
+func HeightBound(n int) int {
+	return int(1.4405*math.Log2(float64(n)+2)) + 3
+}
+
+// RebalanceAll repeatedly applies rebalancing steps, deepest violation
+// first, until the tree contains none, and returns the number of steps
+// performed. It must only be called at quiescence (concurrent updates can
+// create violations faster than they are drained). maxSteps bounds the work
+// as a safety net; an error reports a stuck or diverging rebalancing, which
+// would indicate a bug in the step selection.
+func (t *Tree) RebalanceAll(maxSteps int) (int, error) {
+	steps := 0
+	for {
+		u, n := t.findViolation()
+		if n == nil {
+			return steps, nil
+		}
+		if steps >= maxSteps {
+			return steps, fmt.Errorf("rebalancing did not converge after %d steps (violation at key %d)", steps, n.K)
+		}
+		if !t.pol.Rebalance(u, n) {
+			return steps, fmt.Errorf("rebalancing step failed at quiescence (key %d)", n.K)
+		}
+		steps++
+	}
+}
+
+// findViolation returns the parent and node of a deepest violation
+// (postorder: children are repaired before their ancestors, so rotations
+// always see locally correct heights below them), or nil if none exists.
+// Quiescence only.
+func (t *Tree) findViolation() (u, n *lbst.Node) {
+	var rec func(parent, nd *lbst.Node) (*lbst.Node, *lbst.Node)
+	rec = func(parent, nd *lbst.Node) (*lbst.Node, *lbst.Node) {
+		if nd == nil || nd.Leaf {
+			return nil, nil
+		}
+		if pu, pn := rec(nd, nd.Left()); pn != nil {
+			return pu, pn
+		}
+		if pu, pn := rec(nd, nd.Right()); pn != nil {
+			return pu, pn
+		}
+		if !nd.Inf && t.pol.Violation(nd) {
+			return parent, nd
+		}
+		return nil, nil
+	}
+	return rec(t.Entry(), t.Entry().Left())
+}
+
+// CountViolations returns the number of height and balance violations
+// currently present. Quiescence only.
+func (t *Tree) CountViolations() int {
+	count := 0
+	var rec func(nd *lbst.Node)
+	rec = func(nd *lbst.Node) {
+		if nd == nil || nd.Leaf {
+			return
+		}
+		if !nd.Inf && t.pol.Violation(nd) {
+			count++
+		}
+		rec(nd.Left())
+		rec(nd.Right())
+	}
+	rec(t.Entry().Left())
+	return count
+}
+
+// CheckAVL verifies that the tree is an exact AVL tree: the shared
+// structural invariants hold (CheckStructure), every stored height equals
+// the node's true height, and every internal node's subtree heights differ
+// by at most one. After sequential operation - or after RebalanceAll at
+// quiescence - this must hold. It returns nil on success.
+func (t *Tree) CheckAVL() error {
+	if err := t.CheckStructure(); err != nil {
+		return err
+	}
+	root := t.Root()
+	if root == nil {
+		return nil
+	}
+	var walk func(nd *lbst.Node) (int64, error)
+	walk = func(nd *lbst.Node) (int64, error) {
+		if nd.Leaf {
+			return 0, nil // CheckStructure already verified leaf decorations
+		}
+		hl, err := walk(nd.Left())
+		if err != nil {
+			return 0, err
+		}
+		hr, err := walk(nd.Right())
+		if err != nil {
+			return 0, err
+		}
+		if nd.Deco != 1+max(hl, hr) {
+			return 0, fmt.Errorf("node %d stores height %d, true height is %d", nd.K, nd.Deco, 1+max(hl, hr))
+		}
+		if hl-hr > 1 || hr-hl > 1 {
+			return 0, fmt.Errorf("AVL balance violated at node %d: subtree heights %d and %d", nd.K, hl, hr)
+		}
+		return nd.Deco, nil
+	}
+	_, err := walk(root)
+	return err
+}
