@@ -36,7 +36,7 @@ var figure8Structures = []string{
 
 var figure8STMStructures = []string{"RBSTM", "SkipListSTM"}
 
-func benchmarkDictionary(b *testing.B, factory dict.Factory, mix workload.Mix, keyRange int64) {
+func benchmarkDictionary(b *testing.B, factory dict.IntFactory, mix workload.Mix, keyRange int64) {
 	d := factory.New()
 	workload.Prefill(d, mix, keyRange, 0.05, 1)
 	var worker atomic.Int64
@@ -95,7 +95,7 @@ func BenchmarkFigure8LargeKeyRange(b *testing.B) {
 // ratio of the reported ns/op values is the height of the bars in Figure 9.
 func BenchmarkFigure9(b *testing.B) {
 	const keyRange = 100_000
-	factories := append([]dict.Factory{bench.SequentialRBTFactory()}, bench.Registry()...)
+	factories := append([]dict.IntFactory{bench.SequentialRBTFactory()}, bench.Registry()...)
 	for _, mix := range []workload.Mix{workload.Mix50i50d, workload.Mix20i10d, workload.Mix0i0d} {
 		for _, factory := range factories {
 			if factory.Name == "RBSTM" || factory.Name == "SkipListSTM" {

@@ -27,6 +27,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +37,18 @@ import (
 
 	"repro/internal/bench"
 )
+
+// jsonRow is one measurement in the machine-readable output produced by
+// -json: every timed trial cell any experiment runs, in the order it ran.
+// The schema is kept deliberately flat so successive BENCH_*.json snapshots
+// can be diffed and plotted across PRs.
+type jsonRow struct {
+	Structure string  `json:"structure"`
+	Mix       string  `json:"mix"`
+	KeyRange  int64   `json:"keyrange"`
+	Threads   int     `json:"threads"`
+	Mops      float64 `json:"mops"`
+}
 
 func main() {
 	var (
@@ -48,6 +61,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "workload seed")
 		paper      = flag.Bool("paper", false, "use the paper's thread counts (1,32,64,96,128) and key ranges")
 		listOnly   = flag.Bool("list", false, "list the registered data structures and exit")
+		jsonPath   = flag.String("json", "", "also write every measured cell as JSON rows to this file")
 	)
 	flag.Parse()
 
@@ -62,6 +76,18 @@ func main() {
 		Duration: *duration,
 		Trials:   *trials,
 		Seed:     *seed,
+	}
+	var rows []jsonRow
+	if *jsonPath != "" {
+		opts.Observe = func(r bench.Result) {
+			rows = append(rows, jsonRow{
+				Structure: r.Config.Factory.Name,
+				Mix:       r.Config.Mix.String(),
+				KeyRange:  r.Config.KeyRange,
+				Threads:   r.Config.Threads,
+				Mops:      r.Mops(),
+			})
+		}
 	}
 	if *paper {
 		opts.Threads = bench.PaperThreadCounts()
@@ -128,9 +154,36 @@ func main() {
 		fmt.Fprintln(out, "=== Relaxed AVL balance report ===")
 		bench.RAVLBalanceReport(out, opts)
 		fmt.Fprintln(out)
-		return
+	} else {
+		run(*experiment)
 	}
-	run(*experiment)
+
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "wrote %d measurements to %s\n", len(rows), *jsonPath)
+	}
+}
+
+// writeJSON writes the collected measurements as an indented JSON array, one
+// row per measured cell.
+func writeJSON(path string, rows []jsonRow) error {
+	if rows == nil {
+		rows = []jsonRow{} // an experiment with no timed cells still emits a valid array
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseInts(s string) []int {

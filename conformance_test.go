@@ -7,6 +7,10 @@ package repro
 // quiescent invariant checker: the engine's structural check for EBST, the
 // full height/balance bookkeeping for RAVL (after draining the relaxed
 // violations), and the weight invariants for the chromatic trees.
+//
+// The same suite also runs against string-keyed instantiations of the
+// generic trees (see stringTreeTargets), which exercises the comparator
+// path end to end: no part of the stack may assume integer keys.
 
 import (
 	"fmt"
@@ -23,7 +27,7 @@ import (
 // templateTreeTargets returns the dicttest targets for the template-based
 // trees, with structure-specific invariant checkers.
 func templateTreeTargets(tb testing.TB) []dicttest.Target {
-	lookup := func(name string) func() dict.Map {
+	lookup := func(name string) func() dict.IntMap {
 		f, ok := bench.Lookup(name)
 		if !ok {
 			tb.Fatalf("structure %q not in bench registry", name)
@@ -34,15 +38,15 @@ func templateTreeTargets(tb testing.TB) []dicttest.Target {
 		{
 			Name: "EBST",
 			New:  lookup("EBST"),
-			Check: func(d dict.Map) error {
-				return d.(*ebst.Tree).CheckStructure()
+			Check: func(d dict.IntMap) error {
+				return d.(*ebst.Tree[int64, int64]).CheckStructure()
 			},
 		},
 		{
 			Name: "RAVL",
 			New:  lookup("RAVL"),
-			Check: func(d dict.Map) error {
-				tr := d.(*ravl.Tree)
+			Check: func(d dict.IntMap) error {
+				tr := d.(*ravl.Tree[int64, int64])
 				if err := tr.CheckStructure(); err != nil {
 					return err
 				}
@@ -55,23 +59,89 @@ func templateTreeTargets(tb testing.TB) []dicttest.Target {
 		{
 			Name: "Chromatic",
 			New:  lookup("Chromatic"),
-			Check: func(d dict.Map) error {
+			Check: func(d dict.IntMap) error {
 				// The plain chromatic tree rebalances eagerly: at quiescence
 				// it must satisfy the full red-black conditions.
-				return d.(*chromatic.Tree).CheckRedBlack()
+				return d.(*chromatic.Tree[int64, int64]).CheckRedBlack()
 			},
 		},
 		{
 			Name: "Chromatic6",
 			New:  lookup("Chromatic6"),
-			Check: func(d dict.Map) error {
+			Check: func(d dict.IntMap) error {
 				// Chromatic6 may retain up to six violations per search path,
 				// so only the structural and weight invariants must hold.
-				return d.(*chromatic.Tree).CheckInvariants()
+				return d.(*chromatic.Tree[int64, int64]).CheckInvariants()
 			},
 		},
 	}
 }
+
+// stringTreeTargets instantiates the generic trees with string keys and
+// values: EBST and RAVL through NewOrdered (natural string ordering),
+// Chromatic through NewLess with an explicit comparator, so both
+// construction paths are exercised.
+func stringTreeTargets() []dicttest.TargetOf[string, string] {
+	stringLess := func(a, b string) bool { return a < b }
+	return []dicttest.TargetOf[string, string]{
+		{
+			Name: "EBST/string",
+			New:  func() dict.Map[string, string] { return ebst.NewOrdered[string, string]() },
+			Less: stringLess,
+			Check: func(d dict.Map[string, string]) error {
+				return d.(*ebst.Tree[string, string]).CheckStructure()
+			},
+		},
+		{
+			Name: "RAVL/string",
+			New:  func() dict.Map[string, string] { return ravl.NewOrdered[string, string]() },
+			Less: stringLess,
+			Check: func(d dict.Map[string, string]) error {
+				tr := d.(*ravl.Tree[string, string])
+				if err := tr.CheckStructure(); err != nil {
+					return err
+				}
+				if _, err := tr.RebalanceAll(ravl.DrainCap(tr.Size())); err != nil {
+					return err
+				}
+				return tr.CheckAVL()
+			},
+		},
+		{
+			Name: "Chromatic/string",
+			New: func() dict.Map[string, string] {
+				return chromatic.NewLess[string, string](stringLess)
+			},
+			Less: stringLess,
+			Check: func(d dict.Map[string, string]) error {
+				return d.(*chromatic.Tree[string, string]).CheckRedBlack()
+			},
+		},
+		{
+			Name: "Chromatic6/string",
+			New: func() dict.Map[string, string] {
+				return chromatic.NewLess[string, string](stringLess, chromatic.WithAllowedViolations(6))
+			},
+			Less: stringLess,
+			Check: func(d dict.Map[string, string]) error {
+				return d.(*chromatic.Tree[string, string]).CheckInvariants()
+			},
+		},
+	}
+}
+
+// stringKey derives a compact string key from the suite's random stream.
+// The space mixes short and long keys sharing prefixes, which stresses the
+// comparator path more than fixed-width keys would.
+func stringKey(u uint64) string {
+	base := fmt.Sprintf("k%02d", u%97)
+	if u%3 == 0 {
+		return base + "/long-suffix"
+	}
+	return base
+}
+
+func stringVal(u uint64) string { return fmt.Sprintf("v%d", u%1024) }
 
 // TestOrderedMapConformance runs the shared sequential suite - every
 // operation, including Successor and Predecessor, mirrored against a model
@@ -89,6 +159,34 @@ func TestOrderedMapConformance(t *testing.T) {
 	}
 }
 
+// TestStringKeyedConformance runs the same sequential suite over the
+// string-keyed instantiations of the generic trees.
+func TestStringKeyedConformance(t *testing.T) {
+	for _, tgt := range stringTreeTargets() {
+		t.Run(tgt.Name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 3; seed++ {
+				dicttest.SequentialConformanceKV(t, tgt, 6000, stringKey, stringVal, seed)
+			}
+			// A tiny key space maximizes structural churn per key.
+			dicttest.SequentialConformanceKV(t, tgt, 4000,
+				func(u uint64) string { return fmt.Sprintf("k%d", u%8) }, stringVal, 99)
+		})
+	}
+}
+
+// TestStringKeyedConcurrentStress runs the shared concurrent suite over the
+// string-keyed trees, with per-goroutine disjoint key prefixes.
+func TestStringKeyedConcurrentStress(t *testing.T) {
+	for _, tgt := range stringTreeTargets() {
+		t.Run(tgt.Name, func(t *testing.T) {
+			dicttest.ConcurrentStressKV(t, tgt, 4, 4000,
+				func(g int, u uint64) string { return fmt.Sprintf("g%d/%03d", g, u%150) },
+				stringVal)
+		})
+	}
+}
+
 // TestOrderedMapConcurrentStress runs the shared concurrent suite with the
 // per-structure invariant checks at quiescence.
 func TestOrderedMapConcurrentStress(t *testing.T) {
@@ -100,10 +198,11 @@ func TestOrderedMapConcurrentStress(t *testing.T) {
 }
 
 // FuzzOrderedMapAgainstModel feeds an arbitrary byte stream, decoded as
-// (opcode, key, value) triples, to every template-based tree and compares
-// each result with the model map; the invariant checkers run at the end of
-// every input. Run with `go test -fuzz=FuzzOrderedMapAgainstModel .` for
-// continuous fuzzing; the seed corpus below runs as part of `go test`.
+// (opcode, key, value) triples, to every template-based tree - both the
+// int64 registry instantiations and the string-keyed generic ones - and
+// compares each result with the model map; the invariant checkers run at
+// the end of every input. Run with `go test -fuzz=FuzzOrderedMapAgainstModel .`
+// for continuous fuzzing; the seed corpus below runs as part of `go test`.
 func FuzzOrderedMapAgainstModel(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 1, 2})
@@ -128,6 +227,9 @@ func FuzzOrderedMapAgainstModel(f *testing.F) {
 		for _, tgt := range templateTreeTargets(t) {
 			dicttest.FuzzOps(t, tgt, data)
 		}
+		for _, tgt := range stringTreeTargets() {
+			dicttest.FuzzOpsKV(t, tgt, stringKey, stringVal, data)
+		}
 	})
 }
 
@@ -144,12 +246,42 @@ func TestRegistryCoversTemplateTrees(t *testing.T) {
 	// through the shared engine or its own query layer.
 	for _, name := range []string{"Chromatic", "Chromatic6", "RAVL", "EBST"} {
 		f, _ := bench.Lookup(name)
-		if _, ok := f.New().(dict.OrderedMap); !ok {
+		if _, ok := f.New().(dict.IntOrderedMap); !ok {
 			t.Errorf("%s does not implement dict.OrderedMap", name)
 		}
 	}
 	if err := quickSmoke(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestChromaticLoadOrStore pins the semantics of the insert-if-absent
+// primitive the generic stack added for shared per-key state (see
+// examples/wordindex): exactly one of the racing stores wins and every
+// later call observes the winner.
+func TestChromaticLoadOrStore(t *testing.T) {
+	tr := chromatic.NewOrdered[string, int64]()
+	if v, loaded := tr.LoadOrStore("a", 1); loaded || v != 1 {
+		t.Fatalf("first LoadOrStore = (%d,%v), want (1,false)", v, loaded)
+	}
+	if v, loaded := tr.LoadOrStore("a", 2); !loaded || v != 1 {
+		t.Fatalf("second LoadOrStore = (%d,%v), want (1,true)", v, loaded)
+	}
+	done := make(chan int64, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int64) {
+			v, _ := tr.LoadOrStore("contended", g)
+			done <- v
+		}(int64(g))
+	}
+	first := <-done
+	for i := 0; i < 7; i++ {
+		if v := <-done; v != first {
+			t.Fatalf("racing LoadOrStore observed both %d and %d", first, v)
+		}
+	}
+	if v, ok := tr.Get("contended"); !ok || v != first {
+		t.Fatalf("Get after racing LoadOrStore = (%d,%v), want (%d,true)", v, ok, first)
 	}
 }
 

@@ -8,7 +8,12 @@
 // AVL tree (internal/ravl) - the non-blocking chromatic tree
 // (internal/chromatic), and every data structure the paper's evaluation
 // compares against, plus the workload generator and throughput harness that
-// regenerate the paper's figures. The root package only hosts the
+// regenerate the paper's figures. The dictionary stack is generic end to
+// end: dict.Map[K, V] / dict.OrderedMap[K, V] are the canonical interfaces,
+// the trees are parameterized by a key comparator (with NewOrdered fast
+// paths for cmp.Ordered keys), and the historical int64 instantiations
+// survive as the dict.IntMap / dict.IntOrderedMap / dict.IntFactory aliases
+// the benchmark registry uses. The root package only hosts the
 // repository-level benchmarks (bench_test.go) and the cross-implementation
 // conformance, fuzz and stress suites (integration_test.go,
 // conformance_test.go); see README.md and DESIGN.md for the full map.

@@ -1,10 +1,14 @@
 // Command wordindex builds a concurrent term-frequency index over a corpus
-// of synthetic documents. Each worker tokenizes documents and maintains
-// per-term counters in a single chromatic tree using striped keys (one
-// stripe per worker, so counter updates never conflict), then the main
-// goroutine aggregates the stripes with an ordered scan to report the most
-// common terms. It demonstrates a write-heavy indexing workload plus ordered
-// iteration at quiescence.
+// of synthetic documents, demonstrating the generic chromatic tree with
+// string keys. Each worker tokenizes documents and bumps a shared per-term
+// counter stored directly under the term itself: LoadOrStore guarantees
+// exactly one counter per term no matter how many workers race on its first
+// occurrence, and the counter is an atomic so increments never conflict.
+// (Before the dictionary stack was generic this example had to encode terms
+// as striped int64 keys, one stripe per worker, and merge the stripes
+// afterwards.) The main goroutine then reports the most common terms from a
+// single ordered traversal - terms come out in lexicographic order straight
+// from the tree.
 package main
 
 import (
@@ -13,11 +17,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/chromatic"
 )
 
-// vocabulary is the term universe; term ids are indexes into this slice.
+// vocabulary is the term universe; documents draw from it Zipf-distributed.
 var vocabulary = []string{
 	"tree", "node", "leaf", "root", "rotation", "weight", "violation",
 	"insert", "delete", "search", "lock", "free", "atomic", "snapshot",
@@ -32,45 +37,42 @@ const (
 	numWorkers = 4
 )
 
-// stripeKey maps a (term, worker) pair to a dictionary key so each worker
-// owns a private counter per term. Aggregation walks the numWorkers
-// consecutive keys of each term.
-func stripeKey(termID, worker int) int64 {
-	return int64(termID*numWorkers + worker)
-}
-
 func main() {
-	index := chromatic.New()
+	// A chromatic tree over string terms; each term's value is a shared
+	// atomic counter.
+	index := chromatic.NewOrdered[string, *atomic.Int64]()
 
 	// Generate the corpus: each document is a Zipf-distributed bag of words.
-	docs := make([][]int, documents)
+	docs := make([][]string, documents)
 	rng := rand.New(rand.NewSource(7))
 	zipf := rand.NewZipf(rng, 1.2, 1.0, uint64(len(vocabulary)-1))
 	for d := range docs {
-		words := make([]int, docLength)
+		words := make([]string, docLength)
 		for i := range words {
-			words[i] = int(zipf.Uint64())
+			words[i] = vocabulary[zipf.Uint64()]
 		}
 		docs[d] = words
 	}
 
 	// Index the corpus in parallel. Workers pull documents from a channel
-	// and bump their own stripe of each term's counter; the chromatic tree
-	// handles the concurrent inserts on nearby keys.
-	work := make(chan []int, numWorkers)
+	// and increment the term's counter; the first worker to see a term
+	// installs its counter, every later one loads it.
+	work := make(chan []string, numWorkers)
 	var wg sync.WaitGroup
 	for w := 0; w < numWorkers; w++ {
 		wg.Add(1)
-		go func(worker int) {
+		go func() {
 			defer wg.Done()
 			for doc := range work {
-				for _, termID := range doc {
-					key := stripeKey(termID, worker)
-					cur, _ := index.Get(key)
-					index.Insert(key, cur+1)
+				for _, term := range doc {
+					ctr, ok := index.Get(term)
+					if !ok {
+						ctr, _ = index.LoadOrStore(term, new(atomic.Int64))
+					}
+					ctr.Add(1)
 				}
 			}
-		}(w)
+		}()
 	}
 	for _, doc := range docs {
 		work <- doc
@@ -78,24 +80,25 @@ func main() {
 	close(work)
 	wg.Wait()
 
-	// Aggregate the stripes with one ordered scan and report the top terms.
-	counts := make([]int64, len(vocabulary))
-	index.RangeScan(0, int64(len(vocabulary)*numWorkers), func(k, v int64) bool {
-		counts[int(k)/numWorkers] += v
-		return true
-	})
+	// Report the top terms from one ordered traversal of the index.
 	type entry struct {
 		term  string
 		count int64
 	}
 	var entries []entry
 	var total int64
-	for id, c := range counts {
-		if c > 0 {
-			entries = append(entries, entry{term: vocabulary[id], count: c})
-			total += c
+	prev := ""
+	ordered := true
+	index.Ascend(func(term string, ctr *atomic.Int64) bool {
+		if prev != "" && term <= prev {
+			ordered = false
 		}
-	}
+		prev = term
+		c := ctr.Load()
+		entries = append(entries, entry{term: term, count: c})
+		total += c
+		return true
+	})
 	sort.Slice(entries, func(i, j int) bool { return entries[i].count > entries[j].count })
 
 	fmt.Printf("indexed %d documents, %d tokens, %d distinct terms, index size %d\n",
@@ -112,6 +115,9 @@ func main() {
 		fmt.Printf("ERROR: token count mismatch: %d != %d\n", total, documents*docLength)
 	} else {
 		fmt.Println("token count verified: no updates were lost")
+	}
+	if !ordered {
+		fmt.Println("ERROR: ordered traversal returned terms out of lexicographic order")
 	}
 	if err := index.CheckRedBlack(); err != nil {
 		fmt.Printf("ERROR: index not balanced at quiescence: %v\n", err)

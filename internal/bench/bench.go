@@ -13,7 +13,6 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/dict"
@@ -23,7 +22,7 @@ import (
 // Config describes one benchmark cell: a data structure, an operation mix, a
 // key range, a worker count and a trial duration.
 type Config struct {
-	Factory  dict.Factory
+	Factory  dict.IntFactory
 	Mix      workload.Mix
 	KeyRange int64
 	Threads  int
@@ -41,7 +40,7 @@ type Config struct {
 type Result struct {
 	Config     Config
 	Ops        int64         // total operations across all trials
-	Elapsed    time.Duration // total measured time across all trials
+	Elapsed    time.Duration // total per-worker measured time (mean window per trial, summed over trials)
 	Throughput float64       // operations per second (mean across trials)
 	PrefillLen int           // dictionary size after prefilling
 }
@@ -65,26 +64,42 @@ func Run(cfg Config) Result {
 	total.Config = cfg
 	var sumThroughput float64
 	for trial := 0; trial < cfg.Trials; trial++ {
-		ops, elapsed, prefilled := runTrial(cfg, int64(trial))
+		ops, elapsed, throughput, prefilled := runTrial(cfg, int64(trial))
 		total.Ops += ops
 		total.Elapsed += elapsed
 		total.PrefillLen = prefilled
-		sumThroughput += float64(ops) / elapsed.Seconds()
+		sumThroughput += throughput
 	}
 	total.Throughput = sumThroughput / float64(cfg.Trials)
 	return total
 }
 
-// runTrial runs one timed trial and returns the operation count, elapsed
-// time and prefilled size.
-func runTrial(cfg Config, trial int64) (int64, time.Duration, int) {
+// workerResult is one worker's contribution to a trial: how many operations
+// it completed and over which wall-clock window it completed them.
+type workerResult struct {
+	ops     int64
+	elapsed time.Duration
+}
+
+// runTrial runs one timed trial and returns the operation count, the mean
+// per-worker measured window, the trial throughput and the prefilled size.
+//
+// Each worker times its own window, from the start broadcast until it has
+// drained its final batch after observing stop. Measuring a single window
+// around wg.Wait() would count every worker's operations against the
+// slowest worker's window: the tail batches finish after stop closes, so
+// the shared window is longer than cfg.Duration and the reported throughput
+// is skewed low (the more workers, the worse). With per-worker windows the
+// trial throughput is the sum of each worker's own rate, which is exact no
+// matter how the tails straggle.
+func runTrial(cfg Config, trial int64) (int64, time.Duration, float64, int) {
 	d := cfg.Factory.New()
 	prefilled := 0
 	if !cfg.SkipPrefill {
 		prefilled = workload.Prefill(d, cfg.Mix, cfg.KeyRange, 0.05, cfg.Seed+trial*7919)
 	}
 
-	var opsDone atomic.Int64
+	results := make([]workerResult, cfg.Threads)
 	stop := make(chan struct{})
 	var ready, wg sync.WaitGroup
 	ready.Add(cfg.Threads)
@@ -97,11 +112,12 @@ func runTrial(cfg Config, trial int64) (int64, time.Duration, int) {
 				cfg.Seed^(trial*1_000_003)^int64(worker)*2_654_435_761)
 			ready.Done()
 			<-start
+			begin := time.Now()
 			local := int64(0)
 			for {
 				select {
 				case <-stop:
-					opsDone.Add(local)
+					results[worker] = workerResult{ops: local, elapsed: time.Since(begin)}
 					return
 				default:
 				}
@@ -116,14 +132,20 @@ func runTrial(cfg Config, trial int64) (int64, time.Duration, int) {
 		}(w)
 	}
 	ready.Wait()
-	begin := time.Now()
 	close(start)
 	time.Sleep(cfg.Duration)
 	close(stop)
 	wg.Wait()
-	elapsed := time.Since(begin)
 	runtime.KeepAlive(d)
-	return opsDone.Load(), elapsed, prefilled
+	var ops int64
+	var sumElapsed time.Duration
+	var throughput float64
+	for _, r := range results {
+		ops += r.ops
+		sumElapsed += r.elapsed
+		throughput += float64(r.ops) / r.elapsed.Seconds()
+	}
+	return ops, sumElapsed / time.Duration(cfg.Threads), throughput, prefilled
 }
 
 // Cell identifies one cell of the Figure 8 grid.

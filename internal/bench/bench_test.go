@@ -224,4 +224,4 @@ func TestFigure8SmallScale(t *testing.T) {
 	}
 }
 
-var _ dict.Factory = Registry()[0]
+var _ dict.IntFactory = Registry()[0]

@@ -30,6 +30,18 @@ type Options struct {
 	Structures []string
 	// Seed for deterministic workloads.
 	Seed int64
+	// Observe, if non-nil, is called with every Result the experiment
+	// drivers measure (cmd/chromatic-bench uses it to collect the rows of
+	// its -json output). It is called from the measuring goroutine, between
+	// trials, never concurrently.
+	Observe func(Result)
+}
+
+// observe forwards a measurement to the Observe hook if one is installed.
+func (o Options) observe(r Result) {
+	if o.Observe != nil {
+		o.Observe(r)
+	}
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +91,7 @@ func Figure8(w io.Writer, opts Options) []*Table {
 						Trials:   opts.Trials,
 						Seed:     opts.Seed,
 					})
+					opts.observe(res)
 					table.Add(name, threads, res.Mops())
 				}
 			}
@@ -116,6 +129,7 @@ func Figure9(w io.Writer, opts Options) []Figure9Row {
 			Trials:   opts.Trials,
 			Seed:     opts.Seed,
 		})
+		opts.observe(base)
 		fmt.Fprintf(w, "workload %s (sequential RBT: %.3f Mops/s)\n", mix, base.Mops())
 		for _, name := range opts.Structures {
 			factory, ok := Lookup(name)
@@ -131,6 +145,7 @@ func Figure9(w io.Writer, opts Options) []Figure9Row {
 				Trials:   opts.Trials,
 				Seed:     opts.Seed,
 			})
+			opts.observe(res)
 			rel := 0.0
 			if base.Throughput > 0 {
 				rel = res.Throughput / base.Throughput
@@ -165,7 +180,7 @@ func HeadlineRatios(w io.Writer, opts Options) []Ratio {
 		for _, keyRange := range opts.KeyRanges {
 			run := func(name string) Result {
 				factory, _ := Lookup(name)
-				return Run(Config{
+				res := Run(Config{
 					Factory:  factory,
 					Mix:      mix,
 					KeyRange: keyRange,
@@ -174,6 +189,8 @@ func HeadlineRatios(w io.Writer, opts Options) []Ratio {
 					Trials:   opts.Trials,
 					Seed:     opts.Seed,
 				})
+				opts.observe(res)
+				return res
 			}
 			chro := run("Chromatic6")
 			for _, comp := range competitors {
@@ -270,15 +287,15 @@ func RAVLBalanceReport(w io.Writer, opts Options) RAVLReport {
 		keyRange = opts.KeyRanges[1]
 	}
 	threads := opts.Threads[len(opts.Threads)-1]
-	var tree *ravl.Tree
-	factory := dict.Factory{
+	var tree *ravl.Tree[int64, int64]
+	factory := dict.IntFactory{
 		Name: "RAVL",
-		New: func() dict.Map {
+		New: func() dict.IntMap {
 			tree = ravl.New()
 			return tree
 		},
 	}
-	Run(Config{
+	opts.observe(Run(Config{
 		Factory:  factory,
 		Mix:      workload.Mix50i50d,
 		KeyRange: keyRange,
@@ -286,7 +303,7 @@ func RAVLBalanceReport(w io.Writer, opts Options) RAVLReport {
 		Duration: opts.Duration,
 		Trials:   1,
 		Seed:     opts.Seed,
-	})
+	}))
 	report := RAVLReport{}
 	if tree != nil {
 		report.Keys = tree.Size()
@@ -414,10 +431,10 @@ func ViolationThresholdAblation(w io.Writer, opts Options, thresholds []int) []A
 		workload.Mix50i50d, keyRange, threads)
 	for _, k := range thresholds {
 		k := k
-		var tree *chromatic.Tree
-		factory := dict.Factory{
+		var tree *chromatic.Tree[int64, int64]
+		factory := dict.IntFactory{
 			Name: fmt.Sprintf("Chromatic%d", k),
-			New: func() dict.Map {
+			New: func() dict.IntMap {
 				tree = chromatic.New(chromatic.WithAllowedViolations(k))
 				return tree
 			},
@@ -431,6 +448,7 @@ func ViolationThresholdAblation(w io.Writer, opts Options, thresholds []int) []A
 			Trials:   1,
 			Seed:     opts.Seed,
 		})
+		opts.observe(res)
 		row := AblationRow{Allowed: k, Mops: res.Mops()}
 		if tree != nil {
 			row.Rebal = tree.Stats().RebalanceTotal()

@@ -16,29 +16,29 @@ import (
 // repository, keyed by the names used in the paper's figures. The order
 // matches the order of the series in Figure 8: the paper's own algorithms
 // first, then hand-crafted competitors, then the coarse-grained baselines.
-func Registry() []dict.Factory {
-	return []dict.Factory{
-		{Name: "Chromatic", New: func() dict.Map { return chromatic.New() }},
-		{Name: "Chromatic6", New: func() dict.Map { return chromatic.NewChromatic6() }},
-		{Name: "RAVL", New: func() dict.Map { return ravl.New() }},
-		{Name: "SkipList", New: func() dict.Map { return skiplist.New() }},
-		{Name: "LockAVL", New: func() dict.Map { return lockavl.New() }},
-		{Name: "EBST", New: func() dict.Map { return ebst.New() }},
-		{Name: "RBSTM", New: func() dict.Map { return stmrbt.New() }},
-		{Name: "SkipListSTM", New: func() dict.Map { return stmskip.New() }},
-		{Name: "RBGlobal", New: func() dict.Map { return seqrbt.NewGlobal() }},
+func Registry() []dict.IntFactory {
+	return []dict.IntFactory{
+		{Name: "Chromatic", New: func() dict.IntMap { return chromatic.New() }},
+		{Name: "Chromatic6", New: func() dict.IntMap { return chromatic.NewChromatic6() }},
+		{Name: "RAVL", New: func() dict.IntMap { return ravl.New() }},
+		{Name: "SkipList", New: func() dict.IntMap { return skiplist.New() }},
+		{Name: "LockAVL", New: func() dict.IntMap { return lockavl.New() }},
+		{Name: "EBST", New: func() dict.IntMap { return ebst.New() }},
+		{Name: "RBSTM", New: func() dict.IntMap { return stmrbt.New() }},
+		{Name: "SkipListSTM", New: func() dict.IntMap { return stmskip.New() }},
+		{Name: "RBGlobal", New: func() dict.IntMap { return seqrbt.NewGlobal() }},
 	}
 }
 
 // Lookup returns the factory with the given name (case-sensitive) and true,
 // or a zero factory and false.
-func Lookup(name string) (dict.Factory, bool) {
+func Lookup(name string) (dict.IntFactory, bool) {
 	for _, f := range Registry() {
 		if f.Name == name {
 			return f, true
 		}
 	}
-	return dict.Factory{}, false
+	return dict.IntFactory{}, false
 }
 
 // Names returns the registry names in order.
@@ -54,6 +54,6 @@ func Names() []string {
 // SequentialRBTFactory returns the factory for the purely sequential
 // red-black tree used as the reference line of Figure 9. It is not part of
 // Registry because it is not safe for concurrent use.
-func SequentialRBTFactory() dict.Factory {
-	return dict.Factory{Name: "SeqRBT", New: func() dict.Map { return seqrbt.New() }}
+func SequentialRBTFactory() dict.IntFactory {
+	return dict.IntFactory{Name: "SeqRBT", New: func() dict.IntMap { return seqrbt.New() }}
 }

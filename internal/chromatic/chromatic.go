@@ -14,13 +14,19 @@
 // and linearizable, and the height of the tree is O(c + log n) where c is
 // the number of insertions and deletions in progress.
 //
-// Tree (the exported type) supports Get, Insert, Delete, Successor and
-// Predecessor. The Chromatic6 variant of the paper — which postpones
+// Tree (the exported type) is generic over the key and value types - only
+// the search routine compares keys, exactly as the paper's template
+// promises - and supports Get, Insert, LoadOrStore, Delete, Successor,
+// Predecessor and the derived ordered scans. NewOrdered builds a tree over
+// any cmp.Ordered key type, NewLess accepts an arbitrary comparator (see
+// dict.Less for the contract), and New keeps the historical int64
+// instantiation. The Chromatic6 variant of the paper — which postpones
 // rebalancing until more than six violations accumulate on a search path —
-// is obtained with WithAllowedViolations(6).
+// is obtained with WithAllowedViolations(6) or NewChromatic6.
 package chromatic
 
 import (
+	"cmp"
 	"sync/atomic"
 
 	"repro/internal/llxscx"
@@ -30,25 +36,25 @@ import (
 // the only mutable fields; key, value, weight and the leaf/sentinel flags
 // are immutable, exactly as the tree update template requires. Updates that
 // need to change immutable data replace the node with a fresh copy.
-type node struct {
-	rec  llxscx.Record[node]
-	k    int64 // routing key (internal) or dictionary key (leaf); ignored if inf
-	v    int64 // associated value (leaves only)
+type node[K, V any] struct {
+	rec  llxscx.Record[node[K, V]]
+	k    K     // routing key (internal) or dictionary key (leaf); ignored if inf
+	v    V     // associated value (leaves only)
 	w    int32 // weight: 0 = red, 1 = black, >1 = overweight
 	leaf bool  // true for leaves; leaves' child pointers are always nil
 	inf  bool  // true for sentinel nodes, whose key is +infinity
 
-	left, right atomic.Pointer[node]
+	left, right atomic.Pointer[node[K, V]]
 }
 
 // LLXRecord implements llxscx.DataRecord.
-func (n *node) LLXRecord() *llxscx.Record[node] { return &n.rec }
+func (n *node[K, V]) LLXRecord() *llxscx.Record[node[K, V]] { return &n.rec }
 
 // NumMutable implements llxscx.DataRecord.
-func (n *node) NumMutable() int { return 2 }
+func (n *node[K, V]) NumMutable() int { return 2 }
 
 // Mutable implements llxscx.DataRecord.
-func (n *node) Mutable(i int) *atomic.Pointer[node] {
+func (n *node[K, V]) Mutable(i int) *atomic.Pointer[node[K, V]] {
 	if i == 0 {
 		return &n.left
 	}
@@ -57,33 +63,27 @@ func (n *node) Mutable(i int) *atomic.Pointer[node] {
 
 // Key implements lbst.View, so the chromatic tree shares the engine's
 // ordered-query helpers (see query.go).
-func (n *node) Key() int64 { return n.k }
+func (n *node[K, V]) Key() K { return n.k }
 
 // Value implements lbst.View.
-func (n *node) Value() int64 { return n.v }
+func (n *node[K, V]) Value() V { return n.v }
 
 // IsLeaf implements lbst.View.
-func (n *node) IsLeaf() bool { return n.leaf }
+func (n *node[K, V]) IsLeaf() bool { return n.leaf }
 
 // IsSentinel implements lbst.View.
-func (n *node) IsSentinel() bool { return n.inf }
+func (n *node[K, V]) IsSentinel() bool { return n.inf }
 
-// keyLess reports whether key is strictly smaller than n's key, treating
-// sentinel nodes as holding +infinity.
-func keyLess(key int64, n *node) bool {
-	return n.inf || key < n.k
+func newLeaf[K, V any](k K, v V, w int32) *node[K, V] {
+	return &node[K, V]{k: k, v: v, w: w, leaf: true}
 }
 
-func newLeaf(k, v int64, w int32) *node {
-	return &node{k: k, v: v, w: w, leaf: true}
+func newSentinelLeaf[K, V any]() *node[K, V] {
+	return &node[K, V]{w: 1, leaf: true, inf: true}
 }
 
-func newSentinelLeaf() *node {
-	return &node{w: 1, leaf: true, inf: true}
-}
-
-func newInternal(k int64, w int32, inf bool, left, right *node) *node {
-	n := &node{k: k, w: w, inf: inf}
+func newInternal[K, V any](k K, w int32, inf bool, left, right *node[K, V]) *node[K, V] {
+	n := &node[K, V]{k: k, w: w, inf: inf}
 	n.left.Store(left)
 	n.right.Store(right)
 	return n
@@ -91,9 +91,9 @@ func newInternal(k int64, w int32, inf bool, left, right *node) *node {
 
 // copyWithWeight returns a fresh copy of the node captured by lk, with the
 // given weight and with the children recorded in lk's snapshot.
-func copyWithWeight(lk llxscx.Linked[node], w int32) *node {
+func copyWithWeight[K, V any](lk llxscx.Linked[node[K, V]], w int32) *node[K, V] {
 	src := lk.Node()
-	n := &node{k: src.k, v: src.v, w: w, leaf: src.leaf, inf: src.inf}
+	n := &node[K, V]{k: src.k, v: src.v, w: w, leaf: src.leaf, inf: src.inf}
 	n.left.Store(lk.Child(0))
 	n.right.Store(lk.Child(1))
 	return n
@@ -123,15 +123,19 @@ func (s *Stats) RebalanceTotal() int64 {
 }
 
 // Tree is a non-blocking chromatic tree implementing an ordered dictionary
-// with int64 keys and values. It is safe for concurrent use by any number of
-// goroutines. The zero value is not usable; call New.
-type Tree struct {
+// with keys ordered by a comparator. It is safe for concurrent use by any
+// number of goroutines. The zero value is not usable; call New, NewOrdered
+// or NewLess.
+type Tree[K, V any] struct {
 	// entry is the sentinel entry point (Figure 10 of the paper). It is
 	// never removed. entry.left is the root of the structure: a sentinel
 	// leaf when the dictionary is empty, or a sentinel internal node whose
 	// left subtree is the chromatic tree proper and whose right child is a
 	// sentinel leaf.
-	entry *node
+	entry *node[K, V]
+
+	// less orders the keys; sentinels compare greater than every key.
+	less func(a, b K) bool
 
 	// allowed is the number of violations tolerated on a search path before
 	// an insertion or deletion that created a violation triggers Cleanup.
@@ -141,8 +145,14 @@ type Tree struct {
 	stats Stats
 }
 
-// Option configures a Tree.
-type Option func(*Tree)
+// config collects the option-controlled settings, so one Option type serves
+// every key/value instantiation of Tree.
+type config struct {
+	allowed int
+}
+
+// Option configures a Tree at construction time.
+type Option func(*config)
 
 // WithAllowedViolations sets the number of violations tolerated on a search
 // path before rebalancing is triggered (Section 5.6 of the paper). k = 0 is
@@ -151,27 +161,42 @@ func WithAllowedViolations(k int) Option {
 	if k < 0 {
 		k = 0
 	}
-	return func(t *Tree) { t.allowed = k }
+	return func(c *config) { c.allowed = k }
 }
 
-// New returns an empty chromatic tree.
-func New(opts ...Option) *Tree {
-	t := &Tree{
-		entry: newInternal(0, 1, true, newSentinelLeaf(), nil),
-	}
+// NewLess returns an empty chromatic tree whose keys are ordered by less.
+func NewLess[K, V any](less func(a, b K) bool, opts ...Option) *Tree[K, V] {
+	var cfg config
 	for _, o := range opts {
-		o(t)
+		o(&cfg)
 	}
-	return t
+	var sentinelKey K
+	return &Tree[K, V]{
+		entry:   newInternal(sentinelKey, 1, true, newSentinelLeaf[K, V](), nil),
+		less:    less,
+		allowed: cfg.allowed,
+	}
 }
 
-// NewChromatic6 returns an empty chromatic tree configured as the paper's
-// Chromatic6 variant (rebalancing deferred until a search path carries more
-// than six violations).
-func NewChromatic6() *Tree { return New(WithAllowedViolations(6)) }
+// NewOrdered returns an empty chromatic tree over a naturally ordered key
+// type.
+func NewOrdered[K cmp.Ordered, V any](opts ...Option) *Tree[K, V] {
+	return NewLess[K, V](cmp.Less[K], opts...)
+}
+
+// New returns an empty chromatic tree with int64 keys and values, the
+// instantiation the benchmark registry and the paper's figures use.
+func New(opts ...Option) *Tree[int64, int64] {
+	return NewOrdered[int64, int64](opts...)
+}
+
+// NewChromatic6 returns an empty int64-keyed chromatic tree configured as
+// the paper's Chromatic6 variant (rebalancing deferred until a search path
+// carries more than six violations).
+func NewChromatic6() *Tree[int64, int64] { return New(WithAllowedViolations(6)) }
 
 // Name identifies the configuration for benchmark reports.
-func (t *Tree) Name() string {
+func (t *Tree[K, V]) Name() string {
 	if t.allowed == 0 {
 		return "Chromatic"
 	}
@@ -182,7 +207,7 @@ func (t *Tree) Name() string {
 }
 
 // Stats returns the tree's operation counters.
-func (t *Tree) Stats() *Stats { return &t.stats }
+func (t *Tree[K, V]) Stats() *Stats { return &t.stats }
 
 func itoa(v int) string {
 	if v == 0 {
@@ -206,12 +231,24 @@ func itoa(v int) string {
 	return string(buf[i:])
 }
 
+// keyLess reports whether key is strictly smaller than n's key, treating
+// sentinel nodes as holding +infinity.
+func (t *Tree[K, V]) keyLess(key K, n *node[K, V]) bool {
+	return n.inf || t.less(key, n.k)
+}
+
+// isKey reports whether the leaf l holds exactly key (two comparator calls,
+// since keys are equal exactly when neither orders before the other).
+func (t *Tree[K, V]) isKey(key K, l *node[K, V]) bool {
+	return !l.inf && !t.less(key, l.k) && !t.less(l.k, key)
+}
+
 // search performs an ordinary BST search for key using plain reads of child
 // pointers, exactly as Figure 5 of the paper. It returns the grandparent,
 // parent and leaf reached (the grandparent is nil when the chromatic tree is
 // empty) together with the number of violations observed on the path, which
 // the Chromatic6 variant uses to decide whether to rebalance.
-func (t *Tree) search(key int64) (gp, p, l *node, violations int) {
+func (t *Tree[K, V]) search(key K) (gp, p, l *node[K, V], violations int) {
 	gp = nil
 	p = t.entry
 	l = t.entry.left.Load()
@@ -221,7 +258,7 @@ func (t *Tree) search(key int64) (gp, p, l *node, violations int) {
 	for !l.leaf {
 		gp = p
 		p = l
-		if keyLess(key, l) {
+		if t.keyLess(key, l) {
 			l = l.left.Load()
 		} else {
 			l = l.right.Load()
@@ -235,7 +272,7 @@ func (t *Tree) search(key int64) (gp, p, l *node, violations int) {
 
 // violationAt reports whether a violation (overweight or red-red) occurs at
 // child given its parent.
-func violationAt(parent, child *node) bool {
+func violationAt[K, V any](parent, child *node[K, V]) bool {
 	if child == nil {
 		return false
 	}
@@ -245,41 +282,35 @@ func violationAt(parent, child *node) bool {
 	return parent != nil && parent.w == 0 && child.w == 0
 }
 
-// Get returns the value associated with key, or (0, false) if key is absent.
-// Get uses only plain reads and never blocks or retries (property C3 of the
-// paper makes such searches linearizable).
-func (t *Tree) Get(key int64) (int64, bool) {
+// Get returns the value associated with key, or the zero value and false if
+// key is absent. Get uses only plain reads and never blocks or retries
+// (property C3 of the paper makes such searches linearizable).
+func (t *Tree[K, V]) Get(key K) (V, bool) {
 	_, _, l, _ := t.search(key)
-	if !l.inf && l.k == key {
+	if t.isKey(key, l) {
 		return l.v, true
 	}
-	return 0, false
+	var zero V
+	return zero, false
 }
 
 // Contains reports whether key is present.
-func (t *Tree) Contains(key int64) bool {
-	_, _, ok := t.get(key)
-	return ok
-}
-
-func (t *Tree) get(key int64) (int64, int64, bool) {
+func (t *Tree[K, V]) Contains(key K) bool {
 	_, _, l, _ := t.search(key)
-	if !l.inf && l.k == key {
-		return l.k, l.v, true
-	}
-	return 0, 0, false
+	return t.isKey(key, l)
 }
 
-// insertResult carries the outcome of a successful tryInsert or tryDelete.
-type updateResult struct {
-	old              int64
+// updateResult carries the outcome of a successful tryInsert or tryDelete.
+type updateResult[V any] struct {
+	old              V
 	existed          bool
 	createdViolation bool
 }
 
 // Insert associates value with key and returns the previously associated
-// value (with true) if key was already present, or (0, false) otherwise.
-func (t *Tree) Insert(key, value int64) (int64, bool) {
+// value (with true) if key was already present, or the zero value and false
+// otherwise.
+func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 	for {
 		_, p, l, viol := t.search(key)
 		res, ok := t.tryInsert(p, l, key, value)
@@ -293,9 +324,34 @@ func (t *Tree) Insert(key, value int64) (int64, bool) {
 	}
 }
 
+// LoadOrStore returns the value already associated with key (with
+// loaded=true) if key is present; otherwise it inserts value and returns it
+// (with loaded=false). Unlike a Get-then-Insert pair, a LoadOrStore race
+// between two goroutines guarantees exactly one of them stores, which makes
+// it the right primitive for sharing per-key state (for example a counter)
+// between concurrent writers.
+func (t *Tree[K, V]) LoadOrStore(key K, value V) (actual V, loaded bool) {
+	for {
+		_, p, l, viol := t.search(key)
+		if t.isKey(key, l) {
+			// The key was present while l was on the search path; linearize
+			// there, exactly as Get does.
+			return l.v, true
+		}
+		res, ok := t.tryInsert(p, l, key, value)
+		if !ok {
+			continue
+		}
+		if res.createdViolation && viol+1 > t.allowed {
+			t.cleanup(key)
+		}
+		return value, false
+	}
+}
+
 // Delete removes key and returns the value that was associated with it (with
-// true), or (0, false) if key was not present.
-func (t *Tree) Delete(key int64) (int64, bool) {
+// true), or the zero value and false if key was not present.
+func (t *Tree[K, V]) Delete(key K) (V, bool) {
 	for {
 		gp, p, l, viol := t.search(key)
 		res, ok := t.tryDelete(gp, p, l, key)
@@ -313,28 +369,28 @@ func (t *Tree) Delete(key int64) (int64, bool) {
 // parent p, following the tree update template (Figure 12 of the paper and
 // the Insert transformations of Figure 11). It returns ok=false if the
 // attempt must be retried from a fresh search.
-func (t *Tree) tryInsert(p, l *node, key, value int64) (updateResult, bool) {
+func (t *Tree[K, V]) tryInsert(p, l *node[K, V], key K, value V) (updateResult[V], bool) {
 	lkP, st := llxscx.LLX(p)
 	if st != llxscx.Snapshot {
-		return updateResult{}, false
+		return updateResult[V]{}, false
 	}
-	var fld *atomic.Pointer[node]
+	var fld *atomic.Pointer[node[K, V]]
 	switch {
 	case lkP.Child(0) == l:
 		fld = &p.left
 	case lkP.Child(1) == l:
 		fld = &p.right
 	default:
-		return updateResult{}, false
+		return updateResult[V]{}, false
 	}
 	lkL, st := llxscx.LLX(l)
 	if st != llxscx.Snapshot {
-		return updateResult{}, false
+		return updateResult[V]{}, false
 	}
 
-	var res updateResult
-	var repl *node
-	if !l.inf && l.k == key {
+	var res updateResult[V]
+	var repl *node[K, V]
+	if t.isKey(key, l) {
 		// Insert2: the key is present; replace the leaf with a fresh copy
 		// carrying the new value (and the same weight).
 		res.old, res.existed = l.v, true
@@ -351,18 +407,18 @@ func (t *Tree) tryInsert(p, l *node, key, value int64) (updateResult, bool) {
 			newWeight = l.w - 1
 		}
 		newKeyLeaf := newLeaf(key, value, 1)
-		oldLeafCopy := &node{k: l.k, v: l.v, w: 1, leaf: true, inf: l.inf}
-		if keyLess(key, l) {
+		oldLeafCopy := &node[K, V]{k: l.k, v: l.v, w: 1, leaf: true, inf: l.inf}
+		if t.keyLess(key, l) {
 			repl = newInternal(l.k, newWeight, l.inf, newKeyLeaf, oldLeafCopy)
 		} else {
 			repl = newInternal(key, newWeight, false, oldLeafCopy, newKeyLeaf)
 		}
 	}
 
-	v := []llxscx.Linked[node]{lkP, lkL}
-	r := []*node{l}
+	v := []llxscx.Linked[node[K, V]]{lkP, lkL}
+	r := []*node[K, V]{l}
 	if !llxscx.SCX(v, r, fld, l, repl) {
-		return updateResult{}, false
+		return updateResult[V]{}, false
 	}
 	if res.existed {
 		t.stats.Insert2.Add(1)
@@ -376,36 +432,36 @@ func (t *Tree) tryInsert(p, l *node, key, value int64) (updateResult, bool) {
 // tryDelete performs one attempt of the deletion update at leaf l with
 // parent p and grandparent gp, following Figure 6 of the paper. It returns
 // ok=false if the attempt must be retried from a fresh search.
-func (t *Tree) tryDelete(gp, p, l *node, key int64) (updateResult, bool) {
+func (t *Tree[K, V]) tryDelete(gp, p, l *node[K, V], key K) (updateResult[V], bool) {
 	// Special case: the chromatic tree is empty (the leaf reached is the
 	// sentinel leaf directly below entry), so key is certainly absent.
 	if gp == nil {
-		return updateResult{existed: false}, true
+		return updateResult[V]{existed: false}, true
 	}
 	// Special case: key is not in the dictionary.
-	if l.inf || l.k != key {
-		return updateResult{existed: false}, true
+	if !t.isKey(key, l) {
+		return updateResult[V]{existed: false}, true
 	}
 
 	lkGP, st := llxscx.LLX(gp)
 	if st != llxscx.Snapshot {
-		return updateResult{}, false
+		return updateResult[V]{}, false
 	}
-	var fld *atomic.Pointer[node]
+	var fld *atomic.Pointer[node[K, V]]
 	switch {
 	case lkGP.Child(0) == p:
 		fld = &gp.left
 	case lkGP.Child(1) == p:
 		fld = &gp.right
 	default:
-		return updateResult{}, false
+		return updateResult[V]{}, false
 	}
 	lkP, st := llxscx.LLX(p)
 	if st != llxscx.Snapshot {
-		return updateResult{}, false
+		return updateResult[V]{}, false
 	}
 	// Identify the sibling of l from p's snapshot.
-	var s *node
+	var s *node[K, V]
 	var lIsLeft bool
 	switch {
 	case lkP.Child(0) == l:
@@ -413,18 +469,18 @@ func (t *Tree) tryDelete(gp, p, l *node, key int64) (updateResult, bool) {
 	case lkP.Child(1) == l:
 		s, lIsLeft = lkP.Child(0), false
 	default:
-		return updateResult{}, false
+		return updateResult[V]{}, false
 	}
 	if s == nil {
-		return updateResult{}, false
+		return updateResult[V]{}, false
 	}
 	lkL, st := llxscx.LLX(l)
 	if st != llxscx.Snapshot {
-		return updateResult{}, false
+		return updateResult[V]{}, false
 	}
 	lkS, st := llxscx.LLX(s)
 	if st != llxscx.Snapshot {
-		return updateResult{}, false
+		return updateResult[V]{}, false
 	}
 
 	// The sibling is promoted into p's place; its weight absorbs p's weight
@@ -440,20 +496,20 @@ func (t *Tree) tryDelete(gp, p, l *node, key int64) (updateResult, bool) {
 
 	// V and R are ordered by a breadth-first traversal (postcondition PC8):
 	// the parent's children appear in left-to-right order.
-	var v []llxscx.Linked[node]
-	var r []*node
+	var v []llxscx.Linked[node[K, V]]
+	var r []*node[K, V]
 	if lIsLeft {
-		v = []llxscx.Linked[node]{lkGP, lkP, lkL, lkS}
-		r = []*node{p, l, s}
+		v = []llxscx.Linked[node[K, V]]{lkGP, lkP, lkL, lkS}
+		r = []*node[K, V]{p, l, s}
 	} else {
-		v = []llxscx.Linked[node]{lkGP, lkP, lkS, lkL}
-		r = []*node{p, s, l}
+		v = []llxscx.Linked[node[K, V]]{lkGP, lkP, lkS, lkL}
+		r = []*node[K, V]{p, s, l}
 	}
 	if !llxscx.SCX(v, r, fld, p, repl) {
-		return updateResult{}, false
+		return updateResult[V]{}, false
 	}
 	t.stats.Delete.Add(1)
-	return updateResult{
+	return updateResult[V]{
 		old:              l.v,
 		existed:          true,
 		createdViolation: newWeight > 1,
@@ -466,9 +522,9 @@ func (t *Tree) tryDelete(gp, p, l *node, key int64) (updateResult, bool) {
 // rebalancing step keeps a violation on the search path of the key whose
 // insertion or deletion created it (property VIOL), this guarantees the
 // violation created by the caller has been eliminated when cleanup returns.
-func (t *Tree) cleanup(key int64) {
+func (t *Tree[K, V]) cleanup(key K) {
 	for {
-		var ggp, gp *node
+		var ggp, gp *node[K, V]
 		p := t.entry
 		l := t.entry.left.Load()
 		for {
@@ -488,7 +544,7 @@ func (t *Tree) cleanup(key int64) {
 				return
 			}
 			ggp, gp, p = gp, p, l
-			if keyLess(key, l) {
+			if t.keyLess(key, l) {
 				l = l.left.Load()
 			} else {
 				l = l.right.Load()

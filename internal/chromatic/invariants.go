@@ -12,9 +12,9 @@ import (
 
 // Size returns the number of keys currently stored. It runs in linear time
 // and should only be used at quiescence.
-func (t *Tree) Size() int {
+func (t *Tree[K, V]) Size() int {
 	size := 0
-	t.visitLeaves(t.entry.left.Load(), func(n *node) {
+	t.visitLeaves(t.entry.left.Load(), func(n *node[K, V]) {
 		if !n.inf {
 			size++
 		}
@@ -23,9 +23,9 @@ func (t *Tree) Size() int {
 }
 
 // Keys returns all keys in ascending order. Quiescence only.
-func (t *Tree) Keys() []int64 {
-	var keys []int64
-	t.visitLeaves(t.entry.left.Load(), func(n *node) {
+func (t *Tree[K, V]) Keys() []K {
+	var keys []K
+	t.visitLeaves(t.entry.left.Load(), func(n *node[K, V]) {
 		if !n.inf {
 			keys = append(keys, n.k)
 		}
@@ -35,13 +35,13 @@ func (t *Tree) Keys() []int64 {
 
 // Height returns the number of nodes on the longest path from the chromatic
 // tree's root to a leaf (0 for an empty dictionary). Quiescence only.
-func (t *Tree) Height() int {
+func (t *Tree[K, V]) Height() int {
 	return height(t.chromaticRoot())
 }
 
 // CountViolations returns the number of red-red and overweight violations
 // currently present in the tree. Quiescence only.
-func (t *Tree) CountViolations() int {
+func (t *Tree[K, V]) CountViolations() int {
 	root := t.chromaticRoot()
 	if root == nil {
 		return 0
@@ -51,7 +51,7 @@ func (t *Tree) CountViolations() int {
 
 // chromaticRoot returns the root of the chromatic tree proper (the leftmost
 // grandchild of the entry node), or nil when the dictionary is empty.
-func (t *Tree) chromaticRoot() *node {
+func (t *Tree[K, V]) chromaticRoot() *node[K, V] {
 	top := t.entry.left.Load()
 	if top == nil || top.leaf {
 		return nil
@@ -59,7 +59,7 @@ func (t *Tree) chromaticRoot() *node {
 	return top.left.Load()
 }
 
-func (t *Tree) visitLeaves(n *node, fn func(*node)) {
+func (t *Tree[K, V]) visitLeaves(n *node[K, V], fn func(*node[K, V])) {
 	if n == nil {
 		return
 	}
@@ -71,7 +71,7 @@ func (t *Tree) visitLeaves(n *node, fn func(*node)) {
 	t.visitLeaves(n.right.Load(), fn)
 }
 
-func height(n *node) int {
+func height[K, V any](n *node[K, V]) int {
 	if n == nil {
 		return 0
 	}
@@ -85,7 +85,7 @@ func height(n *node) int {
 	return r + 1
 }
 
-func countViolations(parent, n *node) int {
+func countViolations[K, V any](parent, n *node[K, V]) int {
 	if n == nil {
 		return 0
 	}
@@ -108,15 +108,16 @@ func countViolations(parent, n *node) int {
 //   - the sentinel structure at the top of the tree is intact;
 //   - every internal node has exactly two children and every leaf none;
 //   - leaves have weight at least one and nodes never have negative weight;
-//   - keys satisfy the leaf-oriented BST order (left subtree strictly
-//     smaller than the routing key, right subtree greater or equal);
+//   - keys satisfy the leaf-oriented BST order under the tree's comparator
+//     (left subtree strictly smaller than the routing key, right subtree
+//     greater or equal);
 //   - every root-to-leaf path in the chromatic tree has the same total
 //     weight (the defining chromatic tree property);
 //   - no reachable node has been finalized.
 //
 // It must only be called at quiescence. It returns nil if all invariants
 // hold.
-func (t *Tree) CheckInvariants() error {
+func (t *Tree[K, V]) CheckInvariants() error {
 	top := t.entry.left.Load()
 	if top == nil {
 		return errors.New("entry has no left child")
@@ -142,34 +143,34 @@ func (t *Tree) CheckInvariants() error {
 		return fmt.Errorf("chromatic root has weight %d, want 1", root.w)
 	}
 	type bound struct {
-		lo, hi int64
+		lo, hi K
 		hasLo  bool
 		hasHi  bool
 	}
-	var walk func(parent, n *node, b bound) (int32, error)
-	walk = func(parent, n *node, b bound) (int32, error) {
+	var walk func(parent, n *node[K, V], b bound) (int32, error)
+	walk = func(parent, n *node[K, V], b bound) (int32, error) {
 		if n == nil {
-			return 0, fmt.Errorf("internal node %d has a nil child", parent.k)
+			return 0, fmt.Errorf("internal node %v has a nil child", parent.k)
 		}
 		if n.rec.Marked() {
-			return 0, fmt.Errorf("reachable node with key %d is finalized", n.k)
+			return 0, fmt.Errorf("reachable node with key %v is finalized", n.k)
 		}
 		if n.w < 0 {
-			return 0, fmt.Errorf("node %d has negative weight %d", n.k, n.w)
+			return 0, fmt.Errorf("node %v has negative weight %d", n.k, n.w)
 		}
 		if n.leaf {
 			if n.left.Load() != nil || n.right.Load() != nil {
-				return 0, fmt.Errorf("leaf %d has children", n.k)
+				return 0, fmt.Errorf("leaf %v has children", n.k)
 			}
 			if n.w < 1 {
-				return 0, fmt.Errorf("leaf %d has weight %d, want >= 1", n.k, n.w)
+				return 0, fmt.Errorf("leaf %v has weight %d, want >= 1", n.k, n.w)
 			}
 			if !n.inf {
-				if b.hasLo && n.k < b.lo {
-					return 0, fmt.Errorf("leaf key %d below lower bound %d", n.k, b.lo)
+				if b.hasLo && t.less(n.k, b.lo) {
+					return 0, fmt.Errorf("leaf key %v below lower bound %v", n.k, b.lo)
 				}
-				if b.hasHi && n.k >= b.hi {
-					return 0, fmt.Errorf("leaf key %d not below upper bound %d", n.k, b.hi)
+				if b.hasHi && !t.less(n.k, b.hi) {
+					return 0, fmt.Errorf("leaf key %v not below upper bound %v", n.k, b.hi)
 				}
 			}
 			return n.w, nil
@@ -177,11 +178,11 @@ func (t *Tree) CheckInvariants() error {
 		if n.inf {
 			return 0, fmt.Errorf("sentinel internal node with key infinity found inside the chromatic tree")
 		}
-		if b.hasLo && n.k < b.lo {
-			return 0, fmt.Errorf("routing key %d below lower bound %d", n.k, b.lo)
+		if b.hasLo && t.less(n.k, b.lo) {
+			return 0, fmt.Errorf("routing key %v below lower bound %v", n.k, b.lo)
 		}
-		if b.hasHi && n.k > b.hi {
-			return 0, fmt.Errorf("routing key %d above upper bound %d", n.k, b.hi)
+		if b.hasHi && t.less(b.hi, n.k) {
+			return 0, fmt.Errorf("routing key %v above upper bound %v", n.k, b.hi)
 		}
 		lb := b
 		lb.hi, lb.hasHi = n.k, true
@@ -196,7 +197,7 @@ func (t *Tree) CheckInvariants() error {
 			return 0, err
 		}
 		if lw != rw {
-			return 0, fmt.Errorf("unequal weighted path lengths below key %d: left %d, right %d", n.k, lw, rw)
+			return 0, fmt.Errorf("unequal weighted path lengths below key %v: left %d, right %d", n.k, lw, rw)
 		}
 		return lw + n.w, nil
 	}
@@ -209,7 +210,7 @@ func (t *Tree) CheckInvariants() error {
 // greater than one and no red node has a red parent. After all insertions
 // and deletions have completed (and, for the plain Chromatic configuration,
 // after their cleanup phases), the tree must satisfy this. Quiescence only.
-func (t *Tree) CheckRedBlack() error {
+func (t *Tree[K, V]) CheckRedBlack() error {
 	if err := t.CheckInvariants(); err != nil {
 		return err
 	}
@@ -217,16 +218,16 @@ func (t *Tree) CheckRedBlack() error {
 	if root == nil {
 		return nil
 	}
-	var walk func(parent, n *node) error
-	walk = func(parent, n *node) error {
+	var walk func(parent, n *node[K, V]) error
+	walk = func(parent, n *node[K, V]) error {
 		if n == nil {
 			return nil
 		}
 		if n.w > 1 {
-			return fmt.Errorf("node %d is overweight (w=%d)", n.k, n.w)
+			return fmt.Errorf("node %v is overweight (w=%d)", n.k, n.w)
 		}
 		if parent != nil && parent.w == 0 && n.w == 0 {
-			return fmt.Errorf("red-red violation at node %d", n.k)
+			return fmt.Errorf("red-red violation at node %v", n.k)
 		}
 		if n.leaf {
 			return nil

@@ -13,33 +13,40 @@ import "repro/internal/lbst"
 
 // Successor returns the smallest key strictly greater than key together with
 // its value, or ok=false if no such key exists.
-func (t *Tree) Successor(key int64) (k, v int64, ok bool) {
-	return lbst.Successor(t.entry, key)
+func (t *Tree[K, V]) Successor(key K) (k K, v V, ok bool) {
+	return lbst.Successor(t.entry, t.less, key)
 }
 
 // Predecessor returns the largest key strictly smaller than key together
 // with its value, or ok=false if no such key exists.
-func (t *Tree) Predecessor(key int64) (k, v int64, ok bool) {
-	return lbst.Predecessor(t.entry, key)
+func (t *Tree[K, V]) Predecessor(key K) (k K, v V, ok bool) {
+	return lbst.Predecessor(t.entry, t.less, key)
 }
 
-// RangeScan calls fn for every key in [lo, hi] in ascending order, using
-// repeated Successor queries. It returns the number of keys visited. If fn
-// returns false the scan stops early. The scan is not atomic as a whole:
-// each step is individually linearizable.
-func (t *Tree) RangeScan(lo, hi int64, fn func(k, v int64) bool) int {
-	return lbst.RangeScan(t.entry, lo, hi, fn)
+// RangeScan calls fn for every key in [lo, hi] in ascending order, using a
+// point probe for lo followed by repeated Successor queries. It returns the
+// number of keys visited. If fn returns false the scan stops early. The scan
+// is not atomic as a whole: each step is individually linearizable.
+func (t *Tree[K, V]) RangeScan(lo, hi K, fn func(k K, v V) bool) int {
+	return lbst.RangeScan(t.entry, t.less, lo, hi, fn)
+}
+
+// Ascend calls fn for every key in the dictionary in ascending order and
+// returns the number of keys visited. If fn returns false the scan stops
+// early. Each step is individually linearizable.
+func (t *Tree[K, V]) Ascend(fn func(k K, v V) bool) int {
+	return lbst.Ascend(t.entry, t.less, fn)
 }
 
 // Min returns the smallest key in the dictionary and its value, or ok=false
 // if the dictionary is empty.
-func (t *Tree) Min() (k, v int64, ok bool) {
-	return lbst.Min(t.entry)
+func (t *Tree[K, V]) Min() (k K, v V, ok bool) {
+	return lbst.Min[*node[K, V], node[K, V], K, V](t.entry)
 }
 
 // Max returns the largest key in the dictionary and its value, or ok=false
 // if the dictionary is empty. (Sentinel keys are treated as +infinity and
 // are never returned.)
-func (t *Tree) Max() (k, v int64, ok bool) {
-	return lbst.Max(t.entry)
+func (t *Tree[K, V]) Max() (k K, v V, ok bool) {
+	return lbst.Max[*node[K, V], node[K, V], K, V](t.entry)
 }

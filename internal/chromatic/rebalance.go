@@ -22,7 +22,7 @@ import (
 
 // fieldFor returns the mutable field of u (according to lkU's snapshot) that
 // pointed to child, or nil if child was not a child of u in that snapshot.
-func fieldFor(lkU llxscx.Linked[node], child *node) *atomic.Pointer[node] {
+func fieldFor[K, V any](lkU llxscx.Linked[node[K, V]], child *node[K, V]) *atomic.Pointer[node[K, V]] {
 	u := lkU.Node()
 	if lkU.Child(0) == child {
 		return &u.left
@@ -39,7 +39,7 @@ func fieldFor(lkU llxscx.Linked[node], child *node) *atomic.Pointer[node] {
 // one" rule discussed with Lemma 28 of the paper). Forcing weight one at the
 // root is safe because the root lies on every path, so weighted path lengths
 // remain equal.
-func replacementWeight(u *node, w int32) int32 {
+func replacementWeight[K, V any](u *node[K, V], w int32) int32 {
 	if u.inf {
 		return 1
 	}
@@ -51,8 +51,8 @@ func replacementWeight(u *node, w int32) int32 {
 
 // internalLike creates a fresh internal node carrying src's routing key and
 // sentinel flag, with the given weight and children.
-func internalLike(src *node, w int32, left, right *node) *node {
-	n := &node{k: src.k, w: w, inf: src.inf}
+func internalLike[K, V any](src *node[K, V], w int32, left, right *node[K, V]) *node[K, V] {
+	n := &node[K, V]{k: src.k, w: w, inf: src.inf}
 	n.left.Store(left)
 	n.right.Store(right)
 	return n
@@ -63,7 +63,7 @@ func internalLike(src *node, w int32, left, right *node) *node {
 // gp (grandparent) and ggp (great-grandparent). It follows Figure 15 of the
 // paper. A false return means no step was applied (the caller's Cleanup will
 // search again from the entry point).
-func (t *Tree) tryRebalance(ggp, gp, p, l *node) bool {
+func (t *Tree[K, V]) tryRebalance(ggp, gp, p, l *node[K, V]) bool {
 	t.stats.RebalanceAttempts.Add(1)
 	ok := t.tryRebalanceOnce(ggp, gp, p, l)
 	if !ok {
@@ -72,7 +72,7 @@ func (t *Tree) tryRebalance(ggp, gp, p, l *node) bool {
 	return ok
 }
 
-func (t *Tree) tryRebalanceOnce(ggp, gp, p, l *node) bool {
+func (t *Tree[K, V]) tryRebalanceOnce(ggp, gp, p, l *node[K, V]) bool {
 	r := ggp
 	lkR, st := llxscx.LLX(r)
 	if st != llxscx.Snapshot {
@@ -168,7 +168,7 @@ func (t *Tree) tryRebalanceOnce(ggp, gp, p, l *node) bool {
 // overweightLeft selects and applies the rebalancing step for an overweight
 // violation at rxxl, the left child of rxx (Figure 16 of the paper). The
 // linked LLX evidence for r, rx, rxx and rxxl is supplied by the caller.
-func (t *Tree) overweightLeft(lkR, lkRx, lkRxx, lkRxxl llxscx.Linked[node], rl, rr, rxl, rxr, rxxr *node) bool {
+func (t *Tree[K, V]) overweightLeft(lkR, lkRx, lkRxx, lkRxxl llxscx.Linked[node[K, V]], rl, rr, rxl, rxr, rxxr *node[K, V]) bool {
 	_ = rl
 	_ = rr
 	rxx := lkRxx.Node()
@@ -290,7 +290,7 @@ func (t *Tree) overweightLeft(lkR, lkRx, lkRxx, lkRxxl llxscx.Linked[node], rl, 
 
 // overweightRight is the mirror image of overweightLeft: it handles an
 // overweight violation at rxxr, the right child of rxx.
-func (t *Tree) overweightRight(lkR, lkRx, lkRxx, lkRxxr llxscx.Linked[node], rl, rr, rxl, rxr, rxxl *node) bool {
+func (t *Tree[K, V]) overweightRight(lkR, lkRx, lkRxx, lkRxxr llxscx.Linked[node[K, V]], rl, rr, rxl, rxr, rxxl *node[K, V]) bool {
 	_ = rl
 	_ = rr
 	rxx := lkRxx.Node()
@@ -412,7 +412,7 @@ func (t *Tree) overweightRight(lkR, lkRx, lkRxx, lkRxxr llxscx.Linked[node], rl,
 
 // doBLK recolours ux and its two red children: both children's copies get
 // weight one and ux's copy loses one unit of weight (its own mirror image).
-func (t *Tree) doBLK(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node]) bool {
+func (t *Tree[K, V]) doBLK(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	fld := fieldFor(lkU, ux)
 	if fld == nil {
@@ -421,8 +421,8 @@ func (t *Tree) doBLK(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node]) bool {
 	nl := copyWithWeight(lkUXL, 1)
 	nr := copyWithWeight(lkUXR, 1)
 	n := internalLike(ux, replacementWeight(u, ux.w-1), nl, nr)
-	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR}
-	r := []*node{ux, lkUXL.Node(), lkUXR.Node()}
+	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR}
+	r := []*node[K, V]{ux, lkUXL.Node(), lkUXR.Node()}
 	if !llxscx.SCX(v, r, fld, ux, n) {
 		return false
 	}
@@ -432,7 +432,7 @@ func (t *Tree) doBLK(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node]) bool {
 
 // doRB1 performs a single rotation fixing a red-red violation at the
 // left-left grandchild of u.
-func (t *Tree) doRB1(lkU, lkUX, lkUXL llxscx.Linked[node]) bool {
+func (t *Tree[K, V]) doRB1(lkU, lkUX, lkUXL llxscx.Linked[node[K, V]]) bool {
 	u, ux, uxl := lkU.Node(), lkUX.Node(), lkUXL.Node()
 	fld := fieldFor(lkU, ux)
 	if fld == nil {
@@ -442,8 +442,8 @@ func (t *Tree) doRB1(lkU, lkUX, lkUXL llxscx.Linked[node]) bool {
 	uxll, uxlr := lkUXL.Child(0), lkUXL.Child(1)
 	nr := internalLike(ux, 0, uxlr, uxr)
 	n := internalLike(uxl, replacementWeight(u, ux.w), uxll, nr)
-	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL}
-	r := []*node{ux, uxl}
+	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL}
+	r := []*node[K, V]{ux, uxl}
 	if !llxscx.SCX(v, r, fld, ux, n) {
 		return false
 	}
@@ -453,7 +453,7 @@ func (t *Tree) doRB1(lkU, lkUX, lkUXL llxscx.Linked[node]) bool {
 
 // doRB1s is the mirror image of doRB1 (red-red violation at the right-right
 // grandchild of u).
-func (t *Tree) doRB1s(lkU, lkUX, lkUXR llxscx.Linked[node]) bool {
+func (t *Tree[K, V]) doRB1s(lkU, lkUX, lkUXR llxscx.Linked[node[K, V]]) bool {
 	u, ux, uxr := lkU.Node(), lkUX.Node(), lkUXR.Node()
 	fld := fieldFor(lkU, ux)
 	if fld == nil {
@@ -463,8 +463,8 @@ func (t *Tree) doRB1s(lkU, lkUX, lkUXR llxscx.Linked[node]) bool {
 	uxrl, uxrr := lkUXR.Child(0), lkUXR.Child(1)
 	nl := internalLike(ux, 0, uxl, uxrl)
 	n := internalLike(uxr, replacementWeight(u, ux.w), nl, uxrr)
-	v := []llxscx.Linked[node]{lkU, lkUX, lkUXR}
-	r := []*node{ux, uxr}
+	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXR}
+	r := []*node[K, V]{ux, uxr}
 	if !llxscx.SCX(v, r, fld, ux, n) {
 		return false
 	}
@@ -474,7 +474,7 @@ func (t *Tree) doRB1s(lkU, lkUX, lkUXR llxscx.Linked[node]) bool {
 
 // doRB2 performs a double rotation fixing a red-red violation at the
 // left-right grandchild of u (Figure 17 of the paper).
-func (t *Tree) doRB2(lkU, lkUX, lkUXL, lkUXLR llxscx.Linked[node]) bool {
+func (t *Tree[K, V]) doRB2(lkU, lkUX, lkUXL, lkUXLR llxscx.Linked[node[K, V]]) bool {
 	u, ux, uxl, uxlr := lkU.Node(), lkUX.Node(), lkUXL.Node(), lkUXLR.Node()
 	fld := fieldFor(lkU, ux)
 	if fld == nil {
@@ -486,8 +486,8 @@ func (t *Tree) doRB2(lkU, lkUX, lkUXL, lkUXLR llxscx.Linked[node]) bool {
 	nl := internalLike(uxl, 0, uxll, uxlrl)
 	nr := internalLike(ux, 0, uxlrr, uxr)
 	n := internalLike(uxlr, replacementWeight(u, ux.w), nl, nr)
-	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXLR}
-	r := []*node{ux, uxl, uxlr}
+	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXLR}
+	r := []*node[K, V]{ux, uxl, uxlr}
 	if !llxscx.SCX(v, r, fld, ux, n) {
 		return false
 	}
@@ -497,7 +497,7 @@ func (t *Tree) doRB2(lkU, lkUX, lkUXL, lkUXLR llxscx.Linked[node]) bool {
 
 // doRB2s is the mirror image of doRB2 (violation at the right-left
 // grandchild of u).
-func (t *Tree) doRB2s(lkU, lkUX, lkUXR, lkUXRL llxscx.Linked[node]) bool {
+func (t *Tree[K, V]) doRB2s(lkU, lkUX, lkUXR, lkUXRL llxscx.Linked[node[K, V]]) bool {
 	u, ux, uxr, uxrl := lkU.Node(), lkUX.Node(), lkUXR.Node(), lkUXRL.Node()
 	fld := fieldFor(lkU, ux)
 	if fld == nil {
@@ -509,8 +509,8 @@ func (t *Tree) doRB2s(lkU, lkUX, lkUXR, lkUXRL llxscx.Linked[node]) bool {
 	nl := internalLike(ux, 0, uxl, uxrll)
 	nr := internalLike(uxr, 0, uxrlr, uxrr)
 	n := internalLike(uxrl, replacementWeight(u, ux.w), nl, nr)
-	v := []llxscx.Linked[node]{lkU, lkUX, lkUXR, lkUXRL}
-	r := []*node{ux, uxr, uxrl}
+	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXR, lkUXRL}
+	r := []*node[K, V]{ux, uxr, uxrl}
 	if !llxscx.SCX(v, r, fld, ux, n) {
 		return false
 	}
@@ -522,7 +522,7 @@ func (t *Tree) doRB2s(lkU, lkUX, lkUXR, lkUXRL llxscx.Linked[node]) bool {
 
 // pushUp implements the construction shared by PUSH and W7: both children
 // give up one unit of weight to their parent.
-func (t *Tree) pushUp(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node], counter *atomic.Int64) bool {
+func (t *Tree[K, V]) pushUp(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node[K, V]], counter *atomic.Int64) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr := lkUXL.Node(), lkUXR.Node()
 	fld := fieldFor(lkU, ux)
@@ -532,8 +532,8 @@ func (t *Tree) pushUp(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node], counter *atom
 	nl := copyWithWeight(lkUXL, uxl.w-1)
 	nr := copyWithWeight(lkUXR, uxr.w-1)
 	n := internalLike(ux, replacementWeight(u, ux.w+1), nl, nr)
-	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR}
-	r := []*node{ux, uxl, uxr}
+	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR}
+	r := []*node[K, V]{ux, uxl, uxr}
 	if !llxscx.SCX(v, r, fld, ux, n) {
 		return false
 	}
@@ -543,28 +543,28 @@ func (t *Tree) pushUp(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node], counter *atom
 
 // doPUSH handles an overweight left child whose sibling has weight one and
 // no red children.
-func (t *Tree) doPUSH(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node]) bool {
+func (t *Tree[K, V]) doPUSH(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node[K, V]]) bool {
 	return t.pushUp(lkU, lkUX, lkUXL, lkUXR, &t.stats.PUSH)
 }
 
 // doPUSHs is the mirror image of doPUSH.
-func (t *Tree) doPUSHs(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node]) bool {
+func (t *Tree[K, V]) doPUSHs(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node[K, V]]) bool {
 	return t.pushUp(lkU, lkUX, lkUXL, lkUXR, &t.stats.MirrorPUSH)
 }
 
 // doW7 handles the case where both children of ux are overweight.
-func (t *Tree) doW7(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node]) bool {
+func (t *Tree[K, V]) doW7(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node[K, V]]) bool {
 	return t.pushUp(lkU, lkUX, lkUXL, lkUXR, &t.stats.W7)
 }
 
 // doW7s is the mirror image of doW7.
-func (t *Tree) doW7s(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node]) bool {
+func (t *Tree[K, V]) doW7s(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node[K, V]]) bool {
 	return t.pushUp(lkU, lkUX, lkUXL, lkUXR, &t.stats.MirrorW7)
 }
 
 // doW1 handles an overweight uxl whose sibling uxr is red and whose nephew
 // uxrl is overweight as well.
-func (t *Tree) doW1(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node]) bool {
+func (t *Tree[K, V]) doW1(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxrl := lkUXL.Node(), lkUXR.Node(), lkUXRL.Node()
 	fld := fieldFor(lkU, ux)
@@ -576,8 +576,8 @@ func (t *Tree) doW1(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node]) bool {
 	nlr := copyWithWeight(lkUXRL, uxrl.w-1)
 	nl := internalLike(ux, 1, nll, nlr)
 	n := internalLike(uxr, replacementWeight(u, ux.w), nl, uxrr)
-	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXRL}
-	r := []*node{ux, uxl, uxr, uxrl}
+	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRL}
+	r := []*node[K, V]{ux, uxl, uxr, uxrl}
 	if !llxscx.SCX(v, r, fld, ux, n) {
 		return false
 	}
@@ -586,7 +586,7 @@ func (t *Tree) doW1(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node]) bool {
 }
 
 // doW1s is the mirror image of doW1.
-func (t *Tree) doW1s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node]) bool {
+func (t *Tree[K, V]) doW1s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxlr := lkUXL.Node(), lkUXR.Node(), lkUXLR.Node()
 	fld := fieldFor(lkU, ux)
@@ -598,8 +598,8 @@ func (t *Tree) doW1s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node]) bool {
 	nrl := copyWithWeight(lkUXLR, uxlr.w-1)
 	nr := internalLike(ux, 1, nrl, nrr)
 	n := internalLike(uxl, replacementWeight(u, ux.w), uxll, nr)
-	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXLR}
-	r := []*node{ux, uxl, uxr, uxlr}
+	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLR}
+	r := []*node[K, V]{ux, uxl, uxr, uxlr}
 	if !llxscx.SCX(v, r, fld, ux, n) {
 		return false
 	}
@@ -609,7 +609,7 @@ func (t *Tree) doW1s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node]) bool {
 
 // doW2 handles an overweight uxl with a red sibling uxr whose left child has
 // weight one and two non-red children.
-func (t *Tree) doW2(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node]) bool {
+func (t *Tree[K, V]) doW2(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxrl := lkUXL.Node(), lkUXR.Node(), lkUXRL.Node()
 	fld := fieldFor(lkU, ux)
@@ -621,8 +621,8 @@ func (t *Tree) doW2(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node]) bool {
 	nlr := copyWithWeight(lkUXRL, 0)
 	nl := internalLike(ux, 1, nll, nlr)
 	n := internalLike(uxr, replacementWeight(u, ux.w), nl, uxrr)
-	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXRL}
-	r := []*node{ux, uxl, uxr, uxrl}
+	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRL}
+	r := []*node[K, V]{ux, uxl, uxr, uxrl}
 	if !llxscx.SCX(v, r, fld, ux, n) {
 		return false
 	}
@@ -631,7 +631,7 @@ func (t *Tree) doW2(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node]) bool {
 }
 
 // doW2s is the mirror image of doW2.
-func (t *Tree) doW2s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node]) bool {
+func (t *Tree[K, V]) doW2s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxlr := lkUXL.Node(), lkUXR.Node(), lkUXLR.Node()
 	fld := fieldFor(lkU, ux)
@@ -643,8 +643,8 @@ func (t *Tree) doW2s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node]) bool {
 	nrl := copyWithWeight(lkUXLR, 0)
 	nr := internalLike(ux, 1, nrl, nrr)
 	n := internalLike(uxl, replacementWeight(u, ux.w), uxll, nr)
-	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXLR}
-	r := []*node{ux, uxl, uxr, uxlr}
+	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLR}
+	r := []*node[K, V]{ux, uxl, uxr, uxlr}
 	if !llxscx.SCX(v, r, fld, ux, n) {
 		return false
 	}
@@ -654,7 +654,7 @@ func (t *Tree) doW2s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node]) bool {
 
 // doW3 handles an overweight uxl with red sibling uxr, where uxrl has weight
 // one and a red left child uxrll.
-func (t *Tree) doW3(lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLL llxscx.Linked[node]) bool {
+func (t *Tree[K, V]) doW3(lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLL llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxrl, uxrll := lkUXL.Node(), lkUXR.Node(), lkUXRL.Node(), lkUXRLL.Node()
 	fld := fieldFor(lkU, ux)
@@ -669,8 +669,8 @@ func (t *Tree) doW3(lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLL llxscx.Linked[node]
 	nlr := internalLike(uxrl, 1, uxrllr, uxrlr)
 	nl := internalLike(uxrll, 0, nll, nlr)
 	n := internalLike(uxr, replacementWeight(u, ux.w), nl, uxrr)
-	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLL}
-	r := []*node{ux, uxl, uxr, uxrl, uxrll}
+	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLL}
+	r := []*node[K, V]{ux, uxl, uxr, uxrl, uxrll}
 	if !llxscx.SCX(v, r, fld, ux, n) {
 		return false
 	}
@@ -679,7 +679,7 @@ func (t *Tree) doW3(lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLL llxscx.Linked[node]
 }
 
 // doW3s is the mirror image of doW3.
-func (t *Tree) doW3s(lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRR llxscx.Linked[node]) bool {
+func (t *Tree[K, V]) doW3s(lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRR llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxlr, uxlrr := lkUXL.Node(), lkUXR.Node(), lkUXLR.Node(), lkUXLRR.Node()
 	fld := fieldFor(lkU, ux)
@@ -694,8 +694,8 @@ func (t *Tree) doW3s(lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRR llxscx.Linked[node
 	nrl := internalLike(uxlr, 1, uxlrl, uxlrrl)
 	nr := internalLike(uxlrr, 0, nrl, nrr)
 	n := internalLike(uxl, replacementWeight(u, ux.w), uxll, nr)
-	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRR}
-	r := []*node{ux, uxl, uxr, uxlr, uxlrr}
+	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRR}
+	r := []*node[K, V]{ux, uxl, uxr, uxlr, uxlrr}
 	if !llxscx.SCX(v, r, fld, ux, n) {
 		return false
 	}
@@ -705,7 +705,7 @@ func (t *Tree) doW3s(lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRR llxscx.Linked[node
 
 // doW4 handles an overweight uxl with red sibling uxr, where uxrl has weight
 // one and a red right child uxrlr.
-func (t *Tree) doW4(lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLR llxscx.Linked[node]) bool {
+func (t *Tree[K, V]) doW4(lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLR llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxrl, uxrlr := lkUXL.Node(), lkUXR.Node(), lkUXRL.Node(), lkUXRLR.Node()
 	fld := fieldFor(lkU, ux)
@@ -719,8 +719,8 @@ func (t *Tree) doW4(lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLR llxscx.Linked[node]
 	nrl := copyWithWeight(lkUXRLR, 1)
 	nr := internalLike(uxr, 0, nrl, uxrr)
 	n := internalLike(uxrl, replacementWeight(u, ux.w), nl, nr)
-	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLR}
-	r := []*node{ux, uxl, uxr, uxrl, uxrlr}
+	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLR}
+	r := []*node[K, V]{ux, uxl, uxr, uxrl, uxrlr}
 	if !llxscx.SCX(v, r, fld, ux, n) {
 		return false
 	}
@@ -729,7 +729,7 @@ func (t *Tree) doW4(lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLR llxscx.Linked[node]
 }
 
 // doW4s is the mirror image of doW4.
-func (t *Tree) doW4s(lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRL llxscx.Linked[node]) bool {
+func (t *Tree[K, V]) doW4s(lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRL llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxlr, uxlrl := lkUXL.Node(), lkUXR.Node(), lkUXLR.Node(), lkUXLRL.Node()
 	fld := fieldFor(lkU, ux)
@@ -743,8 +743,8 @@ func (t *Tree) doW4s(lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRL llxscx.Linked[node
 	nlr := copyWithWeight(lkUXLRL, 1)
 	nl := internalLike(uxl, 0, uxll, nlr)
 	n := internalLike(uxlr, replacementWeight(u, ux.w), nl, nr)
-	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRL}
-	r := []*node{ux, uxl, uxr, uxlr, uxlrl}
+	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRL}
+	r := []*node[K, V]{ux, uxl, uxr, uxlr, uxlrl}
 	if !llxscx.SCX(v, r, fld, ux, n) {
 		return false
 	}
@@ -754,7 +754,7 @@ func (t *Tree) doW4s(lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRL llxscx.Linked[node
 
 // doW5 handles an overweight uxl whose sibling uxr has weight one and a red
 // right child uxrr.
-func (t *Tree) doW5(lkU, lkUX, lkUXL, lkUXR, lkUXRR llxscx.Linked[node]) bool {
+func (t *Tree[K, V]) doW5(lkU, lkUX, lkUXL, lkUXR, lkUXRR llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxrr := lkUXL.Node(), lkUXR.Node(), lkUXRR.Node()
 	fld := fieldFor(lkU, ux)
@@ -766,8 +766,8 @@ func (t *Tree) doW5(lkU, lkUX, lkUXL, lkUXR, lkUXRR llxscx.Linked[node]) bool {
 	nl := internalLike(ux, 1, nll, uxrl)
 	nr := copyWithWeight(lkUXRR, 1)
 	n := internalLike(uxr, replacementWeight(u, ux.w), nl, nr)
-	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXRR}
-	r := []*node{ux, uxl, uxr, uxrr}
+	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRR}
+	r := []*node[K, V]{ux, uxl, uxr, uxrr}
 	if !llxscx.SCX(v, r, fld, ux, n) {
 		return false
 	}
@@ -776,7 +776,7 @@ func (t *Tree) doW5(lkU, lkUX, lkUXL, lkUXR, lkUXRR llxscx.Linked[node]) bool {
 }
 
 // doW5s is the mirror image of doW5.
-func (t *Tree) doW5s(lkU, lkUX, lkUXL, lkUXR, lkUXLL llxscx.Linked[node]) bool {
+func (t *Tree[K, V]) doW5s(lkU, lkUX, lkUXL, lkUXR, lkUXLL llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxll := lkUXL.Node(), lkUXR.Node(), lkUXLL.Node()
 	fld := fieldFor(lkU, ux)
@@ -788,8 +788,8 @@ func (t *Tree) doW5s(lkU, lkUX, lkUXL, lkUXR, lkUXLL llxscx.Linked[node]) bool {
 	nr := internalLike(ux, 1, uxlr, nrr)
 	nl := copyWithWeight(lkUXLL, 1)
 	n := internalLike(uxl, replacementWeight(u, ux.w), nl, nr)
-	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXLL}
-	r := []*node{ux, uxl, uxr, uxll}
+	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLL}
+	r := []*node[K, V]{ux, uxl, uxr, uxll}
 	if !llxscx.SCX(v, r, fld, ux, n) {
 		return false
 	}
@@ -799,7 +799,7 @@ func (t *Tree) doW5s(lkU, lkUX, lkUXL, lkUXR, lkUXLL llxscx.Linked[node]) bool {
 
 // doW6 handles an overweight uxl whose sibling uxr has weight one and a red
 // left child uxrl.
-func (t *Tree) doW6(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node]) bool {
+func (t *Tree[K, V]) doW6(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxrl := lkUXL.Node(), lkUXR.Node(), lkUXRL.Node()
 	fld := fieldFor(lkU, ux)
@@ -812,8 +812,8 @@ func (t *Tree) doW6(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node]) bool {
 	nl := internalLike(ux, 1, nll, uxrll)
 	nr := internalLike(uxr, 1, uxrlr, uxrr)
 	n := internalLike(uxrl, replacementWeight(u, ux.w), nl, nr)
-	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXRL}
-	r := []*node{ux, uxl, uxr, uxrl}
+	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRL}
+	r := []*node[K, V]{ux, uxl, uxr, uxrl}
 	if !llxscx.SCX(v, r, fld, ux, n) {
 		return false
 	}
@@ -822,7 +822,7 @@ func (t *Tree) doW6(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node]) bool {
 }
 
 // doW6s is the mirror image of doW6.
-func (t *Tree) doW6s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node]) bool {
+func (t *Tree[K, V]) doW6s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxlr := lkUXL.Node(), lkUXR.Node(), lkUXLR.Node()
 	fld := fieldFor(lkU, ux)
@@ -835,8 +835,8 @@ func (t *Tree) doW6s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node]) bool {
 	nr := internalLike(ux, 1, uxlrr, nrr)
 	nl := internalLike(uxl, 1, uxll, uxlrl)
 	n := internalLike(uxlr, replacementWeight(u, ux.w), nl, nr)
-	v := []llxscx.Linked[node]{lkU, lkUX, lkUXL, lkUXR, lkUXLR}
-	r := []*node{ux, uxl, uxr, uxlr}
+	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLR}
+	r := []*node[K, V]{ux, uxl, uxr, uxlr}
 	if !llxscx.SCX(v, r, fld, ux, n) {
 		return false
 	}

@@ -3,38 +3,85 @@
 // the benchmark harness.
 //
 // The interface mirrors the abstract data type of Section 5 of Brown, Ellen
-// and Ruppert (PPoPP 2014): Get, Insert, Delete, Successor and Predecessor
-// over integer keys with integer values. Keys are int64 and the value ⊥ is
-// represented by the boolean "ok" result.
+// and Ruppert (PPoPP 2014): Get, Insert, Delete, Successor and Predecessor,
+// with the value ⊥ represented by the boolean "ok" result. The paper's trees
+// are key-type-agnostic - only the search routine compares keys - so the
+// canonical interfaces are generic: Map[K, V] and OrderedMap[K, V] are
+// parameterized by the key and value types, and implementations order keys
+// with a caller-supplied comparator of type Less[K] (constructors for
+// cmp.Ordered key types install the natural `<` ordering). The historical
+// int64 instantiations survive as the IntMap, IntOrderedMap and IntFactory
+// aliases, which the benchmark harness and the paper's figures still use.
 package dict
 
-// Map is an ordered dictionary with totally ordered int64 keys.
+import "cmp"
+
+// Less is the key comparator contract: it reports whether a is strictly
+// ordered before b. It must define a strict weak ordering (irreflexive,
+// transitive, with transitive incomparability); two keys a and b are
+// considered equal exactly when !Less(a, b) && !Less(b, a). Comparators must
+// be pure and safe for concurrent use: the trees call them from many
+// goroutines with no synchronization.
+type Less[K any] func(a, b K) bool
+
+// Ordered returns the natural `<` comparator for any cmp.Ordered key type.
+// It is a convenience for callers that need an explicit Less value (for
+// example to store alongside other configuration, or to hand to a tree's
+// NewLess constructor); the trees' NewOrdered constructors install the same
+// ordering themselves.
+func Ordered[K cmp.Ordered]() Less[K] {
+	return func(a, b K) bool { return a < b }
+}
+
+// Map is a dictionary with totally ordered keys of type K and values of
+// type V.
 //
 // All methods must be safe for concurrent use by multiple goroutines unless
 // the concrete implementation documents otherwise (for example the purely
 // sequential red-black tree in internal/seqrbt).
-type Map interface {
-	// Get returns the value associated with key and true, or 0 and false if
-	// key is not present.
-	Get(key int64) (value int64, ok bool)
+type Map[K, V any] interface {
+	// Get returns the value associated with key and true, or the zero value
+	// and false if key is not present.
+	Get(key K) (value V, ok bool)
 	// Insert associates value with key. It returns the previously associated
-	// value and true if key was present, or 0 and false if it was not.
-	Insert(key, value int64) (old int64, existed bool)
+	// value and true if key was present, or the zero value and false if it
+	// was not.
+	Insert(key K, value V) (old V, existed bool)
 	// Delete removes key. It returns the value that was associated with key
-	// and true, or 0 and false if key was not present.
-	Delete(key int64) (old int64, existed bool)
+	// and true, or the zero value and false if key was not present.
+	Delete(key K) (old V, existed bool)
 }
 
 // OrderedMap additionally supports ordered traversal queries.
-type OrderedMap interface {
-	Map
+type OrderedMap[K, V any] interface {
+	Map[K, V]
 	// Successor returns the smallest key strictly greater than key, with its
 	// value. ok is false if no such key exists.
-	Successor(key int64) (k, v int64, ok bool)
+	Successor(key K) (k K, v V, ok bool)
 	// Predecessor returns the largest key strictly smaller than key, with its
 	// value. ok is false if no such key exists.
-	Predecessor(key int64) (k, v int64, ok bool)
+	Predecessor(key K) (k K, v V, ok bool)
 }
+
+// Factory constructs empty dictionary instances of one implementation. The
+// benchmark harness uses factories so that every trial starts from a fresh
+// structure.
+type Factory[K, V any] struct {
+	// Name identifies the data structure in reports (e.g. "Chromatic6").
+	Name string
+	// New creates an empty dictionary.
+	New func() Map[K, V]
+}
+
+// IntMap is the historical int64-keyed instantiation of Map used by the
+// benchmark registry, the workload generator and the paper's figures.
+type IntMap = Map[int64, int64]
+
+// IntOrderedMap is the int64-keyed instantiation of OrderedMap.
+type IntOrderedMap = OrderedMap[int64, int64]
+
+// IntFactory is the int64-keyed instantiation of Factory.
+type IntFactory = Factory[int64, int64]
 
 // Sized is implemented by dictionaries that can report the number of keys
 // they currently store. Size may run in linear time and need not be
@@ -47,13 +94,4 @@ type Sized interface {
 // benchmark reports.
 type Named interface {
 	Name() string
-}
-
-// Factory constructs an empty dictionary instance. The benchmark harness uses
-// factories so that every trial starts from a fresh structure.
-type Factory struct {
-	// Name identifies the data structure in reports (e.g. "Chromatic6").
-	Name string
-	// New creates an empty dictionary.
-	New func() Map
 }

@@ -1,13 +1,22 @@
 // Package dicttest provides a reusable conformance, fuzz and stress suite
 // for dict.Map / dict.OrderedMap implementations, in the spirit of the
 // fuzz-vs-model testing used for classic balanced-tree libraries: every
-// operation is mirrored against a plain Go map (plus sorted keys for the
-// ordered queries), and a structure-specific invariant checker runs once
-// the structure is quiescent.
+// operation is mirrored against a plain Go map (plus keys sorted by the
+// target's comparator for the ordered queries), and a structure-specific
+// invariant checker runs once the structure is quiescent.
+//
+// The suite is generic over the key and value types (TargetOf and the *KV
+// functions); the historical int64 entry points (Target,
+// SequentialConformance, FuzzOps, ConcurrentStress) are thin wrappers kept
+// for the repository-level tests that predate the generic dictionary stack.
+// Keys and values are produced by caller-supplied derivation functions from
+// the suite's deterministic pseudo-random stream, so the same machinery
+// drives int64, string or composite-key targets.
 //
 // The repository-level tests (conformance_test.go at the module root) run
 // this suite against every tree built on the LLX/SCX template - EBST, RAVL,
-// Chromatic and Chromatic6 - through the benchmark registry.
+// Chromatic and Chromatic6 - through the benchmark registry, and against
+// string-keyed instantiations of the generic trees directly.
 package dicttest
 
 import (
@@ -17,101 +26,137 @@ import (
 	"repro/internal/dict"
 )
 
-// Target bundles a dictionary factory with an optional quiescent invariant
-// check (for example the chromatic tree's weight invariants or the relaxed
-// AVL tree's height bookkeeping).
+// TargetOf bundles a dictionary factory with its key comparator and an
+// optional quiescent invariant check (for example the chromatic tree's
+// weight invariants or the relaxed AVL tree's height bookkeeping).
+type TargetOf[K comparable, V comparable] struct {
+	// Name labels subtests.
+	Name string
+	// New creates an empty dictionary.
+	New func() dict.Map[K, V]
+	// Less orders keys; it must match the comparator the dictionary itself
+	// was built with, since the model's ordered queries use it.
+	Less func(a, b K) bool
+	// Check, if non-nil, verifies structure-specific invariants. It is only
+	// called when no operations are in flight.
+	Check func(dict.Map[K, V]) error
+}
+
+// Target is the historical int64 form of TargetOf, used by tests written
+// against the pre-generic dictionary stack.
 type Target struct {
 	// Name labels subtests.
 	Name string
 	// New creates an empty dictionary.
-	New func() dict.Map
+	New func() dict.IntMap
 	// Check, if non-nil, verifies structure-specific invariants. It is only
 	// called when no operations are in flight.
-	Check func(dict.Map) error
+	Check func(dict.IntMap) error
 }
 
-// model is the reference implementation: a Go map plus sorted-key queries.
-type model struct {
-	m map[int64]int64
+// generic converts an int64 Target to the generic form with the natural
+// ordering.
+func (tgt Target) generic() TargetOf[int64, int64] {
+	return TargetOf[int64, int64]{
+		Name:  tgt.Name,
+		New:   tgt.New,
+		Less:  func(a, b int64) bool { return a < b },
+		Check: tgt.Check,
+	}
 }
 
-func newModel() *model { return &model{m: map[int64]int64{}} }
+// model is the reference implementation: a Go map plus comparator-sorted
+// queries.
+type model[K comparable, V comparable] struct {
+	m    map[K]V
+	less func(a, b K) bool
+}
 
-func (md *model) insert(k, v int64) (int64, bool) {
+func newModel[K comparable, V comparable](less func(a, b K) bool) *model[K, V] {
+	return &model[K, V]{m: map[K]V{}, less: less}
+}
+
+func (md *model[K, V]) insert(k K, v V) (V, bool) {
 	old, ok := md.m[k]
 	md.m[k] = v
 	return old, ok
 }
 
-func (md *model) delete(k int64) (int64, bool) {
+func (md *model[K, V]) delete(k K) (V, bool) {
 	old, ok := md.m[k]
 	delete(md.m, k)
 	return old, ok
 }
 
-func (md *model) get(k int64) (int64, bool) {
+func (md *model[K, V]) get(k K) (V, bool) {
 	v, ok := md.m[k]
 	return v, ok
 }
 
-func (md *model) successor(k int64) (int64, int64, bool) {
-	best, found := int64(0), false
+func (md *model[K, V]) successor(k K) (K, V, bool) {
+	var best K
+	found := false
 	for key := range md.m {
-		if key > k && (!found || key < best) {
+		if md.less(k, key) && (!found || md.less(key, best)) {
 			best, found = key, true
 		}
 	}
 	if !found {
-		return 0, 0, false
+		var zk K
+		var zv V
+		return zk, zv, false
 	}
 	return best, md.m[best], true
 }
 
-func (md *model) predecessor(k int64) (int64, int64, bool) {
-	best, found := int64(0), false
+func (md *model[K, V]) predecessor(k K) (K, V, bool) {
+	var best K
+	found := false
 	for key := range md.m {
-		if key < k && (!found || key > best) {
+		if md.less(key, k) && (!found || md.less(best, key)) {
 			best, found = key, true
 		}
 	}
 	if !found {
-		return 0, 0, false
+		var zk K
+		var zv V
+		return zk, zv, false
 	}
 	return best, md.m[best], true
 }
 
-func (md *model) sortedKeys() []int64 {
-	keys := make([]int64, 0, len(md.m))
+func (md *model[K, V]) sortedKeys() []K {
+	keys := make([]K, 0, len(md.m))
 	for k := range md.m {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	sort.Slice(keys, func(i, j int) bool { return md.less(keys[i], keys[j]) })
 	return keys
 }
 
 // applyChecked performs one operation against both the dictionary and the
 // model and fails the test on any divergence. op is interpreted modulo 5.
-func applyChecked(t *testing.T, name string, d dict.Map, md *model, step int, op int, key, val int64) {
+func applyChecked[K comparable, V comparable](t *testing.T, name string, d dict.Map[K, V], md *model[K, V], step int, op int, key K, val V) {
 	t.Helper()
-	om, ordered := d.(dict.OrderedMap)
+	om, ordered := d.(dict.OrderedMap[K, V])
 	switch op % 5 {
 	case 0:
 		old, existed := d.Insert(key, val)
 		mOld, mExisted := md.insert(key, val)
 		if existed != mExisted || (existed && old != mOld) {
-			t.Fatalf("%s step %d: Insert(%d,%d) = (%d,%v), model (%d,%v)", name, step, key, val, old, existed, mOld, mExisted)
+			t.Fatalf("%s step %d: Insert(%v,%v) = (%v,%v), model (%v,%v)", name, step, key, val, old, existed, mOld, mExisted)
 		}
 	case 1:
 		old, existed := d.Delete(key)
 		mOld, mExisted := md.delete(key)
 		if existed != mExisted || (existed && old != mOld) {
-			t.Fatalf("%s step %d: Delete(%d) = (%d,%v), model (%d,%v)", name, step, key, old, existed, mOld, mExisted)
+			t.Fatalf("%s step %d: Delete(%v) = (%v,%v), model (%v,%v)", name, step, key, old, existed, mOld, mExisted)
 		}
 	case 2:
 		v, ok := d.Get(key)
 		mV, mOk := md.get(key)
 		if ok != mOk || (ok && v != mV) {
-			t.Fatalf("%s step %d: Get(%d) = (%d,%v), model (%d,%v)", name, step, key, v, ok, mV, mOk)
+			t.Fatalf("%s step %d: Get(%v) = (%v,%v), model (%v,%v)", name, step, key, v, ok, mV, mOk)
 		}
 	case 3:
 		if !ordered {
@@ -120,7 +165,7 @@ func applyChecked(t *testing.T, name string, d dict.Map, md *model, step int, op
 		k, v, ok := om.Successor(key)
 		mK, mV, mOk := md.successor(key)
 		if ok != mOk || (ok && (k != mK || v != mV)) {
-			t.Fatalf("%s step %d: Successor(%d) = (%d,%d,%v), model (%d,%d,%v)", name, step, key, k, v, ok, mK, mV, mOk)
+			t.Fatalf("%s step %d: Successor(%v) = (%v,%v,%v), model (%v,%v,%v)", name, step, key, k, v, ok, mK, mV, mOk)
 		}
 	default:
 		if !ordered {
@@ -129,19 +174,19 @@ func applyChecked(t *testing.T, name string, d dict.Map, md *model, step int, op
 		k, v, ok := om.Predecessor(key)
 		mK, mV, mOk := md.predecessor(key)
 		if ok != mOk || (ok && (k != mK || v != mV)) {
-			t.Fatalf("%s step %d: Predecessor(%d) = (%d,%d,%v), model (%d,%d,%v)", name, step, key, k, v, ok, mK, mV, mOk)
+			t.Fatalf("%s step %d: Predecessor(%v) = (%v,%v,%v), model (%v,%v,%v)", name, step, key, k, v, ok, mK, mV, mOk)
 		}
 	}
 }
 
 // finalCheck sweeps the model's final state, the Size report and the
 // target's invariant checker.
-func finalCheck(t *testing.T, tgt Target, d dict.Map, md *model) {
+func finalCheck[K comparable, V comparable](t *testing.T, tgt TargetOf[K, V], d dict.Map[K, V], md *model[K, V]) {
 	t.Helper()
 	for _, k := range md.sortedKeys() {
 		want := md.m[k]
 		if got, ok := d.Get(k); !ok || got != want {
-			t.Fatalf("%s: final Get(%d) = (%d,%v), want (%d,true)", tgt.Name, k, got, ok, want)
+			t.Fatalf("%s: final Get(%v) = (%v,%v), want (%v,true)", tgt.Name, k, got, ok, want)
 		}
 	}
 	if s, ok := d.(dict.Sized); ok {
@@ -156,88 +201,113 @@ func finalCheck(t *testing.T, tgt Target, d dict.Map, md *model) {
 	}
 }
 
-// SequentialConformance runs a deterministic pseudo-random operation
+// lcg advances the suite's deterministic pseudo-random stream (a simple LCG
+// so the suite does not depend on math/rand stability across Go releases).
+func lcg(state *uint64) uint64 {
+	*state = *state*2862933555777941757 + 3037000493
+	return *state >> 11
+}
+
+// SequentialConformanceKV runs a deterministic pseudo-random operation
 // sequence (including ordered queries when supported) against the model.
+// key and val derive the operation's key and value from the suite's random
+// stream; key controls the effective key-space density.
+func SequentialConformanceKV[K comparable, V comparable](t *testing.T, tgt TargetOf[K, V], ops int, key func(uint64) K, val func(uint64) V, seed int64) {
+	t.Helper()
+	d := tgt.New()
+	md := newModel[K, V](tgt.Less)
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	for i := 0; i < ops; i++ {
+		op := int(lcg(&state) % 5)
+		k := key(lcg(&state))
+		v := val(lcg(&state))
+		applyChecked(t, tgt.Name, d, md, i, op, k, v)
+	}
+	finalCheck(t, tgt, d, md)
+}
+
+// SequentialConformance is the int64 wrapper around SequentialConformanceKV
+// with keys drawn uniformly from [0, keyRange).
 func SequentialConformance(t *testing.T, tgt Target, ops int, keyRange int64, seed int64) {
 	t.Helper()
-	d := tgt.New()
-	md := newModel()
-	// Simple deterministic LCG so the suite does not depend on math/rand
-	// stability across Go releases.
-	state := uint64(seed)*2862933555777941757 + 3037000493
-	next := func() uint64 {
-		state = state*2862933555777941757 + 3037000493
-		return state >> 11
-	}
-	for i := 0; i < ops; i++ {
-		op := int(next() % 5)
-		key := int64(next() % uint64(keyRange))
-		val := int64(next() % (1 << 30))
-		applyChecked(t, tgt.Name, d, md, i, op, key, val)
-	}
-	finalCheck(t, tgt, d, md)
+	SequentialConformanceKV(t, tgt.generic(), ops,
+		func(u uint64) int64 { return int64(u % uint64(keyRange)) },
+		func(u uint64) int64 { return int64(u % (1 << 30)) },
+		seed)
 }
 
-// FuzzOps interprets data as an operation stream - three bytes per
-// operation: opcode, key, value - and checks every result against the
-// model. It is intended to be driven by go test's fuzzing engine.
-func FuzzOps(t *testing.T, tgt Target, data []byte) {
+// FuzzOpsKV interprets data as an operation stream - three bytes per
+// operation: opcode, key selector, value selector - and checks every result
+// against the model. It is intended to be driven by go test's fuzzing
+// engine.
+func FuzzOpsKV[K comparable, V comparable](t *testing.T, tgt TargetOf[K, V], key func(uint64) K, val func(uint64) V, data []byte) {
 	t.Helper()
 	d := tgt.New()
-	md := newModel()
+	md := newModel[K, V](tgt.Less)
 	for i := 0; i+2 < len(data); i += 3 {
 		op := int(data[i])
-		key := int64(data[i+1])
-		val := int64(data[i+2])
-		applyChecked(t, tgt.Name, d, md, i/3, op, key, val)
+		k := key(uint64(data[i+1]))
+		v := val(uint64(data[i+2]))
+		applyChecked(t, tgt.Name, d, md, i/3, op, k, v)
 	}
 	finalCheck(t, tgt, d, md)
 }
 
-// ConcurrentStress applies a mixed workload from several goroutines over
-// per-goroutine disjoint key ranges (so the final per-key state is known
+// FuzzOps is the int64 wrapper around FuzzOpsKV: keys and values are the
+// raw selector bytes.
+func FuzzOps(t *testing.T, tgt Target, data []byte) {
+	t.Helper()
+	FuzzOpsKV(t, tgt.generic(),
+		func(u uint64) int64 { return int64(u) },
+		func(u uint64) int64 { return int64(u) },
+		data)
+}
+
+// ConcurrentStressKV applies a mixed workload from several goroutines over
+// per-goroutine disjoint key spaces (so the final per-key state is known
 // regardless of interleaving), sprinkles in ordered queries whose results
 // must satisfy their contract, and runs the invariant checker at
-// quiescence.
-func ConcurrentStress(t *testing.T, tgt Target, goroutines, opsPerG int, keysPerG int64) {
+// quiescence. key derives goroutine g's keys from the random stream and
+// must return disjoint key sets for distinct g.
+func ConcurrentStressKV[K comparable, V comparable](t *testing.T, tgt TargetOf[K, V], goroutines, opsPerG int, key func(g int, u uint64) K, val func(uint64) V) {
 	t.Helper()
 	d := tgt.New()
-	om, ordered := d.(dict.OrderedMap)
-	type final = map[int64]int64
+	om, ordered := d.(dict.OrderedMap[K, V])
+	type final = map[K]V
 	finals := make([]final, goroutines)
+	deleted := make([]map[K]bool, goroutines)
 	done := make(chan int, goroutines)
 	for g := 0; g < goroutines; g++ {
 		go func(g int) {
 			defer func() { done <- g }()
 			state := uint64(g)*0x9e3779b97f4a7c15 + 1
-			next := func() uint64 {
-				state = state*2862933555777941757 + 3037000493
-				return state >> 11
-			}
 			f := final{}
-			base := int64(g) * keysPerG
+			dead := map[K]bool{}
 			for i := 0; i < opsPerG; i++ {
-				key := base + int64(next()%uint64(keysPerG))
-				switch next() % 4 {
+				k := key(g, lcg(&state))
+				switch lcg(&state) % 4 {
 				case 0, 1:
-					val := int64(next() % (1 << 20))
-					d.Insert(key, val)
-					f[key] = val
+					v := val(lcg(&state))
+					d.Insert(k, v)
+					f[k] = v
+					delete(dead, k)
 				case 2:
-					d.Delete(key)
-					f[key] = -1
+					d.Delete(k)
+					delete(f, k)
+					dead[k] = true
 				default:
 					if ordered {
-						if k, _, ok := om.Successor(key); ok && k <= key {
-							t.Errorf("%s: Successor(%d) returned %d", tgt.Name, key, k)
+						if sk, _, ok := om.Successor(k); ok && !tgt.Less(k, sk) {
+							t.Errorf("%s: Successor(%v) returned %v", tgt.Name, k, sk)
 							return
 						}
 					} else {
-						d.Get(key)
+						d.Get(k)
 					}
 				}
 			}
 			finals[g] = f
+			deleted[g] = dead
 		}(g)
 	}
 	for range goroutines {
@@ -246,15 +316,16 @@ func ConcurrentStress(t *testing.T, tgt Target, goroutines, opsPerG int, keysPer
 	if t.Failed() {
 		return
 	}
-	for g, f := range finals {
-		for key, want := range f {
-			v, ok := d.Get(key)
-			if want == -1 {
-				if ok {
-					t.Fatalf("%s: goroutine %d key %d present, want deleted", tgt.Name, g, key)
-				}
-			} else if !ok || v != want {
-				t.Fatalf("%s: goroutine %d key %d = (%d,%v), want (%d,true)", tgt.Name, g, key, v, ok, want)
+	for g := range finals {
+		for k, want := range finals[g] {
+			v, ok := d.Get(k)
+			if !ok || v != want {
+				t.Fatalf("%s: goroutine %d key %v = (%v,%v), want (%v,true)", tgt.Name, g, k, v, ok, want)
+			}
+		}
+		for k := range deleted[g] {
+			if v, ok := d.Get(k); ok {
+				t.Fatalf("%s: goroutine %d key %v present with %v, want deleted", tgt.Name, g, k, v)
 			}
 		}
 	}
@@ -263,4 +334,13 @@ func ConcurrentStress(t *testing.T, tgt Target, goroutines, opsPerG int, keysPer
 			t.Fatalf("%s: invariant check at quiescence: %v", tgt.Name, err)
 		}
 	}
+}
+
+// ConcurrentStress is the int64 wrapper around ConcurrentStressKV: goroutine
+// g owns the key range [g*keysPerG, (g+1)*keysPerG).
+func ConcurrentStress(t *testing.T, tgt Target, goroutines, opsPerG int, keysPerG int64) {
+	t.Helper()
+	ConcurrentStressKV(t, tgt.generic(), goroutines, opsPerG,
+		func(g int, u uint64) int64 { return int64(g)*keysPerG + int64(u%uint64(keysPerG)) },
+		func(u uint64) int64 { return int64(u % (1 << 20)) })
 }

@@ -11,30 +11,50 @@
 // template-based data structure needs. Because there is no rebalancing, the
 // height can be linear in the number of keys; the benchmark harness uses it
 // as the "unbalanced non-blocking" reference point.
+//
+// The tree is generic over the key and value types: NewOrdered builds a tree
+// over any cmp.Ordered key type, NewLess accepts an arbitrary comparator
+// (see dict.Less for the contract), and New keeps the historical int64
+// instantiation used by the benchmark registry.
 package ebst
 
-import "repro/internal/lbst"
+import (
+	"cmp"
+
+	"repro/internal/lbst"
+)
 
 // policy is the no-op balancing policy: an unbalanced tree never considers
 // itself in violation.
-type policy struct{}
+type policy[K, V any] struct{}
 
-func (policy) Name() string                             { return "EBST" }
-func (policy) InternalDeco() int64                      { return 0 }
-func (policy) CreatesViolation(_, _, _ *lbst.Node) bool { return false }
-func (policy) Violation(*lbst.Node) bool                { return false }
-func (policy) Rebalance(_, _ *lbst.Node) bool           { return false }
+func (policy[K, V]) Name() string                                   { return "EBST" }
+func (policy[K, V]) InternalDeco() int64                            { return 0 }
+func (policy[K, V]) CreatesViolation(_, _, _ *lbst.Node[K, V]) bool { return false }
+func (policy[K, V]) Violation(*lbst.Node[K, V]) bool                { return false }
+func (policy[K, V]) Rebalance(_, _ *lbst.Node[K, V]) bool           { return false }
 
 // Tree is a non-blocking unbalanced leaf-oriented BST. It is safe for
-// concurrent use. Use New to create one. All dictionary and ordered-query
-// operations (Get, Insert, Delete, Successor, Predecessor, RangeScan, Min,
-// Max) and the quiescent helpers (Size, Height, Keys, CheckStructure) are
-// provided by the embedded engine.
-type Tree struct {
-	*lbst.Tree
+// concurrent use. Use New, NewOrdered or NewLess to create one. All
+// dictionary and ordered-query operations (Get, Insert, Delete, Successor,
+// Predecessor, RangeScan, Ascend, Min, Max) and the quiescent helpers
+// (Size, Height, Keys, CheckStructure) are provided by the embedded engine.
+type Tree[K, V any] struct {
+	*lbst.Tree[K, V]
 }
 
-// New returns an empty tree.
-func New() *Tree {
-	return &Tree{lbst.New(policy{})}
+// NewLess returns an empty tree whose keys are ordered by less.
+func NewLess[K, V any](less func(a, b K) bool) *Tree[K, V] {
+	return &Tree[K, V]{lbst.New(less, policy[K, V]{})}
+}
+
+// NewOrdered returns an empty tree over a naturally ordered key type.
+func NewOrdered[K cmp.Ordered, V any]() *Tree[K, V] {
+	return NewLess[K, V](cmp.Less[K])
+}
+
+// New returns an empty tree with int64 keys and values, the instantiation
+// the benchmark registry and the paper's figures use.
+func New() *Tree[int64, int64] {
+	return NewOrdered[int64, int64]()
 }

@@ -12,20 +12,21 @@ import (
 //   - every internal node has exactly two children and every leaf none;
 //   - leaves carry decoration 0 (the decoration is policy state for
 //     internal nodes only);
-//   - keys satisfy the leaf-oriented BST order (left subtree strictly
-//     smaller than the routing key, right subtree greater or equal);
+//   - keys satisfy the leaf-oriented BST order under the tree's comparator
+//     (left subtree strictly smaller than the routing key, right subtree
+//     greater or equal);
 //   - no reachable node has been finalized.
 //
 // It must only be called at quiescence. It returns nil if all invariants
 // hold. Policy-specific balance invariants (for example the relaxed AVL's
 // height bookkeeping) are checked by the concrete tree packages.
-func (t *Tree) CheckStructure() error {
+func (t *Tree[K, V]) CheckStructure() error {
 	top := t.entry.left.Load()
 	if top == nil {
 		return errors.New("entry has no left child")
 	}
 	if !top.Inf {
-		return fmt.Errorf("node below entry is not a sentinel (key %d)", top.K)
+		return fmt.Errorf("node below entry is not a sentinel (key %v)", top.K)
 	}
 	if t.entry.Marked() || top.Marked() {
 		return errors.New("a sentinel node is finalized")
@@ -42,31 +43,31 @@ func (t *Tree) CheckStructure() error {
 		return errors.New("sentinel internal node has no left child")
 	}
 	type bound struct {
-		lo, hi int64
+		lo, hi K
 		hasLo  bool
 		hasHi  bool
 	}
-	var walk func(parent, n *Node, b bound) error
-	walk = func(parent, n *Node, b bound) error {
+	var walk func(parent, n *Node[K, V], b bound) error
+	walk = func(parent, n *Node[K, V], b bound) error {
 		if n == nil {
-			return fmt.Errorf("internal node %d has a nil child", parent.K)
+			return fmt.Errorf("internal node %v has a nil child", parent.K)
 		}
 		if n.Marked() {
-			return fmt.Errorf("reachable node with key %d is finalized", n.K)
+			return fmt.Errorf("reachable node with key %v is finalized", n.K)
 		}
 		if n.Leaf {
 			if n.left.Load() != nil || n.right.Load() != nil {
-				return fmt.Errorf("leaf %d has children", n.K)
+				return fmt.Errorf("leaf %v has children", n.K)
 			}
 			if n.Deco != 0 {
-				return fmt.Errorf("leaf %d has decoration %d, want 0", n.K, n.Deco)
+				return fmt.Errorf("leaf %v has decoration %d, want 0", n.K, n.Deco)
 			}
 			if !n.Inf {
-				if b.hasLo && n.K < b.lo {
-					return fmt.Errorf("leaf key %d below lower bound %d", n.K, b.lo)
+				if b.hasLo && t.less(n.K, b.lo) {
+					return fmt.Errorf("leaf key %v below lower bound %v", n.K, b.lo)
 				}
-				if b.hasHi && n.K >= b.hi {
-					return fmt.Errorf("leaf key %d not below upper bound %d", n.K, b.hi)
+				if b.hasHi && !t.less(n.K, b.hi) {
+					return fmt.Errorf("leaf key %v not below upper bound %v", n.K, b.hi)
 				}
 			}
 			return nil
@@ -74,11 +75,11 @@ func (t *Tree) CheckStructure() error {
 		if n.Inf {
 			return errors.New("sentinel internal node found inside the tree proper")
 		}
-		if b.hasLo && n.K < b.lo {
-			return fmt.Errorf("routing key %d below lower bound %d", n.K, b.lo)
+		if b.hasLo && t.less(n.K, b.lo) {
+			return fmt.Errorf("routing key %v below lower bound %v", n.K, b.lo)
 		}
-		if b.hasHi && n.K > b.hi {
-			return fmt.Errorf("routing key %d above upper bound %d", n.K, b.hi)
+		if b.hasHi && t.less(b.hi, n.K) {
+			return fmt.Errorf("routing key %v above upper bound %v", n.K, b.hi)
 		}
 		lb := b
 		lb.hi, lb.hasHi = n.K, true

@@ -10,6 +10,12 @@
 // rebalancing, and the ordered Successor/Predecessor queries with VLX
 // validation (shared, in generic form, with internal/chromatic via query.go).
 //
+// The engine is generic over the key and value types. Only the search loop
+// compares keys - exactly the paper's point about the template being
+// key-type-agnostic - so a tree is ordered by a caller-supplied comparator
+// less(a, b) reporting whether a is strictly ordered before b (see
+// dict.Less). Keys a and b are equal exactly when !less(a, b) && !less(b, a).
+//
 // A concrete tree supplies a Policy: the meaning of the per-node balancing
 // decoration, how to detect a violation of its balance condition, and a set
 // of localized rebalancing steps (each itself a template update). The policy
@@ -31,14 +37,14 @@ import (
 // pointers manipulated through LLX/SCX. Updates that need to change
 // immutable data replace the node with a fresh copy, as the template
 // requires.
-type Node struct {
-	rec llxscx.Record[Node]
+type Node[K, V any] struct {
+	rec llxscx.Record[Node[K, V]]
 
 	// K is the routing key (internal nodes) or dictionary key (leaves);
 	// ignored when Inf is set.
-	K int64
+	K K
 	// V is the associated value (meaningful in leaves only).
-	V int64
+	V V
 	// Deco is the balancing decoration, owned by the policy (for example
 	// the relaxed height in internal/ravl). Leaves always carry 0.
 	Deco int64
@@ -47,17 +53,17 @@ type Node struct {
 	// Inf marks sentinel nodes, whose key reads as +infinity.
 	Inf bool
 
-	left, right atomic.Pointer[Node]
+	left, right atomic.Pointer[Node[K, V]]
 }
 
 // LLXRecord implements llxscx.DataRecord.
-func (n *Node) LLXRecord() *llxscx.Record[Node] { return &n.rec }
+func (n *Node[K, V]) LLXRecord() *llxscx.Record[Node[K, V]] { return &n.rec }
 
 // NumMutable implements llxscx.DataRecord.
-func (n *Node) NumMutable() int { return 2 }
+func (n *Node[K, V]) NumMutable() int { return 2 }
 
 // Mutable implements llxscx.DataRecord.
-func (n *Node) Mutable(i int) *atomic.Pointer[Node] {
+func (n *Node[K, V]) Mutable(i int) *atomic.Pointer[Node[K, V]] {
 	if i == 0 {
 		return &n.left
 	}
@@ -65,40 +71,36 @@ func (n *Node) Mutable(i int) *atomic.Pointer[Node] {
 }
 
 // Key implements View for the shared query helpers.
-func (n *Node) Key() int64 { return n.K }
+func (n *Node[K, V]) Key() K { return n.K }
 
 // Value implements View.
-func (n *Node) Value() int64 { return n.V }
+func (n *Node[K, V]) Value() V { return n.V }
 
 // IsLeaf implements View.
-func (n *Node) IsLeaf() bool { return n.Leaf }
+func (n *Node[K, V]) IsLeaf() bool { return n.Leaf }
 
 // IsSentinel implements View.
-func (n *Node) IsSentinel() bool { return n.Inf }
+func (n *Node[K, V]) IsSentinel() bool { return n.Inf }
 
 // Left returns the left child with a plain atomic read. It is intended for
 // policies and quiescent inspection, not for lock-free traversals that need
 // snapshot consistency (use LLX for those).
-func (n *Node) Left() *Node { return n.left.Load() }
+func (n *Node[K, V]) Left() *Node[K, V] { return n.left.Load() }
 
 // Right returns the right child with a plain atomic read.
-func (n *Node) Right() *Node { return n.right.Load() }
+func (n *Node[K, V]) Right() *Node[K, V] { return n.right.Load() }
 
 // Marked reports whether the node has been finalized (removed) by an SCX.
-func (n *Node) Marked() bool { return n.rec.Marked() }
-
-// KeyLess reports whether key is strictly smaller than n's key, treating
-// sentinels as +infinity.
-func KeyLess(key int64, n *Node) bool { return n.Inf || key < n.K }
+func (n *Node[K, V]) Marked() bool { return n.rec.Marked() }
 
 // NewLeaf returns a fresh leaf holding key and value. Leaves always carry
 // decoration 0.
-func NewLeaf(k, v int64) *Node { return &Node{K: k, V: v, Leaf: true} }
+func NewLeaf[K, V any](k K, v V) *Node[K, V] { return &Node[K, V]{K: k, V: v, Leaf: true} }
 
 // NewInternal returns a fresh internal node with the given routing key,
 // decoration, sentinel flag and children.
-func NewInternal(k, deco int64, inf bool, left, right *Node) *Node {
-	n := &Node{K: k, Deco: deco, Inf: inf}
+func NewInternal[K, V any](k K, deco int64, inf bool, left, right *Node[K, V]) *Node[K, V] {
+	n := &Node[K, V]{K: k, Deco: deco, Inf: inf}
 	n.left.Store(left)
 	n.right.Store(right)
 	return n
@@ -108,9 +110,9 @@ func NewInternal(k, deco int64, inf bool, left, right *Node) *Node {
 // decoration and the children recorded in lk's snapshot. It is the standard
 // building block of rebalancing steps: a removed node reappears in the new
 // subtree only as a copy.
-func Copy(lk llxscx.Linked[Node], deco int64) *Node {
+func Copy[K, V any](lk llxscx.Linked[Node[K, V]], deco int64) *Node[K, V] {
 	src := lk.Node()
-	n := &Node{K: src.K, V: src.V, Deco: deco, Leaf: src.Leaf, Inf: src.Inf}
+	n := &Node[K, V]{K: src.K, V: src.V, Deco: deco, Leaf: src.Leaf, Inf: src.Inf}
 	n.left.Store(lk.Child(0))
 	n.right.Store(lk.Child(1))
 	return n
@@ -119,7 +121,7 @@ func Copy(lk llxscx.Linked[Node], deco int64) *Node {
 // FieldOf returns the mutable child field of the node captured by lk that
 // pointed to child in its snapshot, or nil if child was not one of its
 // children (meaning the tree changed under the caller, who must retry).
-func FieldOf(lk llxscx.Linked[Node], child *Node) *atomic.Pointer[Node] {
+func FieldOf[K, V any](lk llxscx.Linked[Node[K, V]], child *Node[K, V]) *atomic.Pointer[Node[K, V]] {
 	n := lk.Node()
 	if lk.Child(0) == child {
 		return &n.left
@@ -132,7 +134,7 @@ func FieldOf(lk llxscx.Linked[Node], child *Node) *atomic.Pointer[Node] {
 
 // SiblingOf returns the other child of the node captured by lk, or nil if
 // child is not one of its snapshot children.
-func SiblingOf(lk llxscx.Linked[Node], child *Node) *Node {
+func SiblingOf[K, V any](lk llxscx.Linked[Node[K, V]], child *Node[K, V]) *Node[K, V] {
 	if lk.Child(0) == child {
 		return lk.Child(1)
 	}
@@ -147,7 +149,7 @@ func SiblingOf(lk llxscx.Linked[Node], child *Node) *Node {
 // the engine's cleanup loop with plain-read path context and must express
 // any structural change as a template update (LLXs followed by one SCX) so
 // the combined data structure stays non-blocking and linearizable.
-type Policy interface {
+type Policy[K, V any] interface {
 	// Name identifies the resulting data structure in benchmark reports.
 	Name() string
 
@@ -160,52 +162,68 @@ type Policy interface {
 	// parent may have violated the balance condition, in which case the
 	// engine runs its cleanup loop. All three nodes are read-only context
 	// (immutable fields only).
-	CreatesViolation(parent, oldChild, newChild *Node) bool
+	CreatesViolation(parent, oldChild, newChild *Node[K, V]) bool
 
 	// Violation reports, using plain reads, whether a rebalancing step is
 	// needed at the internal non-sentinel node n.
-	Violation(n *Node) bool
+	Violation(n *Node[K, V]) bool
 
 	// Rebalance attempts one localized rebalancing step at n, whose parent
 	// on the search path is u. It returns true if a step was applied; false
 	// means the tree changed under it (or the violation vanished) and the
 	// cleanup loop re-searches from the entry point.
-	Rebalance(u, n *Node) bool
+	Rebalance(u, n *Node[K, V]) bool
 }
 
-// Tree is a non-blocking leaf-oriented BST balanced according to a Policy.
-// It is safe for concurrent use. Use New.
-type Tree struct {
-	entry *Node
-	pol   Policy
+// Tree is a non-blocking leaf-oriented BST over keys ordered by a comparator
+// and balanced according to a Policy. It is safe for concurrent use. Use New.
+type Tree[K, V any] struct {
+	entry *Node[K, V]
+	less  func(a, b K) bool
+	pol   Policy[K, V]
 }
 
-// New returns an empty tree governed by pol. The entry structure mirrors
-// the chromatic tree's sentinels (Figure 10 of the paper) so every leaf
-// always has a parent and, when the tree is non-empty, a grandparent.
-func New(pol Policy) *Tree {
-	return &Tree{
-		entry: NewInternal(0, 0, true, &Node{Leaf: true, Inf: true}, nil),
+// New returns an empty tree whose keys are ordered by less and whose balance
+// is governed by pol. The entry structure mirrors the chromatic tree's
+// sentinels (Figure 10 of the paper) so every leaf always has a parent and,
+// when the tree is non-empty, a grandparent.
+func New[K, V any](less func(a, b K) bool, pol Policy[K, V]) *Tree[K, V] {
+	var sentinelKey K
+	return &Tree[K, V]{
+		entry: NewInternal(sentinelKey, 0, true, &Node[K, V]{Leaf: true, Inf: true}, nil),
+		less:  less,
 		pol:   pol,
 	}
 }
 
 // Name identifies the data structure in benchmark reports.
-func (t *Tree) Name() string { return t.pol.Name() }
+func (t *Tree[K, V]) Name() string { return t.pol.Name() }
 
 // Entry exposes the sentinel entry point for policies and quiescent
 // inspection.
-func (t *Tree) Entry() *Node { return t.entry }
+func (t *Tree[K, V]) Entry() *Node[K, V] { return t.entry }
+
+// Less exposes the tree's key comparator.
+func (t *Tree[K, V]) Less() func(a, b K) bool { return t.less }
+
+// keyLess reports whether key is strictly smaller than n's key, treating
+// sentinels as +infinity.
+func (t *Tree[K, V]) keyLess(key K, n *Node[K, V]) bool { return n.Inf || t.less(key, n.K) }
+
+// isKey reports whether the leaf l holds exactly key.
+func (t *Tree[K, V]) isKey(key K, l *Node[K, V]) bool {
+	return !l.Inf && !t.less(key, l.K) && !t.less(l.K, key)
+}
 
 // search returns the grandparent, parent and leaf on the search path for
 // key, using plain reads (Figure 5 of the paper). gp is nil when the tree
 // below the sentinels is a single leaf.
-func (t *Tree) search(key int64) (gp, p, l *Node) {
+func (t *Tree[K, V]) search(key K) (gp, p, l *Node[K, V]) {
 	p = t.entry
 	l = t.entry.left.Load()
 	for !l.Leaf {
 		gp, p = p, l
-		if KeyLess(key, l) {
+		if t.keyLess(key, l) {
 			l = l.left.Load()
 		} else {
 			l = l.right.Load()
@@ -214,19 +232,20 @@ func (t *Tree) search(key int64) (gp, p, l *Node) {
 	return gp, p, l
 }
 
-// Get returns the value associated with key, or (0, false) if key is
-// absent. It uses only plain reads and never blocks or retries.
-func (t *Tree) Get(key int64) (int64, bool) {
+// Get returns the value associated with key, or the zero value and false if
+// key is absent. It uses only plain reads and never blocks or retries.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
 	_, _, l := t.search(key)
-	if !l.Inf && l.K == key {
+	if t.isKey(key, l) {
 		return l.V, true
 	}
-	return 0, false
+	var zero V
+	return zero, false
 }
 
 // insertResult is the Result type of the insertion template.
-type insertResult struct {
-	old     int64
+type insertResult[V any] struct {
+	old     V
 	existed bool
 }
 
@@ -235,43 +254,43 @@ type insertResult struct {
 // on the leaf's parent, one on the leaf, and one SCX that replaces the
 // leaf (with a fresh leaf if the key was present, or with a fresh internal
 // node above two leaves if it was not).
-func (t *Tree) Insert(key, value int64) (int64, bool) {
+func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 	for {
 		_, p, l := t.search(key)
-		var inserted *Node
-		tmpl := core.Template[*Node, Node, insertResult]{
+		var inserted *Node[K, V]
+		tmpl := core.Template[*Node[K, V], Node[K, V], insertResult[V]]{
 			// Two LLXs are always enough: the parent and the leaf.
-			Condition: func(seq []llxscx.Linked[Node]) bool { return len(seq) == 2 },
-			NextNode:  func(seq []llxscx.Linked[Node]) *Node { return l },
-			Args: func(seq []llxscx.Linked[Node]) core.Args[Node, *Node] {
+			Condition: func(seq []llxscx.Linked[Node[K, V]]) bool { return len(seq) == 2 },
+			NextNode:  func(seq []llxscx.Linked[Node[K, V]]) *Node[K, V] { return l },
+			Args: func(seq []llxscx.Linked[Node[K, V]]) core.Args[Node[K, V], *Node[K, V]] {
 				lkP, lkL := seq[0], seq[1]
 				fld := FieldOf(lkP, l)
-				var repl *Node
-				if !l.Inf && l.K == key {
+				var repl *Node[K, V]
+				if t.isKey(key, l) {
 					repl = NewLeaf(key, value)
 				} else {
 					keyLeaf := NewLeaf(key, value)
-					oldCopy := &Node{K: l.K, V: l.V, Leaf: true, Inf: l.Inf}
-					if KeyLess(key, l) {
+					oldCopy := &Node[K, V]{K: l.K, V: l.V, Leaf: true, Inf: l.Inf}
+					if t.keyLess(key, l) {
 						repl = NewInternal(l.K, t.pol.InternalDeco(), l.Inf, keyLeaf, oldCopy)
 					} else {
 						repl = NewInternal(key, t.pol.InternalDeco(), false, oldCopy, keyLeaf)
 					}
 					inserted = repl
 				}
-				return core.Args[Node, *Node]{
-					V:   []llxscx.Linked[Node]{lkP, lkL},
-					R:   []*Node{l},
+				return core.Args[Node[K, V], *Node[K, V]]{
+					V:   []llxscx.Linked[Node[K, V]]{lkP, lkL},
+					R:   []*Node[K, V]{l},
 					Fld: fld,
 					Old: l,
 					New: repl,
 				}
 			},
-			Result: func(seq []llxscx.Linked[Node]) insertResult {
-				if !l.Inf && l.K == key {
-					return insertResult{old: l.V, existed: true}
+			Result: func(seq []llxscx.Linked[Node[K, V]]) insertResult[V] {
+				if t.isKey(key, l) {
+					return insertResult[V]{old: l.V, existed: true}
 				}
-				return insertResult{}
+				return insertResult[V]{}
 			},
 		}
 		if res, ok := tmpl.Run(p); ok {
@@ -287,16 +306,17 @@ func (t *Tree) Insert(key, value int64) (int64, bool) {
 // update performs LLXs on the grandparent, parent, leaf and sibling, and
 // one SCX that swings the grandparent's child pointer to a copy of the
 // sibling (Figure 6 of the paper).
-func (t *Tree) Delete(key int64) (int64, bool) {
+func (t *Tree[K, V]) Delete(key K) (V, bool) {
 	for {
 		gp, p, l := t.search(key)
-		if gp == nil || l.Inf || l.K != key {
-			return 0, false
+		if gp == nil || !t.isKey(key, l) {
+			var zero V
+			return zero, false
 		}
-		var promoted *Node
-		tmpl := core.Template[*Node, Node, int64]{
-			Condition: func(seq []llxscx.Linked[Node]) bool { return len(seq) == 4 },
-			NextNode: func(seq []llxscx.Linked[Node]) *Node {
+		var promoted *Node[K, V]
+		tmpl := core.Template[*Node[K, V], Node[K, V], V]{
+			Condition: func(seq []llxscx.Linked[Node[K, V]]) bool { return len(seq) == 4 },
+			NextNode: func(seq []llxscx.Linked[Node[K, V]]) *Node[K, V] {
 				switch len(seq) {
 				case 1:
 					return p
@@ -307,7 +327,7 @@ func (t *Tree) Delete(key int64) (int64, bool) {
 					return SiblingOf(seq[1], l)
 				}
 			},
-			Args: func(seq []llxscx.Linked[Node]) core.Args[Node, *Node] {
+			Args: func(seq []llxscx.Linked[Node[K, V]]) core.Args[Node[K, V], *Node[K, V]] {
 				lkGP, lkP, lkL, lkS := seq[0], seq[1], seq[2], seq[3]
 				s := lkS.Node()
 				// The promoted copy keeps the sibling's decoration: its own
@@ -316,16 +336,16 @@ func (t *Tree) Delete(key int64) (int64, bool) {
 				promoted = repl
 				// V and R are ordered by a breadth-first traversal (PC8):
 				// the parent's children appear in left-to-right order.
-				var v []llxscx.Linked[Node]
-				var r []*Node
+				var v []llxscx.Linked[Node[K, V]]
+				var r []*Node[K, V]
 				if lkP.Child(0) == l {
-					v = []llxscx.Linked[Node]{lkGP, lkP, lkL, lkS}
-					r = []*Node{p, l, s}
+					v = []llxscx.Linked[Node[K, V]]{lkGP, lkP, lkL, lkS}
+					r = []*Node[K, V]{p, l, s}
 				} else {
-					v = []llxscx.Linked[Node]{lkGP, lkP, lkS, lkL}
-					r = []*Node{p, s, l}
+					v = []llxscx.Linked[Node[K, V]]{lkGP, lkP, lkS, lkL}
+					r = []*Node[K, V]{p, s, l}
 				}
-				return core.Args[Node, *Node]{
+				return core.Args[Node[K, V], *Node[K, V]]{
 					V:   v,
 					R:   r,
 					Fld: FieldOf(lkGP, p),
@@ -333,7 +353,7 @@ func (t *Tree) Delete(key int64) (int64, bool) {
 					New: repl,
 				}
 			},
-			Result: func(seq []llxscx.Linked[Node]) int64 { return l.V },
+			Result: func(seq []llxscx.Linked[Node[K, V]]) V { return l.V },
 		}
 		if v, ok := tmpl.Run(gp); ok {
 			if t.pol.CreatesViolation(gp, p, promoted) {
@@ -355,7 +375,7 @@ func (t *Tree) Delete(key int64) (int64, bool) {
 // created it; cleanup then restores balance on this key's path and leaves
 // any violation it pushed elsewhere to later operations (that is the
 // "relaxed" in relaxed balancing).
-func (t *Tree) cleanup(key int64) {
+func (t *Tree[K, V]) cleanup(key K) {
 	for {
 		u := t.entry
 		n := t.entry.left.Load()
@@ -371,7 +391,7 @@ func (t *Tree) cleanup(key int64) {
 				break // restart the search from the entry point
 			}
 			u = n
-			if KeyLess(key, n) {
+			if t.keyLess(key, n) {
 				n = n.left.Load()
 			} else {
 				n = n.right.Load()
@@ -382,38 +402,49 @@ func (t *Tree) cleanup(key int64) {
 
 // Cleanup exposes the rebalancing loop for policies that want to schedule
 // extra cleanup passes (for example from a background rebalancer).
-func (t *Tree) Cleanup(key int64) { t.cleanup(key) }
+func (t *Tree[K, V]) Cleanup(key K) { t.cleanup(key) }
 
 // Successor returns the smallest key strictly greater than key, with its
 // value; ok is false if no such key exists. See the generic implementation
 // in query.go.
-func (t *Tree) Successor(key int64) (k, v int64, ok bool) {
-	return Successor(t.entry, key)
+func (t *Tree[K, V]) Successor(key K) (k K, v V, ok bool) {
+	return Successor(t.entry, t.less, key)
 }
 
 // Predecessor returns the largest key strictly smaller than key, with its
 // value; ok is false if no such key exists.
-func (t *Tree) Predecessor(key int64) (k, v int64, ok bool) {
-	return Predecessor(t.entry, key)
+func (t *Tree[K, V]) Predecessor(key K) (k K, v V, ok bool) {
+	return Predecessor(t.entry, t.less, key)
 }
 
 // RangeScan calls fn for every key in [lo, hi] in ascending order and
 // returns the number of keys visited; each step is individually
 // linearizable. If fn returns false the scan stops early.
-func (t *Tree) RangeScan(lo, hi int64, fn func(k, v int64) bool) int {
-	return RangeScan(t.entry, lo, hi, fn)
+func (t *Tree[K, V]) RangeScan(lo, hi K, fn func(k K, v V) bool) int {
+	return RangeScan(t.entry, t.less, lo, hi, fn)
+}
+
+// Ascend calls fn for every key in the dictionary in ascending order and
+// returns the number of keys visited; each step is individually
+// linearizable. If fn returns false the scan stops early.
+func (t *Tree[K, V]) Ascend(fn func(k K, v V) bool) int {
+	return Ascend(t.entry, t.less, fn)
 }
 
 // Min returns the smallest key and its value, or ok=false if empty.
-func (t *Tree) Min() (k, v int64, ok bool) { return Min(t.entry) }
+func (t *Tree[K, V]) Min() (k K, v V, ok bool) {
+	return Min[*Node[K, V], Node[K, V], K, V](t.entry)
+}
 
 // Max returns the largest key and its value, or ok=false if empty.
-func (t *Tree) Max() (k, v int64, ok bool) { return Max(t.entry) }
+func (t *Tree[K, V]) Max() (k K, v V, ok bool) {
+	return Max[*Node[K, V], Node[K, V], K, V](t.entry)
+}
 
 // Size returns the number of keys stored. Quiescence only.
-func (t *Tree) Size() int {
+func (t *Tree[K, V]) Size() int {
 	size := 0
-	visitLeaves(t.entry.left.Load(), func(n *Node) {
+	visitLeaves(t.entry.left.Load(), func(n *Node[K, V]) {
 		if !n.Inf {
 			size++
 		}
@@ -422,9 +453,9 @@ func (t *Tree) Size() int {
 }
 
 // Keys returns all keys in ascending order. Quiescence only.
-func (t *Tree) Keys() []int64 {
-	var keys []int64
-	visitLeaves(t.entry.left.Load(), func(n *Node) {
+func (t *Tree[K, V]) Keys() []K {
+	var keys []K
+	visitLeaves(t.entry.left.Load(), func(n *Node[K, V]) {
 		if !n.Inf {
 			keys = append(keys, n.K)
 		}
@@ -434,11 +465,11 @@ func (t *Tree) Keys() []int64 {
 
 // Height returns the number of nodes on the longest path from the tree's
 // root (below the sentinels) to a leaf. Quiescence only.
-func (t *Tree) Height() int { return height(t.root()) }
+func (t *Tree[K, V]) Height() int { return height(t.root()) }
 
 // root returns the root of the tree proper (the leftmost grandchild of the
 // entry node), or nil when the dictionary is empty.
-func (t *Tree) root() *Node {
+func (t *Tree[K, V]) root() *Node[K, V] {
 	top := t.entry.left.Load()
 	if top == nil || top.Leaf {
 		return nil
@@ -448,9 +479,9 @@ func (t *Tree) root() *Node {
 
 // Root exposes the root of the tree proper for quiescent inspection by
 // policies and tests; nil when the dictionary is empty.
-func (t *Tree) Root() *Node { return t.root() }
+func (t *Tree[K, V]) Root() *Node[K, V] { return t.root() }
 
-func visitLeaves(n *Node, fn func(*Node)) {
+func visitLeaves[K, V any](n *Node[K, V], fn func(*Node[K, V])) {
 	if n == nil {
 		return
 	}
@@ -462,7 +493,7 @@ func visitLeaves(n *Node, fn func(*Node)) {
 	visitLeaves(n.right.Load(), fn)
 }
 
-func height(n *Node) int {
+func height[K, V any](n *Node[K, V]) int {
 	if n == nil {
 		return 0
 	}

@@ -7,14 +7,19 @@ import (
 	"testing"
 )
 
+// intNode abbreviates the engine's node type at the test's instantiation.
+type intNode = Node[int64, int64]
+
+func intLess(a, b int64) bool { return a < b }
+
 // nopPolicy is the minimal policy: no decoration, no violations.
 type nopPolicy struct{}
 
-func (nopPolicy) Name() string                        { return "nop" }
-func (nopPolicy) InternalDeco() int64                 { return 0 }
-func (nopPolicy) CreatesViolation(_, _, _ *Node) bool { return false }
-func (nopPolicy) Violation(*Node) bool                { return false }
-func (nopPolicy) Rebalance(_, _ *Node) bool           { return false }
+func (nopPolicy) Name() string                           { return "nop" }
+func (nopPolicy) InternalDeco() int64                    { return 0 }
+func (nopPolicy) CreatesViolation(_, _, _ *intNode) bool { return false }
+func (nopPolicy) Violation(*intNode) bool                { return false }
+func (nopPolicy) Rebalance(_, _ *intNode) bool           { return false }
 
 // probePolicy records the engine's policy callbacks so the tests can verify
 // the engine honours the contract: CreatesViolation is consulted after every
@@ -27,18 +32,18 @@ type probePolicy struct {
 
 func (p *probePolicy) Name() string        { return "probe" }
 func (p *probePolicy) InternalDeco() int64 { return 7 }
-func (p *probePolicy) CreatesViolation(parent, oldChild, newChild *Node) bool {
+func (p *probePolicy) CreatesViolation(parent, oldChild, newChild *intNode) bool {
 	p.created.Add(1)
 	return true
 }
-func (p *probePolicy) Violation(n *Node) bool {
+func (p *probePolicy) Violation(n *intNode) bool {
 	p.violation.Add(1)
 	return false
 }
-func (p *probePolicy) Rebalance(_, _ *Node) bool { return false }
+func (p *probePolicy) Rebalance(_, _ *intNode) bool { return false }
 
 func TestEngineDictionarySemantics(t *testing.T) {
-	tr := New(nopPolicy{})
+	tr := New[int64, int64](intLess, nopPolicy{})
 	model := map[int64]int64{}
 	rng := rand.New(rand.NewSource(11))
 	for i := 0; i < 10000; i++ {
@@ -77,7 +82,7 @@ func TestEngineDictionarySemantics(t *testing.T) {
 
 func TestEnginePolicyHooks(t *testing.T) {
 	pol := &probePolicy{}
-	tr := New(pol)
+	tr := New[int64, int64](intLess, pol)
 	// A fresh insert is a structural change below the top sentinel: the
 	// engine must consult CreatesViolation and, on true, run a cleanup pass.
 	tr.Insert(10, 1)
@@ -116,7 +121,7 @@ func TestEnginePolicyHooks(t *testing.T) {
 }
 
 func TestEngineOrderedQueriesUnderConcurrency(t *testing.T) {
-	tr := New(nopPolicy{})
+	tr := New[int64, int64](intLess, nopPolicy{})
 	const keyRange = 512
 	var wg sync.WaitGroup
 	stop := make(chan struct{})

@@ -5,39 +5,43 @@ import "repro/internal/llxscx"
 // This file implements the ordered queries of Section 5.5 of the paper -
 // Successor and Predecessor - generically, so that every leaf-oriented BST
 // in the repository (the engine's own trees and the chromatic tree, whose
-// update path stays hand-unrolled) shares one implementation.
+// update path stays hand-unrolled) shares one implementation, whatever its
+// key and value types.
 //
 // Both queries perform an ordinary BST search using LLX to read child
 // pointers; if the leaf reached already answers the query it is returned
 // directly (it was linearized while on the search path), otherwise the
 // neighbouring leaf is located and a VLX over the connecting path validates
 // that the two leaves were adjacent in the tree at a single point in time.
+// Min and Max walk to the outermost leaf with LLXs and validate the whole
+// spine with one VLX, so no "smallest possible key" sentinel value is ever
+// needed - which is what lets the queries work for arbitrary key types.
 
 // View is the read-only shape a leaf-oriented BST node must expose to share
 // the engine's traversal helpers. The node type remains free to lay out its
 // fields however it likes (the chromatic tree keeps its weight field; the
 // engine's Node carries the policy decoration).
-type View[N any] interface {
+type View[N, K, V any] interface {
 	llxscx.DataRecord[N]
 	// Key returns the routing key (internal nodes) or dictionary key
 	// (leaves); ignored for sentinels.
-	Key() int64
+	Key() K
 	// Value returns the associated value (leaves only).
-	Value() int64
+	Value() V
 	// IsLeaf reports whether the node is a leaf.
 	IsLeaf() bool
 	// IsSentinel reports whether the node's key reads as +infinity.
 	IsSentinel() bool
 }
 
-func viewLess[P View[N], N any](key int64, n P) bool {
-	return n.IsSentinel() || key < n.Key()
+func viewLess[P View[N, K, V], N, K, V any](less func(K, K) bool, key K, n P) bool {
+	return n.IsSentinel() || less(key, n.Key())
 }
 
 // Successor returns the smallest key strictly greater than key together
 // with its value, or ok=false if no such key exists. entry must be the
-// sentinel entry point of the tree.
-func Successor[P View[N], N any](entry P, key int64) (k, v int64, ok bool) {
+// sentinel entry point of the tree and less its key comparator.
+func Successor[P View[N, K, V], N, K, V any](entry P, less func(K, K) bool, key K) (k K, v V, ok bool) {
 retry:
 	for {
 		var path []llxscx.Linked[N]
@@ -51,7 +55,7 @@ retry:
 			if st != llxscx.Snapshot {
 				continue retry
 			}
-			if viewLess(key, l) {
+			if viewLess(less, key, l) {
 				lkLastLeft = lk
 				haveLastLeft = true
 				path = path[:0]
@@ -68,13 +72,13 @@ retry:
 		// The search for key always turns left at the sentinels, so lastLeft
 		// exists; if it is the entry node itself the dictionary is empty.
 		if !haveLastLeft || lkLastLeft.Node() == (*N)(entry) {
-			return 0, 0, false
+			return k, v, false
 		}
-		if viewLess(key, l) {
+		if viewLess(less, key, l) {
 			// The leaf reached holds a key strictly greater than key, so it
 			// is the successor (linearized while it was on the search path).
 			if l.IsSentinel() {
-				return 0, 0, false
+				return k, v, false
 			}
 			return l.Key(), l.Value(), true
 		}
@@ -100,7 +104,7 @@ retry:
 			continue retry
 		}
 		if succ.IsSentinel() {
-			return 0, 0, false
+			return k, v, false
 		}
 		return succ.Key(), succ.Value(), true
 	}
@@ -108,8 +112,8 @@ retry:
 
 // Predecessor returns the largest key strictly smaller than key together
 // with its value, or ok=false if no such key exists. entry must be the
-// sentinel entry point of the tree.
-func Predecessor[P View[N], N any](entry P, key int64) (k, v int64, ok bool) {
+// sentinel entry point of the tree and less its key comparator.
+func Predecessor[P View[N, K, V], N, K, V any](entry P, less func(K, K) bool, key K) (k K, v V, ok bool) {
 retry:
 	for {
 		var path []llxscx.Linked[N]
@@ -123,7 +127,7 @@ retry:
 			if st != llxscx.Snapshot {
 				continue retry
 			}
-			if viewLess(key, l) {
+			if viewLess(less, key, l) {
 				path = append(path, lk)
 				l = lk.Child(0)
 			} else {
@@ -137,7 +141,7 @@ retry:
 				continue retry
 			}
 		}
-		if !l.IsSentinel() && l.Key() < key {
+		if !l.IsSentinel() && less(l.Key(), key) {
 			// The leaf reached holds a key strictly smaller than key, so it
 			// is the predecessor.
 			return l.Key(), l.Value(), true
@@ -145,7 +149,7 @@ retry:
 		if !haveLastRight {
 			// The search never turned right: every key in the dictionary is
 			// greater than or equal to key.
-			return 0, 0, false
+			return k, v, false
 		}
 		// The predecessor is the rightmost leaf of lastRight's left subtree.
 		pred := P(lkLastRight.Child(0))
@@ -167,83 +171,160 @@ retry:
 			continue retry
 		}
 		if pred.IsSentinel() {
-			return 0, 0, false
+			return k, v, false
 		}
 		return pred.Key(), pred.Value(), true
 	}
 }
 
-// RangeScan calls fn for every key in [lo, hi] in ascending order, using
-// repeated Successor queries. It returns the number of keys visited. If fn
-// returns false the scan stops early. The scan is not atomic as a whole:
-// each step is individually linearizable.
-func RangeScan[P View[N], N any](entry P, lo, hi int64, fn func(k, v int64) bool) int {
+// RangeScan calls fn for every key in [lo, hi] in ascending order, using a
+// point probe for lo followed by repeated Successor queries. It returns the
+// number of keys visited. If fn returns false the scan stops early. The
+// scan is not atomic as a whole: each step is individually linearizable.
+func RangeScan[P View[N, K, V], N, K, V any](entry P, less func(K, K) bool, lo, hi K, fn func(k K, v V) bool) int {
 	count := 0
-	k := lo - 1
-	if lo == -1<<63 {
-		// Avoid underflow: probe the minimum directly.
-		if key, v, ok := Min(entry); ok && key <= hi {
-			if !fn(key, v) {
-				return 1
-			}
-			count++
-			k = key
-		} else {
-			return 0
-		}
+	// The first key in range is lo itself if present, else lo's successor;
+	// no "lo - 1" arithmetic, so the scan works for any key type.
+	k, v, ok := findLeaf(entry, less, lo)
+	if !ok {
+		k, v, ok = Successor(entry, less, lo)
 	}
-	for {
-		key, v, ok := Successor(entry, k)
-		if !ok || key > hi {
-			return count
-		}
+	for ok && !less(hi, k) {
 		count++
-		if !fn(key, v) {
+		if !fn(k, v) {
 			return count
 		}
-		k = key
+		k, v, ok = Successor(entry, less, k)
 	}
+	return count
+}
+
+// Ascend calls fn for every key in the dictionary in ascending order, using
+// Min followed by repeated Successor queries. It returns the number of keys
+// visited. If fn returns false the scan stops early. Each step is
+// individually linearizable.
+func Ascend[P View[N, K, V], N, K, V any](entry P, less func(K, K) bool, fn func(k K, v V) bool) int {
+	count := 0
+	k, v, ok := Min[P, N, K, V](entry)
+	for ok {
+		count++
+		if !fn(k, v) {
+			return count
+		}
+		k, v, ok = Successor(entry, less, k)
+	}
+	return count
 }
 
 // Min returns the smallest key in the dictionary and its value, or ok=false
-// if the dictionary is empty.
-func Min[P View[N], N any](entry P) (k, v int64, ok bool) {
-	return Successor(entry, -1<<63)
+// if the dictionary is empty. It walks to the leftmost leaf with LLXs and
+// validates the spine with a VLX, so the result is linearizable. Because K
+// and V only appear in the constraint and results, call sites must
+// instantiate the type parameters explicitly.
+func Min[P View[N, K, V], N, K, V any](entry P) (k K, v V, ok bool) {
+retry:
+	for {
+		var path []llxscx.Linked[N]
+		var nilNode P
+		l := entry
+		for !l.IsLeaf() {
+			lk, st := llxscx.LLX(l)
+			if st != llxscx.Snapshot {
+				continue retry
+			}
+			path = append(path, lk)
+			l = lk.Child(0)
+			if l == nilNode {
+				continue retry
+			}
+		}
+		if !llxscx.VLX(path) {
+			continue retry
+		}
+		if l.IsSentinel() {
+			// The leftmost leaf is the sentinel leaf: the dictionary is empty.
+			return k, v, false
+		}
+		return l.Key(), l.Value(), true
+	}
 }
 
 // Max returns the largest key in the dictionary and its value, or ok=false
-// if the dictionary is empty. (Sentinel keys are treated as +infinity and
-// are never returned.)
-func Max[P View[N], N any](entry P) (k, v int64, ok bool) {
-	// All real keys are strictly below the sentinels, so Predecessor of the
-	// largest representable key finds the maximum unless that key itself is
-	// stored; check it first.
-	const top = 1<<63 - 1
-	if key, value, found := findLeaf(entry, top); found {
-		return key, value, true
+// if the dictionary is empty. The rightmost spine of the entry structure
+// ends at a sentinel leaf, so Max walks to the rightmost leaf of the tree
+// proper (the left subtree below the top sentinel), which contains no
+// sentinels. Like Min it validates the whole spine with a VLX and requires
+// explicit instantiation.
+func Max[P View[N, K, V], N, K, V any](entry P) (k K, v V, ok bool) {
+retry:
+	for {
+		var path []llxscx.Linked[N]
+		var nilNode P
+		lkE, st := llxscx.LLX(entry)
+		if st != llxscx.Snapshot {
+			continue retry
+		}
+		path = append(path, lkE)
+		top := P(lkE.Child(0))
+		if top == nilNode {
+			continue retry
+		}
+		if top.IsLeaf() {
+			// Figure 10(a): the dictionary is empty.
+			if !llxscx.VLX(path) {
+				continue retry
+			}
+			return k, v, false
+		}
+		lkTop, st := llxscx.LLX(top)
+		if st != llxscx.Snapshot {
+			continue retry
+		}
+		path = append(path, lkTop)
+		l := P(lkTop.Child(0))
+		if l == nilNode {
+			continue retry
+		}
+		for !l.IsLeaf() {
+			lk, st := llxscx.LLX(l)
+			if st != llxscx.Snapshot {
+				continue retry
+			}
+			path = append(path, lk)
+			l = lk.Child(1)
+			if l == nilNode {
+				continue retry
+			}
+		}
+		if !llxscx.VLX(path) {
+			continue retry
+		}
+		if l.IsSentinel() {
+			continue retry
+		}
+		return l.Key(), l.Value(), true
 	}
-	return Predecessor(entry, top)
 }
 
 // findLeaf performs a plain-read search for key and reports its value if a
 // leaf holding exactly key is reached.
-func findLeaf[P View[N], N any](entry P, key int64) (int64, int64, bool) {
+func findLeaf[P View[N, K, V], N, K, V any](entry P, less func(K, K) bool, key K) (k K, v V, ok bool) {
 	var nilNode P
 	l := entry
 	for !l.IsLeaf() {
 		var next P
-		if viewLess(key, l) {
+		if viewLess(less, key, l) {
 			next = P(l.Mutable(0).Load())
 		} else {
 			next = P(l.Mutable(1).Load())
 		}
 		if next == nilNode {
-			return 0, 0, false
+			return k, v, false
 		}
 		l = next
 	}
-	if !l.IsSentinel() && l.Key() == key {
+	if !l.IsSentinel() && !less(key, l.Key()) && !less(l.Key(), key) {
 		return l.Key(), l.Value(), true
 	}
-	return 0, 0, false
+	return k, v, false
 }

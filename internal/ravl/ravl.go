@@ -5,15 +5,18 @@
 // the tree update template.
 //
 // The tree is built entirely on the shared leaf-oriented BST engine
-// (internal/lbst); this package supplies only the balancing policy. Every
-// node's decoration is its relaxed height: 0 for leaves, and for internal
-// nodes a value that would be 1 + max of the children's heights if the tree
-// were quiescent and fully rebalanced. Insertions and deletions are the
-// engine's ordinary template updates and do not touch ancestors' heights;
-// instead, a node whose stored height no longer matches its children's
-// (a height violation), or whose children's heights differ by two or more
-// (a balance violation), is repaired later by one of three localized
-// rebalancing steps, each a template update of its own:
+// (internal/lbst); this package supplies only the balancing policy, and like
+// the engine it is generic over the key and value types (NewOrdered for
+// cmp.Ordered keys, NewLess for an arbitrary comparator, New for the
+// historical int64 instantiation). Every node's decoration is its relaxed
+// height: 0 for leaves, and for internal nodes a value that would be 1 + max
+// of the children's heights if the tree were quiescent and fully rebalanced.
+// Insertions and deletions are the engine's ordinary template updates and do
+// not touch ancestors' heights; instead, a node whose stored height no
+// longer matches its children's (a height violation), or whose children's
+// heights differ by two or more (a balance violation), is repaired later by
+// one of three localized rebalancing steps, each a template update of its
+// own:
 //
 //	height fix       replace a node with a copy carrying the corrected
 //	                 height (may create a height violation at its parent,
@@ -34,6 +37,7 @@
 package ravl
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -58,17 +62,17 @@ func (s *Stats) RebalanceTotal() int64 {
 }
 
 // policy is the relaxed AVL balancing policy for the lbst engine.
-type policy struct {
+type policy[K, V any] struct {
 	stats *Stats
 }
 
 // Name implements lbst.Policy.
-func (p *policy) Name() string { return "RAVL" }
+func (p *policy[K, V]) Name() string { return "RAVL" }
 
 // InternalDeco implements lbst.Policy: the internal node created by an
 // insertion sits above two leaves (height 0), so its locally correct height
 // is 1.
-func (p *policy) InternalDeco() int64 { return 1 }
+func (p *policy[K, V]) InternalDeco() int64 { return 1 }
 
 // CreatesViolation implements lbst.Policy. Replacing oldChild by newChild
 // below parent can only create a violation at parent, and only if the
@@ -78,7 +82,7 @@ func (p *policy) InternalDeco() int64 { return 1 }
 // parent with the promoted sibling, whose height is typically one less.)
 // Sentinels carry no height bookkeeping, so changes directly below them
 // never violate anything.
-func (p *policy) CreatesViolation(parent, oldChild, newChild *lbst.Node) bool {
+func (p *policy[K, V]) CreatesViolation(parent, oldChild, newChild *lbst.Node[K, V]) bool {
 	if parent.Inf || newChild == nil {
 		return false
 	}
@@ -92,7 +96,7 @@ func (p *policy) CreatesViolation(parent, oldChild, newChild *lbst.Node) bool {
 // Violation implements lbst.Policy: using plain reads, an internal node is
 // in violation if its stored height is not one more than its children's
 // maximum, or if the children's stored heights differ by two or more.
-func (p *policy) Violation(n *lbst.Node) bool {
+func (p *policy[K, V]) Violation(n *lbst.Node[K, V]) bool {
 	l, r := n.Left(), n.Right()
 	if l == nil || r == nil {
 		return false
@@ -106,7 +110,7 @@ func (p *policy) Violation(n *lbst.Node) bool {
 // single SCX exactly like the engine's insertions and deletions (the V
 // sequences are ordered root-to-leaf, satisfying PC8, and every removed
 // node reappears only as a copy, satisfying PC9).
-func (p *policy) Rebalance(u, n *lbst.Node) bool {
+func (p *policy[K, V]) Rebalance(u, n *lbst.Node[K, V]) bool {
 	lkU, st := llxscx.LLX(u)
 	if st != llxscx.Snapshot {
 		return false
@@ -131,8 +135,8 @@ func (p *policy) Rebalance(u, n *lbst.Node) bool {
 		return p.fixRight(lkU, lkN, fld)
 	case n.Deco != 1+max(hl, hr):
 		repl := lbst.Copy(lkN, 1+max(hl, hr))
-		v := []llxscx.Linked[lbst.Node]{lkU, lkN}
-		if !llxscx.SCX(v, []*lbst.Node{n}, fld, n, repl) {
+		v := []llxscx.Linked[lbst.Node[K, V]]{lkU, lkN}
+		if !llxscx.SCX(v, []*lbst.Node[K, V]{n}, fld, n, repl) {
 			return false
 		}
 		p.stats.HeightFixes.Add(1)
@@ -145,7 +149,7 @@ func (p *policy) Rebalance(u, n *lbst.Node) bool {
 // fixLeft repairs a balance violation where n's left child l is at least
 // two taller than its right child r. The linked LLX evidence for u and n is
 // supplied by the caller; fld is u's child field holding n.
-func (p *policy) fixLeft(lkU, lkN llxscx.Linked[lbst.Node], fld *atomic.Pointer[lbst.Node]) bool {
+func (p *policy[K, V]) fixLeft(lkU, lkN llxscx.Linked[lbst.Node[K, V]], fld *atomic.Pointer[lbst.Node[K, V]]) bool {
 	n := lkN.Node()
 	l, r := lkN.Child(0), lkN.Child(1)
 	if l.Leaf {
@@ -168,8 +172,8 @@ func (p *policy) fixLeft(lkU, lkN llxscx.Linked[lbst.Node], fld *atomic.Pointer[
 		// violation at n is then re-evaluated against the corrected height).
 		lfld := lbst.FieldOf(lkN, l)
 		repl := lbst.Copy(lkL, 1+max(hll, hlr))
-		v := []llxscx.Linked[lbst.Node]{lkU, lkN, lkL}
-		if !llxscx.SCX(v, []*lbst.Node{l}, lfld, l, repl) {
+		v := []llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkL}
+		if !llxscx.SCX(v, []*lbst.Node[K, V]{l}, lfld, l, repl) {
 			return false
 		}
 		p.stats.HeightFixes.Add(1)
@@ -180,8 +184,8 @@ func (p *policy) fixLeft(lkU, lkN llxscx.Linked[lbst.Node], fld *atomic.Pointer[
 		// right with the inner subtree lr attached.
 		inner := lbst.NewInternal(n.K, 1+max(hlr, r.Deco), false, lr, r)
 		repl := lbst.NewInternal(l.K, 1+max(hll, inner.Deco), false, ll, inner)
-		v := []llxscx.Linked[lbst.Node]{lkU, lkN, lkL}
-		if !llxscx.SCX(v, []*lbst.Node{n, l}, fld, n, repl) {
+		v := []llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkL}
+		if !llxscx.SCX(v, []*lbst.Node[K, V]{n, l}, fld, n, repl) {
 			return false
 		}
 		p.stats.SingleRotations.Add(1)
@@ -203,8 +207,8 @@ func (p *policy) fixLeft(lkU, lkN llxscx.Linked[lbst.Node], fld *atomic.Pointer[
 	nl := lbst.NewInternal(l.K, 1+max(hll, lrl.Deco), false, ll, lrl)
 	nr := lbst.NewInternal(n.K, 1+max(lrr.Deco, r.Deco), false, lrr, r)
 	repl := lbst.NewInternal(lr.K, 1+max(nl.Deco, nr.Deco), false, nl, nr)
-	v := []llxscx.Linked[lbst.Node]{lkU, lkN, lkL, lkLR}
-	if !llxscx.SCX(v, []*lbst.Node{n, l, lr}, fld, n, repl) {
+	v := []llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkL, lkLR}
+	if !llxscx.SCX(v, []*lbst.Node[K, V]{n, l, lr}, fld, n, repl) {
 		return false
 	}
 	p.stats.DoubleRotations.Add(1)
@@ -213,7 +217,7 @@ func (p *policy) fixLeft(lkU, lkN llxscx.Linked[lbst.Node], fld *atomic.Pointer[
 
 // fixRight is the mirror image of fixLeft: n's right child r is at least
 // two taller than its left child l.
-func (p *policy) fixRight(lkU, lkN llxscx.Linked[lbst.Node], fld *atomic.Pointer[lbst.Node]) bool {
+func (p *policy[K, V]) fixRight(lkU, lkN llxscx.Linked[lbst.Node[K, V]], fld *atomic.Pointer[lbst.Node[K, V]]) bool {
 	n := lkN.Node()
 	l, r := lkN.Child(0), lkN.Child(1)
 	if r.Leaf {
@@ -231,8 +235,8 @@ func (p *policy) fixRight(lkU, lkN llxscx.Linked[lbst.Node], fld *atomic.Pointer
 	if r.Deco != 1+max(hrl, hrr) {
 		rfld := lbst.FieldOf(lkN, r)
 		repl := lbst.Copy(lkR, 1+max(hrl, hrr))
-		v := []llxscx.Linked[lbst.Node]{lkU, lkN, lkR}
-		if !llxscx.SCX(v, []*lbst.Node{r}, rfld, r, repl) {
+		v := []llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkR}
+		if !llxscx.SCX(v, []*lbst.Node[K, V]{r}, rfld, r, repl) {
 			return false
 		}
 		p.stats.HeightFixes.Add(1)
@@ -242,8 +246,8 @@ func (p *policy) fixRight(lkU, lkN llxscx.Linked[lbst.Node], fld *atomic.Pointer
 		// Single left rotation.
 		inner := lbst.NewInternal(n.K, 1+max(l.Deco, hrl), false, l, rl)
 		repl := lbst.NewInternal(r.K, 1+max(inner.Deco, hrr), false, inner, rr)
-		v := []llxscx.Linked[lbst.Node]{lkU, lkN, lkR}
-		if !llxscx.SCX(v, []*lbst.Node{n, r}, fld, n, repl) {
+		v := []llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkR}
+		if !llxscx.SCX(v, []*lbst.Node[K, V]{n, r}, fld, n, repl) {
 			return false
 		}
 		p.stats.SingleRotations.Add(1)
@@ -264,8 +268,8 @@ func (p *policy) fixRight(lkU, lkN llxscx.Linked[lbst.Node], fld *atomic.Pointer
 	nl := lbst.NewInternal(n.K, 1+max(l.Deco, rll.Deco), false, l, rll)
 	nr := lbst.NewInternal(r.K, 1+max(rlr.Deco, hrr), false, rlr, rr)
 	repl := lbst.NewInternal(rl.K, 1+max(nl.Deco, nr.Deco), false, nl, nr)
-	v := []llxscx.Linked[lbst.Node]{lkU, lkN, lkR, lkRL}
-	if !llxscx.SCX(v, []*lbst.Node{n, r, rl}, fld, n, repl) {
+	v := []llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkR, lkRL}
+	if !llxscx.SCX(v, []*lbst.Node[K, V]{n, r, rl}, fld, n, repl) {
 		return false
 	}
 	p.stats.DoubleRotations.Add(1)
@@ -273,26 +277,38 @@ func (p *policy) fixRight(lkU, lkN llxscx.Linked[lbst.Node], fld *atomic.Pointer
 }
 
 // Tree is a non-blocking relaxed AVL tree implementing an ordered
-// dictionary with int64 keys and values. It is safe for concurrent use by
-// any number of goroutines. Use New. All dictionary and ordered-query
+// dictionary. It is safe for concurrent use by any number of goroutines.
+// Use New, NewOrdered or NewLess. All dictionary and ordered-query
 // operations come from the embedded engine; this type adds the AVL-specific
 // inspection and quiescent rebalancing helpers.
-type Tree struct {
-	*lbst.Tree
-	pol   *policy
+type Tree[K, V any] struct {
+	*lbst.Tree[K, V]
+	pol   *policy[K, V]
 	stats Stats
 }
 
-// New returns an empty relaxed AVL tree.
-func New() *Tree {
-	t := &Tree{}
-	t.pol = &policy{stats: &t.stats}
-	t.Tree = lbst.New(t.pol)
+// NewLess returns an empty relaxed AVL tree whose keys are ordered by less.
+func NewLess[K, V any](less func(a, b K) bool) *Tree[K, V] {
+	t := &Tree[K, V]{}
+	t.pol = &policy[K, V]{stats: &t.stats}
+	t.Tree = lbst.New(less, t.pol)
 	return t
 }
 
+// NewOrdered returns an empty relaxed AVL tree over a naturally ordered key
+// type.
+func NewOrdered[K cmp.Ordered, V any]() *Tree[K, V] {
+	return NewLess[K, V](cmp.Less[K])
+}
+
+// New returns an empty relaxed AVL tree with int64 keys and values, the
+// instantiation the benchmark registry and the paper's figures use.
+func New() *Tree[int64, int64] {
+	return NewOrdered[int64, int64]()
+}
+
 // Stats returns the tree's rebalancing counters.
-func (t *Tree) Stats() *Stats { return &t.stats }
+func (t *Tree[K, V]) Stats() *Stats { return &t.stats }
 
 // DrainCap returns a generous bound on the quiescent rebalancing work for a
 // tree of n keys: far more steps than any converging drain needs, small
@@ -312,7 +328,7 @@ func HeightBound(n int) int {
 // create violations faster than they are drained). maxSteps bounds the work
 // as a safety net; an error reports a stuck or diverging rebalancing, which
 // would indicate a bug in the step selection.
-func (t *Tree) RebalanceAll(maxSteps int) (int, error) {
+func (t *Tree[K, V]) RebalanceAll(maxSteps int) (int, error) {
 	steps := 0
 	for {
 		u, n := t.findViolation()
@@ -320,10 +336,10 @@ func (t *Tree) RebalanceAll(maxSteps int) (int, error) {
 			return steps, nil
 		}
 		if steps >= maxSteps {
-			return steps, fmt.Errorf("rebalancing did not converge after %d steps (violation at key %d)", steps, n.K)
+			return steps, fmt.Errorf("rebalancing did not converge after %d steps (violation at key %v)", steps, n.K)
 		}
 		if !t.pol.Rebalance(u, n) {
-			return steps, fmt.Errorf("rebalancing step failed at quiescence (key %d)", n.K)
+			return steps, fmt.Errorf("rebalancing step failed at quiescence (key %v)", n.K)
 		}
 		steps++
 	}
@@ -333,9 +349,9 @@ func (t *Tree) RebalanceAll(maxSteps int) (int, error) {
 // (postorder: children are repaired before their ancestors, so rotations
 // always see locally correct heights below them), or nil if none exists.
 // Quiescence only.
-func (t *Tree) findViolation() (u, n *lbst.Node) {
-	var rec func(parent, nd *lbst.Node) (*lbst.Node, *lbst.Node)
-	rec = func(parent, nd *lbst.Node) (*lbst.Node, *lbst.Node) {
+func (t *Tree[K, V]) findViolation() (u, n *lbst.Node[K, V]) {
+	var rec func(parent, nd *lbst.Node[K, V]) (*lbst.Node[K, V], *lbst.Node[K, V])
+	rec = func(parent, nd *lbst.Node[K, V]) (*lbst.Node[K, V], *lbst.Node[K, V]) {
 		if nd == nil || nd.Leaf {
 			return nil, nil
 		}
@@ -355,10 +371,10 @@ func (t *Tree) findViolation() (u, n *lbst.Node) {
 
 // CountViolations returns the number of height and balance violations
 // currently present. Quiescence only.
-func (t *Tree) CountViolations() int {
+func (t *Tree[K, V]) CountViolations() int {
 	count := 0
-	var rec func(nd *lbst.Node)
-	rec = func(nd *lbst.Node) {
+	var rec func(nd *lbst.Node[K, V])
+	rec = func(nd *lbst.Node[K, V]) {
 		if nd == nil || nd.Leaf {
 			return
 		}
@@ -377,7 +393,7 @@ func (t *Tree) CountViolations() int {
 // the node's true height, and every internal node's subtree heights differ
 // by at most one. After sequential operation - or after RebalanceAll at
 // quiescence - this must hold. It returns nil on success.
-func (t *Tree) CheckAVL() error {
+func (t *Tree[K, V]) CheckAVL() error {
 	if err := t.CheckStructure(); err != nil {
 		return err
 	}
@@ -385,8 +401,8 @@ func (t *Tree) CheckAVL() error {
 	if root == nil {
 		return nil
 	}
-	var walk func(nd *lbst.Node) (int64, error)
-	walk = func(nd *lbst.Node) (int64, error) {
+	var walk func(nd *lbst.Node[K, V]) (int64, error)
+	walk = func(nd *lbst.Node[K, V]) (int64, error) {
 		if nd.Leaf {
 			return 0, nil // CheckStructure already verified leaf decorations
 		}
@@ -399,10 +415,10 @@ func (t *Tree) CheckAVL() error {
 			return 0, err
 		}
 		if nd.Deco != 1+max(hl, hr) {
-			return 0, fmt.Errorf("node %d stores height %d, true height is %d", nd.K, nd.Deco, 1+max(hl, hr))
+			return 0, fmt.Errorf("node %v stores height %d, true height is %d", nd.K, nd.Deco, 1+max(hl, hr))
 		}
 		if hl-hr > 1 || hr-hl > 1 {
-			return 0, fmt.Errorf("AVL balance violated at node %d: subtree heights %d and %d", nd.K, hl, hr)
+			return 0, fmt.Errorf("AVL balance violated at node %v: subtree heights %d and %d", nd.K, hl, hr)
 		}
 		return nd.Deco, nil
 	}

@@ -97,7 +97,7 @@ func (g *Generator) Next() (Op, int64) {
 }
 
 // Apply performs one generated operation against d.
-func Apply(d dict.Map, op Op, key int64) {
+func Apply(d dict.IntMap, op Op, key int64) {
 	switch op {
 	case OpInsert:
 		d.Insert(key, key)
@@ -112,7 +112,7 @@ func Apply(d dict.Map, op Op, key int64) {
 // expected steady-state size by running the update portion of the mix, as
 // the paper's methodology prescribes. It returns the final size. Prefilling
 // is single-threaded and deterministic for a given seed.
-func Prefill(d dict.Map, mix Mix, keyRange int64, tolerance float64, seed int64) int {
+func Prefill(d dict.IntMap, mix Mix, keyRange int64, tolerance float64, seed int64) int {
 	target := mix.ExpectedSize(keyRange)
 	if target == 0 {
 		return 0
@@ -153,7 +153,7 @@ func Prefill(d dict.Map, mix Mix, keyRange int64, tolerance float64, seed int64)
 // PrefillExact inserts exactly n distinct keys spread uniformly over the key
 // range. It is used by the read-only workload and by tests that need a known
 // size.
-func PrefillExact(d dict.Map, keyRange int64, n int, seed int64) int {
+func PrefillExact(d dict.IntMap, keyRange int64, n int, seed int64) int {
 	rng := rand.New(rand.NewSource(seed))
 	inserted := 0
 	for inserted < n {
@@ -173,7 +173,7 @@ func withinTolerance(size, target int, tolerance float64) bool {
 	return float64(diff) <= tolerance*float64(target)
 }
 
-func sizeOf(d dict.Map) int {
+func sizeOf(d dict.IntMap) int {
 	if s, ok := d.(dict.Sized); ok {
 		return s.Size()
 	}

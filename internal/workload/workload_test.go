@@ -144,4 +144,4 @@ func TestPropertyGeneratorKeysInRange(t *testing.T) {
 	}
 }
 
-var _ dict.Map = (*seqrbt.Tree)(nil)
+var _ dict.IntMap = (*seqrbt.Tree)(nil)
