@@ -24,6 +24,14 @@
 // The defaults are scaled down so the full run finishes in a few minutes on
 // a laptop; pass -paper to use the paper's exact thread counts and key
 // ranges (which assume a large multiprocessor and a long run).
+//
+// Snapshots written with -json can be diffed across commits:
+//
+//	chromatic-bench -compare BENCH_pr2.json BENCH_pr3.json
+//
+// prints every cell present in both snapshots with its throughput delta and
+// exits non-zero if any cell regressed by more than -threshold (a fraction;
+// default 0.25, generous because short smoke trials are noisy).
 package main
 
 import (
@@ -62,12 +70,30 @@ func main() {
 		paper      = flag.Bool("paper", false, "use the paper's thread counts (1,32,64,96,128) and key ranges")
 		listOnly   = flag.Bool("list", false, "list the registered data structures and exit")
 		jsonPath   = flag.String("json", "", "also write every measured cell as JSON rows to this file")
+		compare    = flag.Bool("compare", false, "compare two -json snapshots (old.json new.json) instead of running experiments")
+		threshold  = flag.Float64("threshold", 0.25, "with -compare, the fractional throughput regression tolerated per cell")
 	)
 	flag.Parse()
 
 	if *listOnly {
 		for _, name := range bench.Names() {
 			fmt.Println(name)
+		}
+		return
+	}
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: chromatic-bench -compare [-threshold 0.25] old.json new.json")
+			os.Exit(2)
+		}
+		regressed, err := compareSnapshots(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+			os.Exit(2)
+		}
+		if regressed {
+			os.Exit(1)
 		}
 		return
 	}
@@ -165,6 +191,95 @@ func main() {
 		}
 		fmt.Fprintf(out, "wrote %d measurements to %s\n", len(rows), *jsonPath)
 	}
+}
+
+// cellKey identifies one measured configuration across snapshots.
+type cellKey struct {
+	Structure string
+	Mix       string
+	KeyRange  int64
+	Threads   int
+}
+
+// readSnapshot loads a -json snapshot and averages duplicate cells (an
+// experiment that measures the same configuration twice - for example
+// figure8 followed by ravl - emits one row per measurement).
+func readSnapshot(path string) (map[cellKey]float64, []cellKey, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []jsonRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, nil, fmt.Errorf("%s: %v", path, err)
+	}
+	sums := make(map[cellKey]float64)
+	counts := make(map[cellKey]int)
+	var order []cellKey
+	for _, r := range rows {
+		k := cellKey{r.Structure, r.Mix, r.KeyRange, r.Threads}
+		if counts[k] == 0 {
+			order = append(order, k)
+		}
+		sums[k] += r.Mops
+		counts[k]++
+	}
+	for k := range sums {
+		sums[k] /= float64(counts[k])
+	}
+	return sums, order, nil
+}
+
+// compareSnapshots diffs two -json snapshots cell by cell, printing every
+// cell present in both with its relative throughput change, and reports
+// whether any cell regressed by more than threshold. Cells present in only
+// one snapshot are listed but never count as regressions (structures and
+// experiments legitimately come and go between PRs).
+func compareSnapshots(out *os.File, oldPath, newPath string, threshold float64) (regressed bool, err error) {
+	oldCells, order, err := readSnapshot(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newCells, newOrder, err := readSnapshot(newPath)
+	if err != nil {
+		return false, err
+	}
+	fmt.Fprintf(out, "%-12s %-10s %9s %8s %10s %10s %8s\n",
+		"structure", "mix", "keyrange", "threads", "old Mops", "new Mops", "delta")
+	var nRegressed, nCompared int
+	for _, k := range order {
+		oldMops, ok := oldCells[k]
+		if !ok {
+			continue
+		}
+		newMops, ok := newCells[k]
+		if !ok {
+			fmt.Fprintf(out, "%-12s %-10s %9d %8d %10.3f %10s %8s\n",
+				k.Structure, k.Mix, k.KeyRange, k.Threads, oldMops, "-", "gone")
+			continue
+		}
+		nCompared++
+		delta := 0.0
+		if oldMops > 0 {
+			delta = newMops/oldMops - 1
+		}
+		flag := ""
+		if delta < -threshold {
+			flag = "  REGRESSION"
+			nRegressed++
+		}
+		fmt.Fprintf(out, "%-12s %-10s %9d %8d %10.3f %10.3f %+7.1f%%%s\n",
+			k.Structure, k.Mix, k.KeyRange, k.Threads, oldMops, newMops, delta*100, flag)
+	}
+	for _, k := range newOrder {
+		if _, ok := oldCells[k]; !ok {
+			fmt.Fprintf(out, "%-12s %-10s %9d %8d %10s %10.3f %8s\n",
+				k.Structure, k.Mix, k.KeyRange, k.Threads, "-", newCells[k], "new")
+		}
+	}
+	fmt.Fprintf(out, "\n%d cells compared, %d regressed beyond %.0f%%\n",
+		nCompared, nRegressed, threshold*100)
+	return nRegressed > 0, nil
 }
 
 // writeJSON writes the collected measurements as an indented JSON array, one

@@ -13,8 +13,25 @@
 // the trees are parameterized by a key comparator (with NewOrdered fast
 // paths for cmp.Ordered keys), and the historical int64 instantiations
 // survive as the dict.IntMap / dict.IntOrderedMap / dict.IntFactory aliases
-// the benchmark registry uses. The root package only hosts the
-// repository-level benchmarks (bench_test.go) and the cross-implementation
+// the benchmark registry uses.
+//
+// The update hot path is allocation-lean, matching the compact SCX records
+// of the paper's Java implementation: an SCX-record stores its evidence in
+// inline arrays bounded by llxscx.MaxV (6, the chromatic W3/W4 steps), so
+// each SCX allocates exactly one descriptor; updates stage their V/R
+// sequences in stack arrays via the slice-free SCXFixed/VLXFixed entry
+// points; inserts reuse the old leaf as a child of the fresh internal node
+// where the template's postconditions allow (values stored into child
+// fields must stay freshly allocated, so deletes still promote a copy); and
+// NewOrdered trees install a
+// search routine specialized to the native `<` of the key type. Descriptor
+// and node reclamation is the garbage collector's job - that is what rules
+// out ABA, exactly as in the paper's Java runtime. BenchmarkAlloc and
+// TestChromaticAllocBudget (alloc_bench_test.go) pin the resulting
+// allocation profile in CI.
+//
+// The root package only hosts the repository-level benchmarks
+// (bench_test.go, alloc_bench_test.go) and the cross-implementation
 // conformance, fuzz and stress suites (integration_test.go,
 // conformance_test.go); see README.md and DESIGN.md for the full map.
 package repro

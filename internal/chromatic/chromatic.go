@@ -142,6 +142,13 @@ type Tree[K, V any] struct {
 	// 0 reproduces the paper's Chromatic, 6 reproduces Chromatic6.
 	allowed int
 
+	// searchFn performs the plain-read BST search of Figure 5. It is
+	// selected at construction: NewLess installs the comparator-based loop,
+	// NewOrdered a specialization that compares with the native `<`, so
+	// ordered-key trees pay one indirect call per search instead of one per
+	// node.
+	searchFn func(t *Tree[K, V], key K) (gp, p, l *node[K, V], violations int)
+
 	stats Stats
 }
 
@@ -172,16 +179,21 @@ func NewLess[K, V any](less func(a, b K) bool, opts ...Option) *Tree[K, V] {
 	}
 	var sentinelKey K
 	return &Tree[K, V]{
-		entry:   newInternal(sentinelKey, 1, true, newSentinelLeaf[K, V](), nil),
-		less:    less,
-		allowed: cfg.allowed,
+		entry:    newInternal(sentinelKey, 1, true, newSentinelLeaf[K, V](), nil),
+		less:     less,
+		allowed:  cfg.allowed,
+		searchFn: searchLess[K, V],
 	}
 }
 
 // NewOrdered returns an empty chromatic tree over a naturally ordered key
-// type.
+// type. It behaves exactly like NewLess with cmp.Less, but installs a search
+// routine specialized to the native `<` operator, removing the indirect
+// comparator call per node on the read path.
 func NewOrdered[K cmp.Ordered, V any](opts ...Option) *Tree[K, V] {
-	return NewLess[K, V](cmp.Less[K], opts...)
+	t := NewLess[K, V](cmp.Less[K], opts...)
+	t.searchFn = searchOrdered[K, V]
+	return t
 }
 
 // New returns an empty chromatic tree with int64 keys and values, the
@@ -249,6 +261,11 @@ func (t *Tree[K, V]) isKey(key K, l *node[K, V]) bool {
 // empty) together with the number of violations observed on the path, which
 // the Chromatic6 variant uses to decide whether to rebalance.
 func (t *Tree[K, V]) search(key K) (gp, p, l *node[K, V], violations int) {
+	return t.searchFn(t, key)
+}
+
+// searchLess is the comparator-based search loop installed by NewLess.
+func searchLess[K, V any](t *Tree[K, V], key K) (gp, p, l *node[K, V], violations int) {
 	gp = nil
 	p = t.entry
 	l = t.entry.left.Load()
@@ -259,6 +276,31 @@ func (t *Tree[K, V]) search(key K) (gp, p, l *node[K, V], violations int) {
 		gp = p
 		p = l
 		if t.keyLess(key, l) {
+			l = l.left.Load()
+		} else {
+			l = l.right.Load()
+		}
+		if violationAt(p, l) {
+			violations++
+		}
+	}
+	return gp, p, l, violations
+}
+
+// searchOrdered is the devirtualized search loop installed by NewOrdered:
+// identical to searchLess, but the per-node comparison is the native `<` of
+// a cmp.Ordered key type instead of an indirect call through t.less.
+func searchOrdered[K cmp.Ordered, V any](t *Tree[K, V], key K) (gp, p, l *node[K, V], violations int) {
+	gp = nil
+	p = t.entry
+	l = t.entry.left.Load()
+	if violationAt(p, l) {
+		violations++
+	}
+	for !l.leaf {
+		gp = p
+		p = l
+		if l.inf || key < l.k {
 			l = l.left.Load()
 		} else {
 			l = l.right.Load()
@@ -390,6 +432,7 @@ func (t *Tree[K, V]) tryInsert(p, l *node[K, V], key K, value V) (updateResult[V
 
 	var res updateResult[V]
 	var repl *node[K, V]
+	nr := 1
 	if t.isKey(key, l) {
 		// Insert2: the key is present; replace the leaf with a fresh copy
 		// carrying the new value (and the same weight).
@@ -397,27 +440,40 @@ func (t *Tree[K, V]) tryInsert(p, l *node[K, V], key K, value V) (updateResult[V
 		repl = newLeaf(key, value, l.w)
 	} else {
 		// Insert1: the key is absent; replace the leaf with an internal node
-		// whose children are a new leaf holding the key and a copy of l. A
+		// whose children are a new leaf holding the key and the old leaf. A
 		// node placed directly below a sentinel (in particular the chromatic
 		// root) always gets weight one, which keeps every violation strictly
 		// below the root; elsewhere the internal node absorbs one unit of
 		// the old leaf's weight so weighted path lengths are unchanged.
+		//
+		// When the old leaf already has weight one - the weight its copy
+		// would carry - the leaf itself is reused as the fringe of the new
+		// subtree and nothing is finalized (R is empty, postcondition PC6),
+		// exactly as in the non-blocking BST of Ellen et al. that the
+		// template generalizes. l is still in V, so the SCX fails if any
+		// concurrent update froze it. Only an overweight leaf must be
+		// replaced by a weight-one copy (and finalized, PC9).
 		var newWeight int32 = 1
 		if !l.inf && !p.inf {
 			newWeight = l.w - 1
 		}
 		newKeyLeaf := newLeaf(key, value, 1)
-		oldLeafCopy := &node[K, V]{k: l.k, v: l.v, w: 1, leaf: true, inf: l.inf}
-		if t.keyLess(key, l) {
-			repl = newInternal(l.k, newWeight, l.inf, newKeyLeaf, oldLeafCopy)
+		oldLeaf := l
+		if l.w != 1 {
+			oldLeaf = &node[K, V]{k: l.k, v: l.v, w: 1, leaf: true, inf: l.inf}
 		} else {
-			repl = newInternal(key, newWeight, false, oldLeafCopy, newKeyLeaf)
+			nr = 0
+		}
+		if t.keyLess(key, l) {
+			repl = newInternal(l.k, newWeight, l.inf, newKeyLeaf, oldLeaf)
+		} else {
+			repl = newInternal(key, newWeight, false, oldLeaf, newKeyLeaf)
 		}
 	}
 
-	v := []llxscx.Linked[node[K, V]]{lkP, lkL}
-	r := []*node[K, V]{l}
-	if !llxscx.SCX(v, r, fld, l, repl) {
+	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkP, lkL}
+	r := [llxscx.MaxV]*node[K, V]{l}
+	if !llxscx.SCXFixed(&v, 2, &r, nr, fld, l, repl) {
 		return updateResult[V]{}, false
 	}
 	if res.existed {
@@ -486,6 +542,14 @@ func (t *Tree[K, V]) tryDelete(gp, p, l *node[K, V], key K) (updateResult[V], bo
 	// The sibling is promoted into p's place; its weight absorbs p's weight
 	// so that weighted path lengths are preserved (Figure 7), except that a
 	// node placed directly below a sentinel always gets weight one.
+	//
+	// The promoted node must be a fresh copy even when the absorbed weight
+	// happens to equal the sibling's: the SCX protocol's ABA-freedom rests
+	// on every value stored into a child field being newly allocated (a
+	// stale helper of an earlier SCX on the same field retries its update
+	// CAS unconditionally, and re-installing a pointer the field once held
+	// would let that CAS resurrect a finalized subtree). Reuse is only safe
+	// for nodes that become children of fresh nodes, as in tryInsert.
 	var newWeight int32
 	if p.inf || gp.inf {
 		newWeight = 1
@@ -495,17 +559,18 @@ func (t *Tree[K, V]) tryDelete(gp, p, l *node[K, V], key K) (updateResult[V], bo
 	repl := copyWithWeight(lkS, newWeight)
 
 	// V and R are ordered by a breadth-first traversal (postcondition PC8):
-	// the parent's children appear in left-to-right order.
-	var v []llxscx.Linked[node[K, V]]
-	var r []*node[K, V]
+	// the parent's children appear in left-to-right order. The evidence is
+	// staged in stack arrays; the SCX's only allocation is its descriptor.
+	var v [llxscx.MaxV]llxscx.Linked[node[K, V]]
+	var r [llxscx.MaxV]*node[K, V]
 	if lIsLeft {
-		v = []llxscx.Linked[node[K, V]]{lkGP, lkP, lkL, lkS}
-		r = []*node[K, V]{p, l, s}
+		v = [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkGP, lkP, lkL, lkS}
+		r = [llxscx.MaxV]*node[K, V]{p, l, s}
 	} else {
-		v = []llxscx.Linked[node[K, V]]{lkGP, lkP, lkS, lkL}
-		r = []*node[K, V]{p, s, l}
+		v = [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkGP, lkP, lkS, lkL}
+		r = [llxscx.MaxV]*node[K, V]{p, s, l}
 	}
-	if !llxscx.SCX(v, r, fld, p, repl) {
+	if !llxscx.SCXFixed(&v, 4, &r, 3, fld, p, repl) {
 		return updateResult[V]{}, false
 	}
 	t.stats.Delete.Add(1)

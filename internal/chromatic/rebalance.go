@@ -421,9 +421,9 @@ func (t *Tree[K, V]) doBLK(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node[K, V]]) bo
 	nl := copyWithWeight(lkUXL, 1)
 	nr := copyWithWeight(lkUXR, 1)
 	n := internalLike(ux, replacementWeight(u, ux.w-1), nl, nr)
-	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR}
-	r := []*node[K, V]{ux, lkUXL.Node(), lkUXR.Node()}
-	if !llxscx.SCX(v, r, fld, ux, n) {
+	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR}
+	r := [llxscx.MaxV]*node[K, V]{ux, lkUXL.Node(), lkUXR.Node()}
+	if !llxscx.SCXFixed(&v, 4, &r, 3, fld, ux, n) {
 		return false
 	}
 	t.stats.BLK.Add(1)
@@ -442,9 +442,9 @@ func (t *Tree[K, V]) doRB1(lkU, lkUX, lkUXL llxscx.Linked[node[K, V]]) bool {
 	uxll, uxlr := lkUXL.Child(0), lkUXL.Child(1)
 	nr := internalLike(ux, 0, uxlr, uxr)
 	n := internalLike(uxl, replacementWeight(u, ux.w), uxll, nr)
-	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL}
-	r := []*node[K, V]{ux, uxl}
-	if !llxscx.SCX(v, r, fld, ux, n) {
+	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL}
+	r := [llxscx.MaxV]*node[K, V]{ux, uxl}
+	if !llxscx.SCXFixed(&v, 3, &r, 2, fld, ux, n) {
 		return false
 	}
 	t.stats.RB1.Add(1)
@@ -463,9 +463,9 @@ func (t *Tree[K, V]) doRB1s(lkU, lkUX, lkUXR llxscx.Linked[node[K, V]]) bool {
 	uxrl, uxrr := lkUXR.Child(0), lkUXR.Child(1)
 	nl := internalLike(ux, 0, uxl, uxrl)
 	n := internalLike(uxr, replacementWeight(u, ux.w), nl, uxrr)
-	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXR}
-	r := []*node[K, V]{ux, uxr}
-	if !llxscx.SCX(v, r, fld, ux, n) {
+	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXR}
+	r := [llxscx.MaxV]*node[K, V]{ux, uxr}
+	if !llxscx.SCXFixed(&v, 3, &r, 2, fld, ux, n) {
 		return false
 	}
 	t.stats.MirrorRB1.Add(1)
@@ -486,9 +486,9 @@ func (t *Tree[K, V]) doRB2(lkU, lkUX, lkUXL, lkUXLR llxscx.Linked[node[K, V]]) b
 	nl := internalLike(uxl, 0, uxll, uxlrl)
 	nr := internalLike(ux, 0, uxlrr, uxr)
 	n := internalLike(uxlr, replacementWeight(u, ux.w), nl, nr)
-	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXLR}
-	r := []*node[K, V]{ux, uxl, uxlr}
-	if !llxscx.SCX(v, r, fld, ux, n) {
+	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXLR}
+	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxlr}
+	if !llxscx.SCXFixed(&v, 4, &r, 3, fld, ux, n) {
 		return false
 	}
 	t.stats.RB2.Add(1)
@@ -509,9 +509,9 @@ func (t *Tree[K, V]) doRB2s(lkU, lkUX, lkUXR, lkUXRL llxscx.Linked[node[K, V]]) 
 	nl := internalLike(ux, 0, uxl, uxrll)
 	nr := internalLike(uxr, 0, uxrlr, uxrr)
 	n := internalLike(uxrl, replacementWeight(u, ux.w), nl, nr)
-	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXR, lkUXRL}
-	r := []*node[K, V]{ux, uxr, uxrl}
-	if !llxscx.SCX(v, r, fld, ux, n) {
+	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXR, lkUXRL}
+	r := [llxscx.MaxV]*node[K, V]{ux, uxr, uxrl}
+	if !llxscx.SCXFixed(&v, 4, &r, 3, fld, ux, n) {
 		return false
 	}
 	t.stats.MirrorRB2.Add(1)
@@ -532,9 +532,9 @@ func (t *Tree[K, V]) pushUp(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node[K, V]], c
 	nl := copyWithWeight(lkUXL, uxl.w-1)
 	nr := copyWithWeight(lkUXR, uxr.w-1)
 	n := internalLike(ux, replacementWeight(u, ux.w+1), nl, nr)
-	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR}
-	r := []*node[K, V]{ux, uxl, uxr}
-	if !llxscx.SCX(v, r, fld, ux, n) {
+	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR}
+	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr}
+	if !llxscx.SCXFixed(&v, 4, &r, 3, fld, ux, n) {
 		return false
 	}
 	counter.Add(1)
@@ -576,9 +576,9 @@ func (t *Tree[K, V]) doW1(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node[K, 
 	nlr := copyWithWeight(lkUXRL, uxrl.w-1)
 	nl := internalLike(ux, 1, nll, nlr)
 	n := internalLike(uxr, replacementWeight(u, ux.w), nl, uxrr)
-	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRL}
-	r := []*node[K, V]{ux, uxl, uxr, uxrl}
-	if !llxscx.SCX(v, r, fld, ux, n) {
+	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRL}
+	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxrl}
+	if !llxscx.SCXFixed(&v, 5, &r, 4, fld, ux, n) {
 		return false
 	}
 	t.stats.W1.Add(1)
@@ -598,9 +598,9 @@ func (t *Tree[K, V]) doW1s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node[K,
 	nrl := copyWithWeight(lkUXLR, uxlr.w-1)
 	nr := internalLike(ux, 1, nrl, nrr)
 	n := internalLike(uxl, replacementWeight(u, ux.w), uxll, nr)
-	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLR}
-	r := []*node[K, V]{ux, uxl, uxr, uxlr}
-	if !llxscx.SCX(v, r, fld, ux, n) {
+	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLR}
+	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxlr}
+	if !llxscx.SCXFixed(&v, 5, &r, 4, fld, ux, n) {
 		return false
 	}
 	t.stats.MirrorW1.Add(1)
@@ -621,9 +621,9 @@ func (t *Tree[K, V]) doW2(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node[K, 
 	nlr := copyWithWeight(lkUXRL, 0)
 	nl := internalLike(ux, 1, nll, nlr)
 	n := internalLike(uxr, replacementWeight(u, ux.w), nl, uxrr)
-	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRL}
-	r := []*node[K, V]{ux, uxl, uxr, uxrl}
-	if !llxscx.SCX(v, r, fld, ux, n) {
+	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRL}
+	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxrl}
+	if !llxscx.SCXFixed(&v, 5, &r, 4, fld, ux, n) {
 		return false
 	}
 	t.stats.W2.Add(1)
@@ -643,9 +643,9 @@ func (t *Tree[K, V]) doW2s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node[K,
 	nrl := copyWithWeight(lkUXLR, 0)
 	nr := internalLike(ux, 1, nrl, nrr)
 	n := internalLike(uxl, replacementWeight(u, ux.w), uxll, nr)
-	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLR}
-	r := []*node[K, V]{ux, uxl, uxr, uxlr}
-	if !llxscx.SCX(v, r, fld, ux, n) {
+	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLR}
+	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxlr}
+	if !llxscx.SCXFixed(&v, 5, &r, 4, fld, ux, n) {
 		return false
 	}
 	t.stats.MirrorW2.Add(1)
@@ -669,9 +669,9 @@ func (t *Tree[K, V]) doW3(lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLL llxscx.Linked
 	nlr := internalLike(uxrl, 1, uxrllr, uxrlr)
 	nl := internalLike(uxrll, 0, nll, nlr)
 	n := internalLike(uxr, replacementWeight(u, ux.w), nl, uxrr)
-	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLL}
-	r := []*node[K, V]{ux, uxl, uxr, uxrl, uxrll}
-	if !llxscx.SCX(v, r, fld, ux, n) {
+	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLL}
+	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxrl, uxrll}
+	if !llxscx.SCXFixed(&v, 6, &r, 5, fld, ux, n) {
 		return false
 	}
 	t.stats.W3.Add(1)
@@ -694,9 +694,9 @@ func (t *Tree[K, V]) doW3s(lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRR llxscx.Linke
 	nrl := internalLike(uxlr, 1, uxlrl, uxlrrl)
 	nr := internalLike(uxlrr, 0, nrl, nrr)
 	n := internalLike(uxl, replacementWeight(u, ux.w), uxll, nr)
-	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRR}
-	r := []*node[K, V]{ux, uxl, uxr, uxlr, uxlrr}
-	if !llxscx.SCX(v, r, fld, ux, n) {
+	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRR}
+	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxlr, uxlrr}
+	if !llxscx.SCXFixed(&v, 6, &r, 5, fld, ux, n) {
 		return false
 	}
 	t.stats.MirrorW3.Add(1)
@@ -719,9 +719,9 @@ func (t *Tree[K, V]) doW4(lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLR llxscx.Linked
 	nrl := copyWithWeight(lkUXRLR, 1)
 	nr := internalLike(uxr, 0, nrl, uxrr)
 	n := internalLike(uxrl, replacementWeight(u, ux.w), nl, nr)
-	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLR}
-	r := []*node[K, V]{ux, uxl, uxr, uxrl, uxrlr}
-	if !llxscx.SCX(v, r, fld, ux, n) {
+	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLR}
+	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxrl, uxrlr}
+	if !llxscx.SCXFixed(&v, 6, &r, 5, fld, ux, n) {
 		return false
 	}
 	t.stats.W4.Add(1)
@@ -743,9 +743,9 @@ func (t *Tree[K, V]) doW4s(lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRL llxscx.Linke
 	nlr := copyWithWeight(lkUXLRL, 1)
 	nl := internalLike(uxl, 0, uxll, nlr)
 	n := internalLike(uxlr, replacementWeight(u, ux.w), nl, nr)
-	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRL}
-	r := []*node[K, V]{ux, uxl, uxr, uxlr, uxlrl}
-	if !llxscx.SCX(v, r, fld, ux, n) {
+	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRL}
+	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxlr, uxlrl}
+	if !llxscx.SCXFixed(&v, 6, &r, 5, fld, ux, n) {
 		return false
 	}
 	t.stats.MirrorW4.Add(1)
@@ -766,9 +766,9 @@ func (t *Tree[K, V]) doW5(lkU, lkUX, lkUXL, lkUXR, lkUXRR llxscx.Linked[node[K, 
 	nl := internalLike(ux, 1, nll, uxrl)
 	nr := copyWithWeight(lkUXRR, 1)
 	n := internalLike(uxr, replacementWeight(u, ux.w), nl, nr)
-	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRR}
-	r := []*node[K, V]{ux, uxl, uxr, uxrr}
-	if !llxscx.SCX(v, r, fld, ux, n) {
+	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRR}
+	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxrr}
+	if !llxscx.SCXFixed(&v, 5, &r, 4, fld, ux, n) {
 		return false
 	}
 	t.stats.W5.Add(1)
@@ -788,9 +788,9 @@ func (t *Tree[K, V]) doW5s(lkU, lkUX, lkUXL, lkUXR, lkUXLL llxscx.Linked[node[K,
 	nr := internalLike(ux, 1, uxlr, nrr)
 	nl := copyWithWeight(lkUXLL, 1)
 	n := internalLike(uxl, replacementWeight(u, ux.w), nl, nr)
-	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLL}
-	r := []*node[K, V]{ux, uxl, uxr, uxll}
-	if !llxscx.SCX(v, r, fld, ux, n) {
+	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLL}
+	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxll}
+	if !llxscx.SCXFixed(&v, 5, &r, 4, fld, ux, n) {
 		return false
 	}
 	t.stats.MirrorW5.Add(1)
@@ -812,9 +812,9 @@ func (t *Tree[K, V]) doW6(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node[K, 
 	nl := internalLike(ux, 1, nll, uxrll)
 	nr := internalLike(uxr, 1, uxrlr, uxrr)
 	n := internalLike(uxrl, replacementWeight(u, ux.w), nl, nr)
-	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRL}
-	r := []*node[K, V]{ux, uxl, uxr, uxrl}
-	if !llxscx.SCX(v, r, fld, ux, n) {
+	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRL}
+	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxrl}
+	if !llxscx.SCXFixed(&v, 5, &r, 4, fld, ux, n) {
 		return false
 	}
 	t.stats.W6.Add(1)
@@ -835,9 +835,9 @@ func (t *Tree[K, V]) doW6s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node[K,
 	nr := internalLike(ux, 1, uxlrr, nrr)
 	nl := internalLike(uxl, 1, uxll, uxlrl)
 	n := internalLike(uxlr, replacementWeight(u, ux.w), nl, nr)
-	v := []llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLR}
-	r := []*node[K, V]{ux, uxl, uxr, uxlr}
-	if !llxscx.SCX(v, r, fld, ux, n) {
+	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLR}
+	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxlr}
+	if !llxscx.SCXFixed(&v, 5, &r, 4, fld, ux, n) {
 		return false
 	}
 	t.stats.MirrorW6.Add(1)

@@ -45,13 +45,22 @@ import (
 
 // Args holds the arguments of the single SCX performed by a template update,
 // as computed by the SCX-Arguments function of Figure 3 in the paper.
+//
+// The V and R sequences are staged in inline fixed-capacity arrays (bounded
+// by llxscx.MaxV, which is sized for the largest update in the repository)
+// rather than slices, so an Args value lives entirely on the stack of the
+// attempt that computes it and the SCX itself allocates nothing beyond its
+// descriptor. Callbacks either fill the arrays and counts directly with
+// composite literals, or use SetV/SetR to copy from a slice.
 type Args[N any, P llxscx.DataRecord[N]] struct {
-	// V is the sequence of linked LLX results whose records must be
+	// V[:NV] is the sequence of linked LLX results whose records must be
 	// unchanged for the SCX to succeed. It must satisfy PC1-PC3 and PC8.
-	V []llxscx.Linked[N]
-	// R identifies the records removed from the tree and finalized by the
-	// SCX. It must be a subsequence of the records in V.
-	R []P
+	V  [llxscx.MaxV]llxscx.Linked[N]
+	NV int
+	// R[:NR] identifies the records removed from the tree and finalized by
+	// the SCX. It must be a subsequence of the records in V.
+	R  [llxscx.MaxV]P
+	NR int
 	// Fld is the mutable child field to be changed; it must belong to a node
 	// in V.
 	Fld *atomic.Pointer[N]
@@ -60,6 +69,25 @@ type Args[N any, P llxscx.DataRecord[N]] struct {
 	Old *N
 	// New is the root of the freshly allocated replacement subtree.
 	New *N
+}
+
+// SetV stages seq as the V sequence. It panics if seq exceeds llxscx.MaxV
+// entries, which indicates an update too large for the inline descriptor
+// storage.
+func (a *Args[N, P]) SetV(seq []llxscx.Linked[N]) {
+	if len(seq) > llxscx.MaxV {
+		panic("core: V sequence exceeds llxscx.MaxV")
+	}
+	a.NV = copy(a.V[:], seq)
+}
+
+// SetR stages rs as the R sequence. It panics if rs exceeds llxscx.MaxV
+// entries.
+func (a *Args[N, P]) SetR(rs []P) {
+	if len(rs) > llxscx.MaxV {
+		panic("core: R sequence exceeds llxscx.MaxV")
+	}
+	a.NR = copy(a.R[:], rs)
 }
 
 // Template describes one kind of update in terms of the four locally
@@ -95,7 +123,11 @@ type Template[P llxscx.DataRecord[N], N, Res any] struct {
 func (t *Template[P, N, Res]) Run(n0 P) (Res, bool) {
 	var zero Res
 	var nilNode P
-	seq := make([]llxscx.Linked[N], 0, 8)
+	// The evidence buffer is a fixed-capacity array: template updates link at
+	// most MaxV LLXs (plus headroom for LLXs on nodes that end up outside V).
+	// If an exotic template ever exceeds it, append falls back to the heap.
+	var buf [llxscx.MaxV + 2]llxscx.Linked[N]
+	seq := buf[:0]
 	node := n0
 	for {
 		if node == nilNode {
@@ -115,7 +147,7 @@ func (t *Template[P, N, Res]) Run(n0 P) (Res, bool) {
 	if a.Fld == nil {
 		return zero, false
 	}
-	if !llxscx.SCX(a.V, a.R, a.Fld, a.Old, a.New) {
+	if !llxscx.SCXFixed(&a.V, a.NV, &a.R, a.NR, a.Fld, a.Old, a.New) {
 		return zero, false
 	}
 	return t.Result(seq), true

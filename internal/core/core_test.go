@@ -35,12 +35,13 @@ func pushTemplate(head *listNode, val int64) *Template[*listNode, listNode, int6
 			old := seq[0].Child(0)
 			fresh := &listNode{val: val}
 			fresh.next.Store(old)
-			return Args[listNode, *listNode]{
-				V:   seq,
+			a := Args[listNode, *listNode]{
 				Fld: &head.next,
 				Old: old,
 				New: fresh,
 			}
+			a.SetV(seq)
+			return a
 		},
 		Result: func(seq []llxscx.Linked[listNode]) int64 { return val },
 	}
@@ -74,7 +75,7 @@ func TestTemplateRunFailsWhenConflicting(t *testing.T) {
 	// Replay the stale evidence directly through SCX to emulate the tail end
 	// of a slow template attempt.
 	a := tmpl.Args([]llxscx.Linked[listNode]{lk})
-	if llxscx.SCX(a.V, nil, a.Fld, a.Old, a.New) {
+	if llxscx.SCX(a.V[:a.NV], nil, a.Fld, a.Old, a.New) {
 		t.Fatal("stale SCX succeeded after a conflicting update")
 	}
 	if head.next.Load().val != 2 {
@@ -101,7 +102,9 @@ func TestTemplateAbortsOnNilField(t *testing.T) {
 		Condition: func(seq []llxscx.Linked[listNode]) bool { return true },
 		NextNode:  func(seq []llxscx.Linked[listNode]) *listNode { return nil },
 		Args: func(seq []llxscx.Linked[listNode]) Args[listNode, *listNode] {
-			return Args[listNode, *listNode]{V: seq} // no Fld: abort
+			var a Args[listNode, *listNode]
+			a.SetV(seq) // no Fld: abort
+			return a
 		},
 		Result: func(seq []llxscx.Linked[listNode]) int64 { return 0 },
 	}

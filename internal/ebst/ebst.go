@@ -48,9 +48,11 @@ func NewLess[K, V any](less func(a, b K) bool) *Tree[K, V] {
 	return &Tree[K, V]{lbst.New(less, policy[K, V]{})}
 }
 
-// NewOrdered returns an empty tree over a naturally ordered key type.
+// NewOrdered returns an empty tree over a naturally ordered key type. The
+// engine installs a search routine specialized to the native `<` operator,
+// so searches avoid the indirect comparator call per node.
 func NewOrdered[K cmp.Ordered, V any]() *Tree[K, V] {
-	return NewLess[K, V](cmp.Less[K])
+	return &Tree[K, V]{lbst.NewOrdered[K, V](policy[K, V]{})}
 }
 
 // New returns an empty tree with int64 keys and values, the instantiation

@@ -26,6 +26,7 @@
 package lbst
 
 import (
+	"cmp"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -176,11 +177,19 @@ type Policy[K, V any] interface {
 }
 
 // Tree is a non-blocking leaf-oriented BST over keys ordered by a comparator
-// and balanced according to a Policy. It is safe for concurrent use. Use New.
+// and balanced according to a Policy. It is safe for concurrent use. Use New
+// or NewOrdered.
 type Tree[K, V any] struct {
 	entry *Node[K, V]
 	less  func(a, b K) bool
 	pol   Policy[K, V]
+
+	// searchFn locates the grandparent, parent and leaf on the search path
+	// for a key using plain reads. It is selected at construction: New
+	// installs the comparator-based loop, NewOrdered a specialization that
+	// compares with the native `<`, so ordered-key trees pay one indirect
+	// call per search instead of one per node.
+	searchFn func(t *Tree[K, V], key K) (gp, p, l *Node[K, V])
 }
 
 // New returns an empty tree whose keys are ordered by less and whose balance
@@ -190,10 +199,21 @@ type Tree[K, V any] struct {
 func New[K, V any](less func(a, b K) bool, pol Policy[K, V]) *Tree[K, V] {
 	var sentinelKey K
 	return &Tree[K, V]{
-		entry: NewInternal(sentinelKey, 0, true, &Node[K, V]{Leaf: true, Inf: true}, nil),
-		less:  less,
-		pol:   pol,
+		entry:    NewInternal(sentinelKey, 0, true, &Node[K, V]{Leaf: true, Inf: true}, nil),
+		less:     less,
+		pol:      pol,
+		searchFn: searchLess[K, V],
 	}
+}
+
+// NewOrdered returns an empty tree over a naturally ordered key type,
+// balanced by pol. It behaves exactly like New with cmp.Less, but installs
+// a search routine specialized to the native `<` operator, removing the
+// indirect comparator call per node on the read path.
+func NewOrdered[K cmp.Ordered, V any](pol Policy[K, V]) *Tree[K, V] {
+	t := New(cmp.Less[K], pol)
+	t.searchFn = searchOrdered[K, V]
+	return t
 }
 
 // Name identifies the data structure in benchmark reports.
@@ -219,11 +239,33 @@ func (t *Tree[K, V]) isKey(key K, l *Node[K, V]) bool {
 // key, using plain reads (Figure 5 of the paper). gp is nil when the tree
 // below the sentinels is a single leaf.
 func (t *Tree[K, V]) search(key K) (gp, p, l *Node[K, V]) {
+	return t.searchFn(t, key)
+}
+
+// searchLess is the comparator-based search loop installed by New.
+func searchLess[K, V any](t *Tree[K, V], key K) (gp, p, l *Node[K, V]) {
 	p = t.entry
 	l = t.entry.left.Load()
 	for !l.Leaf {
 		gp, p = p, l
 		if t.keyLess(key, l) {
+			l = l.left.Load()
+		} else {
+			l = l.right.Load()
+		}
+	}
+	return gp, p, l
+}
+
+// searchOrdered is the devirtualized search loop installed by NewOrdered:
+// identical to searchLess, but the per-node comparison is the native `<` of
+// a cmp.Ordered key type instead of an indirect call through t.less.
+func searchOrdered[K cmp.Ordered, V any](t *Tree[K, V], key K) (gp, p, l *Node[K, V]) {
+	p = t.entry
+	l = t.entry.left.Load()
+	for !l.Leaf {
+		gp, p = p, l
+		if l.Inf || key < l.K {
 			l = l.left.Load()
 		} else {
 			l = l.right.Load()
@@ -254,45 +296,62 @@ type insertResult[V any] struct {
 // on the leaf's parent, one on the leaf, and one SCX that replaces the
 // leaf (with a fresh leaf if the key was present, or with a fresh internal
 // node above two leaves if it was not).
+//
+// The template is built once per call, outside the retry loop: its closures
+// capture p, l and inserted by reference, so a failed attempt re-searches
+// and re-runs the same template without re-allocating it, and each attempt's
+// SCX evidence is staged in the Args value's inline arrays.
 func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
-	for {
-		_, p, l := t.search(key)
-		var inserted *Node[K, V]
-		tmpl := core.Template[*Node[K, V], Node[K, V], insertResult[V]]{
-			// Two LLXs are always enough: the parent and the leaf.
-			Condition: func(seq []llxscx.Linked[Node[K, V]]) bool { return len(seq) == 2 },
-			NextNode:  func(seq []llxscx.Linked[Node[K, V]]) *Node[K, V] { return l },
-			Args: func(seq []llxscx.Linked[Node[K, V]]) core.Args[Node[K, V], *Node[K, V]] {
-				lkP, lkL := seq[0], seq[1]
-				fld := FieldOf(lkP, l)
-				var repl *Node[K, V]
-				if t.isKey(key, l) {
-					repl = NewLeaf(key, value)
+	var p, l, inserted *Node[K, V]
+	tmpl := core.Template[*Node[K, V], Node[K, V], insertResult[V]]{
+		// Two LLXs are always enough: the parent and the leaf.
+		Condition: func(seq []llxscx.Linked[Node[K, V]]) bool { return len(seq) == 2 },
+		NextNode:  func(seq []llxscx.Linked[Node[K, V]]) *Node[K, V] { return l },
+		Args: func(seq []llxscx.Linked[Node[K, V]]) core.Args[Node[K, V], *Node[K, V]] {
+			lkP, lkL := seq[0], seq[1]
+			fld := FieldOf(lkP, l)
+			var repl *Node[K, V]
+			nr := 0
+			if t.isKey(key, l) {
+				// The key is present: the old leaf is replaced by a fresh
+				// one carrying the new value, and finalized (PC9).
+				repl = NewLeaf(key, value)
+				nr = 1
+			} else {
+				// The key is absent: the old leaf is reused as the fringe of
+				// the new subtree (PC6) - leaves carry no mutable balance
+				// bookkeeping, so no copy is needed and nothing is
+				// finalized, exactly as in the non-blocking BST of Ellen et
+				// al. l stays in V, so the SCX fails if a concurrent update
+				// froze it.
+				keyLeaf := NewLeaf(key, value)
+				if t.keyLess(key, l) {
+					repl = NewInternal(l.K, t.pol.InternalDeco(), l.Inf, keyLeaf, l)
 				} else {
-					keyLeaf := NewLeaf(key, value)
-					oldCopy := &Node[K, V]{K: l.K, V: l.V, Leaf: true, Inf: l.Inf}
-					if t.keyLess(key, l) {
-						repl = NewInternal(l.K, t.pol.InternalDeco(), l.Inf, keyLeaf, oldCopy)
-					} else {
-						repl = NewInternal(key, t.pol.InternalDeco(), false, oldCopy, keyLeaf)
-					}
-					inserted = repl
+					repl = NewInternal(key, t.pol.InternalDeco(), false, l, keyLeaf)
 				}
-				return core.Args[Node[K, V], *Node[K, V]]{
-					V:   []llxscx.Linked[Node[K, V]]{lkP, lkL},
-					R:   []*Node[K, V]{l},
-					Fld: fld,
-					Old: l,
-					New: repl,
-				}
-			},
-			Result: func(seq []llxscx.Linked[Node[K, V]]) insertResult[V] {
-				if t.isKey(key, l) {
-					return insertResult[V]{old: l.V, existed: true}
-				}
-				return insertResult[V]{}
-			},
-		}
+				inserted = repl
+			}
+			return core.Args[Node[K, V], *Node[K, V]]{
+				V:   [llxscx.MaxV]llxscx.Linked[Node[K, V]]{lkP, lkL},
+				NV:  2,
+				R:   [llxscx.MaxV]*Node[K, V]{l},
+				NR:  nr,
+				Fld: fld,
+				Old: l,
+				New: repl,
+			}
+		},
+		Result: func(seq []llxscx.Linked[Node[K, V]]) insertResult[V] {
+			if t.isKey(key, l) {
+				return insertResult[V]{old: l.V, existed: true}
+			}
+			return insertResult[V]{}
+		},
+	}
+	for {
+		_, p, l = t.searchFn(t, key)
+		inserted = nil
 		if res, ok := tmpl.Run(p); ok {
 			if !res.existed && t.pol.CreatesViolation(p, l, inserted) {
 				t.cleanup(key)
@@ -307,54 +366,61 @@ func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 // one SCX that swings the grandparent's child pointer to a copy of the
 // sibling (Figure 6 of the paper).
 func (t *Tree[K, V]) Delete(key K) (V, bool) {
+	var gp, p, l, promoted *Node[K, V]
+	tmpl := core.Template[*Node[K, V], Node[K, V], V]{
+		Condition: func(seq []llxscx.Linked[Node[K, V]]) bool { return len(seq) == 4 },
+		NextNode: func(seq []llxscx.Linked[Node[K, V]]) *Node[K, V] {
+			switch len(seq) {
+			case 1:
+				return p
+			case 2:
+				return l
+			default:
+				// The sibling, from the parent's snapshot.
+				return SiblingOf(seq[1], l)
+			}
+		},
+		Args: func(seq []llxscx.Linked[Node[K, V]]) core.Args[Node[K, V], *Node[K, V]] {
+			lkGP, lkP, lkL, lkS := seq[0], seq[1], seq[2], seq[3]
+			s := lkS.Node()
+			// The promoted copy keeps the sibling's decoration: its own
+			// subtree is unchanged, so its balance bookkeeping is too. It
+			// must be a fresh copy, not s itself: the SCX protocol's
+			// ABA-freedom rests on every value stored into a child field
+			// being newly allocated (a stale helper retries its update CAS
+			// unconditionally, and re-installing a pointer the field once
+			// held would let that CAS resurrect a finalized subtree). Reuse
+			// is only safe for nodes that become children of fresh nodes,
+			// as in Insert.
+			repl := Copy(lkS, s.Deco)
+			promoted = repl
+			a := core.Args[Node[K, V], *Node[K, V]]{
+				NV:  4,
+				NR:  3,
+				Fld: FieldOf(lkGP, p),
+				Old: p,
+				New: repl,
+			}
+			// V and R are ordered by a breadth-first traversal (PC8):
+			// the parent's children appear in left-to-right order.
+			if lkP.Child(0) == l {
+				a.V = [llxscx.MaxV]llxscx.Linked[Node[K, V]]{lkGP, lkP, lkL, lkS}
+				a.R = [llxscx.MaxV]*Node[K, V]{p, l, s}
+			} else {
+				a.V = [llxscx.MaxV]llxscx.Linked[Node[K, V]]{lkGP, lkP, lkS, lkL}
+				a.R = [llxscx.MaxV]*Node[K, V]{p, s, l}
+			}
+			return a
+		},
+		Result: func(seq []llxscx.Linked[Node[K, V]]) V { return l.V },
+	}
 	for {
-		gp, p, l := t.search(key)
+		gp, p, l = t.searchFn(t, key)
 		if gp == nil || !t.isKey(key, l) {
 			var zero V
 			return zero, false
 		}
-		var promoted *Node[K, V]
-		tmpl := core.Template[*Node[K, V], Node[K, V], V]{
-			Condition: func(seq []llxscx.Linked[Node[K, V]]) bool { return len(seq) == 4 },
-			NextNode: func(seq []llxscx.Linked[Node[K, V]]) *Node[K, V] {
-				switch len(seq) {
-				case 1:
-					return p
-				case 2:
-					return l
-				default:
-					// The sibling, from the parent's snapshot.
-					return SiblingOf(seq[1], l)
-				}
-			},
-			Args: func(seq []llxscx.Linked[Node[K, V]]) core.Args[Node[K, V], *Node[K, V]] {
-				lkGP, lkP, lkL, lkS := seq[0], seq[1], seq[2], seq[3]
-				s := lkS.Node()
-				// The promoted copy keeps the sibling's decoration: its own
-				// subtree is unchanged, so its balance bookkeeping is too.
-				repl := Copy(lkS, s.Deco)
-				promoted = repl
-				// V and R are ordered by a breadth-first traversal (PC8):
-				// the parent's children appear in left-to-right order.
-				var v []llxscx.Linked[Node[K, V]]
-				var r []*Node[K, V]
-				if lkP.Child(0) == l {
-					v = []llxscx.Linked[Node[K, V]]{lkGP, lkP, lkL, lkS}
-					r = []*Node[K, V]{p, l, s}
-				} else {
-					v = []llxscx.Linked[Node[K, V]]{lkGP, lkP, lkS, lkL}
-					r = []*Node[K, V]{p, s, l}
-				}
-				return core.Args[Node[K, V], *Node[K, V]]{
-					V:   v,
-					R:   r,
-					Fld: FieldOf(lkGP, p),
-					Old: p,
-					New: repl,
-				}
-			},
-			Result: func(seq []llxscx.Linked[Node[K, V]]) V { return l.V },
-		}
+		promoted = nil
 		if v, ok := tmpl.Run(gp); ok {
 			if t.pol.CreatesViolation(gp, p, promoted) {
 				t.cleanup(key)

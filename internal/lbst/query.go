@@ -38,13 +38,23 @@ func viewLess[P View[N, K, V], N, K, V any](less func(K, K) bool, key K, n P) bo
 	return n.IsSentinel() || less(key, n.Key())
 }
 
+// pathBufCap is the capacity of the stack buffer each ordered query reuses
+// for its validation path across retries and descent steps. It comfortably
+// covers the height of a balanced tree with millions of keys; a deeper walk
+// (possible only in the unbalanced EBST) falls back to append's heap growth
+// instead of failing. Each query function allocates the buffer once on its
+// own frame, so steady-state queries generate no garbage per retry.
+const pathBufCap = 48
+
 // Successor returns the smallest key strictly greater than key together
 // with its value, or ok=false if no such key exists. entry must be the
 // sentinel entry point of the tree and less its key comparator.
 func Successor[P View[N, K, V], N, K, V any](entry P, less func(K, K) bool, key K) (k K, v V, ok bool) {
+	var buf [pathBufCap]llxscx.Linked[N]
+	path := buf[:0]
 retry:
 	for {
-		var path []llxscx.Linked[N]
+		path = path[:0]
 		var lkLastLeft llxscx.Linked[N]
 		haveLastLeft := false
 
@@ -114,9 +124,11 @@ retry:
 // with its value, or ok=false if no such key exists. entry must be the
 // sentinel entry point of the tree and less its key comparator.
 func Predecessor[P View[N, K, V], N, K, V any](entry P, less func(K, K) bool, key K) (k K, v V, ok bool) {
+	var buf [pathBufCap]llxscx.Linked[N]
+	path := buf[:0]
 retry:
 	for {
-		var path []llxscx.Linked[N]
+		path = path[:0]
 		var lkLastRight llxscx.Linked[N]
 		haveLastRight := false
 
@@ -222,9 +234,11 @@ func Ascend[P View[N, K, V], N, K, V any](entry P, less func(K, K) bool, fn func
 // and V only appear in the constraint and results, call sites must
 // instantiate the type parameters explicitly.
 func Min[P View[N, K, V], N, K, V any](entry P) (k K, v V, ok bool) {
+	var buf [pathBufCap]llxscx.Linked[N]
+	path := buf[:0]
 retry:
 	for {
-		var path []llxscx.Linked[N]
+		path = path[:0]
 		var nilNode P
 		l := entry
 		for !l.IsLeaf() {
@@ -256,9 +270,11 @@ retry:
 // sentinels. Like Min it validates the whole spine with a VLX and requires
 // explicit instantiation.
 func Max[P View[N, K, V], N, K, V any](entry P) (k K, v V, ok bool) {
+	var buf [pathBufCap]llxscx.Linked[N]
+	path := buf[:0]
 retry:
 	for {
-		var path []llxscx.Linked[N]
+		path = path[:0]
 		var nilNode P
 		lkE, st := llxscx.LLX(entry)
 		if st != llxscx.Snapshot {

@@ -33,6 +33,16 @@ import "sync/atomic"
 // limit.
 const MaxMutable = 4
 
+// MaxV is the maximum length of the V sequence (and therefore of the R
+// subsequence) accepted by SCXFixed and VLXFixed, and the capacity of the
+// inline evidence arrays embedded in every SCX-record. It is sized for the
+// largest update any tree in this repository performs: the chromatic tree's
+// W3/W4 rebalancing steps (and their mirrors) link six LLXs and finalize
+// five records. Keeping the bound tight keeps descriptors compact - one
+// heap object per SCX, no side slices - which is the property the paper's
+// Java implementation relies on for its update throughput.
+const MaxV = 6
+
 // Status is the outcome of an LLX.
 type Status int
 
@@ -70,20 +80,25 @@ const (
 )
 
 // descriptor is an SCX-record: it describes one SCX so that any process can
-// help complete it.
+// help complete it. All evidence is stored inline in fixed-capacity arrays
+// (bounded by MaxV), so initiating an SCX allocates exactly one object: the
+// descriptor itself, which must be heap-allocated because helpers retain
+// pointers to it and GC-based reclamation is what rules out ABA.
 type descriptor[N any] struct {
 	state     atomic.Int32
 	allFrozen atomic.Bool
 
 	// recs[i] is the synchronization record of the i'th element of V and
 	// infos[i] is the descriptor observed by the linked LLX of that element
-	// (the expected value of the freezing CAS).
-	recs  []*Record[N]
-	infos []*descriptor[N]
+	// (the expected value of the freezing CAS). nV is the length of V.
+	recs  [MaxV]*Record[N]
+	infos [MaxV]*descriptor[N]
+	nV    int
 
-	// toMark are the synchronization records of the elements of R, which are
-	// finalized when the SCX commits.
-	toMark []*Record[N]
+	// toMark[:nMark] are the synchronization records of the elements of R,
+	// which are finalized when the SCX commits.
+	toMark [MaxV]*Record[N]
+	nMark  int
 
 	// fld is the single mutable field changed from old to new.
 	fld      *atomic.Pointer[N]
@@ -196,23 +211,48 @@ func LLX[P DataRecord[N], N any](r P) (Linked[N], Status) {
 //
 // SCX returns true if it modified the data structure and false if it failed
 // because some record in v changed since its linked LLX.
+//
+// new must be freshly allocated - never a value that fld (or any mutable
+// field) has held before. Helpers of a committed SCX retry the update CAS
+// unconditionally, so the protocol's ABA-freedom rests on stored values
+// never recurring; reusing an existing node is only sound as a child of a
+// freshly allocated subtree root, never as new itself.
+//
+// SCX is the slice-based convenience wrapper; v must not exceed MaxV
+// entries. Hot paths that stage their evidence in stack arrays should call
+// SCXFixed directly, which performs exactly one allocation (the descriptor).
 func SCX[P DataRecord[N], N any](v []Linked[N], finalize []P, fld *atomic.Pointer[N], old, new *N) bool {
+	var va [MaxV]Linked[N]
+	var ra [MaxV]P
+	copy(va[:], v)
+	copy(ra[:], finalize)
+	return SCXFixed(&va, len(v), &ra, len(finalize), fld, old, new)
+}
+
+// SCXFixed is the slice-free SCX entry point: v holds the first nv linked
+// LLX results and finalize the first nf records to finalize, both staged in
+// caller-owned fixed-capacity arrays (typically on the caller's stack). The
+// contract is exactly SCX's. nv must be in [1, MaxV] and nf in [0, nv];
+// out-of-range lengths panic, since they indicate an update whose V sequence
+// does not fit the inline descriptor storage (raise MaxV if a new data
+// structure legitimately needs a larger update).
+func SCXFixed[P DataRecord[N], N any](v *[MaxV]Linked[N], nv int, finalize *[MaxV]P, nf int, fld *atomic.Pointer[N], old, new *N) bool {
+	if nv < 1 || nv > MaxV || nf < 0 || nf > nv {
+		panic("llxscx: SCXFixed sequence lengths out of range")
+	}
 	d := &descriptor[N]{
-		recs:  make([]*Record[N], len(v)),
-		infos: make([]*descriptor[N], len(v)),
+		nV:    nv,
+		nMark: nf,
 		fld:   fld,
 		old:   old,
 		new:   new,
 	}
-	for i := range v {
+	for i := 0; i < nv; i++ {
 		d.recs[i] = v[i].rec
 		d.infos[i] = v[i].info
 	}
-	if len(finalize) > 0 {
-		d.toMark = make([]*Record[N], len(finalize))
-		for i, r := range finalize {
-			d.toMark[i] = r.LLXRecord()
-		}
+	for i := 0; i < nf; i++ {
+		d.toMark[i] = finalize[i].LLXRecord()
 	}
 	d.state.Store(stateInProgress)
 	return help(d)
@@ -220,19 +260,42 @@ func SCX[P DataRecord[N], N any](v []Linked[N], finalize []P, fld *atomic.Pointe
 
 // VLX returns true if none of the records in v have changed since the linked
 // LLXs that produced their evidence. It can be used to obtain an atomic
-// snapshot of a set of Data-records.
+// snapshot of a set of Data-records. Unlike SCX, VLX accepts sequences of
+// any length (ordered-query spine validations can be as long as the tree is
+// tall); VLXFixed is the bounded-array variant for update-sized sequences.
 func VLX[N any](v []Linked[N]) bool {
 	for i := range v {
-		cur := v[i].rec.info.Load()
-		if cur != v[i].info {
-			// The record was frozen (and possibly changed) by another SCX
-			// since the linked LLX. Help it along to preserve progress, then
-			// fail.
-			if cur != nil && cur.state.Load() == stateInProgress {
-				help(cur)
-			}
+		if !validateOne(&v[i]) {
 			return false
 		}
+	}
+	return true
+}
+
+// VLXFixed is the slice-free VLX entry point over the first n elements of a
+// caller-owned fixed-capacity array. n must be in [0, MaxV].
+func VLXFixed[N any](v *[MaxV]Linked[N], n int) bool {
+	if n < 0 || n > MaxV {
+		panic("llxscx: VLXFixed sequence length out of range")
+	}
+	for i := 0; i < n; i++ {
+		if !validateOne(&v[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// validateOne checks a single linked LLX: the record's descriptor must be
+// the one the LLX observed. On mismatch it helps any in-progress SCX along
+// (to preserve progress) and reports failure.
+func validateOne[N any](lk *Linked[N]) bool {
+	cur := lk.rec.info.Load()
+	if cur != lk.info {
+		if cur != nil && cur.state.Load() == stateInProgress {
+			help(cur)
+		}
+		return false
 	}
 	return true
 }
@@ -242,7 +305,8 @@ func VLX[N any](v []Linked[N]) bool {
 // returns true if the SCX committed.
 func help[N any](d *descriptor[N]) bool {
 	// Freeze every record in V by installing d in its info field.
-	for i, rec := range d.recs {
+	for i := 0; i < d.nV; i++ {
+		rec := d.recs[i]
 		if !rec.info.CompareAndSwap(d.infos[i], d) {
 			if rec.info.Load() != d {
 				// Could not freeze rec because another SCX owns it. If all
@@ -258,8 +322,8 @@ func help[N any](d *descriptor[N]) bool {
 	}
 	// All records in V are frozen for d.
 	d.allFrozen.Store(true)
-	for _, rec := range d.toMark {
-		rec.marked.Store(true)
+	for i := 0; i < d.nMark; i++ {
+		d.toMark[i].marked.Store(true)
 	}
 	d.fld.CompareAndSwap(d.old, d.new)
 	d.state.Store(stateCommitted)

@@ -1,0 +1,279 @@
+package llxscx
+
+// Tests for the slice-free SCXFixed/VLXFixed entry points. They mirror the
+// slice-based tests in llxscx_test.go and additionally assert that the two
+// entry points are behaviourally identical: the slice API is a thin copy-in
+// wrapper over the inline-array API, so any scenario must commit or abort
+// the same way through either.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fixedV stages linked LLX evidence the way hot paths do: in a stack array.
+func fixedV(lks ...Linked[tnode]) ([MaxV]Linked[tnode], int) {
+	var v [MaxV]Linked[tnode]
+	return v, copy(v[:], lks)
+}
+
+func fixedR(rs ...*tnode) ([MaxV]*tnode, int) {
+	var r [MaxV]*tnode
+	return r, copy(r[:], rs)
+}
+
+func TestSCXFixedSwingsChildPointerAndFinalizes(t *testing.T) {
+	oldLeaf := newTNode(1, nil, nil)
+	sibling := newTNode(3, nil, nil)
+	root := newTNode(2, oldLeaf, sibling)
+
+	lkRoot, st := LLX(root)
+	if st != Snapshot {
+		t.Fatalf("LLX(root) = %v", st)
+	}
+	lkLeaf, st := LLX(oldLeaf)
+	if st != Snapshot {
+		t.Fatalf("LLX(oldLeaf) = %v", st)
+	}
+
+	repl := newTNode(10, nil, nil)
+	v, nv := fixedV(lkRoot, lkLeaf)
+	r, nr := fixedR(oldLeaf)
+	if !SCXFixed(&v, nv, &r, nr, &root.left, oldLeaf, repl) {
+		t.Fatal("SCXFixed failed on uncontended update")
+	}
+	if got := root.left.Load(); got != repl {
+		t.Fatalf("root.left = %p, want %p", got, repl)
+	}
+	if !oldLeaf.rec.Marked() {
+		t.Fatal("finalized record not marked")
+	}
+	if _, st := LLX(oldLeaf); st != Finalized {
+		t.Fatalf("LLX on finalized record = %v, want Finalized", st)
+	}
+	if _, st := LLX(repl); st != Snapshot {
+		t.Fatalf("LLX(repl) = %v, want Snapshot", st)
+	}
+	if _, st := LLX(sibling); st != Snapshot {
+		t.Fatalf("LLX(sibling) = %v, want Snapshot", st)
+	}
+}
+
+func TestSCXFixedFailsIfRecordChangedSinceLinkedLLX(t *testing.T) {
+	a := newTNode(1, nil, nil)
+	b := newTNode(3, nil, nil)
+	root := newTNode(2, a, b)
+
+	lkRoot, _ := LLX(root)
+	lkA, _ := LLX(a)
+
+	// A competing update changes root.left first, through the fixed path.
+	lkRoot2, _ := LLX(root)
+	lkA2, _ := LLX(a)
+	winner := newTNode(7, nil, nil)
+	v2, nv2 := fixedV(lkRoot2, lkA2)
+	r2, nr2 := fixedR(a)
+	if !SCXFixed(&v2, nv2, &r2, nr2, &root.left, a, winner) {
+		t.Fatal("first SCXFixed should succeed")
+	}
+
+	loser := newTNode(8, nil, nil)
+	v1, nv1 := fixedV(lkRoot, lkA)
+	r1, nr1 := fixedR(a)
+	if SCXFixed(&v1, nv1, &r1, nr1, &root.left, a, loser) {
+		t.Fatal("second SCXFixed should fail: root changed since its linked LLX")
+	}
+	if got := root.left.Load(); got != winner {
+		t.Fatalf("root.left = %p, want winner %p", got, winner)
+	}
+}
+
+func TestVLXFixedDetectsChange(t *testing.T) {
+	a := newTNode(1, nil, nil)
+	b := newTNode(3, nil, nil)
+	root := newTNode(2, a, b)
+
+	lkRoot, _ := LLX(root)
+	lkA, _ := LLX(a)
+	v, nv := fixedV(lkRoot, lkA)
+	if !VLXFixed(&v, nv) {
+		t.Fatal("VLXFixed on unchanged records should succeed")
+	}
+
+	lkRoot2, _ := LLX(root)
+	lkA2, _ := LLX(a)
+	v2, nv2 := fixedV(lkRoot2, lkA2)
+	r2, nr2 := fixedR(a)
+	if !SCXFixed(&v2, nv2, &r2, nr2, &root.left, a, newTNode(9, nil, nil)) {
+		t.Fatal("SCXFixed should succeed")
+	}
+	if VLXFixed(&v, nv) {
+		t.Fatal("VLXFixed should fail after root was modified")
+	}
+	// The empty sequence validates trivially, as with VLX(nil).
+	if !VLXFixed(&v, 0) {
+		t.Fatal("VLXFixed over zero records should succeed")
+	}
+}
+
+// TestSliceWrappersAgreeWithFixed pins the wrapper relationship: the same
+// stale-evidence scenario must abort, and the same fresh-evidence scenario
+// must commit, through both entry points.
+func TestSliceWrappersAgreeWithFixed(t *testing.T) {
+	for _, useFixed := range []bool{false, true} {
+		child := newTNode(1, nil, nil)
+		root := newTNode(2, child, nil)
+
+		stale, _ := LLX(root)
+		staleChild, _ := LLX(child)
+
+		// Competing update through the other entry point.
+		lkRoot, _ := LLX(root)
+		lkChild, _ := LLX(child)
+		winner := newTNode(7, nil, nil)
+		var okWin bool
+		if useFixed {
+			v, nv := fixedV(lkRoot, lkChild)
+			r, nr := fixedR(child)
+			okWin = SCXFixed(&v, nv, &r, nr, &root.left, child, winner)
+		} else {
+			okWin = SCX([]Linked[tnode]{lkRoot, lkChild}, []*tnode{child}, &root.left, child, winner)
+		}
+		if !okWin {
+			t.Fatalf("useFixed=%v: fresh SCX should commit", useFixed)
+		}
+
+		// The stale evidence must abort through the opposite entry point.
+		loser := newTNode(8, nil, nil)
+		var okLose bool
+		if useFixed {
+			okLose = SCX([]Linked[tnode]{stale, staleChild}, []*tnode{child}, &root.left, child, loser)
+		} else {
+			v, nv := fixedV(stale, staleChild)
+			r, nr := fixedR(child)
+			okLose = SCXFixed(&v, nv, &r, nr, &root.left, child, loser)
+		}
+		if okLose {
+			t.Fatalf("useFixed=%v: stale SCX should abort", useFixed)
+		}
+		if got := root.left.Load(); got != winner {
+			t.Fatalf("useFixed=%v: root.left = %p, want winner %p", useFixed, got, winner)
+		}
+		if !child.rec.Marked() {
+			t.Fatalf("useFixed=%v: replaced child not finalized", useFixed)
+		}
+	}
+}
+
+func TestSCXFixedPanicsOnBadLengths(t *testing.T) {
+	child := newTNode(1, nil, nil)
+	root := newTNode(2, child, nil)
+	lkRoot, _ := LLX(root)
+	lkChild, _ := LLX(child)
+	v, _ := fixedV(lkRoot, lkChild)
+	r, _ := fixedR(child)
+
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("nv=0", func() { SCXFixed(&v, 0, &r, 0, &root.left, child, newTNode(9, nil, nil)) })
+	expectPanic("nv>MaxV", func() { SCXFixed(&v, MaxV+1, &r, 0, &root.left, child, newTNode(9, nil, nil)) })
+	expectPanic("nf>nv", func() { SCXFixed(&v, 2, &r, 3, &root.left, child, newTNode(9, nil, nil)) })
+	expectPanic("nf<0", func() { SCXFixed(&v, 2, &r, -1, &root.left, child, newTNode(9, nil, nil)) })
+	expectPanic("vlx n>MaxV", func() { VLXFixed(&v, MaxV+1) })
+}
+
+// TestConcurrentFixedAndSliceSCXStress interleaves the two entry points on a
+// shared parent under contention. The committed updates must form a single
+// consistent chain whichever path performed them: every replaced node is
+// finalized, the surviving node is not, and at least one SCX from each entry
+// point commits (progress through both paths).
+func TestConcurrentFixedAndSliceSCXStress(t *testing.T) {
+	root := newTNode(0, newTNode(1, nil, nil), nil)
+	const goroutines = 8
+	const attempts = 2000
+
+	var fixedSuccesses, sliceSuccesses atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			useFixed := id%2 == 0
+			for i := 0; i < attempts; i++ {
+				lkRoot, st := LLX(root)
+				if st != Snapshot {
+					continue
+				}
+				child := lkRoot.Child(0)
+				if child == nil {
+					t.Errorf("child unexpectedly nil")
+					return
+				}
+				lkChild, st := LLX(child)
+				if st != Snapshot {
+					continue
+				}
+				repl := newTNode(int64(id*attempts+i+1000), nil, nil)
+				var ok bool
+				if useFixed {
+					v, nv := fixedV(lkRoot, lkChild)
+					r, nr := fixedR(child)
+					ok = SCXFixed(&v, nv, &r, nr, &root.left, child, repl)
+				} else {
+					ok = SCX([]Linked[tnode]{lkRoot, lkChild}, []*tnode{child}, &root.left, child, repl)
+				}
+				if ok {
+					if useFixed {
+						fixedSuccesses.Add(1)
+					} else {
+						sliceSuccesses.Add(1)
+					}
+					if !child.rec.Marked() {
+						t.Errorf("replaced child not finalized")
+						return
+					}
+					if root.left.Load() == child {
+						t.Errorf("committed SCX left the replaced child in place")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if fixedSuccesses.Load() == 0 {
+		t.Fatal("no SCXFixed succeeded under contention")
+	}
+	if sliceSuccesses.Load() == 0 {
+		t.Fatal("no slice SCX succeeded under contention")
+	}
+	if cur := root.left.Load(); cur.rec.Marked() {
+		t.Fatal("current child of root is finalized but still in the structure")
+	}
+}
+
+// BenchmarkSCXFixedUncontended is the inline-array counterpart of
+// BenchmarkSCXUncontended; the delta between the two is the wrapper's
+// copy-in cost plus the slice allocations at the call site.
+func BenchmarkSCXFixedUncontended(b *testing.B) {
+	root := newTNode(2, newTNode(1, nil, nil), nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lkRoot, _ := LLX(root)
+		child := lkRoot.Child(0)
+		lkChild, _ := LLX(child)
+		repl := newTNode(int64(i), nil, nil)
+		v, nv := fixedV(lkRoot, lkChild)
+		r, nr := fixedR(child)
+		if !SCXFixed(&v, nv, &r, nr, &root.left, child, repl) {
+			b.Fatal("uncontended SCXFixed failed")
+		}
+	}
+}

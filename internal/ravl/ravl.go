@@ -135,8 +135,9 @@ func (p *policy[K, V]) Rebalance(u, n *lbst.Node[K, V]) bool {
 		return p.fixRight(lkU, lkN, fld)
 	case n.Deco != 1+max(hl, hr):
 		repl := lbst.Copy(lkN, 1+max(hl, hr))
-		v := []llxscx.Linked[lbst.Node[K, V]]{lkU, lkN}
-		if !llxscx.SCX(v, []*lbst.Node[K, V]{n}, fld, n, repl) {
+		v := [llxscx.MaxV]llxscx.Linked[lbst.Node[K, V]]{lkU, lkN}
+		fin := [llxscx.MaxV]*lbst.Node[K, V]{n}
+		if !llxscx.SCXFixed(&v, 2, &fin, 1, fld, n, repl) {
 			return false
 		}
 		p.stats.HeightFixes.Add(1)
@@ -172,8 +173,9 @@ func (p *policy[K, V]) fixLeft(lkU, lkN llxscx.Linked[lbst.Node[K, V]], fld *ato
 		// violation at n is then re-evaluated against the corrected height).
 		lfld := lbst.FieldOf(lkN, l)
 		repl := lbst.Copy(lkL, 1+max(hll, hlr))
-		v := []llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkL}
-		if !llxscx.SCX(v, []*lbst.Node[K, V]{l}, lfld, l, repl) {
+		v := [llxscx.MaxV]llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkL}
+		fin := [llxscx.MaxV]*lbst.Node[K, V]{l}
+		if !llxscx.SCXFixed(&v, 3, &fin, 1, lfld, l, repl) {
 			return false
 		}
 		p.stats.HeightFixes.Add(1)
@@ -184,8 +186,9 @@ func (p *policy[K, V]) fixLeft(lkU, lkN llxscx.Linked[lbst.Node[K, V]], fld *ato
 		// right with the inner subtree lr attached.
 		inner := lbst.NewInternal(n.K, 1+max(hlr, r.Deco), false, lr, r)
 		repl := lbst.NewInternal(l.K, 1+max(hll, inner.Deco), false, ll, inner)
-		v := []llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkL}
-		if !llxscx.SCX(v, []*lbst.Node[K, V]{n, l}, fld, n, repl) {
+		v := [llxscx.MaxV]llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkL}
+		fin := [llxscx.MaxV]*lbst.Node[K, V]{n, l}
+		if !llxscx.SCXFixed(&v, 3, &fin, 2, fld, n, repl) {
 			return false
 		}
 		p.stats.SingleRotations.Add(1)
@@ -207,8 +210,9 @@ func (p *policy[K, V]) fixLeft(lkU, lkN llxscx.Linked[lbst.Node[K, V]], fld *ato
 	nl := lbst.NewInternal(l.K, 1+max(hll, lrl.Deco), false, ll, lrl)
 	nr := lbst.NewInternal(n.K, 1+max(lrr.Deco, r.Deco), false, lrr, r)
 	repl := lbst.NewInternal(lr.K, 1+max(nl.Deco, nr.Deco), false, nl, nr)
-	v := []llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkL, lkLR}
-	if !llxscx.SCX(v, []*lbst.Node[K, V]{n, l, lr}, fld, n, repl) {
+	v := [llxscx.MaxV]llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkL, lkLR}
+	fin := [llxscx.MaxV]*lbst.Node[K, V]{n, l, lr}
+	if !llxscx.SCXFixed(&v, 4, &fin, 3, fld, n, repl) {
 		return false
 	}
 	p.stats.DoubleRotations.Add(1)
@@ -235,8 +239,9 @@ func (p *policy[K, V]) fixRight(lkU, lkN llxscx.Linked[lbst.Node[K, V]], fld *at
 	if r.Deco != 1+max(hrl, hrr) {
 		rfld := lbst.FieldOf(lkN, r)
 		repl := lbst.Copy(lkR, 1+max(hrl, hrr))
-		v := []llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkR}
-		if !llxscx.SCX(v, []*lbst.Node[K, V]{r}, rfld, r, repl) {
+		v := [llxscx.MaxV]llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkR}
+		fin := [llxscx.MaxV]*lbst.Node[K, V]{r}
+		if !llxscx.SCXFixed(&v, 3, &fin, 1, rfld, r, repl) {
 			return false
 		}
 		p.stats.HeightFixes.Add(1)
@@ -246,8 +251,9 @@ func (p *policy[K, V]) fixRight(lkU, lkN llxscx.Linked[lbst.Node[K, V]], fld *at
 		// Single left rotation.
 		inner := lbst.NewInternal(n.K, 1+max(l.Deco, hrl), false, l, rl)
 		repl := lbst.NewInternal(r.K, 1+max(inner.Deco, hrr), false, inner, rr)
-		v := []llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkR}
-		if !llxscx.SCX(v, []*lbst.Node[K, V]{n, r}, fld, n, repl) {
+		v := [llxscx.MaxV]llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkR}
+		fin := [llxscx.MaxV]*lbst.Node[K, V]{n, r}
+		if !llxscx.SCXFixed(&v, 3, &fin, 2, fld, n, repl) {
 			return false
 		}
 		p.stats.SingleRotations.Add(1)
@@ -268,8 +274,9 @@ func (p *policy[K, V]) fixRight(lkU, lkN llxscx.Linked[lbst.Node[K, V]], fld *at
 	nl := lbst.NewInternal(n.K, 1+max(l.Deco, rll.Deco), false, l, rll)
 	nr := lbst.NewInternal(r.K, 1+max(rlr.Deco, hrr), false, rlr, rr)
 	repl := lbst.NewInternal(rl.K, 1+max(nl.Deco, nr.Deco), false, nl, nr)
-	v := []llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkR, lkRL}
-	if !llxscx.SCX(v, []*lbst.Node[K, V]{n, r, rl}, fld, n, repl) {
+	v := [llxscx.MaxV]llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkR, lkRL}
+	fin := [llxscx.MaxV]*lbst.Node[K, V]{n, r, rl}
+	if !llxscx.SCXFixed(&v, 4, &fin, 3, fld, n, repl) {
 		return false
 	}
 	p.stats.DoubleRotations.Add(1)
@@ -296,9 +303,13 @@ func NewLess[K, V any](less func(a, b K) bool) *Tree[K, V] {
 }
 
 // NewOrdered returns an empty relaxed AVL tree over a naturally ordered key
-// type.
+// type. The engine installs a search routine specialized to the native `<`
+// operator, so searches avoid the indirect comparator call per node.
 func NewOrdered[K cmp.Ordered, V any]() *Tree[K, V] {
-	return NewLess[K, V](cmp.Less[K])
+	t := &Tree[K, V]{}
+	t.pol = &policy[K, V]{stats: &t.stats}
+	t.Tree = lbst.NewOrdered[K, V](t.pol)
+	return t
 }
 
 // New returns an empty relaxed AVL tree with int64 keys and values, the
