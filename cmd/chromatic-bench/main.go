@@ -27,11 +27,14 @@
 //
 // Snapshots written with -json can be diffed across commits:
 //
-//	chromatic-bench -compare BENCH_pr2.json BENCH_pr3.json
+//	chromatic-bench -compare BENCH_pr3.json BENCH_pr4.json
 //
 // prints every cell present in both snapshots with its throughput delta and
 // exits non-zero if any cell regressed by more than -threshold (a fraction;
-// default 0.25, generous because short smoke trials are noisy).
+// default 0.25, generous because short smoke trials are noisy). Since every
+// structure in the registry — the LLX/SCX trees and the five baselines —
+// is benchmarked from the same Figure-8 structure list
+// (bench.Figure8Structures), a figure8 smoke run snapshots them all.
 package main
 
 import (

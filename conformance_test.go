@@ -1,19 +1,24 @@
 package repro
 
 // Shared OrderedMap conformance, fuzz and stress suite (internal/dict/
-// dicttest) applied to every tree built on the LLX/SCX tree update
-// template, resolved through the benchmark registry so the tests exercise
-// exactly what the harness benchmarks. Each target carries its own
+// dicttest) applied to EVERY dictionary in the repository - the trees built
+// on the LLX/SCX tree update template and the evaluation's baseline
+// competitors alike - resolved through the benchmark registry so the tests
+// exercise exactly what the harness benchmarks. Each target carries its own
 // quiescent invariant checker: the engine's structural check for EBST, the
 // full height/balance bookkeeping for RAVL (after draining the relaxed
-// violations), and the weight invariants for the chromatic trees.
+// violations), the weight invariants for the chromatic trees, BST-order and
+// parent-pointer checks for the lock-based AVL tree, level-ordering checks
+// for the two skip lists and the red-black properties for the sequential
+// and STM red-black trees.
 //
-// The same suite also runs against string-keyed instantiations of the
-// generic trees (see stringTreeTargets), which exercises the comparator
-// path end to end: no part of the stack may assume integer keys.
+// The same suite also runs against string-keyed instantiations of every
+// structure (see stringTargets), which exercises the comparator path end to
+// end: no part of the stack may assume integer keys.
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/internal/bench"
@@ -21,7 +26,12 @@ import (
 	"repro/internal/dict"
 	"repro/internal/dict/dicttest"
 	"repro/internal/ebst"
+	"repro/internal/lockavl"
 	"repro/internal/ravl"
+	"repro/internal/seqrbt"
+	"repro/internal/skiplist"
+	"repro/internal/stmrbt"
+	"repro/internal/stmskip"
 )
 
 // templateTreeTargets returns the dicttest targets for the template-based
@@ -77,8 +87,82 @@ func templateTreeTargets(tb testing.TB) []dicttest.Target {
 	}
 }
 
-// stringTreeTargets instantiates the generic trees with string keys and
-// values: EBST and RAVL through NewOrdered (natural string ordering),
+// baselineTargets returns the dicttest targets for the evaluation's baseline
+// competitors, again resolved through the registry so the suite tests the
+// exact factories the harness benchmarks.
+func baselineTargets(tb testing.TB) []dicttest.Target {
+	lookup := func(name string) func() dict.IntMap {
+		f, ok := bench.Lookup(name)
+		if !ok {
+			tb.Fatalf("structure %q not in bench registry", name)
+		}
+		return f.New
+	}
+	return []dicttest.Target{
+		{
+			Name: "SkipList",
+			New:  lookup("SkipList"),
+			Check: func(d dict.IntMap) error {
+				return d.(*skiplist.List[int64, int64]).CheckInvariants()
+			},
+		},
+		{
+			Name: "LockAVL",
+			New:  lookup("LockAVL"),
+			Check: func(d dict.IntMap) error {
+				return d.(*lockavl.Tree[int64, int64]).CheckInvariants()
+			},
+		},
+		{
+			Name: "RBSTM",
+			New:  lookup("RBSTM"),
+			Check: func(d dict.IntMap) error {
+				return d.(*stmrbt.Tree[int64, int64]).CheckInvariants()
+			},
+		},
+		{
+			Name: "SkipListSTM",
+			New:  lookup("SkipListSTM"),
+			Check: func(d dict.IntMap) error {
+				return d.(*stmskip.List[int64, int64]).CheckInvariants()
+			},
+		},
+		{
+			Name: "RBGlobal",
+			New:  lookup("RBGlobal"),
+			Check: func(d dict.IntMap) error {
+				return d.(*seqrbt.Global[int64, int64]).CheckInvariants()
+			},
+		},
+	}
+}
+
+// seqRBTTarget is the purely sequential red-black tree (the Figure 9
+// reference point). It is not in the registry because it is not safe for
+// concurrent use; it runs the sequential and fuzz suites only.
+func seqRBTTarget() dicttest.Target {
+	return dicttest.Target{
+		Name: "SeqRBT",
+		New:  func() dict.IntMap { return seqrbt.New() },
+		Check: func(d dict.IntMap) error {
+			return d.(*seqrbt.Tree[int64, int64]).CheckInvariants()
+		},
+	}
+}
+
+// allConcurrentTargets is every concurrency-safe structure in the registry:
+// the template trees and the baselines, under one suite.
+func allConcurrentTargets(tb testing.TB) []dicttest.Target {
+	return append(templateTreeTargets(tb), baselineTargets(tb)...)
+}
+
+// allSequentialTargets additionally includes the sequential red-black tree.
+func allSequentialTargets(tb testing.TB) []dicttest.Target {
+	return append(allConcurrentTargets(tb), seqRBTTarget())
+}
+
+// stringTreeTargets instantiates the generic template trees with string keys
+// and values: EBST and RAVL through NewOrdered (natural string ordering),
 // Chromatic through NewLess with an explicit comparator, so both
 // construction paths are exercised.
 func stringTreeTargets() []dicttest.TargetOf[string, string] {
@@ -130,6 +214,77 @@ func stringTreeTargets() []dicttest.TargetOf[string, string] {
 	}
 }
 
+// stringBaselineTargets instantiates the five baseline structures with
+// string keys and values, mixing the NewOrdered and NewLess construction
+// paths so both the devirtualized and the comparator-based walks run.
+func stringBaselineTargets() []dicttest.TargetOf[string, string] {
+	stringLess := func(a, b string) bool { return a < b }
+	return []dicttest.TargetOf[string, string]{
+		{
+			Name: "SkipList/string",
+			New:  func() dict.Map[string, string] { return skiplist.NewOrdered[string, string]() },
+			Less: stringLess,
+			Check: func(d dict.Map[string, string]) error {
+				return d.(*skiplist.List[string, string]).CheckInvariants()
+			},
+		},
+		{
+			Name: "LockAVL/string",
+			New:  func() dict.Map[string, string] { return lockavl.NewLess[string, string](stringLess) },
+			Less: stringLess,
+			Check: func(d dict.Map[string, string]) error {
+				return d.(*lockavl.Tree[string, string]).CheckInvariants()
+			},
+		},
+		{
+			Name: "RBSTM/string",
+			New:  func() dict.Map[string, string] { return stmrbt.NewOrdered[string, string]() },
+			Less: stringLess,
+			Check: func(d dict.Map[string, string]) error {
+				return d.(*stmrbt.Tree[string, string]).CheckInvariants()
+			},
+		},
+		{
+			Name: "SkipListSTM/string",
+			New:  func() dict.Map[string, string] { return stmskip.NewLess[string, string](stringLess) },
+			Less: stringLess,
+			Check: func(d dict.Map[string, string]) error {
+				return d.(*stmskip.List[string, string]).CheckInvariants()
+			},
+		},
+		{
+			Name: "RBGlobal/string",
+			New:  func() dict.Map[string, string] { return seqrbt.NewGlobalOrdered[string, string]() },
+			Less: stringLess,
+			Check: func(d dict.Map[string, string]) error {
+				return d.(*seqrbt.Global[string, string]).CheckInvariants()
+			},
+		},
+	}
+}
+
+// stringSeqRBTTarget is the string-keyed sequential tree (sequential and
+// fuzz suites only).
+func stringSeqRBTTarget() dicttest.TargetOf[string, string] {
+	stringLess := func(a, b string) bool { return a < b }
+	return dicttest.TargetOf[string, string]{
+		Name: "SeqRBT/string",
+		New:  func() dict.Map[string, string] { return seqrbt.NewLess[string, string](stringLess) },
+		Less: stringLess,
+		Check: func(d dict.Map[string, string]) error {
+			return d.(*seqrbt.Tree[string, string]).CheckInvariants()
+		},
+	}
+}
+
+func allStringConcurrentTargets() []dicttest.TargetOf[string, string] {
+	return append(stringTreeTargets(), stringBaselineTargets()...)
+}
+
+func allStringSequentialTargets() []dicttest.TargetOf[string, string] {
+	return append(allStringConcurrentTargets(), stringSeqRBTTarget())
+}
+
 // stringKey derives a compact string key from the suite's random stream.
 // The space mixes short and long keys sharing prefixes, which stresses the
 // comparator path more than fixed-width keys would.
@@ -145,9 +300,10 @@ func stringVal(u uint64) string { return fmt.Sprintf("v%d", u%1024) }
 
 // TestOrderedMapConformance runs the shared sequential suite - every
 // operation, including Successor and Predecessor, mirrored against a model
-// map - over each template-based tree.
+// map - over every structure in the registry plus the sequential red-black
+// tree.
 func TestOrderedMapConformance(t *testing.T) {
-	for _, tgt := range templateTreeTargets(t) {
+	for _, tgt := range allSequentialTargets(t) {
 		t.Run(tgt.Name, func(t *testing.T) {
 			t.Parallel()
 			for seed := int64(1); seed <= 3; seed++ {
@@ -160,9 +316,9 @@ func TestOrderedMapConformance(t *testing.T) {
 }
 
 // TestStringKeyedConformance runs the same sequential suite over the
-// string-keyed instantiations of the generic trees.
+// string-keyed instantiations of every structure.
 func TestStringKeyedConformance(t *testing.T) {
-	for _, tgt := range stringTreeTargets() {
+	for _, tgt := range allStringSequentialTargets() {
 		t.Run(tgt.Name, func(t *testing.T) {
 			t.Parallel()
 			for seed := int64(1); seed <= 3; seed++ {
@@ -176,9 +332,10 @@ func TestStringKeyedConformance(t *testing.T) {
 }
 
 // TestStringKeyedConcurrentStress runs the shared concurrent suite over the
-// string-keyed trees, with per-goroutine disjoint key prefixes.
+// string-keyed instantiations of every concurrency-safe structure, with
+// per-goroutine disjoint key prefixes.
 func TestStringKeyedConcurrentStress(t *testing.T) {
-	for _, tgt := range stringTreeTargets() {
+	for _, tgt := range allStringConcurrentTargets() {
 		t.Run(tgt.Name, func(t *testing.T) {
 			dicttest.ConcurrentStressKV(t, tgt, 4, 4000,
 				func(g int, u uint64) string { return fmt.Sprintf("g%d/%03d", g, u%150) },
@@ -188,9 +345,10 @@ func TestStringKeyedConcurrentStress(t *testing.T) {
 }
 
 // TestOrderedMapConcurrentStress runs the shared concurrent suite with the
-// per-structure invariant checks at quiescence.
+// per-structure invariant checks at quiescence over every concurrency-safe
+// structure in the registry.
 func TestOrderedMapConcurrentStress(t *testing.T) {
-	for _, tgt := range templateTreeTargets(t) {
+	for _, tgt := range allConcurrentTargets(t) {
 		t.Run(tgt.Name, func(t *testing.T) {
 			dicttest.ConcurrentStress(t, tgt, 4, 4000, 150)
 		})
@@ -198,11 +356,12 @@ func TestOrderedMapConcurrentStress(t *testing.T) {
 }
 
 // FuzzOrderedMapAgainstModel feeds an arbitrary byte stream, decoded as
-// (opcode, key, value) triples, to every template-based tree - both the
-// int64 registry instantiations and the string-keyed generic ones - and
-// compares each result with the model map; the invariant checkers run at
-// the end of every input. Run with `go test -fuzz=FuzzOrderedMapAgainstModel .`
-// for continuous fuzzing; the seed corpus below runs as part of `go test`.
+// (opcode, key, value) triples, to every structure - template trees and
+// baselines, both the int64 registry instantiations and the string-keyed
+// generic ones - and compares each result with the model map; the invariant
+// checkers run at the end of every input. Run with
+// `go test -fuzz=FuzzOrderedMapAgainstModel .` for continuous fuzzing; the
+// seed corpus below runs as part of `go test`.
 func FuzzOrderedMapAgainstModel(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 1, 2})
@@ -224,34 +383,68 @@ func FuzzOrderedMapAgainstModel(f *testing.F) {
 		if len(data) > 3*5000 {
 			t.Skip("input larger than the op budget")
 		}
-		for _, tgt := range templateTreeTargets(t) {
+		for _, tgt := range allSequentialTargets(t) {
 			dicttest.FuzzOps(t, tgt, data)
 		}
-		for _, tgt := range stringTreeTargets() {
+		for _, tgt := range allStringSequentialTargets() {
 			dicttest.FuzzOpsKV(t, tgt, stringKey, stringVal, data)
 		}
 	})
 }
 
-// TestRegistryCoversTemplateTrees pins the registry contents the harness
-// and the figures rely on: the paper's own algorithms (chromatic trees),
-// the engine-based trees (EBST, RAVL) and the competitors.
-func TestRegistryCoversTemplateTrees(t *testing.T) {
+// TestRegistryCoversAllStructures pins the registry contents the harness
+// and the figures rely on - the paper's own algorithms (chromatic trees),
+// the engine-based trees (EBST, RAVL) and the competitors - and requires
+// every one of them to be an ordered map: since the generic unification,
+// Successor/Predecessor are part of every structure's contract.
+func TestRegistryCoversAllStructures(t *testing.T) {
 	for _, name := range []string{"Chromatic", "Chromatic6", "RAVL", "EBST", "SkipList", "LockAVL", "RBSTM", "SkipListSTM", "RBGlobal"} {
-		if _, ok := bench.Lookup(name); !ok {
+		f, ok := bench.Lookup(name)
+		if !ok {
 			t.Errorf("registry is missing %q", name)
+			continue
 		}
-	}
-	// Every ordered structure the registry exposes must satisfy OrderedMap
-	// through the shared engine or its own query layer.
-	for _, name := range []string{"Chromatic", "Chromatic6", "RAVL", "EBST"} {
-		f, _ := bench.Lookup(name)
 		if _, ok := f.New().(dict.IntOrderedMap); !ok {
 			t.Errorf("%s does not implement dict.OrderedMap", name)
 		}
 	}
 	if err := quickSmoke(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRegistryAndFigure8StayInSync is the parity test between the benchmark
+// registry and the Figure-8 structure list: every experiment's default grid
+// must cover exactly the registered structures, every listed name must
+// resolve through Lookup, and every factory must construct a structure that
+// reports the name it is registered under.
+func TestRegistryAndFigure8StayInSync(t *testing.T) {
+	if !reflect.DeepEqual(bench.Figure8Structures(), bench.Names()) {
+		t.Fatalf("Figure8Structures() = %v, registry Names() = %v",
+			bench.Figure8Structures(), bench.Names())
+	}
+	for _, name := range bench.Figure8Structures() {
+		f, ok := bench.Lookup(name)
+		if !ok {
+			t.Errorf("Figure-8 structure %q does not resolve through Lookup", name)
+			continue
+		}
+		d := f.New()
+		named, ok := d.(dict.Named)
+		if !ok {
+			t.Errorf("%s does not implement dict.Named", name)
+			continue
+		}
+		if got := named.Name(); got != name {
+			t.Errorf("factory %q constructs a structure reporting Name() = %q", name, got)
+		}
+	}
+	// The sequential reference factory stays out of the concurrent grid.
+	seq := bench.SequentialRBTFactory()
+	for _, name := range bench.Figure8Structures() {
+		if name == seq.Name {
+			t.Errorf("sequential-only %q must not be in the Figure-8 grid", seq.Name)
+		}
 	}
 }
 

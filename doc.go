@@ -10,10 +10,15 @@
 // compares against, plus the workload generator and throughput harness that
 // regenerate the paper's figures. The dictionary stack is generic end to
 // end: dict.Map[K, V] / dict.OrderedMap[K, V] are the canonical interfaces,
-// the trees are parameterized by a key comparator (with NewOrdered fast
-// paths for cmp.Ordered keys), and the historical int64 instantiations
-// survive as the dict.IntMap / dict.IntOrderedMap / dict.IntFactory aliases
-// the benchmark registry uses.
+// and every structure - the LLX/SCX trees and the five baselines (lock-free
+// skip list, lock-based AVL, STM red-black tree and skip list, sequential
+// red-black tree) alike - is parameterized by a key comparator with
+// NewOrdered fast paths for cmp.Ordered keys (plus a concrete string-key
+// specialization in the trees). The historical int64 instantiations survive
+// as the dict.IntMap / dict.IntOrderedMap / dict.IntFactory aliases the
+// benchmark registry uses, and every registered structure is an ordered
+// map, so one conformance/fuzz/stress suite and one Figure-8 grid cover
+// them all.
 //
 // The update hot path is allocation-lean, matching the compact SCX records
 // of the paper's Java implementation: an SCX-record stores its evidence in

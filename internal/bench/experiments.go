@@ -58,7 +58,7 @@ func (o Options) withDefaults() Options {
 		o.KeyRanges = PaperKeyRanges()
 	}
 	if len(o.Structures) == 0 {
-		o.Structures = Names()
+		o.Structures = Figure8Structures()
 	}
 	if o.Seed == 0 {
 		o.Seed = 1

@@ -29,6 +29,7 @@ import (
 	"cmp"
 	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/llxscx"
 )
 
@@ -192,8 +193,21 @@ func NewLess[K, V any](less func(a, b K) bool, opts ...Option) *Tree[K, V] {
 // comparator call per node on the read path.
 func NewOrdered[K cmp.Ordered, V any](opts ...Option) *Tree[K, V] {
 	t := NewLess[K, V](cmp.Less[K], opts...)
-	t.searchFn = searchOrdered[K, V]
+	t.searchFn, _ = orderedSearchFor[K, V]()
 	return t
+}
+
+// orderedSearchFor selects the search routine a NewOrdered tree installs:
+// the concrete string specialization when K is string (the type assertion
+// succeeds exactly then), the generic cmp.Ordered specialization otherwise.
+// The boolean reports whether the string specialization was chosen; it
+// exists for the construction tests, since the function values themselves
+// are hidden behind instantiation wrappers.
+func orderedSearchFor[K cmp.Ordered, V any]() (func(*Tree[K, V], K) (gp, p, l *node[K, V], violations int), bool) {
+	if fn, ok := any(searchString[V]).(func(*Tree[K, V], K) (gp, p, l *node[K, V], violations int)); ok {
+		return fn, true
+	}
+	return searchOrdered[K, V], false
 }
 
 // New returns an empty chromatic tree with int64 keys and values, the
@@ -312,6 +326,34 @@ func searchOrdered[K cmp.Ordered, V any](t *Tree[K, V], key K) (gp, p, l *node[K
 	return gp, p, l, violations
 }
 
+// searchString is searchOrdered instantiated at the concrete string type.
+// Generic instantiations are compiled per GC shape, where the comparison and
+// key loads go through the shape dictionary; pinning K to string lets the
+// compiler emit the direct string-compare call. NewOrdered[string, V]
+// installs it via the type assertion above, which succeeds exactly when K is
+// string.
+func searchString[V any](t *Tree[string, V], key string) (gp, p, l *node[string, V], violations int) {
+	gp = nil
+	p = t.entry
+	l = t.entry.left.Load()
+	if violationAt(p, l) {
+		violations++
+	}
+	for !l.leaf {
+		gp = p
+		p = l
+		if l.inf || key < l.k {
+			l = l.left.Load()
+		} else {
+			l = l.right.Load()
+		}
+		if violationAt(p, l) {
+			violations++
+		}
+	}
+	return gp, p, l, violations
+}
+
 // violationAt reports whether a violation (overweight or red-red) occurs at
 // child given its parent.
 func violationAt[K, V any](parent, child *node[K, V]) bool {
@@ -353,10 +395,16 @@ type updateResult[V any] struct {
 // value (with true) if key was already present, or the zero value and false
 // otherwise.
 func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
-	for {
+	// A failed attempt means a concurrent update won the SCX in this
+	// neighbourhood; back off (bounded, randomized, growing with the failure
+	// count) before re-searching so heavy contention on a small key range
+	// does not degenerate into a storm of wasted re-searches.
+	for fails := 0; ; {
 		_, p, l, viol := t.search(key)
 		res, ok := t.tryInsert(p, l, key, value)
 		if !ok {
+			fails++
+			core.BackoffWait(fails)
 			continue
 		}
 		if res.createdViolation && viol+1 > t.allowed {
@@ -373,7 +421,7 @@ func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 // it the right primitive for sharing per-key state (for example a counter)
 // between concurrent writers.
 func (t *Tree[K, V]) LoadOrStore(key K, value V) (actual V, loaded bool) {
-	for {
+	for fails := 0; ; {
 		_, p, l, viol := t.search(key)
 		if t.isKey(key, l) {
 			// The key was present while l was on the search path; linearize
@@ -382,6 +430,8 @@ func (t *Tree[K, V]) LoadOrStore(key K, value V) (actual V, loaded bool) {
 		}
 		res, ok := t.tryInsert(p, l, key, value)
 		if !ok {
+			fails++
+			core.BackoffWait(fails)
 			continue
 		}
 		if res.createdViolation && viol+1 > t.allowed {
@@ -394,10 +444,12 @@ func (t *Tree[K, V]) LoadOrStore(key K, value V) (actual V, loaded bool) {
 // Delete removes key and returns the value that was associated with it (with
 // true), or the zero value and false if key was not present.
 func (t *Tree[K, V]) Delete(key K) (V, bool) {
-	for {
+	for fails := 0; ; {
 		gp, p, l, viol := t.search(key)
 		res, ok := t.tryDelete(gp, p, l, key)
 		if !ok {
+			fails++
+			core.BackoffWait(fails)
 			continue
 		}
 		if res.createdViolation && viol+1 > t.allowed {

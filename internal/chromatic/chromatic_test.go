@@ -617,3 +617,30 @@ func TestConcurrentReadersDuringUpdates(t *testing.T) {
 		t.Fatalf("invariants: %v", err)
 	}
 }
+
+// TestNewOrderedInstallsSpecializedSearch pins the constructor-time search
+// selection: string-keyed trees get the concrete string specialization,
+// other cmp.Ordered keys the generic one, and the specialized search must
+// agree with the comparator-based loop.
+func TestNewOrderedInstallsSpecializedSearch(t *testing.T) {
+	if _, specialized := orderedSearchFor[string, int64](); !specialized {
+		t.Fatal("orderedSearchFor[string, V] did not select searchString")
+	}
+	if _, specialized := orderedSearchFor[int64, int64](); specialized {
+		t.Fatal("orderedSearchFor[int64, V] selected the string specialization")
+	}
+	st := NewOrdered[string, int64]()
+	lt := NewLess[string, int64](func(a, b string) bool { return a < b })
+	keys := []string{"b", "a", "c/long", "c", "aa", ""}
+	for i, k := range keys {
+		st.Insert(k, int64(i))
+		lt.Insert(k, int64(i))
+	}
+	for _, k := range append(keys, "zz", "ab") {
+		sv, sok := st.Get(k)
+		lv, lok := lt.Get(k)
+		if sv != lv || sok != lok {
+			t.Fatalf("Get(%q): specialized (%d,%v), comparator (%d,%v)", k, sv, sok, lv, lok)
+		}
+	}
+}

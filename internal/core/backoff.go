@@ -1,0 +1,46 @@
+package core
+
+import (
+	"math/rand/v2"
+	"runtime"
+)
+
+// maxBackoffSpins bounds the exponential growth of BackoffWait. The cap
+// keeps the worst-case wait small (a few hundred scheduler yields) so a
+// backed-off operation still reacts quickly once contention drains; the
+// randomization below breaks the convoys that a deterministic wait would
+// re-form.
+const maxBackoffSpins = 1 << 8
+
+// BackoffWait is the bounded randomized exponential backoff for optimistic
+// retry loops: template-update (SCX) retries and ordered-query (VLX)
+// validation retries. It waits for a randomized number of scheduler yields
+// bounded by min(2^(failures-1), maxBackoffSpins), where failures is the
+// operation's count of consecutive failed attempts; failures <= 0 waits
+// nothing, so callers can invoke it unconditionally at the top of a retry
+// loop with the attempt number.
+//
+// Failed SCX and VLX attempts mean another operation succeeded in the same
+// neighbourhood, so the system as a whole made progress (the non-blocking
+// guarantee is untouched); backing off before re-searching trades a little
+// latency on the contended path for far fewer wasted re-searches and failed
+// CASes when many updaters hammer a small key range — the regime where the
+// paper's 50i-50d cells scale worst.
+//
+// The failure count is deliberately a plain int owned by the caller rather
+// than a struct with a Wait method: an addressable backoff local inside a
+// hot retry loop measurably degrades the surrounding codegen even on the
+// uncontended path where Wait is never called.
+func BackoffWait(failures int) {
+	if failures <= 0 {
+		return
+	}
+	limit := maxBackoffSpins
+	if shift := failures - 1; shift < 8 {
+		limit = 1 << shift
+	}
+	spins := rand.IntN(limit) + 1
+	for i := 0; i < spins; i++ {
+		runtime.Gosched()
+	}
+}

@@ -209,11 +209,26 @@ func New[K, V any](less func(a, b K) bool, pol Policy[K, V]) *Tree[K, V] {
 // NewOrdered returns an empty tree over a naturally ordered key type,
 // balanced by pol. It behaves exactly like New with cmp.Less, but installs
 // a search routine specialized to the native `<` operator, removing the
-// indirect comparator call per node on the read path.
+// indirect comparator call per node on the read path. String keys get a
+// further specialization to the concrete string comparison (see
+// searchString).
 func NewOrdered[K cmp.Ordered, V any](pol Policy[K, V]) *Tree[K, V] {
 	t := New(cmp.Less[K], pol)
-	t.searchFn = searchOrdered[K, V]
+	t.searchFn, _ = orderedSearchFor[K, V]()
 	return t
+}
+
+// orderedSearchFor selects the search routine a NewOrdered tree installs:
+// the concrete string specialization when K is string (the type assertion
+// succeeds exactly then), the generic cmp.Ordered specialization otherwise.
+// The boolean reports whether the string specialization was chosen; it
+// exists for the construction tests, since the function values themselves
+// are hidden behind instantiation wrappers.
+func orderedSearchFor[K cmp.Ordered, V any]() (func(*Tree[K, V], K) (gp, p, l *Node[K, V]), bool) {
+	if fn, ok := any(searchString[V]).(func(*Tree[K, V], K) (gp, p, l *Node[K, V])); ok {
+		return fn, true
+	}
+	return searchOrdered[K, V], false
 }
 
 // Name identifies the data structure in benchmark reports.
@@ -261,6 +276,26 @@ func searchLess[K, V any](t *Tree[K, V], key K) (gp, p, l *Node[K, V]) {
 // identical to searchLess, but the per-node comparison is the native `<` of
 // a cmp.Ordered key type instead of an indirect call through t.less.
 func searchOrdered[K cmp.Ordered, V any](t *Tree[K, V], key K) (gp, p, l *Node[K, V]) {
+	p = t.entry
+	l = t.entry.left.Load()
+	for !l.Leaf {
+		gp, p = p, l
+		if l.Inf || key < l.K {
+			l = l.left.Load()
+		} else {
+			l = l.right.Load()
+		}
+	}
+	return gp, p, l
+}
+
+// searchString is searchOrdered instantiated at the concrete string type.
+// Generic instantiations are compiled per GC shape, where the comparison and
+// key loads go through the shape dictionary; pinning K to string lets the
+// compiler emit the direct string-compare call. NewOrdered[string, V]
+// installs it via the type assertion above, which succeeds exactly when K is
+// string.
+func searchString[V any](t *Tree[string, V], key string) (gp, p, l *Node[string, V]) {
 	p = t.entry
 	l = t.entry.left.Load()
 	for !l.Leaf {
@@ -349,7 +384,11 @@ func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 			return insertResult[V]{}
 		},
 	}
-	for {
+	// A failed attempt means a concurrent update won the SCX in this
+	// neighbourhood; back off (bounded, randomized, growing with the failure
+	// count) before re-searching so heavy contention on a small key range
+	// does not degenerate into a storm of wasted re-searches.
+	for fails := 0; ; {
 		_, p, l = t.searchFn(t, key)
 		inserted = nil
 		if res, ok := tmpl.Run(p); ok {
@@ -358,6 +397,8 @@ func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 			}
 			return res.old, res.existed
 		}
+		fails++
+		core.BackoffWait(fails)
 	}
 }
 
@@ -414,7 +455,7 @@ func (t *Tree[K, V]) Delete(key K) (V, bool) {
 		},
 		Result: func(seq []llxscx.Linked[Node[K, V]]) V { return l.V },
 	}
-	for {
+	for fails := 0; ; {
 		gp, p, l = t.searchFn(t, key)
 		if gp == nil || !t.isKey(key, l) {
 			var zero V
@@ -427,6 +468,8 @@ func (t *Tree[K, V]) Delete(key K) (V, bool) {
 			}
 			return v, true
 		}
+		fails++
+		core.BackoffWait(fails)
 	}
 }
 

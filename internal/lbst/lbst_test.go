@@ -168,3 +168,41 @@ func TestEngineOrderedQueriesUnderConcurrency(t *testing.T) {
 		t.Fatalf("CheckStructure at quiescence: %v", err)
 	}
 }
+
+// genPolicy is the trivial policy at an arbitrary instantiation, used by
+// the construction tests below.
+type genPolicy[K, V any] struct{}
+
+func (genPolicy[K, V]) Name() string                              { return "nop" }
+func (genPolicy[K, V]) InternalDeco() int64                       { return 0 }
+func (genPolicy[K, V]) CreatesViolation(_, _, _ *Node[K, V]) bool { return false }
+func (genPolicy[K, V]) Violation(*Node[K, V]) bool                { return false }
+func (genPolicy[K, V]) Rebalance(_, _ *Node[K, V]) bool           { return false }
+
+// TestNewOrderedInstallsSpecializedSearch pins the constructor-time search
+// selection: int64 trees get the generic cmp.Ordered specialization, string
+// trees the concrete string one, and both must behave identically to the
+// comparator-based loop.
+func TestNewOrderedInstallsSpecializedSearch(t *testing.T) {
+	if _, specialized := orderedSearchFor[string, int64](); !specialized {
+		t.Fatal("orderedSearchFor[string, V] did not select searchString")
+	}
+	if _, specialized := orderedSearchFor[int64, int64](); specialized {
+		t.Fatal("orderedSearchFor[int64, V] selected the string specialization")
+	}
+	// The specialized search must agree with the comparator-based loop.
+	st := NewOrdered[string, int64](genPolicy[string, int64]{})
+	lt := New[string, int64](func(a, b string) bool { return a < b }, genPolicy[string, int64]{})
+	keys := []string{"b", "a", "c/long", "c", "aa", ""}
+	for i, k := range keys {
+		st.Insert(k, int64(i))
+		lt.Insert(k, int64(i))
+	}
+	for _, k := range append(keys, "zz", "ab") {
+		sv, sok := st.Get(k)
+		lv, lok := lt.Get(k)
+		if sv != lv || sok != lok {
+			t.Fatalf("Get(%q): specialized (%d,%v), comparator (%d,%v)", k, sv, sok, lv, lok)
+		}
+	}
+}

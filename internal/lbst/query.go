@@ -1,6 +1,9 @@
 package lbst
 
-import "repro/internal/llxscx"
+import (
+	"repro/internal/core"
+	"repro/internal/llxscx"
+)
 
 // This file implements the ordered queries of Section 5.5 of the paper -
 // Successor and Predecessor - generically, so that every leaf-oriented BST
@@ -52,8 +55,13 @@ const pathBufCap = 48
 func Successor[P View[N, K, V], N, K, V any](entry P, less func(K, K) bool, key K) (k K, v V, ok bool) {
 	var buf [pathBufCap]llxscx.Linked[N]
 	path := buf[:0]
+	// Every retry means an LLX or the VLX lost to a concurrent update on the
+	// connecting path; back off (bounded, randomized, growing with the retry
+	// count) before re-walking so queries make progress under heavy update
+	// load instead of re-validating a path that keeps changing.
 retry:
-	for {
+	for attempt := 0; ; attempt++ {
+		core.BackoffWait(attempt)
 		path = path[:0]
 		var lkLastLeft llxscx.Linked[N]
 		haveLastLeft := false
@@ -127,7 +135,8 @@ func Predecessor[P View[N, K, V], N, K, V any](entry P, less func(K, K) bool, ke
 	var buf [pathBufCap]llxscx.Linked[N]
 	path := buf[:0]
 retry:
-	for {
+	for attempt := 0; ; attempt++ {
+		core.BackoffWait(attempt)
 		path = path[:0]
 		var lkLastRight llxscx.Linked[N]
 		haveLastRight := false
@@ -237,7 +246,8 @@ func Min[P View[N, K, V], N, K, V any](entry P) (k K, v V, ok bool) {
 	var buf [pathBufCap]llxscx.Linked[N]
 	path := buf[:0]
 retry:
-	for {
+	for attempt := 0; ; attempt++ {
+		core.BackoffWait(attempt)
 		path = path[:0]
 		var nilNode P
 		l := entry
@@ -273,7 +283,8 @@ func Max[P View[N, K, V], N, K, V any](entry P) (k K, v V, ok bool) {
 	var buf [pathBufCap]llxscx.Linked[N]
 	path := buf[:0]
 retry:
-	for {
+	for attempt := 0; ; attempt++ {
+		core.BackoffWait(attempt)
 		path = path[:0]
 		var nilNode P
 		lkE, st := llxscx.LLX(entry)

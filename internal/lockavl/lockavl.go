@@ -12,41 +12,53 @@
 // to retry while rotations are in flight; under update-heavy workloads this
 // is exactly the behaviour that lets the non-blocking chromatic tree pull
 // ahead in the paper's Figure 8.
+//
+// The tree is generic over the key and value types and implements
+// dict.OrderedMap[K, V]: NewOrdered builds a tree over any cmp.Ordered key
+// type (installing search walks devirtualized to the native `<` operator),
+// NewLess accepts an arbitrary comparator (see dict.Less for the contract),
+// and New keeps the historical int64 instantiation used by the benchmark
+// registry.
 package lockavl
 
 import (
+	"cmp"
 	"sync"
 	"sync/atomic"
 )
 
-type node struct {
-	key int64
+type node[K, V any] struct {
+	key K
 
 	mu      sync.Mutex
-	value   atomic.Int64
+	value   atomic.Pointer[V]
 	present atomic.Bool // false for routing nodes (logically deleted)
 	removed atomic.Bool // true once physically unlinked
 
-	left, right atomic.Pointer[node]
-	parent      atomic.Pointer[node]
+	left, right atomic.Pointer[node[K, V]]
+	parent      atomic.Pointer[node[K, V]]
 	height      atomic.Int32
 }
 
-func (n *node) child(right bool) *atomic.Pointer[node] {
+func (n *node[K, V]) child(right bool) *atomic.Pointer[node[K, V]] {
 	if right {
 		return &n.right
 	}
 	return &n.left
 }
 
-func heightOf(n *node) int32 {
+func (n *node[K, V]) val() V { return *n.value.Load() }
+
+func (n *node[K, V]) setVal(v V) { n.value.Store(&v) }
+
+func heightOf[K, V any](n *node[K, V]) int32 {
 	if n == nil {
 		return 0
 	}
 	return n.height.Load()
 }
 
-func (n *node) fixHeight() {
+func (n *node[K, V]) fixHeight() {
 	lh, rh := heightOf(n.left.Load()), heightOf(n.right.Load())
 	if lh > rh {
 		n.height.Store(lh + 1)
@@ -55,17 +67,19 @@ func (n *node) fixHeight() {
 	}
 }
 
-func balanceOf(n *node) int32 {
+func balanceOf[K, V any](n *node[K, V]) int32 {
 	return heightOf(n.left.Load()) - heightOf(n.right.Load())
 }
 
 // Tree is a concurrent ordered dictionary backed by a lock-based relaxed
-// AVL tree. It is safe for concurrent use. Use New to create one.
-type Tree struct {
+// AVL tree. It is safe for concurrent use. Use New, NewOrdered or NewLess
+// to create one.
+type Tree[K, V any] struct {
 	// rootHolder is a sentinel whose right child is the root of the tree; it
 	// is never removed, which removes special cases for an empty tree and
 	// for rotations at the root.
-	rootHolder *node
+	rootHolder *node[K, V]
+	less       func(a, b K) bool
 	// structMods counts completed structural modifications (rotations and
 	// unlinks) and inFlight counts the ones currently in progress; together
 	// they let optimistic readers detect that their traversal overlapped a
@@ -74,14 +88,21 @@ type Tree struct {
 	structMods atomic.Uint64
 	inFlight   atomic.Int64
 	size       atomic.Int64
+
+	// getFn and locateFn are the structure's per-node search walks, selected
+	// at construction: NewLess installs the comparator-based loops,
+	// NewOrdered specializations comparing with the native `<` (one indirect
+	// call per operation instead of one per node).
+	getFn    func(t *Tree[K, V], key K) (V, bool)
+	locateFn func(t *Tree[K, V], key K) (parent, found *node[K, V])
 }
 
 // beginStructMod marks the start of a structural modification (a rotation or
 // an unlink). It must be paired with endStructMod.
-func (t *Tree) beginStructMod() { t.inFlight.Add(1) }
+func (t *Tree[K, V]) beginStructMod() { t.inFlight.Add(1) }
 
 // endStructMod marks the end of a structural modification.
-func (t *Tree) endStructMod() {
+func (t *Tree[K, V]) endStructMod() {
 	t.structMods.Add(1)
 	t.inFlight.Add(-1)
 }
@@ -89,55 +110,109 @@ func (t *Tree) endStructMod() {
 // structuresStable reports whether no structural modification completed since
 // stamp was taken and none is currently in flight; only then may the result
 // of an optimistic traversal be trusted.
-func (t *Tree) structuresStable(stamp uint64) bool {
+func (t *Tree[K, V]) structuresStable(stamp uint64) bool {
 	return t.structMods.Load() == stamp && t.inFlight.Load() == 0
 }
 
-// New returns an empty tree.
-func New() *Tree {
-	holder := &node{key: 0}
+// NewLess returns an empty tree whose keys are ordered by less.
+func NewLess[K, V any](less func(a, b K) bool) *Tree[K, V] {
+	holder := &node[K, V]{}
 	holder.present.Store(false)
-	return &Tree{rootHolder: holder}
+	return &Tree[K, V]{rootHolder: holder, less: less,
+		getFn: getLess[K, V], locateFn: locateLess[K, V]}
 }
 
+// NewOrdered returns an empty tree over a naturally ordered key type. It
+// behaves exactly like NewLess with cmp.Less, but installs search walks
+// specialized to the native `<` operator, removing the indirect comparator
+// call per node on the hot paths (Get and the update locate).
+func NewOrdered[K cmp.Ordered, V any]() *Tree[K, V] {
+	t := NewLess[K, V](cmp.Less[K])
+	t.getFn = getOrdered[K, V]
+	t.locateFn = locateOrdered[K, V]
+	return t
+}
+
+// New returns an empty tree with int64 keys and values, the instantiation
+// the benchmark registry and the paper's figures use.
+func New() *Tree[int64, int64] { return NewOrdered[int64, int64]() }
+
+// IntTree is the historical int64 instantiation used by the benchmark
+// registry.
+type IntTree = Tree[int64, int64]
+
 // Name identifies the data structure in benchmark reports.
-func (t *Tree) Name() string { return "LockAVL" }
+func (t *Tree[K, V]) Name() string { return "LockAVL" }
 
 // Size returns the number of keys stored. It is maintained with atomic
 // counters and is exact at quiescence.
-func (t *Tree) Size() int { return int(t.size.Load()) }
+func (t *Tree[K, V]) Size() int { return int(t.size.Load()) }
 
-// Get returns the value associated with key, or (0, false) if absent. It
-// never blocks: it traverses optimistically and retries only if a concurrent
-// structural modification could have hidden the key.
-func (t *Tree) Get(key int64) (int64, bool) {
+// Get returns the value associated with key, or the zero value and false if
+// absent. It never blocks: it traverses optimistically and retries only if a
+// concurrent structural modification could have hidden the key.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	return t.getFn(t, key)
+}
+
+// getLess is the comparator-based Get walk installed by NewLess.
+func getLess[K, V any](t *Tree[K, V], key K) (V, bool) {
 	for {
 		stamp := t.structMods.Load()
 		n := t.rootHolder.right.Load()
 		for n != nil {
-			if key == n.key {
-				if n.present.Load() {
-					return n.value.Load(), true
-				}
-				break
-			}
-			if key < n.key {
+			switch {
+			case t.less(key, n.key):
 				n = n.left.Load()
-			} else {
+			case t.less(n.key, key):
 				n = n.right.Load()
+			default:
+				if n.present.Load() {
+					return n.val(), true
+				}
+				n = nil
 			}
 		}
 		// Key not found (or only a routing node found): the answer is
 		// trustworthy only if no rotation or unlink overlapped the search.
 		if t.structuresStable(stamp) {
-			return 0, false
+			var zero V
+			return zero, false
+		}
+	}
+}
+
+// getOrdered is the devirtualized Get walk installed by NewOrdered:
+// identical to getLess, but the per-node comparison is the native `<` of a
+// cmp.Ordered key type instead of an indirect call through t.less.
+func getOrdered[K cmp.Ordered, V any](t *Tree[K, V], key K) (V, bool) {
+	for {
+		stamp := t.structMods.Load()
+		n := t.rootHolder.right.Load()
+		for n != nil {
+			switch {
+			case key < n.key:
+				n = n.left.Load()
+			case n.key < key:
+				n = n.right.Load()
+			default:
+				if n.present.Load() {
+					return n.val(), true
+				}
+				n = nil
+			}
+		}
+		if t.structuresStable(stamp) {
+			var zero V
+			return zero, false
 		}
 	}
 }
 
 // Insert associates value with key, returning the previous value and true if
 // key was present.
-func (t *Tree) Insert(key, value int64) (int64, bool) {
+func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
+	var zero V
 	for {
 		stamp := t.structMods.Load()
 		parent, found := t.locate(key)
@@ -148,17 +223,17 @@ func (t *Tree) Insert(key, value int64) (int64, bool) {
 				continue
 			}
 			if found.present.Load() {
-				old := found.value.Load()
-				found.value.Store(value)
+				old := found.val()
+				found.setVal(value)
 				found.mu.Unlock()
 				return old, true
 			}
 			// Reactivate a routing node left behind by a logical deletion.
-			found.value.Store(value)
+			found.setVal(value)
 			found.present.Store(true)
 			found.mu.Unlock()
 			t.size.Add(1)
-			return 0, false
+			return zero, false
 		}
 		// Attach a fresh leaf under parent.
 		parent.mu.Lock()
@@ -166,7 +241,7 @@ func (t *Tree) Insert(key, value int64) (int64, bool) {
 			parent.mu.Unlock()
 			continue
 		}
-		right := key >= parent.key
+		right := !t.less(key, parent.key)
 		if parent == t.rootHolder {
 			right = true
 		}
@@ -182,8 +257,8 @@ func (t *Tree) Insert(key, value int64) (int64, bool) {
 			parent.mu.Unlock()
 			continue
 		}
-		fresh := &node{key: key}
-		fresh.value.Store(value)
+		fresh := &node[K, V]{key: key}
+		fresh.setVal(value)
 		fresh.present.Store(true)
 		fresh.height.Store(1)
 		fresh.parent.Store(parent)
@@ -191,18 +266,19 @@ func (t *Tree) Insert(key, value int64) (int64, bool) {
 		parent.mu.Unlock()
 		t.size.Add(1)
 		t.rebalanceFrom(parent)
-		return 0, false
+		return zero, false
 	}
 }
 
 // Delete removes key, returning its value and true if it was present. Nodes
 // with two children are deleted logically (they remain as routing nodes);
 // nodes with at most one child are unlinked.
-func (t *Tree) Delete(key int64) (int64, bool) {
+func (t *Tree[K, V]) Delete(key K) (V, bool) {
+	var zero V
 	for {
 		_, found := t.locate(key)
 		if found == nil {
-			return 0, false
+			return zero, false
 		}
 		found.mu.Lock()
 		if found.removed.Load() {
@@ -211,12 +287,12 @@ func (t *Tree) Delete(key int64) (int64, bool) {
 		}
 		if !found.present.Load() {
 			found.mu.Unlock()
-			return 0, false
+			return zero, false
 		}
 		left, right := found.left.Load(), found.right.Load()
 		if left != nil && right != nil {
 			// Two children: logical deletion only.
-			old := found.value.Load()
+			old := found.val()
 			found.present.Store(false)
 			found.mu.Unlock()
 			t.size.Add(-1)
@@ -237,18 +313,43 @@ func (t *Tree) Delete(key int64) (int64, bool) {
 // locate performs an optimistic traversal and returns the node with the key
 // (if any reachable node carries it) and otherwise the last node visited,
 // which is the attachment point for an insertion.
-func (t *Tree) locate(key int64) (parent *node, found *node) {
+func (t *Tree[K, V]) locate(key K) (parent *node[K, V], found *node[K, V]) {
+	return t.locateFn(t, key)
+}
+
+// locateLess is the comparator-based locate walk installed by NewLess.
+func locateLess[K, V any](t *Tree[K, V], key K) (parent, found *node[K, V]) {
 	parent = t.rootHolder
 	n := t.rootHolder.right.Load()
 	for n != nil {
-		if key == n.key {
+		switch {
+		case t.less(key, n.key):
+			parent = n
+			n = n.left.Load()
+		case t.less(n.key, key):
+			parent = n
+			n = n.right.Load()
+		default:
 			return parent, n
 		}
-		parent = n
-		if key < n.key {
+	}
+	return parent, nil
+}
+
+// locateOrdered is the devirtualized locate walk installed by NewOrdered.
+func locateOrdered[K cmp.Ordered, V any](t *Tree[K, V], key K) (parent, found *node[K, V]) {
+	parent = t.rootHolder
+	n := t.rootHolder.right.Load()
+	for n != nil {
+		switch {
+		case key < n.key:
+			parent = n
 			n = n.left.Load()
-		} else {
+		case n.key < key:
+			parent = n
 			n = n.right.Load()
+		default:
+			return parent, n
 		}
 	}
 	return parent, nil
@@ -257,10 +358,11 @@ func (t *Tree) locate(key int64) (parent *node, found *node) {
 // unlink physically removes a node that has at most one child. It returns
 // (value, present, done): done is false if validation failed and the caller
 // must retry.
-func (t *Tree) unlink(n *node) (int64, bool, bool) {
+func (t *Tree[K, V]) unlink(n *node[K, V]) (V, bool, bool) {
+	var zero V
 	parent := n.parent.Load()
 	if parent == nil {
-		return 0, false, false
+		return zero, false, false
 	}
 	parent.mu.Lock()
 	// The parent was read optimistically, so a concurrent rotation may have
@@ -269,22 +371,22 @@ func (t *Tree) unlink(n *node) (int64, bool, bool) {
 	// free of cycles.
 	if !n.mu.TryLock() {
 		parent.mu.Unlock()
-		return 0, false, false
+		return zero, false, false
 	}
 	defer n.mu.Unlock()
 	defer parent.mu.Unlock()
 
 	if parent.removed.Load() || n.removed.Load() || n.parent.Load() != parent {
-		return 0, false, false
+		return zero, false, false
 	}
 	if !n.present.Load() {
-		return 0, false, true
+		return zero, false, true
 	}
 	left, right := n.left.Load(), n.right.Load()
 	if left != nil && right != nil {
 		// Gained a second child since we last looked: fall back to logical
 		// deletion.
-		old := n.value.Load()
+		old := n.val()
 		n.present.Store(false)
 		return old, true, true
 	}
@@ -292,16 +394,16 @@ func (t *Tree) unlink(n *node) (int64, bool, bool) {
 	if child == nil {
 		child = right
 	}
-	var slot *atomic.Pointer[node]
+	var slot *atomic.Pointer[node[K, V]]
 	switch {
 	case parent.left.Load() == n:
 		slot = &parent.left
 	case parent.right.Load() == n:
 		slot = &parent.right
 	default:
-		return 0, false, false
+		return zero, false, false
 	}
-	old := n.value.Load()
+	old := n.val()
 	t.beginStructMod()
 	if child != nil {
 		child.parent.Store(parent)
@@ -317,7 +419,7 @@ func (t *Tree) unlink(n *node) (int64, bool, bool) {
 // rebalanceFrom walks from n towards the root, refreshing heights and
 // applying single or double rotations wherever the relaxed AVL condition is
 // violated by two or more.
-func (t *Tree) rebalanceFrom(n *node) {
+func (t *Tree[K, V]) rebalanceFrom(n *node[K, V]) {
 	for n != nil && n != t.rootHolder {
 		t.rebalanceNode(n)
 		n = n.parent.Load()
@@ -329,7 +431,7 @@ func (t *Tree) rebalanceFrom(n *node) {
 // defers the walk to after those locks are released by only fixing heights
 // here. (The next update passing through will complete any remaining
 // rotations — this laziness is precisely the "relaxed" in relaxed balance.)
-func (t *Tree) rebalanceFromLocked(n *node) {
+func (t *Tree[K, V]) rebalanceFromLocked(n *node[K, V]) {
 	for m := n; m != nil && m != t.rootHolder; m = m.parent.Load() {
 		m.fixHeight()
 	}
@@ -337,7 +439,7 @@ func (t *Tree) rebalanceFromLocked(n *node) {
 
 // rebalanceNode locks n's parent, n and the relevant child, re-validates the
 // links and performs a rotation if n is unbalanced.
-func (t *Tree) rebalanceNode(n *node) {
+func (t *Tree[K, V]) rebalanceNode(n *node[K, V]) {
 	parent := n.parent.Load()
 	if parent == nil {
 		return
@@ -386,12 +488,12 @@ func (t *Tree) rebalanceNode(n *node) {
 
 // rotate performs a right rotation (rotateRight == true) or left rotation at
 // n. The caller must hold the locks of n's parent and of n.
-func (t *Tree) rotate(n *node, rotateRight bool) {
+func (t *Tree[K, V]) rotate(n *node[K, V], rotateRight bool) {
 	parent := n.parent.Load()
 	if parent == nil {
 		return
 	}
-	var pivot *node
+	var pivot *node[K, V]
 	if rotateRight {
 		pivot = n.left.Load()
 	} else {
@@ -410,7 +512,7 @@ func (t *Tree) rotate(n *node, rotateRight bool) {
 	// Identify the parent's slot before touching anything, so a mismatch
 	// (which cannot occur while the caller holds the parent's lock, but is
 	// checked defensively) leaves the tree untouched.
-	var slot *atomic.Pointer[node]
+	var slot *atomic.Pointer[node[K, V]]
 	switch {
 	case parent.left.Load() == n:
 		slot = &parent.left
@@ -420,7 +522,7 @@ func (t *Tree) rotate(n *node, rotateRight bool) {
 		return
 	}
 	t.beginStructMod()
-	var moved *node
+	var moved *node[K, V]
 	if rotateRight {
 		moved = pivot.right.Load()
 		n.left.Store(moved)
@@ -444,15 +546,17 @@ func (t *Tree) rotate(n *node, rotateRight bool) {
 // Successor returns the smallest key strictly greater than key (only
 // considering present nodes). Routing nodes (logically deleted keys) are
 // stepped over by repeating the structural search from their key.
-func (t *Tree) Successor(key int64) (int64, int64, bool) {
+func (t *Tree[K, V]) Successor(key K) (K, V, bool) {
 	probe := key
 	for {
 		node, ok := t.structuralSuccessor(probe)
 		if !ok {
-			return 0, 0, false
+			var zk K
+			var zv V
+			return zk, zv, false
 		}
 		if node.present.Load() {
-			return node.key, node.value.Load(), true
+			return node.key, node.val(), true
 		}
 		probe = node.key
 	}
@@ -460,13 +564,13 @@ func (t *Tree) Successor(key int64) (int64, int64, bool) {
 
 // structuralSuccessor finds the node (present or routing) with the smallest
 // key strictly greater than key, validating against the structure stamp.
-func (t *Tree) structuralSuccessor(key int64) (*node, bool) {
+func (t *Tree[K, V]) structuralSuccessor(key K) (*node[K, V], bool) {
 	for {
 		stamp := t.structMods.Load()
-		var best *node
+		var best *node[K, V]
 		n := t.rootHolder.right.Load()
 		for n != nil {
-			if n.key > key {
+			if t.less(key, n.key) {
 				best = n
 				n = n.left.Load()
 			} else {
@@ -481,15 +585,17 @@ func (t *Tree) structuralSuccessor(key int64) (*node, bool) {
 
 // Predecessor returns the largest key strictly smaller than key (only
 // considering present nodes).
-func (t *Tree) Predecessor(key int64) (int64, int64, bool) {
+func (t *Tree[K, V]) Predecessor(key K) (K, V, bool) {
 	probe := key
 	for {
 		node, ok := t.structuralPredecessor(probe)
 		if !ok {
-			return 0, 0, false
+			var zk K
+			var zv V
+			return zk, zv, false
 		}
 		if node.present.Load() {
-			return node.key, node.value.Load(), true
+			return node.key, node.val(), true
 		}
 		probe = node.key
 	}
@@ -497,13 +603,13 @@ func (t *Tree) Predecessor(key int64) (int64, int64, bool) {
 
 // structuralPredecessor finds the node (present or routing) with the largest
 // key strictly smaller than key, validating against the structure stamp.
-func (t *Tree) structuralPredecessor(key int64) (*node, bool) {
+func (t *Tree[K, V]) structuralPredecessor(key K) (*node[K, V], bool) {
 	for {
 		stamp := t.structMods.Load()
-		var best *node
+		var best *node[K, V]
 		n := t.rootHolder.right.Load()
 		for n != nil {
-			if n.key < key {
+			if t.less(n.key, key) {
 				best = n
 				n = n.right.Load()
 			} else {
@@ -517,10 +623,10 @@ func (t *Tree) structuralPredecessor(key int64) (*node, bool) {
 }
 
 // Keys returns all present keys in ascending order. Quiescence only.
-func (t *Tree) Keys() []int64 {
-	var keys []int64
-	var walk func(n *node)
-	walk = func(n *node) {
+func (t *Tree[K, V]) Keys() []K {
+	var keys []K
+	var walk func(n *node[K, V])
+	walk = func(n *node[K, V]) {
 		if n == nil {
 			return
 		}
@@ -536,9 +642,9 @@ func (t *Tree) Keys() []int64 {
 
 // Height returns the height of the tree (including routing nodes).
 // Quiescence only.
-func (t *Tree) Height() int {
-	var h func(n *node) int
-	h = func(n *node) int {
+func (t *Tree[K, V]) Height() int {
+	var h func(n *node[K, V]) int
+	h = func(n *node[K, V]) int {
 		if n == nil {
 			return 0
 		}
@@ -553,20 +659,20 @@ func (t *Tree) Height() int {
 
 // CheckInvariants verifies the BST order over all reachable nodes and the
 // parent-pointer consistency. Quiescence only.
-func (t *Tree) CheckInvariants() error {
+func (t *Tree[K, V]) CheckInvariants() error {
 	root := t.rootHolder.right.Load()
 	if root == nil {
 		return nil
 	}
-	var check func(n *node, lo, hi *int64) error
-	check = func(n *node, lo, hi *int64) error {
+	var check func(n *node[K, V], lo, hi *K) error
+	check = func(n *node[K, V], lo, hi *K) error {
 		if n == nil {
 			return nil
 		}
-		if lo != nil && n.key <= *lo {
+		if lo != nil && !t.less(*lo, n.key) {
 			return errOrder
 		}
-		if hi != nil && n.key >= *hi {
+		if hi != nil && !t.less(n.key, *hi) {
 			return errOrder
 		}
 		if n.removed.Load() {

@@ -1,12 +1,28 @@
 package lockavl
 
 import (
+	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 	"testing"
-	"testing/quick"
+
+	"repro/internal/dict"
+	"repro/internal/dict/dicttest"
 )
+
+// target is the shared-suite target for the int64 instantiation: the
+// model-based conformance, fuzz and stress logic lives in
+// internal/dict/dicttest; this package only supplies the constructor and the
+// quiescent invariant check.
+func target() dicttest.Target {
+	return dicttest.Target{
+		Name: "LockAVL",
+		New:  func() dict.IntMap { return New() },
+		Check: func(d dict.IntMap) error {
+			return d.(*Tree[int64, int64]).CheckInvariants()
+		},
+	}
+}
 
 func TestBasicOperations(t *testing.T) {
 	tr := New()
@@ -60,54 +76,48 @@ func TestLogicalDeleteAndReinsert(t *testing.T) {
 	}
 }
 
-func TestAgainstModel(t *testing.T) {
-	tr := New()
-	model := map[int64]int64{}
-	rng := rand.New(rand.NewSource(3))
-	for i := 0; i < 30000; i++ {
-		key := rng.Int63n(600)
-		switch rng.Intn(3) {
-		case 0:
-			val := rng.Int63()
-			old, existed := tr.Insert(key, val)
-			mOld, mExisted := model[key]
-			if existed != mExisted || (existed && old != mOld) {
-				t.Fatalf("Insert(%d) mismatch at op %d", key, i)
-			}
-			model[key] = val
-		case 1:
-			old, existed := tr.Delete(key)
-			mOld, mExisted := model[key]
-			if existed != mExisted || (existed && old != mOld) {
-				t.Fatalf("Delete(%d) mismatch at op %d", key, i)
-			}
-			delete(model, key)
-		default:
-			v, ok := tr.Get(key)
-			mV, mOk := model[key]
-			if ok != mOk || (ok && v != mV) {
-				t.Fatalf("Get(%d) mismatch at op %d", key, i)
-			}
-		}
-		if i%10000 == 0 {
-			if err := tr.CheckInvariants(); err != nil {
-				t.Fatalf("invariants at op %d: %v", i, err)
-			}
-		}
+func TestSequentialConformance(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		dicttest.SequentialConformance(t, target(), 8000, 600, seed)
 	}
-	if tr.Size() != len(model) {
-		t.Fatalf("Size = %d, want %d", tr.Size(), len(model))
+	// A tiny key range maximizes routing-node churn per key.
+	dicttest.SequentialConformance(t, target(), 4000, 8, 99)
+}
+
+// TestComparatorPath runs the same conformance suite against a NewLess tree
+// with a reversed ordering, so the comparator-based walks (getLess/
+// locateLess) are exercised rather than the devirtualized ones New installs.
+func TestComparatorPath(t *testing.T) {
+	desc := func(a, b int64) bool { return a > b }
+	tgt := dicttest.TargetOf[int64, int64]{
+		Name: "LockAVL/desc",
+		New:  func() dict.Map[int64, int64] { return NewLess[int64, int64](desc) },
+		Less: desc,
+		Check: func(d dict.Map[int64, int64]) error {
+			return d.(*Tree[int64, int64]).CheckInvariants()
+		},
 	}
-	keys := tr.Keys()
-	if len(keys) != len(model) {
-		t.Fatalf("Keys() returned %d entries, want %d", len(keys), len(model))
+	dicttest.SequentialConformanceKV(t, tgt, 6000,
+		func(u uint64) int64 { return int64(u % 300) },
+		func(u uint64) int64 { return int64(u % (1 << 30)) },
+		7)
+}
+
+// TestStringKeys runs the conformance suite over the string-keyed
+// instantiation, exercising NewOrdered's generic construction path.
+func TestStringKeys(t *testing.T) {
+	tgt := dicttest.TargetOf[string, string]{
+		Name: "LockAVL/string",
+		New:  func() dict.Map[string, string] { return NewOrdered[string, string]() },
+		Less: func(a, b string) bool { return a < b },
+		Check: func(d dict.Map[string, string]) error {
+			return d.(*Tree[string, string]).CheckInvariants()
+		},
 	}
-	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
-		t.Fatal("keys not sorted")
-	}
-	if err := tr.CheckInvariants(); err != nil {
-		t.Fatal(err)
-	}
+	dicttest.SequentialConformanceKV(t, tgt, 6000,
+		func(u uint64) string { return fmt.Sprintf("k%03d", u%200) },
+		func(u uint64) string { return fmt.Sprintf("v%d", u%1024) },
+		5)
 }
 
 func TestBalanceUnderSequentialInsertions(t *testing.T) {
@@ -149,67 +159,8 @@ func TestSuccessorPredecessor(t *testing.T) {
 	}
 }
 
-func TestPropertyMatchesMapSemantics(t *testing.T) {
-	prop := func(ins []int16, del []int16) bool {
-		tr := New()
-		model := map[int64]bool{}
-		for _, k := range ins {
-			tr.Insert(int64(k), int64(k))
-			model[int64(k)] = true
-		}
-		for _, k := range del {
-			tr.Delete(int64(k))
-			delete(model, int64(k))
-		}
-		if tr.Size() != len(model) {
-			return false
-		}
-		for k := range model {
-			if _, ok := tr.Get(k); !ok {
-				return false
-			}
-		}
-		return tr.CheckInvariants() == nil
-	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestConcurrentDisjointKeys(t *testing.T) {
-	tr := New()
-	const goroutines = 8
-	const perG = 2000
-	var wg sync.WaitGroup
-	for g := 0; g < goroutines; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			base := int64(g * perG)
-			for i := int64(0); i < perG; i++ {
-				tr.Insert(base+i, base+i)
-			}
-			for i := int64(0); i < perG; i += 2 {
-				tr.Delete(base + i)
-			}
-		}(g)
-	}
-	wg.Wait()
-	for g := 0; g < goroutines; g++ {
-		base := int64(g * perG)
-		for i := int64(0); i < perG; i++ {
-			_, ok := tr.Get(base + i)
-			if want := i%2 == 1; ok != want {
-				t.Fatalf("Get(%d) = %v, want %v", base+i, ok, want)
-			}
-		}
-	}
-	if got, want := tr.Size(), goroutines*perG/2; got != want {
-		t.Fatalf("Size = %d, want %d", got, want)
-	}
-	if err := tr.CheckInvariants(); err != nil {
-		t.Fatal(err)
-	}
+func TestConcurrentStress(t *testing.T) {
+	dicttest.ConcurrentStress(t, target(), 8, 3000, 250)
 }
 
 func TestConcurrentContention(t *testing.T) {

@@ -5,63 +5,124 @@
 //
 // Tree itself is NOT safe for concurrent use; Global (in this package) wraps
 // it with a mutex to obtain the RBGlobal baseline.
+//
+// Both are generic over the key and value types and implement
+// dict.OrderedMap[K, V]: NewOrdered builds a tree over any cmp.Ordered key
+// type (installing a search walk devirtualized to the native `<` operator),
+// NewLess accepts an arbitrary comparator (see dict.Less for the contract),
+// and New keeps the historical int64 instantiation used by the benchmark
+// registry.
 package seqrbt
+
+import "cmp"
 
 const (
 	red   = false
 	black = true
 )
 
-type node struct {
-	k, v        int64
+type node[K, V any] struct {
+	k           K
+	v           V
 	colour      bool
-	left, right *node
-	parent      *node
+	left, right *node[K, V]
+	parent      *node[K, V]
 }
 
-// Tree is a sequential red-black tree mapping int64 keys to int64 values.
-// The zero value is an empty tree ready for use.
-type Tree struct {
-	root *node
+// Tree is a sequential red-black tree. It is not safe for concurrent use.
+// Use New, NewOrdered or NewLess to create one.
+type Tree[K, V any] struct {
+	root *node[K, V]
 	size int
+	less func(a, b K) bool
+
+	// lookupFn is the search walk used by Get and Delete, selected at
+	// construction: NewLess installs the comparator-based loop, NewOrdered a
+	// specialization comparing with the native `<`.
+	lookupFn func(t *Tree[K, V], key K) *node[K, V]
 }
 
-// New returns an empty sequential red-black tree.
-func New() *Tree { return &Tree{} }
+// NewLess returns an empty sequential red-black tree whose keys are ordered
+// by less.
+func NewLess[K, V any](less func(a, b K) bool) *Tree[K, V] {
+	return &Tree[K, V]{less: less, lookupFn: lookupLess[K, V]}
+}
+
+// NewOrdered returns an empty sequential red-black tree over a naturally
+// ordered key type, with the search loop devirtualized to the native `<`.
+func NewOrdered[K cmp.Ordered, V any]() *Tree[K, V] {
+	t := NewLess[K, V](cmp.Less[K])
+	t.lookupFn = lookupOrdered[K, V]
+	return t
+}
+
+// New returns an empty sequential red-black tree with int64 keys and values,
+// the instantiation the benchmark registry and the paper's figures use.
+func New() *Tree[int64, int64] { return NewOrdered[int64, int64]() }
+
+// IntTree is the historical int64 instantiation used by the benchmark
+// registry.
+type IntTree = Tree[int64, int64]
 
 // Name identifies the data structure in benchmark reports.
-func (t *Tree) Name() string { return "SeqRBT" }
+func (t *Tree[K, V]) Name() string { return "SeqRBT" }
 
 // Size returns the number of keys stored.
-func (t *Tree) Size() int { return t.size }
+func (t *Tree[K, V]) Size() int { return t.size }
 
-// Get returns the value associated with key, or (0, false) if absent.
-func (t *Tree) Get(key int64) (int64, bool) {
+// lookupLess is the comparator-based search installed by NewLess.
+func lookupLess[K, V any](t *Tree[K, V], key K) *node[K, V] {
+	n := t.root
+	for n != nil {
+		switch {
+		case t.less(key, n.k):
+			n = n.left
+		case t.less(n.k, key):
+			n = n.right
+		default:
+			return n
+		}
+	}
+	return nil
+}
+
+// lookupOrdered is the devirtualized search installed by NewOrdered.
+func lookupOrdered[K cmp.Ordered, V any](t *Tree[K, V], key K) *node[K, V] {
 	n := t.root
 	for n != nil {
 		switch {
 		case key < n.k:
 			n = n.left
-		case key > n.k:
+		case n.k < key:
 			n = n.right
 		default:
-			return n.v, true
+			return n
 		}
 	}
-	return 0, false
+	return nil
+}
+
+// Get returns the value associated with key, or the zero value and false if
+// absent.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	if n := t.lookupFn(t, key); n != nil {
+		return n.v, true
+	}
+	var zero V
+	return zero, false
 }
 
 // Insert associates value with key. It returns the previous value and true
 // if key was already present.
-func (t *Tree) Insert(key, value int64) (int64, bool) {
-	var parent *node
+func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
+	var parent *node[K, V]
 	n := t.root
 	for n != nil {
 		parent = n
 		switch {
-		case key < n.k:
+		case t.less(key, n.k):
 			n = n.left
-		case key > n.k:
+		case t.less(n.k, key):
 			n = n.right
 		default:
 			old := n.v
@@ -69,32 +130,27 @@ func (t *Tree) Insert(key, value int64) (int64, bool) {
 			return old, true
 		}
 	}
-	fresh := &node{k: key, v: value, colour: red, parent: parent}
+	fresh := &node[K, V]{k: key, v: value, colour: red, parent: parent}
 	switch {
 	case parent == nil:
 		t.root = fresh
-	case key < parent.k:
+	case t.less(key, parent.k):
 		parent.left = fresh
 	default:
 		parent.right = fresh
 	}
 	t.size++
 	t.fixAfterInsert(fresh)
-	return 0, false
+	var zero V
+	return zero, false
 }
 
 // Delete removes key, returning its value and true if it was present.
-func (t *Tree) Delete(key int64) (int64, bool) {
-	n := t.root
-	for n != nil && n.k != key {
-		if key < n.k {
-			n = n.left
-		} else {
-			n = n.right
-		}
-	}
+func (t *Tree[K, V]) Delete(key K) (V, bool) {
+	n := t.lookupFn(t, key)
 	if n == nil {
-		return 0, false
+		var zero V
+		return zero, false
 	}
 	old := n.v
 	t.size--
@@ -146,11 +202,11 @@ func (t *Tree) Delete(key int64) (int64, bool) {
 }
 
 // Successor returns the smallest key strictly greater than key.
-func (t *Tree) Successor(key int64) (k, v int64, ok bool) {
-	var best *node
+func (t *Tree[K, V]) Successor(key K) (k K, v V, ok bool) {
+	var best *node[K, V]
 	n := t.root
 	for n != nil {
-		if n.k > key {
+		if t.less(key, n.k) {
 			best = n
 			n = n.left
 		} else {
@@ -158,17 +214,17 @@ func (t *Tree) Successor(key int64) (k, v int64, ok bool) {
 		}
 	}
 	if best == nil {
-		return 0, 0, false
+		return k, v, false
 	}
 	return best.k, best.v, true
 }
 
 // Predecessor returns the largest key strictly smaller than key.
-func (t *Tree) Predecessor(key int64) (k, v int64, ok bool) {
-	var best *node
+func (t *Tree[K, V]) Predecessor(key K) (k K, v V, ok bool) {
+	var best *node[K, V]
 	n := t.root
 	for n != nil {
-		if n.k < key {
+		if t.less(n.k, key) {
 			best = n
 			n = n.right
 		} else {
@@ -176,16 +232,16 @@ func (t *Tree) Predecessor(key int64) (k, v int64, ok bool) {
 		}
 	}
 	if best == nil {
-		return 0, 0, false
+		return k, v, false
 	}
 	return best.k, best.v, true
 }
 
 // Keys returns all keys in ascending order.
-func (t *Tree) Keys() []int64 {
-	keys := make([]int64, 0, t.size)
-	var walk func(n *node)
-	walk = func(n *node) {
+func (t *Tree[K, V]) Keys() []K {
+	keys := make([]K, 0, t.size)
+	var walk func(n *node[K, V])
+	walk = func(n *node[K, V]) {
 		if n == nil {
 			return
 		}
@@ -198,9 +254,9 @@ func (t *Tree) Keys() []int64 {
 }
 
 // Height returns the number of nodes on the longest root-to-leaf path.
-func (t *Tree) Height() int {
-	var h func(n *node) int
-	h = func(n *node) int {
+func (t *Tree[K, V]) Height() int {
+	var h func(n *node[K, V]) int
+	h = func(n *node[K, V]) int {
 		if n == nil {
 			return 0
 		}
@@ -213,41 +269,41 @@ func (t *Tree) Height() int {
 	return h(t.root)
 }
 
-func colourOf(n *node) bool {
+func colourOf[K, V any](n *node[K, V]) bool {
 	if n == nil {
 		return black
 	}
 	return n.colour
 }
 
-func parentOf(n *node) *node {
+func parentOf[K, V any](n *node[K, V]) *node[K, V] {
 	if n == nil {
 		return nil
 	}
 	return n.parent
 }
 
-func leftOf(n *node) *node {
+func leftOf[K, V any](n *node[K, V]) *node[K, V] {
 	if n == nil {
 		return nil
 	}
 	return n.left
 }
 
-func rightOf(n *node) *node {
+func rightOf[K, V any](n *node[K, V]) *node[K, V] {
 	if n == nil {
 		return nil
 	}
 	return n.right
 }
 
-func setColour(n *node, c bool) {
+func setColour[K, V any](n *node[K, V], c bool) {
 	if n != nil {
 		n.colour = c
 	}
 }
 
-func (t *Tree) rotateLeft(n *node) {
+func (t *Tree[K, V]) rotateLeft(n *node[K, V]) {
 	if n == nil {
 		return
 	}
@@ -269,7 +325,7 @@ func (t *Tree) rotateLeft(n *node) {
 	n.parent = r
 }
 
-func (t *Tree) rotateRight(n *node) {
+func (t *Tree[K, V]) rotateRight(n *node[K, V]) {
 	if n == nil {
 		return
 	}
@@ -291,7 +347,7 @@ func (t *Tree) rotateRight(n *node) {
 	n.parent = l
 }
 
-func (t *Tree) fixAfterInsert(x *node) {
+func (t *Tree[K, V]) fixAfterInsert(x *node[K, V]) {
 	x.colour = red
 	for x != nil && x != t.root && colourOf(parentOf(x)) == red {
 		if parentOf(x) == leftOf(parentOf(parentOf(x))) {
@@ -331,7 +387,7 @@ func (t *Tree) fixAfterInsert(x *node) {
 	t.root.colour = black
 }
 
-func (t *Tree) fixAfterDelete(x *node) {
+func (t *Tree[K, V]) fixAfterDelete(x *node[K, V]) {
 	for x != t.root && colourOf(x) == black {
 		if x == leftOf(parentOf(x)) {
 			sib := rightOf(parentOf(x))
@@ -389,14 +445,14 @@ func (t *Tree) fixAfterDelete(x *node) {
 // CheckInvariants verifies the red-black tree properties: binary search
 // order, no red node with a red parent, and equal black heights on every
 // root-to-leaf path. It returns nil if all hold.
-func (t *Tree) CheckInvariants() error {
+func (t *Tree[K, V]) CheckInvariants() error {
 	if t.root == nil {
 		return nil
 	}
 	if t.root.colour != black {
 		return errRootNotBlack
 	}
-	_, err := checkNode(t.root, nil, nil)
+	_, err := checkNode(t, t.root, nil, nil)
 	return err
 }
 
@@ -412,14 +468,14 @@ const (
 	errParentPointer = rbError("bad parent pointer")
 )
 
-func checkNode(n *node, lo, hi *int64) (int, error) {
+func checkNode[K, V any](t *Tree[K, V], n *node[K, V], lo, hi *K) (int, error) {
 	if n == nil {
 		return 1, nil
 	}
-	if lo != nil && n.k <= *lo {
+	if lo != nil && !t.less(*lo, n.k) {
 		return 0, errOrder
 	}
-	if hi != nil && n.k >= *hi {
+	if hi != nil && !t.less(n.k, *hi) {
 		return 0, errOrder
 	}
 	if n.colour == red && (colourOf(n.left) == red || colourOf(n.right) == red) {
@@ -431,11 +487,11 @@ func checkNode(n *node, lo, hi *int64) (int, error) {
 	if n.right != nil && n.right.parent != n {
 		return 0, errParentPointer
 	}
-	lh, err := checkNode(n.left, lo, &n.k)
+	lh, err := checkNode(t, n.left, lo, &n.k)
 	if err != nil {
 		return 0, err
 	}
-	rh, err := checkNode(n.right, &n.k, hi)
+	rh, err := checkNode(t, n.right, &n.k, hi)
 	if err != nil {
 		return 0, err
 	}

@@ -1,12 +1,41 @@
 package seqrbt
 
 import (
-	"math/rand"
-	"sort"
+	"fmt"
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/dict"
+	"repro/internal/dict/dicttest"
 )
+
+// target is the shared-suite target for the int64 instantiation of the
+// sequential tree: the model-based conformance logic lives in
+// internal/dict/dicttest; this package only supplies the constructor and the
+// quiescent invariant check. The sequential tree never runs the concurrent
+// suite — Global does (see globalTarget).
+func target() dicttest.Target {
+	return dicttest.Target{
+		Name: "SeqRBT",
+		New:  func() dict.IntMap { return New() },
+		Check: func(d dict.IntMap) error {
+			return d.(*Tree[int64, int64]).CheckInvariants()
+		},
+	}
+}
+
+// globalTarget is the shared-suite target for the mutex-wrapped RBGlobal
+// baseline, the only concurrency-safe form of this package.
+func globalTarget() dicttest.Target {
+	return dicttest.Target{
+		Name: "RBGlobal",
+		New:  func() dict.IntMap { return NewGlobal() },
+		Check: func(d dict.IntMap) error {
+			return d.(*Global[int64, int64]).CheckInvariants()
+		},
+	}
+}
 
 func TestEmpty(t *testing.T) {
 	tr := New()
@@ -46,51 +75,48 @@ func TestInsertGetDeleteBasic(t *testing.T) {
 	}
 }
 
-func TestAgainstModel(t *testing.T) {
-	tr := New()
-	model := map[int64]int64{}
-	rng := rand.New(rand.NewSource(11))
-	for i := 0; i < 50000; i++ {
-		key := rng.Int63n(2000)
-		switch rng.Intn(3) {
-		case 0:
-			val := rng.Int63()
-			old, existed := tr.Insert(key, val)
-			mOld, mExisted := model[key]
-			if existed != mExisted || (existed && old != mOld) {
-				t.Fatalf("Insert(%d) mismatch at op %d", key, i)
-			}
-			model[key] = val
-		case 1:
-			old, existed := tr.Delete(key)
-			mOld, mExisted := model[key]
-			if existed != mExisted || (existed && old != mOld) {
-				t.Fatalf("Delete(%d) mismatch at op %d", key, i)
-			}
-			delete(model, key)
-		default:
-			v, ok := tr.Get(key)
-			mV, mOk := model[key]
-			if ok != mOk || (ok && v != mV) {
-				t.Fatalf("Get(%d) mismatch at op %d", key, i)
-			}
-		}
-		if i%10000 == 0 {
-			if err := tr.CheckInvariants(); err != nil {
-				t.Fatalf("invariants at op %d: %v", i, err)
-			}
-		}
+func TestSequentialConformance(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		dicttest.SequentialConformance(t, target(), 10000, 2000, seed)
 	}
-	if tr.Size() != len(model) {
-		t.Fatalf("Size = %d, want %d", tr.Size(), len(model))
+	// A tiny key range maximizes rotation churn per key.
+	dicttest.SequentialConformance(t, target(), 4000, 8, 99)
+}
+
+// TestComparatorPath runs the same conformance suite against a NewLess tree
+// with a reversed ordering, so the comparator-based search is exercised
+// rather than the devirtualized one New installs.
+func TestComparatorPath(t *testing.T) {
+	desc := func(a, b int64) bool { return a > b }
+	tgt := dicttest.TargetOf[int64, int64]{
+		Name: "SeqRBT/desc",
+		New:  func() dict.Map[int64, int64] { return NewLess[int64, int64](desc) },
+		Less: desc,
+		Check: func(d dict.Map[int64, int64]) error {
+			return d.(*Tree[int64, int64]).CheckInvariants()
+		},
 	}
-	if err := tr.CheckInvariants(); err != nil {
-		t.Fatal(err)
+	dicttest.SequentialConformanceKV(t, tgt, 6000,
+		func(u uint64) int64 { return int64(u % 300) },
+		func(u uint64) int64 { return int64(u % (1 << 30)) },
+		7)
+}
+
+// TestStringKeys runs the conformance suite over the string-keyed
+// instantiation, exercising NewOrdered's generic construction path.
+func TestStringKeys(t *testing.T) {
+	tgt := dicttest.TargetOf[string, string]{
+		Name: "SeqRBT/string",
+		New:  func() dict.Map[string, string] { return NewOrdered[string, string]() },
+		Less: func(a, b string) bool { return a < b },
+		Check: func(d dict.Map[string, string]) error {
+			return d.(*Tree[string, string]).CheckInvariants()
+		},
 	}
-	keys := tr.Keys()
-	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
-		t.Fatal("keys not sorted")
-	}
+	dicttest.SequentialConformanceKV(t, tgt, 6000,
+		func(u uint64) string { return fmt.Sprintf("k%03d", u%200) },
+		func(u uint64) string { return fmt.Sprintf("v%d", u%1024) },
+		5)
 }
 
 func TestHeightLogarithmic(t *testing.T) {
@@ -172,6 +198,25 @@ func TestPropertyDeleteAllLeavesEmpty(t *testing.T) {
 	}
 }
 
+func TestGlobalConcurrentStress(t *testing.T) {
+	dicttest.ConcurrentStress(t, globalTarget(), 8, 3000, 250)
+}
+
+// TestGlobalStringKeys exercises the generic Global constructors.
+func TestGlobalStringKeys(t *testing.T) {
+	tgt := dicttest.TargetOf[string, string]{
+		Name: "RBGlobal/string",
+		New:  func() dict.Map[string, string] { return NewGlobalOrdered[string, string]() },
+		Less: func(a, b string) bool { return a < b },
+		Check: func(d dict.Map[string, string]) error {
+			return d.(*Global[string, string]).CheckInvariants()
+		},
+	}
+	dicttest.ConcurrentStressKV(t, tgt, 4, 2000,
+		func(g int, u uint64) string { return fmt.Sprintf("g%d/%03d", g, u%150) },
+		func(u uint64) string { return fmt.Sprintf("v%d", u%1024) })
+}
+
 func TestGlobalWrapperConcurrent(t *testing.T) {
 	g := NewGlobal()
 	const goroutines = 8
@@ -199,5 +244,8 @@ func TestGlobalWrapperConcurrent(t *testing.T) {
 	}
 	if _, _, ok := g.Predecessor(int64(goroutines * perG)); !ok {
 		t.Fatal("Predecessor failed on populated map")
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -5,9 +5,18 @@
 // designs): every next pointer is an atomically replaceable (successor,
 // marked) pair, deletions first mark a node's next pointers and then rely on
 // concurrent traversals to physically unlink marked nodes.
+//
+// The list is generic over the key and value types and implements
+// dict.OrderedMap[K, V]: NewOrdered builds a list over any cmp.Ordered key
+// type (installing search routines devirtualized to the native `<` operator,
+// so the per-node comparisons of the tower walk cost no indirect call),
+// NewLess accepts an arbitrary comparator (see dict.Less for the contract),
+// and New keeps the historical int64 instantiation used by the benchmark
+// registry.
 package skiplist
 
 import (
+	"cmp"
 	"math/rand/v2"
 	"sync/atomic"
 )
@@ -20,61 +29,77 @@ const maxLevel = 24
 // between freshly allocated succRef values, which emulates the
 // AtomicMarkableReference used by the Java original and avoids ABA problems
 // thanks to garbage collection.
-type succRef struct {
-	succ   *node
+type succRef[K, V any] struct {
+	succ   *node[K, V]
 	marked bool
 }
 
-type node struct {
-	k        int64
-	v        atomic.Int64
-	next     []atomic.Pointer[succRef]
+type node[K, V any] struct {
+	k        K
+	v        atomic.Pointer[V]
+	next     []atomic.Pointer[succRef[K, V]]
 	level    int
 	sentinel int8 // -1 head, +1 tail, 0 ordinary
 }
 
-func newNode(k, v int64, level int, sentinel int8) *node {
-	n := &node{k: k, level: level, sentinel: sentinel}
-	n.v.Store(v)
-	n.next = make([]atomic.Pointer[succRef], level+1)
+func newNode[K, V any](k K, v V, level int, sentinel int8) *node[K, V] {
+	n := &node[K, V]{k: k, level: level, sentinel: sentinel}
+	n.v.Store(&v)
+	n.next = make([]atomic.Pointer[succRef[K, V]], level+1)
 	return n
 }
 
-// less reports whether a node's key is strictly smaller than key, treating
-// the head sentinel as -infinity and the tail sentinel as +infinity.
-func (n *node) less(key int64) bool {
-	switch n.sentinel {
-	case -1:
-		return true
-	case 1:
-		return false
-	default:
-		return n.k < key
-	}
+func (n *node[K, V]) value() V { return *n.v.Load() }
+
+// List is a lock-free skip list implementing an ordered dictionary. It is
+// safe for concurrent use. Use New, NewOrdered or NewLess to create one.
+type List[K, V any] struct {
+	head *node[K, V]
+	tail *node[K, V]
+	less func(a, b K) bool
+
+	// findFn and getFn are the structure's search walks, selected at
+	// construction: NewLess installs the comparator-based loops, NewOrdered
+	// specializations comparing with the native `<`, so ordered-key lists pay
+	// one indirect call per operation instead of one per node visited.
+	findFn func(l *List[K, V], key K, preds, succs *[maxLevel + 1]*node[K, V]) bool
+	getFn  func(l *List[K, V], key K) (V, bool)
 }
 
-func (n *node) equals(key int64) bool { return n.sentinel == 0 && n.k == key }
-
-// List is a lock-free skip list implementing an ordered dictionary with
-// int64 keys and values. It is safe for concurrent use. Use New to create
-// one.
-type List struct {
-	head *node
-	tail *node
-}
-
-// New returns an empty skip list.
-func New() *List {
-	head := newNode(0, 0, maxLevel, -1)
-	tail := newNode(0, 0, maxLevel, 1)
+// NewLess returns an empty skip list whose keys are ordered by less.
+func NewLess[K, V any](less func(a, b K) bool) *List[K, V] {
+	var zk K
+	var zv V
+	head := newNode[K, V](zk, zv, maxLevel, -1)
+	tail := newNode[K, V](zk, zv, maxLevel, 1)
 	for i := 0; i <= maxLevel; i++ {
-		head.next[i].Store(&succRef{succ: tail})
+		head.next[i].Store(&succRef[K, V]{succ: tail})
 	}
-	return &List{head: head, tail: tail}
+	return &List[K, V]{head: head, tail: tail, less: less,
+		findFn: findLess[K, V], getFn: getLess[K, V]}
 }
+
+// NewOrdered returns an empty skip list over a naturally ordered key type.
+// It behaves exactly like NewLess with cmp.Less, but installs search walks
+// specialized to the native `<` operator, removing the indirect comparator
+// call per node on the hot paths (find and Get).
+func NewOrdered[K cmp.Ordered, V any]() *List[K, V] {
+	l := NewLess[K, V](cmp.Less[K])
+	l.findFn = findOrdered[K, V]
+	l.getFn = getOrdered[K, V]
+	return l
+}
+
+// New returns an empty skip list with int64 keys and values, the
+// instantiation the benchmark registry and the paper's figures use.
+func New() *List[int64, int64] { return NewOrdered[int64, int64]() }
+
+// IntList is the historical int64 instantiation used by the benchmark
+// registry.
+type IntList = List[int64, int64]
 
 // Name identifies the data structure in benchmark reports.
-func (l *List) Name() string { return "SkipList" }
+func (l *List[K, V]) Name() string { return "SkipList" }
 
 // randomLevel chooses a tower height with geometric distribution (p = 1/2).
 func randomLevel() int {
@@ -85,11 +110,48 @@ func randomLevel() int {
 	return lvl
 }
 
+// nodeLess reports whether n's key is strictly smaller than key, treating
+// the head sentinel as -infinity and the tail sentinel as +infinity.
+func (l *List[K, V]) nodeLess(n *node[K, V], key K) bool {
+	switch n.sentinel {
+	case -1:
+		return true
+	case 1:
+		return false
+	default:
+		return l.less(n.k, key)
+	}
+}
+
+// isKey reports whether n holds exactly key (two comparator calls; keys are
+// equal exactly when neither orders before the other).
+func (l *List[K, V]) isKey(n *node[K, V], key K) bool {
+	return n.sentinel == 0 && !l.less(n.k, key) && !l.less(key, n.k)
+}
+
+// nodeLessEq reports whether n's key is smaller than or equal to key (one
+// comparator call), treating the sentinels as ±infinity.
+func (l *List[K, V]) nodeLessEq(n *node[K, V], key K) bool {
+	switch n.sentinel {
+	case -1:
+		return true
+	case 1:
+		return false
+	default:
+		return !l.less(key, n.k)
+	}
+}
+
 // find locates the position of key at every level, snipping out any marked
 // (logically deleted) nodes it encounters along the way. It fills preds and
 // succs and reports whether an unmarked node with the key was found at the
 // bottom level.
-func (l *List) find(key int64, preds, succs *[maxLevel + 1]*node) bool {
+func (l *List[K, V]) find(key K, preds, succs *[maxLevel + 1]*node[K, V]) bool {
+	return l.findFn(l, key, preds, succs)
+}
+
+// findLess is the comparator-based find walk installed by NewLess.
+func findLess[K, V any](l *List[K, V], key K, preds, succs *[maxLevel + 1]*node[K, V]) bool {
 retry:
 	for {
 		pred := l.head
@@ -104,13 +166,13 @@ retry:
 						// pred itself changed (or was deleted); start over.
 						continue retry
 					}
-					if !pred.next[level].CompareAndSwap(expected, &succRef{succ: ref.succ}) {
+					if !pred.next[level].CompareAndSwap(expected, &succRef[K, V]{succ: ref.succ}) {
 						continue retry
 					}
 					curr = ref.succ
 					ref = curr.next[level].Load()
 				}
-				if curr.less(key) {
+				if l.nodeLess(curr, key) {
 					pred = curr
 					curr = ref.succ
 				} else {
@@ -120,42 +182,110 @@ retry:
 			preds[level] = pred
 			succs[level] = curr
 		}
-		return succs[0].equals(key)
+		return l.isKey(succs[0], key)
 	}
 }
 
-// Get returns the value associated with key, or (0, false) if absent. It is
-// wait-free: it never helps, retries or modifies the structure.
-func (l *List) Get(key int64) (int64, bool) {
+// findOrdered is the devirtualized find walk installed by NewOrdered:
+// identical to findLess, but the per-node comparison is the native `<` of a
+// cmp.Ordered key type instead of an indirect call through l.less.
+func findOrdered[K cmp.Ordered, V any](l *List[K, V], key K, preds, succs *[maxLevel + 1]*node[K, V]) bool {
+retry:
+	for {
+		pred := l.head
+		for level := maxLevel; level >= 0; level-- {
+			curr := pred.next[level].Load().succ
+			for {
+				ref := curr.next[level].Load()
+				for ref != nil && ref.marked {
+					expected := pred.next[level].Load()
+					if expected.marked || expected.succ != curr {
+						continue retry
+					}
+					if !pred.next[level].CompareAndSwap(expected, &succRef[K, V]{succ: ref.succ}) {
+						continue retry
+					}
+					curr = ref.succ
+					ref = curr.next[level].Load()
+				}
+				if curr.sentinel == -1 || (curr.sentinel == 0 && curr.k < key) {
+					pred = curr
+					curr = ref.succ
+				} else {
+					break
+				}
+			}
+			preds[level] = pred
+			succs[level] = curr
+		}
+		s := succs[0]
+		return s.sentinel == 0 && s.k == key
+	}
+}
+
+// Get returns the value associated with key, or the zero value and false if
+// absent. It is wait-free: it never helps, retries or modifies the
+// structure.
+func (l *List[K, V]) Get(key K) (V, bool) {
+	return l.getFn(l, key)
+}
+
+// getLess is the comparator-based Get walk installed by NewLess.
+func getLess[K, V any](l *List[K, V], key K) (V, bool) {
 	pred := l.head
-	var curr *node
+	var curr *node[K, V]
 	for level := maxLevel; level >= 0; level-- {
 		curr = pred.next[level].Load().succ
-		for curr.less(key) {
+		for l.nodeLess(curr, key) {
 			pred = curr
 			curr = curr.next[level].Load().succ
 		}
 	}
-	if curr.equals(key) {
+	if l.isKey(curr, key) {
 		if ref := curr.next[0].Load(); ref != nil && ref.marked {
-			return 0, false
+			var zero V
+			return zero, false
 		}
-		return curr.v.Load(), true
+		return curr.value(), true
 	}
-	return 0, false
+	var zero V
+	return zero, false
+}
+
+// getOrdered is the devirtualized Get walk installed by NewOrdered.
+func getOrdered[K cmp.Ordered, V any](l *List[K, V], key K) (V, bool) {
+	pred := l.head
+	var curr *node[K, V]
+	for level := maxLevel; level >= 0; level-- {
+		curr = pred.next[level].Load().succ
+		for curr.sentinel == -1 || (curr.sentinel == 0 && curr.k < key) {
+			pred = curr
+			curr = curr.next[level].Load().succ
+		}
+	}
+	if curr.sentinel == 0 && curr.k == key {
+		if ref := curr.next[0].Load(); ref != nil && ref.marked {
+			var zero V
+			return zero, false
+		}
+		return curr.value(), true
+	}
+	var zero V
+	return zero, false
 }
 
 // Insert associates value with key. It returns the previous value and true
 // if key was already present (in which case only the value is updated).
-func (l *List) Insert(key, value int64) (int64, bool) {
-	var preds, succs [maxLevel + 1]*node
+func (l *List[K, V]) Insert(key K, value V) (V, bool) {
+	var preds, succs [maxLevel + 1]*node[K, V]
 	topLevel := randomLevel()
+	var zero V
 	for {
 		if l.find(key, &preds, &succs) {
 			found := succs[0]
 			// If the node is not logically deleted, overwrite its value.
 			if ref := found.next[0].Load(); ref != nil && !ref.marked {
-				old := found.v.Swap(value)
+				old := *found.v.Swap(&value)
 				return old, true
 			}
 			// The node is being removed; retry until it is unlinked.
@@ -163,7 +293,7 @@ func (l *List) Insert(key, value int64) (int64, bool) {
 		}
 		fresh := newNode(key, value, topLevel, 0)
 		for level := 0; level <= topLevel; level++ {
-			fresh.next[level].Store(&succRef{succ: succs[level]})
+			fresh.next[level].Store(&succRef[K, V]{succ: succs[level]})
 		}
 		// Link at the bottom level first; this is the linearization point.
 		if !casLink(preds[0], 0, succs[0], fresh) {
@@ -179,42 +309,43 @@ func (l *List) Insert(key, value int64) (int64, bool) {
 				if succs[0] != fresh {
 					// The new node was deleted before we finished building
 					// its tower; stop linking upper levels.
-					return 0, false
+					return zero, false
 				}
 				// Refresh the expected successor of the new node at this
 				// level so the link preserves the list order.
 				ref := fresh.next[level].Load()
 				if ref.marked {
-					return 0, false
+					return zero, false
 				}
 				if ref.succ != succs[level] {
-					if !fresh.next[level].CompareAndSwap(ref, &succRef{succ: succs[level]}) {
-						return 0, false
+					if !fresh.next[level].CompareAndSwap(ref, &succRef[K, V]{succ: succs[level]}) {
+						return zero, false
 					}
 				}
 			}
 		}
-		return 0, false
+		return zero, false
 	}
 }
 
 // casLink links fresh between pred and succ at the given level, provided
 // pred still points, unmarked, at succ.
-func casLink(pred *node, level int, succ, fresh *node) bool {
+func casLink[K, V any](pred *node[K, V], level int, succ, fresh *node[K, V]) bool {
 	expected := pred.next[level].Load()
 	if expected == nil || expected.marked || expected.succ != succ {
 		return false
 	}
-	return pred.next[level].CompareAndSwap(expected, &succRef{succ: fresh})
+	return pred.next[level].CompareAndSwap(expected, &succRef[K, V]{succ: fresh})
 }
 
 // Delete removes key, returning its value and true if it was present. The
 // node is first marked level by level (logical deletion) and then unlinked
 // by a final find.
-func (l *List) Delete(key int64) (int64, bool) {
-	var preds, succs [maxLevel + 1]*node
+func (l *List[K, V]) Delete(key K) (V, bool) {
+	var preds, succs [maxLevel + 1]*node[K, V]
+	var zero V
 	if !l.find(key, &preds, &succs) {
-		return 0, false
+		return zero, false
 	}
 	victim := succs[0]
 	// Mark the upper levels.
@@ -224,7 +355,7 @@ func (l *List) Delete(key int64) (int64, bool) {
 			if ref.marked {
 				break
 			}
-			if victim.next[level].CompareAndSwap(ref, &succRef{succ: ref.succ, marked: true}) {
+			if victim.next[level].CompareAndSwap(ref, &succRef[K, V]{succ: ref.succ, marked: true}) {
 				break
 			}
 		}
@@ -233,10 +364,10 @@ func (l *List) Delete(key int64) (int64, bool) {
 	for {
 		ref := victim.next[0].Load()
 		if ref.marked {
-			return 0, false // someone else deleted it first
+			return zero, false // someone else deleted it first
 		}
-		if victim.next[0].CompareAndSwap(ref, &succRef{succ: ref.succ, marked: true}) {
-			old := victim.v.Load()
+		if victim.next[0].CompareAndSwap(ref, &succRef[K, V]{succ: ref.succ, marked: true}) {
+			old := victim.value()
 			l.find(key, &preds, &succs) // physically unlink
 			return old, true
 		}
@@ -244,44 +375,48 @@ func (l *List) Delete(key int64) (int64, bool) {
 }
 
 // Successor returns the smallest key strictly greater than key.
-func (l *List) Successor(key int64) (int64, int64, bool) {
+func (l *List[K, V]) Successor(key K) (K, V, bool) {
 	pred := l.head
-	var curr *node
+	var curr *node[K, V]
 	for level := maxLevel; level >= 0; level-- {
 		curr = pred.next[level].Load().succ
-		for curr.less(key) || curr.equals(key) {
+		for l.nodeLessEq(curr, key) {
 			pred = curr
 			curr = curr.next[level].Load().succ
 		}
 	}
 	for curr.sentinel != 1 {
 		if ref := curr.next[0].Load(); ref == nil || !ref.marked {
-			return curr.k, curr.v.Load(), true
+			return curr.k, curr.value(), true
 		}
 		curr = curr.next[0].Load().succ
 	}
-	return 0, 0, false
+	var zk K
+	var zv V
+	return zk, zv, false
 }
 
 // Predecessor returns the largest key strictly smaller than key.
-func (l *List) Predecessor(key int64) (int64, int64, bool) {
+func (l *List[K, V]) Predecessor(key K) (K, V, bool) {
 	pred := l.head
 	for level := maxLevel; level >= 0; level-- {
 		curr := pred.next[level].Load().succ
-		for curr.less(key) {
+		for l.nodeLess(curr, key) {
 			pred = curr
 			curr = curr.next[level].Load().succ
 		}
 	}
 	if pred.sentinel == -1 {
-		return 0, 0, false
+		var zk K
+		var zv V
+		return zk, zv, false
 	}
-	return pred.k, pred.v.Load(), true
+	return pred.k, pred.value(), true
 }
 
 // Size returns the number of (unmarked) keys stored. It runs in linear time
 // and is intended for tests and prefilling at quiescence.
-func (l *List) Size() int {
+func (l *List[K, V]) Size() int {
 	count := 0
 	for n := l.head.next[0].Load().succ; n.sentinel != 1; n = n.next[0].Load().succ {
 		if ref := n.next[0].Load(); ref == nil || !ref.marked {
@@ -292,8 +427,8 @@ func (l *List) Size() int {
 }
 
 // Keys returns all keys in ascending order. Quiescence only.
-func (l *List) Keys() []int64 {
-	var keys []int64
+func (l *List[K, V]) Keys() []K {
+	var keys []K
 	for n := l.head.next[0].Load().succ; n.sentinel != 1; n = n.next[0].Load().succ {
 		if ref := n.next[0].Load(); ref == nil || !ref.marked {
 			keys = append(keys, n.k)
@@ -301,3 +436,41 @@ func (l *List) Keys() []int64 {
 	}
 	return keys
 }
+
+// CheckInvariants verifies, at quiescence, that the bottom level is strictly
+// ordered and that every level is a sublist of the level below it.
+func (l *List[K, V]) CheckInvariants() error {
+	// Bottom level strictly ordered.
+	prev := l.head
+	for n := l.head.next[0].Load().succ; n.sentinel != 1; n = n.next[0].Load().succ {
+		if prev.sentinel == 0 && !l.less(prev.k, n.k) {
+			return errOrder
+		}
+		prev = n
+	}
+	// Every node reachable at level i must be reachable at level i-1.
+	for level := 1; level <= maxLevel; level++ {
+		lower := map[*node[K, V]]bool{}
+		for n := l.head.next[level-1].Load().succ; n.sentinel != 1; n = n.next[level-1].Load().succ {
+			lower[n] = true
+		}
+		for n := l.head.next[level].Load().succ; n.sentinel != 1; n = n.next[level].Load().succ {
+			if ref := n.next[0].Load(); ref != nil && ref.marked {
+				continue // logically deleted; may be partially unlinked
+			}
+			if !lower[n] {
+				return errTower
+			}
+		}
+	}
+	return nil
+}
+
+type listError string
+
+func (e listError) Error() string { return string(e) }
+
+const (
+	errOrder = listError("skiplist: bottom level out of order")
+	errTower = listError("skiplist: tower node missing from lower level")
+)

@@ -1,12 +1,28 @@
 package skiplist
 
 import (
+	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 	"testing"
-	"testing/quick"
+
+	"repro/internal/dict"
+	"repro/internal/dict/dicttest"
 )
+
+// target is the shared-suite target for the int64 instantiation: the
+// model-based conformance, fuzz and stress logic lives in
+// internal/dict/dicttest; this package only supplies the constructor and the
+// quiescent invariant check.
+func target() dicttest.Target {
+	return dicttest.Target{
+		Name: "SkipList",
+		New:  func() dict.IntMap { return New() },
+		Check: func(d dict.IntMap) error {
+			return d.(*List[int64, int64]).CheckInvariants()
+		},
+	}
+}
 
 func TestEmpty(t *testing.T) {
 	l := New()
@@ -24,6 +40,9 @@ func TestEmpty(t *testing.T) {
 	}
 	if _, _, ok := l.Predecessor(0); ok {
 		t.Fatal("Predecessor on empty list returned ok")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -49,43 +68,48 @@ func TestBasicOperations(t *testing.T) {
 	}
 }
 
-func TestAgainstModel(t *testing.T) {
-	l := New()
-	model := map[int64]int64{}
-	rng := rand.New(rand.NewSource(5))
-	for i := 0; i < 30000; i++ {
-		key := rng.Int63n(800)
-		switch rng.Intn(3) {
-		case 0:
-			val := rng.Int63()
-			old, existed := l.Insert(key, val)
-			mOld, mExisted := model[key]
-			if existed != mExisted || (existed && old != mOld) {
-				t.Fatalf("Insert(%d) mismatch at op %d", key, i)
-			}
-			model[key] = val
-		case 1:
-			old, existed := l.Delete(key)
-			mOld, mExisted := model[key]
-			if existed != mExisted || (existed && old != mOld) {
-				t.Fatalf("Delete(%d) mismatch at op %d", key, i)
-			}
-			delete(model, key)
-		default:
-			v, ok := l.Get(key)
-			mV, mOk := model[key]
-			if ok != mOk || (ok && v != mV) {
-				t.Fatalf("Get(%d) mismatch at op %d", key, i)
-			}
-		}
+func TestSequentialConformance(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		dicttest.SequentialConformance(t, target(), 8000, 800, seed)
 	}
-	if l.Size() != len(model) {
-		t.Fatalf("Size = %d, want %d", l.Size(), len(model))
+	// A tiny key range maximizes tower churn per key.
+	dicttest.SequentialConformance(t, target(), 4000, 8, 99)
+}
+
+// TestComparatorPath runs the same conformance suite against a NewLess list
+// with a reversed ordering, so the comparator-based walks (findLess/getLess)
+// are exercised rather than the devirtualized ones New installs.
+func TestComparatorPath(t *testing.T) {
+	desc := func(a, b int64) bool { return a > b }
+	tgt := dicttest.TargetOf[int64, int64]{
+		Name: "SkipList/desc",
+		New:  func() dict.Map[int64, int64] { return NewLess[int64, int64](desc) },
+		Less: desc,
+		Check: func(d dict.Map[int64, int64]) error {
+			return d.(*List[int64, int64]).CheckInvariants()
+		},
 	}
-	keys := l.Keys()
-	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
-		t.Fatal("keys not sorted")
+	dicttest.SequentialConformanceKV(t, tgt, 6000,
+		func(u uint64) int64 { return int64(u % 300) },
+		func(u uint64) int64 { return int64(u % (1 << 30)) },
+		7)
+}
+
+// TestStringKeys runs the conformance suite over the string-keyed
+// instantiation, exercising NewOrdered's generic construction path.
+func TestStringKeys(t *testing.T) {
+	tgt := dicttest.TargetOf[string, string]{
+		Name: "SkipList/string",
+		New:  func() dict.Map[string, string] { return NewOrdered[string, string]() },
+		Less: func(a, b string) bool { return a < b },
+		Check: func(d dict.Map[string, string]) error {
+			return d.(*List[string, string]).CheckInvariants()
+		},
 	}
+	dicttest.SequentialConformanceKV(t, tgt, 6000,
+		func(u uint64) string { return fmt.Sprintf("k%03d", u%200) },
+		func(u uint64) string { return fmt.Sprintf("v%d", u%1024) },
+		5)
 }
 
 func TestSuccessorPredecessor(t *testing.T) {
@@ -110,71 +134,8 @@ func TestSuccessorPredecessor(t *testing.T) {
 	}
 }
 
-func TestPropertyInsertDeleteRoundTrip(t *testing.T) {
-	prop := func(keys []int16, deleteMask []bool) bool {
-		l := New()
-		present := map[int64]bool{}
-		for _, k := range keys {
-			l.Insert(int64(k), int64(k))
-			present[int64(k)] = true
-		}
-		for i, k := range keys {
-			if i < len(deleteMask) && deleteMask[i] {
-				l.Delete(int64(k))
-				delete(present, int64(k))
-			}
-		}
-		if l.Size() != len(present) {
-			return false
-		}
-		for k := range present {
-			if _, ok := l.Get(k); !ok {
-				return false
-			}
-		}
-		keys2 := l.Keys()
-		return sort.SliceIsSorted(keys2, func(i, j int) bool { return keys2[i] < keys2[j] })
-	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestConcurrentDisjointKeys(t *testing.T) {
-	l := New()
-	const goroutines = 8
-	const perG = 3000
-	var wg sync.WaitGroup
-	for g := 0; g < goroutines; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			base := int64(g * perG)
-			for i := int64(0); i < perG; i++ {
-				l.Insert(base+i, base+i)
-			}
-			for i := int64(0); i < perG; i += 2 {
-				l.Delete(base + i)
-			}
-		}(g)
-	}
-	wg.Wait()
-	if got, want := l.Size(), goroutines*perG/2; got != want {
-		t.Fatalf("Size = %d, want %d", got, want)
-	}
-	for g := 0; g < goroutines; g++ {
-		base := int64(g * perG)
-		for i := int64(0); i < perG; i++ {
-			_, ok := l.Get(base + i)
-			if want := i%2 == 1; ok != want {
-				t.Fatalf("Get(%d) = %v, want %v", base+i, ok, want)
-			}
-		}
-	}
-	keys := l.Keys()
-	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
-		t.Fatal("keys not sorted after concurrent updates")
-	}
+func TestConcurrentStress(t *testing.T) {
+	dicttest.ConcurrentStress(t, target(), 8, 4000, 400)
 }
 
 func TestConcurrentContention(t *testing.T) {
@@ -204,11 +165,8 @@ func TestConcurrentContention(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	keys := l.Keys()
-	for i := 1; i < len(keys); i++ {
-		if keys[i-1] >= keys[i] {
-			t.Fatalf("keys out of order after contention: %d >= %d", keys[i-1], keys[i])
-		}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after contention: %v", err)
 	}
 	if l.Size() > 32 {
 		t.Fatalf("Size = %d exceeds key range", l.Size())

@@ -5,73 +5,142 @@
 // a baseline in the paper's evaluation. The point of this baseline is the
 // programming model, not the performance: conflicts between large
 // transactions limit concurrency severely, which is what Figure 8 shows.
+//
+// The tree is generic over the key and value types and implements
+// dict.OrderedMap[K, V]: NewOrdered builds a tree over any cmp.Ordered key
+// type (installing a transactional search devirtualized to the native `<`
+// operator), NewLess accepts an arbitrary comparator (see dict.Less for the
+// contract), and New keeps the historical int64 instantiation used by the
+// benchmark registry.
 package stmrbt
 
-import "repro/internal/stm"
+import (
+	"cmp"
+
+	"repro/internal/stm"
+)
 
 const (
 	red   = false
 	black = true
 )
 
-type node struct {
-	k      *stm.Var[int64]
-	v      *stm.Var[int64]
+type node[K, V any] struct {
+	k      *stm.Var[K]
+	v      *stm.Var[V]
 	colour *stm.Var[bool]
-	left   *stm.Var[*node]
-	right  *stm.Var[*node]
-	parent *stm.Var[*node]
+	left   *stm.Var[*node[K, V]]
+	right  *stm.Var[*node[K, V]]
+	parent *stm.Var[*node[K, V]]
 }
 
-func newNode(k, v int64, parent *node) *node {
-	return &node{
+func newNode[K, V any](k K, v V, parent *node[K, V]) *node[K, V] {
+	return &node[K, V]{
 		k:      stm.NewVar(k),
 		v:      stm.NewVar(v),
 		colour: stm.NewVar(red),
-		left:   stm.NewVar[*node](nil),
-		right:  stm.NewVar[*node](nil),
+		left:   stm.NewVar[*node[K, V]](nil),
+		right:  stm.NewVar[*node[K, V]](nil),
 		parent: stm.NewVar(parent),
 	}
 }
 
-// Tree is a transactional red-black tree implementing an ordered dictionary
-// with int64 keys and values. It is safe for concurrent use; every operation
-// executes as a single STM transaction.
-type Tree struct {
-	root *stm.Var[*node]
+// Tree is a transactional red-black tree implementing an ordered dictionary.
+// It is safe for concurrent use; every operation executes as a single STM
+// transaction. Use New, NewOrdered or NewLess to create one.
+type Tree[K, V any] struct {
+	root *stm.Var[*node[K, V]]
 	size *stm.Var[int64]
+	less func(a, b K) bool
+
+	// lookupFn is the transactional search walk, selected at construction:
+	// NewLess installs the comparator-based loop, NewOrdered a
+	// specialization comparing with the native `<`, so ordered-key trees pay
+	// one indirect call per search instead of one per node (on top of the
+	// unavoidable per-node stm.Read).
+	lookupFn func(t *Tree[K, V], tx *stm.Txn, key K) *node[K, V]
 }
 
-// New returns an empty transactional red-black tree.
-func New() *Tree {
-	return &Tree{root: stm.NewVar[*node](nil), size: stm.NewVar[int64](0)}
+// NewLess returns an empty transactional red-black tree whose keys are
+// ordered by less.
+func NewLess[K, V any](less func(a, b K) bool) *Tree[K, V] {
+	return &Tree[K, V]{
+		root:     stm.NewVar[*node[K, V]](nil),
+		size:     stm.NewVar[int64](0),
+		less:     less,
+		lookupFn: lookupLess[K, V],
+	}
 }
+
+// NewOrdered returns an empty transactional red-black tree over a naturally
+// ordered key type, with the search loop devirtualized to the native `<`.
+func NewOrdered[K cmp.Ordered, V any]() *Tree[K, V] {
+	t := NewLess[K, V](cmp.Less[K])
+	t.lookupFn = lookupOrdered[K, V]
+	return t
+}
+
+// New returns an empty transactional red-black tree with int64 keys and
+// values, the instantiation the benchmark registry and the paper's figures
+// use.
+func New() *Tree[int64, int64] { return NewOrdered[int64, int64]() }
+
+// IntTree is the historical int64 instantiation used by the benchmark
+// registry.
+type IntTree = Tree[int64, int64]
 
 // Name identifies the data structure in benchmark reports.
-func (t *Tree) Name() string { return "RBSTM" }
+func (t *Tree[K, V]) Name() string { return "RBSTM" }
 
 // Size returns the number of keys stored.
-func (t *Tree) Size() int {
+func (t *Tree[K, V]) Size() int {
 	return int(stm.Atomically(func(tx *stm.Txn) int64 { return stm.Read(tx, t.size) }))
 }
 
-// Get returns the value associated with key, or (0, false) if absent.
-func (t *Tree) Get(key int64) (int64, bool) {
+// lookupLess is the comparator-based transactional search installed by
+// NewLess: it returns the node holding key, or nil, all reads within tx.
+func lookupLess[K, V any](t *Tree[K, V], tx *stm.Txn, key K) *node[K, V] {
+	n := stm.Read(tx, t.root)
+	for n != nil {
+		switch k := stm.Read(tx, n.k); {
+		case t.less(key, k):
+			n = stm.Read(tx, n.left)
+		case t.less(k, key):
+			n = stm.Read(tx, n.right)
+		default:
+			return n
+		}
+	}
+	return nil
+}
+
+// lookupOrdered is the devirtualized transactional search installed by
+// NewOrdered.
+func lookupOrdered[K cmp.Ordered, V any](t *Tree[K, V], tx *stm.Txn, key K) *node[K, V] {
+	n := stm.Read(tx, t.root)
+	for n != nil {
+		switch k := stm.Read(tx, n.k); {
+		case key < k:
+			n = stm.Read(tx, n.left)
+		case k < key:
+			n = stm.Read(tx, n.right)
+		default:
+			return n
+		}
+	}
+	return nil
+}
+
+// Get returns the value associated with key, or the zero value and false if
+// absent.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
 	type result struct {
-		v  int64
+		v  V
 		ok bool
 	}
 	r := stm.Atomically(func(tx *stm.Txn) result {
-		n := stm.Read(tx, t.root)
-		for n != nil {
-			switch k := stm.Read(tx, n.k); {
-			case key < k:
-				n = stm.Read(tx, n.left)
-			case key > k:
-				n = stm.Read(tx, n.right)
-			default:
-				return result{stm.Read(tx, n.v), true}
-			}
+		if n := t.lookupFn(t, tx, key); n != nil {
+			return result{stm.Read(tx, n.v), true}
 		}
 		return result{}
 	})
@@ -80,20 +149,20 @@ func (t *Tree) Get(key int64) (int64, bool) {
 
 // Insert associates value with key, returning the previous value and true if
 // key was present.
-func (t *Tree) Insert(key, value int64) (int64, bool) {
+func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 	type result struct {
-		old     int64
+		old     V
 		existed bool
 	}
 	r := stm.Atomically(func(tx *stm.Txn) result {
-		var parent *node
+		var parent *node[K, V]
 		n := stm.Read(tx, t.root)
 		for n != nil {
 			parent = n
 			switch k := stm.Read(tx, n.k); {
-			case key < k:
+			case t.less(key, k):
 				n = stm.Read(tx, n.left)
-			case key > k:
+			case t.less(k, key):
 				n = stm.Read(tx, n.right)
 			default:
 				old := stm.Read(tx, n.v)
@@ -105,7 +174,7 @@ func (t *Tree) Insert(key, value int64) (int64, bool) {
 		switch {
 		case parent == nil:
 			stm.Write(tx, t.root, fresh)
-		case key < stm.Read(tx, parent.k):
+		case t.less(key, stm.Read(tx, parent.k)):
 			stm.Write(tx, parent.left, fresh)
 		default:
 			stm.Write(tx, parent.right, fresh)
@@ -118,20 +187,13 @@ func (t *Tree) Insert(key, value int64) (int64, bool) {
 }
 
 // Delete removes key, returning its value and true if it was present.
-func (t *Tree) Delete(key int64) (int64, bool) {
+func (t *Tree[K, V]) Delete(key K) (V, bool) {
 	type result struct {
-		old     int64
+		old     V
 		existed bool
 	}
 	r := stm.Atomically(func(tx *stm.Txn) result {
-		n := stm.Read(tx, t.root)
-		for n != nil && stm.Read(tx, n.k) != key {
-			if key < stm.Read(tx, n.k) {
-				n = stm.Read(tx, n.left)
-			} else {
-				n = stm.Read(tx, n.right)
-			}
-		}
+		n := t.lookupFn(t, tx, key)
 		if n == nil {
 			return result{}
 		}
@@ -144,16 +206,17 @@ func (t *Tree) Delete(key int64) (int64, bool) {
 }
 
 // Successor returns the smallest key strictly greater than key.
-func (t *Tree) Successor(key int64) (int64, int64, bool) {
+func (t *Tree[K, V]) Successor(key K) (K, V, bool) {
 	type result struct {
-		k, v int64
-		ok   bool
+		k  K
+		v  V
+		ok bool
 	}
 	r := stm.Atomically(func(tx *stm.Txn) result {
-		var best *node
+		var best *node[K, V]
 		n := stm.Read(tx, t.root)
 		for n != nil {
-			if k := stm.Read(tx, n.k); k > key {
+			if k := stm.Read(tx, n.k); t.less(key, k) {
 				best = n
 				n = stm.Read(tx, n.left)
 			} else {
@@ -169,16 +232,17 @@ func (t *Tree) Successor(key int64) (int64, int64, bool) {
 }
 
 // Predecessor returns the largest key strictly smaller than key.
-func (t *Tree) Predecessor(key int64) (int64, int64, bool) {
+func (t *Tree[K, V]) Predecessor(key K) (K, V, bool) {
 	type result struct {
-		k, v int64
-		ok   bool
+		k  K
+		v  V
+		ok bool
 	}
 	r := stm.Atomically(func(tx *stm.Txn) result {
-		var best *node
+		var best *node[K, V]
 		n := stm.Read(tx, t.root)
 		for n != nil {
-			if k := stm.Read(tx, n.k); k < key {
+			if k := stm.Read(tx, n.k); t.less(k, key) {
 				best = n
 				n = stm.Read(tx, n.right)
 			} else {
@@ -198,7 +262,7 @@ func (t *Tree) Predecessor(key int64) (int64, int64, bool) {
 // deleteNode removes n from the tree, handling the two-children case the way
 // java.util.TreeMap does: the successor's key and value are copied into n
 // and the successor node is unlinked instead.
-func (t *Tree) deleteNode(tx *stm.Txn, n *node) {
+func (t *Tree[K, V]) deleteNode(tx *stm.Txn, n *node[K, V]) {
 	if stm.Read(tx, n.left) != nil && stm.Read(tx, n.right) != nil {
 		s := stm.Read(tx, n.right)
 		for stm.Read(tx, s.left) != nil {
@@ -234,7 +298,7 @@ func (t *Tree) deleteNode(tx *stm.Txn, n *node) {
 	}
 }
 
-func (t *Tree) replaceChild(tx *stm.Txn, parent, old, new *node) {
+func (t *Tree[K, V]) replaceChild(tx *stm.Txn, parent, old, new *node[K, V]) {
 	switch {
 	case parent == nil:
 		stm.Write(tx, t.root, new)
@@ -245,41 +309,41 @@ func (t *Tree) replaceChild(tx *stm.Txn, parent, old, new *node) {
 	}
 }
 
-func colourOf(tx *stm.Txn, n *node) bool {
+func colourOf[K, V any](tx *stm.Txn, n *node[K, V]) bool {
 	if n == nil {
 		return black
 	}
 	return stm.Read(tx, n.colour)
 }
 
-func parentOf(tx *stm.Txn, n *node) *node {
+func parentOf[K, V any](tx *stm.Txn, n *node[K, V]) *node[K, V] {
 	if n == nil {
 		return nil
 	}
 	return stm.Read(tx, n.parent)
 }
 
-func leftOf(tx *stm.Txn, n *node) *node {
+func leftOf[K, V any](tx *stm.Txn, n *node[K, V]) *node[K, V] {
 	if n == nil {
 		return nil
 	}
 	return stm.Read(tx, n.left)
 }
 
-func rightOf(tx *stm.Txn, n *node) *node {
+func rightOf[K, V any](tx *stm.Txn, n *node[K, V]) *node[K, V] {
 	if n == nil {
 		return nil
 	}
 	return stm.Read(tx, n.right)
 }
 
-func setColour(tx *stm.Txn, n *node, c bool) {
+func setColour[K, V any](tx *stm.Txn, n *node[K, V], c bool) {
 	if n != nil {
 		stm.Write(tx, n.colour, c)
 	}
 }
 
-func (t *Tree) rotateLeft(tx *stm.Txn, n *node) {
+func (t *Tree[K, V]) rotateLeft(tx *stm.Txn, n *node[K, V]) {
 	if n == nil {
 		return
 	}
@@ -302,7 +366,7 @@ func (t *Tree) rotateLeft(tx *stm.Txn, n *node) {
 	stm.Write(tx, n.parent, r)
 }
 
-func (t *Tree) rotateRight(tx *stm.Txn, n *node) {
+func (t *Tree[K, V]) rotateRight(tx *stm.Txn, n *node[K, V]) {
 	if n == nil {
 		return
 	}
@@ -325,7 +389,7 @@ func (t *Tree) rotateRight(tx *stm.Txn, n *node) {
 	stm.Write(tx, n.parent, l)
 }
 
-func (t *Tree) fixAfterInsert(tx *stm.Txn, x *node) {
+func (t *Tree[K, V]) fixAfterInsert(tx *stm.Txn, x *node[K, V]) {
 	setColour(tx, x, red)
 	for x != nil && stm.Read(tx, t.root) != x && colourOf(tx, parentOf(tx, x)) == red {
 		if parentOf(tx, x) == leftOf(tx, parentOf(tx, parentOf(tx, x))) {
@@ -365,7 +429,7 @@ func (t *Tree) fixAfterInsert(tx *stm.Txn, x *node) {
 	setColour(tx, stm.Read(tx, t.root), black)
 }
 
-func (t *Tree) fixAfterDelete(tx *stm.Txn, x *node) {
+func (t *Tree[K, V]) fixAfterDelete(tx *stm.Txn, x *node[K, V]) {
 	for stm.Read(tx, t.root) != x && colourOf(tx, x) == black {
 		if x == leftOf(tx, parentOf(tx, x)) {
 			sib := rightOf(tx, parentOf(tx, x))
@@ -422,7 +486,7 @@ func (t *Tree) fixAfterDelete(tx *stm.Txn, x *node) {
 
 // CheckInvariants verifies the red-black properties and the BST order. It
 // runs in one transaction and is intended for tests at quiescence.
-func (t *Tree) CheckInvariants() error {
+func (t *Tree[K, V]) CheckInvariants() error {
 	ok := stm.Atomically(func(tx *stm.Txn) bool {
 		root := stm.Read(tx, t.root)
 		if root == nil {
@@ -432,13 +496,13 @@ func (t *Tree) CheckInvariants() error {
 			return false
 		}
 		valid := true
-		var check func(n *node, lo, hi *int64) int
-		check = func(n *node, lo, hi *int64) int {
+		var check func(n *node[K, V], lo, hi *K) int
+		check = func(n *node[K, V], lo, hi *K) int {
 			if n == nil || !valid {
 				return 1
 			}
 			k := stm.Read(tx, n.k)
-			if (lo != nil && k <= *lo) || (hi != nil && k >= *hi) {
+			if (lo != nil && !t.less(*lo, k)) || (hi != nil && !t.less(k, *hi)) {
 				valid = false
 				return 0
 			}
@@ -474,11 +538,11 @@ func (e rbError) Error() string { return string(e) }
 const errInvariant = rbError("stmrbt: red-black invariant violated")
 
 // Keys returns all keys in ascending order, read in one transaction.
-func (t *Tree) Keys() []int64 {
-	return stm.Atomically(func(tx *stm.Txn) []int64 {
-		var keys []int64
-		var walk func(n *node)
-		walk = func(n *node) {
+func (t *Tree[K, V]) Keys() []K {
+	return stm.Atomically(func(tx *stm.Txn) []K {
+		var keys []K
+		var walk func(n *node[K, V])
+		walk = func(n *node[K, V]) {
 			if n == nil {
 				return
 			}

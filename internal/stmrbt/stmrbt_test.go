@@ -1,162 +1,119 @@
 package stmrbt
 
 import (
+	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 	"testing"
-	"testing/quick"
+
+	"repro/internal/dict"
+	"repro/internal/dict/dicttest"
 )
+
+// target is the shared-suite target for the int64 instantiation: the
+// model-based conformance, fuzz and stress logic lives in
+// internal/dict/dicttest; this package only supplies the constructor and the
+// quiescent invariant check.
+func target() dicttest.Target {
+	return dicttest.Target{
+		Name: "RBSTM",
+		New:  func() dict.IntMap { return New() },
+		Check: func(d dict.IntMap) error {
+			return d.(*Tree[int64, int64]).CheckInvariants()
+		},
+	}
+}
 
 func TestBasicOperations(t *testing.T) {
 	tr := New()
-	if _, ok := tr.Get(1); ok {
+	if _, ok := tr.Get(4); ok {
 		t.Fatal("Get on empty tree returned ok")
 	}
-	if _, existed := tr.Insert(1, 10); existed {
+	if _, existed := tr.Insert(4, 40); existed {
 		t.Fatal("fresh insert reported existed")
 	}
-	if v, ok := tr.Get(1); !ok || v != 10 {
+	if v, ok := tr.Get(4); !ok || v != 40 {
 		t.Fatalf("Get = (%d,%v)", v, ok)
 	}
-	if old, existed := tr.Insert(1, 11); !existed || old != 10 {
+	if old, existed := tr.Insert(4, 41); !existed || old != 40 {
 		t.Fatalf("overwrite = (%d,%v)", old, existed)
 	}
-	if old, existed := tr.Delete(1); !existed || old != 11 {
+	if old, existed := tr.Delete(4); !existed || old != 41 {
 		t.Fatalf("Delete = (%d,%v)", old, existed)
 	}
-	if _, ok := tr.Get(1); ok {
-		t.Fatal("present after delete")
+	if _, existed := tr.Delete(4); existed {
+		t.Fatal("double delete reported existed")
 	}
 	if err := tr.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestAgainstModel(t *testing.T) {
-	tr := New()
-	model := map[int64]int64{}
-	rng := rand.New(rand.NewSource(21))
-	for i := 0; i < 20000; i++ {
-		key := rng.Int63n(500)
-		switch rng.Intn(3) {
-		case 0:
-			val := rng.Int63()
-			old, existed := tr.Insert(key, val)
-			mOld, mExisted := model[key]
-			if existed != mExisted || (existed && old != mOld) {
-				t.Fatalf("Insert(%d) mismatch at op %d", key, i)
-			}
-			model[key] = val
-		case 1:
-			old, existed := tr.Delete(key)
-			mOld, mExisted := model[key]
-			if existed != mExisted || (existed && old != mOld) {
-				t.Fatalf("Delete(%d) mismatch at op %d", key, i)
-			}
-			delete(model, key)
-		default:
-			v, ok := tr.Get(key)
-			mV, mOk := model[key]
-			if ok != mOk || (ok && v != mV) {
-				t.Fatalf("Get(%d) mismatch at op %d", key, i)
-			}
-		}
-		if i%5000 == 0 {
-			if err := tr.CheckInvariants(); err != nil {
-				t.Fatalf("invariants at op %d: %v", i, err)
-			}
-		}
+func TestSequentialConformance(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		dicttest.SequentialConformance(t, target(), 6000, 600, seed)
 	}
-	if tr.Size() != len(model) {
-		t.Fatalf("Size = %d, want %d", tr.Size(), len(model))
+	// A tiny key range maximizes rotation churn per key.
+	dicttest.SequentialConformance(t, target(), 3000, 8, 99)
+}
+
+// TestComparatorPath runs the same conformance suite against a NewLess tree
+// with a reversed ordering, so the comparator-based search is exercised
+// rather than the devirtualized one New installs.
+func TestComparatorPath(t *testing.T) {
+	desc := func(a, b int64) bool { return a > b }
+	tgt := dicttest.TargetOf[int64, int64]{
+		Name: "RBSTM/desc",
+		New:  func() dict.Map[int64, int64] { return NewLess[int64, int64](desc) },
+		Less: desc,
+		Check: func(d dict.Map[int64, int64]) error {
+			return d.(*Tree[int64, int64]).CheckInvariants()
+		},
 	}
-	if err := tr.CheckInvariants(); err != nil {
-		t.Fatal(err)
+	dicttest.SequentialConformanceKV(t, tgt, 5000,
+		func(u uint64) int64 { return int64(u % 300) },
+		func(u uint64) int64 { return int64(u % (1 << 30)) },
+		7)
+}
+
+// TestStringKeys runs the conformance suite over the string-keyed
+// instantiation, exercising NewOrdered's generic construction path.
+func TestStringKeys(t *testing.T) {
+	tgt := dicttest.TargetOf[string, string]{
+		Name: "RBSTM/string",
+		New:  func() dict.Map[string, string] { return NewOrdered[string, string]() },
+		Less: func(a, b string) bool { return a < b },
+		Check: func(d dict.Map[string, string]) error {
+			return d.(*Tree[string, string]).CheckInvariants()
+		},
 	}
+	dicttest.SequentialConformanceKV(t, tgt, 5000,
+		func(u uint64) string { return fmt.Sprintf("k%03d", u%200) },
+		func(u uint64) string { return fmt.Sprintf("v%d", u%1024) },
+		5)
 }
 
 func TestSuccessorPredecessor(t *testing.T) {
 	tr := New()
-	for k := int64(0); k < 50; k += 5 {
+	for k := int64(0); k < 100; k += 10 {
 		tr.Insert(k, k)
 	}
-	if k, _, ok := tr.Successor(12); !ok || k != 15 {
-		t.Fatalf("Successor(12) = (%d,%v)", k, ok)
+	if k, _, ok := tr.Successor(45); !ok || k != 50 {
+		t.Fatalf("Successor(45) = (%d,%v)", k, ok)
 	}
-	if _, _, ok := tr.Successor(45); ok {
-		t.Fatal("Successor(45) should not exist")
+	if k, _, ok := tr.Successor(90); ok {
+		t.Fatalf("Successor(90) = (%d,%v), want none", k, ok)
 	}
-	if k, _, ok := tr.Predecessor(12); !ok || k != 10 {
-		t.Fatalf("Predecessor(12) = (%d,%v)", k, ok)
+	if k, _, ok := tr.Predecessor(45); !ok || k != 40 {
+		t.Fatalf("Predecessor(45) = (%d,%v)", k, ok)
 	}
-	if _, _, ok := tr.Predecessor(0); ok {
-		t.Fatal("Predecessor(0) should not exist")
-	}
-}
-
-func TestPropertyInvariantsHold(t *testing.T) {
-	prop := func(ins []int16, del []int16) bool {
-		tr := New()
-		for _, k := range ins {
-			tr.Insert(int64(k), int64(k))
-		}
-		for _, k := range del {
-			tr.Delete(int64(k))
-		}
-		keys := tr.Keys()
-		return sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) &&
-			tr.CheckInvariants() == nil
-	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
-		t.Fatal(err)
+	if k, _, ok := tr.Predecessor(0); ok {
+		t.Fatalf("Predecessor(0) = (%d,%v), want none", k, ok)
 	}
 }
 
-func TestConcurrentMixedWorkload(t *testing.T) {
-	tr := New()
-	const goroutines = 8
-	const keysPerG = 100
-	const opsPerG = 2000
-	finals := make([]map[int64]int64, goroutines)
-	var wg sync.WaitGroup
-	for g := 0; g < goroutines; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(g)))
-			final := map[int64]int64{}
-			base := int64(g * keysPerG)
-			for i := 0; i < opsPerG; i++ {
-				key := base + rng.Int63n(keysPerG)
-				if rng.Intn(2) == 0 {
-					val := rng.Int63n(1 << 20)
-					tr.Insert(key, val)
-					final[key] = val
-				} else {
-					tr.Delete(key)
-					final[key] = -1
-				}
-			}
-			finals[g] = final
-		}(g)
-	}
-	wg.Wait()
-	for g, final := range finals {
-		for key, want := range final {
-			v, ok := tr.Get(key)
-			if want == -1 {
-				if ok {
-					t.Fatalf("goroutine %d key %d: present, want deleted", g, key)
-				}
-			} else if !ok || v != want {
-				t.Fatalf("goroutine %d key %d: got (%d,%v), want (%d,true)", g, key, v, ok, want)
-			}
-		}
-	}
-	if err := tr.CheckInvariants(); err != nil {
-		t.Fatalf("invariants after concurrent workload: %v", err)
-	}
+func TestConcurrentStress(t *testing.T) {
+	dicttest.ConcurrentStress(t, target(), 8, 1500, 150)
 }
 
 func TestConcurrentContention(t *testing.T) {
@@ -167,9 +124,9 @@ func TestConcurrentContention(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(g + 77)))
-			for i := 0; i < 1500; i++ {
-				key := rng.Int63n(40)
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 2000; i++ {
+				key := rng.Int63n(48)
 				switch rng.Intn(3) {
 				case 0:
 					tr.Insert(key, key)
@@ -189,7 +146,9 @@ func TestConcurrentContention(t *testing.T) {
 		t.Fatalf("invariants after contention: %v", err)
 	}
 	keys := tr.Keys()
-	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
-		t.Fatal("keys not sorted")
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys out of order: %d >= %d", keys[i-1], keys[i])
+		}
 	}
 }

@@ -2,9 +2,19 @@
 // transactional memory of internal/stm, reproducing the "SkipListSTM"
 // baseline of the paper's evaluation: every operation is a single coarse
 // transaction over the nodes it traverses.
+//
+// The list is generic over the key and value types and implements
+// dict.OrderedMap[K, V]: NewOrdered builds a list over any cmp.Ordered key
+// type, NewLess accepts an arbitrary comparator (see dict.Less for the
+// contract), and New keeps the historical int64 instantiation used by the
+// benchmark registry. Unlike the structures that walk raw pointers, every
+// step of the skip list's search already pays an stm.Read, so there is no
+// devirtualized fast path: the comparator cost is noise next to the STM
+// bookkeeping.
 package stmskip
 
 import (
+	"cmp"
 	"math/rand/v2"
 
 	"repro/internal/stm"
@@ -12,56 +22,61 @@ import (
 
 const maxLevel = 24
 
-type node struct {
-	k     int64
-	v     *stm.Var[int64]
-	next  []*stm.Var[*node]
+type node[K, V any] struct {
+	k     K
+	v     *stm.Var[V]
+	next  []*stm.Var[*node[K, V]]
 	level int
 	// sentinel: -1 head, +1 tail, 0 ordinary
 	sentinel int8
 }
 
-func newNode(k, v int64, level int, sentinel int8) *node {
-	n := &node{k: k, v: stm.NewVar(v), level: level, sentinel: sentinel}
-	n.next = make([]*stm.Var[*node], level+1)
+func newNode[K, V any](k K, v V, level int, sentinel int8) *node[K, V] {
+	n := &node[K, V]{k: k, v: stm.NewVar(v), level: level, sentinel: sentinel}
+	n.next = make([]*stm.Var[*node[K, V]], level+1)
 	for i := range n.next {
-		n.next[i] = stm.NewVar[*node](nil)
+		n.next[i] = stm.NewVar[*node[K, V]](nil)
 	}
 	return n
 }
 
-func (n *node) less(key int64) bool {
-	switch n.sentinel {
-	case -1:
-		return true
-	case 1:
-		return false
-	default:
-		return n.k < key
-	}
-}
-
-func (n *node) equals(key int64) bool { return n.sentinel == 0 && n.k == key }
-
-// List is a transactional skip list implementing an ordered dictionary with
-// int64 keys and values. It is safe for concurrent use.
-type List struct {
-	head *node
+// List is a transactional skip list implementing an ordered dictionary. It
+// is safe for concurrent use. Use New, NewOrdered or NewLess to create one.
+type List[K, V any] struct {
+	head *node[K, V]
 	size *stm.Var[int64]
+	less func(a, b K) bool
 }
 
-// New returns an empty transactional skip list.
-func New() *List {
-	head := newNode(0, 0, maxLevel, -1)
-	tail := newNode(0, 0, maxLevel, 1)
+// NewLess returns an empty transactional skip list whose keys are ordered by
+// less.
+func NewLess[K, V any](less func(a, b K) bool) *List[K, V] {
+	var zk K
+	var zv V
+	head := newNode(zk, zv, maxLevel, -1)
+	tail := newNode(zk, zv, maxLevel, 1)
 	for i := 0; i <= maxLevel; i++ {
 		head.next[i] = stm.NewVar(tail)
 	}
-	return &List{head: head, size: stm.NewVar[int64](0)}
+	return &List[K, V]{head: head, size: stm.NewVar[int64](0), less: less}
 }
 
+// NewOrdered returns an empty transactional skip list over a naturally
+// ordered key type.
+func NewOrdered[K cmp.Ordered, V any]() *List[K, V] {
+	return NewLess[K, V](cmp.Less[K])
+}
+
+// New returns an empty transactional skip list with int64 keys and values,
+// the instantiation the benchmark registry and the paper's figures use.
+func New() *List[int64, int64] { return NewOrdered[int64, int64]() }
+
+// IntList is the historical int64 instantiation used by the benchmark
+// registry.
+type IntList = List[int64, int64]
+
 // Name identifies the data structure in benchmark reports.
-func (l *List) Name() string { return "SkipListSTM" }
+func (l *List[K, V]) Name() string { return "SkipListSTM" }
 
 func randomLevel() int {
 	lvl := 0
@@ -71,13 +86,31 @@ func randomLevel() int {
 	return lvl
 }
 
+// nodeLess reports whether n's key is strictly smaller than key, treating
+// the head sentinel as -infinity and the tail sentinel as +infinity.
+func (l *List[K, V]) nodeLess(n *node[K, V], key K) bool {
+	switch n.sentinel {
+	case -1:
+		return true
+	case 1:
+		return false
+	default:
+		return l.less(n.k, key)
+	}
+}
+
+// isKey reports whether n holds exactly key.
+func (l *List[K, V]) isKey(n *node[K, V], key K) bool {
+	return n.sentinel == 0 && !l.less(n.k, key) && !l.less(key, n.k)
+}
+
 // findPreds fills preds with the rightmost node strictly smaller than key at
 // every level and returns the node following preds[0], all read within tx.
-func (l *List) findPreds(tx *stm.Txn, key int64, preds *[maxLevel + 1]*node) *node {
+func (l *List[K, V]) findPreds(tx *stm.Txn, key K, preds *[maxLevel + 1]*node[K, V]) *node[K, V] {
 	pred := l.head
 	for level := maxLevel; level >= 0; level-- {
 		curr := stm.Read(tx, pred.next[level])
-		for curr.less(key) {
+		for l.nodeLess(curr, key) {
 			pred = curr
 			curr = stm.Read(tx, pred.next[level])
 		}
@@ -86,16 +119,17 @@ func (l *List) findPreds(tx *stm.Txn, key int64, preds *[maxLevel + 1]*node) *no
 	return stm.Read(tx, preds[0].next[0])
 }
 
-// Get returns the value associated with key, or (0, false) if absent.
-func (l *List) Get(key int64) (int64, bool) {
+// Get returns the value associated with key, or the zero value and false if
+// absent.
+func (l *List[K, V]) Get(key K) (V, bool) {
 	type result struct {
-		v  int64
+		v  V
 		ok bool
 	}
 	r := stm.Atomically(func(tx *stm.Txn) result {
-		var preds [maxLevel + 1]*node
+		var preds [maxLevel + 1]*node[K, V]
 		curr := l.findPreds(tx, key, &preds)
-		if curr.equals(key) {
+		if l.isKey(curr, key) {
 			return result{stm.Read(tx, curr.v), true}
 		}
 		return result{}
@@ -105,16 +139,16 @@ func (l *List) Get(key int64) (int64, bool) {
 
 // Insert associates value with key, returning the previous value and true if
 // key was present.
-func (l *List) Insert(key, value int64) (int64, bool) {
+func (l *List[K, V]) Insert(key K, value V) (V, bool) {
 	type result struct {
-		old     int64
+		old     V
 		existed bool
 	}
 	topLevel := randomLevel()
 	r := stm.Atomically(func(tx *stm.Txn) result {
-		var preds [maxLevel + 1]*node
+		var preds [maxLevel + 1]*node[K, V]
 		curr := l.findPreds(tx, key, &preds)
-		if curr.equals(key) {
+		if l.isKey(curr, key) {
 			old := stm.Read(tx, curr.v)
 			stm.Write(tx, curr.v, value)
 			return result{old, true}
@@ -131,15 +165,15 @@ func (l *List) Insert(key, value int64) (int64, bool) {
 }
 
 // Delete removes key, returning its value and true if it was present.
-func (l *List) Delete(key int64) (int64, bool) {
+func (l *List[K, V]) Delete(key K) (V, bool) {
 	type result struct {
-		old     int64
+		old     V
 		existed bool
 	}
 	r := stm.Atomically(func(tx *stm.Txn) result {
-		var preds [maxLevel + 1]*node
+		var preds [maxLevel + 1]*node[K, V]
 		curr := l.findPreds(tx, key, &preds)
-		if !curr.equals(key) {
+		if !l.isKey(curr, key) {
 			return result{}
 		}
 		for level := 0; level <= curr.level; level++ {
@@ -154,15 +188,16 @@ func (l *List) Delete(key int64) (int64, bool) {
 }
 
 // Successor returns the smallest key strictly greater than key.
-func (l *List) Successor(key int64) (int64, int64, bool) {
+func (l *List[K, V]) Successor(key K) (K, V, bool) {
 	type result struct {
-		k, v int64
-		ok   bool
+		k  K
+		v  V
+		ok bool
 	}
 	r := stm.Atomically(func(tx *stm.Txn) result {
-		var preds [maxLevel + 1]*node
+		var preds [maxLevel + 1]*node[K, V]
 		curr := l.findPreds(tx, key, &preds)
-		if curr.equals(key) {
+		if l.isKey(curr, key) {
 			curr = stm.Read(tx, curr.next[0])
 		}
 		if curr.sentinel == 1 {
@@ -174,13 +209,14 @@ func (l *List) Successor(key int64) (int64, int64, bool) {
 }
 
 // Predecessor returns the largest key strictly smaller than key.
-func (l *List) Predecessor(key int64) (int64, int64, bool) {
+func (l *List[K, V]) Predecessor(key K) (K, V, bool) {
 	type result struct {
-		k, v int64
-		ok   bool
+		k  K
+		v  V
+		ok bool
 	}
 	r := stm.Atomically(func(tx *stm.Txn) result {
-		var preds [maxLevel + 1]*node
+		var preds [maxLevel + 1]*node[K, V]
 		l.findPreds(tx, key, &preds)
 		pred := preds[0]
 		if pred.sentinel == -1 {
@@ -192,17 +228,56 @@ func (l *List) Predecessor(key int64) (int64, int64, bool) {
 }
 
 // Size returns the number of keys stored.
-func (l *List) Size() int {
+func (l *List[K, V]) Size() int {
 	return int(stm.Atomically(func(tx *stm.Txn) int64 { return stm.Read(tx, l.size) }))
 }
 
 // Keys returns all keys in ascending order, read in one transaction.
-func (l *List) Keys() []int64 {
-	return stm.Atomically(func(tx *stm.Txn) []int64 {
-		var keys []int64
+func (l *List[K, V]) Keys() []K {
+	return stm.Atomically(func(tx *stm.Txn) []K {
+		var keys []K
 		for n := stm.Read(tx, l.head.next[0]); n.sentinel != 1; n = stm.Read(tx, n.next[0]) {
 			keys = append(keys, n.k)
 		}
 		return keys
 	})
 }
+
+// CheckInvariants verifies, in one transaction, that every level is
+// strictly ordered and that every level is a sublist of the level below it
+// (every node linked at level i is also reachable at level i-1).
+func (l *List[K, V]) CheckInvariants() error {
+	bad := stm.Atomically(func(tx *stm.Txn) error {
+		for level := 0; level <= maxLevel; level++ {
+			var prev *node[K, V]
+			for n := stm.Read(tx, l.head.next[level]); n.sentinel != 1; n = stm.Read(tx, n.next[level]) {
+				if prev != nil && !l.less(prev.k, n.k) {
+					return errOrder
+				}
+				prev = n
+			}
+		}
+		for level := 1; level <= maxLevel; level++ {
+			lower := map[*node[K, V]]bool{}
+			for n := stm.Read(tx, l.head.next[level-1]); n.sentinel != 1; n = stm.Read(tx, n.next[level-1]) {
+				lower[n] = true
+			}
+			for n := stm.Read(tx, l.head.next[level]); n.sentinel != 1; n = stm.Read(tx, n.next[level]) {
+				if !lower[n] {
+					return errTower
+				}
+			}
+		}
+		return nil
+	})
+	return bad
+}
+
+type listError string
+
+func (e listError) Error() string { return string(e) }
+
+const (
+	errOrder = listError("stmskip: level out of order")
+	errTower = listError("stmskip: tower node missing from lower level")
+)

@@ -1,12 +1,28 @@
 package stmskip
 
 import (
+	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 	"testing"
-	"testing/quick"
+
+	"repro/internal/dict"
+	"repro/internal/dict/dicttest"
 )
+
+// target is the shared-suite target for the int64 instantiation: the
+// model-based conformance, fuzz and stress logic lives in
+// internal/dict/dicttest; this package only supplies the constructor and the
+// quiescent invariant check.
+func target() dicttest.Target {
+	return dicttest.Target{
+		Name: "SkipListSTM",
+		New:  func() dict.IntMap { return New() },
+		Check: func(d dict.IntMap) error {
+			return d.(*List[int64, int64]).CheckInvariants()
+		},
+	}
+}
 
 func TestBasicOperations(t *testing.T) {
 	l := New()
@@ -19,135 +35,85 @@ func TestBasicOperations(t *testing.T) {
 	if v, ok := l.Get(3); !ok || v != 30 {
 		t.Fatalf("Get = (%d,%v)", v, ok)
 	}
-	if old, existed := l.Insert(3, 33); !existed || old != 30 {
+	if old, existed := l.Insert(3, 31); !existed || old != 30 {
 		t.Fatalf("overwrite = (%d,%v)", old, existed)
 	}
-	if old, existed := l.Delete(3); !existed || old != 33 {
+	if old, existed := l.Delete(3); !existed || old != 31 {
 		t.Fatalf("Delete = (%d,%v)", old, existed)
 	}
-	if _, ok := l.Get(3); ok {
-		t.Fatal("present after delete")
+	if _, existed := l.Delete(3); existed {
+		t.Fatal("double delete reported existed")
 	}
 	if l.Size() != 0 {
 		t.Fatalf("Size = %d, want 0", l.Size())
 	}
 }
 
-func TestAgainstModel(t *testing.T) {
-	l := New()
-	model := map[int64]int64{}
-	rng := rand.New(rand.NewSource(31))
-	for i := 0; i < 15000; i++ {
-		key := rng.Int63n(400)
-		switch rng.Intn(3) {
-		case 0:
-			val := rng.Int63()
-			old, existed := l.Insert(key, val)
-			mOld, mExisted := model[key]
-			if existed != mExisted || (existed && old != mOld) {
-				t.Fatalf("Insert(%d) mismatch at op %d", key, i)
-			}
-			model[key] = val
-		case 1:
-			old, existed := l.Delete(key)
-			mOld, mExisted := model[key]
-			if existed != mExisted || (existed && old != mOld) {
-				t.Fatalf("Delete(%d) mismatch at op %d", key, i)
-			}
-			delete(model, key)
-		default:
-			v, ok := l.Get(key)
-			mV, mOk := model[key]
-			if ok != mOk || (ok && v != mV) {
-				t.Fatalf("Get(%d) mismatch at op %d", key, i)
-			}
-		}
+func TestSequentialConformance(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		dicttest.SequentialConformance(t, target(), 6000, 600, seed)
 	}
-	if l.Size() != len(model) {
-		t.Fatalf("Size = %d, want %d", l.Size(), len(model))
+	// A tiny key range maximizes tower churn per key.
+	dicttest.SequentialConformance(t, target(), 3000, 8, 99)
+}
+
+// TestComparatorPath runs the same conformance suite against a NewLess list
+// with a reversed ordering, so the comparator contract (not the natural
+// int64 order) is what the structure must honour.
+func TestComparatorPath(t *testing.T) {
+	desc := func(a, b int64) bool { return a > b }
+	tgt := dicttest.TargetOf[int64, int64]{
+		Name: "SkipListSTM/desc",
+		New:  func() dict.Map[int64, int64] { return NewLess[int64, int64](desc) },
+		Less: desc,
+		Check: func(d dict.Map[int64, int64]) error {
+			return d.(*List[int64, int64]).CheckInvariants()
+		},
 	}
-	keys := l.Keys()
-	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
-		t.Fatal("keys not sorted")
+	dicttest.SequentialConformanceKV(t, tgt, 5000,
+		func(u uint64) int64 { return int64(u % 300) },
+		func(u uint64) int64 { return int64(u % (1 << 30)) },
+		7)
+}
+
+// TestStringKeys runs the conformance suite over the string-keyed
+// instantiation, exercising NewOrdered's generic construction path.
+func TestStringKeys(t *testing.T) {
+	tgt := dicttest.TargetOf[string, string]{
+		Name: "SkipListSTM/string",
+		New:  func() dict.Map[string, string] { return NewOrdered[string, string]() },
+		Less: func(a, b string) bool { return a < b },
+		Check: func(d dict.Map[string, string]) error {
+			return d.(*List[string, string]).CheckInvariants()
+		},
 	}
+	dicttest.SequentialConformanceKV(t, tgt, 5000,
+		func(u uint64) string { return fmt.Sprintf("k%03d", u%200) },
+		func(u uint64) string { return fmt.Sprintf("v%d", u%1024) },
+		5)
 }
 
 func TestSuccessorPredecessor(t *testing.T) {
 	l := New()
-	for k := int64(0); k < 60; k += 6 {
-		l.Insert(k, k)
+	for k := int64(0); k < 100; k += 10 {
+		l.Insert(k, k*2)
 	}
-	if k, _, ok := l.Successor(13); !ok || k != 18 {
-		t.Fatalf("Successor(13) = (%d,%v)", k, ok)
+	if k, v, ok := l.Successor(45); !ok || k != 50 || v != 100 {
+		t.Fatalf("Successor(45) = (%d,%d,%v)", k, v, ok)
 	}
-	if k, _, ok := l.Successor(12); !ok || k != 18 {
-		t.Fatalf("Successor(12) = (%d,%v)", k, ok)
+	if k, _, ok := l.Successor(90); ok {
+		t.Fatalf("Successor(90) = (%d,%v), want none", k, ok)
 	}
-	if _, _, ok := l.Successor(54); ok {
-		t.Fatal("Successor(54) should not exist")
+	if k, v, ok := l.Predecessor(45); !ok || k != 40 || v != 80 {
+		t.Fatalf("Predecessor(45) = (%d,%d,%v)", k, v, ok)
 	}
-	if k, _, ok := l.Predecessor(13); !ok || k != 12 {
-		t.Fatalf("Predecessor(13) = (%d,%v)", k, ok)
-	}
-	if _, _, ok := l.Predecessor(0); ok {
-		t.Fatal("Predecessor(0) should not exist")
+	if k, _, ok := l.Predecessor(0); ok {
+		t.Fatalf("Predecessor(0) = (%d,%v), want none", k, ok)
 	}
 }
 
-func TestPropertyMatchesModel(t *testing.T) {
-	prop := func(ins []int16, del []int16) bool {
-		l := New()
-		model := map[int64]bool{}
-		for _, k := range ins {
-			l.Insert(int64(k), int64(k))
-			model[int64(k)] = true
-		}
-		for _, k := range del {
-			l.Delete(int64(k))
-			delete(model, int64(k))
-		}
-		if l.Size() != len(model) {
-			return false
-		}
-		for k := range model {
-			if _, ok := l.Get(k); !ok {
-				return false
-			}
-		}
-		keys := l.Keys()
-		return sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestConcurrentDisjointKeys(t *testing.T) {
-	l := New()
-	const goroutines = 8
-	const perG = 500
-	var wg sync.WaitGroup
-	for g := 0; g < goroutines; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			base := int64(g * perG)
-			for i := int64(0); i < perG; i++ {
-				l.Insert(base+i, base+i)
-			}
-			for i := int64(0); i < perG; i += 2 {
-				l.Delete(base + i)
-			}
-		}(g)
-	}
-	wg.Wait()
-	if got, want := l.Size(), goroutines*perG/2; got != want {
-		t.Fatalf("Size = %d, want %d", got, want)
-	}
-	keys := l.Keys()
-	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
-		t.Fatal("keys not sorted")
-	}
+func TestConcurrentStress(t *testing.T) {
+	dicttest.ConcurrentStress(t, target(), 8, 1500, 150)
 }
 
 func TestConcurrentContention(t *testing.T) {
@@ -159,8 +125,8 @@ func TestConcurrentContention(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(g)))
-			for i := 0; i < 1000; i++ {
-				key := rng.Int63n(32)
+			for i := 0; i < 2000; i++ {
+				key := rng.Int63n(48)
 				switch rng.Intn(3) {
 				case 0:
 					l.Insert(key, key)
@@ -176,6 +142,9 @@ func TestConcurrentContention(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after contention: %v", err)
+	}
 	keys := l.Keys()
 	for i := 1; i < len(keys); i++ {
 		if keys[i-1] >= keys[i] {

@@ -144,4 +144,4 @@ func TestPropertyGeneratorKeysInRange(t *testing.T) {
 	}
 }
 
-var _ dict.IntMap = (*seqrbt.Tree)(nil)
+var _ dict.IntMap = (*seqrbt.Tree[int64, int64])(nil)
