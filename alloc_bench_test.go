@@ -32,10 +32,17 @@ func allocKey(i int) int64 { return int64((uint64(i) * allocKeyMult) & allocKeyM
 // this PR's hot-path work targets.
 var allocBenchStructures = []string{"Chromatic", "RAVL", "EBST"}
 
-// BenchmarkAlloc reports ns/op and allocs/op for Get, Insert and Delete on
-// each template-based tree. Run with -benchmem (ReportAllocs is set anyway)
-// and compare allocs/op across commits; BENCH_pr3.json records the snapshot
-// committed with the PR that introduced these benchmarks.
+// allocOverwriteStructures additionally cover the two rewritten baselines:
+// with the unboxed value cells, Insert on a present key must allocate
+// nothing anywhere in the registry's int64 instantiations.
+var allocOverwriteStructures = []string{"Chromatic", "RAVL", "EBST", "SkipList", "LockAVL"}
+
+// BenchmarkAlloc reports ns/op and allocs/op for Get, Insert, Overwrite
+// (Insert on a present key) and Delete on each template-based tree, plus the
+// Overwrite case for the skip list and the lock-based AVL tree. Run with
+// -benchmem (ReportAllocs is set anyway) and compare allocs/op across
+// commits; BENCH_pr3.json records the snapshot committed with the PR that
+// introduced these benchmarks.
 func BenchmarkAlloc(b *testing.B) {
 	for _, name := range allocBenchStructures {
 		factory, ok := bench.Lookup(name)
@@ -45,6 +52,29 @@ func BenchmarkAlloc(b *testing.B) {
 		b.Run(name+"/Get", func(b *testing.B) { benchmarkAllocGet(b, factory) })
 		b.Run(name+"/Insert", func(b *testing.B) { benchmarkAllocInsert(b, factory) })
 		b.Run(name+"/Delete", func(b *testing.B) { benchmarkAllocDelete(b, factory) })
+	}
+	for _, name := range allocOverwriteStructures {
+		factory, ok := bench.Lookup(name)
+		if !ok {
+			b.Fatalf("unknown structure %q", name)
+		}
+		b.Run(name+"/Overwrite", func(b *testing.B) { benchmarkAllocOverwrite(b, factory) })
+	}
+}
+
+// benchmarkAllocOverwrite measures Insert on a present key: the structure is
+// filled once and every timed Insert hits an existing key in the permuted
+// order, so the whole run goes through the in-place overwrite path.
+func benchmarkAllocOverwrite(b *testing.B, factory dict.IntFactory) {
+	d := factory.New()
+	for i := int64(0); i < allocKeyRange; i++ {
+		d.Insert(i, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := allocKey(i)
+		d.Insert(k, int64(i))
 	}
 }
 
@@ -119,6 +149,41 @@ func TestChromaticAllocBudget(t *testing.T) {
 		t.Errorf("Chromatic Delete allocates %.2f allocs/op, budget is %.1f", delAllocs, chromaticAllocBudget)
 	}
 	t.Logf("Chromatic allocs/op: Insert %.2f, Delete %.2f (budget %.1f)", insAllocs, delAllocs, chromaticAllocBudget)
+}
+
+// overwriteAllocBudget is the committed allocs/op ceiling for Insert on a
+// present key with int64 values: zero, for every structure the in-place
+// overwrite work covers. The trees publish into the leaf's unboxed value
+// cell without an SCX (previously >= 2 allocs: a replacement leaf plus a
+// descriptor), and the skip list and lock-based AVL tree publish into their
+// nodes' unboxed cells (previously 1 alloc: the atomic.Pointer box).
+const overwriteAllocBudget = 0.0
+
+// TestOverwriteAllocBudget fails if Insert on a present key allocates on any
+// covered structure. Single-threaded and deterministic: overwrites trigger
+// no structural change, so there is no rebalancing noise to average out.
+func TestOverwriteAllocBudget(t *testing.T) {
+	for _, name := range allocOverwriteStructures {
+		factory, ok := bench.Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		d := factory.New()
+		const keys = 1 << 10
+		for i := int64(0); i < keys; i++ {
+			d.Insert(i, i)
+		}
+		i := 0
+		allocs := testing.AllocsPerRun(20000, func() {
+			d.Insert(allocKey(i)&(keys-1), int64(i))
+			i++
+		})
+		if allocs > overwriteAllocBudget {
+			t.Errorf("%s overwrite allocates %.2f allocs/op, budget is %.1f", name, allocs, overwriteAllocBudget)
+		} else {
+			t.Logf("%s overwrite: %.2f allocs/op", name, allocs)
+		}
+	}
 }
 
 // benchmarkAllocDelete measures steady-state deletion: the tree starts

@@ -43,9 +43,10 @@ func benchmarkDictionary(b *testing.B, factory dict.IntFactory, mix workload.Mix
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		gen := workload.NewGenerator(mix, keyRange, 1000+worker.Add(1))
+		span := gen.ScanSpan()
 		for pb.Next() {
 			op, key := gen.Next()
-			workload.Apply(d, op, key)
+			workload.Apply(d, op, key, span)
 		}
 	})
 }
@@ -110,7 +111,7 @@ func BenchmarkFigure9(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					op, key := gen.Next()
-					workload.Apply(d, op, key)
+					workload.Apply(d, op, key, gen.ScanSpan())
 				}
 			})
 		}
@@ -131,7 +132,7 @@ func BenchmarkHeightBound(b *testing.B) {
 		gen := workload.NewGenerator(workload.Mix50i50d, keyRange, worker.Add(1))
 		for pb.Next() {
 			op, key := gen.Next()
-			workload.Apply(tree, op, key)
+			workload.Apply(tree, op, key, gen.ScanSpan())
 		}
 	})
 	b.StopTimer()
@@ -162,7 +163,7 @@ func BenchmarkViolationThreshold(b *testing.B) {
 				gen := workload.NewGenerator(workload.Mix50i50d, keyRange, worker.Add(1))
 				for pb.Next() {
 					op, key := gen.Next()
-					workload.Apply(tree, op, key)
+					workload.Apply(tree, op, key, gen.ScanSpan())
 				}
 			})
 			b.StopTimer()

@@ -5,7 +5,10 @@
 // Experiments:
 //
 //	figure8   throughput vs thread count for every data structure, for the
-//	          3 operation mixes x 3 key ranges of Figure 8
+//	          3 operation mixes x 3 key ranges of Figure 8 extended by a
+//	          scan-heavy mix (5i-5d-50s) and a zipfian (hot-key) variant of
+//	          every cell; narrow with -mixes/-dists (with -paper the grid is
+//	          exactly the paper's: its three mixes, uniform keys)
 //	figure9   single-threaded throughput relative to the sequential
 //	          red-black tree (Figure 9)
 //	ratios    the headline Chromatic6-vs-competitor speedups quoted in the
@@ -20,6 +23,7 @@
 // Example:
 //
 //	chromatic-bench -experiment figure8 -duration 2s -keyranges 100,10000,1000000
+//	chromatic-bench -experiment figure8 -mixes 50i-50d,5i-5d-50s -dists zipf
 //
 // The defaults are scaled down so the full run finishes in a few minutes on
 // a laptop; pass -paper to use the paper's exact thread counts and key
@@ -47,18 +51,31 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/workload"
 )
 
 // jsonRow is one measurement in the machine-readable output produced by
 // -json: every timed trial cell any experiment runs, in the order it ran.
 // The schema is kept deliberately flat so successive BENCH_*.json snapshots
-// can be diffed and plotted across PRs.
+// can be diffed and plotted across PRs. Dist is omitted for uniform keys, so
+// snapshots written before the key-distribution dimension existed compare
+// cell-for-cell with current uniform cells.
 type jsonRow struct {
 	Structure string  `json:"structure"`
 	Mix       string  `json:"mix"`
 	KeyRange  int64   `json:"keyrange"`
 	Threads   int     `json:"threads"`
+	Dist      string  `json:"dist,omitempty"`
 	Mops      float64 `json:"mops"`
+}
+
+// distName renders a workload.Dist for jsonRow: empty for uniform (see
+// above), the Dist name otherwise.
+func distName(d workload.Dist) string {
+	if d == workload.DistUniform {
+		return ""
+	}
+	return d.String()
 }
 
 func main() {
@@ -68,6 +85,9 @@ func main() {
 		trials     = flag.Int("trials", 1, "trials per configuration (mean is reported)")
 		threads    = flag.String("threads", "", "comma-separated thread counts (default: scaled to this machine)")
 		keyRanges  = flag.String("keyranges", "", "comma-separated key ranges (default: 100,10000,1000000)")
+		mixes      = flag.String("mixes", "", "comma-separated operation mixes for figure8, e.g. 50i-50d,5i-5d-50s (default: the paper's three mixes plus the scan-heavy mix)")
+		dists      = flag.String("dists", "", "comma-separated key distributions for figure8: uniform,zipf (default: both)")
+		scanSpan   = flag.Int64("scanspan", workload.DefaultScanSpan, "key-window width of each range-scan operation")
 		structs    = flag.String("structures", "", "comma-separated structure names (default: all registered)")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		paper      = flag.Bool("paper", false, "use the paper's thread counts (1,32,64,96,128) and key ranges")
@@ -105,6 +125,13 @@ func main() {
 		Duration: *duration,
 		Trials:   *trials,
 		Seed:     *seed,
+		// The command's figure8 grid defaults to the extended presets: the
+		// paper's mixes plus the scan-heavy mix, over uniform and zipfian
+		// keys. -mixes/-dists narrow it back down (the library default,
+		// used by the other experiments, stays the paper's uniform grid).
+		Mixes:    bench.Figure8Mixes(),
+		Dists:    bench.Figure8Dists(),
+		ScanSpan: *scanSpan,
 	}
 	var rows []jsonRow
 	if *jsonPath != "" {
@@ -114,6 +141,7 @@ func main() {
 				Mix:       r.Config.Mix.String(),
 				KeyRange:  r.Config.KeyRange,
 				Threads:   r.Config.Threads,
+				Dist:      distName(r.Config.Dist),
 				Mops:      r.Mops(),
 			})
 		}
@@ -121,12 +149,20 @@ func main() {
 	if *paper {
 		opts.Threads = bench.PaperThreadCounts()
 		opts.KeyRanges = bench.PaperKeyRanges()
+		opts.Mixes = bench.PaperMixes()
+		opts.Dists = nil // uniform only, as in the paper
 	}
 	if *threads != "" {
 		opts.Threads = parseInts(*threads)
 	}
 	if *keyRanges != "" {
 		opts.KeyRanges = parseInt64s(*keyRanges)
+	}
+	if *mixes != "" {
+		opts.Mixes = parseMixes(*mixes)
+	}
+	if *dists != "" {
+		opts.Dists = parseDists(*dists)
 	}
 	if *structs != "" {
 		opts.Structures = strings.Split(*structs, ",")
@@ -196,12 +232,15 @@ func main() {
 	}
 }
 
-// cellKey identifies one measured configuration across snapshots.
+// cellKey identifies one measured configuration across snapshots. Dist is
+// empty for uniform keys (matching rows written before the distribution
+// dimension existed).
 type cellKey struct {
 	Structure string
 	Mix       string
 	KeyRange  int64
 	Threads   int
+	Dist      string
 }
 
 // readSnapshot loads a -json snapshot and averages duplicate cells (an
@@ -220,7 +259,11 @@ func readSnapshot(path string) (map[cellKey]float64, []cellKey, error) {
 	counts := make(map[cellKey]int)
 	var order []cellKey
 	for _, r := range rows {
-		k := cellKey{r.Structure, r.Mix, r.KeyRange, r.Threads}
+		dist := r.Dist
+		if dist == "uniform" {
+			dist = "" // normalize: pre-dist snapshots wrote no dist field
+		}
+		k := cellKey{r.Structure, r.Mix, r.KeyRange, r.Threads, dist}
 		if counts[k] == 0 {
 			order = append(order, k)
 		}
@@ -247,8 +290,14 @@ func compareSnapshots(out *os.File, oldPath, newPath string, threshold float64) 
 	if err != nil {
 		return false, err
 	}
-	fmt.Fprintf(out, "%-12s %-10s %9s %8s %10s %10s %8s\n",
-		"structure", "mix", "keyrange", "threads", "old Mops", "new Mops", "delta")
+	fmt.Fprintf(out, "%-12s %-10s %-8s %9s %8s %10s %10s %8s\n",
+		"structure", "mix", "dist", "keyrange", "threads", "old Mops", "new Mops", "delta")
+	distCol := func(k cellKey) string {
+		if k.Dist == "" {
+			return "uniform"
+		}
+		return k.Dist
+	}
 	var nRegressed, nCompared int
 	for _, k := range order {
 		oldMops, ok := oldCells[k]
@@ -257,8 +306,8 @@ func compareSnapshots(out *os.File, oldPath, newPath string, threshold float64) 
 		}
 		newMops, ok := newCells[k]
 		if !ok {
-			fmt.Fprintf(out, "%-12s %-10s %9d %8d %10.3f %10s %8s\n",
-				k.Structure, k.Mix, k.KeyRange, k.Threads, oldMops, "-", "gone")
+			fmt.Fprintf(out, "%-12s %-10s %-8s %9d %8d %10.3f %10s %8s\n",
+				k.Structure, k.Mix, distCol(k), k.KeyRange, k.Threads, oldMops, "-", "gone")
 			continue
 		}
 		nCompared++
@@ -271,13 +320,13 @@ func compareSnapshots(out *os.File, oldPath, newPath string, threshold float64) 
 			flag = "  REGRESSION"
 			nRegressed++
 		}
-		fmt.Fprintf(out, "%-12s %-10s %9d %8d %10.3f %10.3f %+7.1f%%%s\n",
-			k.Structure, k.Mix, k.KeyRange, k.Threads, oldMops, newMops, delta*100, flag)
+		fmt.Fprintf(out, "%-12s %-10s %-8s %9d %8d %10.3f %10.3f %+7.1f%%%s\n",
+			k.Structure, k.Mix, distCol(k), k.KeyRange, k.Threads, oldMops, newMops, delta*100, flag)
 	}
 	for _, k := range newOrder {
 		if _, ok := oldCells[k]; !ok {
-			fmt.Fprintf(out, "%-12s %-10s %9d %8d %10s %10.3f %8s\n",
-				k.Structure, k.Mix, k.KeyRange, k.Threads, "-", newCells[k], "new")
+			fmt.Fprintf(out, "%-12s %-10s %-8s %9d %8d %10s %10.3f %8s\n",
+				k.Structure, k.Mix, distCol(k), k.KeyRange, k.Threads, "-", newCells[k], "new")
 		}
 	}
 	fmt.Fprintf(out, "\n%d cells compared, %d regressed beyond %.0f%%\n",
@@ -302,6 +351,32 @@ func writeJSON(path string, rows []jsonRow) error {
 		return err
 	}
 	return f.Close()
+}
+
+func parseMixes(s string) []workload.Mix {
+	var out []workload.Mix
+	for _, part := range strings.Split(s, ",") {
+		m, err := workload.ParseMix(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func parseDists(s string) []workload.Dist {
+	var out []workload.Dist
+	for _, part := range strings.Split(s, ",") {
+		d, err := workload.ParseDist(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 func parseInts(s string) []int {

@@ -355,6 +355,61 @@ func TestOrderedMapConcurrentStress(t *testing.T) {
 	}
 }
 
+// TestHotKeyOverwriteStress hammers one key with concurrent overwrites while
+// the same key (and its neighbours) are inserted and deleted, over every
+// concurrency-safe structure in the registry. This is the targeted stress
+// for the SCX-free in-place overwrite: values observed for the hot key must
+// always be ones a writer actually published, and a successful delete at
+// quiescence must never be undone by a racing overwrite (no lost
+// finalization / resurrection). It runs under -race in CI (the race job's
+// test pattern matches "Stress").
+func TestHotKeyOverwriteStress(t *testing.T) {
+	for _, tgt := range allConcurrentTargets(t) {
+		t.Run(tgt.Name, func(t *testing.T) {
+			dicttest.HotKeyStress(t, tgt, 4, 6000)
+		})
+	}
+}
+
+// TestHotKeyOverwriteStressBoxedValues repeats the hot-key stress with
+// string values on the template trees and the two rewritten baselines, so
+// the boxed (pointer) representation of the value cells - the fallback for
+// non-word-sized value types - goes through the same overwrite races as the
+// unboxed one.
+func TestHotKeyOverwriteStressBoxedValues(t *testing.T) {
+	targets := []dicttest.TargetOf[int64, string]{
+		{
+			Name: "Chromatic/boxed",
+			New:  func() dict.Map[int64, string] { return chromatic.NewOrdered[int64, string]() },
+			Less: func(a, b int64) bool { return a < b },
+		},
+		{
+			Name: "EBST/boxed",
+			New:  func() dict.Map[int64, string] { return ebst.NewOrdered[int64, string]() },
+			Less: func(a, b int64) bool { return a < b },
+		},
+		{
+			Name: "SkipList/boxed",
+			New:  func() dict.Map[int64, string] { return skiplist.NewOrdered[int64, string]() },
+			Less: func(a, b int64) bool { return a < b },
+		},
+		{
+			Name: "LockAVL/boxed",
+			New:  func() dict.Map[int64, string] { return lockavl.NewOrdered[int64, string]() },
+			Less: func(a, b int64) bool { return a < b },
+		},
+	}
+	const hot = int64(1 << 20)
+	neighbors := []int64{hot - 2, hot - 1, hot + 1, hot + 2}
+	for _, tgt := range targets {
+		t.Run(tgt.Name, func(t *testing.T) {
+			dicttest.HotKeyStressKV(t, tgt, 4, 4000, hot, neighbors,
+				func(w, i int) string { return fmt.Sprintf("w%d/%d", w, i) },
+				"churn")
+		})
+	}
+}
+
 // FuzzOrderedMapAgainstModel feeds an arbitrary byte stream, decoded as
 // (opcode, key, value) triples, to every structure - template trees and
 // baselines, both the int64 registry instantiations and the string-keyed

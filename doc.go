@@ -29,11 +29,23 @@
 // where the template's postconditions allow (values stored into child
 // fields must stay freshly allocated, so deletes still promote a copy); and
 // NewOrdered trees install a
-// search routine specialized to the native `<` of the key type. Descriptor
+// search routine specialized to the native `<` of the key type. Overwriting
+// a present key's value needs no SCX at all: leaf values live in atomically
+// published cells (internal/vcell, unboxed single-word storage for
+// word-sized value types) that sit outside the LLX snapshot evidence and
+// are aliased by every copy of a leaf, so Insert-on-present is one atomic
+// publish plus a finalization re-check - zero allocations for the int64
+// registry, on the trees and the skip-list/lock-AVL baselines alike.
+// Descriptor
 // and node reclamation is the garbage collector's job - that is what rules
-// out ABA, exactly as in the paper's Java runtime. BenchmarkAlloc and
-// TestChromaticAllocBudget (alloc_bench_test.go) pin the resulting
-// allocation profile in CI.
+// out ABA, exactly as in the paper's Java runtime. BenchmarkAlloc,
+// TestChromaticAllocBudget and TestOverwriteAllocBudget
+// (alloc_bench_test.go) pin the resulting allocation profile in CI.
+//
+// The workload generator covers the paper's uniform operation mixes plus a
+// zipfian (hot-key) key distribution and a range-scan mix share; the
+// Figure-8 grid and cmd/chromatic-bench sweep all of them (-mixes, -dists,
+// -scanspan).
 //
 // The root package only hosts the repository-level benchmarks
 // (bench_test.go, alloc_bench_test.go) and the cross-implementation

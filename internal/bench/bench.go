@@ -20,13 +20,19 @@ import (
 )
 
 // Config describes one benchmark cell: a data structure, an operation mix, a
-// key range, a worker count and a trial duration.
+// key distribution, a key range, a worker count and a trial duration.
 type Config struct {
 	Factory  dict.IntFactory
 	Mix      workload.Mix
 	KeyRange int64
 	Threads  int
 	Duration time.Duration
+	// Dist is the key distribution (uniform by default; DistZipf for the
+	// skewed grid cells).
+	Dist workload.Dist
+	// ScanSpan is the key-window width of the mix's scan operations;
+	// 0 means workload.DefaultScanSpan.
+	ScanSpan int64
 	// Trials is the number of timed trials to run (each on a fresh,
 	// re-prefilled structure); the mean is reported. Defaults to 1.
 	Trials int
@@ -108,8 +114,10 @@ func runTrial(cfg Config, trial int64) (int64, time.Duration, float64, int) {
 	for w := 0; w < cfg.Threads; w++ {
 		go func(worker int) {
 			defer wg.Done()
-			gen := workload.NewGenerator(cfg.Mix, cfg.KeyRange,
+			gen := workload.NewGeneratorDist(cfg.Mix, cfg.KeyRange, cfg.Dist,
 				cfg.Seed^(trial*1_000_003)^int64(worker)*2_654_435_761)
+			gen.SetScanSpan(cfg.ScanSpan)
+			span := gen.ScanSpan()
 			ready.Done()
 			<-start
 			begin := time.Now()
@@ -125,7 +133,7 @@ func runTrial(cfg Config, trial int64) (int64, time.Duration, float64, int) {
 				// measurement overhead negligible.
 				for i := 0; i < 64; i++ {
 					op, key := gen.Next()
-					workload.Apply(d, op, key)
+					workload.Apply(d, op, key, span)
 				}
 				local += 64
 			}
@@ -148,10 +156,13 @@ func runTrial(cfg Config, trial int64) (int64, time.Duration, float64, int) {
 	return ops, sumElapsed / time.Duration(cfg.Threads), throughput, prefilled
 }
 
-// Cell identifies one cell of the Figure 8 grid.
+// Cell identifies one cell of the Figure 8 grid. Dist extends the paper's
+// (mix, key range) plane with the key-distribution dimension; the zero value
+// (uniform) reproduces the paper's cells.
 type Cell struct {
 	Mix      workload.Mix
 	KeyRange int64
+	Dist     workload.Dist
 }
 
 // Table accumulates results for one (mix, key range) cell of Figure 8:
@@ -186,8 +197,8 @@ func (t *Table) Add(structure string, threads int, mops float64) {
 // thread count, one column per data structure, cells in Mops/s.
 func (t *Table) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "workload %s, key range [0,%d)  (millions of operations per second)\n",
-		t.Cell.Mix, t.Cell.KeyRange)
+	fmt.Fprintf(&b, "workload %s, %s keys, key range [0,%d)  (millions of operations per second)\n",
+		t.Cell.Mix, t.Cell.Dist, t.Cell.KeyRange)
 	fmt.Fprintf(&b, "%8s", "threads")
 	for _, s := range t.Structures {
 		fmt.Fprintf(&b, " %12s", s)
@@ -259,4 +270,19 @@ func PaperKeyRanges() []int64 { return []int64{100, 10_000, 1_000_000} }
 // PaperMixes returns the operation mixes used in Figure 8 of the paper.
 func PaperMixes() []workload.Mix {
 	return []workload.Mix{workload.Mix50i50d, workload.Mix20i10d, workload.Mix0i0d}
+}
+
+// Figure8Mixes returns the operation mixes of the extended Figure-8 grid:
+// the paper's three mixes plus the scan-heavy mix, which exercises
+// RangeScan under concurrent updates.
+func Figure8Mixes() []workload.Mix {
+	return append(PaperMixes(), workload.Mix5i5d50s)
+}
+
+// Figure8Dists returns the key distributions of the extended Figure-8 grid:
+// the paper's uniform draws plus the zipfian (hot-key) distribution, which
+// turns most of an update-heavy mix into overwrites of present keys and so
+// exposes the cost of Insert-on-present.
+func Figure8Dists() []workload.Dist {
+	return []workload.Dist{workload.DistUniform, workload.DistZipf}
 }

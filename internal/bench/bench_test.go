@@ -142,6 +142,54 @@ func TestDefaultThreadCounts(t *testing.T) {
 	if got := PaperMixes(); len(got) != 3 {
 		t.Fatalf("PaperMixes = %v", got)
 	}
+	if got := Figure8Mixes(); len(got) != 4 || got[3] != workload.Mix5i5d50s {
+		t.Fatalf("Figure8Mixes = %v, want the paper's mixes plus %v", got, workload.Mix5i5d50s)
+	}
+	if got := Figure8Dists(); len(got) != 2 || got[0] != workload.DistUniform || got[1] != workload.DistZipf {
+		t.Fatalf("Figure8Dists = %v, want [uniform zipf]", got)
+	}
+}
+
+// TestFigure8SkewAndScanCells runs the extended grid - the zipfian key
+// distribution and the scan-heavy mix - at a small scale and checks that
+// every requested cell produces throughput and is labelled with its
+// distribution.
+func TestFigure8SkewAndScanCells(t *testing.T) {
+	var sb strings.Builder
+	opts := Options{
+		Duration:   25 * time.Millisecond,
+		KeyRanges:  []int64{256},
+		Mixes:      []workload.Mix{workload.Mix50i50d, workload.Mix5i5d50s},
+		Dists:      Figure8Dists(),
+		Structures: []string{"Chromatic", "SkipList"},
+		Threads:    []int{2},
+	}
+	var observed []Result
+	opts.Observe = func(r Result) { observed = append(observed, r) }
+	tables := Figure8(&sb, opts)
+	if len(tables) != 4 { // 2 mixes x 1 key range x 2 dists
+		t.Fatalf("Figure8 returned %d tables, want 4", len(tables))
+	}
+	dists := map[workload.Dist]int{}
+	for _, table := range tables {
+		dists[table.Cell.Dist]++
+		for _, s := range opts.Structures {
+			if v, ok := table.Mops[s][2]; !ok || v <= 0 {
+				t.Fatalf("cell %s/%s/%s missing or zero", table.Cell.Mix, table.Cell.Dist, s)
+			}
+		}
+	}
+	if dists[workload.DistUniform] != 2 || dists[workload.DistZipf] != 2 {
+		t.Fatalf("distribution coverage = %v, want 2 uniform + 2 zipf tables", dists)
+	}
+	for _, r := range observed {
+		if r.Config.Mix.ScanPct > 0 && r.Ops == 0 {
+			t.Fatalf("scan-heavy cell %+v performed no operations", r.Config)
+		}
+	}
+	if !strings.Contains(sb.String(), "zipf keys") || !strings.Contains(sb.String(), "5i-5d-50s") {
+		t.Errorf("Figure8 output missing the skew/scan cell headers:\n%s", sb.String())
+	}
 }
 
 func TestHeightExperimentReportsBalancedTree(t *testing.T) {

@@ -26,6 +26,16 @@ type Options struct {
 	Threads []int
 	// KeyRanges to sweep; defaults to PaperKeyRanges().
 	KeyRanges []int64
+	// Mixes to sweep in the Figure-8 grid; defaults to PaperMixes(). Pass
+	// Figure8Mixes() to add the scan-heavy mix.
+	Mixes []workload.Mix
+	// Dists are the key distributions to sweep in the Figure-8 grid;
+	// defaults to uniform only (the paper's evaluation). Pass Figure8Dists()
+	// to add the zipfian cells.
+	Dists []workload.Dist
+	// ScanSpan is the key-window width of scan operations; 0 means
+	// workload.DefaultScanSpan.
+	ScanSpan int64
 	// Structures to include (names from Registry); defaults to all.
 	Structures []string
 	// Seed for deterministic workloads.
@@ -57,6 +67,12 @@ func (o Options) withDefaults() Options {
 	if len(o.KeyRanges) == 0 {
 		o.KeyRanges = PaperKeyRanges()
 	}
+	if len(o.Mixes) == 0 {
+		o.Mixes = PaperMixes()
+	}
+	if len(o.Dists) == 0 {
+		o.Dists = []workload.Dist{workload.DistUniform}
+	}
 	if len(o.Structures) == 0 {
 		o.Structures = Figure8Structures()
 	}
@@ -66,37 +82,42 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Figure8 runs the full 3x3 grid of the paper's Figure 8 (operation mix x
-// key range, throughput versus thread count for every data structure) and
-// writes one table per cell to w. It returns the tables for further
-// inspection (e.g. by the EXPERIMENTS.md generator and tests).
+// Figure8 runs the grid of the paper's Figure 8 (operation mix x key range,
+// throughput versus thread count for every data structure), extended by the
+// key-distribution dimension when Options.Dists lists more than the uniform
+// default, and writes one table per cell to w. It returns the tables for
+// further inspection (e.g. by the EXPERIMENTS.md generator and tests).
 func Figure8(w io.Writer, opts Options) []*Table {
 	opts = opts.withDefaults()
 	var tables []*Table
-	for _, mix := range PaperMixes() {
-		for _, keyRange := range opts.KeyRanges {
-			table := NewTable(Cell{Mix: mix, KeyRange: keyRange}, opts.Threads, opts.Structures)
-			for _, name := range opts.Structures {
-				factory, ok := Lookup(name)
-				if !ok {
-					continue
+	for _, dist := range opts.Dists {
+		for _, mix := range opts.Mixes {
+			for _, keyRange := range opts.KeyRanges {
+				table := NewTable(Cell{Mix: mix, KeyRange: keyRange, Dist: dist}, opts.Threads, opts.Structures)
+				for _, name := range opts.Structures {
+					factory, ok := Lookup(name)
+					if !ok {
+						continue
+					}
+					for _, threads := range opts.Threads {
+						res := Run(Config{
+							Factory:  factory,
+							Mix:      mix,
+							KeyRange: keyRange,
+							Threads:  threads,
+							Duration: opts.Duration,
+							Dist:     dist,
+							ScanSpan: opts.ScanSpan,
+							Trials:   opts.Trials,
+							Seed:     opts.Seed,
+						})
+						opts.observe(res)
+						table.Add(name, threads, res.Mops())
+					}
 				}
-				for _, threads := range opts.Threads {
-					res := Run(Config{
-						Factory:  factory,
-						Mix:      mix,
-						KeyRange: keyRange,
-						Threads:  threads,
-						Duration: opts.Duration,
-						Trials:   opts.Trials,
-						Seed:     opts.Seed,
-					})
-					opts.observe(res)
-					table.Add(name, threads, res.Mops())
-				}
+				fmt.Fprintln(w, table.String())
+				tables = append(tables, table)
 			}
-			fmt.Fprintln(w, table.String())
-			tables = append(tables, table)
 		}
 	}
 	return tables
@@ -364,7 +385,7 @@ func HeightExperiment(w io.Writer, keyRange int64, threads int, duration time.Du
 				default:
 				}
 				op, key := gen.Next()
-				workload.Apply(tree, op, key)
+				workload.Apply(tree, op, key, gen.ScanSpan())
 			}
 		}(int64(i) + 1)
 	}

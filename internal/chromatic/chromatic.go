@@ -31,19 +31,29 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/llxscx"
+	"repro/internal/vcell"
 )
 
 // node is a Data-record of the chromatic tree. Its two child pointers are
-// the only mutable fields; key, value, weight and the leaf/sentinel flags
-// are immutable, exactly as the tree update template requires. Updates that
+// the only mutable fields; key, weight and the leaf/sentinel flags are
+// immutable, exactly as the tree update template requires. Updates that
 // need to change immutable data replace the node with a fresh copy.
+//
+// A leaf's value is NOT immutable data: it lives in a vcell.Cell outside the
+// LLX snapshot evidence, so overwriting the value of a present key (the
+// paper's Insert2 case) is a single atomic publish instead of a full SCX. A
+// fresh leaf points val at its own embedded cell (keeping the common-case
+// value load on the leaf's cache lines); every copy of a leaf aliases the
+// original's cell (see copyWithWeight), which keeps a racing overwrite
+// visible through whichever copy wins. The cell pointer itself is immutable.
 type node[K, V any] struct {
 	rec  llxscx.Record[node[K, V]]
-	k    K     // routing key (internal) or dictionary key (leaf); ignored if inf
-	v    V     // associated value (leaves only)
-	w    int32 // weight: 0 = red, 1 = black, >1 = overweight
-	leaf bool  // true for leaves; leaves' child pointers are always nil
-	inf  bool  // true for sentinel nodes, whose key is +infinity
+	k    K              // routing key (internal) or dictionary key (leaf); ignored if inf
+	val  *vcell.Cell[V] // value cell (leaves only; nil on internal/sentinel nodes)
+	cell vcell.Cell[V]  // a fresh leaf's own cell; unused on copies and non-leaves
+	w    int32          // weight: 0 = red, 1 = black, >1 = overweight
+	leaf bool           // true for leaves; leaves' child pointers are always nil
+	inf  bool           // true for sentinel nodes, whose key is +infinity
 
 	left, right atomic.Pointer[node[K, V]]
 }
@@ -66,8 +76,9 @@ func (n *node[K, V]) Mutable(i int) *atomic.Pointer[node[K, V]] {
 // ordered-query helpers (see query.go).
 func (n *node[K, V]) Key() K { return n.k }
 
-// Value implements lbst.View.
-func (n *node[K, V]) Value() V { return n.v }
+// Value implements lbst.View. It reads the leaf's value cell atomically;
+// internal and sentinel nodes (nil cell) read as the zero value.
+func (n *node[K, V]) Value() V { return n.val.Load() }
 
 // IsLeaf implements lbst.View.
 func (n *node[K, V]) IsLeaf() bool { return n.leaf }
@@ -76,7 +87,10 @@ func (n *node[K, V]) IsLeaf() bool { return n.leaf }
 func (n *node[K, V]) IsSentinel() bool { return n.inf }
 
 func newLeaf[K, V any](k K, v V, w int32) *node[K, V] {
-	return &node[K, V]{k: k, v: v, w: w, leaf: true}
+	n := &node[K, V]{k: k, w: w, leaf: true}
+	n.cell.Init(vcell.Unboxed[V](), v)
+	n.val = &n.cell
+	return n
 }
 
 func newSentinelLeaf[K, V any]() *node[K, V] {
@@ -91,10 +105,13 @@ func newInternal[K, V any](k K, w int32, inf bool, left, right *node[K, V]) *nod
 }
 
 // copyWithWeight returns a fresh copy of the node captured by lk, with the
-// given weight and with the children recorded in lk's snapshot.
+// given weight and with the children recorded in lk's snapshot. The copy
+// ALIASES the source's value cell rather than capturing the value, so an
+// in-place overwrite racing with the copying SCX stays visible through the
+// copy whichever commits first (see Insert's overwrite protocol).
 func copyWithWeight[K, V any](lk llxscx.Linked[node[K, V]], w int32) *node[K, V] {
 	src := lk.Node()
-	n := &node[K, V]{k: src.k, v: src.v, w: w, leaf: src.leaf, inf: src.inf}
+	n := &node[K, V]{k: src.k, val: src.val, w: w, leaf: src.leaf, inf: src.inf}
 	n.left.Store(lk.Child(0))
 	n.right.Store(lk.Child(1))
 	return n
@@ -372,7 +389,7 @@ func violationAt[K, V any](parent, child *node[K, V]) bool {
 func (t *Tree[K, V]) Get(key K) (V, bool) {
 	_, _, l, _ := t.search(key)
 	if t.isKey(key, l) {
-		return l.v, true
+		return l.val.Load(), true
 	}
 	var zero V
 	return zero, false
@@ -394,13 +411,51 @@ type updateResult[V any] struct {
 // Insert associates value with key and returns the previously associated
 // value (with true) if key was already present, or the zero value and false
 // otherwise.
+//
+// When key is present (the paper's Insert2 transformation) the overwrite is
+// performed IN PLACE, without an SCX and (for unboxed value types) without
+// allocating: the new value is published into the leaf's cell with one
+// atomic Swap, followed by a re-check of the leaf's finalized flag. If the
+// leaf was not finalized, the SCX protocol guarantees it was still in the
+// tree when the Swap took effect (a committed SCX marks every removed record
+// before it swings the child pointer, and the atomic operations are totally
+// ordered), so the overwrite linearizes at the Swap. If it was finalized the
+// attempt is ambiguous - removed by a deletion, or superseded by a copy that
+// aliases the same cell - and the operation retries from a fresh search,
+// remembering the cell it published into: a retry that reaches a leaf with
+// the SAME cell proves the copy case (cells are never shared across distinct
+// logical leaves), so the earlier publish already took effect and its
+// displaced value is returned without publishing again. Copies alias the
+// leaf's cell (copyWithWeight, tryInsert's overweight-leaf copy), so a
+// racing copy can never lose the published value.
 func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 	// A failed attempt means a concurrent update won the SCX in this
-	// neighbourhood; back off (bounded, randomized, growing with the failure
-	// count) before re-searching so heavy contention on a small key range
-	// does not degenerate into a storm of wasted re-searches.
+	// neighbourhood (or the leaf was finalized under an overwrite); back off
+	// (bounded, randomized, growing with the failure count) before
+	// re-searching so heavy contention on a small key range does not
+	// degenerate into a storm of wasted re-searches.
+	var prevCell *vcell.Cell[V]
+	var prevOld V
 	for fails := 0; ; {
 		_, p, l, viol := t.search(key)
+		if t.isKey(key, l) {
+			if l.val == prevCell {
+				// A previous attempt already published into this very cell:
+				// the leaf was superseded by a copy, not deleted, so that
+				// publish took effect.
+				t.stats.Insert2.Add(1)
+				return prevOld, true
+			}
+			old := l.val.Swap(value)
+			if !l.rec.Marked() {
+				t.stats.Insert2.Add(1)
+				return old, true
+			}
+			prevCell, prevOld = l.val, old
+			fails++
+			core.BackoffWait(fails)
+			continue
+		}
 		res, ok := t.tryInsert(p, l, key, value)
 		if !ok {
 			fails++
@@ -426,7 +481,7 @@ func (t *Tree[K, V]) LoadOrStore(key K, value V) (actual V, loaded bool) {
 		if t.isKey(key, l) {
 			// The key was present while l was on the search path; linearize
 			// there, exactly as Get does.
-			return l.v, true
+			return l.val.Load(), true
 		}
 		res, ok := t.tryInsert(p, l, key, value)
 		if !ok {
@@ -482,45 +537,41 @@ func (t *Tree[K, V]) tryInsert(p, l *node[K, V], key K, value V) (updateResult[V
 		return updateResult[V]{}, false
 	}
 
+	// Insert1: the key is absent (Insert routes a present key to the in-place
+	// overwrite, and l's key is immutable, so the caller's check holds for
+	// this attempt); replace the leaf with an internal node whose children
+	// are a new leaf holding the key and the old leaf. A node placed directly
+	// below a sentinel (in particular the chromatic root) always gets weight
+	// one, which keeps every violation strictly below the root; elsewhere the
+	// internal node absorbs one unit of the old leaf's weight so weighted
+	// path lengths are unchanged.
+	//
+	// When the old leaf already has weight one - the weight its copy would
+	// carry - the leaf itself is reused as the fringe of the new subtree and
+	// nothing is finalized (R is empty, postcondition PC6), exactly as in the
+	// non-blocking BST of Ellen et al. that the template generalizes. l is
+	// still in V, so the SCX fails if any concurrent update froze it. Only an
+	// overweight leaf must be replaced by a weight-one copy (and finalized,
+	// PC9); the copy aliases l's value cell so a racing in-place overwrite of
+	// l's key stays visible through it.
 	var res updateResult[V]
 	var repl *node[K, V]
 	nr := 1
-	if t.isKey(key, l) {
-		// Insert2: the key is present; replace the leaf with a fresh copy
-		// carrying the new value (and the same weight).
-		res.old, res.existed = l.v, true
-		repl = newLeaf(key, value, l.w)
+	var newWeight int32 = 1
+	if !l.inf && !p.inf {
+		newWeight = l.w - 1
+	}
+	newKeyLeaf := newLeaf(key, value, 1)
+	oldLeaf := l
+	if l.w != 1 {
+		oldLeaf = &node[K, V]{k: l.k, val: l.val, w: 1, leaf: true, inf: l.inf}
 	} else {
-		// Insert1: the key is absent; replace the leaf with an internal node
-		// whose children are a new leaf holding the key and the old leaf. A
-		// node placed directly below a sentinel (in particular the chromatic
-		// root) always gets weight one, which keeps every violation strictly
-		// below the root; elsewhere the internal node absorbs one unit of
-		// the old leaf's weight so weighted path lengths are unchanged.
-		//
-		// When the old leaf already has weight one - the weight its copy
-		// would carry - the leaf itself is reused as the fringe of the new
-		// subtree and nothing is finalized (R is empty, postcondition PC6),
-		// exactly as in the non-blocking BST of Ellen et al. that the
-		// template generalizes. l is still in V, so the SCX fails if any
-		// concurrent update froze it. Only an overweight leaf must be
-		// replaced by a weight-one copy (and finalized, PC9).
-		var newWeight int32 = 1
-		if !l.inf && !p.inf {
-			newWeight = l.w - 1
-		}
-		newKeyLeaf := newLeaf(key, value, 1)
-		oldLeaf := l
-		if l.w != 1 {
-			oldLeaf = &node[K, V]{k: l.k, v: l.v, w: 1, leaf: true, inf: l.inf}
-		} else {
-			nr = 0
-		}
-		if t.keyLess(key, l) {
-			repl = newInternal(l.k, newWeight, l.inf, newKeyLeaf, oldLeaf)
-		} else {
-			repl = newInternal(key, newWeight, false, oldLeaf, newKeyLeaf)
-		}
+		nr = 0
+	}
+	if t.keyLess(key, l) {
+		repl = newInternal(l.k, newWeight, l.inf, newKeyLeaf, oldLeaf)
+	} else {
+		repl = newInternal(key, newWeight, false, oldLeaf, newKeyLeaf)
 	}
 
 	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkP, lkL}
@@ -528,11 +579,7 @@ func (t *Tree[K, V]) tryInsert(p, l *node[K, V], key K, value V) (updateResult[V
 	if !llxscx.SCXFixed(&v, 2, &r, nr, fld, l, repl) {
 		return updateResult[V]{}, false
 	}
-	if res.existed {
-		t.stats.Insert2.Add(1)
-	} else {
-		t.stats.Insert1.Add(1)
-	}
+	t.stats.Insert1.Add(1)
 	res.createdViolation = repl.w == 0 && p.w == 0
 	return res, true
 }
@@ -626,8 +673,12 @@ func (t *Tree[K, V]) tryDelete(gp, p, l *node[K, V], key K) (updateResult[V], bo
 		return updateResult[V]{}, false
 	}
 	t.stats.Delete.Add(1)
+	// The cell is read only after the SCX committed, so the read happens
+	// after l was marked; an in-place overwrite that linearized before this
+	// deletion (its Swap totally ordered before the marking) is therefore
+	// visible in the returned value.
 	return updateResult[V]{
-		old:              l.v,
+		old:              l.val.Load(),
 		existed:          true,
 		createdViolation: newWeight > 1,
 	}, true

@@ -63,6 +63,17 @@ type OrderedMap[K, V any] interface {
 	Predecessor(key K) (k K, v V, ok bool)
 }
 
+// Ranger is implemented by dictionaries with a native range scan. RangeScan
+// calls fn for every key in [lo, hi] in ascending order and returns the
+// number of keys visited; if fn returns false the scan stops early. The scan
+// need not be atomic as a whole, but every visited key must have been
+// present at some point during the scan. The workload generator's scan
+// operations use it when available and fall back to repeated Successor
+// queries otherwise.
+type Ranger[K, V any] interface {
+	RangeScan(lo, hi K, fn func(k K, v V) bool) int
+}
+
 // Factory constructs empty dictionary instances of one implementation. The
 // benchmark harness uses factories so that every trial starts from a fresh
 // structure.
@@ -82,6 +93,9 @@ type IntOrderedMap = OrderedMap[int64, int64]
 
 // IntFactory is the int64-keyed instantiation of Factory.
 type IntFactory = Factory[int64, int64]
+
+// IntRanger is the int64-keyed instantiation of Ranger.
+type IntRanger = Ranger[int64, int64]
 
 // Sized is implemented by dictionaries that can report the number of keys
 // they currently store. Size may run in linear time and need not be

@@ -6,9 +6,11 @@
 // the sentinel entry structure of Figure 10 of Brown, Ellen and Ruppert
 // (PPoPP 2014), the leaf-oriented search loop, the construction of the
 // insertion and deletion template updates (so postconditions PC1-PC9 are
-// discharged once, here), the post-update cleanup loop that drives
-// rebalancing, and the ordered Successor/Predecessor queries with VLX
-// validation (shared, in generic form, with internal/chromatic via query.go).
+// discharged once, here), the SCX-free in-place value overwrite for inserts
+// on present keys (see Insert and the value-cell notes on Node and Copy),
+// the post-update cleanup loop that drives rebalancing, and the ordered
+// Successor/Predecessor queries with VLX validation (shared, in generic
+// form, with internal/chromatic via query.go).
 //
 // The engine is generic over the key and value types. Only the search loop
 // compares keys - exactly the paper's point about the template being
@@ -31,21 +33,38 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/llxscx"
+	"repro/internal/vcell"
 )
 
-// Node is a Data-record of a leaf-oriented BST: immutable key, value,
-// leaf/sentinel flags and balancing decoration, plus the two mutable child
-// pointers manipulated through LLX/SCX. Updates that need to change
-// immutable data replace the node with a fresh copy, as the template
-// requires.
+// Node is a Data-record of a leaf-oriented BST: immutable key, leaf/sentinel
+// flags and balancing decoration, plus the two mutable child pointers
+// manipulated through LLX/SCX. Updates that need to change immutable data
+// replace the node with a fresh copy, as the template requires.
+//
+// The value of a leaf is NOT part of the node's immutable data: it lives in
+// a separately allocated vcell.Cell that sits outside the LLX snapshot
+// evidence, so overwriting the value of a present key is a single atomic
+// publish instead of a full SCX (see Insert). Every copy of a leaf - the
+// deletion template promotes a copy of the sibling, and balancing policies
+// copy nodes in their rebalancing steps - aliases the original's cell, which
+// is what keeps a concurrent overwrite from being lost to a copy that
+// captured the value just before the publish.
 type Node[K, V any] struct {
 	rec llxscx.Record[Node[K, V]]
 
 	// K is the routing key (internal nodes) or dictionary key (leaves);
 	// ignored when Inf is set.
 	K K
-	// V is the associated value (meaningful in leaves only).
-	V V
+	// val is the leaf's value cell, shared with every copy of the leaf; nil
+	// on internal nodes and sentinel leaves (which read as the zero value).
+	// The pointer itself is immutable; the cell's content is published
+	// atomically. A fresh leaf points val at its own embedded cell (so the
+	// common-case value load stays on the leaf's cache lines); a copy
+	// points at the original's cell, leaving its own cell unused - the
+	// original node is retained by the pointer, which is exactly the
+	// GC-based reclamation the SCX protocol already relies on.
+	val  *vcell.Cell[V]
+	cell vcell.Cell[V]
 	// Deco is the balancing decoration, owned by the policy (for example
 	// the relaxed height in internal/ravl). Leaves always carry 0.
 	Deco int64
@@ -74,8 +93,9 @@ func (n *Node[K, V]) Mutable(i int) *atomic.Pointer[Node[K, V]] {
 // Key implements View for the shared query helpers.
 func (n *Node[K, V]) Key() K { return n.K }
 
-// Value implements View.
-func (n *Node[K, V]) Value() V { return n.V }
+// Value implements View. It reads the leaf's value cell atomically; internal
+// and sentinel nodes (nil cell) read as the zero value.
+func (n *Node[K, V]) Value() V { return n.val.Load() }
 
 // IsLeaf implements View.
 func (n *Node[K, V]) IsLeaf() bool { return n.Leaf }
@@ -95,8 +115,15 @@ func (n *Node[K, V]) Right() *Node[K, V] { return n.right.Load() }
 func (n *Node[K, V]) Marked() bool { return n.rec.Marked() }
 
 // NewLeaf returns a fresh leaf holding key and value. Leaves always carry
-// decoration 0.
-func NewLeaf[K, V any](k K, v V) *Node[K, V] { return &Node[K, V]{K: k, V: v, Leaf: true} }
+// decoration 0. The leaf's value lives in its embedded cell (representation
+// selected by vcell.Unboxed, so word-sized values are stored unboxed);
+// copies of the leaf alias this cell via Copy.
+func NewLeaf[K, V any](k K, v V) *Node[K, V] {
+	n := &Node[K, V]{K: k, Leaf: true}
+	n.cell.Init(vcell.Unboxed[V](), v)
+	n.val = &n.cell
+	return n
+}
 
 // NewInternal returns a fresh internal node with the given routing key,
 // decoration, sentinel flag and children.
@@ -110,10 +137,13 @@ func NewInternal[K, V any](k K, deco int64, inf bool, left, right *Node[K, V]) *
 // Copy returns a fresh copy of the node captured by lk, carrying the given
 // decoration and the children recorded in lk's snapshot. It is the standard
 // building block of rebalancing steps: a removed node reappears in the new
-// subtree only as a copy.
+// subtree only as a copy. The copy ALIASES the source's value cell rather
+// than capturing the value: an in-place overwrite racing with the copying
+// SCX stays visible through the copy, whichever of the two commits first
+// (see the in-place overwrite protocol on Insert).
 func Copy[K, V any](lk llxscx.Linked[Node[K, V]], deco int64) *Node[K, V] {
 	src := lk.Node()
-	n := &Node[K, V]{K: src.K, V: src.V, Deco: deco, Leaf: src.Leaf, Inf: src.Inf}
+	n := &Node[K, V]{K: src.K, val: src.val, Deco: deco, Leaf: src.Leaf, Inf: src.Inf}
 	n.left.Store(lk.Child(0))
 	n.right.Store(lk.Child(1))
 	return n
@@ -314,88 +344,122 @@ func searchString[V any](t *Tree[string, V], key string) (gp, p, l *Node[string,
 func (t *Tree[K, V]) Get(key K) (V, bool) {
 	_, _, l := t.search(key)
 	if t.isKey(key, l) {
-		return l.V, true
+		return l.val.Load(), true
 	}
 	var zero V
 	return zero, false
 }
 
-// insertResult is the Result type of the insertion template.
-type insertResult[V any] struct {
-	old     V
-	existed bool
-}
-
 // Insert associates value with key, returning the previous value and true
-// if key was present. The update follows the tree update template: one LLX
-// on the leaf's parent, one on the leaf, and one SCX that replaces the
-// leaf (with a fresh leaf if the key was present, or with a fresh internal
-// node above two leaves if it was not).
+// if key was present.
 //
-// The template is built once per call, outside the retry loop: its closures
-// capture p, l and inserted by reference, so a failed attempt re-searches
-// and re-runs the same template without re-allocating it, and each attempt's
-// SCX evidence is staged in the Args value's inline arrays.
+// When the key is absent the update follows the tree update template: one
+// LLX on the leaf's parent, one on the leaf, and one SCX that replaces the
+// leaf with a fresh internal node above two leaves. The template is built
+// once per call, outside the retry loop: its closures capture p, l and
+// inserted by reference, so a failed attempt re-searches and re-runs the
+// same template without re-allocating it, and each attempt's SCX evidence is
+// staged in the Args value's inline arrays.
+//
+// When the key is present the overwrite is performed IN PLACE, without an
+// SCX and (for unboxed value types) without allocating: the leaf's value
+// cell sits outside the LLX snapshot evidence, so no freezing is needed to
+// publish into it. The protocol is:
+//
+//  1. the search reaches the leaf l holding key;
+//  2. the new value is published into l's cell with one atomic Swap, which
+//     also yields the displaced value to return;
+//  3. l's finalized flag is re-checked. If l was NOT finalized, the SCX
+//     protocol guarantees l was still in the tree when the Swap took effect
+//     (a committed SCX marks every removed record before it swings the child
+//     pointer, and the atomic operations are totally ordered: Swap before
+//     the unmarked read before the mark before the unlink), so the overwrite
+//     linearizes at the Swap. If l WAS finalized the attempt is ambiguous -
+//     the leaf may have been removed by a deletion (publish lost, key maybe
+//     absent) or superseded by a copy that aliases the same cell (publish
+//     visible) - and the operation retries from a fresh search, remembering
+//     the cell it published into. A retry that reaches a leaf with the SAME
+//     cell resolves the ambiguity: cells are never shared across distinct
+//     logical leaves (a fresh leaf embeds its own cell; only copies alias),
+//     so the key was continuously present, the earlier publish already took
+//     effect through the copy, and the operation returns that attempt's
+//     displaced value without publishing again. A retry that reaches a
+//     different cell (or finds the key absent) means the published-into cell
+//     was dead and the publish invisible.
+//
+// The re-check makes the overwrite safe against deletion of the key; the
+// cell aliasing on Copy makes it safe against every SCX that replaces the
+// leaf with a copy (the deletion template promoting the leaf as a sibling
+// copy, and any policy rebalancing step that copies a leaf): whichever of
+// the publish and the copying SCX commits first, the copy reads through the
+// same cell, so the value cannot be lost. This is why the cell must stay
+// aliased and must never be snapshotted into a fresh cell by a copy.
 func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 	var p, l, inserted *Node[K, V]
-	tmpl := core.Template[*Node[K, V], Node[K, V], insertResult[V]]{
+	tmpl := core.Template[*Node[K, V], Node[K, V], struct{}]{
 		// Two LLXs are always enough: the parent and the leaf.
 		Condition: func(seq []llxscx.Linked[Node[K, V]]) bool { return len(seq) == 2 },
 		NextNode:  func(seq []llxscx.Linked[Node[K, V]]) *Node[K, V] { return l },
 		Args: func(seq []llxscx.Linked[Node[K, V]]) core.Args[Node[K, V], *Node[K, V]] {
 			lkP, lkL := seq[0], seq[1]
 			fld := FieldOf(lkP, l)
+			// The key is absent (the overwrite fast path already handled a
+			// present key; l's key is immutable, so the check holds for this
+			// attempt): the old leaf is reused as the fringe of the new
+			// subtree (PC6) - leaves carry no mutable balance bookkeeping,
+			// so no copy is needed and nothing is finalized, exactly as in
+			// the non-blocking BST of Ellen et al. l stays in V, so the SCX
+			// fails if a concurrent update froze it.
+			keyLeaf := NewLeaf(key, value)
 			var repl *Node[K, V]
-			nr := 0
-			if t.isKey(key, l) {
-				// The key is present: the old leaf is replaced by a fresh
-				// one carrying the new value, and finalized (PC9).
-				repl = NewLeaf(key, value)
-				nr = 1
+			if t.keyLess(key, l) {
+				repl = NewInternal(l.K, t.pol.InternalDeco(), l.Inf, keyLeaf, l)
 			} else {
-				// The key is absent: the old leaf is reused as the fringe of
-				// the new subtree (PC6) - leaves carry no mutable balance
-				// bookkeeping, so no copy is needed and nothing is
-				// finalized, exactly as in the non-blocking BST of Ellen et
-				// al. l stays in V, so the SCX fails if a concurrent update
-				// froze it.
-				keyLeaf := NewLeaf(key, value)
-				if t.keyLess(key, l) {
-					repl = NewInternal(l.K, t.pol.InternalDeco(), l.Inf, keyLeaf, l)
-				} else {
-					repl = NewInternal(key, t.pol.InternalDeco(), false, l, keyLeaf)
-				}
-				inserted = repl
+				repl = NewInternal(key, t.pol.InternalDeco(), false, l, keyLeaf)
 			}
+			inserted = repl
 			return core.Args[Node[K, V], *Node[K, V]]{
 				V:   [llxscx.MaxV]llxscx.Linked[Node[K, V]]{lkP, lkL},
 				NV:  2,
-				R:   [llxscx.MaxV]*Node[K, V]{l},
-				NR:  nr,
 				Fld: fld,
 				Old: l,
 				New: repl,
 			}
 		},
-		Result: func(seq []llxscx.Linked[Node[K, V]]) insertResult[V] {
-			if t.isKey(key, l) {
-				return insertResult[V]{old: l.V, existed: true}
-			}
-			return insertResult[V]{}
-		},
+		Result: func(seq []llxscx.Linked[Node[K, V]]) struct{} { return struct{}{} },
 	}
 	// A failed attempt means a concurrent update won the SCX in this
-	// neighbourhood; back off (bounded, randomized, growing with the failure
-	// count) before re-searching so heavy contention on a small key range
-	// does not degenerate into a storm of wasted re-searches.
+	// neighbourhood (or the leaf was finalized under an overwrite); back off
+	// (bounded, randomized, growing with the failure count) before
+	// re-searching so heavy contention on a small key range does not
+	// degenerate into a storm of wasted re-searches.
+	var prevCell *vcell.Cell[V]
+	var prevOld V
 	for fails := 0; ; {
 		_, p, l = t.searchFn(t, key)
-		inserted = nil
-		if res, ok := tmpl.Run(p); ok {
-			if !res.existed && t.pol.CreatesViolation(p, l, inserted) {
-				t.cleanup(key)
+		if t.isKey(key, l) {
+			if l.val == prevCell {
+				// A previous attempt already published into this very cell:
+				// the leaf was superseded by a copy, not deleted, so that
+				// publish took effect (see the protocol above).
+				return prevOld, true
 			}
-			return res.old, res.existed
+			// In-place overwrite: atomic publish, then finalization re-check
+			// (see the protocol above).
+			old := l.val.Swap(value)
+			if !l.Marked() {
+				return old, true
+			}
+			prevCell, prevOld = l.val, old
+		} else {
+			inserted = nil
+			if _, ok := tmpl.Run(p); ok {
+				if t.pol.CreatesViolation(p, l, inserted) {
+					t.cleanup(key)
+				}
+				var zero V
+				return zero, false
+			}
 		}
 		fails++
 		core.BackoffWait(fails)
@@ -453,7 +517,11 @@ func (t *Tree[K, V]) Delete(key K) (V, bool) {
 			}
 			return a
 		},
-		Result: func(seq []llxscx.Linked[Node[K, V]]) V { return l.V },
+		// The Result closure runs only after the SCX committed, so the cell
+		// read happens after l was marked; an in-place overwrite that
+		// linearized before this deletion (its Swap totally ordered before
+		// the marking) is therefore visible in the returned value.
+		Result: func(seq []llxscx.Linked[Node[K, V]]) V { return l.val.Load() },
 	}
 	for fails := 0; ; {
 		gp, p, l = t.searchFn(t, key)

@@ -25,13 +25,20 @@ import (
 	"cmp"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/vcell"
 )
 
 type node[K, V any] struct {
 	key K
 
-	mu      sync.Mutex
-	value   atomic.Pointer[V]
+	mu sync.Mutex
+	// value is the node's value cell, embedded so that overwriting a
+	// present key's value stores no per-store box: the cell's
+	// representation is selected once per tree at construction (word
+	// storage for word-sized value types, a boxed pointer otherwise),
+	// mirroring how the constructors select the devirtualized search walks.
+	value   vcell.Cell[V]
 	present atomic.Bool // false for routing nodes (logically deleted)
 	removed atomic.Bool // true once physically unlinked
 
@@ -47,9 +54,9 @@ func (n *node[K, V]) child(right bool) *atomic.Pointer[node[K, V]] {
 	return &n.left
 }
 
-func (n *node[K, V]) val() V { return *n.value.Load() }
+func (n *node[K, V]) val() V { return n.value.Load() }
 
-func (n *node[K, V]) setVal(v V) { n.value.Store(&v) }
+func (n *node[K, V]) setVal(v V) { n.value.Store(v) }
 
 func heightOf[K, V any](n *node[K, V]) int32 {
 	if n == nil {
@@ -89,6 +96,12 @@ type Tree[K, V any] struct {
 	inFlight   atomic.Int64
 	size       atomic.Int64
 
+	// unboxed is the value-cell representation every node of this tree uses,
+	// computed once at construction (see vcell.Unboxed): word storage for
+	// word-sized value types, so an overwrite of a present key allocates
+	// nothing, with the boxed atomic.Pointer fallback otherwise.
+	unboxed bool
+
 	// getFn and locateFn are the structure's per-node search walks, selected
 	// at construction: NewLess installs the comparator-based loops,
 	// NewOrdered specializations comparing with the native `<` (one indirect
@@ -116,9 +129,12 @@ func (t *Tree[K, V]) structuresStable(stamp uint64) bool {
 
 // NewLess returns an empty tree whose keys are ordered by less.
 func NewLess[K, V any](less func(a, b K) bool) *Tree[K, V] {
+	unboxed := vcell.Unboxed[V]()
 	holder := &node[K, V]{}
+	var zv V
+	holder.value.Init(unboxed, zv)
 	holder.present.Store(false)
-	return &Tree[K, V]{rootHolder: holder, less: less,
+	return &Tree[K, V]{rootHolder: holder, less: less, unboxed: unboxed,
 		getFn: getLess[K, V], locateFn: locateLess[K, V]}
 }
 
@@ -258,7 +274,7 @@ func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 			continue
 		}
 		fresh := &node[K, V]{key: key}
-		fresh.setVal(value)
+		fresh.value.Init(t.unboxed, value)
 		fresh.present.Store(true)
 		fresh.height.Store(1)
 		fresh.parent.Store(parent)

@@ -19,6 +19,8 @@ import (
 	"cmp"
 	"math/rand/v2"
 	"sync/atomic"
+
+	"repro/internal/vcell"
 )
 
 // maxLevel is the maximum number of levels. 2^24 expected keys is far more
@@ -35,21 +37,26 @@ type succRef[K, V any] struct {
 }
 
 type node[K, V any] struct {
-	k        K
-	v        atomic.Pointer[V]
+	k K
+	// v is the node's value cell, embedded so that overwriting a present
+	// key's value stores no per-store box: the cell's representation is
+	// selected once per list at construction (word storage for word-sized
+	// value types, a boxed pointer otherwise), mirroring how the
+	// constructors select the devirtualized search walks.
+	v        vcell.Cell[V]
 	next     []atomic.Pointer[succRef[K, V]]
 	level    int
 	sentinel int8 // -1 head, +1 tail, 0 ordinary
 }
 
-func newNode[K, V any](k K, v V, level int, sentinel int8) *node[K, V] {
+func newNode[K, V any](k K, v V, unboxed bool, level int, sentinel int8) *node[K, V] {
 	n := &node[K, V]{k: k, level: level, sentinel: sentinel}
-	n.v.Store(&v)
+	n.v.Init(unboxed, v)
 	n.next = make([]atomic.Pointer[succRef[K, V]], level+1)
 	return n
 }
 
-func (n *node[K, V]) value() V { return *n.v.Load() }
+func (n *node[K, V]) value() V { return n.v.Load() }
 
 // List is a lock-free skip list implementing an ordered dictionary. It is
 // safe for concurrent use. Use New, NewOrdered or NewLess to create one.
@@ -58,25 +65,36 @@ type List[K, V any] struct {
 	tail *node[K, V]
 	less func(a, b K) bool
 
-	// findFn and getFn are the structure's search walks, selected at
+	// unboxed is the value-cell representation every node of this list uses,
+	// computed once at construction (see vcell.Unboxed): word storage for
+	// word-sized value types, so an overwrite of a present key allocates
+	// nothing, with the boxed atomic.Pointer fallback otherwise.
+	unboxed bool
+
+	// findFn and findPresentFn are the structure's search walks, selected at
 	// construction: NewLess installs the comparator-based loops, NewOrdered
 	// specializations comparing with the native `<`, so ordered-key lists pay
 	// one indirect call per operation instead of one per node visited.
-	findFn func(l *List[K, V], key K, preds, succs *[maxLevel + 1]*node[K, V]) bool
-	getFn  func(l *List[K, V], key K) (V, bool)
+	// findPresentFn is the wait-free read-only walk (no preds/succs
+	// bookkeeping, so nothing it touches escapes to the heap) returning the
+	// unmarked node holding key, or nil; Get and Insert's overwrite fast
+	// path are built on it.
+	findFn        func(l *List[K, V], key K, preds, succs *[maxLevel + 1]*node[K, V]) bool
+	findPresentFn func(l *List[K, V], key K) *node[K, V]
 }
 
 // NewLess returns an empty skip list whose keys are ordered by less.
 func NewLess[K, V any](less func(a, b K) bool) *List[K, V] {
 	var zk K
 	var zv V
-	head := newNode[K, V](zk, zv, maxLevel, -1)
-	tail := newNode[K, V](zk, zv, maxLevel, 1)
+	unboxed := vcell.Unboxed[V]()
+	head := newNode[K, V](zk, zv, unboxed, maxLevel, -1)
+	tail := newNode[K, V](zk, zv, unboxed, maxLevel, 1)
 	for i := 0; i <= maxLevel; i++ {
 		head.next[i].Store(&succRef[K, V]{succ: tail})
 	}
-	return &List[K, V]{head: head, tail: tail, less: less,
-		findFn: findLess[K, V], getFn: getLess[K, V]}
+	return &List[K, V]{head: head, tail: tail, less: less, unboxed: unboxed,
+		findFn: findLess[K, V], findPresentFn: findPresentLess[K, V]}
 }
 
 // NewOrdered returns an empty skip list over a naturally ordered key type.
@@ -86,7 +104,7 @@ func NewLess[K, V any](less func(a, b K) bool) *List[K, V] {
 func NewOrdered[K cmp.Ordered, V any]() *List[K, V] {
 	l := NewLess[K, V](cmp.Less[K])
 	l.findFn = findOrdered[K, V]
-	l.getFn = getOrdered[K, V]
+	l.findPresentFn = findPresentOrdered[K, V]
 	return l
 }
 
@@ -227,11 +245,17 @@ retry:
 // absent. It is wait-free: it never helps, retries or modifies the
 // structure.
 func (l *List[K, V]) Get(key K) (V, bool) {
-	return l.getFn(l, key)
+	if n := l.findPresentFn(l, key); n != nil {
+		return n.value(), true
+	}
+	var zero V
+	return zero, false
 }
 
-// getLess is the comparator-based Get walk installed by NewLess.
-func getLess[K, V any](l *List[K, V], key K) (V, bool) {
+// findPresentLess is the comparator-based read-only walk installed by
+// NewLess: it returns the unmarked node holding key, or nil if key is absent
+// or logically deleted.
+func findPresentLess[K, V any](l *List[K, V], key K) *node[K, V] {
 	pred := l.head
 	var curr *node[K, V]
 	for level := maxLevel; level >= 0; level-- {
@@ -243,17 +267,16 @@ func getLess[K, V any](l *List[K, V], key K) (V, bool) {
 	}
 	if l.isKey(curr, key) {
 		if ref := curr.next[0].Load(); ref != nil && ref.marked {
-			var zero V
-			return zero, false
+			return nil
 		}
-		return curr.value(), true
+		return curr
 	}
-	var zero V
-	return zero, false
+	return nil
 }
 
-// getOrdered is the devirtualized Get walk installed by NewOrdered.
-func getOrdered[K cmp.Ordered, V any](l *List[K, V], key K) (V, bool) {
+// findPresentOrdered is the devirtualized read-only walk installed by
+// NewOrdered.
+func findPresentOrdered[K cmp.Ordered, V any](l *List[K, V], key K) *node[K, V] {
 	pred := l.head
 	var curr *node[K, V]
 	for level := maxLevel; level >= 0; level-- {
@@ -265,33 +288,53 @@ func getOrdered[K cmp.Ordered, V any](l *List[K, V], key K) (V, bool) {
 	}
 	if curr.sentinel == 0 && curr.k == key {
 		if ref := curr.next[0].Load(); ref != nil && ref.marked {
-			var zero V
-			return zero, false
+			return nil
 		}
-		return curr.value(), true
+		return curr
 	}
-	var zero V
-	return zero, false
+	return nil
 }
 
 // Insert associates value with key. It returns the previous value and true
 // if key was already present (in which case only the value is updated).
 func (l *List[K, V]) Insert(key K, value V) (V, bool) {
+	// Overwrite fast path: a read-only walk (no preds/succs bookkeeping, so
+	// the walk keeps everything on the stack) locates a present node and
+	// publishes the value into its embedded cell - zero allocations for
+	// word-sized value types. The node's deletion mark is re-checked after
+	// the publish, mirroring the template trees' overwrite protocol: if the
+	// node was logically deleted in the window, the publish may have been
+	// lost and the operation falls through to the full find loop below.
+	// An insert of an absent key pays this extra descent before the full
+	// find; the trade measured as a net win on update-heavy mixes, where
+	// roughly half the inserts hit present keys and skip find's
+	// heap-escaping preds/succs staging entirely.
+	if n := l.findPresentFn(l, key); n != nil {
+		old := n.v.Swap(value)
+		if ref := n.next[0].Load(); ref == nil || !ref.marked {
+			return old, true
+		}
+	}
 	var preds, succs [maxLevel + 1]*node[K, V]
 	topLevel := randomLevel()
 	var zero V
 	for {
 		if l.find(key, &preds, &succs) {
 			found := succs[0]
-			// If the node is not logically deleted, overwrite its value.
+			// If the node is not logically deleted, overwrite its value: one
+			// atomic publish into the embedded cell (no box for word-sized
+			// value types), with the same post-publish mark re-check as the
+			// fast path above.
 			if ref := found.next[0].Load(); ref != nil && !ref.marked {
-				old := *found.v.Swap(&value)
-				return old, true
+				old := found.v.Swap(value)
+				if ref = found.next[0].Load(); ref == nil || !ref.marked {
+					return old, true
+				}
 			}
 			// The node is being removed; retry until it is unlinked.
 			continue
 		}
-		fresh := newNode(key, value, topLevel, 0)
+		fresh := newNode(key, value, l.unboxed, topLevel, 0)
 		for level := 0; level <= topLevel; level++ {
 			fresh.next[level].Store(&succRef[K, V]{succ: succs[level]})
 		}
@@ -412,6 +455,40 @@ func (l *List[K, V]) Predecessor(key K) (K, V, bool) {
 		return zk, zv, false
 	}
 	return pred.k, pred.value(), true
+}
+
+// RangeScan calls fn for every key in [lo, hi] in ascending order and
+// returns the number of keys visited; if fn returns false the scan stops
+// early. It descends the towers to the first key >= lo and then walks the
+// bottom level, skipping logically deleted nodes, so each step is one
+// pointer chase rather than a fresh search from the head. The scan is not
+// atomic as a whole: each visited key was present at some point during the
+// scan.
+func (l *List[K, V]) RangeScan(lo, hi K, fn func(k K, v V) bool) int {
+	pred := l.head
+	var curr *node[K, V]
+	for level := maxLevel; level >= 0; level-- {
+		curr = pred.next[level].Load().succ
+		for l.nodeLess(curr, lo) {
+			pred = curr
+			curr = curr.next[level].Load().succ
+		}
+	}
+	count := 0
+	for curr.sentinel != 1 && !l.less(hi, curr.k) {
+		ref := curr.next[0].Load()
+		if ref == nil {
+			break
+		}
+		if !ref.marked {
+			count++
+			if !fn(curr.k, curr.value()) {
+				return count
+			}
+		}
+		curr = ref.succ
+	}
+	return count
 }
 
 // Size returns the number of (unmarked) keys stored. It runs in linear time

@@ -1,0 +1,138 @@
+// Package vcell provides the atomically publishable value cell shared by
+// every concurrent dictionary in the repository. A cell decouples a node's
+// value from the node's synchronization evidence: the trees built on the
+// LLX/SCX template keep the cell outside the LLX snapshot (so an overwrite
+// of a present key is a plain atomic publish, not a full SCX), and the
+// skip-list and lock-based AVL baselines use it to store values without the
+// one-box-per-store cost of atomic.Pointer[V].
+//
+// A cell has two representations, fixed at initialization:
+//
+//   - unboxed: the value is packed into a single machine word and published
+//     with plain uint64 atomics. Available exactly for the word-sized scalar
+//     types enumerated by Unboxed (the int64 values of the benchmark
+//     registry among them); a Store or Swap allocates nothing.
+//   - boxed: the value lives behind an atomic.Pointer[V]; every Store or
+//     Swap allocates one box. This is the fallback for every other type
+//     (strings, structs, pointers to caller-owned state, ...).
+//
+// The representation is selected by the data structure's constructor
+// (mirroring how the constructors select devirtualized search routines): a
+// structure computes Unboxed[V]() once and passes it to Init for every cell
+// it creates, so the per-access cost of the choice is a single predictable
+// branch rather than a type assertion or an indirect call.
+//
+// Cells may be shared: the template trees alias one cell between a leaf and
+// every copy of that leaf made by rebalancing or deletion, which is what
+// makes the SCX-free overwrite safe (see the package comment of
+// internal/lbst and the in-place overwrite section of DESIGN.md).
+package vcell
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// Cell is an atomically publishable value slot. The zero Cell is not ready
+// for use: call Init (or create cells with New) before the cell is shared,
+// so the representation flag is fixed before any concurrent access.
+type Cell[V any] struct {
+	// unboxed selects the representation. It is written once by Init, before
+	// the cell is published, and never changes.
+	unboxed bool
+
+	word atomic.Uint64
+	ptr  atomic.Pointer[V]
+}
+
+// Unboxed reports whether values of type V qualify for the unboxed (packed
+// word) representation: V must be one of the fixed-size scalar types below,
+// which all fit in a machine word and contain no pointers the garbage
+// collector would need to see. Named types do not match even if their
+// underlying type does; they take the boxed fallback, which is always
+// correct.
+func Unboxed[V any]() bool {
+	switch any((*V)(nil)).(type) {
+	case *int64, *uint64, *int, *uint, *uintptr,
+		*int32, *uint32, *int16, *uint16, *int8, *uint8,
+		*float64, *float32, *bool:
+		return true
+	}
+	return false
+}
+
+// toWord packs a word-sized value into a uint64. It must only be reached
+// when Unboxed[V]() is true (sizeof(V) <= 8 and V is pointer-free); the
+// boxed representation never calls it.
+func toWord[V any](v V) uint64 {
+	var w uint64
+	*(*V)(unsafe.Pointer(&w)) = v
+	return w
+}
+
+// fromWord unpacks a value packed by toWord.
+func fromWord[V any](w uint64) V {
+	return *(*V)(unsafe.Pointer(&w))
+}
+
+// New returns a fresh cell holding v, selecting the representation from
+// Unboxed[V](). It is the constructor for callers that allocate one cell per
+// key (the template trees); structures that embed cells in their nodes use
+// Init with a constructor-computed flag instead.
+func New[V any](v V) *Cell[V] {
+	c := &Cell[V]{}
+	c.Init(Unboxed[V](), v)
+	return c
+}
+
+// Init fixes the cell's representation and stores the initial value. unboxed
+// must be Unboxed[V]() (structures compute it once at construction); Init
+// must complete before the cell becomes reachable by other goroutines.
+func (c *Cell[V]) Init(unboxed bool, v V) {
+	c.unboxed = unboxed
+	if unboxed {
+		c.word.Store(toWord(v))
+		return
+	}
+	// The box is bound on the boxed-only path (not to the parameter) so
+	// escape analysis keeps the unboxed path free of the heap copy.
+	box := v
+	c.ptr.Store(&box)
+}
+
+// Load returns the current value. A nil cell reads as the zero value, which
+// lets tree nodes without a value (internal and sentinel nodes) share the
+// leaf node layout with a nil cell pointer.
+func (c *Cell[V]) Load() V {
+	if c == nil {
+		var zero V
+		return zero
+	}
+	if c.unboxed {
+		return fromWord[V](c.word.Load())
+	}
+	return *c.ptr.Load()
+}
+
+// Store atomically publishes v. In the unboxed representation it allocates
+// nothing; in the boxed representation it allocates v's box.
+func (c *Cell[V]) Store(v V) {
+	if c.unboxed {
+		c.word.Store(toWord(v))
+		return
+	}
+	box := v
+	c.ptr.Store(&box)
+}
+
+// Swap atomically publishes v and returns the value the cell held
+// immediately before: the atomic read-modify-write that makes an in-place
+// overwrite linearizable (the returned value is exactly the one displaced,
+// however many writers race). Allocation profile as Store.
+func (c *Cell[V]) Swap(v V) V {
+	if c.unboxed {
+		return fromWord[V](c.word.Swap(toWord(v)))
+	}
+	box := v
+	return *c.ptr.Swap(&box)
+}

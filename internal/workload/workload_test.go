@@ -1,18 +1,22 @@
 package workload
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/chromatic"
 	"repro/internal/dict"
+	"repro/internal/lockavl"
 	"repro/internal/seqrbt"
 )
 
 func TestMixString(t *testing.T) {
 	cases := map[string]Mix{
-		"50i-50d": Mix50i50d,
-		"20i-10d": Mix20i10d,
-		"0i-0d":   Mix0i0d,
+		"50i-50d":   Mix50i50d,
+		"20i-10d":   Mix20i10d,
+		"0i-0d":     Mix0i0d,
+		"5i-5d-50s": Mix5i5d50s,
 	}
 	for want, mix := range cases {
 		if got := mix.String(); got != want {
@@ -25,8 +29,45 @@ func TestMixString(t *testing.T) {
 	if (Mix{InsertPct: 80, DeletePct: 30}).Valid() {
 		t.Error("mix summing over 100%% reported valid")
 	}
+	if (Mix{InsertPct: 40, DeletePct: 40, ScanPct: 30}).Valid() {
+		t.Error("mix with scans summing over 100%% reported valid")
+	}
 	if (Mix{InsertPct: -1}).Valid() {
 		t.Error("negative mix reported valid")
+	}
+}
+
+func TestParseMixRoundTrip(t *testing.T) {
+	for _, mix := range []Mix{Mix50i50d, Mix20i10d, Mix0i0d, Mix5i5d50s,
+		{InsertPct: 1, DeletePct: 2, ScanPct: 3}} {
+		got, err := ParseMix(mix.String())
+		if err != nil {
+			t.Errorf("ParseMix(%q): %v", mix.String(), err)
+			continue
+		}
+		if got != mix {
+			t.Errorf("ParseMix(%q) = %+v, want %+v", mix.String(), got, mix)
+		}
+	}
+	for _, bad := range []string{"", "50i", "50i-50d-10s-1x", "xi-yd", "50i-60d", "10x-10d"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted a malformed mix", bad)
+		}
+	}
+}
+
+func TestParseDist(t *testing.T) {
+	for s, want := range map[string]Dist{"": DistUniform, "uniform": DistUniform, "zipf": DistZipf} {
+		got, err := ParseDist(s)
+		if err != nil || got != want {
+			t.Errorf("ParseDist(%q) = (%v,%v), want (%v,nil)", s, got, err, want)
+		}
+	}
+	if _, err := ParseDist("gaussian"); err == nil {
+		t.Error("ParseDist accepted an unknown distribution")
+	}
+	if DistUniform.String() != "uniform" || DistZipf.String() != "zipf" {
+		t.Error("Dist.String names changed; flags and JSON snapshots depend on them")
 	}
 }
 
@@ -113,14 +154,124 @@ func TestPrefillExact(t *testing.T) {
 
 func TestApply(t *testing.T) {
 	d := seqrbt.New()
-	Apply(d, OpInsert, 5)
+	Apply(d, OpInsert, 5, DefaultScanSpan)
 	if _, ok := d.Get(5); !ok {
 		t.Fatal("Apply(OpInsert) did not insert")
 	}
-	Apply(d, OpGet, 5)
-	Apply(d, OpDelete, 5)
+	Apply(d, OpGet, 5, DefaultScanSpan)
+	Apply(d, OpDelete, 5, DefaultScanSpan)
 	if _, ok := d.Get(5); ok {
 		t.Fatal("Apply(OpDelete) did not delete")
+	}
+}
+
+// TestApplyScan drives OpScan through both scan paths: the native
+// dict.Ranger range scan (chromatic tree) and the Successor-walk fallback
+// (lock-based AVL tree, which exposes no RangeScan).
+func TestApplyScan(t *testing.T) {
+	targets := []dict.IntMap{chromatic.New(), lockavl.New()}
+	if _, ok := targets[0].(dict.IntRanger); !ok {
+		t.Fatal("chromatic tree no longer implements dict.Ranger; the native scan path is untested")
+	}
+	if _, ok := targets[1].(dict.IntRanger); ok {
+		t.Fatal("lockavl implements dict.Ranger; pick another fallback target")
+	}
+	for _, d := range targets {
+		for i := int64(0); i < 64; i++ {
+			d.Insert(i, i)
+		}
+		// The scan has no externally visible result; it must simply complete
+		// (and is exercised for linearizability by the conformance suites).
+		Apply(d, OpScan, 10, 20)
+		Apply(d, OpScan, 60, 20) // window past the last key
+		Apply(d, OpScan, 100, 5) // empty window
+	}
+}
+
+// TestZipfGeneratorDeterministic pins the reproducibility contract: two
+// zipfian generators with the same seed produce identical operation streams.
+func TestZipfGeneratorDeterministic(t *testing.T) {
+	a := NewGeneratorDist(Mix5i5d50s, 10_000, DistZipf, 12345)
+	b := NewGeneratorDist(Mix5i5d50s, 10_000, DistZipf, 12345)
+	c := NewGeneratorDist(Mix5i5d50s, 10_000, DistZipf, 54321)
+	diverged := false
+	for i := 0; i < 5000; i++ {
+		opA, keyA := a.Next()
+		opB, keyB := b.Next()
+		if opA != opB || keyA != keyB {
+			t.Fatalf("zipf generators with the same seed diverged at step %d", i)
+		}
+		opC, keyC := c.Next()
+		if opA != opC || keyA != keyC {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("zipf generators with different seeds produced identical streams")
+	}
+}
+
+// TestZipfDistributionMatchesTheory draws a large sample and checks the
+// empirical frequency of the hottest keys against the zipf law the generator
+// promises: P(k) proportional to (1+k)^-ZipfS over [0, keyRange).
+func TestZipfDistributionMatchesTheory(t *testing.T) {
+	const keyRange = 1000
+	const samples = 400_000
+	gen := NewGeneratorDist(Mix0i0d, keyRange, DistZipf, 7)
+	counts := make([]int, keyRange)
+	for i := 0; i < samples; i++ {
+		_, key := gen.Next()
+		if key < 0 || key >= keyRange {
+			t.Fatalf("zipf key %d out of range [0,%d)", key, keyRange)
+		}
+		counts[key]++
+	}
+	// Normalization constant of P(k) = (1+k)^-s / H.
+	h := 0.0
+	for k := 0; k < keyRange; k++ {
+		h += math.Pow(1+float64(k), -ZipfS)
+	}
+	for _, k := range []int{0, 1, 2, 10} {
+		want := math.Pow(1+float64(k), -ZipfS) / h
+		got := float64(counts[k]) / samples
+		if got < want*0.85 || got > want*1.15 {
+			t.Errorf("key %d frequency = %.4f, theory %.4f (±15%%)", k, got, want)
+		}
+	}
+	// The distribution must actually be skewed: the hottest key must appear
+	// far more often than a uniform draw would produce.
+	if counts[0] < 10*samples/keyRange {
+		t.Errorf("hottest key drawn %d times; expected a strong hot spot", counts[0])
+	}
+	// Monotone head: frequencies must not increase with rank.
+	if counts[0] < counts[1] || counts[1] < counts[2] {
+		t.Errorf("head frequencies not monotone: %d, %d, %d", counts[0], counts[1], counts[2])
+	}
+}
+
+// TestScanMixGeneratesScans checks the scan share of the operation stream.
+func TestScanMixGeneratesScans(t *testing.T) {
+	gen := NewGenerator(Mix5i5d50s, 1000, 11)
+	if gen.ScanSpan() != DefaultScanSpan {
+		t.Fatalf("default scan span = %d, want %d", gen.ScanSpan(), DefaultScanSpan)
+	}
+	gen.SetScanSpan(25)
+	if gen.ScanSpan() != 25 {
+		t.Fatalf("SetScanSpan did not take effect")
+	}
+	counts := map[Op]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		op, _ := gen.Next()
+		counts[op]++
+	}
+	scanFrac := float64(counts[OpScan]) / n
+	if scanFrac < 0.48 || scanFrac > 0.52 {
+		t.Errorf("scan fraction = %.3f, want ~0.50", scanFrac)
+	}
+	getFrac := float64(counts[OpGet]) / n
+	if getFrac < 0.38 || getFrac > 0.42 {
+		t.Errorf("get fraction = %.3f, want ~0.40", getFrac)
 	}
 }
 
