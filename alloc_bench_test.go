@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/dict"
+	"repro/internal/epoch"
 )
 
 // allocKeyRange is a power of two so that (i * allocKeyMult) & allocKeyMask
@@ -52,6 +53,7 @@ func BenchmarkAlloc(b *testing.B) {
 		b.Run(name+"/Get", func(b *testing.B) { benchmarkAllocGet(b, factory) })
 		b.Run(name+"/Insert", func(b *testing.B) { benchmarkAllocInsert(b, factory) })
 		b.Run(name+"/Delete", func(b *testing.B) { benchmarkAllocDelete(b, factory) })
+		b.Run(name+"/Churn", func(b *testing.B) { benchmarkAllocChurn(b, factory) })
 	}
 	for _, name := range allocOverwriteStructures {
 		factory, ok := bench.Lookup(name)
@@ -75,6 +77,35 @@ func benchmarkAllocOverwrite(b *testing.B, factory dict.IntFactory) {
 	for i := 0; i < b.N; i++ {
 		k := allocKey(i)
 		d.Insert(k, int64(i))
+	}
+}
+
+// allocChurnWindow is the slice of the key space the churn cells cycle keys
+// through. Small enough that the whole window turns over many times per
+// benchmark run, so the node and descriptor pools reach steady state.
+const allocChurnWindow = 1 << 10
+
+// benchmarkAllocChurn measures the steady-state insert/delete cycle the
+// epoch pools target: the tree is filled once, then each timed pair of
+// operations deletes a present key and re-inserts it. At steady state every
+// node and SCX descriptor an update needs was retired by an earlier update
+// and recycled through the pools, so allocs/op should sit near zero (the
+// growth-phase Insert cells above necessarily allocate: a growing tree keeps
+// its nodes).
+func benchmarkAllocChurn(b *testing.B, factory dict.IntFactory) {
+	d := factory.New()
+	for i := int64(0); i < allocKeyRange; i++ {
+		d.Insert(i, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := allocKey(i>>1) & (allocChurnWindow - 1)
+		if i&1 == 0 {
+			d.Delete(k)
+		} else {
+			d.Insert(k, int64(i))
+		}
 	}
 }
 
@@ -109,13 +140,30 @@ func benchmarkAllocInsert(b *testing.B, factory dict.IntFactory) {
 
 // chromaticAllocBudget is the committed allocs/op ceiling for Chromatic
 // Insert and Delete, enforced by TestChromaticAllocBudget (run in CI's
-// bench-smoke job). Measured steady state is ~6.0 (Insert) and ~3.2
-// (Delete): two or three fresh nodes plus one SCX descriptor per update,
-// plus amortized rebalancing steps. The pre-optimization hot path measured
-// ~12.5/~7.1, so the budget of 8 leaves headroom for workload drift while
-// still catching any reintroduction of per-attempt garbage (slice staging,
-// descriptor side tables, unnecessary node copies).
-const chromaticAllocBudget = 8.0
+// bench-smoke job). With epoch reclamation and the node/descriptor pools the
+// measured growth-phase profile is 2.0 (Insert) and 0.0 (Delete): a growing
+// tree keeps its fresh nodes, so Insert still pays for the key leaf and the
+// replacement internal, while Delete's replacement node and every SCX
+// descriptor come out of the pools. (The budget was 8 before pooling, when
+// every update also burned its retired nodes and its descriptors.) The
+// budget of 3 leaves one alloc of headroom for rebalancing drift while
+// catching any reintroduction of per-attempt garbage. Under -tags noepoch
+// the pools are compiled away and the pre-pooling ceiling applies.
+var chromaticAllocBudget = 8.0
+
+func init() {
+	if epoch.Enabled {
+		chromaticAllocBudget = 3.0
+	}
+}
+
+// chromaticChurnAllocBudget is the committed allocs/op ceiling for the
+// steady-state insert/delete cycle (TestChromaticChurnAllocBudget): once the
+// pools are primed, a delete retires more nodes than the matching re-insert
+// consumes, so updates should run allocation-free on average. The budget of
+// 1 tolerates retire-list growth and epoch-lag refill stalls without letting
+// per-operation garbage back in.
+const chromaticChurnAllocBudget = 1.0
 
 // TestChromaticAllocBudget fails if the Chromatic tree's Insert or Delete
 // paths exceed the committed allocation budget. It uses the same
@@ -149,6 +197,88 @@ func TestChromaticAllocBudget(t *testing.T) {
 		t.Errorf("Chromatic Delete allocates %.2f allocs/op, budget is %.1f", delAllocs, chromaticAllocBudget)
 	}
 	t.Logf("Chromatic allocs/op: Insert %.2f, Delete %.2f (budget %.1f)", insAllocs, delAllocs, chromaticAllocBudget)
+}
+
+// TestChromaticChurnAllocBudget pins the headline number of the epoch
+// reclamation work: a steady-state delete/re-insert cycle on the Chromatic
+// tree must average at most one allocation per operation, because retired
+// nodes and descriptors flow back through the pools. Skipped under -tags
+// noepoch, where retired memory is left to the garbage collector.
+func TestChromaticChurnAllocBudget(t *testing.T) {
+	if !epoch.Enabled {
+		t.Skip("epoch reclamation disabled (noepoch build)")
+	}
+	factory, ok := bench.Lookup("Chromatic")
+	if !ok {
+		t.Fatal("Chromatic not registered")
+	}
+	d := factory.New()
+	for i := int64(0); i < allocKeyRange; i++ {
+		d.Insert(i, i)
+	}
+	// Prime the pools: cycle the churn window a few times untimed so the
+	// first timed deletes do not pay the initial retire-list growth.
+	for i := 0; i < 4*allocChurnWindow; i++ {
+		k := allocKey(i>>1) & (allocChurnWindow - 1)
+		if i&1 == 0 {
+			d.Delete(k)
+		} else {
+			d.Insert(k, int64(i))
+		}
+	}
+	i := 0
+	churnAllocs := testing.AllocsPerRun(20000, func() {
+		k := allocKey(i>>1) & (allocChurnWindow - 1)
+		if i&1 == 0 {
+			d.Delete(k)
+		} else {
+			d.Insert(k, int64(i))
+		}
+		i++
+	})
+	if churnAllocs > chromaticChurnAllocBudget {
+		t.Errorf("Chromatic churn allocates %.2f allocs/op, budget is %.1f", churnAllocs, chromaticChurnAllocBudget)
+	}
+	t.Logf("Chromatic churn: %.2f allocs/op (budget %.1f)", churnAllocs, chromaticChurnAllocBudget)
+}
+
+// TestReclaimNoLeak checks that retired memory does not accumulate: after a
+// burst of updates reaches quiescence, draining the epoch retire lists frees
+// everything except the bounded residue the two-epoch grace period is
+// allowed to hold back (at most the last two epochs' worth of retirees plus
+// parked descriptors, all of which drain on the next call).
+func TestReclaimNoLeak(t *testing.T) {
+	if !epoch.Enabled {
+		t.Skip("epoch reclamation disabled (noepoch build)")
+	}
+	for _, name := range allocBenchStructures {
+		factory, ok := bench.Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		d := factory.New()
+		const n = 1 << 12
+		for i := int64(0); i < n; i++ {
+			d.Insert(i, i)
+		}
+		for i := int64(0); i < n; i++ {
+			d.Delete(i)
+		}
+		dr, ok := d.(interface{ DrainReclaim() int64 })
+		if !ok {
+			t.Fatalf("%s does not expose DrainReclaim", name)
+		}
+		// Two passes: the first flushes deferred descriptors into the retire
+		// lists and frees everything already past the grace period, the
+		// second reaps what the first pass retired.
+		dr.DrainReclaim()
+		dr.DrainReclaim()
+		if pending := epoch.Pending(); pending > 64 {
+			t.Errorf("%s: %d retired objects still pending after drain at quiescence", name, pending)
+		} else {
+			t.Logf("%s: %d retired objects pending after drain", name, pending)
+		}
+	}
 }
 
 // overwriteAllocBudget is the committed allocs/op ceiling for Insert on a

@@ -371,6 +371,24 @@ func TestHotKeyOverwriteStress(t *testing.T) {
 	}
 }
 
+// TestReclamationChurnStress is the epoch-reclamation torture test: several
+// writers insert and delete the SAME small key window flat out - so every
+// leaf and internal node backing the window is retired, passes through the
+// grace period and is recycled continuously - while readers walk the window
+// with Get, Successor chains and RangeScan. Readers assert that every key
+// and value they observe is one the workload could legitimately contain; a
+// recycled-too-early node surfaces as a foreign key, an unpublished value, a
+// non-monotonic walk, or (under -tags reclaimcheck, which CI also runs) a
+// deterministic generation-check panic in the read path. It runs under -race
+// in CI (the race job's test pattern matches "Stress").
+func TestReclamationChurnStress(t *testing.T) {
+	for _, tgt := range allConcurrentTargets(t) {
+		t.Run(tgt.Name, func(t *testing.T) {
+			dicttest.ChurnStress(t, tgt, 4, 8000)
+		})
+	}
+}
+
 // TestHotKeyOverwriteStressBoxedValues repeats the hot-key stress with
 // string values on the template trees and the two rewritten baselines, so
 // the boxed (pointer) representation of the value cells - the fallback for

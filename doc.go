@@ -6,7 +6,8 @@
 // leaf-oriented BST engine built on the template (internal/lbst) with its
 // two instantiations - the unbalanced BST (internal/ebst) and the relaxed
 // AVL tree (internal/ravl) - the non-blocking chromatic tree
-// (internal/chromatic), and every data structure the paper's evaluation
+// (internal/chromatic), the epoch-based reclamation layer they share
+// (internal/epoch), and every data structure the paper's evaluation
 // compares against, plus the workload generator and throughput harness that
 // regenerate the paper's figures. The dictionary stack is generic end to
 // end: dict.Map[K, V] / dict.OrderedMap[K, V] are the canonical interfaces,
@@ -37,10 +38,19 @@
 // publish plus a finalization re-check - zero allocations for the int64
 // registry, on the trees and the skip-list/lock-AVL baselines alike.
 // Descriptor
-// and node reclamation is the garbage collector's job - that is what rules
-// out ABA, exactly as in the paper's Java runtime. BenchmarkAlloc,
-// TestChromaticAllocBudget and TestOverwriteAllocBudget
-// (alloc_bench_test.go) pin the resulting allocation profile in CI.
+// and node reclamation is manual: internal/epoch implements
+// quiescent-state-based reclamation (every operation pins an epoch slot on
+// entry; retired memory is freed two epoch advances later, once no pinned
+// operation can still reach it), and the trees recycle their nodes and SCX
+// descriptors through sync.Pool-backed freelists layered on that grace
+// period - the ABA-freedom the paper gets from its Java runtime's garbage
+// collector is re-derived for manual reclamation in DESIGN.md. Steady-state
+// updates (delete + re-insert) run at zero allocations per operation; build
+// with -tags noepoch to fall back to GC reclamation, and -tags reclaimcheck
+// to poison recycled nodes with generation checks. BenchmarkAlloc,
+// TestChromaticAllocBudget, TestChromaticChurnAllocBudget,
+// TestOverwriteAllocBudget and TestReclaimNoLeak (alloc_bench_test.go) pin
+// the resulting allocation profile in CI.
 //
 // The workload generator covers the paper's uniform operation mixes plus a
 // zipfian (hot-key) key distribution and a range-scan mix share; the

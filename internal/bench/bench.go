@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/dict"
+	"repro/internal/epoch"
 	"repro/internal/workload"
 )
 
@@ -144,6 +145,24 @@ func runTrial(cfg Config, trial int64) (int64, time.Duration, float64, int) {
 	time.Sleep(cfg.Duration)
 	close(stop)
 	wg.Wait()
+	// Quiesce the reclamation layer before the structure is dropped: a trial
+	// ends with retired-but-unfreed nodes sitting in the global epoch retire
+	// lists, and those lists are GC roots — without draining them here every
+	// later trial in the same process pays GC mark costs for dead trees,
+	// which measurably taxes even the structures that never touch the epoch
+	// layer. Two passes, as in TestReclaimNoLeak: the first can re-queue
+	// parked descriptors, the second settles them.
+	if dr, ok := d.(interface{ DrainReclaim() int64 }); ok {
+		dr.DrainReclaim()
+		dr.DrainReclaim()
+		// What the drains cannot free — parked descriptors and zombie
+		// owners whose counts can never drop now that the structure is
+		// garbage — would pin the dead structure as a GC root forever.
+		// Everything retired through the layer in this process belongs to
+		// this trial's structure, so dropping the leftovers to the garbage
+		// collector is sound and severs the retention.
+		epoch.DiscardAll()
+	}
 	runtime.KeepAlive(d)
 	var ops int64
 	var sumElapsed time.Duration

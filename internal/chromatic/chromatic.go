@@ -23,13 +23,24 @@
 // instantiation. The Chromatic6 variant of the paper — which postpones
 // rebalancing until more than six violations accumulate on a search path —
 // is obtained with WithAllowedViolations(6) or NewChromatic6.
+//
+// Every operation runs inside an epoch-reclamation pinned region
+// (internal/epoch), and each tree recycles its nodes through a sync.Pool and
+// its SCX descriptors through an llxscx.Pool, exactly as the shared engine in
+// internal/lbst does: a node removed by a committed SCX is retired under the
+// operation's guard and re-enters the pool only after a grace period. The
+// safety argument is re-derived in DESIGN.md ("Epoch reclamation and the ABA
+// re-derivation"). Build with -tags noepoch to fall back to garbage-collected
+// reclamation.
 package chromatic
 
 import (
 	"cmp"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/epoch"
 	"repro/internal/llxscx"
 	"repro/internal/vcell"
 )
@@ -56,6 +67,21 @@ type node[K, V any] struct {
 	inf  bool           // true for sentinel nodes, whose key is +infinity
 
 	left, right atomic.Pointer[node[K, V]]
+
+	// owner points at the node whose embedded cell this node's val aliases:
+	// itself for a fresh value leaf, the original owner for copies
+	// (flattened, so chains of copies share one owner), nil for internal and
+	// sentinel nodes. Immutable after construction.
+	owner *node[K, V]
+	// crefs counts, on an owner node, the nodes whose val aliases its
+	// embedded cell (itself included); see the cell-owner protocol in
+	// internal/lbst, which this package follows verbatim.
+	crefs atomic.Int32
+	// gen counts how many times this node's memory has been recycled through
+	// the pool. Plain field: written only during recycle (after the grace
+	// period, which establishes a happens-before edge to every earlier
+	// reader) and read only under -tags reclaimcheck.
+	gen uint64
 }
 
 // LLXRecord implements llxscx.DataRecord.
@@ -86,10 +112,18 @@ func (n *node[K, V]) IsLeaf() bool { return n.leaf }
 // IsSentinel implements lbst.View.
 func (n *node[K, V]) IsSentinel() bool { return n.inf }
 
+// Gen returns the node's reclamation generation counter, bumped every time
+// the node's memory is recycled through the pool. It only changes under
+// -tags reclaimcheck, where the shared query helpers use it to assert that
+// no node is recycled while a pinned reader can still reach it.
+func (n *node[K, V]) Gen() uint64 { return n.gen }
+
 func newLeaf[K, V any](k K, v V, w int32) *node[K, V] {
 	n := &node[K, V]{k: k, w: w, leaf: true}
 	n.cell.Init(vcell.Unboxed[V](), v)
 	n.val = &n.cell
+	n.owner = n
+	n.crefs.Store(1)
 	return n
 }
 
@@ -108,12 +142,21 @@ func newInternal[K, V any](k K, w int32, inf bool, left, right *node[K, V]) *nod
 // given weight and with the children recorded in lk's snapshot. The copy
 // ALIASES the source's value cell rather than capturing the value, so an
 // in-place overwrite racing with the copying SCX stays visible through the
-// copy whichever commits first (see Insert's overwrite protocol).
+// copy whichever commits first (see Insert's overwrite protocol). The copy
+// takes a reference on the cell's owner, so the cell outlives every aliasing
+// node under pooled reclamation.
 func copyWithWeight[K, V any](lk llxscx.Linked[node[K, V]], w int32) *node[K, V] {
 	src := lk.Node()
 	n := &node[K, V]{k: src.k, val: src.val, w: w, leaf: src.leaf, inf: src.inf}
 	n.left.Store(lk.Child(0))
 	n.right.Store(lk.Child(1))
+	if own := src.owner; own != nil {
+		// Safe to increment: src holds a reference on own and src is
+		// protected by the caller's pinned region, so the count cannot
+		// reach zero concurrently.
+		n.owner = own
+		own.crefs.Add(1)
+	}
 	return n
 }
 
@@ -167,6 +210,24 @@ type Tree[K, V any] struct {
 	// node.
 	searchFn func(t *Tree[K, V], key K) (gp, p, l *node[K, V], violations int)
 
+	// unboxed is vcell.Unboxed[V](), computed once so every pooled leaf
+	// initializes its cell without re-deriving the representation.
+	unboxed bool
+
+	// nodePool recycles this tree's nodes; nodes enter it only through the
+	// epoch layer's grace period (or releaseFresh, for nodes that were
+	// never published). Per-tree, because the pool is generic over K and V.
+	// Heap-allocated separately rather than embedded: a sync.Pool that has
+	// ever been used registers itself with the runtime for the rest of the
+	// process, and an embedded pool would pin the whole Tree — root and all
+	// its nodes — as a GC root long after the tree is dropped.
+	nodePool *sync.Pool
+	// descPool recycles this tree's SCX descriptors (see llxscx.Pool).
+	descPool *llxscx.Pool[node[K, V]]
+	// freeNodeFn is the epoch callback for retired nodes, built once at
+	// construction so retireNode never allocates a closure.
+	freeNodeFn epoch.Func
+
 	stats Stats
 }
 
@@ -196,12 +257,20 @@ func NewLess[K, V any](less func(a, b K) bool, opts ...Option) *Tree[K, V] {
 		o(&cfg)
 	}
 	var sentinelKey K
-	return &Tree[K, V]{
+	t := &Tree[K, V]{
 		entry:    newInternal(sentinelKey, 1, true, newSentinelLeaf[K, V](), nil),
 		less:     less,
 		allowed:  cfg.allowed,
 		searchFn: searchLess[K, V],
+		unboxed:  vcell.Unboxed[V](),
+		descPool: llxscx.NewPool[node[K, V]](),
 	}
+	t.nodePool = &sync.Pool{New: func() any { return new(node[K, V]) }}
+	t.freeNodeFn = func(g *epoch.Guard, obj any) bool {
+		t.freeNode(obj.(*node[K, V]))
+		return true
+	}
+	return t
 }
 
 // NewOrdered returns an empty chromatic tree over a naturally ordered key
@@ -273,6 +342,173 @@ func itoa(v int) string {
 	}
 	return string(buf[i:])
 }
+
+// ---------------------------------------------------------------------------
+// Pooled node lifecycle. The protocol is shared with internal/lbst (see its
+// package comment and DESIGN.md for the safety argument); it is instantiated
+// here a second time because the chromatic tree keeps its own hand-unrolled
+// node type, exactly as the paper keeps its pseudocode concrete.
+
+// leafNode returns a leaf holding key and value, drawn from the tree's node
+// pool (a fresh allocation under -tags noepoch). The leaf owns its embedded
+// value cell.
+func (t *Tree[K, V]) leafNode(k K, v V, w int32) *node[K, V] {
+	if !epoch.Enabled {
+		return newLeaf[K, V](k, v, w)
+	}
+	n := t.nodePool.Get().(*node[K, V])
+	n.k = k
+	n.w = w
+	n.leaf = true
+	n.cell.Init(t.unboxed, v)
+	n.val = &n.cell
+	n.owner = n
+	n.crefs.Store(1)
+	return n
+}
+
+// internalNode returns an internal node drawn from the tree's node pool (a
+// fresh allocation under -tags noepoch).
+func (t *Tree[K, V]) internalNode(k K, w int32, inf bool, left, right *node[K, V]) *node[K, V] {
+	if !epoch.Enabled {
+		return newInternal(k, w, inf, left, right)
+	}
+	n := t.nodePool.Get().(*node[K, V])
+	n.k = k
+	n.w = w
+	n.inf = inf
+	n.left.Store(left)
+	n.right.Store(right)
+	return n
+}
+
+// copyNode is copyWithWeight drawing the copy from the tree's node pool (a
+// fresh allocation under -tags noepoch). Like it, the copy aliases the
+// source's value cell and takes a reference on the cell's owner.
+func (t *Tree[K, V]) copyNode(lk llxscx.Linked[node[K, V]], w int32) *node[K, V] {
+	if !epoch.Enabled {
+		return copyWithWeight(lk, w)
+	}
+	src := lk.Node()
+	n := t.nodePool.Get().(*node[K, V])
+	n.k = src.k
+	n.val = src.val
+	n.w = w
+	n.leaf = src.leaf
+	n.inf = src.inf
+	n.left.Store(lk.Child(0))
+	n.right.Store(lk.Child(1))
+	if own := src.owner; own != nil {
+		n.owner = own
+		own.crefs.Add(1)
+	}
+	return n
+}
+
+// internalLike creates a fresh internal node carrying src's routing key and
+// sentinel flag, with the given weight and children.
+func (t *Tree[K, V]) internalLike(src *node[K, V], w int32, left, right *node[K, V]) *node[K, V] {
+	return t.internalNode(src.k, w, src.inf, left, right)
+}
+
+// retireNode hands a node that a committed SCX removed from the tree to the
+// reclamation layer under the operation's pinned guard: it re-enters the
+// node pool after a grace period. A no-op under -tags noepoch (the garbage
+// collector reclaims the node).
+func (t *Tree[K, V]) retireNode(g *epoch.Guard, n *node[K, V]) {
+	epoch.Retire(g, n, t.freeNodeFn)
+}
+
+// releaseFresh recycles a freshly built node whose SCX failed. Such a node
+// was never published - no other operation can have seen it - so it
+// re-enters the pool immediately, without a grace period. A no-op under
+// -tags noepoch.
+func (t *Tree[K, V]) releaseFresh(n *node[K, V]) {
+	if !epoch.Enabled {
+		return
+	}
+	t.freeNode(n)
+}
+
+// scx performs one pooled SCX and, on success, retires the removed nodes
+// r[:nr]. On failure the caller is responsible for releasing the fresh
+// nodes it built (releaseFresh). Reading fields of a retired node afterwards
+// is still safe inside the invoking operation's pinned region: the node
+// cannot be recycled before the guard is released plus a grace period.
+func (t *Tree[K, V]) scx(g *epoch.Guard, v *[llxscx.MaxV]llxscx.Linked[node[K, V]], nv int, r *[llxscx.MaxV]*node[K, V], nr int, fld *atomic.Pointer[node[K, V]], old, new *node[K, V]) bool {
+	if !llxscx.SCXP(g, t.descPool, v, nv, r, nr, fld, old, new) {
+		return false
+	}
+	for i := 0; i < nr; i++ {
+		t.retireNode(g, r[i])
+	}
+	return true
+}
+
+// freeNode runs after a retired node's grace period (or immediately, for a
+// never-published fresh node): no operation can reach n anymore, so its
+// memory may be recycled - except that an owner node whose embedded cell is
+// still aliased by live copies must park until the last copy is freed.
+func (t *Tree[K, V]) freeNode(n *node[K, V]) {
+	own := n.owner
+	switch {
+	case own == nil:
+		// Internal or sentinel node: no cell bookkeeping.
+		t.recycle(n)
+	case own != n:
+		// A copy: its embedded cell was never used; drop its reference on
+		// the owner, and recycle the owner too if this was the last alias
+		// (the owner was freed earlier and parked as a zombie).
+		t.recycle(n)
+		if own.crefs.Add(-1) == 0 {
+			t.recycle(own)
+		}
+	default:
+		// The owner itself: recycle only if no copy aliases its cell;
+		// otherwise park - the last copy's free recycles it via own above.
+		if n.crefs.Add(-1) == 0 {
+			t.recycle(n)
+		}
+	}
+}
+
+// recycle resets a node whose memory is provably unreachable and returns it
+// to the pool. Releasing the record drops the node's reference on its last
+// SCX descriptor, which is what lets committed descriptors of long-dead
+// updates finally recycle too.
+func (t *Tree[K, V]) recycle(n *node[K, V]) {
+	llxscx.ReleaseRecord(&n.rec)
+	n.left.Store(nil)
+	n.right.Store(nil)
+	n.val = nil
+	n.owner = nil
+	n.crefs.Store(0)
+	n.cell.Reset()
+	var zeroK K
+	n.k = zeroK
+	n.w = 0
+	n.leaf = false
+	n.inf = false
+	if epoch.PoisonCheck {
+		n.gen++
+	}
+	t.nodePool.Put(n)
+}
+
+// DrainReclaim flushes the tree's deferred descriptors and drains the epoch
+// layer's retire lists, returning the number of objects still pending
+// (process-wide). Meant for tests and quiescent shutdown; see epoch.Drain.
+func (t *Tree[K, V]) DrainReclaim() int64 {
+	if !epoch.Enabled {
+		return 0
+	}
+	g := epoch.Pin()
+	t.descPool.Flush(g)
+	epoch.Unpin(g)
+	return epoch.Drain()
+}
+
+// ---------------------------------------------------------------------------
 
 // keyLess reports whether key is strictly smaller than n's key, treating
 // sentinel nodes as holding +infinity.
@@ -387,18 +623,32 @@ func violationAt[K, V any](parent, child *node[K, V]) bool {
 // key is absent. Get uses only plain reads and never blocks or retries
 // (property C3 of the paper makes such searches linearizable).
 func (t *Tree[K, V]) Get(key K) (V, bool) {
+	g := epoch.Pin()
 	_, _, l, _ := t.search(key)
 	if t.isKey(key, l) {
-		return l.val.Load(), true
+		var g0 uint64
+		if epoch.PoisonCheck {
+			g0 = l.gen
+		}
+		v := l.val.Load()
+		if epoch.PoisonCheck && l.gen != g0 {
+			panic("chromatic: node recycled under a pinned reader (reclaimcheck)")
+		}
+		epoch.Unpin(g)
+		return v, true
 	}
+	epoch.Unpin(g)
 	var zero V
 	return zero, false
 }
 
 // Contains reports whether key is present.
 func (t *Tree[K, V]) Contains(key K) bool {
+	g := epoch.Pin()
 	_, _, l, _ := t.search(key)
-	return t.isKey(key, l)
+	ok := t.isKey(key, l)
+	epoch.Unpin(g)
+	return ok
 }
 
 // updateResult carries the outcome of a successful tryInsert or tryDelete.
@@ -428,12 +678,19 @@ type updateResult[V any] struct {
 // displaced value is returned without publishing again. Copies alias the
 // leaf's cell (copyWithWeight, tryInsert's overweight-leaf copy), so a
 // racing copy can never lose the published value.
+//
+// Under pooled reclamation the whole operation - every retry included - runs
+// inside ONE pinned region. That is what keeps the same-cell disambiguation
+// sound: every leaf this operation reaches was reachable while it was
+// pinned, so none of their cells can be recycled (and their addresses reused
+// for unrelated keys) before the operation returns.
 func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 	// A failed attempt means a concurrent update won the SCX in this
 	// neighbourhood (or the leaf was finalized under an overwrite); back off
 	// (bounded, randomized, growing with the failure count) before
 	// re-searching so heavy contention on a small key range does not
 	// degenerate into a storm of wasted re-searches.
+	g := epoch.Pin()
 	var prevCell *vcell.Cell[V]
 	var prevOld V
 	for fails := 0; ; {
@@ -444,11 +701,13 @@ func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 				// the leaf was superseded by a copy, not deleted, so that
 				// publish took effect.
 				t.stats.Insert2.Add(1)
+				epoch.Unpin(g)
 				return prevOld, true
 			}
 			old := l.val.Swap(value)
 			if !l.rec.Marked() {
 				t.stats.Insert2.Add(1)
+				epoch.Unpin(g)
 				return old, true
 			}
 			prevCell, prevOld = l.val, old
@@ -456,15 +715,16 @@ func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 			core.BackoffWait(fails)
 			continue
 		}
-		res, ok := t.tryInsert(p, l, key, value)
+		res, ok := t.tryInsert(g, p, l, key, value)
 		if !ok {
 			fails++
 			core.BackoffWait(fails)
 			continue
 		}
 		if res.createdViolation && viol+1 > t.allowed {
-			t.cleanup(key)
+			t.cleanup(g, key)
 		}
+		epoch.Unpin(g)
 		return res.old, res.existed
 	}
 }
@@ -476,22 +736,26 @@ func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 // it the right primitive for sharing per-key state (for example a counter)
 // between concurrent writers.
 func (t *Tree[K, V]) LoadOrStore(key K, value V) (actual V, loaded bool) {
+	g := epoch.Pin()
 	for fails := 0; ; {
 		_, p, l, viol := t.search(key)
 		if t.isKey(key, l) {
 			// The key was present while l was on the search path; linearize
 			// there, exactly as Get does.
-			return l.val.Load(), true
+			v := l.val.Load()
+			epoch.Unpin(g)
+			return v, true
 		}
-		res, ok := t.tryInsert(p, l, key, value)
+		res, ok := t.tryInsert(g, p, l, key, value)
 		if !ok {
 			fails++
 			core.BackoffWait(fails)
 			continue
 		}
 		if res.createdViolation && viol+1 > t.allowed {
-			t.cleanup(key)
+			t.cleanup(g, key)
 		}
+		epoch.Unpin(g)
 		return value, false
 	}
 }
@@ -499,17 +763,19 @@ func (t *Tree[K, V]) LoadOrStore(key K, value V) (actual V, loaded bool) {
 // Delete removes key and returns the value that was associated with it (with
 // true), or the zero value and false if key was not present.
 func (t *Tree[K, V]) Delete(key K) (V, bool) {
+	g := epoch.Pin()
 	for fails := 0; ; {
 		gp, p, l, viol := t.search(key)
-		res, ok := t.tryDelete(gp, p, l, key)
+		res, ok := t.tryDelete(g, gp, p, l, key)
 		if !ok {
 			fails++
 			core.BackoffWait(fails)
 			continue
 		}
 		if res.createdViolation && viol+1 > t.allowed {
-			t.cleanup(key)
+			t.cleanup(g, key)
 		}
+		epoch.Unpin(g)
 		return res.old, res.existed
 	}
 }
@@ -517,8 +783,9 @@ func (t *Tree[K, V]) Delete(key K) (V, bool) {
 // tryInsert performs one attempt of the insertion update at leaf l with
 // parent p, following the tree update template (Figure 12 of the paper and
 // the Insert transformations of Figure 11). It returns ok=false if the
-// attempt must be retried from a fresh search.
-func (t *Tree[K, V]) tryInsert(p, l *node[K, V], key K, value V) (updateResult[V], bool) {
+// attempt must be retried from a fresh search. It runs under the invoking
+// operation's pinned guard g.
+func (t *Tree[K, V]) tryInsert(g *epoch.Guard, p, l *node[K, V], key K, value V) (updateResult[V], bool) {
 	lkP, st := llxscx.LLX(p)
 	if st != llxscx.Snapshot {
 		return updateResult[V]{}, false
@@ -561,22 +828,27 @@ func (t *Tree[K, V]) tryInsert(p, l *node[K, V], key K, value V) (updateResult[V
 	if !l.inf && !p.inf {
 		newWeight = l.w - 1
 	}
-	newKeyLeaf := newLeaf(key, value, 1)
+	newKeyLeaf := t.leafNode(key, value, 1)
 	oldLeaf := l
 	if l.w != 1 {
-		oldLeaf = &node[K, V]{k: l.k, val: l.val, w: 1, leaf: true, inf: l.inf}
+		oldLeaf = t.copyNode(lkL, 1)
 	} else {
 		nr = 0
 	}
 	if t.keyLess(key, l) {
-		repl = newInternal(l.k, newWeight, l.inf, newKeyLeaf, oldLeaf)
+		repl = t.internalNode(l.k, newWeight, l.inf, newKeyLeaf, oldLeaf)
 	} else {
-		repl = newInternal(key, newWeight, false, oldLeaf, newKeyLeaf)
+		repl = t.internalNode(key, newWeight, false, oldLeaf, newKeyLeaf)
 	}
 
 	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkP, lkL}
 	r := [llxscx.MaxV]*node[K, V]{l}
-	if !llxscx.SCXFixed(&v, 2, &r, nr, fld, l, repl) {
+	if !t.scx(g, &v, 2, &r, nr, fld, l, repl) {
+		t.releaseFresh(newKeyLeaf)
+		if oldLeaf != l {
+			t.releaseFresh(oldLeaf)
+		}
+		t.releaseFresh(repl)
 		return updateResult[V]{}, false
 	}
 	t.stats.Insert1.Add(1)
@@ -586,8 +858,9 @@ func (t *Tree[K, V]) tryInsert(p, l *node[K, V], key K, value V) (updateResult[V
 
 // tryDelete performs one attempt of the deletion update at leaf l with
 // parent p and grandparent gp, following Figure 6 of the paper. It returns
-// ok=false if the attempt must be retried from a fresh search.
-func (t *Tree[K, V]) tryDelete(gp, p, l *node[K, V], key K) (updateResult[V], bool) {
+// ok=false if the attempt must be retried from a fresh search. It runs under
+// the invoking operation's pinned guard g.
+func (t *Tree[K, V]) tryDelete(g *epoch.Guard, gp, p, l *node[K, V], key K) (updateResult[V], bool) {
 	// Special case: the chromatic tree is empty (the leaf reached is the
 	// sentinel leaf directly below entry), so key is certainly absent.
 	if gp == nil {
@@ -644,7 +917,7 @@ func (t *Tree[K, V]) tryDelete(gp, p, l *node[K, V], key K) (updateResult[V], bo
 	//
 	// The promoted node must be a fresh copy even when the absorbed weight
 	// happens to equal the sibling's: the SCX protocol's ABA-freedom rests
-	// on every value stored into a child field being newly allocated (a
+	// on every value stored into a child field being newly obtained (a
 	// stale helper of an earlier SCX on the same field retries its update
 	// CAS unconditionally, and re-installing a pointer the field once held
 	// would let that CAS resurrect a finalized subtree). Reuse is only safe
@@ -655,11 +928,11 @@ func (t *Tree[K, V]) tryDelete(gp, p, l *node[K, V], key K) (updateResult[V], bo
 	} else {
 		newWeight = p.w + s.w
 	}
-	repl := copyWithWeight(lkS, newWeight)
+	repl := t.copyNode(lkS, newWeight)
 
 	// V and R are ordered by a breadth-first traversal (postcondition PC8):
 	// the parent's children appear in left-to-right order. The evidence is
-	// staged in stack arrays; the SCX's only allocation is its descriptor.
+	// staged in stack arrays.
 	var v [llxscx.MaxV]llxscx.Linked[node[K, V]]
 	var r [llxscx.MaxV]*node[K, V]
 	if lIsLeft {
@@ -669,14 +942,17 @@ func (t *Tree[K, V]) tryDelete(gp, p, l *node[K, V], key K) (updateResult[V], bo
 		v = [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkGP, lkP, lkS, lkL}
 		r = [llxscx.MaxV]*node[K, V]{p, s, l}
 	}
-	if !llxscx.SCXFixed(&v, 4, &r, 3, fld, p, repl) {
+	if !t.scx(g, &v, 4, &r, 3, fld, p, repl) {
+		t.releaseFresh(repl)
 		return updateResult[V]{}, false
 	}
 	t.stats.Delete.Add(1)
 	// The cell is read only after the SCX committed, so the read happens
 	// after l was marked; an in-place overwrite that linearized before this
 	// deletion (its Swap totally ordered before the marking) is therefore
-	// visible in the returned value.
+	// visible in the returned value. The read is safe even though l is
+	// already retired: the operation is still pinned, so the grace period
+	// cannot have elapsed.
 	return updateResult[V]{
 		old:              l.val.Load(),
 		existed:          true,
@@ -690,7 +966,8 @@ func (t *Tree[K, V]) tryDelete(gp, p, l *node[K, V], key K) (updateResult[V], bo
 // rebalancing step keeps a violation on the search path of the key whose
 // insertion or deletion created it (property VIOL), this guarantees the
 // violation created by the caller has been eliminated when cleanup returns.
-func (t *Tree[K, V]) cleanup(key K) {
+// It runs under the invoking operation's pinned guard g.
+func (t *Tree[K, V]) cleanup(g *epoch.Guard, key K) {
 	for {
 		var ggp, gp *node[K, V]
 		p := t.entry
@@ -705,7 +982,7 @@ func (t *Tree[K, V]) cleanup(key K) {
 				if ggp == nil || gp == nil {
 					return
 				}
-				t.tryRebalance(ggp, gp, p, l)
+				t.tryRebalance(g, ggp, gp, p, l)
 				break // restart the search from the entry point
 			}
 			if l.leaf {

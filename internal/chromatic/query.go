@@ -1,6 +1,9 @@
 package chromatic
 
-import "repro/internal/lbst"
+import (
+	"repro/internal/epoch"
+	"repro/internal/lbst"
+)
 
 // The ordered queries of Section 5.5 of the paper - Successor, Predecessor
 // and the derived scans - are implemented once, generically, by the shared
@@ -10,17 +13,29 @@ import "repro/internal/lbst"
 // point in time. The chromatic tree's node type satisfies lbst.View, so
 // these methods are thin wrappers; only the update path (chromatic.go,
 // rebalance.go) stays hand-unrolled, exactly as the paper's pseudocode does.
+//
+// Each wrapper pins the epoch for the duration of the query so that nodes
+// reached by the traversal cannot be recycled underneath it. RangeScan and
+// Ascend hold a single pin across the whole scan: the scan is not atomic,
+// but keeping one pin is cheaper than one per step, and reclamation only
+// stalls for the scan's duration, not forever.
 
 // Successor returns the smallest key strictly greater than key together with
 // its value, or ok=false if no such key exists.
 func (t *Tree[K, V]) Successor(key K) (k K, v V, ok bool) {
-	return lbst.Successor(t.entry, t.less, key)
+	g := epoch.Pin()
+	k, v, ok = lbst.Successor(t.entry, t.less, key)
+	epoch.Unpin(g)
+	return k, v, ok
 }
 
 // Predecessor returns the largest key strictly smaller than key together
 // with its value, or ok=false if no such key exists.
 func (t *Tree[K, V]) Predecessor(key K) (k K, v V, ok bool) {
-	return lbst.Predecessor(t.entry, t.less, key)
+	g := epoch.Pin()
+	k, v, ok = lbst.Predecessor(t.entry, t.less, key)
+	epoch.Unpin(g)
+	return k, v, ok
 }
 
 // RangeScan calls fn for every key in [lo, hi] in ascending order, using a
@@ -28,25 +43,37 @@ func (t *Tree[K, V]) Predecessor(key K) (k K, v V, ok bool) {
 // number of keys visited. If fn returns false the scan stops early. The scan
 // is not atomic as a whole: each step is individually linearizable.
 func (t *Tree[K, V]) RangeScan(lo, hi K, fn func(k K, v V) bool) int {
-	return lbst.RangeScan(t.entry, t.less, lo, hi, fn)
+	g := epoch.Pin()
+	n := lbst.RangeScan(t.entry, t.less, lo, hi, fn)
+	epoch.Unpin(g)
+	return n
 }
 
 // Ascend calls fn for every key in the dictionary in ascending order and
 // returns the number of keys visited. If fn returns false the scan stops
 // early. Each step is individually linearizable.
 func (t *Tree[K, V]) Ascend(fn func(k K, v V) bool) int {
-	return lbst.Ascend(t.entry, t.less, fn)
+	g := epoch.Pin()
+	n := lbst.Ascend(t.entry, t.less, fn)
+	epoch.Unpin(g)
+	return n
 }
 
 // Min returns the smallest key in the dictionary and its value, or ok=false
 // if the dictionary is empty.
 func (t *Tree[K, V]) Min() (k K, v V, ok bool) {
-	return lbst.Min[*node[K, V], node[K, V], K, V](t.entry)
+	g := epoch.Pin()
+	k, v, ok = lbst.Min[*node[K, V], node[K, V], K, V](t.entry)
+	epoch.Unpin(g)
+	return k, v, ok
 }
 
 // Max returns the largest key in the dictionary and its value, or ok=false
 // if the dictionary is empty. (Sentinel keys are treated as +infinity and
 // are never returned.)
 func (t *Tree[K, V]) Max() (k K, v V, ok bool) {
-	return lbst.Max[*node[K, V], node[K, V], K, V](t.entry)
+	g := epoch.Pin()
+	k, v, ok = lbst.Max[*node[K, V], node[K, V], K, V](t.entry)
+	epoch.Unpin(g)
+	return k, v, ok
 }

@@ -3,6 +3,7 @@ package chromatic
 import (
 	"sync/atomic"
 
+	"repro/internal/epoch"
 	"repro/internal/llxscx"
 )
 
@@ -14,11 +15,17 @@ import (
 // Naming follows the paper: in each transformation u is the node whose child
 // pointer is changed, ux is the child of u being replaced (the root of the
 // removed subgraph), and deeper nodes append l/r for left/right (uxl, uxr,
-// uxrl, ...). Nodes named n, nl, nr, nll, ... are freshly allocated. Each
-// transformation preserves the binary search tree order and the equality of
-// weighted path lengths, never increases the number of violations, and keeps
-// any remaining violation on the search path of the key whose insertion or
-// deletion created it (property VIOL of Section 5.2).
+// uxrl, ...). Nodes named n, nl, nr, nll, ... are freshly drawn from the
+// tree's node pool. Each transformation preserves the binary search tree
+// order and the equality of weighted path lengths, never increases the
+// number of violations, and keeps any remaining violation on the search path
+// of the key whose insertion or deletion created it (property VIOL of
+// Section 5.2).
+//
+// Every step runs under the invoking operation's pinned epoch guard g: its
+// SCX goes through the pooled t.scx (which retires the removed nodes on
+// success), and on failure every fresh node is returned to the pool with
+// releaseFresh - it was never published, so no grace period is needed.
 
 // fieldFor returns the mutable field of u (according to lkU's snapshot) that
 // pointed to child, or nil if child was not a child of u in that snapshot.
@@ -49,30 +56,21 @@ func replacementWeight[K, V any](u *node[K, V], w int32) int32 {
 	return w
 }
 
-// internalLike creates a fresh internal node carrying src's routing key and
-// sentinel flag, with the given weight and children.
-func internalLike[K, V any](src *node[K, V], w int32, left, right *node[K, V]) *node[K, V] {
-	n := &node[K, V]{k: src.k, w: w, inf: src.inf}
-	n.left.Store(left)
-	n.right.Store(right)
-	return n
-}
-
 // tryRebalance attempts to apply one rebalancing step at the violation
 // located at node l, whose ancestors on the search path are p (parent),
 // gp (grandparent) and ggp (great-grandparent). It follows Figure 15 of the
 // paper. A false return means no step was applied (the caller's Cleanup will
 // search again from the entry point).
-func (t *Tree[K, V]) tryRebalance(ggp, gp, p, l *node[K, V]) bool {
+func (t *Tree[K, V]) tryRebalance(g *epoch.Guard, ggp, gp, p, l *node[K, V]) bool {
 	t.stats.RebalanceAttempts.Add(1)
-	ok := t.tryRebalanceOnce(ggp, gp, p, l)
+	ok := t.tryRebalanceOnce(g, ggp, gp, p, l)
 	if !ok {
 		t.stats.RebalanceFails.Add(1)
 	}
 	return ok
 }
 
-func (t *Tree[K, V]) tryRebalanceOnce(ggp, gp, p, l *node[K, V]) bool {
+func (t *Tree[K, V]) tryRebalanceOnce(g *epoch.Guard, ggp, gp, p, l *node[K, V]) bool {
 	r := ggp
 	lkR, st := llxscx.LLX(r)
 	if st != llxscx.Snapshot {
@@ -108,13 +106,13 @@ func (t *Tree[K, V]) tryRebalanceOnce(ggp, gp, p, l *node[K, V]) bool {
 			if st != llxscx.Snapshot {
 				return false
 			}
-			return t.overweightLeft(lkR, lkRx, lkRxx, lkRxxl, rl, rr, rxl, rxr, rxxr)
+			return t.overweightLeft(g, lkR, lkRx, lkRxx, lkRxxl, rl, rr, rxl, rxr, rxxr)
 		case rxxr:
 			lkRxxr, st := llxscx.LLX(rxxr)
 			if st != llxscx.Snapshot {
 				return false
 			}
-			return t.overweightRight(lkR, lkRx, lkRxx, lkRxxr, rl, rr, rxl, rxr, rxxl)
+			return t.overweightRight(g, lkR, lkRx, lkRxx, lkRxxr, rl, rr, rxl, rxr, rxxl)
 		default:
 			return false
 		}
@@ -128,17 +126,17 @@ func (t *Tree[K, V]) tryRebalanceOnce(ggp, gp, p, l *node[K, V]) bool {
 			if st != llxscx.Snapshot {
 				return false
 			}
-			return t.doBLK(lkR, lkRx, lkRxx, lkRxr)
+			return t.doBLK(g, lkR, lkRx, lkRxx, lkRxr)
 		}
 		switch l {
 		case rxxl:
-			return t.doRB1(lkR, lkRx, lkRxx)
+			return t.doRB1(g, lkR, lkRx, lkRxx)
 		case rxxr:
 			lkRxxr, st := llxscx.LLX(rxxr)
 			if st != llxscx.Snapshot {
 				return false
 			}
-			return t.doRB2(lkR, lkRx, lkRxx, lkRxxr)
+			return t.doRB2(g, lkR, lkRx, lkRxx, lkRxxr)
 		default:
 			return false
 		}
@@ -149,17 +147,17 @@ func (t *Tree[K, V]) tryRebalanceOnce(ggp, gp, p, l *node[K, V]) bool {
 		if st != llxscx.Snapshot {
 			return false
 		}
-		return t.doBLK(lkR, lkRx, lkRxl, lkRxx)
+		return t.doBLK(g, lkR, lkRx, lkRxl, lkRxx)
 	}
 	switch l {
 	case rxxr:
-		return t.doRB1s(lkR, lkRx, lkRxx)
+		return t.doRB1s(g, lkR, lkRx, lkRxx)
 	case rxxl:
 		lkRxxl, st := llxscx.LLX(rxxl)
 		if st != llxscx.Snapshot {
 			return false
 		}
-		return t.doRB2s(lkR, lkRx, lkRxx, lkRxxl)
+		return t.doRB2s(g, lkR, lkRx, lkRxx, lkRxxl)
 	default:
 		return false
 	}
@@ -168,7 +166,7 @@ func (t *Tree[K, V]) tryRebalanceOnce(ggp, gp, p, l *node[K, V]) bool {
 // overweightLeft selects and applies the rebalancing step for an overweight
 // violation at rxxl, the left child of rxx (Figure 16 of the paper). The
 // linked LLX evidence for r, rx, rxx and rxxl is supplied by the caller.
-func (t *Tree[K, V]) overweightLeft(lkR, lkRx, lkRxx, lkRxxl llxscx.Linked[node[K, V]], rl, rr, rxl, rxr, rxxr *node[K, V]) bool {
+func (t *Tree[K, V]) overweightLeft(g *epoch.Guard, lkR, lkRx, lkRxx, lkRxxl llxscx.Linked[node[K, V]], rl, rr, rxl, rxr, rxxr *node[K, V]) bool {
 	_ = rl
 	_ = rr
 	rxx := lkRxx.Node()
@@ -187,13 +185,13 @@ func (t *Tree[K, V]) overweightLeft(lkR, lkRx, lkRxx, lkRxxl llxscx.Linked[node[
 					if st != llxscx.Snapshot {
 						return false
 					}
-					return t.doBLK(lkR, lkRx, lkRxx, lkRxr)
+					return t.doBLK(g, lkR, lkRx, lkRxx, lkRxr)
 				}
 				lkRxxr, st := llxscx.LLX(rxxr)
 				if st != llxscx.Snapshot {
 					return false
 				}
-				return t.doRB2(lkR, lkRx, lkRxx, lkRxxr)
+				return t.doRB2(g, lkR, lkRx, lkRxx, lkRxxr)
 			}
 			// rxx == rxr
 			if rxl == nil {
@@ -204,9 +202,9 @@ func (t *Tree[K, V]) overweightLeft(lkR, lkRx, lkRxx, lkRxxl llxscx.Linked[node[
 				if st != llxscx.Snapshot {
 					return false
 				}
-				return t.doBLK(lkR, lkRx, lkRxl, lkRxx)
+				return t.doBLK(g, lkR, lkRx, lkRxl, lkRxx)
 			}
-			return t.doRB1s(lkR, lkRx, lkRxx)
+			return t.doRB1s(g, lkR, lkRx, lkRxx)
 		}
 		// rxx.w > 0
 		lkRxxr, st := llxscx.LLX(rxxr)
@@ -223,9 +221,9 @@ func (t *Tree[K, V]) overweightLeft(lkR, lkRx, lkRxx, lkRxxl llxscx.Linked[node[
 		}
 		switch {
 		case rxxrl.w > 1:
-			return t.doW1(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxrl)
+			return t.doW1(g, lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxrl)
 		case rxxrl.w == 0:
-			return t.doRB2s(lkRx, lkRxx, lkRxxr, lkRxxrl)
+			return t.doRB2s(g, lkRx, lkRxx, lkRxxr, lkRxxrl)
 		default: // rxxrl.w == 1
 			rxxrll, rxxrlr := lkRxxrl.Child(0), lkRxxrl.Child(1)
 			if rxxrlr == nil {
@@ -237,7 +235,7 @@ func (t *Tree[K, V]) overweightLeft(lkR, lkRx, lkRxx, lkRxxl llxscx.Linked[node[
 				if st != llxscx.Snapshot {
 					return false
 				}
-				return t.doW4(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxrl, lkRxxrlr)
+				return t.doW4(g, lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxrl, lkRxxrlr)
 			}
 			if rxxrll == nil {
 				return false
@@ -247,9 +245,9 @@ func (t *Tree[K, V]) overweightLeft(lkR, lkRx, lkRxx, lkRxxl llxscx.Linked[node[
 				if st != llxscx.Snapshot {
 					return false
 				}
-				return t.doW3(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxrl, lkRxxrll)
+				return t.doW3(g, lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxrl, lkRxxrll)
 			}
-			return t.doW2(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxrl)
+			return t.doW2(g, lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxrl)
 		}
 	case rxxr.w == 1:
 		lkRxxr, st := llxscx.LLX(rxxr)
@@ -266,7 +264,7 @@ func (t *Tree[K, V]) overweightLeft(lkR, lkRx, lkRxx, lkRxxl llxscx.Linked[node[
 			if st != llxscx.Snapshot {
 				return false
 			}
-			return t.doW5(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxrr)
+			return t.doW5(g, lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxrr)
 		}
 		if rxxrl == nil {
 			return false
@@ -276,21 +274,21 @@ func (t *Tree[K, V]) overweightLeft(lkR, lkRx, lkRxx, lkRxxl llxscx.Linked[node[
 			if st != llxscx.Snapshot {
 				return false
 			}
-			return t.doW6(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxrl)
+			return t.doW6(g, lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxrl)
 		}
-		return t.doPUSH(lkRx, lkRxx, lkRxxl, lkRxxr)
+		return t.doPUSH(g, lkRx, lkRxx, lkRxxl, lkRxxr)
 	default: // rxxr.w > 1
 		lkRxxr, st := llxscx.LLX(rxxr)
 		if st != llxscx.Snapshot {
 			return false
 		}
-		return t.doW7(lkRx, lkRxx, lkRxxl, lkRxxr)
+		return t.doW7(g, lkRx, lkRxx, lkRxxl, lkRxxr)
 	}
 }
 
 // overweightRight is the mirror image of overweightLeft: it handles an
 // overweight violation at rxxr, the right child of rxx.
-func (t *Tree[K, V]) overweightRight(lkR, lkRx, lkRxx, lkRxxr llxscx.Linked[node[K, V]], rl, rr, rxl, rxr, rxxl *node[K, V]) bool {
+func (t *Tree[K, V]) overweightRight(g *epoch.Guard, lkR, lkRx, lkRxx, lkRxxr llxscx.Linked[node[K, V]], rl, rr, rxl, rxr, rxxl *node[K, V]) bool {
 	_ = rl
 	_ = rr
 	rxx := lkRxx.Node()
@@ -309,13 +307,13 @@ func (t *Tree[K, V]) overweightRight(lkR, lkRx, lkRxx, lkRxxr llxscx.Linked[node
 					if st != llxscx.Snapshot {
 						return false
 					}
-					return t.doBLK(lkR, lkRx, lkRxl, lkRxx)
+					return t.doBLK(g, lkR, lkRx, lkRxl, lkRxx)
 				}
 				lkRxxl, st := llxscx.LLX(rxxl)
 				if st != llxscx.Snapshot {
 					return false
 				}
-				return t.doRB2s(lkR, lkRx, lkRxx, lkRxxl)
+				return t.doRB2s(g, lkR, lkRx, lkRxx, lkRxxl)
 			}
 			// rxx == rxl
 			if rxr == nil {
@@ -326,9 +324,9 @@ func (t *Tree[K, V]) overweightRight(lkR, lkRx, lkRxx, lkRxxr llxscx.Linked[node
 				if st != llxscx.Snapshot {
 					return false
 				}
-				return t.doBLK(lkR, lkRx, lkRxx, lkRxr)
+				return t.doBLK(g, lkR, lkRx, lkRxx, lkRxr)
 			}
-			return t.doRB1(lkR, lkRx, lkRxx)
+			return t.doRB1(g, lkR, lkRx, lkRxx)
 		}
 		// rxx.w > 0
 		lkRxxl, st := llxscx.LLX(rxxl)
@@ -345,9 +343,9 @@ func (t *Tree[K, V]) overweightRight(lkR, lkRx, lkRxx, lkRxxr llxscx.Linked[node
 		}
 		switch {
 		case rxxlr.w > 1:
-			return t.doW1s(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxlr)
+			return t.doW1s(g, lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxlr)
 		case rxxlr.w == 0:
-			return t.doRB2(lkRx, lkRxx, lkRxxl, lkRxxlr)
+			return t.doRB2(g, lkRx, lkRxx, lkRxxl, lkRxxlr)
 		default: // rxxlr.w == 1
 			rxxlrl, rxxlrr := lkRxxlr.Child(0), lkRxxlr.Child(1)
 			if rxxlrl == nil {
@@ -358,7 +356,7 @@ func (t *Tree[K, V]) overweightRight(lkR, lkRx, lkRxx, lkRxxr llxscx.Linked[node
 				if st != llxscx.Snapshot {
 					return false
 				}
-				return t.doW4s(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxlr, lkRxxlrl)
+				return t.doW4s(g, lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxlr, lkRxxlrl)
 			}
 			if rxxlrr == nil {
 				return false
@@ -368,9 +366,9 @@ func (t *Tree[K, V]) overweightRight(lkR, lkRx, lkRxx, lkRxxr llxscx.Linked[node
 				if st != llxscx.Snapshot {
 					return false
 				}
-				return t.doW3s(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxlr, lkRxxlrr)
+				return t.doW3s(g, lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxlr, lkRxxlrr)
 			}
-			return t.doW2s(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxlr)
+			return t.doW2s(g, lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxlr)
 		}
 	case rxxl.w == 1:
 		lkRxxl, st := llxscx.LLX(rxxl)
@@ -386,7 +384,7 @@ func (t *Tree[K, V]) overweightRight(lkR, lkRx, lkRxx, lkRxxr llxscx.Linked[node
 			if st != llxscx.Snapshot {
 				return false
 			}
-			return t.doW5s(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxll)
+			return t.doW5s(g, lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxll)
 		}
 		if rxxlr == nil {
 			return false
@@ -396,15 +394,15 @@ func (t *Tree[K, V]) overweightRight(lkR, lkRx, lkRxx, lkRxxr llxscx.Linked[node
 			if st != llxscx.Snapshot {
 				return false
 			}
-			return t.doW6s(lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxlr)
+			return t.doW6s(g, lkRx, lkRxx, lkRxxl, lkRxxr, lkRxxlr)
 		}
-		return t.doPUSHs(lkRx, lkRxx, lkRxxl, lkRxxr)
+		return t.doPUSHs(g, lkRx, lkRxx, lkRxxl, lkRxxr)
 	default: // rxxl.w > 1
 		lkRxxl, st := llxscx.LLX(rxxl)
 		if st != llxscx.Snapshot {
 			return false
 		}
-		return t.doW7s(lkRx, lkRxx, lkRxxl, lkRxxr)
+		return t.doW7s(g, lkRx, lkRxx, lkRxxl, lkRxxr)
 	}
 }
 
@@ -412,18 +410,21 @@ func (t *Tree[K, V]) overweightRight(lkR, lkRx, lkRxx, lkRxxr llxscx.Linked[node
 
 // doBLK recolours ux and its two red children: both children's copies get
 // weight one and ux's copy loses one unit of weight (its own mirror image).
-func (t *Tree[K, V]) doBLK(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node[K, V]]) bool {
+func (t *Tree[K, V]) doBLK(g *epoch.Guard, lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	fld := fieldFor(lkU, ux)
 	if fld == nil {
 		return false
 	}
-	nl := copyWithWeight(lkUXL, 1)
-	nr := copyWithWeight(lkUXR, 1)
-	n := internalLike(ux, replacementWeight(u, ux.w-1), nl, nr)
+	nl := t.copyNode(lkUXL, 1)
+	nr := t.copyNode(lkUXR, 1)
+	n := t.internalLike(ux, replacementWeight(u, ux.w-1), nl, nr)
 	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR}
 	r := [llxscx.MaxV]*node[K, V]{ux, lkUXL.Node(), lkUXR.Node()}
-	if !llxscx.SCXFixed(&v, 4, &r, 3, fld, ux, n) {
+	if !t.scx(g, &v, 4, &r, 3, fld, ux, n) {
+		t.releaseFresh(nl)
+		t.releaseFresh(nr)
+		t.releaseFresh(n)
 		return false
 	}
 	t.stats.BLK.Add(1)
@@ -432,7 +433,7 @@ func (t *Tree[K, V]) doBLK(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node[K, V]]) bo
 
 // doRB1 performs a single rotation fixing a red-red violation at the
 // left-left grandchild of u.
-func (t *Tree[K, V]) doRB1(lkU, lkUX, lkUXL llxscx.Linked[node[K, V]]) bool {
+func (t *Tree[K, V]) doRB1(g *epoch.Guard, lkU, lkUX, lkUXL llxscx.Linked[node[K, V]]) bool {
 	u, ux, uxl := lkU.Node(), lkUX.Node(), lkUXL.Node()
 	fld := fieldFor(lkU, ux)
 	if fld == nil {
@@ -440,11 +441,13 @@ func (t *Tree[K, V]) doRB1(lkU, lkUX, lkUXL llxscx.Linked[node[K, V]]) bool {
 	}
 	uxr := lkUX.Child(1)
 	uxll, uxlr := lkUXL.Child(0), lkUXL.Child(1)
-	nr := internalLike(ux, 0, uxlr, uxr)
-	n := internalLike(uxl, replacementWeight(u, ux.w), uxll, nr)
+	nr := t.internalLike(ux, 0, uxlr, uxr)
+	n := t.internalLike(uxl, replacementWeight(u, ux.w), uxll, nr)
 	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL}
 	r := [llxscx.MaxV]*node[K, V]{ux, uxl}
-	if !llxscx.SCXFixed(&v, 3, &r, 2, fld, ux, n) {
+	if !t.scx(g, &v, 3, &r, 2, fld, ux, n) {
+		t.releaseFresh(nr)
+		t.releaseFresh(n)
 		return false
 	}
 	t.stats.RB1.Add(1)
@@ -453,7 +456,7 @@ func (t *Tree[K, V]) doRB1(lkU, lkUX, lkUXL llxscx.Linked[node[K, V]]) bool {
 
 // doRB1s is the mirror image of doRB1 (red-red violation at the right-right
 // grandchild of u).
-func (t *Tree[K, V]) doRB1s(lkU, lkUX, lkUXR llxscx.Linked[node[K, V]]) bool {
+func (t *Tree[K, V]) doRB1s(g *epoch.Guard, lkU, lkUX, lkUXR llxscx.Linked[node[K, V]]) bool {
 	u, ux, uxr := lkU.Node(), lkUX.Node(), lkUXR.Node()
 	fld := fieldFor(lkU, ux)
 	if fld == nil {
@@ -461,11 +464,13 @@ func (t *Tree[K, V]) doRB1s(lkU, lkUX, lkUXR llxscx.Linked[node[K, V]]) bool {
 	}
 	uxl := lkUX.Child(0)
 	uxrl, uxrr := lkUXR.Child(0), lkUXR.Child(1)
-	nl := internalLike(ux, 0, uxl, uxrl)
-	n := internalLike(uxr, replacementWeight(u, ux.w), nl, uxrr)
+	nl := t.internalLike(ux, 0, uxl, uxrl)
+	n := t.internalLike(uxr, replacementWeight(u, ux.w), nl, uxrr)
 	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXR}
 	r := [llxscx.MaxV]*node[K, V]{ux, uxr}
-	if !llxscx.SCXFixed(&v, 3, &r, 2, fld, ux, n) {
+	if !t.scx(g, &v, 3, &r, 2, fld, ux, n) {
+		t.releaseFresh(nl)
+		t.releaseFresh(n)
 		return false
 	}
 	t.stats.MirrorRB1.Add(1)
@@ -474,7 +479,7 @@ func (t *Tree[K, V]) doRB1s(lkU, lkUX, lkUXR llxscx.Linked[node[K, V]]) bool {
 
 // doRB2 performs a double rotation fixing a red-red violation at the
 // left-right grandchild of u (Figure 17 of the paper).
-func (t *Tree[K, V]) doRB2(lkU, lkUX, lkUXL, lkUXLR llxscx.Linked[node[K, V]]) bool {
+func (t *Tree[K, V]) doRB2(g *epoch.Guard, lkU, lkUX, lkUXL, lkUXLR llxscx.Linked[node[K, V]]) bool {
 	u, ux, uxl, uxlr := lkU.Node(), lkUX.Node(), lkUXL.Node(), lkUXLR.Node()
 	fld := fieldFor(lkU, ux)
 	if fld == nil {
@@ -483,12 +488,15 @@ func (t *Tree[K, V]) doRB2(lkU, lkUX, lkUXL, lkUXLR llxscx.Linked[node[K, V]]) b
 	uxr := lkUX.Child(1)
 	uxll := lkUXL.Child(0)
 	uxlrl, uxlrr := lkUXLR.Child(0), lkUXLR.Child(1)
-	nl := internalLike(uxl, 0, uxll, uxlrl)
-	nr := internalLike(ux, 0, uxlrr, uxr)
-	n := internalLike(uxlr, replacementWeight(u, ux.w), nl, nr)
+	nl := t.internalLike(uxl, 0, uxll, uxlrl)
+	nr := t.internalLike(ux, 0, uxlrr, uxr)
+	n := t.internalLike(uxlr, replacementWeight(u, ux.w), nl, nr)
 	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXLR}
 	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxlr}
-	if !llxscx.SCXFixed(&v, 4, &r, 3, fld, ux, n) {
+	if !t.scx(g, &v, 4, &r, 3, fld, ux, n) {
+		t.releaseFresh(nl)
+		t.releaseFresh(nr)
+		t.releaseFresh(n)
 		return false
 	}
 	t.stats.RB2.Add(1)
@@ -497,7 +505,7 @@ func (t *Tree[K, V]) doRB2(lkU, lkUX, lkUXL, lkUXLR llxscx.Linked[node[K, V]]) b
 
 // doRB2s is the mirror image of doRB2 (violation at the right-left
 // grandchild of u).
-func (t *Tree[K, V]) doRB2s(lkU, lkUX, lkUXR, lkUXRL llxscx.Linked[node[K, V]]) bool {
+func (t *Tree[K, V]) doRB2s(g *epoch.Guard, lkU, lkUX, lkUXR, lkUXRL llxscx.Linked[node[K, V]]) bool {
 	u, ux, uxr, uxrl := lkU.Node(), lkUX.Node(), lkUXR.Node(), lkUXRL.Node()
 	fld := fieldFor(lkU, ux)
 	if fld == nil {
@@ -506,12 +514,15 @@ func (t *Tree[K, V]) doRB2s(lkU, lkUX, lkUXR, lkUXRL llxscx.Linked[node[K, V]]) 
 	uxl := lkUX.Child(0)
 	uxrr := lkUXR.Child(1)
 	uxrll, uxrlr := lkUXRL.Child(0), lkUXRL.Child(1)
-	nl := internalLike(ux, 0, uxl, uxrll)
-	nr := internalLike(uxr, 0, uxrlr, uxrr)
-	n := internalLike(uxrl, replacementWeight(u, ux.w), nl, nr)
+	nl := t.internalLike(ux, 0, uxl, uxrll)
+	nr := t.internalLike(uxr, 0, uxrlr, uxrr)
+	n := t.internalLike(uxrl, replacementWeight(u, ux.w), nl, nr)
 	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXR, lkUXRL}
 	r := [llxscx.MaxV]*node[K, V]{ux, uxr, uxrl}
-	if !llxscx.SCXFixed(&v, 4, &r, 3, fld, ux, n) {
+	if !t.scx(g, &v, 4, &r, 3, fld, ux, n) {
+		t.releaseFresh(nl)
+		t.releaseFresh(nr)
+		t.releaseFresh(n)
 		return false
 	}
 	t.stats.MirrorRB2.Add(1)
@@ -522,19 +533,22 @@ func (t *Tree[K, V]) doRB2s(lkU, lkUX, lkUXR, lkUXRL llxscx.Linked[node[K, V]]) 
 
 // pushUp implements the construction shared by PUSH and W7: both children
 // give up one unit of weight to their parent.
-func (t *Tree[K, V]) pushUp(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node[K, V]], counter *atomic.Int64) bool {
+func (t *Tree[K, V]) pushUp(g *epoch.Guard, lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node[K, V]], counter *atomic.Int64) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr := lkUXL.Node(), lkUXR.Node()
 	fld := fieldFor(lkU, ux)
 	if fld == nil {
 		return false
 	}
-	nl := copyWithWeight(lkUXL, uxl.w-1)
-	nr := copyWithWeight(lkUXR, uxr.w-1)
-	n := internalLike(ux, replacementWeight(u, ux.w+1), nl, nr)
+	nl := t.copyNode(lkUXL, uxl.w-1)
+	nr := t.copyNode(lkUXR, uxr.w-1)
+	n := t.internalLike(ux, replacementWeight(u, ux.w+1), nl, nr)
 	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR}
 	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr}
-	if !llxscx.SCXFixed(&v, 4, &r, 3, fld, ux, n) {
+	if !t.scx(g, &v, 4, &r, 3, fld, ux, n) {
+		t.releaseFresh(nl)
+		t.releaseFresh(nr)
+		t.releaseFresh(n)
 		return false
 	}
 	counter.Add(1)
@@ -543,28 +557,28 @@ func (t *Tree[K, V]) pushUp(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node[K, V]], c
 
 // doPUSH handles an overweight left child whose sibling has weight one and
 // no red children.
-func (t *Tree[K, V]) doPUSH(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node[K, V]]) bool {
-	return t.pushUp(lkU, lkUX, lkUXL, lkUXR, &t.stats.PUSH)
+func (t *Tree[K, V]) doPUSH(g *epoch.Guard, lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node[K, V]]) bool {
+	return t.pushUp(g, lkU, lkUX, lkUXL, lkUXR, &t.stats.PUSH)
 }
 
 // doPUSHs is the mirror image of doPUSH.
-func (t *Tree[K, V]) doPUSHs(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node[K, V]]) bool {
-	return t.pushUp(lkU, lkUX, lkUXL, lkUXR, &t.stats.MirrorPUSH)
+func (t *Tree[K, V]) doPUSHs(g *epoch.Guard, lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node[K, V]]) bool {
+	return t.pushUp(g, lkU, lkUX, lkUXL, lkUXR, &t.stats.MirrorPUSH)
 }
 
 // doW7 handles the case where both children of ux are overweight.
-func (t *Tree[K, V]) doW7(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node[K, V]]) bool {
-	return t.pushUp(lkU, lkUX, lkUXL, lkUXR, &t.stats.W7)
+func (t *Tree[K, V]) doW7(g *epoch.Guard, lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node[K, V]]) bool {
+	return t.pushUp(g, lkU, lkUX, lkUXL, lkUXR, &t.stats.W7)
 }
 
 // doW7s is the mirror image of doW7.
-func (t *Tree[K, V]) doW7s(lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node[K, V]]) bool {
-	return t.pushUp(lkU, lkUX, lkUXL, lkUXR, &t.stats.MirrorW7)
+func (t *Tree[K, V]) doW7s(g *epoch.Guard, lkU, lkUX, lkUXL, lkUXR llxscx.Linked[node[K, V]]) bool {
+	return t.pushUp(g, lkU, lkUX, lkUXL, lkUXR, &t.stats.MirrorW7)
 }
 
 // doW1 handles an overweight uxl whose sibling uxr is red and whose nephew
 // uxrl is overweight as well.
-func (t *Tree[K, V]) doW1(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node[K, V]]) bool {
+func (t *Tree[K, V]) doW1(g *epoch.Guard, lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxrl := lkUXL.Node(), lkUXR.Node(), lkUXRL.Node()
 	fld := fieldFor(lkU, ux)
@@ -572,13 +586,17 @@ func (t *Tree[K, V]) doW1(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node[K, 
 		return false
 	}
 	uxrr := lkUXR.Child(1)
-	nll := copyWithWeight(lkUXL, uxl.w-1)
-	nlr := copyWithWeight(lkUXRL, uxrl.w-1)
-	nl := internalLike(ux, 1, nll, nlr)
-	n := internalLike(uxr, replacementWeight(u, ux.w), nl, uxrr)
+	nll := t.copyNode(lkUXL, uxl.w-1)
+	nlr := t.copyNode(lkUXRL, uxrl.w-1)
+	nl := t.internalLike(ux, 1, nll, nlr)
+	n := t.internalLike(uxr, replacementWeight(u, ux.w), nl, uxrr)
 	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRL}
 	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxrl}
-	if !llxscx.SCXFixed(&v, 5, &r, 4, fld, ux, n) {
+	if !t.scx(g, &v, 5, &r, 4, fld, ux, n) {
+		t.releaseFresh(nll)
+		t.releaseFresh(nlr)
+		t.releaseFresh(nl)
+		t.releaseFresh(n)
 		return false
 	}
 	t.stats.W1.Add(1)
@@ -586,7 +604,7 @@ func (t *Tree[K, V]) doW1(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node[K, 
 }
 
 // doW1s is the mirror image of doW1.
-func (t *Tree[K, V]) doW1s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node[K, V]]) bool {
+func (t *Tree[K, V]) doW1s(g *epoch.Guard, lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxlr := lkUXL.Node(), lkUXR.Node(), lkUXLR.Node()
 	fld := fieldFor(lkU, ux)
@@ -594,13 +612,17 @@ func (t *Tree[K, V]) doW1s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node[K,
 		return false
 	}
 	uxll := lkUXL.Child(0)
-	nrr := copyWithWeight(lkUXR, uxr.w-1)
-	nrl := copyWithWeight(lkUXLR, uxlr.w-1)
-	nr := internalLike(ux, 1, nrl, nrr)
-	n := internalLike(uxl, replacementWeight(u, ux.w), uxll, nr)
+	nrr := t.copyNode(lkUXR, uxr.w-1)
+	nrl := t.copyNode(lkUXLR, uxlr.w-1)
+	nr := t.internalLike(ux, 1, nrl, nrr)
+	n := t.internalLike(uxl, replacementWeight(u, ux.w), uxll, nr)
 	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLR}
 	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxlr}
-	if !llxscx.SCXFixed(&v, 5, &r, 4, fld, ux, n) {
+	if !t.scx(g, &v, 5, &r, 4, fld, ux, n) {
+		t.releaseFresh(nrr)
+		t.releaseFresh(nrl)
+		t.releaseFresh(nr)
+		t.releaseFresh(n)
 		return false
 	}
 	t.stats.MirrorW1.Add(1)
@@ -609,7 +631,7 @@ func (t *Tree[K, V]) doW1s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node[K,
 
 // doW2 handles an overweight uxl with a red sibling uxr whose left child has
 // weight one and two non-red children.
-func (t *Tree[K, V]) doW2(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node[K, V]]) bool {
+func (t *Tree[K, V]) doW2(g *epoch.Guard, lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxrl := lkUXL.Node(), lkUXR.Node(), lkUXRL.Node()
 	fld := fieldFor(lkU, ux)
@@ -617,13 +639,17 @@ func (t *Tree[K, V]) doW2(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node[K, 
 		return false
 	}
 	uxrr := lkUXR.Child(1)
-	nll := copyWithWeight(lkUXL, uxl.w-1)
-	nlr := copyWithWeight(lkUXRL, 0)
-	nl := internalLike(ux, 1, nll, nlr)
-	n := internalLike(uxr, replacementWeight(u, ux.w), nl, uxrr)
+	nll := t.copyNode(lkUXL, uxl.w-1)
+	nlr := t.copyNode(lkUXRL, 0)
+	nl := t.internalLike(ux, 1, nll, nlr)
+	n := t.internalLike(uxr, replacementWeight(u, ux.w), nl, uxrr)
 	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRL}
 	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxrl}
-	if !llxscx.SCXFixed(&v, 5, &r, 4, fld, ux, n) {
+	if !t.scx(g, &v, 5, &r, 4, fld, ux, n) {
+		t.releaseFresh(nll)
+		t.releaseFresh(nlr)
+		t.releaseFresh(nl)
+		t.releaseFresh(n)
 		return false
 	}
 	t.stats.W2.Add(1)
@@ -631,7 +657,7 @@ func (t *Tree[K, V]) doW2(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node[K, 
 }
 
 // doW2s is the mirror image of doW2.
-func (t *Tree[K, V]) doW2s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node[K, V]]) bool {
+func (t *Tree[K, V]) doW2s(g *epoch.Guard, lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxlr := lkUXL.Node(), lkUXR.Node(), lkUXLR.Node()
 	fld := fieldFor(lkU, ux)
@@ -639,13 +665,17 @@ func (t *Tree[K, V]) doW2s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node[K,
 		return false
 	}
 	uxll := lkUXL.Child(0)
-	nrr := copyWithWeight(lkUXR, uxr.w-1)
-	nrl := copyWithWeight(lkUXLR, 0)
-	nr := internalLike(ux, 1, nrl, nrr)
-	n := internalLike(uxl, replacementWeight(u, ux.w), uxll, nr)
+	nrr := t.copyNode(lkUXR, uxr.w-1)
+	nrl := t.copyNode(lkUXLR, 0)
+	nr := t.internalLike(ux, 1, nrl, nrr)
+	n := t.internalLike(uxl, replacementWeight(u, ux.w), uxll, nr)
 	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLR}
 	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxlr}
-	if !llxscx.SCXFixed(&v, 5, &r, 4, fld, ux, n) {
+	if !t.scx(g, &v, 5, &r, 4, fld, ux, n) {
+		t.releaseFresh(nrr)
+		t.releaseFresh(nrl)
+		t.releaseFresh(nr)
+		t.releaseFresh(n)
 		return false
 	}
 	t.stats.MirrorW2.Add(1)
@@ -654,7 +684,7 @@ func (t *Tree[K, V]) doW2s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node[K,
 
 // doW3 handles an overweight uxl with red sibling uxr, where uxrl has weight
 // one and a red left child uxrll.
-func (t *Tree[K, V]) doW3(lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLL llxscx.Linked[node[K, V]]) bool {
+func (t *Tree[K, V]) doW3(g *epoch.Guard, lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLL llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxrl, uxrll := lkUXL.Node(), lkUXR.Node(), lkUXRL.Node(), lkUXRLL.Node()
 	fld := fieldFor(lkU, ux)
@@ -664,14 +694,19 @@ func (t *Tree[K, V]) doW3(lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLL llxscx.Linked
 	uxrr := lkUXR.Child(1)
 	uxrlr := lkUXRL.Child(1)
 	uxrlll, uxrllr := lkUXRLL.Child(0), lkUXRLL.Child(1)
-	nlll := copyWithWeight(lkUXL, uxl.w-1)
-	nll := internalLike(ux, 1, nlll, uxrlll)
-	nlr := internalLike(uxrl, 1, uxrllr, uxrlr)
-	nl := internalLike(uxrll, 0, nll, nlr)
-	n := internalLike(uxr, replacementWeight(u, ux.w), nl, uxrr)
+	nlll := t.copyNode(lkUXL, uxl.w-1)
+	nll := t.internalLike(ux, 1, nlll, uxrlll)
+	nlr := t.internalLike(uxrl, 1, uxrllr, uxrlr)
+	nl := t.internalLike(uxrll, 0, nll, nlr)
+	n := t.internalLike(uxr, replacementWeight(u, ux.w), nl, uxrr)
 	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLL}
 	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxrl, uxrll}
-	if !llxscx.SCXFixed(&v, 6, &r, 5, fld, ux, n) {
+	if !t.scx(g, &v, 6, &r, 5, fld, ux, n) {
+		t.releaseFresh(nlll)
+		t.releaseFresh(nll)
+		t.releaseFresh(nlr)
+		t.releaseFresh(nl)
+		t.releaseFresh(n)
 		return false
 	}
 	t.stats.W3.Add(1)
@@ -679,7 +714,7 @@ func (t *Tree[K, V]) doW3(lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLL llxscx.Linked
 }
 
 // doW3s is the mirror image of doW3.
-func (t *Tree[K, V]) doW3s(lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRR llxscx.Linked[node[K, V]]) bool {
+func (t *Tree[K, V]) doW3s(g *epoch.Guard, lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRR llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxlr, uxlrr := lkUXL.Node(), lkUXR.Node(), lkUXLR.Node(), lkUXLRR.Node()
 	fld := fieldFor(lkU, ux)
@@ -689,14 +724,19 @@ func (t *Tree[K, V]) doW3s(lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRR llxscx.Linke
 	uxll := lkUXL.Child(0)
 	uxlrl := lkUXLR.Child(0)
 	uxlrrl, uxlrrr := lkUXLRR.Child(0), lkUXLRR.Child(1)
-	nrrr := copyWithWeight(lkUXR, uxr.w-1)
-	nrr := internalLike(ux, 1, uxlrrr, nrrr)
-	nrl := internalLike(uxlr, 1, uxlrl, uxlrrl)
-	nr := internalLike(uxlrr, 0, nrl, nrr)
-	n := internalLike(uxl, replacementWeight(u, ux.w), uxll, nr)
+	nrrr := t.copyNode(lkUXR, uxr.w-1)
+	nrr := t.internalLike(ux, 1, uxlrrr, nrrr)
+	nrl := t.internalLike(uxlr, 1, uxlrl, uxlrrl)
+	nr := t.internalLike(uxlrr, 0, nrl, nrr)
+	n := t.internalLike(uxl, replacementWeight(u, ux.w), uxll, nr)
 	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRR}
 	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxlr, uxlrr}
-	if !llxscx.SCXFixed(&v, 6, &r, 5, fld, ux, n) {
+	if !t.scx(g, &v, 6, &r, 5, fld, ux, n) {
+		t.releaseFresh(nrrr)
+		t.releaseFresh(nrr)
+		t.releaseFresh(nrl)
+		t.releaseFresh(nr)
+		t.releaseFresh(n)
 		return false
 	}
 	t.stats.MirrorW3.Add(1)
@@ -705,7 +745,7 @@ func (t *Tree[K, V]) doW3s(lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRR llxscx.Linke
 
 // doW4 handles an overweight uxl with red sibling uxr, where uxrl has weight
 // one and a red right child uxrlr.
-func (t *Tree[K, V]) doW4(lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLR llxscx.Linked[node[K, V]]) bool {
+func (t *Tree[K, V]) doW4(g *epoch.Guard, lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLR llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxrl, uxrlr := lkUXL.Node(), lkUXR.Node(), lkUXRL.Node(), lkUXRLR.Node()
 	fld := fieldFor(lkU, ux)
@@ -714,14 +754,19 @@ func (t *Tree[K, V]) doW4(lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLR llxscx.Linked
 	}
 	uxrr := lkUXR.Child(1)
 	uxrll := lkUXRL.Child(0)
-	nll := copyWithWeight(lkUXL, uxl.w-1)
-	nl := internalLike(ux, 1, nll, uxrll)
-	nrl := copyWithWeight(lkUXRLR, 1)
-	nr := internalLike(uxr, 0, nrl, uxrr)
-	n := internalLike(uxrl, replacementWeight(u, ux.w), nl, nr)
+	nll := t.copyNode(lkUXL, uxl.w-1)
+	nl := t.internalLike(ux, 1, nll, uxrll)
+	nrl := t.copyNode(lkUXRLR, 1)
+	nr := t.internalLike(uxr, 0, nrl, uxrr)
+	n := t.internalLike(uxrl, replacementWeight(u, ux.w), nl, nr)
 	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLR}
 	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxrl, uxrlr}
-	if !llxscx.SCXFixed(&v, 6, &r, 5, fld, ux, n) {
+	if !t.scx(g, &v, 6, &r, 5, fld, ux, n) {
+		t.releaseFresh(nll)
+		t.releaseFresh(nl)
+		t.releaseFresh(nrl)
+		t.releaseFresh(nr)
+		t.releaseFresh(n)
 		return false
 	}
 	t.stats.W4.Add(1)
@@ -729,7 +774,7 @@ func (t *Tree[K, V]) doW4(lkU, lkUX, lkUXL, lkUXR, lkUXRL, lkUXRLR llxscx.Linked
 }
 
 // doW4s is the mirror image of doW4.
-func (t *Tree[K, V]) doW4s(lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRL llxscx.Linked[node[K, V]]) bool {
+func (t *Tree[K, V]) doW4s(g *epoch.Guard, lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRL llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxlr, uxlrl := lkUXL.Node(), lkUXR.Node(), lkUXLR.Node(), lkUXLRL.Node()
 	fld := fieldFor(lkU, ux)
@@ -738,14 +783,19 @@ func (t *Tree[K, V]) doW4s(lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRL llxscx.Linke
 	}
 	uxll := lkUXL.Child(0)
 	uxlrr := lkUXLR.Child(1)
-	nrr := copyWithWeight(lkUXR, uxr.w-1)
-	nr := internalLike(ux, 1, uxlrr, nrr)
-	nlr := copyWithWeight(lkUXLRL, 1)
-	nl := internalLike(uxl, 0, uxll, nlr)
-	n := internalLike(uxlr, replacementWeight(u, ux.w), nl, nr)
+	nrr := t.copyNode(lkUXR, uxr.w-1)
+	nr := t.internalLike(ux, 1, uxlrr, nrr)
+	nlr := t.copyNode(lkUXLRL, 1)
+	nl := t.internalLike(uxl, 0, uxll, nlr)
+	n := t.internalLike(uxlr, replacementWeight(u, ux.w), nl, nr)
 	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRL}
 	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxlr, uxlrl}
-	if !llxscx.SCXFixed(&v, 6, &r, 5, fld, ux, n) {
+	if !t.scx(g, &v, 6, &r, 5, fld, ux, n) {
+		t.releaseFresh(nrr)
+		t.releaseFresh(nr)
+		t.releaseFresh(nlr)
+		t.releaseFresh(nl)
+		t.releaseFresh(n)
 		return false
 	}
 	t.stats.MirrorW4.Add(1)
@@ -754,7 +804,7 @@ func (t *Tree[K, V]) doW4s(lkU, lkUX, lkUXL, lkUXR, lkUXLR, lkUXLRL llxscx.Linke
 
 // doW5 handles an overweight uxl whose sibling uxr has weight one and a red
 // right child uxrr.
-func (t *Tree[K, V]) doW5(lkU, lkUX, lkUXL, lkUXR, lkUXRR llxscx.Linked[node[K, V]]) bool {
+func (t *Tree[K, V]) doW5(g *epoch.Guard, lkU, lkUX, lkUXL, lkUXR, lkUXRR llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxrr := lkUXL.Node(), lkUXR.Node(), lkUXRR.Node()
 	fld := fieldFor(lkU, ux)
@@ -762,13 +812,17 @@ func (t *Tree[K, V]) doW5(lkU, lkUX, lkUXL, lkUXR, lkUXRR llxscx.Linked[node[K, 
 		return false
 	}
 	uxrl := lkUXR.Child(0)
-	nll := copyWithWeight(lkUXL, uxl.w-1)
-	nl := internalLike(ux, 1, nll, uxrl)
-	nr := copyWithWeight(lkUXRR, 1)
-	n := internalLike(uxr, replacementWeight(u, ux.w), nl, nr)
+	nll := t.copyNode(lkUXL, uxl.w-1)
+	nl := t.internalLike(ux, 1, nll, uxrl)
+	nr := t.copyNode(lkUXRR, 1)
+	n := t.internalLike(uxr, replacementWeight(u, ux.w), nl, nr)
 	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRR}
 	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxrr}
-	if !llxscx.SCXFixed(&v, 5, &r, 4, fld, ux, n) {
+	if !t.scx(g, &v, 5, &r, 4, fld, ux, n) {
+		t.releaseFresh(nll)
+		t.releaseFresh(nl)
+		t.releaseFresh(nr)
+		t.releaseFresh(n)
 		return false
 	}
 	t.stats.W5.Add(1)
@@ -776,7 +830,7 @@ func (t *Tree[K, V]) doW5(lkU, lkUX, lkUXL, lkUXR, lkUXRR llxscx.Linked[node[K, 
 }
 
 // doW5s is the mirror image of doW5.
-func (t *Tree[K, V]) doW5s(lkU, lkUX, lkUXL, lkUXR, lkUXLL llxscx.Linked[node[K, V]]) bool {
+func (t *Tree[K, V]) doW5s(g *epoch.Guard, lkU, lkUX, lkUXL, lkUXR, lkUXLL llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxll := lkUXL.Node(), lkUXR.Node(), lkUXLL.Node()
 	fld := fieldFor(lkU, ux)
@@ -784,13 +838,17 @@ func (t *Tree[K, V]) doW5s(lkU, lkUX, lkUXL, lkUXR, lkUXLL llxscx.Linked[node[K,
 		return false
 	}
 	uxlr := lkUXL.Child(1)
-	nrr := copyWithWeight(lkUXR, uxr.w-1)
-	nr := internalLike(ux, 1, uxlr, nrr)
-	nl := copyWithWeight(lkUXLL, 1)
-	n := internalLike(uxl, replacementWeight(u, ux.w), nl, nr)
+	nrr := t.copyNode(lkUXR, uxr.w-1)
+	nr := t.internalLike(ux, 1, uxlr, nrr)
+	nl := t.copyNode(lkUXLL, 1)
+	n := t.internalLike(uxl, replacementWeight(u, ux.w), nl, nr)
 	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLL}
 	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxll}
-	if !llxscx.SCXFixed(&v, 5, &r, 4, fld, ux, n) {
+	if !t.scx(g, &v, 5, &r, 4, fld, ux, n) {
+		t.releaseFresh(nrr)
+		t.releaseFresh(nr)
+		t.releaseFresh(nl)
+		t.releaseFresh(n)
 		return false
 	}
 	t.stats.MirrorW5.Add(1)
@@ -799,7 +857,7 @@ func (t *Tree[K, V]) doW5s(lkU, lkUX, lkUXL, lkUXR, lkUXLL llxscx.Linked[node[K,
 
 // doW6 handles an overweight uxl whose sibling uxr has weight one and a red
 // left child uxrl.
-func (t *Tree[K, V]) doW6(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node[K, V]]) bool {
+func (t *Tree[K, V]) doW6(g *epoch.Guard, lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxrl := lkUXL.Node(), lkUXR.Node(), lkUXRL.Node()
 	fld := fieldFor(lkU, ux)
@@ -808,13 +866,17 @@ func (t *Tree[K, V]) doW6(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node[K, 
 	}
 	uxrr := lkUXR.Child(1)
 	uxrll, uxrlr := lkUXRL.Child(0), lkUXRL.Child(1)
-	nll := copyWithWeight(lkUXL, uxl.w-1)
-	nl := internalLike(ux, 1, nll, uxrll)
-	nr := internalLike(uxr, 1, uxrlr, uxrr)
-	n := internalLike(uxrl, replacementWeight(u, ux.w), nl, nr)
+	nll := t.copyNode(lkUXL, uxl.w-1)
+	nl := t.internalLike(ux, 1, nll, uxrll)
+	nr := t.internalLike(uxr, 1, uxrlr, uxrr)
+	n := t.internalLike(uxrl, replacementWeight(u, ux.w), nl, nr)
 	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXRL}
 	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxrl}
-	if !llxscx.SCXFixed(&v, 5, &r, 4, fld, ux, n) {
+	if !t.scx(g, &v, 5, &r, 4, fld, ux, n) {
+		t.releaseFresh(nll)
+		t.releaseFresh(nl)
+		t.releaseFresh(nr)
+		t.releaseFresh(n)
 		return false
 	}
 	t.stats.W6.Add(1)
@@ -822,7 +884,7 @@ func (t *Tree[K, V]) doW6(lkU, lkUX, lkUXL, lkUXR, lkUXRL llxscx.Linked[node[K, 
 }
 
 // doW6s is the mirror image of doW6.
-func (t *Tree[K, V]) doW6s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node[K, V]]) bool {
+func (t *Tree[K, V]) doW6s(g *epoch.Guard, lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node[K, V]]) bool {
 	u, ux := lkU.Node(), lkUX.Node()
 	uxl, uxr, uxlr := lkUXL.Node(), lkUXR.Node(), lkUXLR.Node()
 	fld := fieldFor(lkU, ux)
@@ -831,13 +893,17 @@ func (t *Tree[K, V]) doW6s(lkU, lkUX, lkUXL, lkUXR, lkUXLR llxscx.Linked[node[K,
 	}
 	uxll := lkUXL.Child(0)
 	uxlrl, uxlrr := lkUXLR.Child(0), lkUXLR.Child(1)
-	nrr := copyWithWeight(lkUXR, uxr.w-1)
-	nr := internalLike(ux, 1, uxlrr, nrr)
-	nl := internalLike(uxl, 1, uxll, uxlrl)
-	n := internalLike(uxlr, replacementWeight(u, ux.w), nl, nr)
+	nrr := t.copyNode(lkUXR, uxr.w-1)
+	nr := t.internalLike(ux, 1, uxlrr, nrr)
+	nl := t.internalLike(uxl, 1, uxll, uxlrl)
+	n := t.internalLike(uxlr, replacementWeight(u, ux.w), nl, nr)
 	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkU, lkUX, lkUXL, lkUXR, lkUXLR}
 	r := [llxscx.MaxV]*node[K, V]{ux, uxl, uxr, uxlr}
-	if !llxscx.SCXFixed(&v, 5, &r, 4, fld, ux, n) {
+	if !t.scx(g, &v, 5, &r, 4, fld, ux, n) {
+		t.releaseFresh(nrr)
+		t.releaseFresh(nr)
+		t.releaseFresh(nl)
+		t.releaseFresh(n)
 		return false
 	}
 	t.stats.MirrorW6.Add(1)

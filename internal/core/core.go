@@ -40,6 +40,7 @@ package core
 import (
 	"sync/atomic"
 
+	"repro/internal/epoch"
 	"repro/internal/llxscx"
 )
 
@@ -96,6 +97,19 @@ func (a *Args[N, P]) SetR(rs []P) {
 // n0). The callbacks must be deterministic functions of that sequence and of
 // any state captured when the Template value was built.
 type Template[P llxscx.DataRecord[N], N, Res any] struct {
+	// Pool, when non-nil, makes Run draw its SCX descriptor from this pool
+	// (llxscx.SCXP) under Guard's pinned epoch instead of allocating a
+	// GC-reclaimed one. Structures that enable pooled reclamation MUST set
+	// it: a GC-reclaimed descriptor racing with pooled descriptors on the
+	// same records holds no listing references on its freezing-CAS expected
+	// values, reintroducing the ABA the pool's reference chain rules out
+	// (see DESIGN.md). Run with a nil Pool does not retire the R nodes
+	// either way; callers that want node recycling retire them after a
+	// successful Run.
+	Pool *llxscx.Pool[N]
+	// Guard is the caller's pinned epoch guard; required when Pool is set.
+	Guard *epoch.Guard
+
 	// Condition reports whether enough LLXs have been performed. It must
 	// eventually return true in any execution.
 	Condition func(seq []llxscx.Linked[N]) bool
@@ -147,7 +161,13 @@ func (t *Template[P, N, Res]) Run(n0 P) (Res, bool) {
 	if a.Fld == nil {
 		return zero, false
 	}
-	if !llxscx.SCXFixed(&a.V, a.NV, &a.R, a.NR, a.Fld, a.Old, a.New) {
+	var ok bool
+	if t.Pool != nil {
+		ok = llxscx.SCXP(t.Guard, t.Pool, &a.V, a.NV, &a.R, a.NR, a.Fld, a.Old, a.New)
+	} else {
+		ok = llxscx.SCXFixed(&a.V, a.NV, &a.R, a.NR, a.Fld, a.Old, a.New)
+	}
+	if !ok {
 		return zero, false
 	}
 	return t.Result(seq), true

@@ -490,3 +490,168 @@ func HotKeyStress(t *testing.T, tgt Target, writers, overwritesPerWriter int) {
 		func(w, i int) int64 { return int64(w)<<32 + int64(i) + 1 },
 		int64(-1))
 }
+
+// ChurnStressKV is the reclamation torture test: writers insert and delete
+// keys from ONE shared window as fast as possible - so every node backing
+// those keys is retired and recycled over and over - while reader goroutines
+// continuously walk the window with Successor chains and RangeScan. The
+// dictionary contains only window keys, which gives the readers sharp
+// assertions against use-after-recycle bugs:
+//
+//   - every key a walk or scan returns must be a window key (a foreign key
+//     means a reader followed a recycled node into a different part of some
+//     tree's lifetime);
+//   - every value returned for a window key must be one some writer actually
+//     published (a stale or torn value means a node was reused while the
+//     reader still held it);
+//   - Successor results must move strictly forward and RangeScan must yield
+//     strictly ascending keys (a cycle or regression means a reader's
+//     traversal crossed a recycled pointer).
+//
+// Under the reclaimcheck build tag the template trees additionally poison
+// recycled nodes with a generation counter and the read paths assert that no
+// node changes generation mid-snapshot, converting "reader held a recycled
+// node" from a probabilistic value-corruption signal into a deterministic
+// panic. Run the test under -race as well: the epoch grace period is what
+// makes recycling a node's fields race-free, so any hole in it surfaces as a
+// race report here.
+//
+// window must be sorted ascending by tgt.Less and contain no duplicates. val
+// must return a distinct value for every (writer, i) pair.
+func ChurnStressKV[K comparable, V comparable](t *testing.T, tgt TargetOf[K, V], writers, opsPerWriter, readers int, window []K, val func(writer, i int) V) {
+	t.Helper()
+	d := tgt.New()
+	om, ordered := d.(dict.OrderedMap[K, V])
+	rng, ranged := d.(dict.Ranger[K, V])
+
+	allowed := make(map[V]bool, writers*opsPerWriter)
+	for w := 0; w < writers; w++ {
+		for i := 0; i < opsPerWriter; i++ {
+			v := val(w, i)
+			if allowed[v] {
+				t.Fatalf("val(%d,%d) collides with an earlier published value", w, i)
+			}
+			allowed[v] = true
+		}
+	}
+	inWindow := make(map[K]bool, len(window))
+	for i, k := range window {
+		if i > 0 && !tgt.Less(window[i-1], k) {
+			t.Fatalf("window must be sorted ascending without duplicates (index %d)", i)
+		}
+		inWindow[k] = true
+	}
+	lo, hi := window[0], window[len(window)-1]
+
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers: all hammer the same window, so a key's leaf is deleted by one
+	// goroutine while another re-inserts it and a third walks past it.
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			state := uint64(w)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+			for i := 0; i < opsPerWriter; i++ {
+				k := window[lcg(&state)%uint64(len(window))]
+				if lcg(&state)&1 == 0 {
+					d.Insert(k, val(w, i))
+				} else {
+					d.Delete(k)
+				}
+			}
+		}(w)
+	}
+	// Readers: walk the window end to end, over and over, until the writers
+	// finish. Each full pass revisits memory the writers have recycled many
+	// times since the pass began.
+	checkEntry := func(who string, k K, v V) bool {
+		if !inWindow[k] {
+			t.Errorf("%s: returned key %v outside the churn window", who, k)
+			return false
+		}
+		if !allowed[v] {
+			t.Errorf("%s: observed value %v for key %v that no writer published", who, v, k)
+			return false
+		}
+		return true
+	}
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Point probes on the window ends keep plain Get in the mix.
+				for _, k := range [2]K{lo, hi} {
+					if v, ok := d.Get(k); ok && !checkEntry("get", k, v) {
+						return
+					}
+				}
+				if ordered {
+					// Successor chain across the window, starting from its
+					// smallest key. Each step must move strictly forward and
+					// stay inside the window until it leaves the top end.
+					prev := lo
+					for steps := 0; steps <= len(window); steps++ {
+						k, v, ok := om.Successor(prev)
+						if !ok || tgt.Less(hi, k) {
+							break
+						}
+						if !tgt.Less(prev, k) {
+							t.Errorf("successor walk: Successor(%v) returned %v, not strictly greater", prev, k)
+							return
+						}
+						if !checkEntry("successor walk", k, v) {
+							return
+						}
+						prev = k
+					}
+				}
+				if ranged {
+					first := true
+					var last K
+					rng.RangeScan(lo, hi, func(k K, v V) bool {
+						if !first && !tgt.Less(last, k) {
+							t.Errorf("range scan: key %v after %v, not strictly ascending", k, last)
+							return false
+						}
+						first, last = false, k
+						return checkEntry("range scan", k, v)
+					})
+				}
+			}
+		}(r)
+	}
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	if t.Failed() {
+		return
+	}
+	if tgt.Check != nil {
+		if err := tgt.Check(d); err != nil {
+			t.Fatalf("%s: invariant check at quiescence: %v", tgt.Name, err)
+		}
+	}
+}
+
+// ChurnStress is the int64 wrapper around ChurnStressKV: a 64-key window of
+// consecutive keys (consecutive so leaves in the window are siblings and
+// deletes constantly promote and retire each other's nodes), writer w's i'th
+// value is w*2^32 + i + 1.
+func ChurnStress(t *testing.T, tgt Target, writers, opsPerWriter int) {
+	t.Helper()
+	const base = int64(1 << 20)
+	window := make([]int64, 64)
+	for i := range window {
+		window[i] = base + int64(i)
+	}
+	ChurnStressKV(t, tgt.generic(), writers, opsPerWriter, 2, window,
+		func(w, i int) int64 { return int64(w)<<32 + int64(i) + 1 })
+}

@@ -12,6 +12,14 @@
 // height can be linear in the number of keys; the benchmark harness uses it
 // as the "unbalanced non-blocking" reference point.
 //
+// Degenerate spines are observable, not fatal: the engine counts every
+// search that walks past a fixed spine cap and folds the walk's final depth
+// into a running maximum, which doubles as a one-shot height probe of the
+// offending spine. Callers that feed the tree pathological (for example
+// sequential) insertion orders can detect it through Tree.SpineStats and
+// switch to a balanced policy; the operations themselves never fail or slow
+// down beyond the walk they were already paying for.
+//
 // The tree is generic over the key and value types: NewOrdered builds a tree
 // over any cmp.Ordered key type, NewLess accepts an arbitrary comparator
 // (see dict.Less for the contract), and New keeps the historical int64
@@ -21,6 +29,7 @@ package ebst
 import (
 	"cmp"
 
+	"repro/internal/epoch"
 	"repro/internal/lbst"
 )
 
@@ -32,7 +41,9 @@ func (policy[K, V]) Name() string                                   { return "EB
 func (policy[K, V]) InternalDeco() int64                            { return 0 }
 func (policy[K, V]) CreatesViolation(_, _, _ *lbst.Node[K, V]) bool { return false }
 func (policy[K, V]) Violation(*lbst.Node[K, V]) bool                { return false }
-func (policy[K, V]) Rebalance(_, _ *lbst.Node[K, V]) bool           { return false }
+func (policy[K, V]) Rebalance(_ *epoch.Guard, _, _ *lbst.Node[K, V]) bool {
+	return false
+}
 
 // Tree is a non-blocking unbalanced leaf-oriented BST. It is safe for
 // concurrent use. Use New, NewOrdered or NewLess to create one. All

@@ -189,3 +189,39 @@ func TestConcurrentContention(t *testing.T) {
 		}
 	}
 }
+
+// TestSpineDiagnosticFiresOnSequentialFill checks the degenerate-spine
+// diagnostic the engine provides for unbalanced instantiations: a sequential
+// insertion order degrades the EBST to a linear spine, so searches past the
+// spine cap must be counted and the recorded maximum depth must reflect the
+// spine's height - observable through SpineStats without any operation
+// failing. A random insertion order of the same size must not trip the
+// diagnostic at all.
+func TestSpineDiagnosticFiresOnSequentialFill(t *testing.T) {
+	const n = 1024 // far past the 128-node spine cap
+	tr := New()
+	for i := int64(0); i < n; i++ {
+		tr.Insert(i, i)
+	}
+	// The fill itself walks ever-deeper spines; a Get for the deepest key
+	// makes the final probe deterministic.
+	if _, ok := tr.Get(n - 1); !ok {
+		t.Fatal("deepest key missing after sequential fill")
+	}
+	deep, maxDepth := tr.SpineStats()
+	if deep == 0 {
+		t.Fatal("sequential fill of 1024 keys tripped no deep-spine searches")
+	}
+	if maxDepth < n/2 {
+		t.Fatalf("max recorded spine depth %d does not reflect a %d-key spine", maxDepth, n)
+	}
+	t.Logf("sequential fill: %d deep searches, max depth %d", deep, maxDepth)
+
+	rnd := New()
+	for _, k := range rand.New(rand.NewSource(1)).Perm(n) {
+		rnd.Insert(int64(k), int64(k))
+	}
+	if deep, _ := rnd.SpineStats(); deep != 0 {
+		t.Fatalf("random fill of %d keys tripped %d deep-spine searches", n, deep)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build noepoch
+
+package epoch
+
+// Enabled is false under -tags noepoch: Pin returns nil, Retire drops its
+// argument for the garbage collector, and the trees allocate every node and
+// descriptor fresh, exactly as before the reclamation layer existed.
+const Enabled = false

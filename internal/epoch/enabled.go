@@ -1,0 +1,11 @@
+//go:build !noepoch
+
+package epoch
+
+// Enabled reports whether epoch-based reclamation is compiled in. With the
+// default build it is true: operations pin slots, Retire queues objects and
+// the trees recycle nodes and descriptors through their pools. Building
+// with -tags noepoch turns the whole layer into no-ops and restores pure
+// GC-based reclamation (the escape hatch, and the baseline the bench-smoke
+// job compares against).
+const Enabled = true

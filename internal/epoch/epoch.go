@@ -1,0 +1,336 @@
+// Package epoch implements quiescent-state-based reclamation (QSBR) for the
+// LLX/SCX dictionary stack: retired nodes and SCX descriptors are handed to
+// a per-slot retire list and freed only after every concurrently pinned
+// operation has provably finished, at which point the memory can be recycled
+// through a sync.Pool instead of going back to the garbage collector.
+//
+// The paper's Java implementation leans on the JVM's collector for exactly
+// this guarantee ("a node is never recycled while any process can still
+// reach it"), which is what rules out ABA on the protocol's CAS steps. This
+// package supplies the same guarantee manually so that the trees can pool
+// their nodes and descriptors; the precise re-derivation of the ABA safety
+// argument lives in DESIGN.md ("Epoch reclamation and the ABA
+// re-derivation").
+//
+// # Model
+//
+// A fixed array of padded slots holds the per-operation state. Every
+// dictionary operation claims a free slot with one CAS (Pin), stamping it
+// with the current global epoch, and releases it with one store (Unpin).
+// The global epoch advances when every claimed slot has been observed at
+// the current epoch; an object retired at epoch E becomes freeable once the
+// global epoch reaches E+2, because any operation that could still hold a
+// reference was pinned before the retire and would have held the epoch back.
+//
+// Retired objects carry a callback (Func) that performs the actual free —
+// typically resetting the object and returning it to a pool. The callback
+// may refuse (return false), in which case the object is re-queued into the
+// current epoch's bucket and retried after a fresh grace period; the
+// descriptor pool uses this to park objects that have been resurrected by a
+// late helper.
+//
+// Build with -tags noepoch to compile the whole layer away (Enabled is
+// false, Pin returns nil, Retire drops the object for the garbage collector
+// to reclaim): the escape hatch restores the PR 5 GC-reclamation semantics.
+// Build with -tags reclaimcheck to additionally enable the recycled-node
+// poisoning assertions in the trees (PoisonCheck).
+package epoch
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+const (
+	// numSlots bounds the number of concurrently pinned operations. It is a
+	// power of two so probing can wrap with a mask. 128 is far above any
+	// goroutine count the stress suites or the Figure-8 harness use; a Pin
+	// finding every slot claimed yields and retries.
+	numSlots = 128
+	slotMask = numSlots - 1
+
+	// advanceEvery is the number of retires a slot accepts between attempts
+	// to advance the global epoch. Advancing scans all slots, so the
+	// interval amortizes the scan to a fraction of a retire.
+	advanceEvery = 64
+
+	// bucketEpochs is the number of retire buckets per slot: an object
+	// retired at epoch E is freeable at E+2, so by the time a bucket index
+	// repeats (E+3) its previous contents are always eligible.
+	bucketEpochs = 3
+
+	// yieldPending is the per-slot backlog above which a failed epoch
+	// advance makes Retire yield the processor. On an oversubscribed
+	// scheduler (more workers than CPUs) a goroutine can be preempted in
+	// the middle of a pinned operation and sit on the run queue for a whole
+	// timeslice; every retire in the meantime piles up behind its stale
+	// epoch. Yielding hands the CPU to the blocker so it can finish its
+	// (short) operation and unpin, which bounds the retire backlog — and
+	// with it the burst-free latency and the GC mark work on the lists —
+	// at roughly this value instead of a full timeslice's worth of garbage.
+	yieldPending = 512
+)
+
+// Func frees one retired object, typically by resetting it and returning it
+// to a pool. It runs on the goroutine that drains the retire list, always
+// inside a pinned region (g is that region's guard). Returning false
+// re-queues the object into the current epoch's bucket for a fresh grace
+// period.
+type Func func(g *Guard, obj any) bool
+
+// entry is one retired object awaiting its grace period.
+type entry struct {
+	obj  any
+	free Func
+}
+
+// bucket collects the objects retired during one epoch.
+type bucket struct {
+	epoch uint64
+	items []entry
+}
+
+// Guard is one pinned-operation slot. The state word is the only field
+// touched by other goroutines (the epoch advancer reads it; Pin claims it
+// with CAS); everything below the padding is owned by the claim holder.
+// Slots are padded so neighbouring state words never share a cache line.
+type Guard struct {
+	// state is 0 when the slot is free, else the global epoch observed at
+	// Pin time. While claimed it is always within one of the current global
+	// epoch (Pin re-validates after claiming; see the advance argument in
+	// DESIGN.md).
+	state atomic.Uint64
+	_     [56]byte
+
+	buckets [bucketEpochs]bucket
+
+	// retires counts retires since the last epoch-advance attempt.
+	retires int
+
+	// pending counts entries sitting in this slot's buckets. It is atomic
+	// only so Pending/Drain can read it without claiming the slot.
+	pending atomic.Int64
+
+	_ [24]byte
+}
+
+var (
+	// globalEpoch starts at 1 so a state word of 0 can mean "free".
+	globalEpoch atomic.Uint64
+
+	slots [numSlots]Guard
+)
+
+func init() { globalEpoch.Store(1) }
+
+// slotHint derives a probe start from the goroutine's stack address: the
+// same goroutine lands on the same slot across operations (keeping the slot
+// line warm), different goroutines scatter. The pointer never escapes — it
+// is converted to uintptr immediately — so the local does not heap-allocate.
+func slotHint() uint64 {
+	var b byte
+	return uint64(uintptr(unsafe.Pointer(&b)) >> 10)
+}
+
+// Pin claims a reclamation slot for the calling operation and returns its
+// guard. Every dictionary operation that reads or writes shared nodes must
+// run between Pin and Unpin; Retire may only be called with a guard that is
+// currently pinned. With -tags noepoch Pin returns nil (and every other
+// entry point ignores its guard).
+func Pin() *Guard {
+	if !Enabled {
+		return nil
+	}
+	e := globalEpoch.Load()
+	h := slotHint()
+	for tries := 0; ; tries++ {
+		g := &slots[(h+uint64(tries))&slotMask]
+		if g.state.Load() == 0 && g.state.CompareAndSwap(0, e) {
+			// Re-validate: if the global epoch advanced between the load and
+			// the claim, re-stamp so the recorded epoch is never more than
+			// one behind the global epoch (the advance-blocking invariant).
+			if e2 := globalEpoch.Load(); e2 != e {
+				g.state.Store(e2)
+			}
+			if g.pending.Load() != 0 {
+				// Adopt garbage parked by a previous owner of this slot.
+				g.drain(globalEpoch.Load())
+			}
+			return g
+		}
+		if tries&slotMask == slotMask {
+			runtime.Gosched()
+			e = globalEpoch.Load()
+		}
+	}
+}
+
+// Unpin releases a guard obtained from Pin. The caller must not use the
+// guard, or any pointer it was protecting, afterwards.
+func Unpin(g *Guard) {
+	if !Enabled {
+		return
+	}
+	g.state.Store(0)
+}
+
+// Retire hands obj to the reclamation layer: free(g', obj) will be called
+// once no operation pinned at retire time can still hold a reference —
+// concretely, once the global epoch has advanced twice past the current
+// one. g must be the caller's pinned guard. With -tags noepoch the object
+// is simply dropped for the garbage collector.
+func Retire(g *Guard, obj any, free Func) {
+	if !Enabled {
+		return
+	}
+	e := globalEpoch.Load()
+	b := &g.buckets[e%bucketEpochs]
+	if b.epoch != e {
+		// The bucket holds leftovers from epoch e-3 or older; they are past
+		// their grace period, so clear them out before reusing the bucket.
+		g.drain(e)
+	}
+	b.items = append(b.items, entry{obj, free})
+	g.pending.Add(1)
+	g.retires++
+	if g.retires >= advanceEvery {
+		g.retires = 0
+		if !tryAdvance() && g.pending.Load() >= yieldPending {
+			// Blocked by a slot that has not re-observed the epoch —
+			// usually a goroutine parked mid-operation by the scheduler.
+			// Give it the CPU; it only needs to finish one operation to
+			// unblock the advance.
+			runtime.Gosched()
+			tryAdvance()
+		}
+		g.drain(globalEpoch.Load())
+	}
+}
+
+// drain frees every eligible entry in g's buckets. An entry retired at
+// epoch E is eligible once now >= E+2. Entries whose callback refuses are
+// re-queued into the bucket of epoch now for a fresh grace period. The
+// caller must own the slot (hold it pinned or have claimed it in Drain).
+func (g *Guard) drain(now uint64) {
+	// Normalize the current bucket first so survivors of the loop below can
+	// be re-stamped into it without being freed prematurely.
+	cur := &g.buckets[now%bucketEpochs]
+	if cur.epoch != now {
+		items := cur.items
+		cur.items = items[:0]
+		cur.epoch = now
+		g.runFree(cur, items)
+		// Refusals were re-appended over the front of the same backing
+		// array (they never outnumber what was read, so no reallocation);
+		// the tail beyond them still holds references to freed objects,
+		// which would keep them reachable through the bucket's spare
+		// capacity. Clear it.
+		clear(items[len(cur.items):])
+	}
+	for k := 0; k < bucketEpochs; k++ {
+		b := &g.buckets[k]
+		if b == cur || len(b.items) == 0 || b.epoch+2 > now {
+			continue
+		}
+		items := b.items
+		b.items = items[:0]
+		g.runFree(cur, items)
+		clear(items) // refusals went to cur, the whole array is stale
+	}
+}
+
+// runFree invokes the free callback on each entry, re-queuing refusals into
+// requeue (the normalized current bucket).
+func (g *Guard) runFree(requeue *bucket, items []entry) {
+	for _, it := range items {
+		if it.free(g, it.obj) {
+			g.pending.Add(-1)
+		} else {
+			requeue.items = append(requeue.items, it)
+		}
+	}
+}
+
+// tryAdvance advances the global epoch by one if every claimed slot has
+// observed the current epoch. It returns whether it advanced.
+func tryAdvance() bool {
+	g := globalEpoch.Load()
+	for i := range slots {
+		if s := slots[i].state.Load(); s != 0 && s != g {
+			return false
+		}
+	}
+	return globalEpoch.CompareAndSwap(g, g+1)
+}
+
+// DiscardAll empties every retire list without running the free callbacks,
+// dropping the entries to the garbage collector. This is only sound at full
+// quiescence when every structure that has retired through the layer is
+// itself garbage: the point is to sever the references that otherwise keep
+// a dropped structure reachable — a parked descriptor or zombie owner whose
+// count can never drop (its aliasing copies died inside the dropped tree)
+// pins the tree's pools, and through them the whole tree, as a permanent GC
+// root. The benchmark harness calls this between trials so a long run's
+// dead structures do not accumulate as mark-phase work for later trials.
+func DiscardAll() {
+	if !Enabled {
+		return
+	}
+	now := globalEpoch.Load()
+	for i := range slots {
+		g := &slots[i]
+		if g.pending.Load() == 0 {
+			continue
+		}
+		if !g.state.CompareAndSwap(0, now) {
+			continue
+		}
+		for k := range g.buckets {
+			b := &g.buckets[k]
+			clear(b.items)
+			b.items = b.items[:0]
+		}
+		g.pending.Store(0)
+		g.state.Store(0)
+	}
+}
+
+// Pending returns the total number of retired objects whose grace period
+// has not yet completed (or whose free callback keeps refusing). Test and
+// diagnostic use.
+func Pending() int64 {
+	var n int64
+	for i := range slots {
+		n += slots[i].pending.Load()
+	}
+	return n
+}
+
+// Drain advances the epoch and frees everything eligible, repeatedly, and
+// returns Pending afterwards. It is meant for quiescent moments (tests,
+// shutdown): slots still pinned by live operations are skipped, and the
+// epoch cannot advance past them, so calling it during activity merely does
+// less. Free callbacks that keep refusing (parked descriptors) remain
+// pending.
+func Drain() int64 {
+	if !Enabled {
+		return 0
+	}
+	for round := 0; round < 3*bucketEpochs; round++ {
+		tryAdvance()
+		now := globalEpoch.Load()
+		for i := range slots {
+			g := &slots[i]
+			if g.pending.Load() == 0 {
+				continue
+			}
+			if !g.state.CompareAndSwap(0, now) {
+				continue
+			}
+			g.drain(globalEpoch.Load())
+			g.state.Store(0)
+		}
+	}
+	return Pending()
+}

@@ -1,0 +1,201 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// free builds a Func that records how many times the object was freed.
+func countingFree(n *atomic.Int64) Func {
+	return func(_ *Guard, _ any) bool {
+		n.Add(1)
+		return true
+	}
+}
+
+func TestPinReturnsGuardAndUnpinReleases(t *testing.T) {
+	if !Enabled {
+		t.Skip("epoch reclamation disabled (noepoch build)")
+	}
+	g := Pin()
+	if g == nil {
+		t.Fatal("Pin returned nil with reclamation enabled")
+	}
+	if g.state.Load() == 0 {
+		t.Fatal("pinned guard has a free state word")
+	}
+	Unpin(g)
+	if g.state.Load() != 0 {
+		t.Fatal("Unpin did not release the slot")
+	}
+}
+
+func TestRetireFreesOnlyAfterGracePeriod(t *testing.T) {
+	if !Enabled {
+		t.Skip("epoch reclamation disabled (noepoch build)")
+	}
+	Drain() // start from a clean slate
+
+	var freed atomic.Int64
+	g := Pin()
+	obj := new(int)
+	Retire(g, obj, countingFree(&freed))
+
+	// While the retiring operation itself is still pinned, the object's
+	// grace period cannot complete: the pinned slot blocks the second epoch
+	// advance. Drain from another goroutine (Drain skips claimed slots).
+	var blocked sync.WaitGroup
+	blocked.Add(1)
+	go func() {
+		defer blocked.Done()
+		Drain()
+	}()
+	blocked.Wait()
+	if freed.Load() != 0 {
+		t.Fatal("object freed while its retirer was still pinned")
+	}
+
+	Unpin(g)
+	Drain()
+	if got := freed.Load(); got != 1 {
+		t.Fatalf("object freed %d times after unpin+drain, want 1", got)
+	}
+}
+
+func TestRetireBlockedByConcurrentPin(t *testing.T) {
+	if !Enabled {
+		t.Skip("epoch reclamation disabled (noepoch build)")
+	}
+	Drain()
+
+	// A reader pins and stays pinned: it may still hold references to
+	// anything retired from now on, so nothing retired after its pin may be
+	// freed until it unpins.
+	pinned := make(chan *Guard)
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g := Pin()
+		pinned <- g
+		<-release
+		Unpin(g)
+	}()
+	reader := <-pinned
+	_ = reader
+
+	var freed atomic.Int64
+	g := Pin()
+	Retire(g, new(int), countingFree(&freed))
+	Unpin(g)
+
+	Drain()
+	if freed.Load() != 0 {
+		t.Fatal("object freed while a concurrent operation was still pinned")
+	}
+
+	close(release)
+	<-done
+	Drain()
+	if got := freed.Load(); got != 1 {
+		t.Fatalf("object freed %d times after the reader unpinned, want 1", got)
+	}
+}
+
+func TestRefusedFreeIsRequeued(t *testing.T) {
+	if !Enabled {
+		t.Skip("epoch reclamation disabled (noepoch build)")
+	}
+	Drain()
+
+	// Refuse the first two attempts: the object must stay pending, take a
+	// fresh grace period each time, and be freed exactly once in the end.
+	var attempts, freed atomic.Int64
+	park := func(_ *Guard, _ any) bool {
+		if attempts.Add(1) <= 2 {
+			return false
+		}
+		freed.Add(1)
+		return true
+	}
+	g := Pin()
+	Retire(g, new(int), park)
+	Unpin(g)
+
+	if Drain() != 0 {
+		// The refusals may straddle Drain's internal rounds; one more drain
+		// must settle it.
+		Drain()
+	}
+	if got := freed.Load(); got != 1 {
+		t.Fatalf("object freed %d times, want 1 (attempts %d)", got, attempts.Load())
+	}
+	if Pending() != 0 {
+		t.Fatalf("Pending() = %d after everything freed, want 0", Pending())
+	}
+}
+
+func TestPendingTracksRetiredObjects(t *testing.T) {
+	if !Enabled {
+		t.Skip("epoch reclamation disabled (noepoch build)")
+	}
+	Drain()
+	base := Pending()
+
+	g := Pin()
+	const n = 10
+	var freed atomic.Int64
+	for i := 0; i < n; i++ {
+		Retire(g, new(int), countingFree(&freed))
+	}
+	if got := Pending(); got != base+n {
+		t.Fatalf("Pending() = %d after %d retires, want %d", got, n, base+n)
+	}
+	Unpin(g)
+	Drain()
+	if got := Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after drain, want 0", got)
+	}
+	if freed.Load() != n {
+		t.Fatalf("freed %d objects, want %d", freed.Load(), n)
+	}
+}
+
+// TestConcurrentPinRetireUnpin hammers the slot array from many goroutines
+// (more than there are CPUs) so claims collide, epochs advance concurrently
+// with retires, and slots are handed between goroutines. Every retired
+// object must be freed exactly once. Run under -race in CI.
+func TestConcurrentPinRetireUnpin(t *testing.T) {
+	if !Enabled {
+		t.Skip("epoch reclamation disabled (noepoch build)")
+	}
+	Drain()
+
+	const goroutines = 16
+	const opsPerG = 2000
+	var freed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opsPerG; i++ {
+				g := Pin()
+				if i%3 == 0 {
+					Retire(g, new(int), countingFree(&freed))
+				}
+				Unpin(g)
+			}
+		}()
+	}
+	wg.Wait()
+	Drain()
+	want := int64(goroutines * ((opsPerG + 2) / 3))
+	if got := freed.Load(); got != want {
+		t.Fatalf("freed %d objects, want %d", got, want)
+	}
+	if Pending() != 0 {
+		t.Fatalf("Pending() = %d at quiescence, want 0", Pending())
+	}
+}

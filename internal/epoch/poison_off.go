@@ -1,0 +1,11 @@
+//go:build !reclaimcheck
+
+package epoch
+
+// PoisonCheck gates the recycled-node poisoning assertions in the trees: a
+// node's generation counter is bumped every time it is recycled through a
+// pool, and with -tags reclaimcheck readers assert that the generation of a
+// node they are holding never changes mid-snapshot — which would mean the
+// reclamation layer freed a node while a pinned reader could still reach
+// it. Off by default; the checks compile away entirely.
+const PoisonCheck = false

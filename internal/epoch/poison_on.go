@@ -1,0 +1,7 @@
+//go:build reclaimcheck
+
+package epoch
+
+// PoisonCheck is true under -tags reclaimcheck: readers verify that nodes
+// they hold are never recycled mid-snapshot. See poison_off.go.
+const PoisonCheck = true

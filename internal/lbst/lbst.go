@@ -25,13 +25,28 @@
 // steps - which is exactly the paper's point about how little code a new
 // template-based data structure needs. The relaxed AVL policy decorates
 // nodes with heights and repairs violations with height fixes and rotations.
+//
+// # Memory reclamation
+//
+// Every operation runs inside an epoch-reclamation pinned region
+// (internal/epoch), and each tree recycles its nodes through a sync.Pool and
+// its SCX descriptors through an llxscx.Pool: a node removed by a committed
+// SCX is retired under the operation's guard and re-enters the pool only
+// after a grace period, so steady-state churn allocates (almost) nothing.
+// The safety argument - why a pinned operation can never observe a recycled
+// node, and how the value-cell aliasing of Copy survives manual reclamation
+// via the cell-owner reference count - is re-derived in DESIGN.md ("Epoch
+// reclamation and the ABA re-derivation"). Build with -tags noepoch to fall
+// back to garbage-collected reclamation.
 package lbst
 
 import (
 	"cmp"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/epoch"
 	"repro/internal/llxscx"
 	"repro/internal/vcell"
 )
@@ -60,9 +75,11 @@ type Node[K, V any] struct {
 	// The pointer itself is immutable; the cell's content is published
 	// atomically. A fresh leaf points val at its own embedded cell (so the
 	// common-case value load stays on the leaf's cache lines); a copy
-	// points at the original's cell, leaving its own cell unused - the
-	// original node is retained by the pointer, which is exactly the
-	// GC-based reclamation the SCX protocol already relies on.
+	// points at the original's cell, leaving its own cell unused - under
+	// garbage-collected reclamation the pointer itself retains the original
+	// node, and under epoch reclamation the owner/crefs bookkeeping below
+	// keeps the cell's embedding node out of the pool until the last
+	// aliasing copy has been freed.
 	val  *vcell.Cell[V]
 	cell vcell.Cell[V]
 	// Deco is the balancing decoration, owned by the policy (for example
@@ -74,6 +91,24 @@ type Node[K, V any] struct {
 	Inf bool
 
 	left, right atomic.Pointer[Node[K, V]]
+
+	// owner points at the node whose embedded cell this node's val aliases:
+	// itself for a fresh value leaf, the original owner for copies
+	// (flattened, so chains of copies share one owner), nil for internal
+	// nodes and sentinel leaves. Immutable after construction.
+	owner *Node[K, V]
+	// crefs counts, on an owner node, the nodes whose val aliases its
+	// embedded cell (itself included). A copy increments its owner's count
+	// at creation; freeing a node decrements it, and only the decrement
+	// that reaches zero may recycle the owner - an owner freed while copies
+	// remain parks as a zombie until the last copy is freed.
+	crefs atomic.Int32
+	// gen counts how many times this node's memory has been recycled
+	// through the pool. Plain field: it is only written during recycle
+	// (after the grace period, which establishes a happens-before edge to
+	// every earlier reader) and only read under -tags reclaimcheck by the
+	// poisoning assertions.
+	gen uint64
 }
 
 // LLXRecord implements llxscx.DataRecord.
@@ -103,6 +138,13 @@ func (n *Node[K, V]) IsLeaf() bool { return n.Leaf }
 // IsSentinel implements View.
 func (n *Node[K, V]) IsSentinel() bool { return n.Inf }
 
+// Gen returns the node's reclamation generation counter, bumped every time
+// the node's memory is recycled through a pool. It only changes under -tags
+// reclaimcheck, where the poisoning assertions in the read paths use it to
+// prove that no node is ever recycled while a pinned operation can still
+// reach it.
+func (n *Node[K, V]) Gen() uint64 { return n.gen }
+
 // Left returns the left child with a plain atomic read. It is intended for
 // policies and quiescent inspection, not for lock-free traversals that need
 // snapshot consistency (use LLX for those).
@@ -117,11 +159,14 @@ func (n *Node[K, V]) Marked() bool { return n.rec.Marked() }
 // NewLeaf returns a fresh leaf holding key and value. Leaves always carry
 // decoration 0. The leaf's value lives in its embedded cell (representation
 // selected by vcell.Unboxed, so word-sized values are stored unboxed);
-// copies of the leaf alias this cell via Copy.
+// copies of the leaf alias this cell via Copy. The leaf is heap-allocated;
+// inside operations the trees use the pooled Tree.LeafNode instead.
 func NewLeaf[K, V any](k K, v V) *Node[K, V] {
 	n := &Node[K, V]{K: k, Leaf: true}
 	n.cell.Init(vcell.Unboxed[V](), v)
 	n.val = &n.cell
+	n.owner = n
+	n.crefs.Store(1)
 	return n
 }
 
@@ -140,12 +185,21 @@ func NewInternal[K, V any](k K, deco int64, inf bool, left, right *Node[K, V]) *
 // subtree only as a copy. The copy ALIASES the source's value cell rather
 // than capturing the value: an in-place overwrite racing with the copying
 // SCX stays visible through the copy, whichever of the two commits first
-// (see the in-place overwrite protocol on Insert).
+// (see the in-place overwrite protocol on Insert). The copy takes a
+// reference on the cell's owner, so the cell outlives every aliasing node
+// under pooled reclamation.
 func Copy[K, V any](lk llxscx.Linked[Node[K, V]], deco int64) *Node[K, V] {
 	src := lk.Node()
 	n := &Node[K, V]{K: src.K, val: src.val, Deco: deco, Leaf: src.Leaf, Inf: src.Inf}
 	n.left.Store(lk.Child(0))
 	n.right.Store(lk.Child(1))
+	if own := src.owner; own != nil {
+		// Safe to increment: src holds a reference on own (its own, if src
+		// is the owner) and src is protected by the caller's pinned region,
+		// so the count cannot reach zero concurrently.
+		n.owner = own
+		own.crefs.Add(1)
+	}
 	return n
 }
 
@@ -200,10 +254,14 @@ type Policy[K, V any] interface {
 	Violation(n *Node[K, V]) bool
 
 	// Rebalance attempts one localized rebalancing step at n, whose parent
-	// on the search path is u. It returns true if a step was applied; false
-	// means the tree changed under it (or the violation vanished) and the
-	// cleanup loop re-searches from the entry point.
-	Rebalance(u, n *Node[K, V]) bool
+	// on the search path is u. g is the invoking operation's pinned epoch
+	// guard; the step's SCX must go through the tree's pooled reclamation
+	// (Tree.RebalanceSCX or an equivalently wired core.Template), with
+	// fresh nodes built by Tree.InternalNode/Tree.CopyNode and released
+	// with Tree.ReleaseFresh when the SCX fails. It returns true if a step
+	// was applied; false means the tree changed under it (or the violation
+	// vanished) and the cleanup loop re-searches from the entry point.
+	Rebalance(g *epoch.Guard, u, n *Node[K, V]) bool
 }
 
 // Tree is a non-blocking leaf-oriented BST over keys ordered by a comparator
@@ -220,6 +278,30 @@ type Tree[K, V any] struct {
 	// compares with the native `<`, so ordered-key trees pay one indirect
 	// call per search instead of one per node.
 	searchFn func(t *Tree[K, V], key K) (gp, p, l *Node[K, V])
+
+	// unboxed is vcell.Unboxed[V](), computed once so every pooled leaf
+	// initializes its cell without re-deriving the representation.
+	unboxed bool
+
+	// nodePool recycles this tree's nodes; nodes enter it only through the
+	// epoch layer's grace period (or ReleaseFresh, for nodes that were
+	// never published). Per-tree, because the pool is generic over K and V.
+	// Heap-allocated separately rather than embedded: a sync.Pool that has
+	// ever been used registers itself with the runtime for the rest of the
+	// process, and an embedded pool would pin the whole Tree — root and all
+	// its nodes — as a GC root long after the tree is dropped.
+	nodePool *sync.Pool
+	// descPool recycles this tree's SCX descriptors (see llxscx.Pool).
+	descPool *llxscx.Pool[Node[K, V]]
+	// freeNodeFn is the epoch callback for retired nodes, built once at
+	// construction so RetireNode never allocates a closure.
+	freeNodeFn epoch.Func
+
+	// spineDeep counts searches that walked at least spineCap nodes, and
+	// spineMax records the deepest such walk: the cheap degenerate-spine
+	// diagnostic for unbalanced instantiations (see SpineStats).
+	spineDeep atomic.Int64
+	spineMax  atomic.Int64
 }
 
 // New returns an empty tree whose keys are ordered by less and whose balance
@@ -228,12 +310,20 @@ type Tree[K, V any] struct {
 // when the tree is non-empty, a grandparent.
 func New[K, V any](less func(a, b K) bool, pol Policy[K, V]) *Tree[K, V] {
 	var sentinelKey K
-	return &Tree[K, V]{
+	t := &Tree[K, V]{
 		entry:    NewInternal(sentinelKey, 0, true, &Node[K, V]{Leaf: true, Inf: true}, nil),
 		less:     less,
 		pol:      pol,
 		searchFn: searchLess[K, V],
+		unboxed:  vcell.Unboxed[V](),
+		descPool: llxscx.NewPool[Node[K, V]](),
 	}
+	t.nodePool = &sync.Pool{New: func() any { return new(Node[K, V]) }}
+	t.freeNodeFn = func(g *epoch.Guard, obj any) bool {
+		t.freeNode(obj.(*Node[K, V]))
+		return true
+	}
+	return t
 }
 
 // NewOrdered returns an empty tree over a naturally ordered key type,
@@ -271,6 +361,197 @@ func (t *Tree[K, V]) Entry() *Node[K, V] { return t.entry }
 // Less exposes the tree's key comparator.
 func (t *Tree[K, V]) Less() func(a, b K) bool { return t.less }
 
+// DescPool exposes the tree's SCX descriptor pool. Policies that express
+// their rebalancing steps through core.Template must install it (together
+// with the operation's guard) on the template, so every SCX on the tree's
+// records participates in the pooled reclamation protocol.
+func (t *Tree[K, V]) DescPool() *llxscx.Pool[Node[K, V]] { return t.descPool }
+
+// ---------------------------------------------------------------------------
+// Pooled node lifecycle.
+
+// LeafNode returns a leaf holding key and value, drawn from the tree's node
+// pool (a fresh allocation under -tags noepoch). The leaf owns its embedded
+// value cell.
+func (t *Tree[K, V]) LeafNode(k K, v V) *Node[K, V] {
+	if !epoch.Enabled {
+		return NewLeaf(k, v)
+	}
+	n := t.nodePool.Get().(*Node[K, V])
+	n.K = k
+	n.Leaf = true
+	n.cell.Init(t.unboxed, v)
+	n.val = &n.cell
+	n.owner = n
+	n.crefs.Store(1)
+	return n
+}
+
+// InternalNode returns an internal node drawn from the tree's node pool (a
+// fresh allocation under -tags noepoch).
+func (t *Tree[K, V]) InternalNode(k K, deco int64, inf bool, left, right *Node[K, V]) *Node[K, V] {
+	if !epoch.Enabled {
+		return NewInternal(k, deco, inf, left, right)
+	}
+	n := t.nodePool.Get().(*Node[K, V])
+	n.K = k
+	n.Deco = deco
+	n.Inf = inf
+	n.left.Store(left)
+	n.right.Store(right)
+	return n
+}
+
+// CopyNode is Copy drawing the copy from the tree's node pool (a fresh
+// allocation under -tags noepoch). Like Copy it aliases the source's value
+// cell and takes a reference on the cell's owner.
+func (t *Tree[K, V]) CopyNode(lk llxscx.Linked[Node[K, V]], deco int64) *Node[K, V] {
+	if !epoch.Enabled {
+		return Copy(lk, deco)
+	}
+	src := lk.Node()
+	n := t.nodePool.Get().(*Node[K, V])
+	n.K = src.K
+	n.val = src.val
+	n.Deco = deco
+	n.Leaf = src.Leaf
+	n.Inf = src.Inf
+	n.left.Store(lk.Child(0))
+	n.right.Store(lk.Child(1))
+	if own := src.owner; own != nil {
+		n.owner = own
+		own.crefs.Add(1)
+	}
+	return n
+}
+
+// RetireNode hands a node that a committed SCX removed from the tree to the
+// reclamation layer under the operation's pinned guard: it re-enters the
+// node pool after a grace period. A no-op under -tags noepoch (the garbage
+// collector reclaims the node).
+func (t *Tree[K, V]) RetireNode(g *epoch.Guard, n *Node[K, V]) {
+	epoch.Retire(g, n, t.freeNodeFn)
+}
+
+// ReleaseFresh recycles a freshly built node whose SCX failed. Such a node
+// was never published - no other operation can have seen it - so it re-enters
+// the pool immediately, without a grace period. A no-op under -tags noepoch.
+func (t *Tree[K, V]) ReleaseFresh(n *Node[K, V]) {
+	if !epoch.Enabled {
+		return
+	}
+	t.freeNode(n)
+}
+
+// RebalanceSCX performs a pooled SCX for a policy's rebalancing step and, on
+// success, retires the removed nodes fin[:nf]. On failure the policy is
+// responsible for releasing the fresh nodes it built (ReleaseFresh).
+func (t *Tree[K, V]) RebalanceSCX(g *epoch.Guard, v *[llxscx.MaxV]llxscx.Linked[Node[K, V]], nv int, fin *[llxscx.MaxV]*Node[K, V], nf int, fld *atomic.Pointer[Node[K, V]], old, new *Node[K, V]) bool {
+	if !llxscx.SCXP(g, t.descPool, v, nv, fin, nf, fld, old, new) {
+		return false
+	}
+	for i := 0; i < nf; i++ {
+		t.RetireNode(g, fin[i])
+	}
+	return true
+}
+
+// freeNode runs after a retired node's grace period (or immediately, for a
+// never-published fresh node): no operation can reach n anymore, so its
+// memory may be recycled - except that an owner node whose embedded cell is
+// still aliased by live copies must park until the last copy is freed.
+func (t *Tree[K, V]) freeNode(n *Node[K, V]) {
+	own := n.owner
+	switch {
+	case own == nil:
+		// Internal or sentinel node: no cell bookkeeping.
+		t.recycle(n)
+	case own != n:
+		// A copy: its embedded cell was never used; drop its reference on
+		// the owner, and recycle the owner too if this was the last alias
+		// (the owner was freed earlier and parked as a zombie).
+		t.recycle(n)
+		if own.crefs.Add(-1) == 0 {
+			t.recycle(own)
+		}
+	default:
+		// The owner itself: recycle only if no copy aliases its cell;
+		// otherwise park - the last copy's free recycles it via own above.
+		if n.crefs.Add(-1) == 0 {
+			t.recycle(n)
+		}
+	}
+}
+
+// recycle resets a node whose memory is provably unreachable and returns it
+// to the pool. Releasing the record drops the node's reference on its last
+// SCX descriptor, which is what lets committed descriptors of long-dead
+// updates finally recycle too.
+func (t *Tree[K, V]) recycle(n *Node[K, V]) {
+	llxscx.ReleaseRecord(&n.rec)
+	n.left.Store(nil)
+	n.right.Store(nil)
+	n.val = nil
+	n.owner = nil
+	n.crefs.Store(0)
+	n.cell.Reset()
+	var zeroK K
+	n.K = zeroK
+	n.Deco = 0
+	n.Leaf = false
+	n.Inf = false
+	if epoch.PoisonCheck {
+		n.gen++
+	}
+	t.nodePool.Put(n)
+}
+
+// DrainReclaim flushes the tree's deferred descriptors and drains the epoch
+// layer's retire lists, returning the number of objects still pending
+// (process-wide). Meant for tests and quiescent shutdown; see epoch.Drain.
+func (t *Tree[K, V]) DrainReclaim() int64 {
+	if !epoch.Enabled {
+		return 0
+	}
+	g := epoch.Pin()
+	t.descPool.Flush(g)
+	epoch.Unpin(g)
+	return epoch.Drain()
+}
+
+// ---------------------------------------------------------------------------
+// Searches.
+
+// spineCap is the walk depth past which a search counts as degenerate: a
+// balanced tree never gets near it (a few dozen nodes even at millions of
+// keys), while the unbalanced EBST reaches it under sequential insertion
+// orders. Crossing it is observable, not fatal - the walk completes and its
+// final depth is recorded as a one-shot height probe of the searched spine
+// (see SpineStats).
+const spineCap = 128
+
+// noteDeepSpine records a search that crossed spineCap: it bumps the
+// degenerate-search counter and folds the walk's final depth into the
+// maximum, which doubles as the height probe of the offending spine.
+func (t *Tree[K, V]) noteDeepSpine(depth int) {
+	t.spineDeep.Add(1)
+	for {
+		cur := t.spineMax.Load()
+		if int64(depth) <= cur || t.spineMax.CompareAndSwap(cur, int64(depth)) {
+			return
+		}
+	}
+}
+
+// SpineStats reports the degenerate-spine diagnostic: how many searches
+// walked at least spineCap nodes, and the deepest walk observed (a probe of
+// the height of the degenerate subtree). Both are zero on balanced trees;
+// nonzero values on an unbalanced instantiation flag a pathological insert
+// order to the caller without making operations fail.
+func (t *Tree[K, V]) SpineStats() (deepSearches, maxDepth int64) {
+	return t.spineDeep.Load(), t.spineMax.Load()
+}
+
 // keyLess reports whether key is strictly smaller than n's key, treating
 // sentinels as +infinity.
 func (t *Tree[K, V]) keyLess(key K, n *Node[K, V]) bool { return n.Inf || t.less(key, n.K) }
@@ -291,6 +572,7 @@ func (t *Tree[K, V]) search(key K) (gp, p, l *Node[K, V]) {
 func searchLess[K, V any](t *Tree[K, V], key K) (gp, p, l *Node[K, V]) {
 	p = t.entry
 	l = t.entry.left.Load()
+	depth := 0
 	for !l.Leaf {
 		gp, p = p, l
 		if t.keyLess(key, l) {
@@ -298,6 +580,10 @@ func searchLess[K, V any](t *Tree[K, V], key K) (gp, p, l *Node[K, V]) {
 		} else {
 			l = l.right.Load()
 		}
+		depth++
+	}
+	if depth >= spineCap {
+		t.noteDeepSpine(depth)
 	}
 	return gp, p, l
 }
@@ -308,6 +594,7 @@ func searchLess[K, V any](t *Tree[K, V], key K) (gp, p, l *Node[K, V]) {
 func searchOrdered[K cmp.Ordered, V any](t *Tree[K, V], key K) (gp, p, l *Node[K, V]) {
 	p = t.entry
 	l = t.entry.left.Load()
+	depth := 0
 	for !l.Leaf {
 		gp, p = p, l
 		if l.Inf || key < l.K {
@@ -315,6 +602,10 @@ func searchOrdered[K cmp.Ordered, V any](t *Tree[K, V], key K) (gp, p, l *Node[K
 		} else {
 			l = l.right.Load()
 		}
+		depth++
+	}
+	if depth >= spineCap {
+		t.noteDeepSpine(depth)
 	}
 	return gp, p, l
 }
@@ -328,6 +619,7 @@ func searchOrdered[K cmp.Ordered, V any](t *Tree[K, V], key K) (gp, p, l *Node[K
 func searchString[V any](t *Tree[string, V], key string) (gp, p, l *Node[string, V]) {
 	p = t.entry
 	l = t.entry.left.Load()
+	depth := 0
 	for !l.Leaf {
 		gp, p = p, l
 		if l.Inf || key < l.K {
@@ -335,17 +627,35 @@ func searchString[V any](t *Tree[string, V], key string) (gp, p, l *Node[string,
 		} else {
 			l = l.right.Load()
 		}
+		depth++
+	}
+	if depth >= spineCap {
+		t.noteDeepSpine(depth)
 	}
 	return gp, p, l
 }
 
+// ---------------------------------------------------------------------------
+// Dictionary operations.
+
 // Get returns the value associated with key, or the zero value and false if
 // key is absent. It uses only plain reads and never blocks or retries.
 func (t *Tree[K, V]) Get(key K) (V, bool) {
+	g := epoch.Pin()
 	_, _, l := t.search(key)
 	if t.isKey(key, l) {
-		return l.val.Load(), true
+		var g0 uint64
+		if epoch.PoisonCheck {
+			g0 = l.gen
+		}
+		v := l.val.Load()
+		if epoch.PoisonCheck && l.gen != g0 {
+			panic("lbst: node recycled under a pinned reader (reclaimcheck)")
+		}
+		epoch.Unpin(g)
+		return v, true
 	}
+	epoch.Unpin(g)
 	var zero V
 	return zero, false
 }
@@ -353,13 +663,10 @@ func (t *Tree[K, V]) Get(key K) (V, bool) {
 // Insert associates value with key, returning the previous value and true
 // if key was present.
 //
-// When the key is absent the update follows the tree update template: one
-// LLX on the leaf's parent, one on the leaf, and one SCX that replaces the
-// leaf with a fresh internal node above two leaves. The template is built
-// once per call, outside the retry loop: its closures capture p, l and
-// inserted by reference, so a failed attempt re-searches and re-runs the
-// same template without re-allocating it, and each attempt's SCX evidence is
-// staged in the Args value's inline arrays.
+// When the key is absent the update follows the tree update template,
+// hand-unrolled in tryInsert: one LLX on the leaf's parent, one on the leaf,
+// and one pooled SCX that replaces the leaf with a fresh internal node above
+// two leaves.
 //
 // When the key is present the overwrite is performed IN PLACE, without an
 // SCX and (for unboxed value types) without allocating: the leaf's value
@@ -394,76 +701,90 @@ func (t *Tree[K, V]) Get(key K) (V, bool) {
 // the publish and the copying SCX commits first, the copy reads through the
 // same cell, so the value cannot be lost. This is why the cell must stay
 // aliased and must never be snapshotted into a fresh cell by a copy.
+//
+// Under pooled reclamation the whole operation - every retry included -
+// runs inside ONE pinned region. That is what keeps the same-cell
+// disambiguation sound: every leaf this operation reaches was reachable
+// while it was pinned, so none of their cells can be recycled (and their
+// addresses reused for unrelated keys) before the operation returns.
 func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
-	var p, l, inserted *Node[K, V]
-	tmpl := core.Template[*Node[K, V], Node[K, V], struct{}]{
-		// Two LLXs are always enough: the parent and the leaf.
-		Condition: func(seq []llxscx.Linked[Node[K, V]]) bool { return len(seq) == 2 },
-		NextNode:  func(seq []llxscx.Linked[Node[K, V]]) *Node[K, V] { return l },
-		Args: func(seq []llxscx.Linked[Node[K, V]]) core.Args[Node[K, V], *Node[K, V]] {
-			lkP, lkL := seq[0], seq[1]
-			fld := FieldOf(lkP, l)
-			// The key is absent (the overwrite fast path already handled a
-			// present key; l's key is immutable, so the check holds for this
-			// attempt): the old leaf is reused as the fringe of the new
-			// subtree (PC6) - leaves carry no mutable balance bookkeeping,
-			// so no copy is needed and nothing is finalized, exactly as in
-			// the non-blocking BST of Ellen et al. l stays in V, so the SCX
-			// fails if a concurrent update froze it.
-			keyLeaf := NewLeaf(key, value)
-			var repl *Node[K, V]
-			if t.keyLess(key, l) {
-				repl = NewInternal(l.K, t.pol.InternalDeco(), l.Inf, keyLeaf, l)
-			} else {
-				repl = NewInternal(key, t.pol.InternalDeco(), false, l, keyLeaf)
-			}
-			inserted = repl
-			return core.Args[Node[K, V], *Node[K, V]]{
-				V:   [llxscx.MaxV]llxscx.Linked[Node[K, V]]{lkP, lkL},
-				NV:  2,
-				Fld: fld,
-				Old: l,
-				New: repl,
-			}
-		},
-		Result: func(seq []llxscx.Linked[Node[K, V]]) struct{} { return struct{}{} },
-	}
-	// A failed attempt means a concurrent update won the SCX in this
-	// neighbourhood (or the leaf was finalized under an overwrite); back off
-	// (bounded, randomized, growing with the failure count) before
-	// re-searching so heavy contention on a small key range does not
-	// degenerate into a storm of wasted re-searches.
+	g := epoch.Pin()
 	var prevCell *vcell.Cell[V]
 	var prevOld V
 	for fails := 0; ; {
-		_, p, l = t.searchFn(t, key)
+		_, p, l := t.searchFn(t, key)
 		if t.isKey(key, l) {
 			if l.val == prevCell {
 				// A previous attempt already published into this very cell:
 				// the leaf was superseded by a copy, not deleted, so that
 				// publish took effect (see the protocol above).
+				epoch.Unpin(g)
 				return prevOld, true
 			}
 			// In-place overwrite: atomic publish, then finalization re-check
 			// (see the protocol above).
 			old := l.val.Swap(value)
 			if !l.Marked() {
+				epoch.Unpin(g)
 				return old, true
 			}
 			prevCell, prevOld = l.val, old
-		} else {
-			inserted = nil
-			if _, ok := tmpl.Run(p); ok {
-				if t.pol.CreatesViolation(p, l, inserted) {
-					t.cleanup(key)
-				}
-				var zero V
-				return zero, false
-			}
+		} else if t.tryInsert(g, key, value, p, l) {
+			epoch.Unpin(g)
+			var zero V
+			return zero, false
 		}
+		// A failed attempt means a concurrent update won the SCX in this
+		// neighbourhood (or the leaf was finalized under an overwrite); back
+		// off (bounded, randomized, growing with the failure count) before
+		// re-searching so heavy contention on a small key range does not
+		// degenerate into a storm of wasted re-searches.
 		fails++
 		core.BackoffWait(fails)
 	}
+}
+
+// tryInsert is one attempt of the insertion template update (hand-unrolled,
+// so an attempt stages its SCX evidence entirely on this frame): LLX the
+// parent and the leaf, build the replacement subtree from the pool, and
+// publish it with one pooled SCX. The old leaf is reused as the fringe of
+// the new subtree (PC6) - leaves carry no mutable balance bookkeeping, so no
+// copy is needed and nothing is finalized, exactly as in the non-blocking
+// BST of Ellen et al. The leaf stays in V, so the SCX fails if a concurrent
+// update froze it.
+func (t *Tree[K, V]) tryInsert(g *epoch.Guard, key K, value V, p, l *Node[K, V]) bool {
+	lkP, st := llxscx.LLX(p)
+	if st != llxscx.Snapshot {
+		return false
+	}
+	fld := FieldOf(lkP, l)
+	if fld == nil {
+		return false
+	}
+	lkL, st := llxscx.LLX(l)
+	if st != llxscx.Snapshot {
+		return false
+	}
+	// The key is absent (the overwrite fast path already handled a present
+	// key; l's key is immutable, so the check holds for this attempt).
+	keyLeaf := t.LeafNode(key, value)
+	var repl *Node[K, V]
+	if t.keyLess(key, l) {
+		repl = t.InternalNode(l.K, t.pol.InternalDeco(), l.Inf, keyLeaf, l)
+	} else {
+		repl = t.InternalNode(key, t.pol.InternalDeco(), false, l, keyLeaf)
+	}
+	v := [llxscx.MaxV]llxscx.Linked[Node[K, V]]{lkP, lkL}
+	var fin [llxscx.MaxV]*Node[K, V]
+	if !llxscx.SCXP(g, t.descPool, &v, 2, &fin, 0, fld, l, repl) {
+		t.ReleaseFresh(keyLeaf)
+		t.ReleaseFresh(repl)
+		return false
+	}
+	if t.pol.CreatesViolation(p, l, repl) {
+		t.cleanup(g, key)
+	}
+	return true
 }
 
 // Delete removes key, returning its value and true if it was present. The
@@ -471,69 +792,16 @@ func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 // one SCX that swings the grandparent's child pointer to a copy of the
 // sibling (Figure 6 of the paper).
 func (t *Tree[K, V]) Delete(key K) (V, bool) {
-	var gp, p, l, promoted *Node[K, V]
-	tmpl := core.Template[*Node[K, V], Node[K, V], V]{
-		Condition: func(seq []llxscx.Linked[Node[K, V]]) bool { return len(seq) == 4 },
-		NextNode: func(seq []llxscx.Linked[Node[K, V]]) *Node[K, V] {
-			switch len(seq) {
-			case 1:
-				return p
-			case 2:
-				return l
-			default:
-				// The sibling, from the parent's snapshot.
-				return SiblingOf(seq[1], l)
-			}
-		},
-		Args: func(seq []llxscx.Linked[Node[K, V]]) core.Args[Node[K, V], *Node[K, V]] {
-			lkGP, lkP, lkL, lkS := seq[0], seq[1], seq[2], seq[3]
-			s := lkS.Node()
-			// The promoted copy keeps the sibling's decoration: its own
-			// subtree is unchanged, so its balance bookkeeping is too. It
-			// must be a fresh copy, not s itself: the SCX protocol's
-			// ABA-freedom rests on every value stored into a child field
-			// being newly allocated (a stale helper retries its update CAS
-			// unconditionally, and re-installing a pointer the field once
-			// held would let that CAS resurrect a finalized subtree). Reuse
-			// is only safe for nodes that become children of fresh nodes,
-			// as in Insert.
-			repl := Copy(lkS, s.Deco)
-			promoted = repl
-			a := core.Args[Node[K, V], *Node[K, V]]{
-				NV:  4,
-				NR:  3,
-				Fld: FieldOf(lkGP, p),
-				Old: p,
-				New: repl,
-			}
-			// V and R are ordered by a breadth-first traversal (PC8):
-			// the parent's children appear in left-to-right order.
-			if lkP.Child(0) == l {
-				a.V = [llxscx.MaxV]llxscx.Linked[Node[K, V]]{lkGP, lkP, lkL, lkS}
-				a.R = [llxscx.MaxV]*Node[K, V]{p, l, s}
-			} else {
-				a.V = [llxscx.MaxV]llxscx.Linked[Node[K, V]]{lkGP, lkP, lkS, lkL}
-				a.R = [llxscx.MaxV]*Node[K, V]{p, s, l}
-			}
-			return a
-		},
-		// The Result closure runs only after the SCX committed, so the cell
-		// read happens after l was marked; an in-place overwrite that
-		// linearized before this deletion (its Swap totally ordered before
-		// the marking) is therefore visible in the returned value.
-		Result: func(seq []llxscx.Linked[Node[K, V]]) V { return l.val.Load() },
-	}
+	g := epoch.Pin()
 	for fails := 0; ; {
-		gp, p, l = t.searchFn(t, key)
+		gp, p, l := t.searchFn(t, key)
 		if gp == nil || !t.isKey(key, l) {
+			epoch.Unpin(g)
 			var zero V
 			return zero, false
 		}
-		promoted = nil
-		if v, ok := tmpl.Run(gp); ok {
-			if t.pol.CreatesViolation(gp, p, promoted) {
-				t.cleanup(key)
-			}
+		if v, ok := t.tryDelete(g, key, gp, p, l); ok {
+			epoch.Unpin(g)
 			return v, true
 		}
 		fails++
@@ -541,18 +809,86 @@ func (t *Tree[K, V]) Delete(key K) (V, bool) {
 	}
 }
 
+// tryDelete is one attempt of the deletion template update (hand-unrolled):
+// LLX the grandparent, parent, leaf and sibling, then one pooled SCX swings
+// the grandparent's child pointer to a copy of the sibling and finalizes the
+// parent, leaf and sibling, which are then retired to the node pool.
+func (t *Tree[K, V]) tryDelete(g *epoch.Guard, key K, gp, p, l *Node[K, V]) (V, bool) {
+	var zero V
+	lkGP, st := llxscx.LLX(gp)
+	if st != llxscx.Snapshot {
+		return zero, false
+	}
+	fld := FieldOf(lkGP, p)
+	if fld == nil {
+		return zero, false
+	}
+	lkP, st := llxscx.LLX(p)
+	if st != llxscx.Snapshot {
+		return zero, false
+	}
+	lkL, st := llxscx.LLX(l)
+	if st != llxscx.Snapshot {
+		return zero, false
+	}
+	s := SiblingOf(lkP, l)
+	if s == nil {
+		return zero, false
+	}
+	lkS, st := llxscx.LLX(s)
+	if st != llxscx.Snapshot {
+		return zero, false
+	}
+	// The promoted copy keeps the sibling's decoration: its own subtree is
+	// unchanged, so its balance bookkeeping is too. It must be a fresh copy,
+	// not s itself: the SCX protocol's ABA-freedom rests on every value
+	// stored into a child field being newly obtained (a stale helper retries
+	// its update CAS unconditionally, and re-installing a pointer the field
+	// once held would let that CAS resurrect a finalized subtree). Reuse is
+	// only safe for nodes that become children of fresh nodes, as in Insert.
+	repl := t.CopyNode(lkS, s.Deco)
+	// V and R are ordered by a breadth-first traversal (PC8): the parent's
+	// children appear in left-to-right order.
+	var v [llxscx.MaxV]llxscx.Linked[Node[K, V]]
+	var fin [llxscx.MaxV]*Node[K, V]
+	if lkP.Child(0) == l {
+		v = [llxscx.MaxV]llxscx.Linked[Node[K, V]]{lkGP, lkP, lkL, lkS}
+		fin = [llxscx.MaxV]*Node[K, V]{p, l, s}
+	} else {
+		v = [llxscx.MaxV]llxscx.Linked[Node[K, V]]{lkGP, lkP, lkS, lkL}
+		fin = [llxscx.MaxV]*Node[K, V]{p, s, l}
+	}
+	if !llxscx.SCXP(g, t.descPool, &v, 4, &fin, 3, fld, p, repl) {
+		t.ReleaseFresh(repl)
+		return zero, false
+	}
+	// The cell read happens after the SCX committed, so it happens after l
+	// was marked; an in-place overwrite that linearized before this deletion
+	// (its Swap totally ordered before the marking) is therefore visible in
+	// the returned value.
+	val := l.val.Load()
+	t.RetireNode(g, fin[0])
+	t.RetireNode(g, fin[1])
+	t.RetireNode(g, fin[2])
+	if t.pol.CreatesViolation(gp, p, repl) {
+		t.cleanup(g, key)
+	}
+	return val, true
+}
+
 // cleanup repeatedly searches for key from the entry point and asks the
 // policy to perform one rebalancing step at the first violation on the
 // path, restarting from the entry point after every step, until it reaches
 // a leaf without seeing a violation. This is the chromatic tree's Cleanup
-// loop (Figure 5 of the paper) generalized over the balancing policy.
+// loop (Figure 5 of the paper) generalized over the balancing policy. It
+// runs under the invoking operation's pinned guard g.
 //
 // Note that unlike the chromatic tree's VIOL property, a policy need not
 // guarantee that every violation stays on the search path of the key that
 // created it; cleanup then restores balance on this key's path and leaves
 // any violation it pushed elsewhere to later operations (that is the
 // "relaxed" in relaxed balancing).
-func (t *Tree[K, V]) cleanup(key K) {
+func (t *Tree[K, V]) cleanup(g *epoch.Guard, key K) {
 	for {
 		u := t.entry
 		n := t.entry.left.Load()
@@ -564,7 +900,7 @@ func (t *Tree[K, V]) cleanup(key K) {
 				return
 			}
 			if !n.Inf && t.pol.Violation(n) {
-				t.pol.Rebalance(u, n)
+				t.pol.Rebalance(g, u, n)
 				break // restart the search from the entry point
 			}
 			u = n
@@ -578,44 +914,80 @@ func (t *Tree[K, V]) cleanup(key K) {
 }
 
 // Cleanup exposes the rebalancing loop for policies that want to schedule
-// extra cleanup passes (for example from a background rebalancer).
-func (t *Tree[K, V]) Cleanup(key K) { t.cleanup(key) }
+// extra cleanup passes (for example from a background rebalancer). It pins
+// its own reclamation guard.
+func (t *Tree[K, V]) Cleanup(key K) {
+	g := epoch.Pin()
+	t.cleanup(g, key)
+	epoch.Unpin(g)
+}
+
+// RebalanceStep runs one policy rebalancing step at n (whose search-path
+// parent is u) under a fresh pinned guard. It exists for quiescent drains
+// like ravl's RebalanceAll, which walk the tree themselves.
+func (t *Tree[K, V]) RebalanceStep(u, n *Node[K, V]) bool {
+	g := epoch.Pin()
+	ok := t.pol.Rebalance(g, u, n)
+	epoch.Unpin(g)
+	return ok
+}
 
 // Successor returns the smallest key strictly greater than key, with its
 // value; ok is false if no such key exists. See the generic implementation
 // in query.go.
 func (t *Tree[K, V]) Successor(key K) (k K, v V, ok bool) {
-	return Successor(t.entry, t.less, key)
+	g := epoch.Pin()
+	k, v, ok = Successor(t.entry, t.less, key)
+	epoch.Unpin(g)
+	return k, v, ok
 }
 
 // Predecessor returns the largest key strictly smaller than key, with its
 // value; ok is false if no such key exists.
 func (t *Tree[K, V]) Predecessor(key K) (k K, v V, ok bool) {
-	return Predecessor(t.entry, t.less, key)
+	g := epoch.Pin()
+	k, v, ok = Predecessor(t.entry, t.less, key)
+	epoch.Unpin(g)
+	return k, v, ok
 }
 
 // RangeScan calls fn for every key in [lo, hi] in ascending order and
 // returns the number of keys visited; each step is individually
-// linearizable. If fn returns false the scan stops early.
+// linearizable. If fn returns false the scan stops early. The whole scan
+// runs under one pinned guard; fn must not block indefinitely, since a
+// pinned operation holds back memory reclamation.
 func (t *Tree[K, V]) RangeScan(lo, hi K, fn func(k K, v V) bool) int {
-	return RangeScan(t.entry, t.less, lo, hi, fn)
+	g := epoch.Pin()
+	n := RangeScan(t.entry, t.less, lo, hi, fn)
+	epoch.Unpin(g)
+	return n
 }
 
 // Ascend calls fn for every key in the dictionary in ascending order and
 // returns the number of keys visited; each step is individually
-// linearizable. If fn returns false the scan stops early.
+// linearizable. If fn returns false the scan stops early. Like RangeScan it
+// runs under one pinned guard.
 func (t *Tree[K, V]) Ascend(fn func(k K, v V) bool) int {
-	return Ascend(t.entry, t.less, fn)
+	g := epoch.Pin()
+	n := Ascend(t.entry, t.less, fn)
+	epoch.Unpin(g)
+	return n
 }
 
 // Min returns the smallest key and its value, or ok=false if empty.
 func (t *Tree[K, V]) Min() (k K, v V, ok bool) {
-	return Min[*Node[K, V], Node[K, V], K, V](t.entry)
+	g := epoch.Pin()
+	k, v, ok = Min[*Node[K, V], Node[K, V], K, V](t.entry)
+	epoch.Unpin(g)
+	return k, v, ok
 }
 
 // Max returns the largest key and its value, or ok=false if empty.
 func (t *Tree[K, V]) Max() (k K, v V, ok bool) {
-	return Max[*Node[K, V], Node[K, V], K, V](t.entry)
+	g := epoch.Pin()
+	k, v, ok = Max[*Node[K, V], Node[K, V], K, V](t.entry)
+	epoch.Unpin(g)
+	return k, v, ok
 }
 
 // Size returns the number of keys stored. Quiescence only.

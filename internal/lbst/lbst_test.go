@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/epoch"
 )
 
 // intNode abbreviates the engine's node type at the test's instantiation.
@@ -15,11 +17,11 @@ func intLess(a, b int64) bool { return a < b }
 // nopPolicy is the minimal policy: no decoration, no violations.
 type nopPolicy struct{}
 
-func (nopPolicy) Name() string                           { return "nop" }
-func (nopPolicy) InternalDeco() int64                    { return 0 }
-func (nopPolicy) CreatesViolation(_, _, _ *intNode) bool { return false }
-func (nopPolicy) Violation(*intNode) bool                { return false }
-func (nopPolicy) Rebalance(_, _ *intNode) bool           { return false }
+func (nopPolicy) Name() string                                 { return "nop" }
+func (nopPolicy) InternalDeco() int64                          { return 0 }
+func (nopPolicy) CreatesViolation(_, _, _ *intNode) bool       { return false }
+func (nopPolicy) Violation(*intNode) bool                      { return false }
+func (nopPolicy) Rebalance(_ *epoch.Guard, _, _ *intNode) bool { return false }
 
 // probePolicy records the engine's policy callbacks so the tests can verify
 // the engine honours the contract: CreatesViolation is consulted after every
@@ -40,7 +42,7 @@ func (p *probePolicy) Violation(n *intNode) bool {
 	p.violation.Add(1)
 	return false
 }
-func (p *probePolicy) Rebalance(_, _ *intNode) bool { return false }
+func (p *probePolicy) Rebalance(_ *epoch.Guard, _, _ *intNode) bool { return false }
 
 func TestEngineDictionarySemantics(t *testing.T) {
 	tr := New[int64, int64](intLess, nopPolicy{})
@@ -173,11 +175,11 @@ func TestEngineOrderedQueriesUnderConcurrency(t *testing.T) {
 // the construction tests below.
 type genPolicy[K, V any] struct{}
 
-func (genPolicy[K, V]) Name() string                              { return "nop" }
-func (genPolicy[K, V]) InternalDeco() int64                       { return 0 }
-func (genPolicy[K, V]) CreatesViolation(_, _, _ *Node[K, V]) bool { return false }
-func (genPolicy[K, V]) Violation(*Node[K, V]) bool                { return false }
-func (genPolicy[K, V]) Rebalance(_, _ *Node[K, V]) bool           { return false }
+func (genPolicy[K, V]) Name() string                                    { return "nop" }
+func (genPolicy[K, V]) InternalDeco() int64                             { return 0 }
+func (genPolicy[K, V]) CreatesViolation(_, _, _ *Node[K, V]) bool       { return false }
+func (genPolicy[K, V]) Violation(*Node[K, V]) bool                      { return false }
+func (genPolicy[K, V]) Rebalance(_ *epoch.Guard, _, _ *Node[K, V]) bool { return false }
 
 // TestNewOrderedInstallsSpecializedSearch pins the constructor-time search
 // selection: int64 trees get the generic cmp.Ordered specialization, string

@@ -2,6 +2,7 @@ package lbst
 
 import (
 	"repro/internal/core"
+	"repro/internal/epoch"
 	"repro/internal/llxscx"
 )
 
@@ -39,6 +40,28 @@ type View[N, K, V any] interface {
 
 func viewLess[P View[N, K, V], N, K, V any](less func(K, K) bool, key K, n P) bool {
 	return n.IsSentinel() || less(key, n.Key())
+}
+
+// genOf reads n's reclamation generation for the poisoning assertions.
+// Compiled out unless -tags reclaimcheck; the type assertion tolerates node
+// types without a generation counter.
+func genOf[P View[N, K, V], N, K, V any](n P) uint64 {
+	if !epoch.PoisonCheck {
+		return 0
+	}
+	if gn, ok := any(n).(interface{ Gen() uint64 }); ok {
+		return gn.Gen()
+	}
+	return 0
+}
+
+// assertGen panics if a node's generation changed while the (pinned) query
+// held it: the reclamation layer recycled memory a reader could still reach,
+// which the grace-period argument in DESIGN.md says must never happen.
+func assertGen[P View[N, K, V], N, K, V any](n P, g0 uint64) {
+	if epoch.PoisonCheck && genOf[P, N, K, V](n) != g0 {
+		panic("lbst: node recycled under a pinned reader (reclaimcheck)")
+	}
 }
 
 // pathBufCap is the capacity of the stack buffer each ordered query reuses
@@ -98,7 +121,10 @@ retry:
 			if l.IsSentinel() {
 				return k, v, false
 			}
-			return l.Key(), l.Value(), true
+			g0 := genOf[P, N, K, V](l)
+			k, v = l.Key(), l.Value()
+			assertGen(l, g0)
+			return k, v, true
 		}
 		// Otherwise the successor is the leftmost leaf of lastLeft's right
 		// subtree. Walk down to it with LLXs and validate the whole
@@ -118,13 +144,16 @@ retry:
 				continue retry
 			}
 		}
+		g0 := genOf[P, N, K, V](succ)
 		if !llxscx.VLX(path) {
 			continue retry
 		}
 		if succ.IsSentinel() {
 			return k, v, false
 		}
-		return succ.Key(), succ.Value(), true
+		k, v = succ.Key(), succ.Value()
+		assertGen(succ, g0)
+		return k, v, true
 	}
 }
 
@@ -165,7 +194,10 @@ retry:
 		if !l.IsSentinel() && less(l.Key(), key) {
 			// The leaf reached holds a key strictly smaller than key, so it
 			// is the predecessor.
-			return l.Key(), l.Value(), true
+			g0 := genOf[P, N, K, V](l)
+			k, v = l.Key(), l.Value()
+			assertGen(l, g0)
+			return k, v, true
 		}
 		if !haveLastRight {
 			// The search never turned right: every key in the dictionary is
@@ -188,13 +220,16 @@ retry:
 				continue retry
 			}
 		}
+		g0 := genOf[P, N, K, V](pred)
 		if !llxscx.VLX(path) {
 			continue retry
 		}
 		if pred.IsSentinel() {
 			return k, v, false
 		}
-		return pred.Key(), pred.Value(), true
+		k, v = pred.Key(), pred.Value()
+		assertGen(pred, g0)
+		return k, v, true
 	}
 }
 
@@ -262,6 +297,7 @@ retry:
 				continue retry
 			}
 		}
+		g0 := genOf[P, N, K, V](l)
 		if !llxscx.VLX(path) {
 			continue retry
 		}
@@ -269,7 +305,9 @@ retry:
 			// The leftmost leaf is the sentinel leaf: the dictionary is empty.
 			return k, v, false
 		}
-		return l.Key(), l.Value(), true
+		k, v = l.Key(), l.Value()
+		assertGen(l, g0)
+		return k, v, true
 	}
 }
 
@@ -323,13 +361,16 @@ retry:
 				continue retry
 			}
 		}
+		g0 := genOf[P, N, K, V](l)
 		if !llxscx.VLX(path) {
 			continue retry
 		}
 		if l.IsSentinel() {
 			continue retry
 		}
-		return l.Key(), l.Value(), true
+		k, v = l.Key(), l.Value()
+		assertGen(l, g0)
+		return k, v, true
 	}
 }
 

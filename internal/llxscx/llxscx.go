@@ -20,10 +20,19 @@
 // passes these Linked values to SCX or VLX, which expresses exactly the same
 // "linked LLX" relationship explicitly.
 //
-// The implementation relies on garbage collection (descriptors and nodes are
-// freshly allocated and never recycled while reachable), which rules out ABA
-// on the descriptor pointers and on the update CAS, exactly as the Java
-// implementation used in the paper does.
+// Reclamation: the protocol's ABA-freedom requires that descriptors and
+// nodes are never recycled while any process can still reach them. The
+// original port delegated that wholesale to the garbage collector (as the
+// paper's Java implementation does); descriptors are now recycled through a
+// per-structure Pool instead. A descriptor carries a reference count — one
+// per record it is currently installed in, one per live descriptor that
+// lists it as freezing-CAS evidence, plus the initiator's bias — and is
+// handed to internal/epoch for a grace period only when the count reaches
+// zero, after which no helper or snapshot holder can still name it. SCXP is
+// the pooled entry point; SCXFixed keeps the allocate-fresh behaviour (and
+// is the fallback when epoch reclamation is compiled out). The full safety
+// argument is re-derived in DESIGN.md ("Epoch reclamation and the ABA
+// re-derivation").
 package llxscx
 
 import "sync/atomic"
@@ -81,12 +90,35 @@ const (
 
 // descriptor is an SCX-record: it describes one SCX so that any process can
 // help complete it. All evidence is stored inline in fixed-capacity arrays
-// (bounded by MaxV), so initiating an SCX allocates exactly one object: the
-// descriptor itself, which must be heap-allocated because helpers retain
-// pointers to it and GC-based reclamation is what rules out ABA.
+// (bounded by MaxV), so initiating an SCX allocates at most one object: the
+// descriptor itself, which must stay heap-allocated while helpers retain
+// pointers to it. Descriptors created through SCXP are recycled via their
+// Pool once their reference count drains (see the package comment);
+// descriptors created through SCXFixed have a nil pool and are left to the
+// garbage collector.
 type descriptor[N any] struct {
 	state     atomic.Int32
 	allFrozen atomic.Bool
+
+	// refs counts the reasons this descriptor must stay alive: +1 while the
+	// initiating SCXP runs (the bias), +1 per record whose info field it is
+	// installed in, and +1 per live pooled descriptor listing it in infos
+	// (the freezing-CAS expected value must not be recycled while a helper
+	// of that descriptor might still CAS with it). Only used when pool is
+	// non-nil.
+	refs atomic.Int32
+
+	// retired flips once, when refs first reaches zero, so the descriptor
+	// is pushed onto its pool's deferred-retire stack exactly once even if
+	// a late helper transiently resurrects the count.
+	retired atomic.Bool
+
+	// pool is the owning Pool for SCXP-created descriptors, nil for
+	// SCXFixed ones (which also disables all reference accounting).
+	pool *Pool[N]
+
+	// dnext links the pool's deferred-retire stack.
+	dnext *descriptor[N]
 
 	// recs[i] is the synchronization record of the i'th element of V and
 	// infos[i] is the descriptor observed by the linked LLX of that element
@@ -212,11 +244,15 @@ func LLX[P DataRecord[N], N any](r P) (Linked[N], Status) {
 // SCX returns true if it modified the data structure and false if it failed
 // because some record in v changed since its linked LLX.
 //
-// new must be freshly allocated - never a value that fld (or any mutable
-// field) has held before. Helpers of a committed SCX retry the update CAS
-// unconditionally, so the protocol's ABA-freedom rests on stored values
-// never recurring; reusing an existing node is only sound as a child of a
-// freshly allocated subtree root, never as new itself.
+// new must be freshly obtained - never a value that fld (or any mutable
+// field) has held while any current operation could have observed it.
+// Helpers of a committed SCX retry the update CAS unconditionally, so the
+// protocol's ABA-freedom rests on stored values never recurring; reusing an
+// existing node is only sound as a child of a freshly obtained subtree
+// root, never as new itself. A node recycled through an epoch-guarded pool
+// counts as freshly obtained: the grace period guarantees no helper or
+// snapshot holder can still name its previous incarnation (DESIGN.md
+// re-derives this).
 //
 // SCX is the slice-based convenience wrapper; v must not exceed MaxV
 // entries. Hot paths that stage their evidence in stack arrays should call
@@ -303,11 +339,30 @@ func validateOne[N any](lk *Linked[N]) bool {
 // help completes (or aborts) the SCX described by d. It may be called by the
 // initiating process or by any process that encounters the descriptor. It
 // returns true if the SCX committed.
+//
+// For pooled descriptors the freezing loop also maintains the reference
+// counts: the helper whose CAS installs d into a record accounts one
+// reference on d (taken before the CAS, undone if the CAS fails, so the
+// count never under-shoots) and drops the reference held by the displaced
+// descriptor, which was installed in that record until this very CAS.
 func help[N any](d *descriptor[N]) bool {
 	// Freeze every record in V by installing d in its info field.
+	pooled := d.pool != nil
 	for i := 0; i < d.nV; i++ {
 		rec := d.recs[i]
-		if !rec.info.CompareAndSwap(d.infos[i], d) {
+		if pooled {
+			d.refs.Add(1)
+		}
+		if rec.info.CompareAndSwap(d.infos[i], d) {
+			// This helper won the install: release the displaced
+			// descriptor's install reference (exactly once per record).
+			if old := d.infos[i]; old != nil && old.pool != nil {
+				old.release()
+			}
+		} else {
+			if pooled {
+				d.refs.Add(-1)
+			}
 			if rec.info.Load() != d {
 				// Could not freeze rec because another SCX owns it. If all
 				// records were already frozen by some helper, the SCX has

@@ -42,6 +42,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"repro/internal/epoch"
 	"repro/internal/lbst"
 	"repro/internal/llxscx"
 )
@@ -61,9 +62,12 @@ func (s *Stats) RebalanceTotal() int64 {
 	return s.HeightFixes.Load() + s.SingleRotations.Load() + s.DoubleRotations.Load()
 }
 
-// policy is the relaxed AVL balancing policy for the lbst engine.
+// policy is the relaxed AVL balancing policy for the lbst engine. eng is the
+// engine tree it balances, wired after construction; the rebalancing steps
+// draw their fresh nodes and SCX descriptors from its pools.
 type policy[K, V any] struct {
 	stats *Stats
+	eng   *lbst.Tree[K, V]
 }
 
 // Name implements lbst.Policy.
@@ -109,8 +113,10 @@ func (p *policy[K, V]) Violation(n *lbst.Node[K, V]) bool {
 // whose parent on the search path is u, expressed as LLXs followed by a
 // single SCX exactly like the engine's insertions and deletions (the V
 // sequences are ordered root-to-leaf, satisfying PC8, and every removed
-// node reappears only as a copy, satisfying PC9).
-func (p *policy[K, V]) Rebalance(u, n *lbst.Node[K, V]) bool {
+// node reappears only as a copy, satisfying PC9). Fresh nodes come from the
+// engine's node pool and are released back immediately when the SCX fails;
+// removed nodes are retired by the engine's RebalanceSCX.
+func (p *policy[K, V]) Rebalance(g *epoch.Guard, u, n *lbst.Node[K, V]) bool {
 	lkU, st := llxscx.LLX(u)
 	if st != llxscx.Snapshot {
 		return false
@@ -130,14 +136,15 @@ func (p *policy[K, V]) Rebalance(u, n *lbst.Node[K, V]) bool {
 	hl, hr := l.Deco, r.Deco
 	switch {
 	case hl >= hr+2:
-		return p.fixLeft(lkU, lkN, fld)
+		return p.fixLeft(g, lkU, lkN, fld)
 	case hr >= hl+2:
-		return p.fixRight(lkU, lkN, fld)
+		return p.fixRight(g, lkU, lkN, fld)
 	case n.Deco != 1+max(hl, hr):
-		repl := lbst.Copy(lkN, 1+max(hl, hr))
+		repl := p.eng.CopyNode(lkN, 1+max(hl, hr))
 		v := [llxscx.MaxV]llxscx.Linked[lbst.Node[K, V]]{lkU, lkN}
 		fin := [llxscx.MaxV]*lbst.Node[K, V]{n}
-		if !llxscx.SCXFixed(&v, 2, &fin, 1, fld, n, repl) {
+		if !p.eng.RebalanceSCX(g, &v, 2, &fin, 1, fld, n, repl) {
+			p.eng.ReleaseFresh(repl)
 			return false
 		}
 		p.stats.HeightFixes.Add(1)
@@ -150,7 +157,7 @@ func (p *policy[K, V]) Rebalance(u, n *lbst.Node[K, V]) bool {
 // fixLeft repairs a balance violation where n's left child l is at least
 // two taller than its right child r. The linked LLX evidence for u and n is
 // supplied by the caller; fld is u's child field holding n.
-func (p *policy[K, V]) fixLeft(lkU, lkN llxscx.Linked[lbst.Node[K, V]], fld *atomic.Pointer[lbst.Node[K, V]]) bool {
+func (p *policy[K, V]) fixLeft(g *epoch.Guard, lkU, lkN llxscx.Linked[lbst.Node[K, V]], fld *atomic.Pointer[lbst.Node[K, V]]) bool {
 	n := lkN.Node()
 	l, r := lkN.Child(0), lkN.Child(1)
 	if l.Leaf {
@@ -172,10 +179,11 @@ func (p *policy[K, V]) fixLeft(lkU, lkN llxscx.Linked[lbst.Node[K, V]], fld *ato
 		// locally correct; fix the child's height first (the balance
 		// violation at n is then re-evaluated against the corrected height).
 		lfld := lbst.FieldOf(lkN, l)
-		repl := lbst.Copy(lkL, 1+max(hll, hlr))
+		repl := p.eng.CopyNode(lkL, 1+max(hll, hlr))
 		v := [llxscx.MaxV]llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkL}
 		fin := [llxscx.MaxV]*lbst.Node[K, V]{l}
-		if !llxscx.SCXFixed(&v, 3, &fin, 1, lfld, l, repl) {
+		if !p.eng.RebalanceSCX(g, &v, 3, &fin, 1, lfld, l, repl) {
+			p.eng.ReleaseFresh(repl)
 			return false
 		}
 		p.stats.HeightFixes.Add(1)
@@ -184,11 +192,13 @@ func (p *policy[K, V]) fixLeft(lkU, lkN llxscx.Linked[lbst.Node[K, V]], fld *ato
 	if hll >= hlr {
 		// Single right rotation: l becomes the subtree root, n drops to its
 		// right with the inner subtree lr attached.
-		inner := lbst.NewInternal(n.K, 1+max(hlr, r.Deco), false, lr, r)
-		repl := lbst.NewInternal(l.K, 1+max(hll, inner.Deco), false, ll, inner)
+		inner := p.eng.InternalNode(n.K, 1+max(hlr, r.Deco), false, lr, r)
+		repl := p.eng.InternalNode(l.K, 1+max(hll, inner.Deco), false, ll, inner)
 		v := [llxscx.MaxV]llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkL}
 		fin := [llxscx.MaxV]*lbst.Node[K, V]{n, l}
-		if !llxscx.SCXFixed(&v, 3, &fin, 2, fld, n, repl) {
+		if !p.eng.RebalanceSCX(g, &v, 3, &fin, 2, fld, n, repl) {
+			p.eng.ReleaseFresh(inner)
+			p.eng.ReleaseFresh(repl)
 			return false
 		}
 		p.stats.SingleRotations.Add(1)
@@ -207,12 +217,15 @@ func (p *policy[K, V]) fixLeft(lkU, lkN llxscx.Linked[lbst.Node[K, V]], fld *ato
 	if lrl == nil || lrr == nil {
 		return false
 	}
-	nl := lbst.NewInternal(l.K, 1+max(hll, lrl.Deco), false, ll, lrl)
-	nr := lbst.NewInternal(n.K, 1+max(lrr.Deco, r.Deco), false, lrr, r)
-	repl := lbst.NewInternal(lr.K, 1+max(nl.Deco, nr.Deco), false, nl, nr)
+	nl := p.eng.InternalNode(l.K, 1+max(hll, lrl.Deco), false, ll, lrl)
+	nr := p.eng.InternalNode(n.K, 1+max(lrr.Deco, r.Deco), false, lrr, r)
+	repl := p.eng.InternalNode(lr.K, 1+max(nl.Deco, nr.Deco), false, nl, nr)
 	v := [llxscx.MaxV]llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkL, lkLR}
 	fin := [llxscx.MaxV]*lbst.Node[K, V]{n, l, lr}
-	if !llxscx.SCXFixed(&v, 4, &fin, 3, fld, n, repl) {
+	if !p.eng.RebalanceSCX(g, &v, 4, &fin, 3, fld, n, repl) {
+		p.eng.ReleaseFresh(nl)
+		p.eng.ReleaseFresh(nr)
+		p.eng.ReleaseFresh(repl)
 		return false
 	}
 	p.stats.DoubleRotations.Add(1)
@@ -221,7 +234,7 @@ func (p *policy[K, V]) fixLeft(lkU, lkN llxscx.Linked[lbst.Node[K, V]], fld *ato
 
 // fixRight is the mirror image of fixLeft: n's right child r is at least
 // two taller than its left child l.
-func (p *policy[K, V]) fixRight(lkU, lkN llxscx.Linked[lbst.Node[K, V]], fld *atomic.Pointer[lbst.Node[K, V]]) bool {
+func (p *policy[K, V]) fixRight(g *epoch.Guard, lkU, lkN llxscx.Linked[lbst.Node[K, V]], fld *atomic.Pointer[lbst.Node[K, V]]) bool {
 	n := lkN.Node()
 	l, r := lkN.Child(0), lkN.Child(1)
 	if r.Leaf {
@@ -238,10 +251,11 @@ func (p *policy[K, V]) fixRight(lkU, lkN llxscx.Linked[lbst.Node[K, V]], fld *at
 	hrl, hrr := rl.Deco, rr.Deco
 	if r.Deco != 1+max(hrl, hrr) {
 		rfld := lbst.FieldOf(lkN, r)
-		repl := lbst.Copy(lkR, 1+max(hrl, hrr))
+		repl := p.eng.CopyNode(lkR, 1+max(hrl, hrr))
 		v := [llxscx.MaxV]llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkR}
 		fin := [llxscx.MaxV]*lbst.Node[K, V]{r}
-		if !llxscx.SCXFixed(&v, 3, &fin, 1, rfld, r, repl) {
+		if !p.eng.RebalanceSCX(g, &v, 3, &fin, 1, rfld, r, repl) {
+			p.eng.ReleaseFresh(repl)
 			return false
 		}
 		p.stats.HeightFixes.Add(1)
@@ -249,11 +263,13 @@ func (p *policy[K, V]) fixRight(lkU, lkN llxscx.Linked[lbst.Node[K, V]], fld *at
 	}
 	if hrr >= hrl {
 		// Single left rotation.
-		inner := lbst.NewInternal(n.K, 1+max(l.Deco, hrl), false, l, rl)
-		repl := lbst.NewInternal(r.K, 1+max(inner.Deco, hrr), false, inner, rr)
+		inner := p.eng.InternalNode(n.K, 1+max(l.Deco, hrl), false, l, rl)
+		repl := p.eng.InternalNode(r.K, 1+max(inner.Deco, hrr), false, inner, rr)
 		v := [llxscx.MaxV]llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkR}
 		fin := [llxscx.MaxV]*lbst.Node[K, V]{n, r}
-		if !llxscx.SCXFixed(&v, 3, &fin, 2, fld, n, repl) {
+		if !p.eng.RebalanceSCX(g, &v, 3, &fin, 2, fld, n, repl) {
+			p.eng.ReleaseFresh(inner)
+			p.eng.ReleaseFresh(repl)
 			return false
 		}
 		p.stats.SingleRotations.Add(1)
@@ -271,12 +287,15 @@ func (p *policy[K, V]) fixRight(lkU, lkN llxscx.Linked[lbst.Node[K, V]], fld *at
 	if rll == nil || rlr == nil {
 		return false
 	}
-	nl := lbst.NewInternal(n.K, 1+max(l.Deco, rll.Deco), false, l, rll)
-	nr := lbst.NewInternal(r.K, 1+max(rlr.Deco, hrr), false, rlr, rr)
-	repl := lbst.NewInternal(rl.K, 1+max(nl.Deco, nr.Deco), false, nl, nr)
+	nl := p.eng.InternalNode(n.K, 1+max(l.Deco, rll.Deco), false, l, rll)
+	nr := p.eng.InternalNode(r.K, 1+max(rlr.Deco, hrr), false, rlr, rr)
+	repl := p.eng.InternalNode(rl.K, 1+max(nl.Deco, nr.Deco), false, nl, nr)
 	v := [llxscx.MaxV]llxscx.Linked[lbst.Node[K, V]]{lkU, lkN, lkR, lkRL}
 	fin := [llxscx.MaxV]*lbst.Node[K, V]{n, r, rl}
-	if !llxscx.SCXFixed(&v, 4, &fin, 3, fld, n, repl) {
+	if !p.eng.RebalanceSCX(g, &v, 4, &fin, 3, fld, n, repl) {
+		p.eng.ReleaseFresh(nl)
+		p.eng.ReleaseFresh(nr)
+		p.eng.ReleaseFresh(repl)
 		return false
 	}
 	p.stats.DoubleRotations.Add(1)
@@ -299,6 +318,7 @@ func NewLess[K, V any](less func(a, b K) bool) *Tree[K, V] {
 	t := &Tree[K, V]{}
 	t.pol = &policy[K, V]{stats: &t.stats}
 	t.Tree = lbst.New(less, t.pol)
+	t.pol.eng = t.Tree
 	return t
 }
 
@@ -309,6 +329,7 @@ func NewOrdered[K cmp.Ordered, V any]() *Tree[K, V] {
 	t := &Tree[K, V]{}
 	t.pol = &policy[K, V]{stats: &t.stats}
 	t.Tree = lbst.NewOrdered[K, V](t.pol)
+	t.pol.eng = t.Tree
 	return t
 }
 
@@ -349,7 +370,7 @@ func (t *Tree[K, V]) RebalanceAll(maxSteps int) (int, error) {
 		if steps >= maxSteps {
 			return steps, fmt.Errorf("rebalancing did not converge after %d steps (violation at key %v)", steps, n.K)
 		}
-		if !t.pol.Rebalance(u, n) {
+		if !t.RebalanceStep(u, n) {
 			return steps, fmt.Errorf("rebalancing step failed at quiescence (key %v)", n.K)
 		}
 		steps++

@@ -125,6 +125,16 @@ func (c *Cell[V]) Store(v V) {
 	c.ptr.Store(&box)
 }
 
+// Reset clears the cell for reuse by a node pool: the boxed representation
+// drops its box so a recycled node does not pin the last value of a dead key
+// for the garbage collector. The caller must guarantee the cell is no longer
+// shared (the reclamation layer's grace period plus the cell-owner reference
+// count in the trees). The representation flag is left to the next Init.
+func (c *Cell[V]) Reset() {
+	c.word.Store(0)
+	c.ptr.Store(nil)
+}
+
 // Swap atomically publishes v and returns the value the cell held
 // immediately before: the atomic read-modify-write that makes an in-place
 // overwrite linearizable (the returned value is exactly the one displaced,
