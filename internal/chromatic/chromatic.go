@@ -42,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/epoch"
 	"repro/internal/llxscx"
+	"repro/internal/sched"
 	"repro/internal/vcell"
 )
 
@@ -705,6 +706,7 @@ func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 				return prevOld, true
 			}
 			old := l.val.Swap(value)
+			sched.Point(sched.PointVCellRecheck)
 			if !l.rec.Marked() {
 				t.stats.Insert2.Add(1)
 				epoch.Unpin(g)

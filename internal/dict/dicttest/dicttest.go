@@ -20,9 +20,12 @@
 package dicttest
 
 import (
+	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/dict"
 )
@@ -209,6 +212,32 @@ func lcg(state *uint64) uint64 {
 	return *state >> 11
 }
 
+// stressSeed returns the base seed a concurrent harness mixes into its
+// per-goroutine random streams: the value of the DICTTEST_SEED environment
+// variable if set (decimal, or hex with an 0x prefix), otherwise a
+// run-unique value derived from the wall clock. When the test fails, the
+// seed is logged so the failing run's operation streams can be replayed
+// exactly with DICTTEST_SEED=<seed>. (Replay reproduces the streams, not
+// the goroutine interleaving; for exhaustive interleaving control see
+// internal/sched.)
+func stressSeed(t *testing.T) uint64 {
+	t.Helper()
+	seed := uint64(time.Now().UnixNano())
+	if env := os.Getenv("DICTTEST_SEED"); env != "" {
+		v, err := strconv.ParseUint(env, 0, 64)
+		if err != nil {
+			t.Fatalf("invalid DICTTEST_SEED %q: %v", env, err)
+		}
+		seed = v
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("replay this run's operation streams with DICTTEST_SEED=%d", seed)
+		}
+	})
+	return seed
+}
+
 // SequentialConformanceKV runs a deterministic pseudo-random operation
 // sequence (including ordered queries when supported) against the model.
 // key and val derive the operation's key and value from the suite's random
@@ -272,6 +301,7 @@ func FuzzOps(t *testing.T, tgt Target, data []byte) {
 // must return disjoint key sets for distinct g.
 func ConcurrentStressKV[K comparable, V comparable](t *testing.T, tgt TargetOf[K, V], goroutines, opsPerG int, key func(g int, u uint64) K, val func(uint64) V) {
 	t.Helper()
+	seed := stressSeed(t)
 	d := tgt.New()
 	om, ordered := d.(dict.OrderedMap[K, V])
 	type final = map[K]V
@@ -281,7 +311,7 @@ func ConcurrentStressKV[K comparable, V comparable](t *testing.T, tgt TargetOf[K
 	for g := 0; g < goroutines; g++ {
 		go func(g int) {
 			defer func() { done <- g }()
-			state := uint64(g)*0x9e3779b97f4a7c15 + 1
+			state := seed + uint64(g)*0x9e3779b97f4a7c15 + 1
 			f := final{}
 			dead := map[K]bool{}
 			for i := 0; i < opsPerG; i++ {
@@ -520,6 +550,7 @@ func HotKeyStress(t *testing.T, tgt Target, writers, overwritesPerWriter int) {
 // must return a distinct value for every (writer, i) pair.
 func ChurnStressKV[K comparable, V comparable](t *testing.T, tgt TargetOf[K, V], writers, opsPerWriter, readers int, window []K, val func(writer, i int) V) {
 	t.Helper()
+	seed := stressSeed(t)
 	d := tgt.New()
 	om, ordered := d.(dict.OrderedMap[K, V])
 	rng, ranged := d.(dict.Ranger[K, V])
@@ -551,7 +582,7 @@ func ChurnStressKV[K comparable, V comparable](t *testing.T, tgt TargetOf[K, V],
 		writerWG.Add(1)
 		go func(w int) {
 			defer writerWG.Done()
-			state := uint64(w)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+			state := seed + uint64(w)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
 			for i := 0; i < opsPerWriter; i++ {
 				k := window[lcg(&state)%uint64(len(window))]
 				if lcg(&state)&1 == 0 {

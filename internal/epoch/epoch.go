@@ -40,6 +40,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"unsafe"
+
+	"repro/internal/sched"
 )
 
 const (
@@ -184,6 +186,7 @@ func Retire(g *Guard, obj any, free Func) {
 	if !Enabled {
 		return
 	}
+	sched.Point(sched.PointEpochRetire)
 	e := globalEpoch.Load()
 	b := &g.buckets[e%bucketEpochs]
 	if b.epoch != e {
@@ -228,9 +231,19 @@ func (g *Guard) drain(now uint64) {
 		// capacity. Clear it.
 		clear(items[len(cur.items):])
 	}
+	// An object retired at epoch E is eligible once now >= E+grace with
+	// grace = 2: one advance proves the retiring operation finished, the
+	// second proves every operation that was pinned concurrently with the
+	// retire finished too. The premature-free mutation (armed only under
+	// -tags sched by the reclamation self-test) shortens the grace period
+	// to 1 — the E+1 bug DESIGN.md's grace-period argument rules out.
+	grace := uint64(2)
+	if sched.PrematureFree() {
+		grace = 1
+	}
 	for k := 0; k < bucketEpochs; k++ {
 		b := &g.buckets[k]
-		if b == cur || len(b.items) == 0 || b.epoch+2 > now {
+		if b == cur || len(b.items) == 0 || b.epoch+grace > now {
 			continue
 		}
 		items := b.items
@@ -255,6 +268,7 @@ func (g *Guard) runFree(requeue *bucket, items []entry) {
 // tryAdvance advances the global epoch by one if every claimed slot has
 // observed the current epoch. It returns whether it advanced.
 func tryAdvance() bool {
+	sched.Point(sched.PointEpochAdvance)
 	g := globalEpoch.Load()
 	for i := range slots {
 		if s := slots[i].state.Load(); s != 0 && s != g {

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // free builds a Func that records how many times the object was freed.
@@ -160,6 +161,148 @@ func TestPendingTracksRetiredObjects(t *testing.T) {
 	if freed.Load() != n {
 		t.Fatalf("freed %d objects, want %d", freed.Load(), n)
 	}
+}
+
+// TestRefusedFreeKeepsRetireOrder retires a batch of objects whose
+// callbacks refuse their first attempt: re-queuing must preserve the retire
+// order, each object must wait out a fresh grace period per refusal, and
+// every object must be freed exactly once in the end.
+func TestRefusedFreeKeepsRetireOrder(t *testing.T) {
+	if !Enabled {
+		t.Skip("epoch reclamation disabled (noepoch build)")
+	}
+	Drain()
+
+	const n = 5
+	var mu sync.Mutex
+	var order []int
+	attempts := make([]int, n)
+	g := Pin()
+	for i := 0; i < n; i++ {
+		i := i
+		Retire(g, new(int), func(_ *Guard, _ any) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			attempts[i]++
+			if attempts[i] == 1 {
+				return false // refuse once, take a fresh grace period
+			}
+			order = append(order, i)
+			return true
+		})
+	}
+	Unpin(g)
+	for round := 0; Pending() != 0 && round < 10; round++ {
+		Drain()
+	}
+	if len(order) != n {
+		t.Fatalf("freed %d objects, want %d (attempts %v)", len(order), n, attempts)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("free order %v does not preserve retire order", order)
+		}
+	}
+	for i, a := range attempts {
+		if a != 2 {
+			t.Fatalf("object %d freed after %d attempts, want exactly 2", i, a)
+		}
+	}
+}
+
+// TestDiscardAllSkipsPinnedSlots: DiscardAll must drop the retire lists of
+// quiescent slots without running their callbacks, but leave a pinned
+// slot's list untouched — the pinned operation may still reach its retired
+// objects, and dropping them would also silently zero the slot's pending
+// accounting under it.
+func TestDiscardAllSkipsPinnedSlots(t *testing.T) {
+	if !Enabled {
+		t.Skip("epoch reclamation disabled (noepoch build)")
+	}
+	Drain()
+
+	// The reader pins first and stays pinned; its own retired object must
+	// survive DiscardAll.
+	var pinnedFreed, idleFreed atomic.Int64
+	reader := Pin()
+	Retire(reader, new(int), countingFree(&pinnedFreed))
+
+	// A second slot retires and unpins: quiescent, so DiscardAll drops its
+	// entries without freeing them. (The two Pins hold distinct slots
+	// because both are claimed simultaneously.)
+	idle := Pin()
+	Retire(idle, new(int), countingFree(&idleFreed))
+	Unpin(idle)
+
+	DiscardAll()
+	if idleFreed.Load() != 0 {
+		t.Fatal("DiscardAll ran a free callback (it must drop, not free)")
+	}
+	if pinnedFreed.Load() != 0 {
+		t.Fatal("DiscardAll freed an object retired by a still-pinned slot")
+	}
+	if got := Pending(); got != 1 {
+		t.Fatalf("Pending() = %d after DiscardAll with one pinned slot, want 1", got)
+	}
+
+	Unpin(reader)
+	Drain()
+	if pinnedFreed.Load() != 1 {
+		t.Fatalf("pinned slot's object freed %d times after unpin+drain, want 1", pinnedFreed.Load())
+	}
+	if got := Pending(); got != 0 {
+		t.Fatalf("Pending() = %d at quiescence, want 0", got)
+	}
+}
+
+// TestPinBlocksWhenSlotsExhausted claims every slot, verifies that one more
+// Pin spins rather than returning a bogus guard, and that it completes as
+// soon as a slot frees up. This is the documented behavior for workloads
+// with more goroutines than the 128 padded slots.
+func TestPinBlocksWhenSlotsExhausted(t *testing.T) {
+	if !Enabled {
+		t.Skip("epoch reclamation disabled (noepoch build)")
+	}
+	Drain()
+
+	guards := make([]*Guard, numSlots)
+	for i := range guards {
+		guards[i] = Pin()
+	}
+	seen := make(map[*Guard]bool, numSlots)
+	for _, g := range guards {
+		if seen[g] {
+			t.Fatal("Pin returned the same slot twice while both claims were live")
+		}
+		seen[g] = true
+	}
+
+	got := make(chan *Guard)
+	go func() { got <- Pin() }()
+	select {
+	case g := <-got:
+		t.Fatalf("Pin returned %p with every slot claimed", g)
+	case <-time.After(50 * time.Millisecond):
+		// Expected: the caller is spinning for a free slot.
+	}
+
+	Unpin(guards[numSlots/2])
+	var late *Guard
+	select {
+	case late = <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Pin did not complete after a slot was released")
+	}
+	if late != guards[numSlots/2] {
+		t.Fatalf("blocked Pin got %p, want the released slot %p", late, guards[numSlots/2])
+	}
+	Unpin(late)
+	for i, g := range guards {
+		if i != numSlots/2 {
+			Unpin(g)
+		}
+	}
+	Drain()
 }
 
 // TestConcurrentPinRetireUnpin hammers the slot array from many goroutines

@@ -48,6 +48,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/epoch"
 	"repro/internal/llxscx"
+	"repro/internal/sched"
 	"repro/internal/vcell"
 )
 
@@ -724,6 +725,7 @@ func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 			// In-place overwrite: atomic publish, then finalization re-check
 			// (see the protocol above).
 			old := l.val.Swap(value)
+			sched.Point(sched.PointVCellRecheck)
 			if !l.Marked() {
 				epoch.Unpin(g)
 				return old, true

@@ -35,7 +35,11 @@
 // re-derivation").
 package llxscx
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/sched"
+)
 
 // MaxMutable is the maximum number of mutable fields a Data-record may
 // expose to LLX. Binary trees use 2; k-ary structures may use up to this
@@ -191,6 +195,7 @@ func (l Linked[N]) Valid() bool { return l.rec != nil }
 // concurrent with an SCX involving r, or a zero Linked and Finalized if r has
 // been finalized.
 func LLX[P DataRecord[N], N any](r P) (Linked[N], Status) {
+	sched.Point(sched.PointLLX)
 	rec := r.LLXRecord()
 	rinfo := rec.info.Load()
 	state := stateAborted
@@ -350,6 +355,14 @@ func help[N any](d *descriptor[N]) bool {
 	pooled := d.pool != nil
 	for i := 0; i < d.nV; i++ {
 		rec := d.recs[i]
+		if sched.DropFreeze() && i == 0 {
+			// Seeded protocol mutation (armed only under -tags sched by the
+			// checker self-tests): skip the freezing CAS on the first record
+			// of V, exactly the bug the freeze-everything-before-committing
+			// step of the protocol exists to prevent.
+			continue
+		}
+		sched.Point(sched.PointSCXFreeze)
 		if pooled {
 			d.refs.Add(1)
 		}
@@ -377,10 +390,13 @@ func help[N any](d *descriptor[N]) bool {
 	}
 	// All records in V are frozen for d.
 	d.allFrozen.Store(true)
+	sched.Point(sched.PointSCXMark)
 	for i := 0; i < d.nMark; i++ {
 		d.toMark[i].marked.Store(true)
 	}
+	sched.Point(sched.PointSCXUpdate)
 	d.fld.CompareAndSwap(d.old, d.new)
+	sched.Point(sched.PointSCXCommit)
 	d.state.Store(stateCommitted)
 	return true
 }

@@ -1,0 +1,239 @@
+//go:build sched
+
+package sched
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultMaxSteps bounds the scheduling decisions of one run so a mutation
+// that destroys lock-freedom (operations retrying forever) surfaces as an
+// error instead of a hang.
+const defaultMaxSteps = 100000
+
+// A Controller runs a set of operations one at a time, deciding at every
+// instrumented point (Point) which operation runs next. A zero Controller
+// is not usable; Explore constructs controllers, one per schedule.
+//
+// The decision sequence is deterministic: at each step the runnable workers
+// form an ordered list (registration order, finished workers removed), and
+// the controller picks the index given by its replay prefix, defaulting to
+// 0 past the prefix's end. Recording the branching factor at each step lets
+// Explore enumerate all schedules depth-first.
+type Controller struct {
+	filter   func(PointID) bool
+	maxSteps int
+
+	prefix   []int // decisions to replay
+	taken    []int // decisions actually made this run
+	branches []int // runnable-worker count at each decision
+	trace    []string
+
+	workers   []*worker
+	events    chan event
+	abandoned atomic.Bool
+	ran       bool
+}
+
+type worker struct {
+	c      *Controller
+	name   string
+	resume chan struct{}
+}
+
+type event struct {
+	w        *worker
+	parked   bool // else finished
+	point    PointID
+	panicked any
+}
+
+// Go registers fn as a scheduled operation. The goroutine starts parked; it
+// does not run until Run schedules it. All Go calls must precede Run.
+func (c *Controller) Go(name string, fn func()) {
+	if c.ran {
+		panic("sched: Controller.Go after Run")
+	}
+	w := &worker{c: c, name: name, resume: make(chan struct{})}
+	c.workers = append(c.workers, w)
+	go func() {
+		<-w.resume
+		id := goid()
+		registry.Store(id, w)
+		defer registry.Delete(id)
+		var panicked any
+		func() {
+			defer func() { panicked = recover() }()
+			fn()
+		}()
+		c.events <- event{w: w, panicked: panicked}
+	}()
+}
+
+// park suspends the calling worker at point id until the controller
+// schedules it again. Called from Point.
+func (w *worker) park(id PointID) {
+	if w.c.abandoned.Load() {
+		return
+	}
+	w.c.events <- event{w: w, parked: true, point: id}
+	<-w.resume
+}
+
+// Run executes every registered operation to completion under the
+// controller's schedule and returns an error if a worker panicked or the
+// step bound was exceeded. It must be called exactly once, after all Go
+// calls.
+func (c *Controller) Run() error {
+	if c.ran {
+		panic("sched: Controller.Run called twice")
+	}
+	c.ran = true
+	c.events = make(chan event, len(c.workers))
+	active.Add(1)
+	defer active.Add(-1)
+
+	maxSteps := c.maxSteps
+	if maxSteps <= 0 {
+		maxSteps = defaultMaxSteps
+	}
+	runnable := slices.Clone(c.workers)
+	var err error
+	for len(runnable) > 0 {
+		if len(c.taken) >= maxSteps {
+			err = fmt.Errorf("sched: schedule exceeded %d steps (livelock under this interleaving?)", maxSteps)
+			c.abandon(runnable)
+			break
+		}
+		n := len(runnable)
+		choice := 0
+		if d := len(c.taken); d < len(c.prefix) {
+			choice = c.prefix[d]
+			if choice >= n {
+				// The run diverged from the recorded one (benign
+				// nondeterminism, e.g. sync.Pool); clamp and continue.
+				choice = n - 1
+			}
+		}
+		c.taken = append(c.taken, choice)
+		c.branches = append(c.branches, n)
+		w := runnable[choice]
+		w.resume <- struct{}{}
+		ev := <-c.events
+		if ev.parked {
+			c.trace = append(c.trace, fmt.Sprintf("%s parked at %s", ev.w.name, ev.point))
+			continue
+		}
+		c.trace = append(c.trace, fmt.Sprintf("%s finished", ev.w.name))
+		runnable = slices.Delete(runnable, choice, choice+1)
+		if ev.panicked != nil && err == nil {
+			err = fmt.Errorf("sched: worker %s panicked: %v", ev.w.name, ev.panicked)
+		}
+	}
+	return err
+}
+
+// abandon releases every still-parked worker and lets them run freely (and
+// concurrently) to completion: subsequent Points are pass-throughs. Used
+// when a run trips the step bound; determinism is already lost, the goal is
+// only not to leak blocked goroutines.
+func (c *Controller) abandon(runnable []*worker) {
+	c.abandoned.Store(true)
+	for _, w := range runnable {
+		w.resume <- struct{}{}
+	}
+	for left := len(runnable); left > 0; {
+		if ev := <-c.events; !ev.parked {
+			left--
+		}
+	}
+}
+
+// Schedule returns the decision sequence of the completed run.
+func (c *Controller) Schedule() []int { return slices.Clone(c.taken) }
+
+// Trace returns a human-readable step log of the completed run.
+func (c *Controller) Trace() []string { return slices.Clone(c.trace) }
+
+// Options configures Explore.
+type Options struct {
+	// Points restricts which instrumented steps become scheduling
+	// decisions; nil admits all of them. Restricting the set is the main
+	// lever for keeping an enumeration's schedule count tractable.
+	Points func(PointID) bool
+	// MaxSchedules bounds the number of schedules explored (0 = no bound).
+	MaxSchedules int
+	// MaxSteps bounds the decisions of a single run (0 = a large default).
+	MaxSteps int
+	// StopOnViolation stops the enumeration at the first violating
+	// schedule instead of collecting all of them.
+	StopOnViolation bool
+}
+
+// A Violation is one schedule under which the body reported an error.
+type Violation struct {
+	Schedule []int
+	Trace    []string
+	Err      error
+}
+
+// exploreMu serializes explorations process-wide: the registry, the active
+// counter and the fault knobs are global, so two concurrent enumerations
+// would corrupt each other's schedules.
+var exploreMu sync.Mutex
+
+// Explore enumerates schedules of the operation set constructed by body.
+// body is called once per schedule with a fresh Controller; it must
+// register its operations with Go, call Run, check whatever invariants it
+// cares about (typically by running the recorded history through
+// internal/linearize) and return nil or a violation error. Explore performs
+// a depth-first search over the scheduling decisions: the first run takes
+// the all-zeros schedule, and each next run replays the longest prefix that
+// still has an untried alternative. It returns the number of schedules run
+// and the violations found.
+//
+// body must construct a fresh instance of the data under test on every
+// call: schedules replay from scratch, not from snapshots.
+func Explore(opts Options, body func(c *Controller) error) (schedules int, violations []Violation) {
+	exploreMu.Lock()
+	defer exploreMu.Unlock()
+	var prefix []int
+	for {
+		c := &Controller{filter: opts.Points, maxSteps: opts.MaxSteps, prefix: prefix}
+		err := body(c)
+		schedules++
+		if err != nil {
+			violations = append(violations, Violation{
+				Schedule: c.Schedule(),
+				Trace:    c.Trace(),
+				Err:      err,
+			})
+			if opts.StopOnViolation {
+				return schedules, violations
+			}
+		}
+		if opts.MaxSchedules > 0 && schedules >= opts.MaxSchedules {
+			return schedules, violations
+		}
+		prefix = nextPrefix(c.taken, c.branches)
+		if prefix == nil {
+			return schedules, violations
+		}
+	}
+}
+
+// nextPrefix computes the depth-first successor of a completed run's
+// decision sequence: the longest prefix whose last decision still has an
+// untried alternative, with that decision incremented.
+func nextPrefix(taken, branches []int) []int {
+	for i := len(taken) - 1; i >= 0; i-- {
+		if taken[i]+1 < branches[i] {
+			out := slices.Clone(taken[:i])
+			return append(out, taken[i]+1)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+//go:build !sched
+
+package sched
+
+// Enabled reports whether the deterministic scheduler and fault knobs are
+// compiled in. In the default build everything in this file is a constant
+// or an empty function, so the instrumentation in the protocol layers folds
+// away entirely.
+const Enabled = false
+
+// Point is a potential preemption point. In the default build it is an
+// empty inlined function.
+func Point(PointID) {}
+
+// DropFreeze reports whether the dropped-freeze protocol mutation is armed.
+// Always false in the default build; the compiler removes the mutation
+// branches that test it.
+func DropFreeze() bool { return false }
+
+// PrematureFree reports whether the premature-epoch-free mutation is armed.
+// Always false in the default build.
+func PrematureFree() bool { return false }

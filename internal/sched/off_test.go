@@ -1,0 +1,23 @@
+//go:build !sched
+
+package sched
+
+import "testing"
+
+// TestDisabledBuildIsInert pins the default-build contract the protocol
+// layers rely on: points are no-ops and both fault knobs read false, so the
+// instrumentation folds away.
+func TestDisabledBuildIsInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled = true without the sched build tag")
+	}
+	for p := PointID(0); p < numPoints; p++ {
+		Point(p) // must not block or panic
+	}
+	if DropFreeze() {
+		t.Fatal("DropFreeze() = true in the default build")
+	}
+	if PrematureFree() {
+		t.Fatal("PrematureFree() = true in the default build")
+	}
+}

@@ -1,0 +1,88 @@
+//go:build sched
+
+package sched
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Enabled reports whether the deterministic scheduler and fault knobs are
+// compiled in.
+const Enabled = true
+
+// active counts controllers currently inside Run. It is the fast path of
+// Point: when no controller is running, a point is one atomic load.
+var active atomic.Int32
+
+// dropFreeze and prematureFree are the seeded protocol mutations used by
+// the checker self-tests. They are process-global: tests that arm them must
+// not run in parallel with other tests (Explore already serializes itself).
+var (
+	dropFreeze    atomic.Bool
+	prematureFree atomic.Bool
+)
+
+// SetDropFreeze arms or disarms the dropped-freeze mutation: while armed,
+// help() skips the freezing CAS on the first record of every SCX's V
+// sequence. The caller must disarm it (defer SetDropFreeze(false)) before
+// any other test runs.
+func SetDropFreeze(on bool) { dropFreeze.Store(on) }
+
+// DropFreeze reports whether the dropped-freeze mutation is armed.
+func DropFreeze() bool { return dropFreeze.Load() }
+
+// SetPrematureFree arms or disarms the premature-free mutation: while
+// armed, epoch reclamation frees objects after one epoch advance instead of
+// two (the E+1 bug the grace-period argument in DESIGN.md rules out).
+func SetPrematureFree(on bool) { prematureFree.Store(on) }
+
+// PrematureFree reports whether the premature-free mutation is armed.
+func PrematureFree() bool { return prematureFree.Load() }
+
+// registry maps goroutine ids of controller-managed workers to their
+// worker records. Goroutines not in the map (the test harness itself,
+// runtime goroutines, workers of a finished controller) pass through
+// Point untouched.
+var registry sync.Map // goid int64 -> *worker
+
+// goid returns the calling goroutine's id, parsed from the first line of
+// its stack trace ("goroutine 123 [running]:"). This is test-only
+// machinery behind the sched build tag; the few microseconds per call are
+// irrelevant next to the schedule enumeration around it.
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	s = bytes.TrimPrefix(s, []byte("goroutine "))
+	if i := bytes.IndexByte(s, ' '); i >= 0 {
+		s = s[:i]
+	}
+	id, err := strconv.ParseInt(string(s), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// Point is a potential preemption point. If the calling goroutine is a
+// worker of a running Controller and the controller's point filter admits
+// id, the goroutine parks here until the controller schedules it again.
+// Otherwise Point returns immediately.
+func Point(id PointID) {
+	if active.Load() == 0 {
+		return
+	}
+	v, ok := registry.Load(goid())
+	if !ok {
+		return
+	}
+	w := v.(*worker)
+	if w.c.filter != nil && !w.c.filter(id) {
+		return
+	}
+	w.park(id)
+}

@@ -1,0 +1,92 @@
+// Package sched provides deterministic schedule exploration and fault
+// injection for the LLX/SCX stack's concurrency tests.
+//
+// The protocol layers (internal/llxscx, internal/epoch, internal/vcell and
+// the trees' overwrite paths) call Point at the steps where interleaving
+// matters: before a freezing CAS, before marking, before the update CAS and
+// the commit store, before a vcell publish and its post-publish mark
+// re-check, and at epoch retire/advance boundaries. In the default build
+// these calls compile to empty inlined functions — the production binaries
+// and the ordinary test suites pay nothing for them. Building with
+//
+//	go test -tags sched
+//
+// turns each Point into a potential preemption: a test hands a set of
+// operations to a Controller, which runs exactly one of them at a time and
+// decides, at every reached point, which operation runs next. Explore then
+// enumerates every schedule of a bounded conflict window by depth-first
+// search over those decisions, replaying the operations from scratch for
+// each one. Because the structures under test are lock-free (a stalled SCX
+// is completed by whoever trips over it), running a single operation at a
+// time can never deadlock the system: helping substitutes for the parked
+// goroutine.
+//
+// The same build tag arms the fault knobs (SetDropFreeze, SetPrematureFree)
+// that the self-tests use to seed protocol mutations — skipping the first
+// freezing CAS of an SCX, or freeing epoch-retired memory one epoch early —
+// and prove that the linearizability checker and the reclamation tests
+// actually catch them. The tag mirrors the existing noepoch/reclaimcheck
+// convention (see internal/epoch).
+package sched
+
+// PointID identifies one instrumented protocol step. The constants below
+// are the complete set of yield/fault points compiled into the stack; a
+// Controller can restrict scheduling decisions to a subset via
+// Options.Points so the schedule space of an enumeration stays bounded.
+type PointID int
+
+const (
+	// PointLLX fires at the top of LLX, before the record's info/state/marked
+	// words are read.
+	PointLLX PointID = iota
+	// PointSCXFreeze fires in help() immediately before each freezing CAS.
+	PointSCXFreeze
+	// PointSCXMark fires in help() after all records are frozen, before the
+	// finalized records are marked.
+	PointSCXMark
+	// PointSCXUpdate fires in help() immediately before the update CAS on
+	// the mutable field.
+	PointSCXUpdate
+	// PointSCXCommit fires in help() immediately before the Committed state
+	// store.
+	PointSCXCommit
+	// PointVCellPublish fires at the top of vcell.(*Cell).Swap, before the
+	// value is published.
+	PointVCellPublish
+	// PointVCellRecheck fires in the trees' overwrite paths between the
+	// value publish and the Marked() re-check that decides whether the
+	// publish landed in the live tree.
+	PointVCellRecheck
+	// PointEpochRetire fires at the top of epoch.Retire.
+	PointEpochRetire
+	// PointEpochAdvance fires immediately before an epoch-advance attempt.
+	PointEpochAdvance
+
+	numPoints
+)
+
+// String returns the point's name for traces and failure reports.
+func (p PointID) String() string {
+	switch p {
+	case PointLLX:
+		return "llx"
+	case PointSCXFreeze:
+		return "scx-freeze"
+	case PointSCXMark:
+		return "scx-mark"
+	case PointSCXUpdate:
+		return "scx-update"
+	case PointSCXCommit:
+		return "scx-commit"
+	case PointVCellPublish:
+		return "vcell-publish"
+	case PointVCellRecheck:
+		return "vcell-recheck"
+	case PointEpochRetire:
+		return "epoch-retire"
+	case PointEpochAdvance:
+		return "epoch-advance"
+	default:
+		return "unknown"
+	}
+}

@@ -31,6 +31,8 @@ package vcell
 import (
 	"sync/atomic"
 	"unsafe"
+
+	"repro/internal/sched"
 )
 
 // Cell is an atomically publishable value slot. The zero Cell is not ready
@@ -140,6 +142,7 @@ func (c *Cell[V]) Reset() {
 // overwrite linearizable (the returned value is exactly the one displaced,
 // however many writers race). Allocation profile as Store.
 func (c *Cell[V]) Swap(v V) V {
+	sched.Point(sched.PointVCellPublish)
 	if c.unboxed {
 		return fromWord[V](c.word.Swap(toWord(v)))
 	}
