@@ -316,6 +316,69 @@ func TestOverwriteAllocBudget(t *testing.T) {
 	}
 }
 
+// snapshotAllocBudget is the committed allocs/op ceiling for Snapshot() on
+// the template trees: the capture is O(1) and allocation-lean regardless of
+// the dictionary's size - one allocation for the view handle; the epoch pin
+// comes from a fixed slot array and the version read is a single atomic
+// load. The budget of 2 leaves room for a pin-slot overflow fallback.
+const snapshotAllocBudget = 2.0
+
+// TestSnapshotAllocBudget fails if capturing and releasing a snapshot
+// allocates more than the committed budget on any snapshot-capable
+// structure, at two very different tree sizes - the point of the O(1)
+// capture is precisely that size must not matter.
+func TestSnapshotAllocBudget(t *testing.T) {
+	for _, name := range allocBenchStructures {
+		factory, ok := bench.Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		for _, size := range []int64{1 << 6, 1 << 15} {
+			d := factory.New()
+			for i := int64(0); i < size; i++ {
+				d.Insert(i, i)
+			}
+			sn, ok := d.(dict.IntSnapshotter)
+			if !ok {
+				t.Fatalf("%s does not implement dict.Snapshotter", name)
+			}
+			allocs := testing.AllocsPerRun(2000, func() {
+				s := sn.Snapshot()
+				s.Release()
+			})
+			if allocs > snapshotAllocBudget {
+				t.Errorf("%s Snapshot at %d keys allocates %.2f allocs/op, budget is %.1f", name, size, allocs, snapshotAllocBudget)
+			} else {
+				t.Logf("%s Snapshot at %d keys: %.2f allocs/op", name, size, allocs)
+			}
+		}
+	}
+}
+
+// BenchmarkSnapshotCapture reports ns/op and allocs/op for a capture/release
+// pair on a filled tree: the O(1) claim in wall-clock form.
+func BenchmarkSnapshotCapture(b *testing.B) {
+	for _, name := range allocBenchStructures {
+		factory, ok := bench.Lookup(name)
+		if !ok {
+			b.Fatalf("unknown structure %q", name)
+		}
+		b.Run(name, func(b *testing.B) {
+			d := factory.New()
+			for i := int64(0); i < allocKeyRange; i++ {
+				d.Insert(i, i)
+			}
+			sn := d.(dict.IntSnapshotter)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := sn.Snapshot()
+				s.Release()
+			}
+		})
+	}
+}
+
 // benchmarkAllocDelete measures steady-state deletion: the tree starts
 // full and oscillates between allocKeyRange and allocKeyRange/2 keys (the
 // deleted half is re-inserted with the timer stopped), so every timed

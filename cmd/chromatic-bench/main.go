@@ -6,9 +6,12 @@
 //
 //	figure8   throughput vs thread count for every data structure, for the
 //	          3 operation mixes x 3 key ranges of Figure 8 extended by a
-//	          scan-heavy mix (5i-5d-50s) and a zipfian (hot-key) variant of
-//	          every cell; narrow with -mixes/-dists (with -paper the grid is
-//	          exactly the paper's: its three mixes, uniform keys)
+//	          scan-heavy mix (5i-5d-50s), a zipfian (hot-key) variant of
+//	          every cell, and a snapshot-scan variant of every scanning cell
+//	          (each scan captures an O(1) versioned snapshot and walks the
+//	          frozen view retry-free); narrow with -mixes/-dists/-scanmode
+//	          (with -paper the grid is exactly the paper's: its three mixes,
+//	          uniform keys, live scans)
 //	figure9   single-threaded throughput relative to the sequential
 //	          red-black tree (Figure 9)
 //	ratios    the headline Chromatic6-vs-competitor speedups quoted in the
@@ -57,16 +60,22 @@ import (
 // jsonRow is one measurement in the machine-readable output produced by
 // -json: every timed trial cell any experiment runs, in the order it ran.
 // The schema is kept deliberately flat so successive BENCH_*.json snapshots
-// can be diffed and plotted across PRs. Dist is omitted for uniform keys, so
-// snapshots written before the key-distribution dimension existed compare
-// cell-for-cell with current uniform cells.
+// can be diffed and plotted across PRs. Dist is omitted for uniform keys and
+// ScanMode for live scans, so snapshots written before either dimension
+// existed compare cell-for-cell with current default cells. ScanP50Ns and
+// ScanP99Ns carry the per-scan-operation latency quantiles for cells whose
+// mix scans (0 and omitted otherwise); they are informational in -compare,
+// which gates on throughput only.
 type jsonRow struct {
 	Structure string  `json:"structure"`
 	Mix       string  `json:"mix"`
 	KeyRange  int64   `json:"keyrange"`
 	Threads   int     `json:"threads"`
 	Dist      string  `json:"dist,omitempty"`
+	ScanMode  string  `json:"scanmode,omitempty"`
 	Mops      float64 `json:"mops"`
+	ScanP50Ns int64   `json:"scan_p50_ns,omitempty"`
+	ScanP99Ns int64   `json:"scan_p99_ns,omitempty"`
 }
 
 // distName renders a workload.Dist for jsonRow: empty for uniform (see
@@ -76,6 +85,15 @@ func distName(d workload.Dist) string {
 		return ""
 	}
 	return d.String()
+}
+
+// scanModeName renders a workload.ScanMode for jsonRow: empty for live (see
+// above), the mode name otherwise.
+func scanModeName(m workload.ScanMode) string {
+	if m == workload.ScanLive {
+		return ""
+	}
+	return m.String()
 }
 
 func main() {
@@ -88,6 +106,7 @@ func main() {
 		mixes      = flag.String("mixes", "", "comma-separated operation mixes for figure8, e.g. 50i-50d,5i-5d-50s (default: the paper's three mixes plus the scan-heavy mix)")
 		dists      = flag.String("dists", "", "comma-separated key distributions for figure8: uniform,zipf (default: both)")
 		scanSpan   = flag.Int64("scanspan", workload.DefaultScanSpan, "key-window width of each range-scan operation")
+		scanModes  = flag.String("scanmode", "", "comma-separated scan modes for figure8: live,snapshot (default: both; snapshot cells run only for mixes that scan)")
 		structs    = flag.String("structures", "", "comma-separated structure names (default: all registered)")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		paper      = flag.Bool("paper", false, "use the paper's thread counts (1,32,64,96,128) and key ranges")
@@ -127,11 +146,13 @@ func main() {
 		Seed:     *seed,
 		// The command's figure8 grid defaults to the extended presets: the
 		// paper's mixes plus the scan-heavy mix, over uniform and zipfian
-		// keys. -mixes/-dists narrow it back down (the library default,
-		// used by the other experiments, stays the paper's uniform grid).
-		Mixes:    bench.Figure8Mixes(),
-		Dists:    bench.Figure8Dists(),
-		ScanSpan: *scanSpan,
+		// keys, with scanning cells measured in both scan modes.
+		// -mixes/-dists/-scanmode narrow it back down (the library default,
+		// used by the other experiments, stays the paper's uniform live grid).
+		Mixes:     bench.Figure8Mixes(),
+		Dists:     bench.Figure8Dists(),
+		ScanSpan:  *scanSpan,
+		ScanModes: []workload.ScanMode{workload.ScanLive, workload.ScanSnapshot},
 	}
 	var rows []jsonRow
 	if *jsonPath != "" {
@@ -142,7 +163,10 @@ func main() {
 				KeyRange:  r.Config.KeyRange,
 				Threads:   r.Config.Threads,
 				Dist:      distName(r.Config.Dist),
+				ScanMode:  scanModeName(r.Config.ScanMode),
 				Mops:      r.Mops(),
+				ScanP50Ns: r.ScanP50.Nanoseconds(),
+				ScanP99Ns: r.ScanP99.Nanoseconds(),
 			})
 		}
 	}
@@ -150,7 +174,8 @@ func main() {
 		opts.Threads = bench.PaperThreadCounts()
 		opts.KeyRanges = bench.PaperKeyRanges()
 		opts.Mixes = bench.PaperMixes()
-		opts.Dists = nil // uniform only, as in the paper
+		opts.Dists = nil     // uniform only, as in the paper
+		opts.ScanModes = nil // live only, as in the paper
 	}
 	if *threads != "" {
 		opts.Threads = parseInts(*threads)
@@ -163,6 +188,9 @@ func main() {
 	}
 	if *dists != "" {
 		opts.Dists = parseDists(*dists)
+	}
+	if *scanModes != "" {
+		opts.ScanModes = parseScanModes(*scanModes)
 	}
 	if *structs != "" {
 		opts.Structures = strings.Split(*structs, ",")
@@ -233,14 +261,15 @@ func main() {
 }
 
 // cellKey identifies one measured configuration across snapshots. Dist is
-// empty for uniform keys (matching rows written before the distribution
-// dimension existed).
+// empty for uniform keys and ScanMode for live scans (matching rows written
+// before either dimension existed).
 type cellKey struct {
 	Structure string
 	Mix       string
 	KeyRange  int64
 	Threads   int
 	Dist      string
+	ScanMode  string
 }
 
 // readSnapshot loads a -json snapshot and averages duplicate cells (an
@@ -263,7 +292,11 @@ func readSnapshot(path string) (map[cellKey]float64, []cellKey, error) {
 		if dist == "uniform" {
 			dist = "" // normalize: pre-dist snapshots wrote no dist field
 		}
-		k := cellKey{r.Structure, r.Mix, r.KeyRange, r.Threads, dist}
+		scanMode := r.ScanMode
+		if scanMode == "live" {
+			scanMode = "" // normalize: pre-scan-mode snapshots wrote no scanmode field
+		}
+		k := cellKey{r.Structure, r.Mix, r.KeyRange, r.Threads, dist, scanMode}
 		if counts[k] == 0 {
 			order = append(order, k)
 		}
@@ -290,13 +323,19 @@ func compareSnapshots(out *os.File, oldPath, newPath string, threshold float64) 
 	if err != nil {
 		return false, err
 	}
-	fmt.Fprintf(out, "%-12s %-10s %-8s %9s %8s %10s %10s %8s\n",
-		"structure", "mix", "dist", "keyrange", "threads", "old Mops", "new Mops", "delta")
+	fmt.Fprintf(out, "%-12s %-10s %-8s %-8s %9s %8s %10s %10s %8s\n",
+		"structure", "mix", "dist", "scans", "keyrange", "threads", "old Mops", "new Mops", "delta")
 	distCol := func(k cellKey) string {
 		if k.Dist == "" {
 			return "uniform"
 		}
 		return k.Dist
+	}
+	scanCol := func(k cellKey) string {
+		if k.ScanMode == "" {
+			return "live"
+		}
+		return k.ScanMode
 	}
 	var nRegressed, nCompared int
 	for _, k := range order {
@@ -306,8 +345,8 @@ func compareSnapshots(out *os.File, oldPath, newPath string, threshold float64) 
 		}
 		newMops, ok := newCells[k]
 		if !ok {
-			fmt.Fprintf(out, "%-12s %-10s %-8s %9d %8d %10.3f %10s %8s\n",
-				k.Structure, k.Mix, distCol(k), k.KeyRange, k.Threads, oldMops, "-", "gone")
+			fmt.Fprintf(out, "%-12s %-10s %-8s %-8s %9d %8d %10.3f %10s %8s\n",
+				k.Structure, k.Mix, distCol(k), scanCol(k), k.KeyRange, k.Threads, oldMops, "-", "gone")
 			continue
 		}
 		nCompared++
@@ -320,13 +359,13 @@ func compareSnapshots(out *os.File, oldPath, newPath string, threshold float64) 
 			flag = "  REGRESSION"
 			nRegressed++
 		}
-		fmt.Fprintf(out, "%-12s %-10s %-8s %9d %8d %10.3f %10.3f %+7.1f%%%s\n",
-			k.Structure, k.Mix, distCol(k), k.KeyRange, k.Threads, oldMops, newMops, delta*100, flag)
+		fmt.Fprintf(out, "%-12s %-10s %-8s %-8s %9d %8d %10.3f %10.3f %+7.1f%%%s\n",
+			k.Structure, k.Mix, distCol(k), scanCol(k), k.KeyRange, k.Threads, oldMops, newMops, delta*100, flag)
 	}
 	for _, k := range newOrder {
 		if _, ok := oldCells[k]; !ok {
-			fmt.Fprintf(out, "%-12s %-10s %-8s %9d %8d %10s %10.3f %8s\n",
-				k.Structure, k.Mix, distCol(k), k.KeyRange, k.Threads, "-", newCells[k], "new")
+			fmt.Fprintf(out, "%-12s %-10s %-8s %-8s %9d %8d %10s %10.3f %8s\n",
+				k.Structure, k.Mix, distCol(k), scanCol(k), k.KeyRange, k.Threads, "-", newCells[k], "new")
 		}
 	}
 	fmt.Fprintf(out, "\n%d cells compared, %d regressed beyond %.0f%%\n",
@@ -357,6 +396,19 @@ func parseMixes(s string) []workload.Mix {
 	var out []workload.Mix
 	for _, part := range strings.Split(s, ",") {
 		m, err := workload.ParseMix(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func parseScanModes(s string) []workload.ScanMode {
+	var out []workload.ScanMode
+	for _, part := range strings.Split(s, ",") {
+		m, err := workload.ParseScanMode(strings.TrimSpace(part))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)

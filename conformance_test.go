@@ -521,6 +521,83 @@ func TestRegistryAndFigure8StayInSync(t *testing.T) {
 	}
 }
 
+// TestSnapshotConformance runs the shared snapshot suite - frozen views that
+// never observe post-snapshot updates (including in-place overwrites),
+// consistent-cut checks under concurrent churn, and SnapshotDiff against the
+// model diff - over every structure in the registry. Structures without O(1)
+// snapshots (the baselines) are skipped by the suite itself, so this test
+// also documents exactly which structures are Snapshotters.
+func TestSnapshotConformance(t *testing.T) {
+	for _, tgt := range allConcurrentTargets(t) {
+		t.Run(tgt.Name, func(t *testing.T) {
+			dicttest.SnapshotSuite(t, tgt)
+		})
+	}
+}
+
+// TestStringKeyedSnapshotConformance runs the snapshot suite over the
+// string-keyed instantiations of the template trees: the frozen walk and the
+// structural diff must not assume integer keys. The key derivation is
+// injective (unlike stringKey) because the consistent-cut check needs
+// per-writer disjoint keys.
+func TestStringKeyedSnapshotConformance(t *testing.T) {
+	snapKey := func(u uint64) string { return fmt.Sprintf("s%06d", u%100000) }
+	for _, tgt := range allStringConcurrentTargets() {
+		t.Run(tgt.Name, func(t *testing.T) {
+			dicttest.SnapshotSuiteKV(t, tgt, snapKey, stringVal)
+		})
+	}
+}
+
+// TestSnapshotAdapterFallback pins the semantics of dict.AdaptSnapshot, the
+// weakly consistent fallback for structures without native snapshots: views
+// must report Consistent() == false and Version() == 0, delegate Get to the
+// live map, and produce ordered scans.
+func TestSnapshotAdapterFallback(t *testing.T) {
+	l := skiplist.NewOrdered[int64, int64]()
+	for i := int64(0); i < 100; i++ {
+		l.Insert(i*2, i)
+	}
+	sn := dict.AdaptSnapshot[int64, int64](l, func(a, b int64) bool { return a < b })
+	view := sn.Snapshot()
+	defer view.Release()
+	if view.Consistent() {
+		t.Fatal("adapter view claims to be consistent")
+	}
+	if view.Version() != 0 {
+		t.Fatalf("adapter view Version() = %d, want 0", view.Version())
+	}
+	if v, ok := view.Get(10); !ok || v != 5 {
+		t.Fatalf("adapter Get(10) = (%d,%v), want (5,true)", v, ok)
+	}
+	var keys []int64
+	n := view.Ascend(func(k, v int64) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if n != 100 || len(keys) != 100 {
+		t.Fatalf("adapter Ascend visited %d keys, want 100", n)
+	}
+	for i, k := range keys {
+		if k != int64(i*2) {
+			t.Fatalf("adapter Ascend[%d] = %d, want %d", i, k, i*2)
+		}
+	}
+	count := 0
+	view.RangeScan(10, 20, func(k, v int64) bool {
+		count++
+		return true
+	})
+	if count != 6 {
+		t.Fatalf("adapter RangeScan(10,20) visited %d keys, want 6", count)
+	}
+	// Adapter views are live: they see later updates (weak consistency).
+	l.Insert(1, 999)
+	if v, ok := view.Get(1); !ok || v != 999 {
+		t.Fatalf("adapter view missed a live update: (%d,%v)", v, ok)
+	}
+}
+
 // TestChromaticLoadOrStore pins the semantics of the insert-if-absent
 // primitive the generic stack added for shared per-key state (see
 // examples/wordindex): exactly one of the racing stores wins and every

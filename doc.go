@@ -52,10 +52,24 @@
 // TestOverwriteAllocBudget and TestReclaimNoLeak (alloc_bench_test.go) pin
 // the resulting allocation profile in CI.
 //
+// The LLX/SCX trees additionally serve O(1) versioned snapshots
+// (dict.Snapshotter): every committed SCX stamps the subtree root it
+// installs with a commit tick and links the displaced version, Snapshot
+// captures (entry, tick) in constant time behind a long-lived epoch pin,
+// and the returned frozen view answers Get/RangeScan/Ascend by rewinding
+// newer nodes through their version chains - no validation, no retries, no
+// CASes on the read path. SnapshotDiff enumerates the changes between two
+// captures, skipping unchanged subtrees by pointer equality. The capture
+// protocol (stamp-before-install bracketing, read-version-then-drain) is
+// exhaustively schedule-enumerated under -tags sched and argued in
+// DESIGN.md ("Versioned snapshots").
+//
 // The workload generator covers the paper's uniform operation mixes plus a
-// zipfian (hot-key) key distribution and a range-scan mix share; the
-// Figure-8 grid and cmd/chromatic-bench sweep all of them (-mixes, -dists,
-// -scanspan).
+// zipfian (hot-key) key distribution, a range-scan mix share and a
+// scan-mode dimension (live validate-and-retry scans versus per-scan
+// frozen snapshots); the Figure-8 grid and cmd/chromatic-bench sweep all
+// of them (-mixes, -dists, -scanspan, -scanmode), with per-scan p50/p99
+// latency quantiles reported for scanning cells.
 //
 // The root package only hosts the repository-level benchmarks
 // (bench_test.go, alloc_bench_test.go) and the cross-implementation

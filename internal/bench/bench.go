@@ -9,6 +9,7 @@ package bench
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sort"
 	"strings"
@@ -34,6 +35,9 @@ type Config struct {
 	// ScanSpan is the key-window width of the mix's scan operations;
 	// 0 means workload.DefaultScanSpan.
 	ScanSpan int64
+	// ScanMode routes the mix's scan operations: against the live structure
+	// (default) or each through a freshly captured snapshot view.
+	ScanMode workload.ScanMode
 	// Trials is the number of timed trials to run (each on a fresh,
 	// re-prefilled structure); the mean is reported. Defaults to 1.
 	Trials int
@@ -50,6 +54,14 @@ type Result struct {
 	Elapsed    time.Duration // total per-worker measured time (mean window per trial, summed over trials)
 	Throughput float64       // operations per second (mean across trials)
 	PrefillLen int           // dictionary size after prefilling
+	// ScanP50 and ScanP99 are per-scan-operation latency quantiles across
+	// all trials, measured only when the mix carries a scan share (zero
+	// otherwise). Throughput alone hides what the scan modes trade: a
+	// snapshot scan pays a fixed capture up front for a validation-free
+	// walk, which shows up as a tighter tail (p99) long before it moves the
+	// mean.
+	ScanP50 time.Duration
+	ScanP99 time.Duration
 }
 
 // Mops returns the throughput in millions of operations per second, the unit
@@ -70,22 +82,79 @@ func Run(cfg Config) Result {
 	var total Result
 	total.Config = cfg
 	var sumThroughput float64
+	var scans latencyHist
 	for trial := 0; trial < cfg.Trials; trial++ {
-		ops, elapsed, throughput, prefilled := runTrial(cfg, int64(trial))
+		ops, elapsed, throughput, prefilled, h := runTrial(cfg, int64(trial))
 		total.Ops += ops
 		total.Elapsed += elapsed
 		total.PrefillLen = prefilled
 		sumThroughput += throughput
+		scans.merge(h)
 	}
 	total.Throughput = sumThroughput / float64(cfg.Trials)
+	total.ScanP50 = scans.quantile(0.50)
+	total.ScanP99 = scans.quantile(0.99)
 	return total
 }
 
+// latencyHist is a log-bucketed latency histogram: bucket i counts
+// observations whose nanosecond duration has bit length i, i.e. durations in
+// [2^(i-1), 2^i). Recording is one increment with no allocation and no
+// locking (each worker owns a histogram and they are merged after the
+// trial), which is what lets the harness time every scan operation without
+// perturbing the measurement it is taking.
+type latencyHist [65]uint64
+
+// observe records one duration.
+func (h *latencyHist) observe(d time.Duration) {
+	h[bits.Len64(uint64(d))]++
+}
+
+// merge adds o's counts into h.
+func (h *latencyHist) merge(o *latencyHist) {
+	for i, c := range o {
+		h[i] += c
+	}
+}
+
+// quantile returns the latency at quantile q (0 < q < 1) as the geometric
+// midpoint of the bucket holding that rank, or 0 when the histogram is
+// empty. Log buckets bound the relative error at sqrt(2); plenty for the
+// "which mode has the shorter tail" question the harness asks.
+func (h *latencyHist) quantile(q float64) time.Duration {
+	var total uint64
+	for _, c := range h {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total-1))
+	var seen uint64
+	for i, c := range h {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			lo := uint64(1) << (i - 1)
+			return time.Duration(lo + lo/2)
+		}
+	}
+	return 0
+}
+
 // workerResult is one worker's contribution to a trial: how many operations
-// it completed and over which wall-clock window it completed them.
+// it completed, over which wall-clock window it completed them, and the
+// latencies of its scan operations (populated only when the mix has a scan
+// share).
 type workerResult struct {
 	ops     int64
 	elapsed time.Duration
+	scans   latencyHist
 }
 
 // runTrial runs one timed trial and returns the operation count, the mean
@@ -99,7 +168,7 @@ type workerResult struct {
 // is skewed low (the more workers, the worse). With per-worker windows the
 // trial throughput is the sum of each worker's own rate, which is exact no
 // matter how the tails straggle.
-func runTrial(cfg Config, trial int64) (int64, time.Duration, float64, int) {
+func runTrial(cfg Config, trial int64) (int64, time.Duration, float64, int, *latencyHist) {
 	d := cfg.Factory.New()
 	prefilled := 0
 	if !cfg.SkipPrefill {
@@ -119,6 +188,12 @@ func runTrial(cfg Config, trial int64) (int64, time.Duration, float64, int) {
 				cfg.Seed^(trial*1_000_003)^int64(worker)*2_654_435_761)
 			gen.SetScanSpan(cfg.ScanSpan)
 			span := gen.ScanSpan()
+			a := workload.NewApplier(d, cfg.ScanMode)
+			timeScans := cfg.Mix.ScanPct > 0
+			// scans stays on the worker's own stack during the hot loop and is
+			// copied out once at stop, so recording a latency never touches the
+			// shared results slice.
+			var scans latencyHist
 			ready.Done()
 			<-start
 			begin := time.Now()
@@ -126,7 +201,7 @@ func runTrial(cfg Config, trial int64) (int64, time.Duration, float64, int) {
 			for {
 				select {
 				case <-stop:
-					results[worker] = workerResult{ops: local, elapsed: time.Since(begin)}
+					results[worker] = workerResult{ops: local, elapsed: time.Since(begin), scans: scans}
 					return
 				default:
 				}
@@ -134,7 +209,13 @@ func runTrial(cfg Config, trial int64) (int64, time.Duration, float64, int) {
 				// measurement overhead negligible.
 				for i := 0; i < 64; i++ {
 					op, key := gen.Next()
-					workload.Apply(d, op, key, span)
+					if timeScans && op == workload.OpScan {
+						t0 := time.Now()
+						a.Apply(op, key, span)
+						scans.observe(time.Since(t0))
+						continue
+					}
+					a.Apply(op, key, span)
 				}
 				local += 64
 			}
@@ -167,21 +248,25 @@ func runTrial(cfg Config, trial int64) (int64, time.Duration, float64, int) {
 	var ops int64
 	var sumElapsed time.Duration
 	var throughput float64
-	for _, r := range results {
+	var scans latencyHist
+	for i := range results {
+		r := &results[i]
 		ops += r.ops
 		sumElapsed += r.elapsed
 		throughput += float64(r.ops) / r.elapsed.Seconds()
+		scans.merge(&r.scans)
 	}
-	return ops, sumElapsed / time.Duration(cfg.Threads), throughput, prefilled
+	return ops, sumElapsed / time.Duration(cfg.Threads), throughput, prefilled, &scans
 }
 
-// Cell identifies one cell of the Figure 8 grid. Dist extends the paper's
-// (mix, key range) plane with the key-distribution dimension; the zero value
-// (uniform) reproduces the paper's cells.
+// Cell identifies one cell of the Figure 8 grid. Dist and ScanMode extend
+// the paper's (mix, key range) plane with the key-distribution and scan-mode
+// dimensions; the zero values (uniform, live) reproduce the paper's cells.
 type Cell struct {
 	Mix      workload.Mix
 	KeyRange int64
 	Dist     workload.Dist
+	ScanMode workload.ScanMode
 }
 
 // Table accumulates results for one (mix, key range) cell of Figure 8:
@@ -216,8 +301,15 @@ func (t *Table) Add(structure string, threads int, mops float64) {
 // thread count, one column per data structure, cells in Mops/s.
 func (t *Table) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "workload %s, %s keys, key range [0,%d)  (millions of operations per second)\n",
-		t.Cell.Mix, t.Cell.Dist, t.Cell.KeyRange)
+	// The scan mode is named only when it is not the default, so the live
+	// grid's headers stay byte-identical to what they were before the
+	// dimension existed.
+	scanMode := ""
+	if t.Cell.ScanMode != workload.ScanLive {
+		scanMode = fmt.Sprintf(", %s scans", t.Cell.ScanMode)
+	}
+	fmt.Fprintf(&b, "workload %s, %s keys%s, key range [0,%d)  (millions of operations per second)\n",
+		t.Cell.Mix, t.Cell.Dist, scanMode, t.Cell.KeyRange)
 	fmt.Fprintf(&b, "%8s", "threads")
 	for _, s := range t.Structures {
 		fmt.Fprintf(&b, " %12s", s)

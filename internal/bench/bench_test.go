@@ -192,6 +192,122 @@ func TestFigure8SkewAndScanCells(t *testing.T) {
 	}
 }
 
+// TestLatencyHistQuantiles pins the log-bucket histogram arithmetic the
+// scan-latency columns rest on.
+func TestLatencyHistQuantiles(t *testing.T) {
+	var h latencyHist
+	if h.quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile not zero")
+	}
+	// 90 observations near 1us, 10 near 1ms: the median lands in the 1us
+	// bucket, the p99 in the 1ms bucket.
+	for i := 0; i < 90; i++ {
+		h.observe(1 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(1 * time.Millisecond)
+	}
+	p50, p99 := h.quantile(0.50), h.quantile(0.99)
+	if p50 < 512*time.Nanosecond || p50 > 2*time.Microsecond {
+		t.Fatalf("p50 = %v, want within the 1us bucket", p50)
+	}
+	if p99 < 512*time.Microsecond || p99 > 2*time.Millisecond {
+		t.Fatalf("p99 = %v, want within the 1ms bucket", p99)
+	}
+	var other latencyHist
+	other.observe(1 * time.Millisecond)
+	h.merge(&other)
+	var n uint64
+	for _, c := range h {
+		n += c
+	}
+	if n != 101 {
+		t.Fatalf("merged count = %d, want 101", n)
+	}
+}
+
+// TestRunMeasuresScanLatency checks that a scanning mix yields per-scan
+// latency quantiles in both scan modes and that a scan-free mix yields none.
+func TestRunMeasuresScanLatency(t *testing.T) {
+	factory, _ := Lookup("Chromatic")
+	for _, mode := range []workload.ScanMode{workload.ScanLive, workload.ScanSnapshot} {
+		res := Run(Config{
+			Factory:  factory,
+			Mix:      workload.Mix5i5d50s,
+			KeyRange: 1024,
+			Threads:  2,
+			Duration: 50 * time.Millisecond,
+			ScanMode: mode,
+			Seed:     1,
+		})
+		if res.ScanP50 <= 0 || res.ScanP99 <= 0 {
+			t.Fatalf("%s: scan quantiles (%v, %v) not positive", mode, res.ScanP50, res.ScanP99)
+		}
+		if res.ScanP99 < res.ScanP50 {
+			t.Fatalf("%s: p99 %v below p50 %v", mode, res.ScanP99, res.ScanP50)
+		}
+	}
+	res := Run(Config{
+		Factory:  factory,
+		Mix:      workload.Mix50i50d,
+		KeyRange: 1024,
+		Threads:  1,
+		Duration: 20 * time.Millisecond,
+		Seed:     1,
+	})
+	if res.ScanP50 != 0 || res.ScanP99 != 0 {
+		t.Fatalf("scan-free mix reported scan quantiles (%v, %v)", res.ScanP50, res.ScanP99)
+	}
+}
+
+// TestFigure8ScanModeCells checks the scan-mode dimension of the grid: the
+// snapshot sweep covers exactly the mixes that scan, its tables are labelled,
+// and the live tables' headers are unchanged.
+func TestFigure8ScanModeCells(t *testing.T) {
+	var sb strings.Builder
+	opts := Options{
+		Duration:   25 * time.Millisecond,
+		KeyRanges:  []int64{256},
+		Mixes:      []workload.Mix{workload.Mix50i50d, workload.Mix5i5d50s},
+		ScanModes:  []workload.ScanMode{workload.ScanLive, workload.ScanSnapshot},
+		Structures: []string{"Chromatic", "EBST"},
+		Threads:    []int{2},
+	}
+	var observed []Result
+	opts.Observe = func(r Result) { observed = append(observed, r) }
+	tables := Figure8(&sb, opts)
+	if len(tables) != 3 { // live: both mixes; snapshot: only the scanning mix
+		t.Fatalf("Figure8 returned %d tables, want 3", len(tables))
+	}
+	modes := map[workload.ScanMode]int{}
+	for _, table := range tables {
+		modes[table.Cell.ScanMode]++
+		if table.Cell.ScanMode == workload.ScanSnapshot && table.Cell.Mix.ScanPct == 0 {
+			t.Fatalf("snapshot sweep measured the scan-free mix %s", table.Cell.Mix)
+		}
+		for _, s := range opts.Structures {
+			if v, ok := table.Mops[s][2]; !ok || v <= 0 {
+				t.Fatalf("cell %s/%s/%s missing or zero", table.Cell.Mix, table.Cell.ScanMode, s)
+			}
+		}
+	}
+	if modes[workload.ScanLive] != 2 || modes[workload.ScanSnapshot] != 1 {
+		t.Fatalf("scan-mode coverage = %v, want 2 live + 1 snapshot tables", modes)
+	}
+	for _, r := range observed {
+		if r.Config.Mix.ScanPct > 0 && (r.ScanP50 <= 0 || r.ScanP99 <= 0) {
+			t.Fatalf("scanning cell %s/%s has no scan latency quantiles", r.Config.Mix, r.Config.ScanMode)
+		}
+	}
+	out := sb.String()
+	if !strings.Contains(out, "snapshot scans") {
+		t.Errorf("snapshot table header missing the scan-mode label:\n%s", out)
+	}
+	if strings.Contains(out, "live scans") {
+		t.Errorf("live table headers must stay byte-identical to the pre-scan-mode format:\n%s", out)
+	}
+}
+
 func TestHeightExperimentReportsBalancedTree(t *testing.T) {
 	rep := HeightExperiment(io.Discard, 4096, 4, 200*time.Millisecond)
 	if rep.Keys == 0 {

@@ -36,6 +36,12 @@ type Options struct {
 	// ScanSpan is the key-window width of scan operations; 0 means
 	// workload.DefaultScanSpan.
 	ScanSpan int64
+	// ScanModes are the scan modes to sweep in the Figure-8 grid; defaults
+	// to live only (the paper's evaluation). The snapshot mode is measured
+	// only for mixes that actually scan — a snapshot-mode sweep over a
+	// scan-free mix would duplicate the live cells exactly, so those cells
+	// are skipped rather than re-measured.
+	ScanModes []workload.ScanMode
 	// Structures to include (names from Registry); defaults to all.
 	Structures []string
 	// Seed for deterministic workloads.
@@ -73,6 +79,9 @@ func (o Options) withDefaults() Options {
 	if len(o.Dists) == 0 {
 		o.Dists = []workload.Dist{workload.DistUniform}
 	}
+	if len(o.ScanModes) == 0 {
+		o.ScanModes = []workload.ScanMode{workload.ScanLive}
+	}
 	if len(o.Structures) == 0 {
 		o.Structures = Figure8Structures()
 	}
@@ -90,33 +99,41 @@ func (o Options) withDefaults() Options {
 func Figure8(w io.Writer, opts Options) []*Table {
 	opts = opts.withDefaults()
 	var tables []*Table
-	for _, dist := range opts.Dists {
-		for _, mix := range opts.Mixes {
-			for _, keyRange := range opts.KeyRanges {
-				table := NewTable(Cell{Mix: mix, KeyRange: keyRange, Dist: dist}, opts.Threads, opts.Structures)
-				for _, name := range opts.Structures {
-					factory, ok := Lookup(name)
-					if !ok {
-						continue
-					}
-					for _, threads := range opts.Threads {
-						res := Run(Config{
-							Factory:  factory,
-							Mix:      mix,
-							KeyRange: keyRange,
-							Threads:  threads,
-							Duration: opts.Duration,
-							Dist:     dist,
-							ScanSpan: opts.ScanSpan,
-							Trials:   opts.Trials,
-							Seed:     opts.Seed,
-						})
-						opts.observe(res)
-						table.Add(name, threads, res.Mops())
-					}
+	for _, scanMode := range opts.ScanModes {
+		for _, dist := range opts.Dists {
+			for _, mix := range opts.Mixes {
+				if scanMode == workload.ScanSnapshot && mix.ScanPct == 0 {
+					// Without scans the mode never dispatches, so these
+					// cells would be byte-for-byte repeats of the live grid.
+					continue
 				}
-				fmt.Fprintln(w, table.String())
-				tables = append(tables, table)
+				for _, keyRange := range opts.KeyRanges {
+					table := NewTable(Cell{Mix: mix, KeyRange: keyRange, Dist: dist, ScanMode: scanMode}, opts.Threads, opts.Structures)
+					for _, name := range opts.Structures {
+						factory, ok := Lookup(name)
+						if !ok {
+							continue
+						}
+						for _, threads := range opts.Threads {
+							res := Run(Config{
+								Factory:  factory,
+								Mix:      mix,
+								KeyRange: keyRange,
+								Threads:  threads,
+								Duration: opts.Duration,
+								Dist:     dist,
+								ScanSpan: opts.ScanSpan,
+								ScanMode: scanMode,
+								Trials:   opts.Trials,
+								Seed:     opts.Seed,
+							})
+							opts.observe(res)
+							table.Add(name, threads, res.Mops())
+						}
+					}
+					fmt.Fprintln(w, table.String())
+					tables = append(tables, table)
+				}
 			}
 		}
 	}

@@ -83,7 +83,26 @@ type node[K, V any] struct {
 	// period, which establishes a happens-before edge to every earlier
 	// reader) and read only under -tags reclaimcheck.
 	gen uint64
+
+	// snapVer and prev are the versioned-snapshot bookkeeping, maintained by
+	// the descriptor pool's commit hook exactly as on lbst.Node: snapVer is
+	// the commit tick stamped (from pending) immediately before the update
+	// CAS that installs the node, prev the value the installing field held
+	// before. See internal/lbst/snapshot.go and DESIGN.md ("Versioned
+	// snapshots").
+	snapVer atomic.Uint64
+	prev    atomic.Pointer[node[K, V]]
 }
+
+// verPending marks a node whose installing update has not been stamped with
+// a commit tick; it compares greater than every capture version.
+const verPending = ^uint64(0)
+
+// SnapVer implements lbst.VersionedView.
+func (n *node[K, V]) SnapVer() uint64 { return n.snapVer.Load() }
+
+// SnapPrev implements lbst.VersionedView.
+func (n *node[K, V]) SnapPrev() *node[K, V] { return n.prev.Load() }
 
 // LLXRecord implements llxscx.DataRecord.
 func (n *node[K, V]) LLXRecord() *llxscx.Record[node[K, V]] { return &n.rec }
@@ -229,8 +248,19 @@ type Tree[K, V any] struct {
 	// construction so retireNode never allocates a closure.
 	freeNodeFn epoch.Func
 
+	// gver, snapLive, fastWriters and the root forest mirror the
+	// versioned-snapshot state of lbst.Tree; see internal/lbst/snapshot.go.
+	gver        atomic.Uint64
+	snapLive    atomic.Int64
+	fastWriters atomic.Int64
+	roots       [rootHistory]atomic.Pointer[node[K, V]]
+	rootsIdx    atomic.Uint64
+
 	stats Stats
 }
+
+// rootHistory bounds the retained root forest, as in internal/lbst.
+const rootHistory = 8
 
 // config collects the option-controlled settings, so one Option type serves
 // every key/value instantiation of Tree.
@@ -271,6 +301,25 @@ func NewLess[K, V any](less func(a, b K) bool, opts ...Option) *Tree[K, V] {
 		t.freeNode(obj.(*node[K, V]))
 		return true
 	}
+	// Commit hook of the versioned-snapshot layer: stamp the installed
+	// subtree root and its prev link before the update CAS publishes it, and
+	// publish top-level roots into the bounded forest. Idempotent, as every
+	// helper invokes it; see internal/lbst for the full argument.
+	t.descPool.OnCommit = func(fld *atomic.Pointer[node[K, V]], old, new *node[K, V]) {
+		// Stamp→install bracket, closed by OnInstalled after the update CAS;
+		// Snapshot reads the version counter and then drains fastWriters.
+		// See the lbst commit hook for the full ordering argument.
+		t.fastWriters.Add(1)
+		if new.snapVer.Load() == verPending {
+			new.prev.Store(old)
+			sched.Point(sched.PointVerStamp)
+			new.snapVer.CompareAndSwap(verPending, t.gver.Add(1))
+		}
+		if fld == &t.entry.left {
+			t.roots[t.rootsIdx.Add(1)%rootHistory].Store(new)
+		}
+	}
+	t.descPool.OnInstalled = func() { t.fastWriters.Add(-1) }
 	return t
 }
 
@@ -365,6 +414,7 @@ func (t *Tree[K, V]) leafNode(k K, v V, w int32) *node[K, V] {
 	n.val = &n.cell
 	n.owner = n
 	n.crefs.Store(1)
+	n.snapVer.Store(verPending)
 	return n
 }
 
@@ -380,6 +430,7 @@ func (t *Tree[K, V]) internalNode(k K, w int32, inf bool, left, right *node[K, V
 	n.inf = inf
 	n.left.Store(left)
 	n.right.Store(right)
+	n.snapVer.Store(verPending)
 	return n
 }
 
@@ -403,6 +454,7 @@ func (t *Tree[K, V]) copyNode(lk llxscx.Linked[node[K, V]], w int32) *node[K, V]
 		n.owner = own
 		own.crefs.Add(1)
 	}
+	n.snapVer.Store(verPending)
 	return n
 }
 
@@ -484,6 +536,8 @@ func (t *Tree[K, V]) recycle(n *node[K, V]) {
 	n.val = nil
 	n.owner = nil
 	n.crefs.Store(0)
+	n.snapVer.Store(0)
+	n.prev.Store(nil)
 	n.cell.Reset()
 	var zeroK K
 	n.k = zeroK
@@ -705,14 +759,42 @@ func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 				epoch.Unpin(g)
 				return prevOld, true
 			}
-			old := l.val.Swap(value)
-			sched.Point(sched.PointVCellRecheck)
-			if !l.rec.Marked() {
-				t.stats.Insert2.Add(1)
-				epoch.Unpin(g)
-				return old, true
+			if epoch.Enabled {
+				// While a snapshot handle is live the in-place publish would
+				// mutate a value the snapshot captured, so the overwrite
+				// degrades to a leaf-replacement SCX; fastWriters brackets the
+				// publish so a concurrent capture can drain in-flight writers.
+				// See Snapshot and internal/lbst/snapshot.go.
+				t.fastWriters.Add(1)
+				if t.snapLive.Load() != 0 {
+					t.fastWriters.Add(-1)
+					if old, done := t.tryReplace(g, key, value, p, l); done {
+						t.stats.Insert2.Add(1)
+						epoch.Unpin(g)
+						return old, true
+					}
+				} else {
+					old := l.val.Swap(value)
+					sched.Point(sched.PointVCellRecheck)
+					marked := l.rec.Marked()
+					t.fastWriters.Add(-1)
+					if !marked {
+						t.stats.Insert2.Add(1)
+						epoch.Unpin(g)
+						return old, true
+					}
+					prevCell, prevOld = l.val, old
+				}
+			} else {
+				old := l.val.Swap(value)
+				sched.Point(sched.PointVCellRecheck)
+				if !l.rec.Marked() {
+					t.stats.Insert2.Add(1)
+					epoch.Unpin(g)
+					return old, true
+				}
+				prevCell, prevOld = l.val, old
 			}
-			prevCell, prevOld = l.val, old
 			fails++
 			core.BackoffWait(fails)
 			continue
@@ -856,6 +938,42 @@ func (t *Tree[K, V]) tryInsert(g *epoch.Guard, p, l *node[K, V], key K, value V)
 	t.stats.Insert1.Add(1)
 	res.createdViolation = repl.w == 0 && p.w == 0
 	return res, true
+}
+
+// tryReplace is one attempt of the snapshot-safe overwrite of a present key:
+// it replaces the leaf with a fresh leaf of the same weight owning a fresh
+// cell, via an insertion-shaped pooled SCX that finalizes the old leaf, so
+// live snapshots keep reading the old leaf's frozen cell through the
+// replacement's prev link. Weighted path lengths are unchanged, so no
+// violation can be created. The displaced value is read from the old leaf's
+// cell after the SCX commits, as in tryDelete.
+func (t *Tree[K, V]) tryReplace(g *epoch.Guard, key K, value V, p, l *node[K, V]) (V, bool) {
+	var zero V
+	lkP, st := llxscx.LLX(p)
+	if st != llxscx.Snapshot {
+		return zero, false
+	}
+	var fld *atomic.Pointer[node[K, V]]
+	switch {
+	case lkP.Child(0) == l:
+		fld = &p.left
+	case lkP.Child(1) == l:
+		fld = &p.right
+	default:
+		return zero, false
+	}
+	lkL, st := llxscx.LLX(l)
+	if st != llxscx.Snapshot {
+		return zero, false
+	}
+	repl := t.leafNode(key, value, l.w)
+	v := [llxscx.MaxV]llxscx.Linked[node[K, V]]{lkP, lkL}
+	r := [llxscx.MaxV]*node[K, V]{l}
+	if !t.scx(g, &v, 2, &r, 1, fld, l, repl) {
+		t.releaseFresh(repl)
+		return zero, false
+	}
+	return l.val.Load(), true
 }
 
 // tryDelete performs one attempt of the deletion update at leaf l with

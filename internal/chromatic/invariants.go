@@ -3,12 +3,17 @@ package chromatic
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/epoch"
 )
 
 // This file provides structural inspection utilities used by tests, the
 // height-bound experiment and the benchmark harness. They traverse the tree
 // with plain reads and are only meaningful when no updates are in progress
-// (quiescence); they are not part of the concurrent public API.
+// (quiescence); they are not part of the concurrent public API. The one
+// exception is CountViolations, which the height-bound experiment samples
+// while updaters are running and which therefore pins the epoch layer for
+// the duration of its walk.
 
 // Size returns the number of keys currently stored. It runs in linear time
 // and should only be used at quiescence.
@@ -40,8 +45,17 @@ func (t *Tree[K, V]) Height() int {
 }
 
 // CountViolations returns the number of red-red and overweight violations
-// currently present in the tree. Quiescence only.
+// currently present in the tree. Unlike the other inspectors it may be
+// called while updates are running (the Section 5.3 height-bound experiment
+// samples it mid-run): the walk pins an epoch slot so nodes retired by
+// concurrent updates park instead of being recycled under it, and the
+// fields it reads (weight, leaf flag, child pointers) are immutable after a
+// node publishes. The count itself is still only exact at quiescence — a
+// mid-run sample is a snapshot of a moving target, which is precisely what
+// the experiment wants.
 func (t *Tree[K, V]) CountViolations() int {
+	g := epoch.Pin()
+	defer epoch.Unpin(g)
 	root := t.chromaticRoot()
 	if root == nil {
 		return 0

@@ -1,6 +1,7 @@
 package chromatic
 
 import (
+	"repro/internal/dict"
 	"repro/internal/epoch"
 	"repro/internal/lbst"
 )
@@ -57,6 +58,29 @@ func (t *Tree[K, V]) Ascend(fn func(k K, v V) bool) int {
 	n := lbst.Ascend(t.entry, t.less, fn)
 	epoch.Unpin(g)
 	return n
+}
+
+// Snapshot captures the tree's current state in O(1) and returns its frozen
+// view: scans over the view walk the captured version with plain reads —
+// no VLX validation, no retries — and stay unchanged under arbitrary
+// concurrent updates until Release. Holding a view parks reclamation of the
+// nodes it can reach and disables this tree's in-place overwrite fast path;
+// release views promptly. See internal/lbst/snapshot.go and DESIGN.md
+// ("Versioned snapshots") for the protocol and its safety argument.
+func (t *Tree[K, V]) Snapshot() dict.SnapshotView[K, V] {
+	return lbst.CaptureSnap[*node[K, V], node[K, V], K, V](t.entry, t.less, &t.gver, &t.snapLive, &t.fastWriters)
+}
+
+// Versions returns the commit ticks of the top-level subtree roots currently
+// retained in the tree's bounded root forest, unordered. Observability only.
+func (t *Tree[K, V]) Versions() []uint64 {
+	var out []uint64
+	for i := range t.roots {
+		if n := t.roots[i].Load(); n != nil {
+			out = append(out, n.snapVer.Load())
+		}
+	}
+	return out
 }
 
 // Min returns the smallest key in the dictionary and its value, or ok=false

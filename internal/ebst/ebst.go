@@ -12,13 +12,14 @@
 // height can be linear in the number of keys; the benchmark harness uses it
 // as the "unbalanced non-blocking" reference point.
 //
-// Degenerate spines are observable, not fatal: the engine counts every
-// search that walks past a fixed spine cap and folds the walk's final depth
-// into a running maximum, which doubles as a one-shot height probe of the
-// offending spine. Callers that feed the tree pathological (for example
-// sequential) insertion orders can detect it through Tree.SpineStats and
-// switch to a balanced policy; the operations themselves never fail or slow
-// down beyond the walk they were already paying for.
+// Degenerate spines are observable and self-correcting: the engine counts
+// every search that walks past a fixed spine cap and folds the walk's final
+// depth into a running maximum (Tree.SpineStats), and each such probe
+// triggers one throttled mitigation pass (mitigate.go) that compresses the
+// offending path segment by segment with ordinary template updates. The
+// operations themselves never fail; pathological (for example sequential)
+// insertion orders converge toward locally balanced paths instead of
+// degrading to linear ones.
 //
 // The tree is generic over the key and value types: NewOrdered builds a tree
 // over any cmp.Ordered key type, NewLess accepts an arbitrary comparator

@@ -6,6 +6,9 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/epoch"
+	"repro/internal/lbst"
 )
 
 func TestEmpty(t *testing.T) {
@@ -192,19 +195,18 @@ func TestConcurrentContention(t *testing.T) {
 
 // TestSpineDiagnosticFiresOnSequentialFill checks the degenerate-spine
 // diagnostic the engine provides for unbalanced instantiations: a sequential
-// insertion order degrades the EBST to a linear spine, so searches past the
-// spine cap must be counted and the recorded maximum depth must reflect the
-// spine's height - observable through SpineStats without any operation
-// failing. A random insertion order of the same size must not trip the
-// diagnostic at all.
+// insertion order keeps driving probes past the spine cap, so deep searches
+// must be counted - observable through SpineStats without any operation
+// failing. Since the policy now mitigates on every deep probe, the recorded
+// maximum depth must stay far below the linear height the fill would
+// otherwise build. A random insertion order of the same size must not trip
+// the diagnostic at all.
 func TestSpineDiagnosticFiresOnSequentialFill(t *testing.T) {
 	const n = 1024 // far past the 128-node spine cap
 	tr := New()
 	for i := int64(0); i < n; i++ {
 		tr.Insert(i, i)
 	}
-	// The fill itself walks ever-deeper spines; a Get for the deepest key
-	// makes the final probe deterministic.
 	if _, ok := tr.Get(n - 1); !ok {
 		t.Fatal("deepest key missing after sequential fill")
 	}
@@ -212,8 +214,8 @@ func TestSpineDiagnosticFiresOnSequentialFill(t *testing.T) {
 	if deep == 0 {
 		t.Fatal("sequential fill of 1024 keys tripped no deep-spine searches")
 	}
-	if maxDepth < n/2 {
-		t.Fatalf("max recorded spine depth %d does not reflect a %d-key spine", maxDepth, n)
+	if maxDepth >= n/2 {
+		t.Fatalf("max recorded depth %d: mitigation left the %d-key spine linear", maxDepth, n)
 	}
 	t.Logf("sequential fill: %d deep searches, max depth %d", deep, maxDepth)
 
@@ -223,5 +225,119 @@ func TestSpineDiagnosticFiresOnSequentialFill(t *testing.T) {
 	}
 	if deep, _ := rnd.SpineStats(); deep != 0 {
 		t.Fatalf("random fill of %d keys tripped %d deep-spine searches", n, deep)
+	}
+}
+
+// rawPolicy is the no-op policy without the SpineMitigator extension: a tree
+// instantiated with it keeps whatever degenerate spine the insertion order
+// builds. It serves as the "before" side of the mitigation test.
+type rawPolicy[K, V any] struct{}
+
+func (rawPolicy[K, V]) Name() string                                   { return "EBST-raw" }
+func (rawPolicy[K, V]) InternalDeco() int64                            { return 0 }
+func (rawPolicy[K, V]) CreatesViolation(_, _, _ *lbst.Node[K, V]) bool { return false }
+func (rawPolicy[K, V]) Violation(*lbst.Node[K, V]) bool                { return false }
+func (rawPolicy[K, V]) Rebalance(_ *epoch.Guard, _, _ *lbst.Node[K, V]) bool {
+	return false
+}
+
+// TestSpineMitigationCompressesSequentialFill is the before/after SpineStats
+// check for the segment-compression mitigation: the same sequential fill is
+// run once without the mitigator (linear spine, the "before" baseline) and
+// once with it (the shipped policy), and the mitigated tree must end up with
+// a height and recorded probe depth far below the baseline while holding
+// exactly the same contents.
+func TestSpineMitigationCompressesSequentialFill(t *testing.T) {
+	const n = 2048
+
+	raw := lbst.NewOrdered[int64, int64](rawPolicy[int64, int64]{})
+	for i := int64(0); i < n; i++ {
+		raw.Insert(i, i)
+	}
+	raw.Get(n - 1)
+	_, rawMax := raw.SpineStats()
+	rawH := raw.Height()
+	if rawH < n/2 {
+		t.Fatalf("unmitigated baseline height %d is not a linear spine", rawH)
+	}
+
+	tr := New()
+	for i := int64(0); i < n; i++ {
+		tr.Insert(i, i)
+	}
+	// Deep probes trigger throttled mitigation passes; spread them across the
+	// key space so every residual deep path gets compressed.
+	for round := 0; round < 64; round++ {
+		for k := int64(0); k < n; k += 97 {
+			tr.Get(k)
+		}
+	}
+	deep, maxDepth := tr.SpineStats()
+	if deep == 0 {
+		t.Fatal("mitigated fill tripped no deep-spine searches (mitigation never ran)")
+	}
+	h := tr.Height()
+	if h*4 > rawH {
+		t.Fatalf("mitigated height %d not clearly below unmitigated %d", h, rawH)
+	}
+	if maxDepth >= rawMax {
+		t.Fatalf("mitigated max probe depth %d did not improve on baseline %d", maxDepth, rawMax)
+	}
+	t.Logf("height %d -> %d, max probe depth %d -> %d, %d deep searches",
+		rawH, h, rawMax, maxDepth, deep)
+
+	if got := tr.Size(); got != n {
+		t.Fatalf("Size = %d after mitigation, want %d", got, n)
+	}
+	keys := tr.Keys()
+	for i := range keys {
+		if keys[i] != int64(i) {
+			t.Fatalf("Keys()[%d] = %d after mitigation, want %d", i, keys[i], i)
+		}
+	}
+	if err := tr.CheckStructure(); err != nil {
+		t.Fatalf("structure check after mitigation: %v", err)
+	}
+}
+
+// TestSpineMitigationUnderConcurrentChurn runs the mitigation concurrently
+// with updates over an initially degenerate key range: compressions are
+// ordinary template updates, so nothing may be lost or duplicated.
+func TestSpineMitigationUnderConcurrentChurn(t *testing.T) {
+	const n = 1024
+	tr := New()
+	for i := int64(0); i < n; i++ {
+		tr.Insert(i*2, i*2) // even keys, sequential: deep spine + gaps to churn
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 4000; i++ {
+				k := rng.Int63n(n) * 2
+				switch rng.Intn(3) {
+				case 0:
+					tr.Insert(k+1, k+1) // odd keys come and go
+				case 1:
+					tr.Delete(k + 1)
+				default:
+					if v, ok := tr.Get(k); !ok || v != k {
+						t.Errorf("Get(%d) = %d,%v during churn", k, v, ok)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := int64(0); i < n; i++ {
+		if v, ok := tr.Get(i * 2); !ok || v != i*2 {
+			t.Fatalf("even key %d lost or corrupted after churn: %d,%v", i*2, v, ok)
+		}
+	}
+	if err := tr.CheckStructure(); err != nil {
+		t.Fatalf("structure check after churn: %v", err)
 	}
 }

@@ -220,16 +220,26 @@ func (g *Guard) drain(now uint64) {
 	// be re-stamped into it without being freed prematurely.
 	cur := &g.buckets[now%bucketEpochs]
 	if cur.epoch != now {
+		oldEpoch := cur.epoch
 		items := cur.items
 		cur.items = items[:0]
 		cur.epoch = now
-		g.runFree(cur, items)
-		// Refusals were re-appended over the front of the same backing
-		// array (they never outnumber what was read, so no reallocation);
-		// the tail beyond them still holds references to freed objects,
-		// which would keep them reachable through the bucket's spare
-		// capacity. Clear it.
-		clear(items[len(cur.items):])
+		if snapCount.Load() != 0 && snapHeld(oldEpoch) {
+			// A live snapshot pinned at or below the bucket's epoch may still
+			// reach these objects: defer them behind the pin instead of
+			// freeing (see snap.go).
+			park(oldEpoch, items)
+			g.pending.Add(int64(-len(items)))
+			clear(items)
+		} else {
+			g.runFree(cur, items)
+			// Refusals were re-appended over the front of the same backing
+			// array (they never outnumber what was read, so no reallocation);
+			// the tail beyond them still holds references to freed objects,
+			// which would keep them reachable through the bucket's spare
+			// capacity. Clear it.
+			clear(items[len(cur.items):])
+		}
 	}
 	// An object retired at epoch E is eligible once now >= E+grace with
 	// grace = 2: one advance proves the retiring operation finished, the
@@ -248,6 +258,12 @@ func (g *Guard) drain(now uint64) {
 		}
 		items := b.items
 		b.items = items[:0]
+		if snapCount.Load() != 0 && snapHeld(b.epoch) {
+			park(b.epoch, items)
+			g.pending.Add(int64(-len(items)))
+			clear(items)
+			continue
+		}
 		g.runFree(cur, items)
 		clear(items) // refusals went to cur, the whole array is stale
 	}
@@ -308,6 +324,7 @@ func DiscardAll() {
 		g.pending.Store(0)
 		g.state.Store(0)
 	}
+	discardParked()
 }
 
 // Pending returns the total number of retired objects whose grace period
@@ -318,7 +335,7 @@ func Pending() int64 {
 	for i := range slots {
 		n += slots[i].pending.Load()
 	}
-	return n
+	return n + parkedCount.Load()
 }
 
 // Drain advances the epoch and frees everything eligible, repeatedly, and
@@ -345,6 +362,7 @@ func Drain() int64 {
 			g.drain(globalEpoch.Load())
 			g.state.Store(0)
 		}
+		unparkEligible()
 	}
 	return Pending()
 }

@@ -110,7 +110,40 @@ type Node[K, V any] struct {
 	// every earlier reader) and only read under -tags reclaimcheck by the
 	// poisoning assertions.
 	gen uint64
+
+	// snapVer is the node's commit tick for the versioned-snapshot layer:
+	// verPending from construction until the node is installed into a
+	// mutable field by a committed SCX, at which point the tree's commit
+	// hook stamps it (CAS, exactly once) with the tree's version counter —
+	// BEFORE the update CAS, so a node readable out of a field is always
+	// already stamped. Fresh interior nodes of an update that are not the
+	// CASed-in subtree root stay verPending forever; the resolution rule
+	// accepts them through their stamped ancestor (see snapshot.go and the
+	// "Versioned snapshots" section of DESIGN.md).
+	snapVer atomic.Uint64
+	// prev is the value the field this node was CASed into held immediately
+	// before — the previous version of this position. Written by the commit
+	// hook together with the version stamp, before the update CAS (every
+	// helper stores the same descriptor-recorded value, so the atomic is only
+	// needed to keep the duplicate stores race-clean). Followed only by
+	// snapshot resolution walks, whose epoch pin keeps the chain's retired
+	// nodes from being recycled. nil for nodes that were never an update's
+	// subtree root. Not maintained under -tags noepoch (the commit hook does
+	// not run there, which also keeps the chain from leaking through the
+	// garbage collector).
+	prev atomic.Pointer[Node[K, V]]
 }
+
+// verPending marks a node whose installing update has not been stamped with
+// a commit tick. It compares greater than every capture version.
+const verPending = ^uint64(0)
+
+// SnapVer implements VersionedView: the node's commit tick.
+func (n *Node[K, V]) SnapVer() uint64 { return n.snapVer.Load() }
+
+// SnapPrev implements VersionedView: the previous version of this node's
+// position, or nil.
+func (n *Node[K, V]) SnapPrev() *Node[K, V] { return n.prev.Load() }
 
 // LLXRecord implements llxscx.DataRecord.
 func (n *Node[K, V]) LLXRecord() *llxscx.Record[Node[K, V]] { return &n.rec }
@@ -303,7 +336,38 @@ type Tree[K, V any] struct {
 	// diagnostic for unbalanced instantiations (see SpineStats).
 	spineDeep atomic.Int64
 	spineMax  atomic.Int64
+
+	// mitigating serializes degenerate-spine mitigation passes so a burst of
+	// deep probes does not stampede the same spine (see mitigateSpine).
+	mitigating atomic.Bool
+
+	// gver is the tree's commit tick counter for versioned snapshots: the
+	// commit hook stamps every CASed-in subtree root with gver+1 immediately
+	// before the update CAS, and Snapshot captures gver as its version.
+	gver atomic.Uint64
+	// snapLive counts this tree's live snapshot handles. While nonzero,
+	// Insert's in-place overwrite fast path is disabled so captured leaves
+	// stay frozen (values included); see Insert and Snapshot.
+	snapLive atomic.Int64
+	// fastWriters counts in-flight publish windows of both kinds: the
+	// in-place overwrite fast path brackets its value Swap, and the commit
+	// hooks bracket the stamp→install window of every SCX (version tick
+	// assigned, update CAS not yet through). Snapshot reads gver and THEN
+	// drains this counter, which closes both races: a fast-path Swap cannot
+	// land after the capture's first read, and a node stamped at or below
+	// the captured version cannot still be waiting to be installed.
+	fastWriters atomic.Int64
+	// roots is the bounded multi-root forest: the commit hook publishes every
+	// newly installed top-level subtree root here with one atomic store,
+	// overwriting the oldest slot. Observability only — snapshot resolution
+	// walks from the entry sentinel — see Versions.
+	roots    [rootHistory]atomic.Pointer[Node[K, V]]
+	rootsIdx atomic.Uint64
 }
+
+// rootHistory bounds the root forest: only the most recent rootHistory
+// top-level roots are retained for Versions introspection.
+const rootHistory = 8
 
 // New returns an empty tree whose keys are ordered by less and whose balance
 // is governed by pol. The entry structure mirrors the chromatic tree's
@@ -324,6 +388,32 @@ func New[K, V any](less func(a, b K) bool, pol Policy[K, V]) *Tree[K, V] {
 		t.freeNode(obj.(*Node[K, V]))
 		return true
 	}
+	// The commit hook stamps the freshly installed subtree root with the next
+	// tick BEFORE the update CAS publishes it (see llxscx.Pool.OnCommit): a
+	// node readable out of a mutable field is therefore always stamped, which
+	// is what makes ticks monotone along structural dependencies and a
+	// captured gver a consistent cut (DESIGN.md, "Versioned snapshots").
+	// Every helper calls the hook, so the stamp CAS makes it idempotent; the
+	// ring store is last-helper-wins, which is harmless for observability.
+	t.descPool.OnCommit = func(fld *atomic.Pointer[Node[K, V]], old, new *Node[K, V]) {
+		// Open the stamp→install bracket BEFORE the tick can be assigned;
+		// OnInstalled closes it after the update CAS. Snapshot reads gver and
+		// then drains fastWriters, so every node stamped at or below the
+		// captured version is installed before the capture's first read —
+		// without the bracket a node could carry a covered tick yet surface
+		// mid-capture, un-freezing the view (caught by the sched enumeration
+		// in sched_snapshot_test.go).
+		t.fastWriters.Add(1)
+		if new.snapVer.Load() == verPending {
+			new.prev.Store(old)
+			sched.Point(sched.PointVerStamp)
+			new.snapVer.CompareAndSwap(verPending, t.gver.Add(1))
+		}
+		if fld == &t.entry.left {
+			t.roots[t.rootsIdx.Add(1)%rootHistory].Store(new)
+		}
+	}
+	t.descPool.OnInstalled = func() { t.fastWriters.Add(-1) }
 	return t
 }
 
@@ -385,6 +475,7 @@ func (t *Tree[K, V]) LeafNode(k K, v V) *Node[K, V] {
 	n.val = &n.cell
 	n.owner = n
 	n.crefs.Store(1)
+	n.snapVer.Store(verPending)
 	return n
 }
 
@@ -400,6 +491,7 @@ func (t *Tree[K, V]) InternalNode(k K, deco int64, inf bool, left, right *Node[K
 	n.Inf = inf
 	n.left.Store(left)
 	n.right.Store(right)
+	n.snapVer.Store(verPending)
 	return n
 }
 
@@ -423,6 +515,7 @@ func (t *Tree[K, V]) CopyNode(lk llxscx.Linked[Node[K, V]], deco int64) *Node[K,
 		n.owner = own
 		own.crefs.Add(1)
 	}
+	n.snapVer.Store(verPending)
 	return n
 }
 
@@ -495,6 +588,8 @@ func (t *Tree[K, V]) recycle(n *Node[K, V]) {
 	n.val = nil
 	n.owner = nil
 	n.crefs.Store(0)
+	n.snapVer.Store(0)
+	n.prev.Store(nil)
 	n.cell.Reset()
 	var zeroK K
 	n.K = zeroK
@@ -553,6 +648,31 @@ func (t *Tree[K, V]) SpineStats() (deepSearches, maxDepth int64) {
 	return t.spineDeep.Load(), t.spineMax.Load()
 }
 
+// SpineMitigator is optionally implemented by policies that can repair a
+// degenerate spine when a search reports one (via the SpineStats threshold):
+// MitigateSpine is invoked — throttled to one pass at a time per tree — with
+// the key whose search walked at least spineCap nodes. The policy performs a
+// bounded number of localized template updates (each LLXs + one SCX through
+// the tree's pooled reclamation) and returns; it must not call the tree's
+// own search routine, which would re-trigger mitigation. See internal/ebst
+// for the segment-compression implementation.
+type SpineMitigator[K, V any] interface {
+	MitigateSpine(t *Tree[K, V], key K)
+}
+
+// mitigateSpine runs one policy mitigation pass for a degenerate search,
+// dropping the request if the policy has no mitigator or a pass is already
+// running (deep probes arrive in bursts; one pass at a time is enough to
+// make progress and keeps the stampede cost off the read path).
+func (t *Tree[K, V]) mitigateSpine(key K) {
+	m, ok := t.pol.(SpineMitigator[K, V])
+	if !ok || !t.mitigating.CompareAndSwap(false, true) {
+		return
+	}
+	m.MitigateSpine(t, key)
+	t.mitigating.Store(false)
+}
+
 // keyLess reports whether key is strictly smaller than n's key, treating
 // sentinels as +infinity.
 func (t *Tree[K, V]) keyLess(key K, n *Node[K, V]) bool { return n.Inf || t.less(key, n.K) }
@@ -585,6 +705,7 @@ func searchLess[K, V any](t *Tree[K, V], key K) (gp, p, l *Node[K, V]) {
 	}
 	if depth >= spineCap {
 		t.noteDeepSpine(depth)
+		t.mitigateSpine(key)
 	}
 	return gp, p, l
 }
@@ -607,6 +728,7 @@ func searchOrdered[K cmp.Ordered, V any](t *Tree[K, V], key K) (gp, p, l *Node[K
 	}
 	if depth >= spineCap {
 		t.noteDeepSpine(depth)
+		t.mitigateSpine(key)
 	}
 	return gp, p, l
 }
@@ -632,6 +754,7 @@ func searchString[V any](t *Tree[string, V], key string) (gp, p, l *Node[string,
 	}
 	if depth >= spineCap {
 		t.noteDeepSpine(depth)
+		t.mitigateSpine(key)
 	}
 	return gp, p, l
 }
@@ -722,15 +845,42 @@ func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 				epoch.Unpin(g)
 				return prevOld, true
 			}
-			// In-place overwrite: atomic publish, then finalization re-check
-			// (see the protocol above).
-			old := l.val.Swap(value)
-			sched.Point(sched.PointVCellRecheck)
-			if !l.Marked() {
-				epoch.Unpin(g)
-				return old, true
+			if epoch.Enabled {
+				// While a snapshot handle is live the in-place publish would
+				// mutate a value the snapshot captured, so the overwrite
+				// degrades to a leaf-replacement SCX (tryReplace) that leaves
+				// the captured leaf frozen. fastWriters brackets the publish
+				// so a concurrent capture can drain in-flight fast-path
+				// writers before it reads the version counter (see Snapshot).
+				t.fastWriters.Add(1)
+				if t.snapLive.Load() != 0 {
+					t.fastWriters.Add(-1)
+					if old, done := t.tryReplace(g, key, value, p, l); done {
+						epoch.Unpin(g)
+						return old, true
+					}
+				} else {
+					old := l.val.Swap(value)
+					sched.Point(sched.PointVCellRecheck)
+					marked := l.Marked()
+					t.fastWriters.Add(-1)
+					if !marked {
+						epoch.Unpin(g)
+						return old, true
+					}
+					prevCell, prevOld = l.val, old
+				}
+			} else {
+				// In-place overwrite: atomic publish, then finalization
+				// re-check (see the protocol above).
+				old := l.val.Swap(value)
+				sched.Point(sched.PointVCellRecheck)
+				if !l.Marked() {
+					epoch.Unpin(g)
+					return old, true
+				}
+				prevCell, prevOld = l.val, old
 			}
-			prevCell, prevOld = l.val, old
 		} else if t.tryInsert(g, key, value, p, l) {
 			epoch.Unpin(g)
 			var zero V
@@ -787,6 +937,41 @@ func (t *Tree[K, V]) tryInsert(g *epoch.Guard, key K, value V, p, l *Node[K, V])
 		t.cleanup(g, key)
 	}
 	return true
+}
+
+// tryReplace is one attempt of the snapshot-safe overwrite of a present key:
+// instead of publishing into the (possibly captured) leaf's cell in place, it
+// replaces the leaf with a fresh leaf owning a fresh cell, via an
+// insertion-shaped pooled SCX that finalizes the old leaf. Live snapshots
+// resolve past the replacement through its prev link and keep reading the
+// frozen old cell. The displaced value is read from the old leaf's cell after
+// the SCX commits, mirroring the deletion template's argument: the read
+// happens after the leaf was finalized, so an in-place overwrite that
+// linearized before this replacement is visible in the returned value.
+func (t *Tree[K, V]) tryReplace(g *epoch.Guard, key K, value V, p, l *Node[K, V]) (V, bool) {
+	var zero V
+	lkP, st := llxscx.LLX(p)
+	if st != llxscx.Snapshot {
+		return zero, false
+	}
+	fld := FieldOf(lkP, l)
+	if fld == nil {
+		return zero, false
+	}
+	lkL, st := llxscx.LLX(l)
+	if st != llxscx.Snapshot {
+		return zero, false
+	}
+	repl := t.LeafNode(key, value)
+	v := [llxscx.MaxV]llxscx.Linked[Node[K, V]]{lkP, lkL}
+	fin := [llxscx.MaxV]*Node[K, V]{l}
+	if !llxscx.SCXP(g, t.descPool, &v, 2, &fin, 1, fld, l, repl) {
+		t.ReleaseFresh(repl)
+		return zero, false
+	}
+	old := l.val.Load()
+	t.RetireNode(g, l)
+	return old, true
 }
 
 // Delete removes key, returning its value and true if it was present. The

@@ -394,8 +394,24 @@ func help[N any](d *descriptor[N]) bool {
 	for i := 0; i < d.nMark; i++ {
 		d.toMark[i].marked.Store(true)
 	}
+	if pooled && d.pool.OnCommit != nil {
+		// Ordered before the update CAS: new is stamped by the hook before it
+		// can ever be read out of a mutable field, so any later update whose
+		// evidence (or search path) depends on this one necessarily stamps
+		// after it. This is what makes the version ticks of the snapshot
+		// layer monotone along structural dependencies, and what makes
+		// "visible through a field" imply "already counted by the version
+		// counter" (DESIGN.md, "Versioned snapshots").
+		d.pool.OnCommit(d.fld, d.old, d.new)
+	}
 	sched.Point(sched.PointSCXUpdate)
 	d.fld.CompareAndSwap(d.old, d.new)
+	if pooled && d.pool.OnCommit != nil && d.pool.OnInstalled != nil {
+		// Paired with the OnCommit call above: after this helper's CAS
+		// attempt the new subtree is reachable (its own CAS landed, or an
+		// earlier helper's did — the frozen records admit no other writer).
+		d.pool.OnInstalled()
+	}
 	sched.Point(sched.PointSCXCommit)
 	d.state.Store(stateCommitted)
 	return true

@@ -22,6 +22,30 @@ import (
 type Pool[N any] struct {
 	p sync.Pool
 
+	// OnCommit, when non-nil, is invoked by help() for every SCXP descriptor
+	// after all records are frozen and finalized, immediately BEFORE the
+	// update CAS, with the descriptor's mutable field, expected old value and
+	// new value. EVERY helper that reaches the update CAS calls it (not only
+	// the one whose CAS lands), so the callback must be idempotent; in
+	// exchange it is guaranteed to have run to completion at least once
+	// before new can be read out of any mutable field. The trees use this to
+	// stamp the freshly installed subtree root with a version tick and its
+	// previous-version link, ordering the commit against snapshot capture
+	// (DESIGN.md, "Versioned snapshots"). Set once at construction, before
+	// the pool's first SCXP.
+	OnCommit func(fld *atomic.Pointer[N], old, new *N)
+
+	// OnInstalled, when non-nil alongside OnCommit, is invoked immediately
+	// AFTER the update CAS by every helper that invoked OnCommit, pairing
+	// one-to-one with those calls. The trees use the pair as a bracket
+	// around the stamp→install window: OnCommit opens a counter before it
+	// assigns the version tick, OnInstalled closes it once the new subtree
+	// is (or is guaranteed to already be) reachable, and Snapshot drains the
+	// counter after reading the version counter — which is what makes "tick
+	// at or below a captured version" imply "installed before the capture's
+	// first read" (DESIGN.md, "Versioned snapshots").
+	OnInstalled func()
+
 	// deferred heads the intrusive stack of descriptors whose count hit
 	// zero outside an SCXP call (a helper displaced them, or a freed node
 	// released its record's reference). The next SCXP on this structure —

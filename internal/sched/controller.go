@@ -42,6 +42,12 @@ type worker struct {
 	c      *Controller
 	name   string
 	resume chan struct{}
+	// ready, when non-nil, marks the worker wait-blocked (parked in
+	// WaitZero): the controller keeps it out of the runnable set until the
+	// predicate reports true. Written by the worker goroutine strictly
+	// before it parks and read by the controller goroutine strictly after
+	// it receives the park event, so no lock is needed.
+	ready func() bool
 }
 
 type event struct {
@@ -101,6 +107,7 @@ func (c *Controller) Run() error {
 		maxSteps = defaultMaxSteps
 	}
 	runnable := slices.Clone(c.workers)
+	eligible := make([]int, 0, len(runnable))
 	var err error
 	for len(runnable) > 0 {
 		if len(c.taken) >= maxSteps {
@@ -108,7 +115,22 @@ func (c *Controller) Run() error {
 			c.abandon(runnable)
 			break
 		}
-		n := len(runnable)
+		// Wait-blocked workers (parked in WaitZero with a false predicate)
+		// are not schedulable: the decision is made among the eligible ones.
+		// The predicates read only state the schedule determines, so replay
+		// sees the same eligible sets and stays deterministic.
+		eligible := eligible[:0]
+		for i, w := range runnable {
+			if w.ready == nil || w.ready() {
+				eligible = append(eligible, i)
+			}
+		}
+		if len(eligible) == 0 {
+			err = fmt.Errorf("sched: all %d remaining workers wait-blocked (deadlock under this interleaving)", len(runnable))
+			c.abandon(runnable)
+			break
+		}
+		n := len(eligible)
 		choice := 0
 		if d := len(c.taken); d < len(c.prefix) {
 			choice = c.prefix[d]
@@ -120,7 +142,8 @@ func (c *Controller) Run() error {
 		}
 		c.taken = append(c.taken, choice)
 		c.branches = append(c.branches, n)
-		w := runnable[choice]
+		idx := eligible[choice]
+		w := runnable[idx]
 		w.resume <- struct{}{}
 		ev := <-c.events
 		if ev.parked {
@@ -128,7 +151,7 @@ func (c *Controller) Run() error {
 			continue
 		}
 		c.trace = append(c.trace, fmt.Sprintf("%s finished", ev.w.name))
-		runnable = slices.Delete(runnable, choice, choice+1)
+		runnable = slices.Delete(runnable, idx, idx+1)
 		if ev.panicked != nil && err == nil {
 			err = fmt.Errorf("sched: worker %s panicked: %v", ev.w.name, ev.panicked)
 		}

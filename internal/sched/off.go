@@ -2,6 +2,11 @@
 
 package sched
 
+import (
+	"runtime"
+	"sync/atomic"
+)
+
 // Enabled reports whether the deterministic scheduler and fault knobs are
 // compiled in. In the default build everything in this file is a constant
 // or an empty function, so the instrumentation in the protocol layers folds
@@ -11,6 +16,18 @@ const Enabled = false
 // Point is a potential preemption point. In the default build it is an
 // empty inlined function.
 func Point(PointID) {}
+
+// WaitZero spins until the counter drains to zero. Protocol code must use it
+// (never a bare spin) for any wait whose progress depends on another thread
+// passing an instrumentation point: in the default build it is the obvious
+// yield loop, while the sched build turns it into a controller-visible wait
+// so the deterministic scheduler can run the counter's holder instead of
+// spinning forever against a parked goroutine.
+func WaitZero(_ PointID, v *atomic.Int64) {
+	for v.Load() != 0 {
+		runtime.Gosched()
+	}
+}
 
 // DropFreeze reports whether the dropped-freeze protocol mutation is armed.
 // Always false in the default build; the compiler removes the mutation

@@ -86,3 +86,40 @@ func Point(id PointID) {
 	}
 	w.park(id)
 }
+
+// WaitZero waits until the counter drains to zero. For a goroutine owned by
+// a running controller this is NOT a free spin — one worker runs at a time,
+// so spinning against a counter held by a parked sibling would hang the
+// whole enumeration. Instead the worker parks as wait-blocked: the
+// controller excludes it from the runnable set until the counter is zero,
+// which forces the schedule to run the counter's holder first. The wait is
+// not a scheduling decision of its own (the controller has no choice to
+// make about a blocked worker), so it does not blow up the schedule space.
+// Unmanaged goroutines (and workers of an abandoned run, which execute
+// concurrently) fall back to the production yield loop.
+func WaitZero(id PointID, v *atomic.Int64) {
+	if v.Load() == 0 {
+		return
+	}
+	if active.Load() != 0 {
+		if rec, ok := registry.Load(goid()); ok {
+			w := rec.(*worker)
+			if !w.c.abandoned.Load() {
+				w.ready = func() bool { return v.Load() == 0 }
+				w.park(id)
+				w.ready = nil
+				if v.Load() != 0 {
+					// Rescheduled with the counter still held: only possible
+					// when the run was abandoned mid-wait.
+					for v.Load() != 0 {
+						runtime.Gosched()
+					}
+				}
+				return
+			}
+		}
+	}
+	for v.Load() != 0 {
+		runtime.Gosched()
+	}
+}

@@ -61,6 +61,21 @@ const (
 	PointEpochRetire
 	// PointEpochAdvance fires immediately before an epoch-advance attempt.
 	PointEpochAdvance
+	// PointVerStamp fires in the trees' commit hooks immediately before the
+	// version-stamp CAS that orders a committed SCX against snapshot capture
+	// (the hook — and therefore the stamp — runs after the finalize marks and
+	// before the update CAS publishes the new subtree; see the "Versioned
+	// snapshots" section of DESIGN.md).
+	PointVerStamp
+	// PointSnapPublish fires in Snapshot() between the live-snapshot
+	// registration (which closes the in-place overwrite fast path) and the
+	// version read that linearizes the capture.
+	PointSnapPublish
+	// PointSnapDrain identifies Snapshot()'s post-version-read wait for the
+	// in-flight publish windows (fast-path value publishes and stamp→install
+	// brackets) to drain. It is a WaitZero site, not a Point: in the sched
+	// build the capture parks here until the counter's holders have run.
+	PointSnapDrain
 
 	numPoints
 )
@@ -86,6 +101,12 @@ func (p PointID) String() string {
 		return "epoch-retire"
 	case PointEpochAdvance:
 		return "epoch-advance"
+	case PointVerStamp:
+		return "ver-stamp"
+	case PointSnapPublish:
+		return "snap-publish"
+	case PointSnapDrain:
+		return "snap-drain"
 	default:
 		return "unknown"
 	}

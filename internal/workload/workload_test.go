@@ -275,6 +275,52 @@ func TestScanMixGeneratesScans(t *testing.T) {
 	}
 }
 
+func TestParseScanMode(t *testing.T) {
+	for s, want := range map[string]ScanMode{"": ScanLive, "live": ScanLive, "snapshot": ScanSnapshot} {
+		got, err := ParseScanMode(s)
+		if err != nil || got != want {
+			t.Errorf("ParseScanMode(%q) = (%v,%v), want (%v,nil)", s, got, err, want)
+		}
+	}
+	if _, err := ParseScanMode("frozen"); err == nil {
+		t.Error("ParseScanMode accepted an unknown mode")
+	}
+	if ScanLive.String() != "live" || ScanSnapshot.String() != "snapshot" {
+		t.Error("ScanMode.String names changed; flags and JSON snapshots depend on them")
+	}
+}
+
+// TestApplierScanModes drives OpScan through the applier in both modes, on a
+// structure with native snapshots (chromatic) and on one that gets them via
+// the AdaptSnapshot fallback (lockavl, ordered but snapshot-free). Point
+// operations must reach the live structure regardless of mode.
+func TestApplierScanModes(t *testing.T) {
+	for _, target := range []struct {
+		name string
+		d    dict.IntMap
+	}{
+		{"native", chromatic.New()},
+		{"adapted", lockavl.New()},
+	} {
+		for _, mode := range []ScanMode{ScanLive, ScanSnapshot} {
+			a := NewApplier(target.d, mode)
+			if mode == ScanSnapshot && a.snap == nil {
+				t.Fatalf("%s: snapshot-mode applier found no snapshot path", target.name)
+			}
+			a.Apply(OpInsert, 5, DefaultScanSpan)
+			if _, ok := target.d.Get(5); !ok {
+				t.Fatalf("%s/%s: applier insert did not reach the live structure", target.name, mode)
+			}
+			a.Apply(OpScan, 0, 20)
+			a.Apply(OpScan, 100, 5) // empty window
+			a.Apply(OpDelete, 5, DefaultScanSpan)
+			if _, ok := target.d.Get(5); ok {
+				t.Fatalf("%s/%s: applier delete did not reach the live structure", target.name, mode)
+			}
+		}
+	}
+}
+
 // TestPropertyGeneratorKeysInRange checks with testing/quick that generated
 // keys always fall inside the configured key range, for arbitrary ranges and
 // seeds.
