@@ -1,0 +1,68 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/chromatic"
+	"repro/internal/dict"
+	"repro/internal/dict/dicttest"
+	"repro/internal/ebst"
+	"repro/internal/lbst"
+	"repro/internal/ravl"
+)
+
+// Every LLX/SCX template tree exposes the bounded-operation surface.
+var (
+	_ dict.BoundedMap[int64, int64] = (*lbst.Tree[int64, int64])(nil)
+	_ dict.BoundedMap[int64, int64] = (*ebst.Tree[int64, int64])(nil)
+	_ dict.BoundedMap[int64, int64] = (*ravl.Tree[int64, int64])(nil)
+	_ dict.BoundedMap[int64, int64] = (*chromatic.Tree[int64, int64])(nil)
+)
+
+// These tests run the chaos-mode stress suites (internal/dict/dicttest's
+// chaos.go) over every LLX/SCX template tree in the benchmark registry.
+// Unlike the sched-build enumerations, which explore adversarial
+// interleavings deterministically at a handful of points, chaos injection
+// perturbs the DEFAULT build probabilistically — delays, preemption,
+// dropped optional helping, workers parked indefinitely mid-operation, and
+// injected panics — so the whole stack (trees, LLX/SCX, epochs, watchdog)
+// is exercised under sustained degraded conditions rather than a scripted
+// schedule. All suites skip themselves under -tags sched.
+//
+// The suites run under -race in CI (the chaos-stress job), with
+// DICTTEST_SEED echoed on failure for replay.
+
+// TestChaosChurnStress: shared-window churn with delays, preemption,
+// dropped helping and abandoned workers; histories must linearize, every
+// operation must complete once parked workers are released, and the epoch
+// watchdog must drain reclamation past the parked workers' stale pins.
+func TestChaosChurnStress(t *testing.T) {
+	for _, tgt := range templateTreeTargets(t) {
+		t.Run(tgt.Name, func(t *testing.T) {
+			dicttest.ChaosChurnStress(t, tgt, 4, 600)
+		})
+	}
+}
+
+// TestChaosCrashStress: workers panic at random instrumentation points
+// mid-operation; the deferred epoch unpins must release their pins during
+// unwinding, the structure must stay fully usable, invariants must hold,
+// and pending reclamation must drain to zero.
+func TestChaosCrashStress(t *testing.T) {
+	for _, tgt := range templateTreeTargets(t) {
+		t.Run(tgt.Name, func(t *testing.T) {
+			dicttest.ChaosCrashStress(t, tgt, 4, 800)
+		})
+	}
+}
+
+// TestChaosBoundedStress: tight per-operation retry budgets under injected
+// contention. Budget failures must be effect-free and successes exact — a
+// per-worker model over disjoint keyspaces verifies both.
+func TestChaosBoundedStress(t *testing.T) {
+	for _, tgt := range templateTreeTargets(t) {
+		t.Run(tgt.Name, func(t *testing.T) {
+			dicttest.ChaosBoundedStress(t, tgt, 4, 1500, 64)
+		})
+	}
+}

@@ -54,6 +54,8 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/chaos"
+	"repro/internal/epoch"
 	"repro/internal/workload"
 )
 
@@ -114,6 +116,9 @@ func main() {
 		jsonPath   = flag.String("json", "", "also write every measured cell as JSON rows to this file")
 		compare    = flag.Bool("compare", false, "compare two -json snapshots (old.json new.json) instead of running experiments")
 		threshold  = flag.Float64("threshold", 0.25, "with -compare, the fractional throughput regression tolerated per cell")
+		chaosPPM   = flag.Int("chaos", 0, "parts-per-million delay and preemption injection at every instrumentation point (0 disables; robustness runs, not measurements)")
+		chaosSeed  = flag.Int64("chaosseed", 1, "seed for -chaos injection decisions")
+		verbose    = flag.Bool("v", false, "after the experiments, print the reclamation layer's health report (and the injection counters under -chaos)")
 	)
 	flag.Parse()
 
@@ -138,6 +143,24 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+
+	if *chaosPPM > 0 {
+		// Delay and preemption only: the bench workers have no panic
+		// recovery and must all run to completion, so the crashy knobs
+		// (Panic, Abandon) stay off. The trees stay correct either way -
+		// this mode exists to measure throughput under degraded scheduling
+		// and to soak the stack outside the test harnesses.
+		err := chaos.Enable(chaos.Config{
+			Seed:       *chaosSeed,
+			Default:    chaos.PointPolicy{Delay: uint32(*chaosPPM), Preempt: uint32(*chaosPPM)},
+			DelaySpins: 128,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			os.Exit(2)
+		}
+		defer chaos.Disable()
 	}
 
 	opts := bench.Options{
@@ -257,6 +280,30 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(out, "wrote %d measurements to %s\n", len(rows), *jsonPath)
+	}
+
+	if *verbose {
+		printHealth(out, *chaosPPM > 0)
+	}
+}
+
+// printHealth prints the reclamation layer's health report — and, when
+// chaos injection was armed, its counters (read before Disable tears the
+// run down). The epoch numbers answer "did the trials leave anything
+// pending, and why"; after every trial's DrainReclaim the expectation is a
+// report of zeros.
+func printHealth(out *os.File, chaosOn bool) {
+	r := epoch.Stats()
+	fmt.Fprintln(out, "=== reclamation layer health (epoch.Stats) ===")
+	fmt.Fprintf(out, "epoch %d: %d pinned slots, %d stalled slots, %d snapshot pins\n",
+		r.Epoch, r.PinnedSlots, r.StalledSlots, r.SnapPins)
+	fmt.Fprintf(out, "pending %d (parked %d, unscanned %d, by age %v)\n",
+		r.Pending, r.Parked, r.PendingUnscanned, r.PendingByAge)
+	fmt.Fprintf(out, "advance fails %d, free refusals %d, degraded drops %d, evictions %d (recovered %d)\n",
+		r.AdvanceFails, r.Refusals, r.DegradedDrops, r.Evictions, r.Recovered)
+	if chaosOn {
+		st := chaos.ReadStats()
+		fmt.Fprintf(out, "chaos: %+v\n", st)
 	}
 }
 

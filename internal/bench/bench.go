@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/dict"
 	"repro/internal/epoch"
 	"repro/internal/workload"
@@ -45,6 +46,13 @@ type Config struct {
 	Seed int64
 	// SkipPrefill starts measurements from an empty structure.
 	SkipPrefill bool
+	// HangTimeout bounds how long a trial may take to join its workers
+	// after the stop broadcast. Zero picks a generous default (several
+	// trial durations plus slack). A trial that exceeds it is wedged — a
+	// worker stuck in a retry loop or parked by fault injection — and the
+	// harness crashes the process with a full goroutine dump instead of
+	// hanging a batch run silently.
+	HangTimeout time.Duration
 }
 
 // Result is the outcome of the trials for one configuration.
@@ -184,6 +192,12 @@ func runTrial(cfg Config, trial int64) (int64, time.Duration, float64, int, *lat
 	for w := 0; w < cfg.Threads; w++ {
 		go func(worker int) {
 			defer wg.Done()
+			// Register with the chaos layer so a chaos-enabled run (the
+			// chromatic-bench -chaos flag, robustness experiments) injects
+			// into bench workers too. A no-op when chaos is disabled, which
+			// is the default for every measurement run.
+			cw := chaos.Register(worker)
+			defer cw.Close()
 			gen := workload.NewGeneratorDist(cfg.Mix, cfg.KeyRange, cfg.Dist,
 				cfg.Seed^(trial*1_000_003)^int64(worker)*2_654_435_761)
 			gen.SetScanSpan(cfg.ScanSpan)
@@ -225,7 +239,27 @@ func runTrial(cfg Config, trial int64) (int64, time.Duration, float64, int, *lat
 	close(start)
 	time.Sleep(cfg.Duration)
 	close(stop)
-	wg.Wait()
+	// Join the workers under a deadline. This wait is the trial's hang
+	// point: a worker wedged in a retry loop (or parked by fault injection
+	// that never released it) would otherwise hang the whole batch run with
+	// no diagnostics. Crashing with a full goroutine dump names the wedge
+	// site instead.
+	joined := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(joined)
+	}()
+	guard := cfg.HangTimeout
+	if guard <= 0 {
+		guard = 4*cfg.Duration + 30*time.Second
+	}
+	select {
+	case <-joined:
+	case <-time.After(guard):
+		buf := make([]byte, 1<<22)
+		n := runtime.Stack(buf, true)
+		panic(fmt.Sprintf("bench: trial did not join its workers within %v; goroutine dump:\n%s", guard, buf[:n]))
+	}
 	// Quiesce the reclamation layer before the structure is dropped: a trial
 	// ends with retired-but-unfreed nodes sitting in the global epoch retire
 	// lists, and those lists are GC roots — without draining them here every

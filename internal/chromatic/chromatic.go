@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/dict"
 	"repro/internal/epoch"
 	"repro/internal/llxscx"
 	"repro/internal/sched"
@@ -719,46 +720,52 @@ type updateResult[V any] struct {
 //
 // When key is present (the paper's Insert2 transformation) the overwrite is
 // performed IN PLACE, without an SCX and (for unboxed value types) without
-// allocating: the new value is published into the leaf's cell with one
-// atomic Swap, followed by a re-check of the leaf's finalized flag. If the
-// leaf was not finalized, the SCX protocol guarantees it was still in the
-// tree when the Swap took effect (a committed SCX marks every removed record
-// before it swings the child pointer, and the atomic operations are totally
-// ordered), so the overwrite linearizes at the Swap. If it was finalized the
-// attempt is ambiguous - removed by a deletion, or superseded by a copy that
-// aliases the same cell - and the operation retries from a fresh search,
-// remembering the cell it published into: a retry that reaches a leaf with
-// the SAME cell proves the copy case (cells are never shared across distinct
-// logical leaves), so the earlier publish already took effect and its
-// displaced value is returned without publishing again. Copies alias the
-// leaf's cell (copyWithWeight, tryInsert's overweight-leaf copy), so a
-// racing copy can never lose the published value.
+// allocating: the cell's publish bracket is opened (vcell.BeginPublish),
+// the leaf's finalized flag is checked, and if the leaf is live the new
+// value is published with one atomic Swap before the bracket closes. A
+// finalized leaf fails the attempt with nothing published and the
+// operation re-searches. The overwrite linearizes at the Swap even if the
+// leaf is finalized immediately after: a finalizer that must report the
+// displaced value (tryDelete, tryReplace) drains the cell's bracket after
+// its SCX commits and before it loads the cell, so a publish whose bracket
+// saw the leaf un-finalized is totally ordered before the finalizer's load
+// and cannot be missed - and no publish can land after it. See the full
+// protocol argument in internal/lbst (Insert's comment); this engine
+// mirrors it exactly. Copies alias the leaf's cell (copyWithWeight,
+// tryInsert's overweight-leaf copy) and the bracket lives on the cell, so
+// both the published value and the bracket follow the cell through every
+// copy - a racing copy can never lose either.
 //
-// Under pooled reclamation the whole operation - every retry included - runs
-// inside ONE pinned region. That is what keeps the same-cell disambiguation
-// sound: every leaf this operation reaches was reachable while it was
-// pinned, so none of their cells can be recycled (and their addresses reused
-// for unrelated keys) before the operation returns.
+// Under pooled reclamation the whole operation runs inside ONE pinned
+// region, so no leaf the operation reaches can be recycled (and its cell
+// reset) before the operation returns.
 func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
+	old, existed, _ := t.InsertBounded(key, value, dict.Budget{})
+	return old, existed
+}
+
+// InsertBounded is Insert under a per-operation budget (dict.Budget),
+// mirroring the lbst engine's contract: the retry loop gives up with
+// ErrRetryBudget/ErrDeadline, a budget failure is always effect-free (a
+// failed in-place attempt publishes nothing; see the bracket protocol in
+// Insert's comment), the uncontended path never consults the budget, and
+// the guard is released by defer so a panicking attempt cannot wedge the
+// epoch.
+func (t *Tree[K, V]) InsertBounded(key K, value V, budget dict.Budget) (V, bool, error) {
 	// A failed attempt means a concurrent update won the SCX in this
 	// neighbourhood (or the leaf was finalized under an overwrite); back off
 	// (bounded, randomized, growing with the failure count) before
 	// re-searching so heavy contention on a small key range does not
 	// degenerate into a storm of wasted re-searches.
 	g := epoch.Pin()
-	var prevCell *vcell.Cell[V]
-	var prevOld V
+	defer epoch.Unpin(g)
 	for fails := 0; ; {
+		if err := budget.Check(fails); err != nil {
+			var zero V
+			return zero, false, err
+		}
 		_, p, l, viol := t.search(key)
 		if t.isKey(key, l) {
-			if l.val == prevCell {
-				// A previous attempt already published into this very cell:
-				// the leaf was superseded by a copy, not deleted, so that
-				// publish took effect.
-				t.stats.Insert2.Add(1)
-				epoch.Unpin(g)
-				return prevOld, true
-			}
 			if epoch.Enabled {
 				// While a snapshot handle is live the in-place publish would
 				// mutate a value the snapshot captured, so the overwrite
@@ -770,30 +777,19 @@ func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 					t.fastWriters.Add(-1)
 					if old, done := t.tryReplace(g, key, value, p, l); done {
 						t.stats.Insert2.Add(1)
-						epoch.Unpin(g)
-						return old, true
+						return old, true, nil
 					}
 				} else {
-					old := l.val.Swap(value)
-					sched.Point(sched.PointVCellRecheck)
-					marked := l.rec.Marked()
+					old, ok := tryPublish(l, value)
 					t.fastWriters.Add(-1)
-					if !marked {
+					if ok {
 						t.stats.Insert2.Add(1)
-						epoch.Unpin(g)
-						return old, true
+						return old, true, nil
 					}
-					prevCell, prevOld = l.val, old
 				}
-			} else {
-				old := l.val.Swap(value)
-				sched.Point(sched.PointVCellRecheck)
-				if !l.rec.Marked() {
-					t.stats.Insert2.Add(1)
-					epoch.Unpin(g)
-					return old, true
-				}
-				prevCell, prevOld = l.val, old
+			} else if old, ok := tryPublish(l, value); ok {
+				t.stats.Insert2.Add(1)
+				return old, true, nil
 			}
 			fails++
 			core.BackoffWait(fails)
@@ -808,9 +804,35 @@ func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 		if res.createdViolation && viol+1 > t.allowed {
 			t.cleanup(g, key)
 		}
-		epoch.Unpin(g)
-		return res.old, res.existed
+		return res.old, res.existed, nil
 	}
+}
+
+// tryPublish is one attempt of the in-place overwrite (see the protocol in
+// Insert's comment): open the cell's publish bracket, check the leaf is not
+// finalized, and publish with one Swap. A finalized leaf fails the attempt
+// with nothing published; the caller re-searches. The bracket is
+// straight-line and park-free - its instrumentation points are excluded
+// from chaos panic/abandon injection - so a finalizer's DrainPublishers
+// always terminates.
+func tryPublish[K, V any](l *node[K, V], value V) (V, bool) {
+	l.val.BeginPublish()
+	sched.Point(sched.PointVCellRecheck)
+	if l.rec.Marked() {
+		l.val.EndPublish()
+		// Help the SCX that finalized the leaf before failing. LLX on a
+		// marked record helps its in-progress descriptor to completion, so
+		// the overwrite's retry finds the replacement subtree installed
+		// instead of spinning against a stalled finalizer. Without this the
+		// retry loop makes no progress on the blocker and the overwrite is
+		// not lock-free (a single parked deleter could starve it forever).
+		llxscx.LLX(l)
+		var zero V
+		return zero, false
+	}
+	old := l.val.Swap(value)
+	l.val.EndPublish()
+	return old, true
 }
 
 // LoadOrStore returns the value already associated with key (with
@@ -820,15 +842,15 @@ func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 // it the right primitive for sharing per-key state (for example a counter)
 // between concurrent writers.
 func (t *Tree[K, V]) LoadOrStore(key K, value V) (actual V, loaded bool) {
+	// The guard is released by defer (panic-safety, as in InsertBounded).
 	g := epoch.Pin()
+	defer epoch.Unpin(g)
 	for fails := 0; ; {
 		_, p, l, viol := t.search(key)
 		if t.isKey(key, l) {
 			// The key was present while l was on the search path; linearize
 			// there, exactly as Get does.
-			v := l.val.Load()
-			epoch.Unpin(g)
-			return v, true
+			return l.val.Load(), true
 		}
 		res, ok := t.tryInsert(g, p, l, key, value)
 		if !ok {
@@ -839,7 +861,6 @@ func (t *Tree[K, V]) LoadOrStore(key K, value V) (actual V, loaded bool) {
 		if res.createdViolation && viol+1 > t.allowed {
 			t.cleanup(g, key)
 		}
-		epoch.Unpin(g)
 		return value, false
 	}
 }
@@ -847,8 +868,22 @@ func (t *Tree[K, V]) LoadOrStore(key K, value V) (actual V, loaded bool) {
 // Delete removes key and returns the value that was associated with it (with
 // true), or the zero value and false if key was not present.
 func (t *Tree[K, V]) Delete(key K) (V, bool) {
+	old, existed, _ := t.DeleteBounded(key, dict.Budget{})
+	return old, existed
+}
+
+// DeleteBounded is Delete under a per-operation budget; a budget failure is
+// always effect-free (an attempt either commits its SCX or changed
+// nothing). The guard is released by defer for the same panic-safety as
+// InsertBounded.
+func (t *Tree[K, V]) DeleteBounded(key K, budget dict.Budget) (V, bool, error) {
 	g := epoch.Pin()
+	defer epoch.Unpin(g)
 	for fails := 0; ; {
+		if err := budget.Check(fails); err != nil {
+			var zero V
+			return zero, false, err
+		}
 		gp, p, l, viol := t.search(key)
 		res, ok := t.tryDelete(g, gp, p, l, key)
 		if !ok {
@@ -859,8 +894,7 @@ func (t *Tree[K, V]) Delete(key K) (V, bool) {
 		if res.createdViolation && viol+1 > t.allowed {
 			t.cleanup(g, key)
 		}
-		epoch.Unpin(g)
-		return res.old, res.existed
+		return res.old, res.existed, nil
 	}
 }
 
@@ -973,6 +1007,10 @@ func (t *Tree[K, V]) tryReplace(g *epoch.Guard, key K, value V, p, l *node[K, V]
 		t.releaseFresh(repl)
 		return zero, false
 	}
+	// The SCX finalized l, so in-place publishers now fail their bracket
+	// check; drain the brackets already open, then load (see Insert's
+	// comment and the protocol argument in internal/lbst).
+	l.val.DrainPublishers()
 	return l.val.Load(), true
 }
 
@@ -1067,12 +1105,14 @@ func (t *Tree[K, V]) tryDelete(g *epoch.Guard, gp, p, l *node[K, V], key K) (upd
 		return updateResult[V]{}, false
 	}
 	t.stats.Delete.Add(1)
-	// The cell is read only after the SCX committed, so the read happens
-	// after l was marked; an in-place overwrite that linearized before this
-	// deletion (its Swap totally ordered before the marking) is therefore
-	// visible in the returned value. The read is safe even though l is
-	// already retired: the operation is still pinned, so the grace period
-	// cannot have elapsed.
+	// The SCX committed, so l is finalized and in-place publishers now fail
+	// their bracket check; drain the brackets already open, then load. Every
+	// overwrite whose bracket observed l un-finalized has its Swap ordered
+	// before this read and is visible in the returned value; no overwrite
+	// can land after it (see Insert's comment and the protocol argument in
+	// internal/lbst). The read is safe even though l is already retired: the
+	// operation is still pinned, so the grace period cannot have elapsed.
+	l.val.DrainPublishers()
 	return updateResult[V]{
 		old:              l.val.Load(),
 		existed:          true,

@@ -1,0 +1,121 @@
+package dict
+
+import (
+	"errors"
+	"time"
+)
+
+// This file defines the bounded-operation surface: per-operation retry
+// budgets and deadlines for the lock-free structures' retry loops. The
+// LLX/SCX trees are lock-free, not wait-free — an individual Insert or
+// Delete can in principle retry forever while the rest of the system makes
+// progress — and a service built on them (the ROADMAP's kvserver
+// direction) needs per-request bounds rather than unbounded patience. A
+// Budget is checked only on the contention path (after a failed attempt),
+// so the uncontended fast path pays nothing.
+
+// ErrRetryBudget is returned when an operation exhausts Budget.Retries
+// failed attempts. The operation had no effect.
+var ErrRetryBudget = errors.New("dict: operation retry budget exhausted")
+
+// ErrDeadline is returned when an operation observes Budget.Deadline in the
+// past between attempts. The operation had no effect.
+var ErrDeadline = errors.New("dict: operation deadline exceeded")
+
+// Budget bounds one operation. The zero Budget is unlimited.
+type Budget struct {
+	// Retries caps the number of *failed* attempts (an operation that
+	// succeeds on its first try never consults the budget). 0 means
+	// unlimited.
+	Retries int
+	// Deadline, when non-zero, fails the operation at its next retry
+	// boundary after the instant passes. It is only inspected between
+	// attempts — a single attempt is never interrupted — so overrun is
+	// bounded by one attempt's duration.
+	Deadline time.Time
+}
+
+// Check reports whether the budget still permits another attempt after
+// fails failed ones: nil to continue, ErrRetryBudget or ErrDeadline to give
+// up. Structures call it at the top of each retry iteration, skipping
+// fails == 0.
+func (b Budget) Check(fails int) error {
+	if fails == 0 {
+		return nil
+	}
+	if b.Retries > 0 && fails >= b.Retries {
+		return ErrRetryBudget
+	}
+	if !b.Deadline.IsZero() && time.Now().After(b.Deadline) {
+		return ErrDeadline
+	}
+	return nil
+}
+
+// BoundedMap is implemented by structures whose update retry loops accept a
+// Budget (the lbst-engine trees and the chromatic tree). A failed bounded
+// operation returns the zero displaced value, existed == false, and the
+// budget error; it is guaranteed to have had no effect on the map.
+type BoundedMap[K, V any] interface {
+	Map[K, V]
+	InsertBounded(key K, value V, b Budget) (old V, existed bool, err error)
+	DeleteBounded(key K, b Budget) (old V, existed bool, err error)
+}
+
+// Bounded wraps a Map, applying one default Budget to every update. Updates
+// on maps that implement BoundedMap enforce the budget inside their retry
+// loops; for any other map the budget is unenforceable (the wrapped calls
+// always return a nil error), which Enforced reports so callers can tell
+// the difference. Reads are never bounded — the structures' reads don't
+// retry.
+type Bounded[K, V any] struct {
+	m      Map[K, V]
+	bm     BoundedMap[K, V] // nil when m has no bounded surface
+	budget Budget
+}
+
+// NewBounded wraps m with a per-operation budget. A Deadline in the budget
+// is almost always wrong here (it would apply the same absolute instant to
+// every future operation); use Retries in the default and per-call
+// deadlines via InsertBounded/DeleteBounded.
+func NewBounded[K, V any](m Map[K, V], budget Budget) *Bounded[K, V] {
+	b := &Bounded[K, V]{m: m, budget: budget}
+	if bm, ok := m.(BoundedMap[K, V]); ok {
+		b.bm = bm
+	}
+	return b
+}
+
+// Enforced reports whether the wrapped map actually enforces budgets.
+func (b *Bounded[K, V]) Enforced() bool { return b.bm != nil }
+
+// Get passes through to the wrapped map.
+func (b *Bounded[K, V]) Get(key K) (V, bool) { return b.m.Get(key) }
+
+// Insert upserts under the wrapper's default budget.
+func (b *Bounded[K, V]) Insert(key K, value V) (V, bool, error) {
+	return b.InsertBounded(key, value, b.budget)
+}
+
+// Delete removes under the wrapper's default budget.
+func (b *Bounded[K, V]) Delete(key K) (V, bool, error) {
+	return b.DeleteBounded(key, b.budget)
+}
+
+// InsertBounded upserts under an explicit budget.
+func (b *Bounded[K, V]) InsertBounded(key K, value V, budget Budget) (V, bool, error) {
+	if b.bm != nil {
+		return b.bm.InsertBounded(key, value, budget)
+	}
+	old, existed := b.m.Insert(key, value)
+	return old, existed, nil
+}
+
+// DeleteBounded removes under an explicit budget.
+func (b *Bounded[K, V]) DeleteBounded(key K, budget Budget) (V, bool, error) {
+	if b.bm != nil {
+		return b.bm.DeleteBounded(key, budget)
+	}
+	old, existed := b.m.Delete(key)
+	return old, existed, nil
+}

@@ -1,0 +1,89 @@
+package dict
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBudgetCheckUnlimited(t *testing.T) {
+	var b Budget
+	for _, fails := range []int{0, 1, 1000000} {
+		if err := b.Check(fails); err != nil {
+			t.Fatalf("zero Budget.Check(%d) = %v, want nil", fails, err)
+		}
+	}
+}
+
+func TestBudgetCheckFirstAttemptIsFree(t *testing.T) {
+	// fails == 0 must never consult the budget, even an expired one: the
+	// uncontended fast path pays nothing and is never spuriously failed.
+	b := Budget{Retries: 1, Deadline: time.Now().Add(-time.Hour)}
+	if err := b.Check(0); err != nil {
+		t.Fatalf("Check(0) = %v, want nil", err)
+	}
+}
+
+func TestBudgetCheckRetries(t *testing.T) {
+	b := Budget{Retries: 3}
+	for fails := 1; fails < 3; fails++ {
+		if err := b.Check(fails); err != nil {
+			t.Fatalf("Check(%d) = %v under Retries=3, want nil", fails, err)
+		}
+	}
+	if err := b.Check(3); err != ErrRetryBudget {
+		t.Fatalf("Check(3) = %v under Retries=3, want ErrRetryBudget", err)
+	}
+	if err := b.Check(10); err != ErrRetryBudget {
+		t.Fatalf("Check(10) = %v under Retries=3, want ErrRetryBudget", err)
+	}
+}
+
+func TestBudgetCheckDeadline(t *testing.T) {
+	past := Budget{Deadline: time.Now().Add(-time.Second)}
+	if err := past.Check(1); err != ErrDeadline {
+		t.Fatalf("Check(1) past deadline = %v, want ErrDeadline", err)
+	}
+	future := Budget{Deadline: time.Now().Add(time.Hour)}
+	if err := future.Check(1); err != nil {
+		t.Fatalf("Check(1) before deadline = %v, want nil", err)
+	}
+	// Retries exhaustion is reported ahead of the deadline when both apply.
+	both := Budget{Retries: 2, Deadline: time.Now().Add(-time.Second)}
+	if err := both.Check(5); err != ErrRetryBudget {
+		t.Fatalf("Check(5) with both exhausted = %v, want ErrRetryBudget", err)
+	}
+}
+
+func TestBoundedWrapperUnenforced(t *testing.T) {
+	// A map without the bounded surface still works through the wrapper;
+	// Enforced() tells the caller the budget is advisory there.
+	m := plainMap{}
+	b := NewBounded[int, int](m, Budget{Retries: 1})
+	if b.Enforced() {
+		t.Fatal("Enforced() = true for a map without InsertBounded/DeleteBounded")
+	}
+	if _, _, err := b.Insert(1, 10); err != nil {
+		t.Fatalf("unenforced Insert returned %v", err)
+	}
+	if v, ok := b.Get(1); !ok || v != 10 {
+		t.Fatalf("Get(1) = (%d, %v) after Insert", v, ok)
+	}
+	if old, existed, err := b.Delete(1); err != nil || !existed || old != 10 {
+		t.Fatalf("unenforced Delete = (%d, %v, %v)", old, existed, err)
+	}
+}
+
+// plainMap is a minimal unbounded Map for wrapper tests.
+type plainMap map[int]int
+
+func (m plainMap) Get(k int) (int, bool) { v, ok := m[k]; return v, ok }
+func (m plainMap) Insert(k, v int) (int, bool) {
+	old, ok := m[k]
+	m[k] = v
+	return old, ok
+}
+func (m plainMap) Delete(k int) (int, bool) {
+	old, ok := m[k]
+	delete(m, k)
+	return old, ok
+}

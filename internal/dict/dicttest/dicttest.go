@@ -301,6 +301,7 @@ func FuzzOps(t *testing.T, tgt Target, data []byte) {
 // must return disjoint key sets for distinct g.
 func ConcurrentStressKV[K comparable, V comparable](t *testing.T, tgt TargetOf[K, V], goroutines, opsPerG int, key func(g int, u uint64) K, val func(uint64) V) {
 	t.Helper()
+	checkGoroutineLeaks(t)
 	seed := stressSeed(t)
 	d := tgt.New()
 	om, ordered := d.(dict.OrderedMap[K, V])
@@ -398,6 +399,7 @@ func ConcurrentStress(t *testing.T, tgt Target, goroutines, opsPerG int, keysPer
 // writers-1 are the overwriters.
 func HotKeyStressKV[K comparable, V comparable](t *testing.T, tgt TargetOf[K, V], writers, overwritesPerWriter int, hot K, neighbors []K, val func(writer, i int) V, churnVal V) {
 	t.Helper()
+	checkGoroutineLeaks(t)
 	d := tgt.New()
 
 	// The set of values that may legitimately be associated with the hot key
@@ -550,6 +552,7 @@ func HotKeyStress(t *testing.T, tgt Target, writers, overwritesPerWriter int) {
 // must return a distinct value for every (writer, i) pair.
 func ChurnStressKV[K comparable, V comparable](t *testing.T, tgt TargetOf[K, V], writers, opsPerWriter, readers int, window []K, val func(writer, i int) V) {
 	t.Helper()
+	checkGoroutineLeaks(t)
 	seed := stressSeed(t)
 	d := tgt.New()
 	om, ordered := d.(dict.OrderedMap[K, V])

@@ -117,11 +117,36 @@ type Guard struct {
 	_ [24]byte
 }
 
+// stalledState is the watchdog's eviction sentinel. A slot whose holder has
+// been pinned pathologically long (stuck, leaked, or parked mid-operation)
+// is moved from its recorded epoch to this value so tryAdvance stops
+// counting it; the safety that normally came from blocking the advance is
+// re-established by degraded mode (see runFree and DESIGN.md, "Chaos,
+// stalls, and bounded degradation"). The sentinel is never a valid epoch —
+// epochs count up from 1 — and never claimable: Pin's CAS only fires on 0.
+const stalledState = ^uint64(0)
+
 var (
 	// globalEpoch starts at 1 so a state word of 0 can mean "free".
 	globalEpoch atomic.Uint64
 
 	slots [numSlots]Guard
+
+	// degradedPins counts slots currently evicted by the watchdog. While it
+	// is nonzero the layer is in degraded mode: every eligible retiree is
+	// dropped to the garbage collector instead of being recycled through its
+	// free callback, because an evicted slot's holder may still hold
+	// references into anything retired since it pinned. The watchdog
+	// increments it BEFORE the eviction CAS so no advance enabled by the
+	// eviction can complete a grace period ahead of the mode switch.
+	degradedPins atomic.Int64
+
+	// Cumulative diagnostics, surfaced by Stats.
+	advanceFails  atomic.Int64 // epoch advances blocked by a lagging slot
+	freeRefusals  atomic.Int64 // free callbacks that refused (zombie retirees)
+	degradedDrops atomic.Int64 // retirees dropped to GC in degraded mode
+	evictions     atomic.Int64 // watchdog evictions performed
+	recoveries    atomic.Int64 // evicted slots whose holder later resumed
 )
 
 func init() { globalEpoch.Store(1) }
@@ -270,24 +295,39 @@ func (g *Guard) drain(now uint64) {
 }
 
 // runFree invokes the free callback on each entry, re-queuing refusals into
-// requeue (the normalized current bucket).
+// requeue (the normalized current bucket). In degraded mode (a watchdog
+// eviction is active) the callbacks are skipped and the whole batch is
+// dropped for the garbage collector: the evicted slot's holder may still
+// reference any of these objects, and the GC — unlike the pools — can see
+// that holder's stack as a root, so dropping is always safe where recycling
+// would re-introduce the ABA hazard the epoch scheme exists to prevent.
 func (g *Guard) runFree(requeue *bucket, items []entry) {
+	if degradedPins.Load() != 0 {
+		degradedDrops.Add(int64(len(items)))
+		g.pending.Add(int64(-len(items)))
+		return
+	}
 	for _, it := range items {
 		if it.free(g, it.obj) {
 			g.pending.Add(-1)
 		} else {
+			freeRefusals.Add(1)
 			requeue.items = append(requeue.items, it)
 		}
 	}
 }
 
 // tryAdvance advances the global epoch by one if every claimed slot has
-// observed the current epoch. It returns whether it advanced.
+// observed the current epoch. It returns whether it advanced. Slots evicted
+// by the watchdog (stalledState) are skipped: their safety obligation has
+// been transferred to degraded mode, which was entered before the sentinel
+// became observable.
 func tryAdvance() bool {
 	sched.Point(sched.PointEpochAdvance)
 	g := globalEpoch.Load()
 	for i := range slots {
-		if s := slots[i].state.Load(); s != 0 && s != g {
+		if s := slots[i].state.Load(); s != 0 && s != g && s != stalledState {
+			advanceFails.Add(1)
 			return false
 		}
 	}

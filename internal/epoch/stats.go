@@ -1,0 +1,100 @@
+package epoch
+
+// Report is a point-in-time health summary of the reclamation layer,
+// returned by Stats. Until PR 10 the only visibility was Pending(); the
+// watchdog and the bench harness's -v mode both want to know *why* memory
+// is pending, not just how much.
+type Report struct {
+	// Epoch is the current global epoch.
+	Epoch uint64
+	// PinnedSlots is the number of operation slots currently claimed
+	// (excluding evicted ones).
+	PinnedSlots int
+	// StalledSlots is the number of slots currently evicted by the
+	// watchdog; nonzero means the layer is running degraded.
+	StalledSlots int
+	// SnapPins is the number of live long-lived snapshot pins.
+	SnapPins int64
+	// Pending is the total retirees whose grace period has not completed,
+	// including snapshot-parked ones (same quantity as Pending()).
+	Pending int64
+	// Parked is the subset of Pending deferred behind snapshot pins.
+	Parked int64
+	// PendingByAge buckets the pending retirees of quiescent slots by how
+	// many epochs ago they were retired (index min(now-retireEpoch, 2)).
+	// Slots claimed by live operations cannot be scanned without racing
+	// their owner; their share is reported in PendingUnscanned instead.
+	PendingByAge [bucketEpochs]int64
+	// PendingUnscanned is the pending count held by slots that were busy
+	// during the scan.
+	PendingUnscanned int64
+	// AdvanceFails counts epoch-advance attempts (cumulative) that were
+	// blocked by a slot still observing an older epoch.
+	AdvanceFails int64
+	// Refusals counts free callbacks (cumulative) that refused and were
+	// re-queued for another grace period — "zombie" retirees such as
+	// descriptors resurrected by a late helper.
+	Refusals int64
+	// DegradedDrops counts retirees (cumulative) dropped to the garbage
+	// collector instead of recycled because a watchdog eviction was active.
+	DegradedDrops int64
+	// Evictions and Recovered count watchdog slot evictions and the subset
+	// whose holder later resumed and released the slot (cumulative).
+	Evictions int64
+	Recovered int64
+}
+
+// Stats returns a health report for the reclamation layer. The per-bucket
+// ages are gathered by briefly claiming each quiescent slot with the same
+// CAS Drain uses, so the scan never races a slot owner; busy slots
+// contribute only their atomic pending total. With -tags noepoch it returns
+// the zero Report.
+func Stats() Report {
+	var r Report
+	if !Enabled {
+		return r
+	}
+	now := globalEpoch.Load()
+	r.Epoch = now
+	r.SnapPins = snapCount.Load()
+	r.Parked = parkedCount.Load()
+	r.AdvanceFails = advanceFails.Load()
+	r.Refusals = freeRefusals.Load()
+	r.DegradedDrops = degradedDrops.Load()
+	r.Evictions = evictions.Load()
+	r.Recovered = recoveries.Load()
+	for i := range slots {
+		g := &slots[i]
+		pending := g.pending.Load()
+		r.Pending += pending
+		switch s := g.state.Load(); {
+		case s == stalledState:
+			r.StalledSlots++
+			r.PendingUnscanned += pending
+		case s != 0:
+			r.PinnedSlots++
+			r.PendingUnscanned += pending
+		case pending == 0:
+			// Free and empty; nothing to scan.
+		case g.state.CompareAndSwap(0, now):
+			// Claimed like Drain does, so the bucket fields are ours to read.
+			for k := range g.buckets {
+				b := &g.buckets[k]
+				if len(b.items) == 0 {
+					continue
+				}
+				age := now - b.epoch
+				if age >= bucketEpochs {
+					age = bucketEpochs - 1
+				}
+				r.PendingByAge[age] += int64(len(b.items))
+			}
+			g.state.Store(0)
+		default:
+			// Lost the claim to a racing Pin; count it like a busy slot.
+			r.PendingUnscanned += pending
+		}
+	}
+	r.Pending += r.Parked
+	return r
+}

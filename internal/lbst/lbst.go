@@ -46,6 +46,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/dict"
 	"repro/internal/epoch"
 	"repro/internal/llxscx"
 	"repro/internal/sched"
@@ -798,53 +799,81 @@ func (t *Tree[K, V]) Get(key K) (V, bool) {
 // publish into it. The protocol is:
 //
 //  1. the search reaches the leaf l holding key;
-//  2. the new value is published into l's cell with one atomic Swap, which
-//     also yields the displaced value to return;
-//  3. l's finalized flag is re-checked. If l was NOT finalized, the SCX
-//     protocol guarantees l was still in the tree when the Swap took effect
-//     (a committed SCX marks every removed record before it swings the child
-//     pointer, and the atomic operations are totally ordered: Swap before
-//     the unmarked read before the mark before the unlink), so the overwrite
-//     linearizes at the Swap. If l WAS finalized the attempt is ambiguous -
-//     the leaf may have been removed by a deletion (publish lost, key maybe
-//     absent) or superseded by a copy that aliases the same cell (publish
-//     visible) - and the operation retries from a fresh search, remembering
-//     the cell it published into. A retry that reaches a leaf with the SAME
-//     cell resolves the ambiguity: cells are never shared across distinct
-//     logical leaves (a fresh leaf embeds its own cell; only copies alias),
-//     so the key was continuously present, the earlier publish already took
-//     effect through the copy, and the operation returns that attempt's
-//     displaced value without publishing again. A retry that reaches a
-//     different cell (or finds the key absent) means the published-into cell
-//     was dead and the publish invisible.
+//  2. the cell's publish bracket is opened (vcell.BeginPublish - a counter
+//     on the CELL, so the bracket follows the cell through every aliasing
+//     copy of the leaf);
+//  3. l's finalized flag is checked. If l is finalized the bracket is
+//     closed WITHOUT publishing - the attempt failed, changed nothing, and
+//     the operation re-searches. Otherwise the new value is published with
+//     one atomic Swap (yielding the displaced value to return), the bracket
+//     is closed, and the operation returns success.
 //
-// The re-check makes the overwrite safe against deletion of the key; the
-// cell aliasing on Copy makes it safe against every SCX that replaces the
-// leaf with a copy (the deletion template promoting the leaf as a sibling
-// copy, and any policy rebalancing step that copies a leaf): whichever of
-// the publish and the copying SCX commits first, the copy reads through the
-// same cell, so the value cannot be lost. This is why the cell must stay
-// aliased and must never be snapshotted into a fresh cell by a copy.
+// The overwrite linearizes at the Swap. The subtlety is an overwrite racing
+// the SCX that finalizes l (a deletion of the key, or a leaf-replacing
+// tryReplace): the finalizer must return the value the key held when it
+// took effect, so it loads the cell after its SCX commits - and it must not
+// miss a Swap ordered before that load, nor can a publisher be allowed to
+// Swap after the load (a value nobody will ever observe, while the
+// publisher reports success). The publish bracket closes both directions:
 //
-// Under pooled reclamation the whole operation - every retry included -
-// runs inside ONE pinned region. That is what keeps the same-cell
-// disambiguation sound: every leaf this operation reaches was reachable
-// while it was pinned, so none of their cells can be recycled (and their
-// addresses reused for unrelated keys) before the operation returns.
+//   - after committing (which finalizes l), the finalizer DRAINS the cell's
+//     bracket (vcell.DrainPublishers) before loading. A publisher that saw
+//     l un-finalized at step 3 observed the flag before the finalizer's
+//     commit, so its bracket was open before the drain began, so its Swap
+//     is totally ordered before the finalizer's load: the publish is
+//     visible in the finalizer's returned value, and reporting success is
+//     correct even though the leaf is now dead.
+//   - a publisher that saw l finalized never swaps at all, so there is
+//     nothing to miss; it re-searches and the retry sees the world after
+//     the finalizer (key absent, or a successor leaf with its own cell).
+//
+// The drain terminates: once l is finalized every new bracket fails step 3
+// and closes immediately, so only the finitely many brackets already open
+// are waited for, and a bracket is a handful of straight-line atomics (the
+// chaos layer never parks or panics a worker inside one - the bracket's
+// instrumentation points are excluded from those injections).
+//
+// The bracket lives on the cell, not the leaf, because cells alias: a
+// rebalancing step or the deletion template's sibling promotion replaces a
+// leaf with a copy sharing the SAME cell, and the finalizer of the COPY
+// must drain publishers that entered through the original leaf (a publisher
+// that saw the original un-finalized registered on the shared cell before
+// the original's finalization, which precedes every SCX on the copy). Cell
+// aliasing is also what makes the overwrite safe against those copying
+// SCXs in the first place: whichever of the publish and the copying SCX
+// commits first, the copy reads through the same cell, so the value cannot
+// be lost. This is why the cell must stay aliased and must never be
+// snapshotted into a fresh cell by a copy.
+//
+// Under pooled reclamation the whole operation runs inside ONE pinned
+// region, so no leaf the operation reaches can be recycled (and its cell
+// reset) before the operation returns.
 func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
+	old, existed, _ := t.InsertBounded(key, value, dict.Budget{})
+	return old, existed
+}
+
+// InsertBounded is Insert under a per-operation budget (see dict.Budget):
+// the retry loop gives up with ErrRetryBudget or ErrDeadline once the
+// budget is exhausted. A budget failure is always effect-free: an insertion
+// attempt either commits (SCX or in-place publish, and the loop returns
+// success) or changed nothing. The uncontended path never consults the
+// budget.
+//
+// The guard is released by defer, so a panic unwinding out of an attempt —
+// chaos injection in the tests, or any future bug — releases the epoch slot
+// instead of wedging reclamation for the whole process (the stall watchdog
+// exists for holders that park without unwinding; see internal/epoch).
+func (t *Tree[K, V]) InsertBounded(key K, value V, budget dict.Budget) (V, bool, error) {
 	g := epoch.Pin()
-	var prevCell *vcell.Cell[V]
-	var prevOld V
+	defer epoch.Unpin(g)
 	for fails := 0; ; {
+		if err := budget.Check(fails); err != nil {
+			var zero V
+			return zero, false, err
+		}
 		_, p, l := t.searchFn(t, key)
 		if t.isKey(key, l) {
-			if l.val == prevCell {
-				// A previous attempt already published into this very cell:
-				// the leaf was superseded by a copy, not deleted, so that
-				// publish took effect (see the protocol above).
-				epoch.Unpin(g)
-				return prevOld, true
-			}
 			if epoch.Enabled {
 				// While a snapshot handle is live the in-place publish would
 				// mutate a value the snapshot captured, so the overwrite
@@ -856,35 +885,21 @@ func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 				if t.snapLive.Load() != 0 {
 					t.fastWriters.Add(-1)
 					if old, done := t.tryReplace(g, key, value, p, l); done {
-						epoch.Unpin(g)
-						return old, true
+						return old, true, nil
 					}
 				} else {
-					old := l.val.Swap(value)
-					sched.Point(sched.PointVCellRecheck)
-					marked := l.Marked()
+					old, ok := tryPublish(l, value)
 					t.fastWriters.Add(-1)
-					if !marked {
-						epoch.Unpin(g)
-						return old, true
+					if ok {
+						return old, true, nil
 					}
-					prevCell, prevOld = l.val, old
 				}
-			} else {
-				// In-place overwrite: atomic publish, then finalization
-				// re-check (see the protocol above).
-				old := l.val.Swap(value)
-				sched.Point(sched.PointVCellRecheck)
-				if !l.Marked() {
-					epoch.Unpin(g)
-					return old, true
-				}
-				prevCell, prevOld = l.val, old
+			} else if old, ok := tryPublish(l, value); ok {
+				return old, true, nil
 			}
 		} else if t.tryInsert(g, key, value, p, l) {
-			epoch.Unpin(g)
 			var zero V
-			return zero, false
+			return zero, false, nil
 		}
 		// A failed attempt means a concurrent update won the SCX in this
 		// neighbourhood (or the leaf was finalized under an overwrite); back
@@ -894,6 +909,33 @@ func (t *Tree[K, V]) Insert(key K, value V) (V, bool) {
 		fails++
 		core.BackoffWait(fails)
 	}
+}
+
+// tryPublish is one attempt of the in-place overwrite (see the protocol in
+// Insert's comment): open the cell's publish bracket, check the leaf is not
+// finalized, and publish with one Swap. A finalized leaf fails the attempt
+// with nothing published; the caller re-searches. The bracket is
+// straight-line and park-free - its instrumentation points are excluded
+// from chaos panic/abandon injection - so a finalizer's DrainPublishers
+// always terminates.
+func tryPublish[K, V any](l *Node[K, V], value V) (V, bool) {
+	l.val.BeginPublish()
+	sched.Point(sched.PointVCellRecheck)
+	if l.Marked() {
+		l.val.EndPublish()
+		// Help the SCX that finalized the leaf before failing. LLX on a
+		// marked record helps its in-progress descriptor to completion, so
+		// the overwrite's retry finds the replacement subtree installed
+		// instead of spinning against a stalled finalizer. Without this the
+		// retry loop makes no progress on the blocker and the overwrite is
+		// not lock-free (a single parked deleter could starve it forever).
+		llxscx.LLX(l)
+		var zero V
+		return zero, false
+	}
+	old := l.val.Swap(value)
+	l.val.EndPublish()
+	return old, true
 }
 
 // tryInsert is one attempt of the insertion template update (hand-unrolled,
@@ -969,6 +1011,11 @@ func (t *Tree[K, V]) tryReplace(g *epoch.Guard, key K, value V, p, l *Node[K, V]
 		t.ReleaseFresh(repl)
 		return zero, false
 	}
+	// The SCX finalized l, so in-place publishers now fail their bracket
+	// check; drain the brackets already open, then load - every publish that
+	// will ever be visible is ordered before this read (see the overwrite
+	// protocol in Insert's comment).
+	l.val.DrainPublishers()
 	old := l.val.Load()
 	t.RetireNode(g, l)
 	return old, true
@@ -979,17 +1026,29 @@ func (t *Tree[K, V]) tryReplace(g *epoch.Guard, key K, value V, p, l *Node[K, V]
 // one SCX that swings the grandparent's child pointer to a copy of the
 // sibling (Figure 6 of the paper).
 func (t *Tree[K, V]) Delete(key K) (V, bool) {
+	old, existed, _ := t.DeleteBounded(key, dict.Budget{})
+	return old, existed
+}
+
+// DeleteBounded is Delete under a per-operation budget. A budget failure is
+// always effect-free: a deletion attempt either commits its SCX (and the
+// loop returns success) or changed nothing. The guard is released by defer
+// for the same panic-safety as InsertBounded.
+func (t *Tree[K, V]) DeleteBounded(key K, budget dict.Budget) (V, bool, error) {
 	g := epoch.Pin()
+	defer epoch.Unpin(g)
 	for fails := 0; ; {
+		if err := budget.Check(fails); err != nil {
+			var zero V
+			return zero, false, err
+		}
 		gp, p, l := t.searchFn(t, key)
 		if gp == nil || !t.isKey(key, l) {
-			epoch.Unpin(g)
 			var zero V
-			return zero, false
+			return zero, false, nil
 		}
 		if v, ok := t.tryDelete(g, key, gp, p, l); ok {
-			epoch.Unpin(g)
-			return v, true
+			return v, true, nil
 		}
 		fails++
 		core.BackoffWait(fails)
@@ -1049,10 +1108,13 @@ func (t *Tree[K, V]) tryDelete(g *epoch.Guard, key K, gp, p, l *Node[K, V]) (V, 
 		t.ReleaseFresh(repl)
 		return zero, false
 	}
-	// The cell read happens after the SCX committed, so it happens after l
-	// was marked; an in-place overwrite that linearized before this deletion
-	// (its Swap totally ordered before the marking) is therefore visible in
-	// the returned value.
+	// The SCX committed, so l is finalized and in-place publishers now fail
+	// their bracket check; drain the brackets already open, then load. Every
+	// overwrite that linearized before this deletion (its bracket observed l
+	// un-finalized) has its Swap ordered before this read and is visible in
+	// the returned value; no overwrite can land after it (see the overwrite
+	// protocol in Insert's comment).
+	l.val.DrainPublishers()
 	val := l.val.Load()
 	t.RetireNode(g, fin[0])
 	t.RetireNode(g, fin[1])

@@ -27,12 +27,14 @@
 // partition separately, which turns an exponential search over the whole
 // history into many small ones.
 //
-// Range scans are recorded per visited key as ScanStep operations whose
-// interval spans the enclosing read: the repository's scans are documented
-// as per-step linearizable (every visited pair was current at some instant
-// during the step), and that is exactly the claim each ScanStep asserts.
-// Successor/Predecessor walks used as a scan fallback are recorded the same
-// way. Whole-scan atomicity is deliberately not asserted.
+// Range scans are recorded per visited key as ScanStep operations: each
+// asserts its pair was current at some instant inside the step's interval.
+// For a native RangeScan the interval runs from the scan's invocation to
+// the step's emission, which is sound both for snapshot-based scans (every
+// pair was current at the capture instant, just after the invocation) and
+// for per-step-linearizable walks. Successor/Predecessor walks used as a
+// scan fallback use the enclosing read as the interval. Whole-scan
+// atomicity is deliberately not asserted.
 //
 // On violation, Check shrinks the offending per-key subhistory to a small
 // core that still has no linearization and formats a human-readable
@@ -183,12 +185,18 @@ func (p *Proc[K, V]) Delete(key K) (V, bool) {
 // step's pair was current somewhere inside it.
 func (p *Proc[K, V]) Scan(lo, hi K, less dict.Less[K]) int {
 	if rg, ok := p.r.m.(dict.Ranger[K, V]); ok {
-		prev := p.r.clock.Add(1)
+		// Every step's interval starts at the scan's invocation, not at the
+		// previous step: a snapshot-based RangeScan observes all its pairs at
+		// one capture instant shortly after the call, so a later step's pair
+		// need not be current between the two steps' emissions - but it was
+		// current somewhere in [call, step-return], which is what each
+		// ScanStep asserts. (For a hand-over-hand scan the claim is merely
+		// looser than the truth, so it stays sound for either kind.)
+		call := p.r.clock.Add(1)
 		n := 0
 		rg.RangeScan(lo, hi, func(k K, v V) bool {
 			now := p.r.clock.Add(1)
-			p.record(Op[K, V]{Proc: p.id, Kind: KindScanStep, Key: k, Out: v, OutOK: true, Call: prev, Ret: now})
-			prev = now
+			p.record(Op[K, V]{Proc: p.id, Kind: KindScanStep, Key: k, Out: v, OutOK: true, Call: call, Ret: now})
 			n++
 			return true
 		})

@@ -233,7 +233,13 @@ func LLX[P DataRecord[N], N any](r P) (Linked[N], Status) {
 	if (curState == stateCommitted || (curState == stateInProgress && help(rinfo))) && marked1 {
 		return Linked[N]{}, Finalized
 	}
-	if cur := rec.info.Load(); cur != nil && cur.state.Load() == stateInProgress {
+	// Helping the blocker before reporting Fail is an optimization, not an
+	// obligation: the caller's retry re-encounters any still-frozen record
+	// and helps then. That makes it a legal target for chaos's dropped-help
+	// injection (a probabilistic skip can delay completion but never
+	// prevent it, because help-on-encounter sites are still reached on
+	// every retry).
+	if cur := rec.info.Load(); cur != nil && cur.state.Load() == stateInProgress && !sched.ChaosDropHelp() {
 		help(cur)
 	}
 	return Linked[N]{}, Fail
@@ -333,7 +339,8 @@ func VLXFixed[N any](v *[MaxV]Linked[N], n int) bool {
 func validateOne[N any](lk *Linked[N]) bool {
 	cur := lk.rec.info.Load()
 	if cur != lk.info {
-		if cur != nil && cur.state.Load() == stateInProgress {
+		// Optional help (see the matching site in LLX): chaos may skip it.
+		if cur != nil && cur.state.Load() == stateInProgress && !sched.ChaosDropHelp() {
 			help(cur)
 		}
 		return false

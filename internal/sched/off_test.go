@@ -20,4 +20,40 @@ func TestDisabledBuildIsInert(t *testing.T) {
 	if PrematureFree() {
 		t.Fatal("PrematureFree() = true in the default build")
 	}
+	if ChaosArmed() {
+		t.Fatal("ChaosArmed() = true before any ArmChaos")
+	}
+	if ChaosDropHelp() {
+		t.Fatal("ChaosDropHelp() = true with chaos disarmed")
+	}
+}
+
+// TestChaosHooksFire pins the arming contract: with hooks installed and
+// chaos armed, every Point call reaches the hook with its own id, and
+// disarming restores the inert fast path without unhooking.
+func TestChaosHooksFire(t *testing.T) {
+	var hits [NumPoints]int
+	drops := 0
+	SetChaosHooks(func(id PointID) { hits[id]++ }, func() bool { drops++; return true })
+	defer SetChaosHooks(nil, nil)
+	ArmChaos(true)
+	for p := PointID(0); p < numPoints; p++ {
+		Point(p)
+	}
+	if !ChaosDropHelp() {
+		t.Fatal("ChaosDropHelp() = false with a true-returning hook armed")
+	}
+	ArmChaos(false)
+	Point(PointLLX)
+	if ChaosDropHelp() {
+		t.Fatal("ChaosDropHelp() = true after disarm")
+	}
+	for p, n := range hits {
+		if n != 1 {
+			t.Fatalf("point %v reached hook %d times, want 1", PointID(p), n)
+		}
+	}
+	if drops != 1 {
+		t.Fatalf("drop-help hook ran %d times, want 1", drops)
+	}
 }

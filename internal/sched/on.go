@@ -43,6 +43,23 @@ func SetPrematureFree(on bool) { prematureFree.Store(on) }
 // PrematureFree reports whether the premature-free mutation is armed.
 func PrematureFree() bool { return prematureFree.Load() }
 
+// SetChaosHooks is a no-op in the sched build: runtime chaos injection
+// (internal/chaos) targets the default build, where the deterministic
+// controller is compiled out. The two exploration modes are deliberately
+// exclusive — a controller-parked worker must never also be chaos-delayed.
+func SetChaosHooks(func(PointID), func() bool) {}
+
+// ArmChaos is a no-op in the sched build (see SetChaosHooks).
+func ArmChaos(bool) {}
+
+// ChaosArmed reports whether runtime chaos injection is armed: never, in
+// the sched build.
+func ChaosArmed() bool { return false }
+
+// ChaosDropHelp reports whether the caller should skip an optional helping
+// step: never, in the sched build.
+func ChaosDropHelp() bool { return false }
+
 // registry maps goroutine ids of controller-managed workers to their
 // worker records. Goroutines not in the map (the test harness itself,
 // runtime goroutines, workers of a finished controller) pass through

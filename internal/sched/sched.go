@@ -4,8 +4,8 @@
 // The protocol layers (internal/llxscx, internal/epoch, internal/vcell and
 // the trees' overwrite paths) call Point at the steps where interleaving
 // matters: before a freezing CAS, before marking, before the update CAS and
-// the commit store, before a vcell publish and its post-publish mark
-// re-check, and at epoch retire/advance boundaries. In the default build
+// the commit store, inside a vcell publish bracket and before the publish
+// itself, and at epoch retire/advance boundaries. In the default build
 // these calls compile to empty inlined functions — the production binaries
 // and the ordinary test suites pay nothing for them. Building with
 //
@@ -53,9 +53,9 @@ const (
 	// PointVCellPublish fires at the top of vcell.(*Cell).Swap, before the
 	// value is published.
 	PointVCellPublish
-	// PointVCellRecheck fires in the trees' overwrite paths between the
-	// value publish and the Marked() re-check that decides whether the
-	// publish landed in the live tree.
+	// PointVCellRecheck fires in the overwrite paths' publish brackets,
+	// between BeginPublish and the finalized/marked check that decides
+	// whether the publish may proceed.
 	PointVCellRecheck
 	// PointEpochRetire fires at the top of epoch.Retire.
 	PointEpochRetire
@@ -76,9 +76,19 @@ const (
 	// brackets) to drain. It is a WaitZero site, not a Point: in the sched
 	// build the capture parks here until the counter's holders have run.
 	PointSnapDrain
+	// PointVCellDrain identifies a finalizer's post-commit wait for a
+	// cell's publish brackets to drain before it loads the displaced value
+	// (vcell.(*Cell).DrainPublishers). Like PointSnapDrain it is a WaitZero
+	// site, not a Point.
+	PointVCellDrain
 
 	numPoints
 )
+
+// NumPoints is the number of defined instrumentation points. Layers that
+// keep per-point state (internal/chaos's policy and counter tables) size
+// their arrays with it.
+const NumPoints = int(numPoints)
 
 // String returns the point's name for traces and failure reports.
 func (p PointID) String() string {
@@ -107,6 +117,8 @@ func (p PointID) String() string {
 		return "snap-publish"
 	case PointSnapDrain:
 		return "snap-drain"
+	case PointVCellDrain:
+		return "vcell-drain"
 	default:
 		return "unknown"
 	}

@@ -20,6 +20,7 @@ import (
 	"math/rand/v2"
 	"sync/atomic"
 
+	"repro/internal/sched"
 	"repro/internal/vcell"
 )
 
@@ -57,6 +58,28 @@ func newNode[K, V any](k K, v V, unboxed bool, level int, sentinel int8) *node[K
 }
 
 func (n *node[K, V]) value() V { return n.v.Load() }
+
+// tryPublish overwrites n's value inside a publish bracket, returning the
+// displaced value. It fails - publishing NOTHING - if n is logically
+// deleted (bottom-level successor marked), so a failed overwrite is always
+// effect-free and the caller can fall back to a fresh insert without risking
+// a double effect. A deleter that wins the bottom-level mark drains the
+// bracket before loading the displaced value, which totally orders every
+// successful publish before that load; see the overwrite protocol in
+// internal/lbst for the full argument (the skip list's instance is simpler:
+// cells are never aliased between nodes).
+func (n *node[K, V]) tryPublish(value V) (V, bool) {
+	n.v.BeginPublish()
+	sched.Point(sched.PointVCellRecheck)
+	if ref := n.next[0].Load(); ref != nil && ref.marked {
+		n.v.EndPublish()
+		var zero V
+		return zero, false
+	}
+	old := n.v.Swap(value)
+	n.v.EndPublish()
+	return old, true
+}
 
 // List is a lock-free skip list implementing an ordered dictionary. It is
 // safe for concurrent use. Use New, NewOrdered or NewLess to create one.
@@ -301,17 +324,16 @@ func (l *List[K, V]) Insert(key K, value V) (V, bool) {
 	// Overwrite fast path: a read-only walk (no preds/succs bookkeeping, so
 	// the walk keeps everything on the stack) locates a present node and
 	// publishes the value into its embedded cell - zero allocations for
-	// word-sized value types. The node's deletion mark is re-checked after
-	// the publish, mirroring the template trees' overwrite protocol: if the
-	// node was logically deleted in the window, the publish may have been
-	// lost and the operation falls through to the full find loop below.
+	// word-sized value types. The publish runs inside a bracket that checks
+	// the node's deletion mark first, mirroring the template trees'
+	// overwrite protocol: if the node was logically deleted, nothing is
+	// published and the operation falls through to the full find loop below.
 	// An insert of an absent key pays this extra descent before the full
 	// find; the trade measured as a net win on update-heavy mixes, where
 	// roughly half the inserts hit present keys and skip find's
 	// heap-escaping preds/succs staging entirely.
 	if n := l.findPresentFn(l, key); n != nil {
-		old := n.v.Swap(value)
-		if ref := n.next[0].Load(); ref == nil || !ref.marked {
+		if old, ok := n.tryPublish(value); ok {
 			return old, true
 		}
 	}
@@ -323,11 +345,9 @@ func (l *List[K, V]) Insert(key K, value V) (V, bool) {
 			found := succs[0]
 			// If the node is not logically deleted, overwrite its value: one
 			// atomic publish into the embedded cell (no box for word-sized
-			// value types), with the same post-publish mark re-check as the
-			// fast path above.
+			// value types), under the same bracket as the fast path above.
 			if ref := found.next[0].Load(); ref != nil && !ref.marked {
-				old := found.v.Swap(value)
-				if ref = found.next[0].Load(); ref == nil || !ref.marked {
+				if old, ok := found.tryPublish(value); ok {
 					return old, true
 				}
 			}
@@ -410,6 +430,10 @@ func (l *List[K, V]) Delete(key K) (V, bool) {
 			return zero, false // someone else deleted it first
 		}
 		if victim.next[0].CompareAndSwap(ref, &succRef[K, V]{succ: ref.succ, marked: true}) {
+			// The winning mark is the node's finalization: drain in-flight
+			// publish brackets so every overwrite that will ever be visible
+			// is ordered before the displaced-value load below.
+			victim.v.DrainPublishers()
 			old := victim.value()
 			l.find(key, &preds, &succs) // physically unlink
 			return old, true

@@ -45,6 +45,13 @@ type Cell[V any] struct {
 
 	word atomic.Uint64
 	ptr  atomic.Pointer[V]
+
+	// pubs counts in-flight publish brackets (BeginPublish..EndPublish). It
+	// lives on the cell - not on any node embedding it - because copies alias
+	// the cell: a consumer that finalized one leaf must drain publishers that
+	// entered through ANY aliasing leaf, however stale. See the overwrite
+	// protocol in internal/lbst.
+	pubs atomic.Int64
 }
 
 // Unboxed reports whether values of type V qualify for the unboxed (packed
@@ -135,6 +142,40 @@ func (c *Cell[V]) Store(v V) {
 func (c *Cell[V]) Reset() {
 	c.word.Store(0)
 	c.ptr.Store(nil)
+	c.pubs.Store(0)
+}
+
+// BeginPublish registers an intent to Swap a value into the cell. The
+// bracket it opens (closed by EndPublish) lets a consumer that has
+// finalized the cell's owner wait out every writer that might still land a
+// Swap, so the consumer's subsequent Load is ordered after all publishes
+// that will ever be visible (see DrainPublishers). The bracket must be
+// short and straight-line: register, check the owner's finalized flag,
+// Swap, unregister - nothing inside may block, park, or panic.
+func (c *Cell[V]) BeginPublish() {
+	c.pubs.Add(1)
+}
+
+// EndPublish closes the bracket opened by BeginPublish.
+func (c *Cell[V]) EndPublish() {
+	c.pubs.Add(-1)
+}
+
+// DrainPublishers waits until no publish bracket is open. A consumer calls
+// it after finalizing the cell's owning leaf and before loading the
+// displaced value: once the owner is finalized every NEW bracket observes
+// the finalized flag and backs off without swapping, so only the
+// (finitely many, short) brackets already open are waited for, and the
+// wait terminates. After the drain, any publish whose bracket saw the
+// owner un-finalized is totally ordered before the consumer's Load - that
+// is the ordering fact that makes the in-place overwrite linearizable
+// against deletion (see internal/lbst's overwrite protocol).
+//
+// The wait goes through sched.WaitZero so the deterministic enumeration
+// build parks the consumer until the bracket holders have run, instead of
+// spinning against goroutines the controller has suspended.
+func (c *Cell[V]) DrainPublishers() {
+	sched.WaitZero(sched.PointVCellDrain, &c.pubs)
 }
 
 // Swap atomically publishes v and returns the value the cell held
